@@ -1,0 +1,73 @@
+use std::fmt;
+use std::sync::Arc;
+
+use snapshot_registers::{Backend, RegisterValue};
+
+use crate::{AbdRegister, Network};
+
+/// A register [`Backend`] whose every cell is an [`AbdRegister`] on a
+/// shared replica [`Network`] — plug it into any snapshot construction and
+/// the algorithm runs message-passing, tolerating minority replica
+/// crashes, exactly as Section 6 of the paper describes.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Clone)]
+pub struct AbdBackend {
+    network: Arc<Network>,
+}
+
+impl AbdBackend {
+    /// Creates a backend on `network`.
+    pub fn new(network: &Arc<Network>) -> Self {
+        AbdBackend {
+            network: Arc::clone(network),
+        }
+    }
+
+    /// The underlying network (for crash injection in tests).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+}
+
+impl Backend for AbdBackend {
+    type Cell<T: RegisterValue> = AbdRegister<T>;
+    type Bit = AbdRegister<bool>;
+
+    fn cell<T: RegisterValue>(&self, init: T) -> AbdRegister<T> {
+        AbdRegister::new(Arc::clone(&self.network), init)
+    }
+
+    fn bit(&self, init: bool) -> AbdRegister<bool> {
+        AbdRegister::new(Arc::clone(&self.network), init)
+    }
+}
+
+impl fmt::Debug for AbdBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbdBackend")
+            .field("network", &self.network)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapshot_registers::{ProcessId, Register};
+
+    #[test]
+    fn backend_creates_working_cells_and_bits() {
+        let network = Arc::new(Network::new(3));
+        let backend = AbdBackend::new(&network);
+        let cell = backend.cell(vec![1u8, 2]);
+        let bit = backend.bit(true);
+        let p = ProcessId::new(0);
+        assert_eq!(cell.read(p), vec![1, 2]);
+        assert!(bit.read(p));
+        cell.write(p, vec![9]);
+        bit.write(p, false);
+        assert_eq!(cell.read(p), vec![9]);
+        assert!(!bit.read(p));
+    }
+}

@@ -1,0 +1,60 @@
+//! ABD register emulation over a simulated asynchronous message-passing
+//! network.
+//!
+//! Section 6 of the paper observes: *"By applying the emulators of \[ABD\]
+//! to the constructions presented in this paper, implementations of atomic
+//! snapshot memory are obtained in message-passing systems. Snapshots
+//! obtained this way are true instantaneous images of the global state. In
+//! addition, these implementations are resilient to process and link
+//! failures, as long as a majority of the system remains connected."*
+//!
+//! This crate builds that stack:
+//!
+//! * [`Network`] — a simulated asynchronous message-passing system:
+//!   replica server threads with unbounded FIFO channels, optional random
+//!   processing jitter, and crash injection;
+//! * [`AbdRegister`] — the Attiya–Bar-Noy–Dolev emulation of a
+//!   multi-writer atomic register over the replicas: two-phase writes
+//!   (query the majority for the max tag, then store a higher tag) and
+//!   two-phase reads (query, then write back the maximum before
+//!   returning, preventing new/old inversion);
+//! * [`AbdBackend`] — plugs the emulated registers into the snapshot
+//!   constructions' [`Backend`] interface, so **the very same snapshot
+//!   code** that runs on shared memory runs message-passing, and keeps
+//!   working while any minority of replicas is crashed.
+//!
+//! [`Backend`]: snapshot_registers::Backend
+//!
+//! Liveness requires a live majority: an operation issued while more than
+//! `⌈r/2⌉ - 1` replicas are crashed blocks until replicas recover (tests
+//! use [`Network::restart`]) — exactly the resilience boundary the paper
+//! states.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use snapshot_abd::{AbdBackend, Network};
+//! use snapshot_registers::{Backend, ProcessId, Register};
+//!
+//! let network = Arc::new(Network::new(3)); // 3 replicas: tolerates 1 crash
+//! let backend = AbdBackend::new(&network);
+//! let reg = backend.cell(0u32);
+//!
+//! network.crash(2); // a minority crash
+//! reg.write(ProcessId::new(0), 7);
+//! assert_eq!(reg.read(ProcessId::new(1)), 7);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod message;
+mod network;
+mod register;
+
+pub use backend::AbdBackend;
+pub use message::{RegisterId, Tag};
+pub use network::{Network, NetworkConfig};
+pub use register::AbdRegister;

@@ -1,0 +1,101 @@
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+
+/// Identifier of one emulated register within a [`Network`].
+///
+/// [`Network`]: crate::Network
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegisterId(pub(crate) u64);
+
+/// The ABD logical timestamp: `(seq, writer)`, totally ordered.
+///
+/// Replicas keep the highest-tagged value they have seen per register;
+/// writers pick a `seq` one above the majority maximum; readers return the
+/// majority maximum (after writing it back).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag {
+    /// Logical sequence number.
+    pub seq: u64,
+    /// Writer process id (tie-breaker).
+    pub writer: usize,
+}
+
+/// Type-erased register value as stored by replicas (registers of any
+/// `Clone + Send + Sync` value type share one replica fleet).
+pub(crate) type ErasedValue = Arc<dyn Any + Send + Sync>;
+
+/// A client-to-replica request.
+pub(crate) enum Request {
+    /// "Send me your `(tag, value)` for this register."
+    Query {
+        register: RegisterId,
+        reply: Sender<Response>,
+    },
+    /// "Store this `(tag, value)` if it exceeds yours, then ack."
+    Store {
+        register: RegisterId,
+        tag: Tag,
+        value: ErasedValue,
+        reply: Sender<Response>,
+    },
+    /// Orderly shutdown of the replica thread.
+    Shutdown,
+}
+
+impl fmt::Debug for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Query { register, .. } => {
+                f.debug_struct("Query").field("register", register).finish()
+            }
+            Request::Store { register, tag, .. } => f
+                .debug_struct("Store")
+                .field("register", register)
+                .field("tag", tag)
+                .finish(),
+            Request::Shutdown => f.write_str("Shutdown"),
+        }
+    }
+}
+
+/// A replica-to-client response.
+pub(crate) enum Response {
+    /// Current `(tag, value)` held by the replica (value absent if the
+    /// replica has never stored this register).
+    QueryReply {
+        tag: Tag,
+        value: Option<ErasedValue>,
+    },
+    /// Store acknowledged.
+    StoreAck,
+}
+
+impl fmt::Debug for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::QueryReply { tag, value } => f
+                .debug_struct("QueryReply")
+                .field("tag", tag)
+                .field("has_value", &value.is_some())
+                .finish(),
+            Response::StoreAck => f.write_str("StoreAck"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_order_by_seq_then_writer() {
+        let a = Tag { seq: 1, writer: 9 };
+        let b = Tag { seq: 2, writer: 0 };
+        let c = Tag { seq: 2, writer: 1 };
+        assert!(a < b && b < c);
+        assert_eq!(Tag::default(), Tag { seq: 0, writer: 0 });
+    }
+}

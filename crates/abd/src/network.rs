@@ -1,0 +1,264 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::message::{ErasedValue, Request, Response};
+use crate::{RegisterId, Tag};
+
+/// Configuration of the simulated message-passing system.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Number of replica servers. Tolerates `⌈r/2⌉ - 1` crashes.
+    pub replicas: usize,
+    /// Seed for per-replica processing jitter (random yields between
+    /// messages), widening the asynchrony the clients observe. `None`
+    /// disables jitter.
+    pub jitter_seed: Option<u64>,
+}
+
+impl NetworkConfig {
+    /// A jitter-free network of `replicas` servers.
+    pub fn new(replicas: usize) -> Self {
+        NetworkConfig {
+            replicas,
+            jitter_seed: None,
+        }
+    }
+}
+
+struct Replica {
+    inbox: Sender<Request>,
+    crashed: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A simulated asynchronous message-passing system: replica servers that
+/// store tagged register values, connected to clients by unbounded FIFO
+/// channels.
+///
+/// Crashes ([`Network::crash`]) silence a replica: it drains and ignores
+/// its inbox, never replying — indistinguishable, to clients, from
+/// arbitrary message delay, which is exactly the fault model of \[ABD\].
+/// [`Network::restart`] brings it back (with its state intact — a crash
+/// here models a partition/silence, not disk loss; ABD tolerates either
+/// as long as a majority responds).
+pub struct Network {
+    replicas: Vec<Replica>,
+    next_register: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl Network {
+    /// Spawns a jitter-free network of `replicas` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(replicas: usize) -> Self {
+        Self::with_config(NetworkConfig::new(replicas))
+    }
+
+    /// Spawns a network per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas` is zero.
+    pub fn with_config(config: NetworkConfig) -> Self {
+        assert!(config.replicas > 0, "a network needs at least one replica");
+        let replicas = (0..config.replicas)
+            .map(|i| {
+                let (tx, rx) = unbounded::<Request>();
+                let crashed = Arc::new(AtomicBool::new(false));
+                let crashed_flag = Arc::clone(&crashed);
+                let mut jitter = config
+                    .jitter_seed
+                    .map(|seed| StdRng::seed_from_u64(seed.wrapping_add(i as u64)));
+                let thread = std::thread::Builder::new()
+                    .name(format!("abd-replica-{i}"))
+                    .spawn(move || {
+                        let mut store: HashMap<RegisterId, (Tag, ErasedValue)> = HashMap::new();
+                        for request in rx {
+                            if let Some(rng) = &mut jitter {
+                                for _ in 0..rng.random_range(0..3) {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            if crashed_flag.load(Ordering::Acquire) {
+                                // A crashed replica consumes silently; a
+                                // restart lets it speak again.
+                                if matches!(request, Request::Shutdown) {
+                                    break;
+                                }
+                                continue;
+                            }
+                            match request {
+                                Request::Query { register, reply } => {
+                                    let (tag, value) = store
+                                        .get(&register)
+                                        .map(|(t, v)| (*t, Some(Arc::clone(v))))
+                                        .unwrap_or((Tag::default(), None));
+                                    let _ = reply.send(Response::QueryReply { tag, value });
+                                }
+                                Request::Store {
+                                    register,
+                                    tag,
+                                    value,
+                                    reply,
+                                } => {
+                                    let entry = store.entry(register);
+                                    match entry {
+                                        std::collections::hash_map::Entry::Occupied(
+                                            mut occupied,
+                                        ) => {
+                                            if tag > occupied.get().0 {
+                                                occupied.insert((tag, value));
+                                            }
+                                        }
+                                        std::collections::hash_map::Entry::Vacant(vacant) => {
+                                            vacant.insert((tag, value));
+                                        }
+                                    }
+                                    let _ = reply.send(Response::StoreAck);
+                                }
+                                Request::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawning replica thread");
+                Replica {
+                    inbox: tx,
+                    crashed,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        Network {
+            replicas,
+            next_register: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+        }
+    }
+
+    /// Total client-to-replica messages sent so far (request messages;
+    /// replies are one-for-one for live replicas).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Size of a majority quorum.
+    pub fn quorum(&self) -> usize {
+        self.replicas.len() / 2 + 1
+    }
+
+    /// Maximum number of simultaneous crashes the network tolerates while
+    /// staying live.
+    pub fn fault_tolerance(&self) -> usize {
+        self.replicas.len() - self.quorum()
+    }
+
+    /// Crashes replica `index`: it stops responding until
+    /// [`Network::restart`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn crash(&self, index: usize) {
+        self.replicas[index].crashed.store(true, Ordering::Release);
+    }
+
+    /// Restarts a crashed replica (state intact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn restart(&self, index: usize) {
+        self.replicas[index].crashed.store(false, Ordering::Release);
+    }
+
+    /// Allocates a fresh register id.
+    pub(crate) fn allocate_register(&self) -> RegisterId {
+        RegisterId(self.next_register.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Sends `make(reply_sender)` to every replica; returns the reply
+    /// receiver.
+    pub(crate) fn broadcast(
+        &self,
+        make: impl Fn(Sender<Response>) -> Request,
+    ) -> crossbeam::channel::Receiver<Response> {
+        let (tx, rx) = unbounded();
+        for replica in &self.replicas {
+            let _ = replica.inbox.send(make(tx.clone()));
+        }
+        self.messages
+            .fetch_add(self.replicas.len() as u64, Ordering::Relaxed);
+        rx
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        for replica in &self.replicas {
+            let _ = replica.inbox.send(Request::Shutdown);
+        }
+        for replica in &mut self.replicas {
+            if let Some(thread) = replica.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("replicas", &self.replicas.len())
+            .field("quorum", &self.quorum())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_arithmetic() {
+        for (r, q, f) in [
+            (1, 1, 0),
+            (2, 2, 0),
+            (3, 2, 1),
+            (4, 3, 1),
+            (5, 3, 2),
+            (7, 4, 3),
+        ] {
+            let net = Network::new(r);
+            assert_eq!(net.quorum(), q, "replicas {r}");
+            assert_eq!(net.fault_tolerance(), f, "replicas {r}");
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let net = Network::new(5);
+        drop(net);
+    }
+
+    #[test]
+    fn register_ids_are_unique() {
+        let net = Network::new(1);
+        let a = net.allocate_register();
+        let b = net.allocate_register();
+        assert_ne!(a, b);
+    }
+}

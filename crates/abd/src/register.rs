@@ -1,0 +1,233 @@
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Duration;
+
+use snapshot_registers::{ProcessId, Register};
+
+use crate::message::{ErasedValue, Request, Response};
+use crate::{Network, RegisterId, Tag};
+
+/// How long a quorum phase may wait before concluding the majority is
+/// gone. Far beyond any simulated latency; reaching it means the caller
+/// violated the minority-crash assumption.
+const QUORUM_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// An atomic multi-writer register emulated over the replicas of a
+/// [`Network`] with the ABD protocol.
+///
+/// * **write(v)** — phase 1: query all replicas, wait for a majority of
+///   `(tag)` replies, pick `seq` one above the maximum; phase 2: store
+///   `(seq, pid, v)` everywhere, wait for a majority of acks.
+/// * **read()** — phase 1: query, majority, take the maximum `(tag, v)`;
+///   phase 2: *write back* that maximum to a majority before returning
+///   (so any read starting after this one completes sees a tag at least
+///   as large: no new/old inversion).
+///
+/// Any two majorities intersect, which is the whole proof sketch: a read's
+/// query majority intersects every completed write's store majority, so
+/// the read sees the write's tag (or a larger one).
+///
+/// # Liveness
+///
+/// Operations block while no majority responds and panic after an
+/// internal timeout — the paper's resilience claim is *exactly* "as long
+/// as a majority of the system remains connected".
+///
+/// See the [crate docs](crate) for an example.
+pub struct AbdRegister<V> {
+    network: Arc<Network>,
+    id: RegisterId,
+    init: V,
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
+    /// Creates a register with initial value `init` on `network`.
+    pub fn new(network: Arc<Network>, init: V) -> Self {
+        let id = network.allocate_register();
+        AbdRegister {
+            network,
+            id,
+            init,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The register's id within its network (diagnostics).
+    pub fn id(&self) -> RegisterId {
+        self.id
+    }
+
+    /// Phase 1 of both operations: query all, await a majority, return the
+    /// maximum `(tag, value)` seen (value `None` = still the initial
+    /// value).
+    fn query_majority(&self) -> (Tag, Option<ErasedValue>) {
+        let rx = self.network.broadcast(|reply| Request::Query {
+            register: self.id,
+            reply,
+        });
+        let quorum = self.network.quorum();
+        let mut best: (Tag, Option<ErasedValue>) = (Tag::default(), None);
+        for _ in 0..quorum {
+            match rx.recv_timeout(QUORUM_TIMEOUT) {
+                Ok(Response::QueryReply { tag, value }) => {
+                    if value.is_some() && (best.1.is_none() || tag > best.0) {
+                        best = (tag, value);
+                    } else if best.1.is_none() {
+                        best.0 = best.0.max(tag);
+                    }
+                }
+                Ok(Response::StoreAck) => unreachable!("query phase got a store ack"),
+                Err(_) => panic!(
+                    "ABD register {:?}: no majority of replicas responded \
+                     (more than a minority crashed?)",
+                    self.id
+                ),
+            }
+        }
+        best
+    }
+
+    /// Phase 2: store `(tag, value)` everywhere, await a majority of acks.
+    fn store_majority(&self, tag: Tag, value: ErasedValue) {
+        let rx = self.network.broadcast(|reply| Request::Store {
+            register: self.id,
+            tag,
+            value: Arc::clone(&value),
+            reply,
+        });
+        for _ in 0..self.network.quorum() {
+            match rx.recv_timeout(QUORUM_TIMEOUT) {
+                Ok(Response::StoreAck) => {}
+                Ok(Response::QueryReply { .. }) => {
+                    unreachable!("store phase got a query reply")
+                }
+                Err(_) => panic!(
+                    "ABD register {:?}: no majority of replicas acked a store \
+                     (more than a minority crashed?)",
+                    self.id
+                ),
+            }
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> Register<V> for AbdRegister<V> {
+    fn read(&self, _reader: ProcessId) -> V {
+        let (tag, value) = self.query_majority();
+        match value {
+            Some(erased) => {
+                // Write-back before returning: later reads must not see an
+                // older maximum.
+                self.store_majority(tag, Arc::clone(&erased));
+                erased
+                    .downcast_ref::<V>()
+                    .expect("replica returned a value of the wrong type")
+                    .clone()
+            }
+            None => self.init.clone(),
+        }
+    }
+
+    fn write(&self, writer: ProcessId, value: V) {
+        let (max_tag, _) = self.query_majority();
+        let tag = Tag {
+            seq: max_tag.seq + 1,
+            writer: writer.get(),
+        };
+        self.store_majority(tag, Arc::new(value) as ErasedValue);
+    }
+}
+
+impl<V> fmt::Debug for AbdRegister<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbdRegister").field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+
+    #[test]
+    fn initial_value_before_any_write() {
+        let net = Arc::new(Network::new(3));
+        let reg = AbdRegister::new(net, 42u32);
+        assert_eq!(reg.read(P0), 42);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let net = Arc::new(Network::new(3));
+        let reg = AbdRegister::new(net, 0u32);
+        reg.write(P0, 5);
+        assert_eq!(reg.read(P1), 5);
+        reg.write(P1, 6);
+        assert_eq!(reg.read(P0), 6);
+    }
+
+    #[test]
+    fn survives_minority_crash() {
+        let net = Arc::new(Network::new(5));
+        let reg = AbdRegister::new(Arc::clone(&net), 0u32);
+        reg.write(P0, 1);
+        net.crash(0);
+        net.crash(3);
+        reg.write(P1, 2);
+        assert_eq!(reg.read(P0), 2);
+    }
+
+    #[test]
+    fn state_written_during_crash_visible_after_restart() {
+        let net = Arc::new(Network::new(3));
+        let reg = AbdRegister::new(Arc::clone(&net), 0u32);
+        net.crash(1);
+        reg.write(P0, 9);
+        net.restart(1);
+        net.crash(0); // now a different minority is down
+        assert_eq!(reg.read(P1), 9, "intersecting majorities carry the value");
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let net = Arc::new(Network::new(3));
+        let a = AbdRegister::new(Arc::clone(&net), 0u32);
+        let b = AbdRegister::new(Arc::clone(&net), 0u32);
+        a.write(P0, 1);
+        b.write(P0, 2);
+        assert_eq!(a.read(P1), 1);
+        assert_eq!(b.read(P1), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_no_tearing() {
+        let net = Arc::new(Network::with_config(crate::NetworkConfig {
+            replicas: 3,
+            jitter_seed: Some(7),
+        }));
+        let reg = Arc::new(AbdRegister::new(net, (0u64, 0u64)));
+        std::thread::scope(|s| {
+            for w in 0..2usize {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    for k in 1..=50u64 {
+                        reg.write(ProcessId::new(w), (k, k * 3));
+                    }
+                });
+            }
+            for r in 2..4usize {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let (a, b) = reg.read(ProcessId::new(r));
+                        assert_eq!(b, a * 3);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the ABD register emulation: sequential semantics
+//! against a last-write model, invariance under minority crash/restart
+//! churn, and quorum arithmetic.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use snapshot_abd::{AbdBackend, Network, NetworkConfig};
+use snapshot_registers::{Backend, ProcessId, Register};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write {
+        pid: usize,
+        value: u64,
+    },
+    Read {
+        pid: usize,
+    },
+    /// Crash replica `index % replicas` if doing so keeps a majority.
+    Crash {
+        index: usize,
+    },
+    /// Restart replica `index % replicas`.
+    Restart {
+        index: usize,
+    },
+}
+
+fn ops(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..4usize, any::<u64>()).prop_map(|(pid, value)| Op::Write { pid, value }),
+            (0..4usize).prop_map(|pid| Op::Read { pid }),
+            (0..8usize).prop_map(|index| Op::Crash { index }),
+            (0..8usize).prop_map(|index| Op::Restart { index }),
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sequential_semantics_survive_crash_restart_churn(
+        replicas in prop::sample::select(vec![3usize, 5]),
+        init in any::<u64>(),
+        script in ops(24),
+    ) {
+        let network = Arc::new(Network::new(replicas));
+        let backend = AbdBackend::new(&network);
+        let reg = backend.cell(init);
+        let mut model = init;
+        let mut crashed = vec![false; replicas];
+        let tolerance = network.fault_tolerance();
+
+        for op in script {
+            match op {
+                Op::Write { pid, value } => {
+                    reg.write(ProcessId::new(pid), value);
+                    model = value;
+                }
+                Op::Read { pid } => {
+                    prop_assert_eq!(reg.read(ProcessId::new(pid)), model);
+                }
+                Op::Crash { index } => {
+                    let i = index % replicas;
+                    let down = crashed.iter().filter(|&&c| c).count();
+                    if !crashed[i] && down < tolerance {
+                        network.crash(i);
+                        crashed[i] = true;
+                    }
+                }
+                Op::Restart { index } => {
+                    let i = index % replicas;
+                    if crashed[i] {
+                        network.restart(i);
+                        crashed[i] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independent_registers_do_not_interfere(
+        writes in prop::collection::vec((0..3usize, any::<u64>()), 1..16)
+    ) {
+        let network = Arc::new(Network::with_config(NetworkConfig {
+            replicas: 3,
+            jitter_seed: Some(1),
+        }));
+        let backend = AbdBackend::new(&network);
+        let regs: Vec<_> = (0..3).map(|i| backend.cell(i as u64)).collect();
+        let mut model = [0u64, 1, 2];
+        let p = ProcessId::new(0);
+        for (which, value) in writes {
+            regs[which].write(p, value);
+            model[which] = value;
+            for (i, r) in regs.iter().enumerate() {
+                prop_assert_eq!(r.read(p), model[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_is_a_strict_majority(replicas in 1usize..12) {
+        let network = Network::new(replicas);
+        prop_assert!(2 * network.quorum() > replicas);
+        prop_assert!(2 * (network.quorum() - 1) <= replicas);
+        prop_assert_eq!(network.fault_tolerance(), replicas - network.quorum());
+    }
+}

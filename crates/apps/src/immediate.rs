@@ -1,0 +1,270 @@
+use std::fmt;
+
+use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
+
+/// The state one process publishes: its value and its current level.
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    value: Option<V>,
+    level: usize,
+}
+
+/// A one-shot **immediate snapshot** object (Borowsky–Gafni levels
+/// algorithm) — the kind of "more powerful primitive built from registers"
+/// that Section 6 of the paper asks about ("is it possible to construct a
+/// hierarchy of objects implementable from atomic registers?").
+///
+/// Each process calls [`write_read`](ImmediateSnapshot::write_read)
+/// exactly once with its value and receives a *view* (a set of `(pid,
+/// value)` pairs) such that, for the views `V_p` of all participants:
+///
+/// * **self-inclusion** — `p ∈ V_p`;
+/// * **containment** — views are totally ordered by inclusion;
+/// * **immediacy** — if `q ∈ V_p` then `V_q ⊆ V_p`.
+///
+/// Immediacy is strictly stronger than what a scan of an atomic snapshot
+/// gives (a scan-then-update object yields containment but not
+/// immediacy), which is why immediate snapshots power the
+/// Borowsky–Gafni simulation and the combinatorial-topology view of
+/// wait-free computation.
+///
+/// The algorithm: descend levels `n, n-1, …`; at each level publish
+/// `(value, level)` and collect; if at least `level` processes are at
+/// this level or below, return exactly those processes' values.
+/// Wait-free: at most `n` iterations of `O(n)` register ops each.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_apps::ImmediateSnapshot;
+/// use snapshot_registers::ProcessId;
+///
+/// let object = ImmediateSnapshot::new(2);
+/// let view = object.write_read(ProcessId::new(0), "a");
+/// assert!(view.iter().any(|(pid, _)| pid.get() == 0)); // self-inclusion
+/// ```
+pub struct ImmediateSnapshot<V: RegisterValue, B: Backend = EpochBackend> {
+    slots: Box<[B::Cell<Slot<V>>]>,
+    n: usize,
+}
+
+impl<V: RegisterValue> ImmediateSnapshot<V, EpochBackend> {
+    /// Creates a one-shot immediate snapshot for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        Self::with_backend(n, &EpochBackend::new())
+    }
+}
+
+impl<V: RegisterValue, B: Backend> ImmediateSnapshot<V, B> {
+    /// Creates the object over an explicit register backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_backend(n: usize, backend: &B) -> Self {
+        assert!(n > 0, "an immediate snapshot needs at least one process");
+        ImmediateSnapshot {
+            slots: (0..n)
+                .map(|_| {
+                    backend.cell(Slot {
+                        value: None,
+                        level: usize::MAX,
+                    })
+                })
+                .collect(),
+            n,
+        }
+    }
+
+    /// Number of participating processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Publishes `value` and returns this process's immediate view: the
+    /// `(pid, value)` pairs of every process at the level where this
+    /// process "lands".
+    ///
+    /// One-shot: must be called at most once per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or if this process already called
+    /// `write_read`.
+    pub fn write_read(&self, pid: ProcessId, value: V) -> Vec<(ProcessId, V)> {
+        let i = pid.get();
+        assert!(i < self.n, "{pid} out of range (object has {})", self.n);
+        assert_eq!(
+            self.slots[i].read(pid).level,
+            usize::MAX,
+            "write_read is one-shot; {pid} called it twice"
+        );
+
+        let mut level = self.n + 1;
+        loop {
+            level -= 1;
+            debug_assert!(level >= 1, "levels algorithm descended past level 1");
+            self.slots[i].write(
+                pid,
+                Slot {
+                    value: Some(value.clone()),
+                    level,
+                },
+            );
+            let seen = collect(pid, &self.slots);
+            let at_or_below: Vec<(ProcessId, V)> = seen
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.level <= level)
+                .map(|(j, s)| {
+                    (
+                        ProcessId::new(j),
+                        s.value.clone().expect("a leveled slot always has a value"),
+                    )
+                })
+                .collect();
+            if at_or_below.len() >= level {
+                return at_or_below;
+            }
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend> fmt::Debug for ImmediateSnapshot<V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ImmediateSnapshot")
+            .field("processes", &self.n)
+            .finish()
+    }
+}
+
+/// Checks the three immediate-snapshot properties over the views of all
+/// participants; returns a description of the first violation found.
+///
+/// `views[i]` must be `Some(view)` for every process that completed its
+/// `write_read` (pids in views must be `< views.len()`).
+pub fn check_immediacy<V: Clone + Eq + fmt::Debug>(
+    views: &[Option<Vec<(ProcessId, V)>>],
+) -> Result<(), String> {
+    let as_set = |view: &Vec<(ProcessId, V)>| -> Vec<usize> {
+        let mut pids: Vec<usize> = view.iter().map(|(p, _)| p.get()).collect();
+        pids.sort_unstable();
+        pids
+    };
+    // Self-inclusion.
+    for (i, view) in views.iter().enumerate() {
+        if let Some(v) = view {
+            if !v.iter().any(|(p, _)| p.get() == i) {
+                return Err(format!("self-inclusion violated: P{i} not in own view {v:?}"));
+            }
+        }
+    }
+    // Containment: views totally ordered by inclusion.
+    let sets: Vec<(usize, Vec<usize>)> = views
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.as_ref().map(|v| (i, as_set(v))))
+        .collect();
+    for (i, a) in &sets {
+        for (j, b) in &sets {
+            let a_in_b = a.iter().all(|x| b.contains(x));
+            let b_in_a = b.iter().all(|x| a.contains(x));
+            if !a_in_b && !b_in_a {
+                return Err(format!(
+                    "containment violated: views of P{i} ({a:?}) and P{j} ({b:?}) incomparable"
+                ));
+            }
+        }
+    }
+    // Immediacy: q in V_p implies V_q subseteq V_p.
+    for (p, vp) in &sets {
+        for q in vp {
+            if let Some((_, vq)) = sets.iter().find(|(i, _)| i == q) {
+                if !vq.iter().all(|x| vp.contains(x)) {
+                    return Err(format!(
+                        "immediacy violated: P{q} in view of P{p} but V_{q} ({vq:?}) ⊄ V_{p} ({vp:?})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_process_sees_itself_only() {
+        let object = ImmediateSnapshot::new(1);
+        let view = object.write_read(ProcessId::new(0), 7u32);
+        assert_eq!(view, vec![(ProcessId::new(0), 7)]);
+    }
+
+    #[test]
+    fn sequential_participants_get_nested_views() {
+        let object = ImmediateSnapshot::new(3);
+        let v0 = object.write_read(ProcessId::new(0), 10u32);
+        let v1 = object.write_read(ProcessId::new(1), 11);
+        let v2 = object.write_read(ProcessId::new(2), 12);
+        assert_eq!(v0.len(), 1);
+        assert_eq!(v1.len(), 2);
+        assert_eq!(v2.len(), 3);
+        let views = vec![Some(v0), Some(v1), Some(v2)];
+        assert_eq!(check_immediacy(&views), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one-shot")]
+    fn second_write_read_panics() {
+        let object = ImmediateSnapshot::new(2);
+        object.write_read(ProcessId::new(0), 1u8);
+        object.write_read(ProcessId::new(0), 2u8);
+    }
+
+    #[test]
+    fn threaded_runs_satisfy_all_three_properties() {
+        for round in 0..50 {
+            let n = 4;
+            let object = ImmediateSnapshot::new(n);
+            let views: Vec<Option<Vec<(ProcessId, u64)>>> = std::thread::scope(|s| {
+                (0..n)
+                    .map(|i| {
+                        let object = &object;
+                        s.spawn(move || Some(object.write_read(ProcessId::new(i), i as u64)))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            assert_eq!(check_immediacy(&views), Ok(()), "round {round}");
+        }
+    }
+
+    #[test]
+    fn checker_rejects_bad_view_sets() {
+        let p = ProcessId::new;
+        // Missing self-inclusion.
+        let views = vec![Some(vec![(p(1), 1u8)]), None];
+        assert!(check_immediacy(&views).unwrap_err().contains("self-inclusion"));
+        // Incomparable views.
+        let views = vec![
+            Some(vec![(p(0), 0u8)]),
+            Some(vec![(p(1), 1)]),
+        ];
+        assert!(check_immediacy(&views).unwrap_err().contains("containment"));
+        // Immediacy breach: P1 sees P0, but V_0 has P2 that V_1 lacks.
+        let views = vec![
+            Some(vec![(p(0), 0u8), (p(2), 2)]),
+            Some(vec![(p(0), 0), (p(1), 1)]),
+            Some(vec![(p(0), 0), (p(1), 1), (p(2), 2)]),
+        ];
+        assert!(check_immediacy(&views).unwrap_err().contains("violated"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Applications of atomic snapshot memory.
+//!
+//! The paper's introduction motivates snapshots as a building block that
+//! "can greatly simplify the design and verification of many concurrent
+//! algorithms", citing exclusion problems, multi-writer registers,
+//! concurrent time-stamp systems \[DS89\], randomized consensus
+//! \[A88, AH89, ADS89, A90\] and wait-free data structures \[AH90\]. This
+//! crate implements three of those uses on top of `snapshot-core`:
+//!
+//! * [`CheckpointableCounter`] — a wait-free sharded counter whose reads
+//!   are *consistent global checkpoints*, not racy sums;
+//! * [`RandomizedConsensus`] — wait-free binary consensus from snapshots
+//!   plus local coin flips (the Aspnes–Herlihy shape: deterministic
+//!   agreement/validity, randomized termination);
+//! * [`TimestampSystem`] — an (unbounded) concurrent time-stamp system:
+//!   totally ordered labels where an operation that finishes before
+//!   another starts always receives a smaller label;
+//! * [`BakeryMutex`] — Lamport's bakery with its collects replaced by
+//!   atomic scans (the paper's "exclusion problems" citations);
+//! * [`SnapshotRegister`] — an n-writer atomic register in a few lines on
+//!   top of a snapshot (the multi-writer-register application family);
+//! * [`ImmediateSnapshot`] — the one-shot *immediate* snapshot
+//!   (Borowsky–Gafni levels), an instance of Section 6's closing question
+//!   about more powerful objects built from registers;
+//! * [`SharedCoin`] — the random-walk weak shared coin of the \[AH89\]
+//!   fast-randomized-consensus line, also built on one snapshot.
+//!
+//! Everything is generic over the snapshot's register [`Backend`], so the
+//! applications run unchanged under the deterministic simulator — the
+//! consensus tests model-check agreement across schedules.
+//!
+//! [`Backend`]: snapshot_registers::Backend
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coin;
+mod consensus;
+mod counter;
+mod immediate;
+mod mutex;
+mod register;
+mod timestamp;
+
+pub use coin::{SharedCoin, SharedCoinHandle};
+pub use consensus::{ConsensusError, ConsensusHandle, RandomizedConsensus};
+pub use immediate::{check_immediacy, ImmediateSnapshot};
+pub use counter::{CheckpointableCounter, CounterHandle};
+pub use mutex::{BakeryHandle, BakeryMutex};
+pub use register::{SnapshotRegister, SnapshotRegisterHandle};
+pub use timestamp::{Timestamp, TimestampHandle, TimestampSystem};

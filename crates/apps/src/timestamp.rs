@@ -1,0 +1,197 @@
+use std::fmt;
+
+use snapshot_core::{BoundedSnapshot, SwSnapshot, SwSnapshotHandle};
+use snapshot_registers::{Backend, EpochBackend, ProcessId};
+
+/// A totally ordered logical timestamp: `(time, pid)`.
+///
+/// Produced by [`TimestampHandle::label`]. Ordered lexicographically, so
+/// timestamps from different processes never compare equal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    /// The logical time component.
+    pub time: u64,
+    /// The labeling process (tie-breaker).
+    pub pid: usize,
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.time, self.pid)
+    }
+}
+
+/// An (unbounded) **concurrent time-stamp system** built from one atomic
+/// snapshot object — the application from the paper's citation of
+/// \[DS89\] ("Bounded Concurrent Time-Stamp Systems Are Constructible!").
+///
+/// Each call to [`TimestampHandle::label`] atomically scans all
+/// processes' current labels and takes one larger than everything it saw.
+/// The snapshot's atomicity gives the characteristic ordering guarantee:
+/// **if one labeling operation completes before another begins, it
+/// receives a strictly smaller timestamp** — concurrent labelings may be
+/// ordered either way but never equal.
+///
+/// The labels here are unbounded integers; the paper's own bounded
+/// single-writer construction is exactly the tool \[DS89\] combine with
+/// handshakes to bound them — out of scope for this reproduction (see
+/// DESIGN.md).
+///
+/// # Example
+///
+/// ```
+/// use snapshot_apps::TimestampSystem;
+/// use snapshot_registers::ProcessId;
+///
+/// let ts = TimestampSystem::new(2);
+/// let mut h = ts.handle(ProcessId::new(0));
+/// let a = h.label();
+/// let b = h.label();
+/// assert!(a < b);
+/// ```
+pub struct TimestampSystem<B: Backend = EpochBackend> {
+    snapshot: BoundedSnapshot<u64, B>,
+}
+
+impl TimestampSystem<EpochBackend> {
+    /// Creates a timestamp system shared by `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        Self::with_backend(n, &EpochBackend::new())
+    }
+}
+
+impl<B: Backend> TimestampSystem<B> {
+    /// Creates the system over an explicit register backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_backend(n: usize, backend: &B) -> Self {
+        TimestampSystem {
+            snapshot: BoundedSnapshot::with_backend(n, 0, backend),
+        }
+    }
+
+    /// Number of participating processes.
+    pub fn processes(&self) -> usize {
+        self.snapshot.processes()
+    }
+
+    /// Claims the handle for process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or already claimed.
+    pub fn handle(&self, pid: ProcessId) -> TimestampHandle<'_, B> {
+        TimestampHandle {
+            inner: self.snapshot.handle(pid),
+        }
+    }
+}
+
+impl<B: Backend> fmt::Debug for TimestampSystem<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimestampSystem")
+            .field("processes", &self.processes())
+            .finish()
+    }
+}
+
+/// Per-process handle to a [`TimestampSystem`].
+pub struct TimestampHandle<'a, B: Backend> {
+    inner: <BoundedSnapshot<u64, B> as SwSnapshot<u64>>::Handle<'a>,
+}
+
+impl<B: Backend> TimestampHandle<'_, B> {
+    /// Obtains a new timestamp, strictly larger than that of every
+    /// labeling operation that completed before this one began.
+    pub fn label(&mut self) -> Timestamp {
+        let view = self.inner.scan();
+        let max = view.iter().copied().max().unwrap_or(0);
+        let time = max + 1;
+        self.inner.update(time);
+        Timestamp {
+            time,
+            pid: self.inner.pid().get(),
+        }
+    }
+
+    /// The most recent label of every process, read atomically.
+    pub fn observe(&mut self) -> Vec<Timestamp> {
+        self.inner
+            .scan()
+            .iter()
+            .enumerate()
+            .map(|(pid, &time)| Timestamp { time, pid })
+            .collect()
+    }
+}
+
+impl<B: Backend> fmt::Debug for TimestampHandle<'_, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimestampHandle").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_increase_sequentially() {
+        let ts = TimestampSystem::new(2);
+        let mut h0 = ts.handle(ProcessId::new(0));
+        let mut h1 = ts.handle(ProcessId::new(1));
+        let a = h0.label();
+        let b = h1.label();
+        let c = h0.label();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn concurrent_labels_are_all_distinct_and_realtime_ordered() {
+        let n = 4;
+        let ts = TimestampSystem::new(n);
+        let clock = std::sync::atomic::AtomicU64::new(0);
+        let all: Vec<Vec<(u64, u64, Timestamp)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let ts = &ts;
+                    let clock = &clock;
+                    s.spawn(move || {
+                        use std::sync::atomic::Ordering;
+                        let mut h = ts.handle(ProcessId::new(i));
+                        let mut out = Vec::new();
+                        for _ in 0..100 {
+                            let inv = clock.fetch_add(1, Ordering::Relaxed);
+                            let label = h.label();
+                            let res = clock.fetch_add(1, Ordering::Relaxed);
+                            out.push((inv, res, label));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let flat: Vec<(u64, u64, Timestamp)> = all.into_iter().flatten().collect();
+        // All distinct.
+        let mut labels: Vec<Timestamp> = flat.iter().map(|x| x.2).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n * 100, "duplicate timestamps issued");
+        // Real-time order respected: finish-before-start implies smaller.
+        for x in &flat {
+            for y in &flat {
+                if x.1 < y.0 {
+                    assert!(x.2 < y.2, "{} !< {} despite real-time order", x.2, y.2);
+                }
+            }
+        }
+    }
+}

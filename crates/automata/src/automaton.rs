@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// A deterministic I/O automaton: states, actions, and a partial
+/// transition function.
+///
+/// The paper's specification automata are deterministic once the action is
+/// fixed (the action itself carries any nondeterministic choice, e.g. the
+/// value returned by a `Scan`), so a partial function `state × action →
+/// state` suffices.
+pub trait Automaton {
+    /// The automaton's actions (inputs, outputs and internal actions
+    /// alike).
+    type Action: Clone + fmt::Debug;
+    /// The automaton's states.
+    type State: Clone + fmt::Debug;
+
+    /// The unique start state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `action` to `state`, returning the successor state, or
+    /// `None` if the action's precondition does not hold in `state`.
+    fn try_step(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+}
+
+/// Runs `actions` from the initial state; returns the final state if every
+/// action was enabled when it occurred.
+pub fn run_to_end<A: Automaton>(automaton: &A, actions: &[A::Action]) -> Option<A::State> {
+    let mut state = automaton.initial();
+    for action in actions {
+        state = automaton.try_step(&state, action)?;
+    }
+    Some(state)
+}
+
+/// True iff `actions` is an execution of `automaton` from its initial
+/// state — the paper's "is a schedule of that automaton".
+pub fn accepts<A: Automaton>(automaton: &A, actions: &[A::Action]) -> bool {
+    run_to_end(automaton, actions).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy counter automaton: `Inc` always enabled, `Dec` only above 0.
+    struct Counter;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Inc,
+        Dec,
+    }
+
+    impl Automaton for Counter {
+        type Action = Op;
+        type State = u32;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn try_step(&self, state: &u32, action: &Op) -> Option<u32> {
+            match action {
+                Op::Inc => Some(state + 1),
+                Op::Dec => state.checked_sub(1),
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_legal_runs() {
+        assert!(accepts(&Counter, &[Op::Inc, Op::Inc, Op::Dec]));
+        assert_eq!(run_to_end(&Counter, &[Op::Inc, Op::Inc, Op::Dec]), Some(1));
+    }
+
+    #[test]
+    fn rejects_disabled_actions() {
+        assert!(!accepts(&Counter, &[Op::Dec]));
+        assert!(!accepts(&Counter, &[Op::Inc, Op::Dec, Op::Dec]));
+    }
+
+    #[test]
+    fn empty_run_is_always_accepted() {
+        assert!(accepts(&Counter, &[]));
+    }
+}

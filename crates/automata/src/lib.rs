@@ -1,0 +1,53 @@
+//! Executable I/O-automaton specifications of atomic snapshot memory.
+//!
+//! Section 2 of the paper defines correctness *operationally*: an
+//! implementation is a single-writer atomic snapshot memory iff every
+//! well-formed behavior of the implementation is a behavior of the **SWS
+//! automaton** of Figure 1 (and analogously for the multi-writer
+//! specification of Section 2.2). This crate makes that definition
+//! executable:
+//!
+//! * [`Automaton`] — a minimal deterministic I/O-automaton interface;
+//! * [`Sws`] — the SWS automaton, transcribed transition-for-transition
+//!   from Figure 1;
+//! * [`Mws`] — the multi-writer analogue sketched in Section 2.2;
+//! * [`check_well_formed`] — the environment discipline ("never issue two
+//!   `Request_i` inputs without an intervening matching `Return_i`");
+//! * [`accepts`] — runs an action sequence through an automaton.
+//!
+//! The linearizability checkers in `snapshot-lin` use these automata as
+//! the final authority: a proposed serialization is valid exactly when the
+//! corresponding action sequence is accepted here.
+//!
+//! # Example
+//!
+//! ```
+//! use snapshot_automata::{accepts, Sws, SwsAction};
+//! use snapshot_registers::ProcessId;
+//!
+//! let sws = Sws::new(2, 0u32);
+//! let p0 = ProcessId::new(0);
+//! let p1 = ProcessId::new(1);
+//! let run = vec![
+//!     SwsAction::UpdateRequest { pid: p0, value: 7 },
+//!     SwsAction::Update { pid: p0, value: 7 },
+//!     SwsAction::UpdateReturn { pid: p0 },
+//!     SwsAction::ScanRequest { pid: p1 },
+//!     SwsAction::Scan { pid: p1, view: vec![7, 0] },
+//!     SwsAction::ScanReturn { pid: p1, view: vec![7, 0] },
+//! ];
+//! assert!(accepts(&sws, &run));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod automaton;
+mod mws;
+mod sws;
+mod wellformed;
+
+pub use automaton::{accepts, run_to_end, Automaton};
+pub use mws::{Mws, MwsAction, MwsState};
+pub use sws::{Sws, SwsAction, SwsState};
+pub use wellformed::{check_well_formed, ExternalEvent, WellFormedError};

@@ -1,0 +1,301 @@
+use std::fmt;
+
+use snapshot_registers::ProcessId;
+
+use crate::Automaton;
+
+/// An action of the [`Mws`] automaton (the multi-writer specification of
+/// Section 2.2): like [`SwsAction`] but updates name a memory word `k` not
+/// owned by any process, and scans return all `m` words.
+///
+/// [`SwsAction`]: crate::SwsAction
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MwsAction<V> {
+    /// Process `pid` requests to write `value` to word `word`.
+    UpdateRequest {
+        /// Requesting process.
+        pid: ProcessId,
+        /// Target memory word, `0..m`.
+        word: usize,
+        /// Value to write.
+        value: V,
+    },
+    /// Internal: the update takes effect, storing `value` in `Mem[word]`.
+    Update {
+        /// Updating process.
+        pid: ProcessId,
+        /// Target memory word.
+        word: usize,
+        /// Value written.
+        value: V,
+    },
+    /// The update operation completes.
+    UpdateReturn {
+        /// Completing process.
+        pid: ProcessId,
+    },
+    /// Process `pid` requests a scan.
+    ScanRequest {
+        /// Requesting process.
+        pid: ProcessId,
+    },
+    /// Internal: the scan takes effect; `view` must equal `Mem`.
+    Scan {
+        /// Scanning process.
+        pid: ProcessId,
+        /// The instantaneous memory contents (`m` entries).
+        view: Vec<V>,
+    },
+    /// The scan completes, returning `view`.
+    ScanReturn {
+        /// Completing process.
+        pid: ProcessId,
+        /// The returned vector.
+        view: Vec<V>,
+    },
+}
+
+impl<V> MwsAction<V> {
+    /// The process performing this action.
+    pub fn pid(&self) -> ProcessId {
+        match self {
+            MwsAction::UpdateRequest { pid, .. }
+            | MwsAction::Update { pid, .. }
+            | MwsAction::UpdateReturn { pid }
+            | MwsAction::ScanRequest { pid }
+            | MwsAction::Scan { pid, .. }
+            | MwsAction::ScanReturn { pid, .. } => *pid,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Interface<V> {
+    Idle,
+    PendingUpdate(usize, V),
+    ReadyUpdateReturn,
+    PendingScan,
+    ReadyScanReturn(Vec<V>),
+}
+
+/// A state of the [`Mws`] automaton.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MwsState<V> {
+    mem: Vec<V>,
+    interfaces: Vec<Interface<V>>,
+}
+
+impl<V> MwsState<V> {
+    /// The current memory contents (`m` words).
+    pub fn mem(&self) -> &[V] {
+        &self.mem
+    }
+
+    /// True when no operation is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.interfaces.iter().all(|h| matches!(h, Interface::Idle))
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for MwsState<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MwsState")
+            .field("mem", &self.mem)
+            .field("interfaces", &self.interfaces)
+            .finish()
+    }
+}
+
+/// The multi-writer snapshot specification automaton: `n` processes, `m`
+/// memory words, any process may update any word.
+#[derive(Clone, Debug)]
+pub struct Mws<V> {
+    n: usize,
+    m: usize,
+    init: V,
+}
+
+impl<V: Clone + Eq + fmt::Debug> Mws<V> {
+    /// Creates the specification for `n` processes over `m` words, all
+    /// initialized to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `m` is zero.
+    pub fn new(n: usize, m: usize, init: V) -> Self {
+        assert!(
+            n > 0 && m > 0,
+            "MWS needs at least one process and one word"
+        );
+        Mws { n, m, init }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of memory words.
+    pub fn words(&self) -> usize {
+        self.m
+    }
+}
+
+impl<V: Clone + Eq + fmt::Debug> Automaton for Mws<V> {
+    type Action = MwsAction<V>;
+    type State = MwsState<V>;
+
+    fn initial(&self) -> MwsState<V> {
+        MwsState {
+            mem: vec![self.init.clone(); self.m],
+            interfaces: vec![Interface::Idle; self.n],
+        }
+    }
+
+    fn try_step(&self, state: &MwsState<V>, action: &MwsAction<V>) -> Option<MwsState<V>> {
+        let i = action.pid().get();
+        if i >= self.n {
+            return None;
+        }
+        let mut next = state.clone();
+        match action {
+            MwsAction::UpdateRequest { word, value, .. } => {
+                if *word >= self.m {
+                    return None;
+                }
+                next.interfaces[i] = Interface::PendingUpdate(*word, value.clone());
+            }
+            MwsAction::Update { word, value, .. } => {
+                if state.interfaces[i] != Interface::PendingUpdate(*word, value.clone()) {
+                    return None;
+                }
+                next.mem[*word] = value.clone();
+                next.interfaces[i] = Interface::ReadyUpdateReturn;
+            }
+            MwsAction::UpdateReturn { .. } => {
+                if state.interfaces[i] != Interface::ReadyUpdateReturn {
+                    return None;
+                }
+                next.interfaces[i] = Interface::Idle;
+            }
+            MwsAction::ScanRequest { .. } => {
+                next.interfaces[i] = Interface::PendingScan;
+            }
+            MwsAction::Scan { view, .. } => {
+                if state.interfaces[i] != Interface::PendingScan || *view != state.mem {
+                    return None;
+                }
+                next.interfaces[i] = Interface::ReadyScanReturn(view.clone());
+            }
+            MwsAction::ScanReturn { view, .. } => {
+                if state.interfaces[i] != Interface::ReadyScanReturn(view.clone()) {
+                    return None;
+                }
+                next.interfaces[i] = Interface::Idle;
+            }
+        }
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accepts;
+
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+
+    #[test]
+    fn any_process_may_write_any_word() {
+        let mws = Mws::new(2, 3, 0u8);
+        let run = vec![
+            MwsAction::UpdateRequest {
+                pid: P1,
+                word: 0,
+                value: 4,
+            },
+            MwsAction::Update {
+                pid: P1,
+                word: 0,
+                value: 4,
+            },
+            MwsAction::UpdateReturn { pid: P1 },
+            MwsAction::ScanRequest { pid: P0 },
+            MwsAction::Scan {
+                pid: P0,
+                view: vec![4, 0, 0],
+            },
+            MwsAction::ScanReturn {
+                pid: P0,
+                view: vec![4, 0, 0],
+            },
+        ];
+        assert!(accepts(&mws, &run));
+    }
+
+    #[test]
+    fn last_writer_to_a_word_wins() {
+        let mws = Mws::new(2, 1, 0u8);
+        let run = vec![
+            MwsAction::UpdateRequest {
+                pid: P0,
+                word: 0,
+                value: 1,
+            },
+            MwsAction::Update {
+                pid: P0,
+                word: 0,
+                value: 1,
+            },
+            MwsAction::UpdateReturn { pid: P0 },
+            MwsAction::UpdateRequest {
+                pid: P1,
+                word: 0,
+                value: 2,
+            },
+            MwsAction::Update {
+                pid: P1,
+                word: 0,
+                value: 2,
+            },
+            MwsAction::UpdateReturn { pid: P1 },
+            MwsAction::ScanRequest { pid: P0 },
+            MwsAction::Scan {
+                pid: P0,
+                view: vec![2],
+            },
+            MwsAction::ScanReturn {
+                pid: P0,
+                view: vec![2],
+            },
+        ];
+        assert!(accepts(&mws, &run));
+    }
+
+    #[test]
+    fn out_of_range_word_is_rejected() {
+        let mws = Mws::new(1, 1, 0u8);
+        assert!(!accepts(
+            &mws,
+            &[MwsAction::UpdateRequest {
+                pid: P0,
+                word: 1,
+                value: 1
+            }]
+        ));
+    }
+
+    #[test]
+    fn scan_view_length_must_match_word_count() {
+        let mws = Mws::new(1, 2, 0u8);
+        let run = vec![
+            MwsAction::ScanRequest { pid: P0 },
+            MwsAction::Scan {
+                pid: P0,
+                view: vec![0], // too short
+            },
+        ];
+        assert!(!accepts(&mws, &run));
+    }
+}

@@ -1,0 +1,337 @@
+use std::fmt;
+
+use snapshot_registers::ProcessId;
+
+use crate::Automaton;
+
+/// An action of the [`Sws`] automaton (Figure 1 of the paper).
+///
+/// `UpdateRequest`/`ScanRequest` are inputs, `UpdateReturn`/`ScanReturn`
+/// outputs, and `Update`/`Scan` the *internal* serialization actions: the
+/// atomic instants at which an operation logically takes effect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwsAction<V> {
+    /// Process `pid` requests to write `value` to its segment.
+    UpdateRequest {
+        /// Requesting process.
+        pid: ProcessId,
+        /// Value to write.
+        value: V,
+    },
+    /// Internal: the update takes effect, storing `value` in `Mem[pid]`.
+    Update {
+        /// Updating process.
+        pid: ProcessId,
+        /// Value written.
+        value: V,
+    },
+    /// The update operation completes.
+    UpdateReturn {
+        /// Completing process.
+        pid: ProcessId,
+    },
+    /// Process `pid` requests a scan.
+    ScanRequest {
+        /// Requesting process.
+        pid: ProcessId,
+    },
+    /// Internal: the scan takes effect; `view` must equal `Mem` exactly.
+    Scan {
+        /// Scanning process.
+        pid: ProcessId,
+        /// The instantaneous memory contents.
+        view: Vec<V>,
+    },
+    /// The scan operation completes, returning `view`.
+    ScanReturn {
+        /// Completing process.
+        pid: ProcessId,
+        /// The returned vector.
+        view: Vec<V>,
+    },
+}
+
+impl<V> SwsAction<V> {
+    /// The process performing this action.
+    pub fn pid(&self) -> ProcessId {
+        match self {
+            SwsAction::UpdateRequest { pid, .. }
+            | SwsAction::Update { pid, .. }
+            | SwsAction::UpdateReturn { pid }
+            | SwsAction::ScanRequest { pid }
+            | SwsAction::Scan { pid, .. }
+            | SwsAction::ScanReturn { pid, .. } => *pid,
+        }
+    }
+
+    /// True for the internal `Update`/`Scan` serialization actions.
+    pub fn is_internal(&self) -> bool {
+        matches!(self, SwsAction::Update { .. } | SwsAction::Scan { .. })
+    }
+}
+
+/// Per-process interface variable `H_i` of the SWS automaton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Interface<V> {
+    /// The paper's `⊥`: no operation in flight.
+    Idle,
+    PendingUpdate(V),
+    ReadyUpdateReturn,
+    PendingScan,
+    ReadyScanReturn(Vec<V>),
+}
+
+/// A state of the [`Sws`] automaton: the memory array and the interface
+/// variables.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SwsState<V> {
+    mem: Vec<V>,
+    interfaces: Vec<Interface<V>>,
+}
+
+impl<V> SwsState<V> {
+    /// The current memory contents `Mem`.
+    pub fn mem(&self) -> &[V] {
+        &self.mem
+    }
+
+    /// True when no operation is in flight anywhere — the quiescent states
+    /// in which a behavior may legally end.
+    pub fn is_quiescent(&self) -> bool {
+        self.interfaces.iter().all(|h| matches!(h, Interface::Idle))
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for SwsState<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwsState")
+            .field("mem", &self.mem)
+            .field("interfaces", &self.interfaces)
+            .finish()
+    }
+}
+
+/// The single-writer snapshot specification automaton of Figure 1.
+///
+/// `Mem` has one entry per process (`Mem[i]` written only by `P_i`), all
+/// initialized to the same `v_init`; `H_i` mediates the
+/// request → internal-action → return protocol. An implementation is
+/// correct iff all its well-formed behaviors, with internal actions
+/// inserted at the claimed serialization points, are accepted here.
+#[derive(Clone, Debug)]
+pub struct Sws<V> {
+    n: usize,
+    init: V,
+}
+
+impl<V: Clone + Eq + fmt::Debug> Sws<V> {
+    /// Creates the specification for `n` processes with initial value
+    /// `init` in every segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, init: V) -> Self {
+        assert!(n > 0, "SWS needs at least one process");
+        Sws { n, init }
+    }
+
+    /// Number of processes (= memory segments).
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+}
+
+impl<V: Clone + Eq + fmt::Debug> Automaton for Sws<V> {
+    type Action = SwsAction<V>;
+    type State = SwsState<V>;
+
+    fn initial(&self) -> SwsState<V> {
+        SwsState {
+            mem: vec![self.init.clone(); self.n],
+            interfaces: vec![Interface::Idle; self.n],
+        }
+    }
+
+    fn try_step(&self, state: &SwsState<V>, action: &SwsAction<V>) -> Option<SwsState<V>> {
+        let i = action.pid().get();
+        if i >= self.n {
+            return None;
+        }
+        let mut next = state.clone();
+        match action {
+            // Inputs are always enabled; issuing one while another request
+            // is in flight is an ill-formed *environment*, which
+            // `check_well_formed` flags separately. Figure 1 simply
+            // overwrites H_i, and we match it.
+            SwsAction::UpdateRequest { value, .. } => {
+                next.interfaces[i] = Interface::PendingUpdate(value.clone());
+            }
+            SwsAction::Update { value, .. } => {
+                if state.interfaces[i] != Interface::PendingUpdate(value.clone()) {
+                    return None;
+                }
+                next.mem[i] = value.clone();
+                next.interfaces[i] = Interface::ReadyUpdateReturn;
+            }
+            SwsAction::UpdateReturn { .. } => {
+                if state.interfaces[i] != Interface::ReadyUpdateReturn {
+                    return None;
+                }
+                next.interfaces[i] = Interface::Idle;
+            }
+            SwsAction::ScanRequest { .. } => {
+                next.interfaces[i] = Interface::PendingScan;
+            }
+            SwsAction::Scan { view, .. } => {
+                if state.interfaces[i] != Interface::PendingScan || *view != state.mem {
+                    return None;
+                }
+                next.interfaces[i] = Interface::ReadyScanReturn(view.clone());
+            }
+            SwsAction::ScanReturn { view, .. } => {
+                if state.interfaces[i] != Interface::ReadyScanReturn(view.clone()) {
+                    return None;
+                }
+                next.interfaces[i] = Interface::Idle;
+            }
+        }
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accepts, run_to_end};
+
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+
+    fn update<V: Clone>(pid: ProcessId, v: V) -> [SwsAction<V>; 3] {
+        [
+            SwsAction::UpdateRequest {
+                pid,
+                value: v.clone(),
+            },
+            SwsAction::Update { pid, value: v },
+            SwsAction::UpdateReturn { pid },
+        ]
+    }
+
+    fn scan<V: Clone>(pid: ProcessId, view: Vec<V>) -> [SwsAction<V>; 3] {
+        [
+            SwsAction::ScanRequest { pid },
+            SwsAction::Scan {
+                pid,
+                view: view.clone(),
+            },
+            SwsAction::ScanReturn { pid, view },
+        ]
+    }
+
+    #[test]
+    fn sequential_update_then_scan_is_accepted() {
+        let sws = Sws::new(2, 0u8);
+        let mut run = Vec::new();
+        run.extend(update(P0, 5));
+        run.extend(scan(P1, vec![5, 0]));
+        assert!(accepts(&sws, &run));
+    }
+
+    #[test]
+    fn scan_must_match_memory_exactly() {
+        let sws = Sws::new(2, 0u8);
+        let mut run = Vec::new();
+        run.extend(update(P0, 5));
+        run.extend(scan(P1, vec![0, 0])); // stale view
+        assert!(!accepts(&sws, &run));
+    }
+
+    #[test]
+    fn internal_action_requires_pending_request() {
+        let sws = Sws::new(1, 0u8);
+        assert!(!accepts(&sws, &[SwsAction::Update { pid: P0, value: 1 }]));
+        assert!(!accepts(
+            &sws,
+            &[SwsAction::Scan {
+                pid: P0,
+                view: vec![0]
+            }]
+        ));
+    }
+
+    #[test]
+    fn return_requires_internal_action_first() {
+        let sws = Sws::new(1, 0u8);
+        assert!(!accepts(
+            &sws,
+            &[
+                SwsAction::UpdateRequest { pid: P0, value: 1 },
+                SwsAction::UpdateReturn { pid: P0 },
+            ]
+        ));
+    }
+
+    #[test]
+    fn interleaved_operations_serialize_in_internal_order() {
+        // P0's update serializes between P1's scan request and internal
+        // scan: the scan must therefore see the new value.
+        let sws = Sws::new(2, 0u8);
+        let run = vec![
+            SwsAction::ScanRequest { pid: P1 },
+            SwsAction::UpdateRequest { pid: P0, value: 9 },
+            SwsAction::Update { pid: P0, value: 9 },
+            SwsAction::Scan {
+                pid: P1,
+                view: vec![9, 0],
+            },
+            SwsAction::UpdateReturn { pid: P0 },
+            SwsAction::ScanReturn {
+                pid: P1,
+                view: vec![9, 0],
+            },
+        ];
+        assert!(accepts(&sws, &run));
+    }
+
+    #[test]
+    fn scan_return_must_echo_the_serialized_view() {
+        let sws = Sws::new(1, 0u8);
+        let run = vec![
+            SwsAction::ScanRequest { pid: P0 },
+            SwsAction::Scan {
+                pid: P0,
+                view: vec![0],
+            },
+            SwsAction::ScanReturn {
+                pid: P0,
+                view: vec![1],
+            },
+        ];
+        assert!(!accepts(&sws, &run));
+    }
+
+    #[test]
+    fn quiescence_is_tracked() {
+        let sws = Sws::new(1, 0u8);
+        let mid = run_to_end(&sws, &[SwsAction::UpdateRequest { pid: P0, value: 3 }]).unwrap();
+        assert!(!mid.is_quiescent());
+        let mut run = Vec::new();
+        run.extend(update(P0, 3));
+        let end = run_to_end(&sws, &run).unwrap();
+        assert!(end.is_quiescent());
+        assert_eq!(end.mem(), &[3]);
+    }
+
+    #[test]
+    fn out_of_range_process_is_rejected() {
+        let sws = Sws::new(1, 0u8);
+        assert!(!accepts(
+            &sws,
+            &[SwsAction::ScanRequest {
+                pid: ProcessId::new(5)
+            }]
+        ));
+    }
+}

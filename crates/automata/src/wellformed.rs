@@ -1,0 +1,189 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use snapshot_registers::ProcessId;
+
+/// An interface event stripped to its shape, for well-formedness checking.
+///
+/// Values are irrelevant to well-formedness, so this type carries none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExternalEvent {
+    /// `UpdateRequest_i` input.
+    UpdateRequest(ProcessId),
+    /// `UpdateReturn_i` output.
+    UpdateReturn(ProcessId),
+    /// `ScanRequest_i` input.
+    ScanRequest(ProcessId),
+    /// `ScanReturn_i` output.
+    ScanReturn(ProcessId),
+}
+
+impl ExternalEvent {
+    /// The process this event belongs to.
+    pub fn pid(&self) -> ProcessId {
+        match self {
+            ExternalEvent::UpdateRequest(p)
+            | ExternalEvent::UpdateReturn(p)
+            | ExternalEvent::ScanRequest(p)
+            | ExternalEvent::ScanReturn(p) => *p,
+        }
+    }
+}
+
+/// Violations of the environment discipline of Section 2.1: "the
+/// environment never issues two `Request_i` inputs without waiting for an
+/// intervening, matching `Return_i` output".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// A request was issued while another operation of the same process
+    /// was still in flight.
+    OverlappingRequest {
+        /// Offending process.
+        pid: ProcessId,
+        /// Index of the offending event in the input slice.
+        index: usize,
+    },
+    /// A return was emitted with no pending request of the matching kind.
+    UnmatchedReturn {
+        /// Offending process.
+        pid: ProcessId,
+        /// Index of the offending event in the input slice.
+        index: usize,
+    },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::OverlappingRequest { pid, index } => write!(
+                f,
+                "process {pid} issued a request at event {index} while an operation was in flight"
+            ),
+            WellFormedError::UnmatchedReturn { pid, index } => write!(
+                f,
+                "process {pid} returned at event {index} with no matching pending request"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    Update,
+    Scan,
+}
+
+/// Checks the per-process request/return alternation discipline.
+///
+/// # Errors
+///
+/// Returns the first violation encountered, with its event index.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_automata::{check_well_formed, ExternalEvent};
+/// use snapshot_registers::ProcessId;
+///
+/// let p = ProcessId::new(0);
+/// assert!(check_well_formed(&[
+///     ExternalEvent::UpdateRequest(p),
+///     ExternalEvent::UpdateReturn(p),
+///     ExternalEvent::ScanRequest(p),
+///     ExternalEvent::ScanReturn(p),
+/// ])
+/// .is_ok());
+///
+/// assert!(check_well_formed(&[
+///     ExternalEvent::ScanRequest(p),
+///     ExternalEvent::ScanRequest(p),
+/// ])
+/// .is_err());
+/// ```
+pub fn check_well_formed(events: &[ExternalEvent]) -> Result<(), WellFormedError> {
+    let mut pending: HashMap<usize, Pending> = HashMap::new();
+    for (index, event) in events.iter().enumerate() {
+        let pid = event.pid();
+        let key = pid.get();
+        match event {
+            ExternalEvent::UpdateRequest(_) => {
+                if pending.insert(key, Pending::Update).is_some() {
+                    return Err(WellFormedError::OverlappingRequest { pid, index });
+                }
+            }
+            ExternalEvent::ScanRequest(_) => {
+                if pending.insert(key, Pending::Scan).is_some() {
+                    return Err(WellFormedError::OverlappingRequest { pid, index });
+                }
+            }
+            ExternalEvent::UpdateReturn(_) => {
+                if pending.remove(&key) != Some(Pending::Update) {
+                    return Err(WellFormedError::UnmatchedReturn { pid, index });
+                }
+            }
+            ExternalEvent::ScanReturn(_) => {
+                if pending.remove(&key) != Some(Pending::Scan) {
+                    return Err(WellFormedError::UnmatchedReturn { pid, index });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+
+    #[test]
+    fn interleaving_across_processes_is_fine() {
+        assert!(check_well_formed(&[
+            ExternalEvent::UpdateRequest(P0),
+            ExternalEvent::ScanRequest(P1),
+            ExternalEvent::ScanReturn(P1),
+            ExternalEvent::UpdateReturn(P0),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn double_request_is_flagged_with_index() {
+        let err = check_well_formed(&[
+            ExternalEvent::UpdateRequest(P0),
+            ExternalEvent::UpdateRequest(P0),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            WellFormedError::OverlappingRequest { pid: P0, index: 1 }
+        );
+    }
+
+    #[test]
+    fn mismatched_return_kind_is_flagged() {
+        let err = check_well_formed(&[
+            ExternalEvent::UpdateRequest(P0),
+            ExternalEvent::ScanReturn(P0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, WellFormedError::UnmatchedReturn { pid: P0, index: 1 });
+    }
+
+    #[test]
+    fn bare_return_is_flagged() {
+        let err = check_well_formed(&[ExternalEvent::UpdateReturn(P1)]).unwrap_err();
+        assert_eq!(err, WellFormedError::UnmatchedReturn { pid: P1, index: 0 });
+    }
+
+    #[test]
+    fn incomplete_final_operations_are_allowed() {
+        // A pending operation at the end of a (finite prefix of a) behavior
+        // is well-formed.
+        assert!(check_well_formed(&[ExternalEvent::ScanRequest(P0)]).is_ok());
+    }
+}

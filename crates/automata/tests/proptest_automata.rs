@@ -1,0 +1,182 @@
+//! Property tests for the specification automata: serial executions
+//! generated against a reference memory model are accepted; mutations
+//! that break the semantics are rejected.
+
+use proptest::prelude::*;
+use snapshot_automata::{
+    accepts, check_well_formed, ExternalEvent, Mws, MwsAction, Sws, SwsAction,
+};
+use snapshot_registers::ProcessId;
+
+#[derive(Clone, Debug)]
+enum SerialOp {
+    Update { pid: usize, value: u64 },
+    Scan { pid: usize },
+}
+
+fn serial_ops(max_procs: usize, len: usize) -> impl Strategy<Value = Vec<SerialOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_procs, any::<u64>()).prop_map(|(pid, value)| SerialOp::Update { pid, value }),
+            (0..max_procs).prop_map(|pid| SerialOp::Scan { pid }),
+        ],
+        0..len,
+    )
+}
+
+/// Expands serial ops into full SWS action triples, tracking the memory
+/// model to produce correct scan views.
+fn sws_actions(n: usize, ops: &[SerialOp]) -> Vec<SwsAction<u64>> {
+    let mut mem = vec![0u64; n];
+    let mut actions = Vec::new();
+    for op in ops {
+        match op {
+            SerialOp::Update { pid, value } => {
+                let pid = ProcessId::new(pid % n);
+                mem[pid.get()] = *value;
+                actions.push(SwsAction::UpdateRequest { pid, value: *value });
+                actions.push(SwsAction::Update { pid, value: *value });
+                actions.push(SwsAction::UpdateReturn { pid });
+            }
+            SerialOp::Scan { pid } => {
+                let pid = ProcessId::new(pid % n);
+                actions.push(SwsAction::ScanRequest { pid });
+                actions.push(SwsAction::Scan {
+                    pid,
+                    view: mem.clone(),
+                });
+                actions.push(SwsAction::ScanReturn {
+                    pid,
+                    view: mem.clone(),
+                });
+            }
+        }
+    }
+    actions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serial_executions_are_accepted_by_sws(
+        n in 1usize..5,
+        ops in serial_ops(5, 20),
+    ) {
+        let sws = Sws::new(n, 0u64);
+        prop_assert!(accepts(&sws, &sws_actions(n, &ops)));
+    }
+
+    #[test]
+    fn corrupted_scan_views_are_rejected_by_sws(
+        n in 1usize..5,
+        ops in serial_ops(5, 20),
+        which in any::<prop::sample::Index>(),
+        delta in 1u64..100,
+    ) {
+        let mut actions = sws_actions(n, &ops);
+        let scan_positions: Vec<usize> = actions
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a, SwsAction::Scan { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!scan_positions.is_empty());
+        let target = scan_positions[which.index(scan_positions.len())];
+        if let SwsAction::Scan { view, .. } = &mut actions[target] {
+            view[0] = view[0].wrapping_add(delta);
+        }
+        // The matching ScanReturn still carries the old (correct) view, so
+        // either the Scan is disabled (wrong memory) or the return
+        // mismatches: rejected both ways.
+        let sws = Sws::new(n, 0u64);
+        prop_assert!(!accepts(&sws, &actions));
+    }
+
+    #[test]
+    fn dropped_internal_actions_are_rejected(
+        n in 1usize..4,
+        ops in serial_ops(4, 10),
+        which in any::<prop::sample::Index>(),
+    ) {
+        let actions = sws_actions(n, &ops);
+        let internal_positions: Vec<usize> = actions
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_internal())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!internal_positions.is_empty());
+        let target = internal_positions[which.index(internal_positions.len())];
+        let mut mutated = actions.clone();
+        mutated.remove(target);
+        let sws = Sws::new(n, 0u64);
+        prop_assert!(!accepts(&sws, &mutated));
+    }
+
+    #[test]
+    fn serial_multiwriter_executions_are_accepted_by_mws(
+        n in 1usize..4,
+        m in 1usize..4,
+        raw in prop::collection::vec((0usize..4, 0usize..4, any::<u64>(), any::<bool>()), 0..16),
+    ) {
+        let mws = Mws::new(n, m, 0u64);
+        let mut mem = vec![0u64; m];
+        let mut actions = Vec::new();
+        for (pid, word, value, is_update) in raw {
+            let pid = ProcessId::new(pid % n);
+            let word = word % m;
+            if is_update {
+                mem[word] = value;
+                actions.push(MwsAction::UpdateRequest { pid, word, value });
+                actions.push(MwsAction::Update { pid, word, value });
+                actions.push(MwsAction::UpdateReturn { pid });
+            } else {
+                actions.push(MwsAction::ScanRequest { pid });
+                actions.push(MwsAction::Scan { pid, view: mem.clone() });
+                actions.push(MwsAction::ScanReturn { pid, view: mem.clone() });
+            }
+        }
+        prop_assert!(accepts(&mws, &actions));
+    }
+
+    #[test]
+    fn well_formedness_matches_a_reference_pending_model(
+        events in prop::collection::vec((0usize..3, 0u8..4), 0..24)
+    ) {
+        let events: Vec<ExternalEvent> = events
+            .into_iter()
+            .map(|(pid, kind)| {
+                let pid = ProcessId::new(pid);
+                match kind {
+                    0 => ExternalEvent::UpdateRequest(pid),
+                    1 => ExternalEvent::UpdateReturn(pid),
+                    2 => ExternalEvent::ScanRequest(pid),
+                    _ => ExternalEvent::ScanReturn(pid),
+                }
+            })
+            .collect();
+
+        // Reference model: per-process pending-kind map.
+        let mut pending: std::collections::HashMap<usize, u8> = std::collections::HashMap::new();
+        let mut model_ok = true;
+        for e in &events {
+            let key = e.pid().get();
+            match e {
+                ExternalEvent::UpdateRequest(_) => {
+                    if pending.insert(key, 0).is_some() { model_ok = false; break; }
+                }
+                ExternalEvent::ScanRequest(_) => {
+                    if pending.insert(key, 1).is_some() { model_ok = false; break; }
+                }
+                ExternalEvent::UpdateReturn(_) => {
+                    if pending.remove(&key) != Some(0) { model_ok = false; break; }
+                }
+                ExternalEvent::ScanReturn(_) => {
+                    if pending.remove(&key) != Some(1) { model_ok = false; break; }
+                }
+            }
+        }
+        prop_assert_eq!(check_well_formed(&events).is_ok(), model_ok);
+    }
+}

@@ -1,0 +1,65 @@
+//! Wall-clock cost of the message-passing deployment (Section 6 / E7):
+//! ABD register ops and snapshot scans as the replica count grows, and
+//! the (absence of) cost of a crashed minority.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_abd::{AbdBackend, Network};
+use snapshot_core::{BoundedSnapshot, SwSnapshot, SwSnapshotHandle};
+use snapshot_registers::{Backend, ProcessId, Register};
+
+fn bench_abd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abd_register");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+
+    for replicas in [3usize, 5, 7] {
+        let network = Arc::new(Network::new(replicas));
+        let backend = AbdBackend::new(&network);
+        let reg = backend.cell(0u64);
+        let p = ProcessId::new(0);
+        reg.write(p, 1);
+        group.bench_with_input(BenchmarkId::new("read", replicas), &replicas, |b, _| {
+            b.iter(|| black_box(reg.read(p)))
+        });
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::new("write", replicas), &replicas, |b, _| {
+            b.iter(|| {
+                k += 1;
+                reg.write(p, black_box(k))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("abd_snapshot_scan");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(15);
+
+    for (replicas, crashed) in [(3usize, 0usize), (3, 1), (5, 0), (5, 2)] {
+        let network = Arc::new(Network::new(replicas));
+        for i in 0..crashed {
+            network.crash(i);
+        }
+        let backend = AbdBackend::new(&network);
+        let object = BoundedSnapshot::with_backend(2, 0u64, &backend);
+        let mut h = object.handle(ProcessId::new(0));
+        h.update(1);
+        group.bench_with_input(
+            BenchmarkId::new(format!("r{replicas}_crashed{crashed}"), replicas),
+            &replicas,
+            |b, _| b.iter(|| black_box(h.scan())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abd);
+criterion_main!(benches);

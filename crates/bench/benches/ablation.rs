@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * register backend: lock-free epoch cells vs mutex cells (the
+//!   "composite writes are one pointer swap" decision);
+//! * the Figure 4 retry edge: re-handshake (default) vs the literal
+//!   `goto line 1` — measuring what the correctness fix costs on the
+//!   fast path (nothing measurable, since the handshake refresh only
+//!   happens on *retries*);
+//! * view representation: `Arc<[V]>` sharing vs copying out.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_core::{
+    BoundedSnapshot, MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle, MwVariant, SwSnapshot,
+    SwSnapshotHandle,
+};
+use snapshot_registers::{EpochBackend, MutexBackend, ProcessId};
+
+fn bench_backend_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_register_backend");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(25);
+
+    for n in [4usize, 16] {
+        {
+            let object = BoundedSnapshot::with_backend(n, 0u64, &EpochBackend::new());
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(1);
+            group.bench_with_input(BenchmarkId::new("epoch_scan", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+        {
+            let object = BoundedSnapshot::with_backend(n, 0u64, &MutexBackend::new());
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(1);
+            group.bench_with_input(BenchmarkId::new("mutex_scan", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_variant_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_figure4_retry_edge");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(25);
+
+    for variant in [MwVariant::RescanHandshake, MwVariant::LiteralGoto1] {
+        let n = 4;
+        let m = 4;
+        let backend = EpochBackend::new();
+        let object = MultiWriterSnapshot::with_options(n, m, 0u64, &backend, &backend, variant);
+        let mut h = object.handle(ProcessId::new(0));
+        h.update(0, 1);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{variant:?}"), n),
+            &n,
+            |b, _| b.iter(|| black_box(h.scan())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_view_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_view_representation");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(25);
+
+    for n in [4usize, 64] {
+        let object = BoundedSnapshot::new(n, 0u64);
+        let mut h = object.handle(ProcessId::new(0));
+        h.update(1);
+        let view = h.scan();
+        // Cloning shares the Arc — what the algorithms do when embedding
+        // views in registers.
+        group.bench_with_input(BenchmarkId::new("arc_clone", n), &n, |b, _| {
+            b.iter(|| black_box(view.clone()))
+        });
+        // Copying out — what a view embedded *by value* would cost per
+        // register write.
+        group.bench_with_input(BenchmarkId::new("deep_copy", n), &n, |b, _| {
+            b.iter(|| black_box(view.to_vec()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backend_ablation,
+    bench_variant_ablation,
+    bench_view_representation
+);
+criterion_main!(benches);

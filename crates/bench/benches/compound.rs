@@ -1,0 +1,78 @@
+//! The Section 6 compound construction in wall-clock terms: the
+//! multi-writer snapshot over hardware multi-writer registers vs over
+//! multi-writer registers *built from single-writer registers*
+//! ([`MwmrFromSwmr`]) — the `Θ(n)` blow-up per register access that the
+//! `O(n³)` compound figure comes from.
+//!
+//! [`MwmrFromSwmr`]: snapshot_registers::MwmrFromSwmr
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_core::{MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle, MwVariant};
+use snapshot_registers::{CompoundBackend, EpochBackend, ProcessId, Register};
+
+fn bench_compound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compound_scan");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+
+    for n in [2usize, 4, 8] {
+        let m = n;
+        {
+            let object = MultiWriterSnapshot::new(n, m, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(0, 1);
+            group.bench_with_input(BenchmarkId::new("direct_mwmr", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+        {
+            let swmr = EpochBackend::new();
+            let mwmr = CompoundBackend::new(n, EpochBackend::new());
+            let object = MultiWriterSnapshot::with_options(
+                n,
+                m,
+                0u64,
+                &swmr,
+                &mwmr,
+                MwVariant::RescanHandshake,
+            );
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(0, 1);
+            group.bench_with_input(BenchmarkId::new("mwmr_from_swmr", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+    }
+    group.finish();
+
+    // The register construction itself: read/write latency vs n.
+    let mut group = c.benchmark_group("mwmr_from_swmr_register");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+    for n in [2usize, 4, 8, 16, 32] {
+        let reg = snapshot_registers::MwmrFromSwmr::new(&EpochBackend::new(), n, 0u64);
+        let p = ProcessId::new(0);
+        reg.write(p, 1);
+        group.bench_with_input(BenchmarkId::new("read", n), &n, |b, _| {
+            b.iter(|| black_box(reg.read(p)))
+        });
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::new("write", n), &n, |b, _| {
+            b.iter(|| {
+                k += 1;
+                reg.write(p, black_box(k))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compound);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Scan latency while an updater continuously churns — the regime that
+//! separates the wait-free algorithms (bounded retries, borrowed views)
+//! from the double-collect baseline (unbounded retries).
+//!
+//! On a single-CPU host the "concurrent" updater interleaves via
+//! preemption only; shapes still hold, absolute numbers are machine noise.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_core::{
+    BoundedSnapshot, DoubleCollectSnapshot, SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+};
+use snapshot_registers::ProcessId;
+
+/// Benchmarks `scan` on process `n-1` while process 0 updates in a
+/// background thread for the duration of the measurement.
+macro_rules! contended_scan {
+    ($group:expr, $name:expr, $n:expr, $ty:ident) => {{
+        let n: usize = $n;
+        let object = $ty::new(n, 0u64);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            {
+                let object = &object;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut h = object.handle(ProcessId::new(0));
+                    let mut k = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        k += 1;
+                        h.update(k);
+                        // Give the benched thread cycles on small hosts.
+                        if k % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut h = object.handle(ProcessId::new(n - 1));
+            $group.bench_with_input(BenchmarkId::new($name, n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+            stop.store(true, Ordering::Relaxed);
+        });
+    }};
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contended_scan");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+
+    for n in [2usize, 4, 8] {
+        contended_scan!(group, "unbounded", n, UnboundedSnapshot);
+        contended_scan!(group, "bounded", n, BoundedSnapshot);
+    }
+    group.finish();
+
+    // The double-collect baseline is benchmarked with a bounded retry
+    // budget (its unbounded scan may never return under churn — that is
+    // experiment E3's point); failures count as max-budget work.
+    let mut group = c.benchmark_group("contended_scan_double_collect_budgeted");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+    for n in [2usize, 4, 8] {
+        let object = DoubleCollectSnapshot::new(n, 0u64);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            {
+                let object = &object;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut h = object.handle(ProcessId::new(0));
+                    let mut k = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        k += 1;
+                        h.update(k);
+                        if k % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut h = object.handle(ProcessId::new(n - 1));
+            group.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, _| {
+                b.iter(|| black_box(h.try_scan(64)))
+            });
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Uncontended scan latency of every construction as `n` grows.
+//!
+//! The paper's `O(n²)` is a worst-case bound; the quiescent fast path is a
+//! single double collect, i.e. `Θ(n)` reads — these benches confirm the
+//! fast-path shape and compare constant factors across the constructions
+//! and the baselines.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_core::{
+    BoundedSnapshot, DoubleCollectSnapshot, LockSnapshot, MultiWriterSnapshot, MwSnapshot,
+    MwSnapshotHandle, SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+};
+use snapshot_registers::ProcessId;
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_latency");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(30);
+
+    for n in [2usize, 4, 8, 16] {
+        {
+            let object = UnboundedSnapshot::new(n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(1);
+            group.bench_with_input(BenchmarkId::new("unbounded", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+        {
+            let object = BoundedSnapshot::new(n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(1);
+            group.bench_with_input(BenchmarkId::new("bounded", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+        {
+            let object = MultiWriterSnapshot::new(n, n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(0, 1);
+            group.bench_with_input(BenchmarkId::new("multi_writer", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+        {
+            let object = DoubleCollectSnapshot::new(n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(1);
+            group.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+        {
+            let object = LockSnapshot::new(n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(1);
+            group.bench_with_input(BenchmarkId::new("lock", n), &n, |b, _| {
+                b.iter(|| black_box(h.scan()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

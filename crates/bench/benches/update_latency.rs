@@ -1,0 +1,86 @@
+//! Uncontended update latency of every construction as `n` grows.
+//!
+//! Updates in the wait-free algorithms embed a full scan (Observation 2's
+//! price for helping starving scanners) — compare against the
+//! single-register-write updates of the double-collect baseline to see
+//! exactly what the wait-freedom guarantee costs on the write path.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_core::{
+    BoundedSnapshot, DoubleCollectSnapshot, LockSnapshot, MultiWriterSnapshot, MwSnapshot,
+    MwSnapshotHandle, SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+};
+use snapshot_registers::ProcessId;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_latency");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(30);
+
+    for n in [2usize, 4, 8, 16] {
+        {
+            let object = UnboundedSnapshot::new(n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            let mut k = 0u64;
+            group.bench_with_input(BenchmarkId::new("unbounded", n), &n, |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    h.update(black_box(k))
+                })
+            });
+        }
+        {
+            let object = BoundedSnapshot::new(n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            let mut k = 0u64;
+            group.bench_with_input(BenchmarkId::new("bounded", n), &n, |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    h.update(black_box(k))
+                })
+            });
+        }
+        {
+            let object = MultiWriterSnapshot::new(n, n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            let mut k = 0u64;
+            group.bench_with_input(BenchmarkId::new("multi_writer", n), &n, |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    h.update((k % n as u64) as usize, black_box(k))
+                })
+            });
+        }
+        {
+            let object = DoubleCollectSnapshot::new(n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            let mut k = 0u64;
+            group.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    h.update(black_box(k))
+                })
+            });
+        }
+        {
+            let object = LockSnapshot::new(n, 0u64);
+            let mut h = object.handle(ProcessId::new(0));
+            let mut k = 0u64;
+            group.bench_with_input(BenchmarkId::new("lock", n), &n, |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    h.update(black_box(k))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,310 @@
+use std::fmt;
+use std::sync::Arc;
+
+use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
+
+use crate::api::HandleRegistry;
+use crate::{ScanStats, SnapshotView, SwSnapshot, SwSnapshotHandle};
+
+/// Contents of register `r_i` in Figure 3: `(value, p-bit vector, toggle,
+/// view)`, written in one atomic register write.
+///
+/// `p[j]` is the handshake bit `p_{i,j}` process `i` maintains toward
+/// scanner `j`; `toggle` flips on every update so that consecutive writes
+/// always change the register's bit pattern.
+#[derive(Clone)]
+struct BndRecord<V> {
+    value: V,
+    p: Arc<[bool]>,
+    toggle: bool,
+    view: SnapshotView<V>,
+}
+
+/// The **bounded single-writer** snapshot of Section 4 (Figure 3).
+///
+/// Structurally the unbounded algorithm with the integer sequence numbers
+/// replaced by bounded *handshake bits*: for every ordered process pair
+/// `(i, j)` there is a bit `p_{i,j}` written by updates of `P_i` (inside
+/// its register `r_i`) and a bit `q_{i,j}` written by scans of `P_i`.
+/// Before each double collect the scanner copies `q_{i,j} := p_{j,i}`; an
+/// update sets `p_{i,j} := ¬q_{j,i}`, so the scanner observing
+/// `p_{j,i} ≠ q_{i,j}` (or a flipped `toggle`) knows `P_j` moved. A
+/// process seen moving twice completed a full update — with its embedded
+/// scan — inside the scanner's interval, so its `view` can be borrowed.
+///
+/// Same `O(n²)` wait-free bound as the unbounded algorithm (Lemma 4.4),
+/// but every control field is a bounded number of bits — the paper's
+/// answer to the question whether unbounded counters are necessary.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_core::{BoundedSnapshot, SwSnapshot, SwSnapshotHandle};
+/// use snapshot_registers::ProcessId;
+///
+/// let snap = BoundedSnapshot::new(2, 0u32);
+/// let mut h = snap.handle(ProcessId::new(1));
+/// h.update(9);
+/// assert_eq!(h.scan().to_vec(), vec![0, 9]);
+/// ```
+pub struct BoundedSnapshot<V: RegisterValue, B: Backend = EpochBackend> {
+    regs: Box<[B::Cell<BndRecord<V>>]>,
+    /// `q[i][j]`: written by scans of `P_i`, read by updates of `P_j`.
+    q: Box<[Box<[B::Bit]>]>,
+    registry: HandleRegistry,
+    n: usize,
+}
+
+impl<V: RegisterValue> BoundedSnapshot<V, EpochBackend> {
+    /// Creates the object for `n` processes over the default lock-free
+    /// register backend, with every segment holding `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, init: V) -> Self {
+        Self::with_backend(n, init, &EpochBackend::new())
+    }
+}
+
+impl<V: RegisterValue, B: Backend> BoundedSnapshot<V, B> {
+    /// Creates the object over an explicit register backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_backend(n: usize, init: V, backend: &B) -> Self {
+        assert!(n > 0, "a snapshot object needs at least one process");
+        let initial_view = SnapshotView::from(vec![init.clone(); n]);
+        let initial_p: Arc<[bool]> = vec![false; n].into();
+        BoundedSnapshot {
+            regs: (0..n)
+                .map(|_| {
+                    backend.cell(BndRecord {
+                        value: init.clone(),
+                        p: Arc::clone(&initial_p),
+                        toggle: false,
+                        view: initial_view.clone(),
+                    })
+                })
+                .collect(),
+            q: (0..n)
+                .map(|_| (0..n).map(|_| backend.bit(false)).collect())
+                .collect(),
+            registry: HandleRegistry::new(n),
+            n,
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend> SwSnapshot<V> for BoundedSnapshot<V, B> {
+    type Handle<'a>
+        = BoundedHandle<'a, V, B>
+    where
+        Self: 'a;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn handle(&self, pid: ProcessId) -> BoundedHandle<'_, V, B> {
+        self.registry.claim(pid);
+        // Restore the toggle from the own register so a re-claimed handle
+        // keeps flipping it on every write (scans detect movement by
+        // toggle *changes*; a reset toggle could make a write invisible).
+        let toggle = self.regs[pid.get()].read(pid).toggle;
+        BoundedHandle {
+            shared: self,
+            pid,
+            toggle,
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend> fmt::Debug for BoundedSnapshot<V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundedSnapshot")
+            .field("processes", &self.n)
+            .finish()
+    }
+}
+
+/// Process-local state for [`BoundedSnapshot`]: the current toggle of the
+/// own register (the writer knows its own register's contents, so no read
+/// is needed to flip it).
+pub struct BoundedHandle<'a, V: RegisterValue, B: Backend> {
+    shared: &'a BoundedSnapshot<V, B>,
+    pid: ProcessId,
+    toggle: bool,
+}
+
+impl<V: RegisterValue, B: Backend> BoundedHandle<'_, V, B> {
+    /// `procedure scan_i` of Figure 3.
+    fn scan_inner(&self) -> (SnapshotView<V>, ScanStats) {
+        let n = self.shared.n;
+        let i = self.pid.get();
+        let mut moved = vec![0u8; n];
+        let mut stats = ScanStats::default();
+        // `q_local[j]` mirrors the last value this scan wrote to q_{i,j};
+        // the single-writer discipline lets us avoid re-reading it.
+        let mut q_local = vec![false; n];
+        loop {
+            // Line 0.5 — handshake: q_{i,j} := p_{j,i}(r_j). Re-executed on
+            // every retry (Figure 3 loops back to line 0.5), so a single
+            // handshake flip is blamed at most once.
+            for j in 0..n {
+                let r_j = self.shared.regs[j].read(self.pid);
+                q_local[j] = r_j.p[i];
+                self.shared.q[i][j].write(self.pid, q_local[j]);
+            }
+            let a = collect(self.pid, &self.shared.regs); // line 1
+            let b = collect(self.pid, &self.shared.regs); // line 2
+            stats.double_collects += 1;
+            debug_assert!(
+                stats.double_collects as usize <= n + 1,
+                "wait-freedom bound violated: {} double collects for n = {n}",
+                stats.double_collects
+            );
+            // Line 3: nobody moved iff every pair of handshake bits agrees
+            // with our q and the toggles are stable.
+            let unmoved = |j: usize| {
+                a[j].p[i] == q_local[j] && b[j].p[i] == q_local[j] && a[j].toggle == b[j].toggle
+            };
+            if (0..n).all(unmoved) {
+                let values = b.into_iter().map(|r| r.value).collect::<Vec<_>>();
+                return (SnapshotView::from(values), stats); // line 4
+            }
+            for j in 0..n {
+                if !unmoved(j) {
+                    // line 6: P_j moved
+                    if moved[j] == 1 {
+                        // Line 7-8: moved once before — borrow its view.
+                        stats.borrowed = true;
+                        return (b[j].view.clone(), stats);
+                    }
+                    moved[j] += 1; // line 9
+                }
+            }
+            // line 10: goto line 0.5
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for BoundedHandle<'_, V, B> {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// `procedure update_i(value)` of Figure 3: collect the scanners'
+    /// handshake bits, run the embedded scan, then write everything in one
+    /// atomic register write.
+    fn update_with_stats(&mut self, value: V) -> ScanStats {
+        let n = self.shared.n;
+        let i = self.pid.get();
+        // Line 0: f_j := ¬q_{j,i} — invert what each scanner last showed us.
+        let f: Arc<[bool]> = (0..n)
+            .map(|j| !self.shared.q[j][i].read(self.pid))
+            .collect();
+        let (view, stats) = self.scan_inner(); // line 1: embedded scan
+        self.toggle = !self.toggle;
+        self.shared.regs[i].write(
+            self.pid,
+            BndRecord {
+                value,
+                p: f,
+                toggle: self.toggle,
+                view,
+            },
+        ); // line 2
+        stats
+    }
+
+    fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats) {
+        self.scan_inner()
+    }
+}
+
+impl<V: RegisterValue, B: Backend> Drop for BoundedHandle<'_, V, B> {
+    fn drop(&mut self) {
+        self.shared.registry.release(self.pid);
+    }
+}
+
+impl<V: RegisterValue, B: Backend> fmt::Debug for BoundedHandle<'_, V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundedHandle")
+            .field("pid", &self.pid)
+            .field("toggle", &self.toggle)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_scan_returns_init_everywhere() {
+        let snap = BoundedSnapshot::new(3, -1i32);
+        let mut h = snap.handle(ProcessId::new(1));
+        assert_eq!(h.scan().to_vec(), vec![-1, -1, -1]);
+    }
+
+    #[test]
+    fn sequential_updates_compose() {
+        let snap = BoundedSnapshot::new(3, 0u32);
+        let mut h0 = snap.handle(ProcessId::new(0));
+        let mut h1 = snap.handle(ProcessId::new(1));
+        let mut h2 = snap.handle(ProcessId::new(2));
+        h0.update(1);
+        h1.update(2);
+        h2.update(3);
+        assert_eq!(h0.scan().to_vec(), vec![1, 2, 3]);
+        h1.update(20);
+        assert_eq!(h2.scan().to_vec(), vec![1, 20, 3]);
+    }
+
+    #[test]
+    fn repeated_updates_of_same_value_still_move_the_toggle() {
+        // The toggle guarantees every write changes the register, even
+        // when value and handshake bits are unchanged.
+        let snap = BoundedSnapshot::new(2, 0u8);
+        let mut h0 = snap.handle(ProcessId::new(0));
+        let mut h1 = snap.handle(ProcessId::new(1));
+        for _ in 0..4 {
+            h0.update(5);
+            assert_eq!(h1.scan().to_vec(), vec![5, 0]);
+        }
+    }
+
+    #[test]
+    fn quiescent_scan_needs_exactly_one_double_collect() {
+        let snap = BoundedSnapshot::new(5, 0u8);
+        let mut h = snap.handle(ProcessId::new(4));
+        let (_, stats) = h.scan_with_stats();
+        assert_eq!(stats.double_collects, 1);
+        assert!(!stats.borrowed);
+    }
+
+    #[test]
+    fn threaded_smoke_monotone_segments() {
+        let snap = BoundedSnapshot::new(4, 0u64);
+        std::thread::scope(|s| {
+            for i in 0..4usize {
+                let snap = &snap;
+                s.spawn(move || {
+                    let mut h = snap.handle(ProcessId::new(i));
+                    let mut last_seen = vec![0u64; 4];
+                    for k in 1..=200u64 {
+                        h.update(k * 4 + i as u64);
+                        let view = h.scan();
+                        for (j, &v) in view.iter().enumerate() {
+                            assert!(v >= last_seen[j], "segment {j} went backwards");
+                            last_seen[j] = v;
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,433 @@
+use std::fmt;
+
+use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
+
+use crate::api::HandleRegistry;
+use crate::{MwSnapshot, MwSnapshotHandle, ScanStats, SnapshotView};
+
+/// Sentinel for "no process": the `id` of the initial register contents.
+const NO_WRITER: usize = usize::MAX;
+
+/// Contents of value register `r_k` in Figure 4: `(value, id, toggle)`.
+///
+/// Unlike the single-writer algorithms, the handshake bits and views are
+/// **not** written atomically with the value — they live in separate
+/// single-writer registers — which is why a scanner must see a process
+/// move *three* times before borrowing its view.
+#[derive(Clone)]
+struct MwRecord<V> {
+    value: V,
+    id: usize,
+    toggle: bool,
+}
+
+/// Which retry edge the scan loop takes — the one place where the
+/// technical-memo pseudocode of Figure 4 is ambiguous.
+///
+/// The scanned text of Figure 4 says `goto line 1` (retry the collects
+/// *without* refreshing the handshake bits), while the bounded
+/// single-writer algorithm of Figure 3 retries from its handshake step.
+/// Re-reading the proof of Lemma 5.2 shows the handshake must be
+/// refreshed: with `goto line 1` a **single** handshake flip by a stalled
+/// updater is blamed on every subsequent iteration, three blames accrue
+/// from one incomplete update, and the scanner borrows a view that may
+/// predate its own interval — a genuine linearizability violation, which
+/// the model-checking experiment `E5b` reproduces mechanically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MwVariant {
+    /// Retry from the handshake step (the reading consistent with
+    /// Lemma 5.2; default).
+    #[default]
+    RescanHandshake,
+    /// Retry from the first collect, exactly as the scanned pseudocode
+    /// reads. **Incorrect** — kept for the reproduction's ablation
+    /// experiment, where the linearizability checker catches it.
+    LiteralGoto1,
+}
+
+/// The **bounded multi-writer** snapshot of Section 5 (Figure 4): `n`
+/// processes, `m` memory words, any process may update any word.
+///
+/// Value registers are `n`-writer, `n`-reader atomic registers carrying
+/// `(value, id, toggle)`; handshake bits `p_{i,j}`/`q_{i,j}` and the
+/// borrowed-view registers `view_i` are single-writer. Because an update
+/// writes its handshake bits, its view and the value register in three
+/// *separate* atomic writes, one update can be observed changing state
+/// twice; a scanner therefore borrows a view only from a process seen
+/// moving **three** times. By pigeonhole a scan completes within `2n + 1`
+/// double collects: wait-free, `O(n²)` register operations per operation.
+///
+/// The multi-writer registers may themselves be implemented from
+/// single-writer ones ([`CompoundBackend`]), which yields the compound
+/// `O(n³)` single-writer cost of Section 6.
+///
+/// [`CompoundBackend`]: snapshot_registers::CompoundBackend
+///
+/// # Example
+///
+/// ```
+/// use snapshot_core::{MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle};
+/// use snapshot_registers::ProcessId;
+///
+/// // 2 processes sharing 3 words.
+/// let snap = MultiWriterSnapshot::new(2, 3, 0u32);
+/// let mut h0 = snap.handle(ProcessId::new(0));
+/// h0.update(2, 77); // any process may write any word
+/// assert_eq!(h0.scan().to_vec(), vec![0, 0, 77]);
+/// ```
+pub struct MultiWriterSnapshot<V: RegisterValue, B: Backend = EpochBackend, BM: Backend = B> {
+    /// The `m` multi-writer value registers `r_k`.
+    vals: Box<[BM::Cell<MwRecord<V>>]>,
+    /// `view_i`: single-writer registers holding each process's last
+    /// embedded-scan result.
+    views: Box<[B::Cell<SnapshotView<V>>]>,
+    /// `p[i][j]`: written by updates of `P_i`, read by scans of `P_j`.
+    p: Box<[Box<[B::Bit]>]>,
+    /// `q[i][j]`: written by scans of `P_i`, read by updates of `P_j`.
+    q: Box<[Box<[B::Bit]>]>,
+    /// Per-process saved toggle arrays `t_k`, persisted across handle
+    /// claims: every write by the same process to the same word must flip
+    /// the toggle, even across a drop/re-claim of the handle.
+    saved_toggles: Box<[parking_lot::Mutex<Vec<bool>>]>,
+    registry: HandleRegistry,
+    variant: MwVariant,
+    n: usize,
+    m: usize,
+}
+
+impl<V: RegisterValue> MultiWriterSnapshot<V, EpochBackend, EpochBackend> {
+    /// Creates the object for `n` processes over `m` words on the default
+    /// lock-free register backend, every word holding `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `m` is zero.
+    pub fn new(n: usize, m: usize, init: V) -> Self {
+        let backend = EpochBackend::new();
+        Self::with_options(n, m, init, &backend, &backend, MwVariant::default())
+    }
+}
+
+impl<V: RegisterValue, B: Backend> MultiWriterSnapshot<V, B, B> {
+    /// Creates the object with one backend for both the single-writer and
+    /// multi-writer registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `m` is zero.
+    pub fn with_backend(n: usize, m: usize, init: V, backend: &B) -> Self {
+        Self::with_options(n, m, init, backend, backend, MwVariant::default())
+    }
+}
+
+impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterSnapshot<V, B, BM> {
+    /// Full-control constructor: separate backends for the single-writer
+    /// parts (handshake bits, views) and the multi-writer value registers,
+    /// plus the scan-retry [`MwVariant`].
+    ///
+    /// Passing a [`CompoundBackend`] as `mwmr` yields the paper's Section 6
+    /// compound construction.
+    ///
+    /// [`CompoundBackend`]: snapshot_registers::CompoundBackend
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `m` is zero.
+    pub fn with_options(
+        n: usize,
+        m: usize,
+        init: V,
+        swmr: &B,
+        mwmr: &BM,
+        variant: MwVariant,
+    ) -> Self {
+        assert!(n > 0, "a snapshot object needs at least one process");
+        assert!(m > 0, "a multi-writer snapshot needs at least one word");
+        let initial_view = SnapshotView::from(vec![init.clone(); m]);
+        MultiWriterSnapshot {
+            vals: (0..m)
+                .map(|_| {
+                    mwmr.cell(MwRecord {
+                        value: init.clone(),
+                        id: NO_WRITER,
+                        toggle: false,
+                    })
+                })
+                .collect(),
+            views: (0..n).map(|_| swmr.cell(initial_view.clone())).collect(),
+            p: (0..n)
+                .map(|_| (0..n).map(|_| swmr.bit(false)).collect())
+                .collect(),
+            q: (0..n)
+                .map(|_| (0..n).map(|_| swmr.bit(false)).collect())
+                .collect(),
+            saved_toggles: (0..n)
+                .map(|_| parking_lot::Mutex::new(vec![false; m]))
+                .collect(),
+            registry: HandleRegistry::new(n),
+            variant,
+            n,
+            m,
+        }
+    }
+
+    /// The scan-retry variant this object was built with.
+    pub fn variant(&self) -> MwVariant {
+        self.variant
+    }
+}
+
+impl<V: RegisterValue, B: Backend, BM: Backend> MwSnapshot<V> for MultiWriterSnapshot<V, B, BM> {
+    type Handle<'a>
+        = MultiWriterHandle<'a, V, B, BM>
+    where
+        Self: 'a;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn words(&self) -> usize {
+        self.m
+    }
+
+    fn handle(&self, pid: ProcessId) -> MultiWriterHandle<'_, V, B, BM> {
+        self.registry.claim(pid);
+        let toggles = self.saved_toggles[pid.get()].lock().clone();
+        MultiWriterHandle {
+            shared: self,
+            pid,
+            toggles,
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend, BM: Backend> fmt::Debug for MultiWriterSnapshot<V, B, BM> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiWriterSnapshot")
+            .field("processes", &self.n)
+            .field("words", &self.m)
+            .field("variant", &self.variant)
+            .finish()
+    }
+}
+
+/// Process-local state for [`MultiWriterSnapshot`]: the per-word toggle
+/// bits `t_k` of Figure 4 (saved between updates).
+pub struct MultiWriterHandle<'a, V: RegisterValue, B: Backend, BM: Backend> {
+    shared: &'a MultiWriterSnapshot<V, B, BM>,
+    pid: ProcessId,
+    toggles: Vec<bool>,
+}
+
+impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterHandle<'_, V, B, BM> {
+    /// `procedure scan_i` of Figure 4.
+    fn scan_inner(&self) -> (SnapshotView<V>, ScanStats) {
+        let shared = self.shared;
+        let (n, m) = (shared.n, shared.m);
+        let i = self.pid.get();
+        let mut moved = vec![0u8; n];
+        let mut stats = ScanStats::default();
+        let mut q_local = vec![false; n];
+
+        let handshake = |q_local: &mut [bool]| {
+            // Line 0.5: q_{i,j} := p_{j,i}.
+            for j in 0..n {
+                q_local[j] = shared.p[j][i].read(self.pid);
+                shared.q[i][j].write(self.pid, q_local[j]);
+            }
+        };
+
+        handshake(&mut q_local);
+        loop {
+            let a = collect(self.pid, &shared.vals); // line 1
+            let b = collect(self.pid, &shared.vals); // line 2
+                                                     // Line 2.5: h := collect(p_{j,i}).
+            let h: Vec<bool> = (0..n).map(|j| shared.p[j][i].read(self.pid)).collect();
+            stats.double_collects += 1;
+            debug_assert!(
+                stats.double_collects as usize <= 2 * n + 1,
+                "wait-freedom bound violated: {} double collects for n = {n}",
+                stats.double_collects
+            );
+            // Line 3: nobody moved.
+            let handshakes_clean = (0..n).all(|j| q_local[j] == h[j]);
+            let values_clean = (0..m).all(|k| a[k].id == b[k].id && a[k].toggle == b[k].toggle);
+            if handshakes_clean && values_clean {
+                let values = b.into_iter().map(|r| r.value).collect::<Vec<_>>();
+                return (SnapshotView::from(values), stats); // line 4
+            }
+            for j in 0..n {
+                // Line 6: P_j moved — its handshake bit toward us flipped,
+                // or a word it last wrote changed under our double collect.
+                let hs_moved = q_local[j] != h[j];
+                let val_moved = (0..m)
+                    .any(|k| b[k].id == j && (a[k].id != b[k].id || a[k].toggle != b[k].toggle));
+                if hs_moved || val_moved {
+                    if moved[j] == 2 {
+                        // Line 7-8: moved twice before — its second
+                        // complete update's embedded scan ran inside our
+                        // interval; borrow its published view.
+                        stats.borrowed = true;
+                        return (shared.views[j].read(self.pid), stats);
+                    }
+                    moved[j] += 1; // line 9
+                }
+            }
+            // Line 10: the retry edge — see `MwVariant`.
+            if shared.variant == MwVariant::RescanHandshake {
+                handshake(&mut q_local);
+            }
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend, BM: Backend> MwSnapshotHandle<V>
+    for MultiWriterHandle<'_, V, B, BM>
+{
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// `procedure update_i(k, value)` of Figure 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= m`.
+    fn update_with_stats(&mut self, word: usize, value: V) -> ScanStats {
+        let shared = self.shared;
+        assert!(
+            word < shared.m,
+            "word {word} out of range (object has {} words)",
+            shared.m
+        );
+        let i = self.pid.get();
+        // Line 0: p_{i,j} := ¬q_{j,i} — announce movement to every scanner.
+        for j in 0..shared.n {
+            let qji = shared.q[j][i].read(self.pid);
+            shared.p[i][j].write(self.pid, !qji);
+        }
+        // Line 1: view_i := scan_i (embedded scan, published separately).
+        let (view, stats) = self.scan_inner();
+        shared.views[i].write(self.pid, view);
+        // Lines 1.5-2: flip the word's local toggle, write the value
+        // register.
+        self.toggles[word] = !self.toggles[word];
+        shared.vals[word].write(
+            self.pid,
+            MwRecord {
+                value,
+                id: i,
+                toggle: self.toggles[word],
+            },
+        );
+        stats
+    }
+
+    fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats) {
+        self.scan_inner()
+    }
+}
+
+impl<V: RegisterValue, B: Backend, BM: Backend> Drop for MultiWriterHandle<'_, V, B, BM> {
+    fn drop(&mut self) {
+        *self.shared.saved_toggles[self.pid.get()].lock() = std::mem::take(&mut self.toggles);
+        self.shared.registry.release(self.pid);
+    }
+}
+
+impl<V: RegisterValue, B: Backend, BM: Backend> fmt::Debug for MultiWriterHandle<'_, V, B, BM> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiWriterHandle")
+            .field("pid", &self.pid)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_scan_returns_init_everywhere() {
+        let snap = MultiWriterSnapshot::new(2, 4, 0u32);
+        let mut h = snap.handle(ProcessId::new(0));
+        assert_eq!(h.scan().to_vec(), vec![0; 4]);
+    }
+
+    #[test]
+    fn any_process_writes_any_word() {
+        let snap = MultiWriterSnapshot::new(3, 2, 0u32);
+        let mut h2 = snap.handle(ProcessId::new(2));
+        h2.update(0, 10);
+        h2.update(1, 20);
+        let mut h0 = snap.handle(ProcessId::new(0));
+        h0.update(0, 11);
+        assert_eq!(h0.scan().to_vec(), vec![11, 20]);
+    }
+
+    #[test]
+    fn same_word_alternating_writers() {
+        let snap = MultiWriterSnapshot::new(2, 1, 0u8);
+        let mut h0 = snap.handle(ProcessId::new(0));
+        let mut h1 = snap.handle(ProcessId::new(1));
+        for k in 0..6 {
+            if k % 2 == 0 {
+                h0.update(0, k);
+            } else {
+                h1.update(0, k);
+            }
+            assert_eq!(h0.scan().to_vec(), vec![k]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_word_panics() {
+        let snap = MultiWriterSnapshot::new(1, 1, 0u8);
+        let mut h = snap.handle(ProcessId::new(0));
+        h.update(1, 9);
+    }
+
+    #[test]
+    fn quiescent_scan_needs_exactly_one_double_collect() {
+        let snap = MultiWriterSnapshot::new(3, 5, 0u8);
+        let mut h = snap.handle(ProcessId::new(1));
+        let (_, stats) = h.scan_with_stats();
+        assert_eq!(stats.double_collects, 1);
+        assert!(!stats.borrowed);
+    }
+
+    #[test]
+    fn variant_is_recorded() {
+        let backend = EpochBackend::new();
+        let snap: MultiWriterSnapshot<u8, _, _> =
+            MultiWriterSnapshot::with_options(1, 1, 0, &backend, &backend, MwVariant::LiteralGoto1);
+        assert_eq!(snap.variant(), MwVariant::LiteralGoto1);
+    }
+
+    #[test]
+    fn threaded_smoke_words_monotone_per_writer() {
+        // Each word is written by a dedicated process with increasing
+        // values, so scanned words must be monotone.
+        let snap = MultiWriterSnapshot::new(4, 4, 0u64);
+        std::thread::scope(|s| {
+            for i in 0..4usize {
+                let snap = &snap;
+                s.spawn(move || {
+                    let mut h = snap.handle(ProcessId::new(i));
+                    let mut last_seen = vec![0u64; 4];
+                    for k in 1..=120u64 {
+                        h.update(i, k);
+                        let view = h.scan();
+                        for (w, &v) in view.iter().enumerate() {
+                            assert!(v >= last_seen[w], "word {w} went backwards");
+                            last_seen[w] = v;
+                        }
+                        assert_eq!(view[i], k);
+                    }
+                });
+            }
+        });
+    }
+}

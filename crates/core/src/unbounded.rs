@@ -1,0 +1,311 @@
+use std::fmt;
+
+use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
+
+use crate::api::HandleRegistry;
+use crate::{ScanStats, SnapshotView, SwSnapshot, SwSnapshotHandle};
+
+/// Contents of register `r_i` in Figure 2: `(value, seq, view)` written in
+/// one atomic register write.
+#[derive(Clone)]
+struct UnbRecord<V> {
+    value: V,
+    seq: u64,
+    view: SnapshotView<V>,
+}
+
+/// The **unbounded single-writer** snapshot of Section 3 (Figure 2).
+///
+/// Each process owns one single-writer register holding `(value, seq,
+/// view)`. A scan repeats *double collects* until either
+///
+/// * two consecutive collects return identical sequence numbers everywhere
+///   — by Observation 1 the second collect is a snapshot — or
+/// * some process is observed to move **twice**, in which case that
+///   process completed an entire update (with its embedded scan) inside
+///   this scan's interval, and its written `view` is *borrowed*
+///   (Observation 2).
+///
+/// By the pigeonhole principle a scan finishes within `n + 1` double
+/// collects: wait-free, `O(n²)` register operations (Lemma 3.4). An update
+/// performs an embedded scan and one register write.
+///
+/// "Unbounded" refers to the integer sequence numbers; the
+/// [`BoundedSnapshot`](crate::BoundedSnapshot) replaces them with
+/// handshake bits.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_core::{SwSnapshot, SwSnapshotHandle, UnboundedSnapshot};
+/// use snapshot_registers::ProcessId;
+///
+/// let snap = UnboundedSnapshot::new(2, 0u32);
+/// let mut h0 = snap.handle(ProcessId::new(0));
+/// h0.update(42);
+/// assert_eq!(h0.scan().to_vec(), vec![42, 0]);
+/// ```
+pub struct UnboundedSnapshot<V: RegisterValue, B: Backend = EpochBackend> {
+    regs: Box<[B::Cell<UnbRecord<V>>]>,
+    registry: HandleRegistry,
+    n: usize,
+}
+
+impl<V: RegisterValue> UnboundedSnapshot<V, EpochBackend> {
+    /// Creates the object for `n` processes over the default lock-free
+    /// register backend, with every segment holding `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, init: V) -> Self {
+        Self::with_backend(n, init, &EpochBackend::new())
+    }
+}
+
+impl<V: RegisterValue, B: Backend> UnboundedSnapshot<V, B> {
+    /// Creates the object over an explicit register backend (instrumented,
+    /// simulator-gated, mutex baseline, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_backend(n: usize, init: V, backend: &B) -> Self {
+        assert!(n > 0, "a snapshot object needs at least one process");
+        let initial_view = SnapshotView::from(vec![init.clone(); n]);
+        UnboundedSnapshot {
+            regs: (0..n)
+                .map(|_| {
+                    backend.cell(UnbRecord {
+                        value: init.clone(),
+                        seq: 0,
+                        view: initial_view.clone(),
+                    })
+                })
+                .collect(),
+            registry: HandleRegistry::new(n),
+            n,
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend> SwSnapshot<V> for UnboundedSnapshot<V, B> {
+    type Handle<'a>
+        = UnboundedHandle<'a, V, B>
+    where
+        Self: 'a;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn handle(&self, pid: ProcessId) -> UnboundedHandle<'_, V, B> {
+        self.registry.claim(pid);
+        // Restore the saved sequence number from the own register (the
+        // single-writer discipline makes it authoritative), so a dropped
+        // and re-claimed handle never reuses a sequence number — scans
+        // rely on every write changing it.
+        let seq = self.regs[pid.get()].read(pid).seq;
+        UnboundedHandle {
+            shared: self,
+            pid,
+            seq,
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend> fmt::Debug for UnboundedSnapshot<V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UnboundedSnapshot")
+            .field("processes", &self.n)
+            .finish()
+    }
+}
+
+/// Process-local state for [`UnboundedSnapshot`]: the saved sequence
+/// number `seq_i` of Figure 2.
+pub struct UnboundedHandle<'a, V: RegisterValue, B: Backend> {
+    shared: &'a UnboundedSnapshot<V, B>,
+    pid: ProcessId,
+    seq: u64,
+}
+
+impl<V: RegisterValue, B: Backend> UnboundedHandle<'_, V, B> {
+    /// `procedure scan_i` of Figure 2.
+    fn scan_inner(&self) -> (SnapshotView<V>, ScanStats) {
+        let n = self.shared.n;
+        let mut moved = vec![0u8; n];
+        let mut stats = ScanStats::default();
+        loop {
+            let a = collect(self.pid, &self.shared.regs); // line 1
+            let b = collect(self.pid, &self.shared.regs); // line 2
+            stats.double_collects += 1;
+            debug_assert!(
+                stats.double_collects as usize <= n + 1,
+                "wait-freedom bound violated: {} double collects for n = {n}",
+                stats.double_collects
+            );
+            if (0..n).all(|j| a[j].seq == b[j].seq) {
+                // Line 3-4: nobody moved; Observation 1 makes `b` a
+                // snapshot serialized between the two collects.
+                let values = b.into_iter().map(|r| r.value).collect::<Vec<_>>();
+                return (SnapshotView::from(values), stats);
+            }
+            for j in 0..n {
+                if a[j].seq != b[j].seq {
+                    // line 6: P_j moved
+                    if moved[j] == 1 {
+                        // Line 7-8: P_j moved once before — its second
+                        // observed update ran a whole embedded scan inside
+                        // our interval; borrow its view (Observation 2).
+                        stats.borrowed = true;
+                        return (b[j].view.clone(), stats);
+                    }
+                    moved[j] += 1; // line 9
+                }
+            }
+            // line 10: goto line 1
+        }
+    }
+}
+
+impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for UnboundedHandle<'_, V, B> {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// `procedure update_i(value)` of Figure 2: embedded scan, then one
+    /// atomic write of `(value, seq + 1, view)`.
+    fn update_with_stats(&mut self, value: V) -> ScanStats {
+        let (view, stats) = self.scan_inner(); // line 1: embedded scan
+        self.seq += 1;
+        self.shared.regs[self.pid.get()].write(
+            self.pid,
+            UnbRecord {
+                value,
+                seq: self.seq,
+                view,
+            },
+        ); // line 2
+        stats
+    }
+
+    fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats) {
+        self.scan_inner()
+    }
+}
+
+impl<V: RegisterValue, B: Backend> Drop for UnboundedHandle<'_, V, B> {
+    fn drop(&mut self) {
+        self.shared.registry.release(self.pid);
+    }
+}
+
+impl<V: RegisterValue, B: Backend> fmt::Debug for UnboundedHandle<'_, V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UnboundedHandle")
+            .field("pid", &self.pid)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_scan_returns_init_everywhere() {
+        let snap = UnboundedSnapshot::new(3, 7u32);
+        let mut h = snap.handle(ProcessId::new(0));
+        assert_eq!(h.scan().to_vec(), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn updates_are_visible_to_subsequent_scans() {
+        let snap = UnboundedSnapshot::new(2, 0u32);
+        let mut h0 = snap.handle(ProcessId::new(0));
+        let mut h1 = snap.handle(ProcessId::new(1));
+        h0.update(10);
+        h1.update(20);
+        assert_eq!(h0.scan().to_vec(), vec![10, 20]);
+        h0.update(11);
+        assert_eq!(h1.scan().to_vec(), vec![11, 20]);
+    }
+
+    #[test]
+    fn quiescent_scan_needs_exactly_one_double_collect() {
+        let snap = UnboundedSnapshot::new(4, 0u8);
+        let mut h = snap.handle(ProcessId::new(2));
+        let (_, stats) = h.scan_with_stats();
+        assert_eq!(
+            stats,
+            ScanStats {
+                double_collects: 1,
+                borrowed: false
+            }
+        );
+    }
+
+    #[test]
+    fn handles_are_exclusive_until_dropped() {
+        let snap = UnboundedSnapshot::new(1, 0u8);
+        let h = snap.handle(ProcessId::new(0));
+        drop(h);
+        let _h2 = snap.handle(ProcessId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn double_handle_panics() {
+        let snap = UnboundedSnapshot::new(1, 0u8);
+        let _a = snap.handle(ProcessId::new(0));
+        let _b = snap.handle(ProcessId::new(0));
+    }
+
+    #[test]
+    fn update_reports_its_embedded_scan_stats() {
+        let snap = UnboundedSnapshot::new(3, 0u32);
+        let mut h = snap.handle(ProcessId::new(0));
+        let stats = h.update_with_stats(5);
+        // Quiescent: the embedded scan succeeds on its first double collect
+        // and never borrows.
+        assert_eq!(stats.double_collects, 1);
+        assert!(!stats.borrowed);
+    }
+
+    #[test]
+    fn own_segment_reflects_own_last_update() {
+        let snap = UnboundedSnapshot::new(2, 0i64);
+        let mut h = snap.handle(ProcessId::new(1));
+        for k in 1..=10 {
+            h.update(k);
+            assert_eq!(h.scan()[1], k);
+        }
+    }
+
+    #[test]
+    fn threaded_smoke_all_scans_are_plausible() {
+        let snap = UnboundedSnapshot::new(4, 0u64);
+        std::thread::scope(|s| {
+            for i in 0..4usize {
+                let snap = &snap;
+                s.spawn(move || {
+                    let mut h = snap.handle(ProcessId::new(i));
+                    let mut last_seen = vec![0u64; 4];
+                    for k in 1..=200u64 {
+                        h.update(k * 4 + i as u64);
+                        let view = h.scan();
+                        // Segments never go backwards (values encode a
+                        // per-process counter).
+                        for (j, &v) in view.iter().enumerate() {
+                            assert!(v >= last_seen[j], "segment {j} went backwards");
+                            last_seen[j] = v;
+                        }
+                        assert_eq!(view[i], k * 4 + i as u64);
+                    }
+                });
+            }
+        });
+    }
+}

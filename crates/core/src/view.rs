@@ -1,0 +1,118 @@
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable snapshot of the whole memory, as returned by `scan`.
+///
+/// Internally an `Arc<[V]>`: cheap to clone, which matters because the
+/// constructions *store views inside registers* (the borrowed-view trick of
+/// Observation 2) — an update embeds its scan's result in its register so
+/// that starving scanners can return it.
+///
+/// Dereferences to `[V]`.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_core::SnapshotView;
+///
+/// let view = SnapshotView::from(vec![1, 2, 3]);
+/// assert_eq!(view[1], 2);
+/// assert_eq!(view.len(), 3);
+/// assert_eq!(view.to_vec(), vec![1, 2, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SnapshotView<V> {
+    values: Arc<[V]>,
+}
+
+impl<V> SnapshotView<V> {
+    /// The memory contents as a slice.
+    pub fn as_slice(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Number of memory segments in the view.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for a zero-segment view (only possible for degenerate
+    /// configurations).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl<V: Clone> SnapshotView<V> {
+    /// Copies the view into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<V> {
+        self.values.to_vec()
+    }
+}
+
+impl<V> Deref for SnapshotView<V> {
+    type Target = [V];
+
+    fn deref(&self) -> &[V] {
+        &self.values
+    }
+}
+
+impl<V> From<Vec<V>> for SnapshotView<V> {
+    fn from(values: Vec<V>) -> Self {
+        SnapshotView {
+            values: values.into(),
+        }
+    }
+}
+
+impl<V> From<Arc<[V]>> for SnapshotView<V> {
+    fn from(values: Arc<[V]>) -> Self {
+        SnapshotView { values }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for SnapshotView<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.values.iter()).finish()
+    }
+}
+
+impl<'a, V> IntoIterator for &'a SnapshotView<V> {
+    type Item = &'a V;
+    type IntoIter = std::slice::Iter<'a, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_indexes() {
+        let v = SnapshotView::from(vec!["a", "b"]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], "a");
+        assert_eq!(v.as_slice(), &["a", "b"]);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let v = SnapshotView::from(vec![1u8; 1024]);
+        let w = v.clone();
+        assert!(std::ptr::eq(v.as_slice().as_ptr(), w.as_slice().as_ptr()));
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn iterates_in_order() {
+        let v = SnapshotView::from(vec![3, 1, 4]);
+        let collected: Vec<i32> = (&v).into_iter().copied().collect();
+        assert_eq!(collected, vec![3, 1, 4]);
+    }
+}

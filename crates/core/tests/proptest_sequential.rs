@@ -1,0 +1,156 @@
+//! Property tests: under *sequential* use (one operation at a time, any
+//! process order), every snapshot construction must behave exactly like
+//! the trivial model — a plain vector. Atomicity machinery (double
+//! collects, handshakes, toggles, borrowed views) must be invisible.
+
+use proptest::prelude::*;
+use snapshot_core::{
+    BoundedSnapshot, DoubleCollectSnapshot, LockSnapshot, MultiWriterSnapshot, MwSnapshot,
+    MwSnapshotHandle, SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+};
+use snapshot_registers::ProcessId;
+
+#[derive(Clone, Debug)]
+enum SwOp {
+    Update { pid: usize, value: u64 },
+    Scan { pid: usize },
+}
+
+fn sw_ops(max_procs: usize, len: usize) -> impl Strategy<Value = Vec<SwOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_procs, any::<u64>()).prop_map(|(pid, value)| SwOp::Update { pid, value }),
+            (0..max_procs).prop_map(|pid| SwOp::Scan { pid }),
+        ],
+        0..len,
+    )
+}
+
+/// Drives `object` with `ops`, one at a time, against the vector model.
+/// Handles are claimed and dropped per operation — also exercising the
+/// claim/release machinery.
+fn check_sw<O: SwSnapshot<u64>>(object: &O, n: usize, init: u64, ops: &[SwOp]) {
+    let mut model = vec![init; n];
+    // Keep persistent handles (sequence numbers / toggles must survive
+    // across operations), one per process.
+    let mut handles: Vec<_> = (0..n).map(|i| object.handle(ProcessId::new(i))).collect();
+    for op in ops {
+        match op {
+            SwOp::Update { pid, value } => {
+                let pid = pid % n;
+                handles[pid].update(*value);
+                model[pid] = *value;
+            }
+            SwOp::Scan { pid } => {
+                let pid = pid % n;
+                let (view, stats) = handles[pid].scan_with_stats();
+                assert_eq!(view.to_vec(), model);
+                // Sequential: always the fast path.
+                assert!(!stats.borrowed);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unbounded_matches_vector_model(
+        n in 1usize..6,
+        init in any::<u64>(),
+        ops in sw_ops(6, 40),
+    ) {
+        check_sw(&UnboundedSnapshot::new(n, init), n, init, &ops);
+    }
+
+    #[test]
+    fn bounded_matches_vector_model(
+        n in 1usize..6,
+        init in any::<u64>(),
+        ops in sw_ops(6, 40),
+    ) {
+        check_sw(&BoundedSnapshot::new(n, init), n, init, &ops);
+    }
+
+    #[test]
+    fn double_collect_matches_vector_model(
+        n in 1usize..6,
+        init in any::<u64>(),
+        ops in sw_ops(6, 40),
+    ) {
+        check_sw(&DoubleCollectSnapshot::new(n, init), n, init, &ops);
+    }
+
+    #[test]
+    fn lock_matches_vector_model(
+        n in 1usize..6,
+        init in any::<u64>(),
+        ops in sw_ops(6, 40),
+    ) {
+        check_sw(&LockSnapshot::new(n, init), n, init, &ops);
+    }
+
+    #[test]
+    fn multiwriter_matches_vector_model(
+        n in 1usize..5,
+        m in 1usize..5,
+        init in any::<u64>(),
+        raw in prop::collection::vec(
+            (0usize..5, 0usize..5, any::<u64>(), any::<bool>()),
+            0..40,
+        ),
+    ) {
+        let object = MultiWriterSnapshot::new(n, m, init);
+        let mut model = vec![init; m];
+        let mut handles: Vec<_> =
+            (0..n).map(|i| object.handle(ProcessId::new(i))).collect();
+        for (pid, word, value, is_update) in raw {
+            let pid = pid % n;
+            let word = word % m;
+            if is_update {
+                handles[pid].update(word, value);
+                model[word] = value;
+            } else {
+                let view = handles[pid].scan();
+                prop_assert_eq!(view.to_vec(), model.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn views_share_storage_on_borrow_free_scans(
+        n in 1usize..5,
+        values in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        // Repeated scans with no intervening updates return equal views.
+        let object = BoundedSnapshot::new(n, 0u64);
+        let mut h = object.handle(ProcessId::new(0));
+        for v in values {
+            h.update(v);
+            let a = h.scan();
+            let b = h.scan();
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn handles_can_cycle_without_state_corruption(
+        rounds in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        // Claim, use, drop, re-claim: the bounded algorithm's local toggle
+        // resets, which must not confuse scanners (toggle semantics only
+        // require *change* detection relative to what was last written by
+        // the same claim).
+        let object = UnboundedSnapshot::new(2, 0u64);
+        let mut expected = 0u64;
+        for v in rounds {
+            let mut h = object.handle(ProcessId::new(0));
+            h.update(v);
+            expected = v;
+            drop(h);
+        }
+        let mut h = object.handle(ProcessId::new(1));
+        prop_assert_eq!(h.scan()[0], expected);
+    }
+}

@@ -1,0 +1,214 @@
+use std::fmt;
+
+use snapshot_registers::ProcessId;
+
+/// One snapshot-object operation with its argument/result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapOp<V> {
+    /// `update(word, value)`. In a single-writer history `word == pid`.
+    Update {
+        /// The memory word written.
+        word: usize,
+        /// The value written.
+        value: V,
+    },
+    /// `scan()` returning `view` (one entry per word).
+    Scan {
+        /// The returned vector.
+        view: Vec<V>,
+    },
+}
+
+/// One recorded operation execution: who, when (invocation/response
+/// timestamps from a shared logical clock), and what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord<V> {
+    /// The executing process.
+    pub pid: ProcessId,
+    /// Invocation timestamp (taken just before the operation's first
+    /// shared-memory step).
+    pub inv: u64,
+    /// Response timestamp (taken just after the operation's last
+    /// shared-memory step); `None` for operations that never completed
+    /// (crashed / aborted processes).
+    pub res: Option<u64>,
+    /// The operation with its argument or result.
+    pub op: SnapOp<V>,
+}
+
+impl<V> OpRecord<V> {
+    /// True if the operation ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.res.is_some()
+    }
+
+    /// Response timestamp, with incomplete operations extending to the end
+    /// of time.
+    pub fn res_or_max(&self) -> u64 {
+        self.res.unwrap_or(u64::MAX)
+    }
+}
+
+/// A complete concurrent history of one snapshot object.
+///
+/// Obtained from a [`Recorder`](crate::Recorder); consumed by the checkers.
+#[derive(Clone)]
+pub struct History<V> {
+    n: usize,
+    words: usize,
+    init: V,
+    ops: Vec<OpRecord<V>>,
+}
+
+impl<V: Clone> History<V> {
+    /// Assembles a history directly (tests and generators; normal capture
+    /// goes through [`Recorder`](crate::Recorder)).
+    ///
+    /// Operations are sorted by invocation timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation's word index or view length is inconsistent
+    /// with `words`, or if a pid is `>= n`.
+    pub fn from_ops(n: usize, words: usize, init: V, mut ops: Vec<OpRecord<V>>) -> Self {
+        for op in &ops {
+            assert!(op.pid.get() < n, "operation by out-of-range process");
+            match &op.op {
+                SnapOp::Update { word, .. } => {
+                    assert!(*word < words, "update to out-of-range word {word}")
+                }
+                SnapOp::Scan { view } => assert_eq!(
+                    view.len(),
+                    words,
+                    "scan view length {} != word count {words}",
+                    view.len()
+                ),
+            }
+        }
+        ops.sort_by_key(|o| o.inv);
+        History {
+            n,
+            words,
+            init,
+            ops,
+        }
+    }
+}
+
+impl<V> History<V> {
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of memory words (equals `processes` for single-writer
+    /// histories).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The initial value of every word.
+    pub fn init(&self) -> &V {
+        &self.init
+    }
+
+    /// The recorded operations, ordered by invocation timestamp.
+    pub fn ops(&self) -> &[OpRecord<V>] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// True if every update targets the updater's own segment — the
+    /// single-writer discipline required by [`Sws`].
+    ///
+    /// [`Sws`]: snapshot_automata::Sws
+    pub fn is_single_writer(&self) -> bool {
+        self.n == self.words
+            && self.ops.iter().all(|o| match &o.op {
+                SnapOp::Update { word, .. } => *word == o.pid.get(),
+                SnapOp::Scan { .. } => true,
+            })
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for History<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("History")
+            .field("processes", &self.n)
+            .field("words", &self.words)
+            .field("operations", &self.ops.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ops_sorts_by_invocation() {
+        let ops = vec![
+            OpRecord {
+                pid: ProcessId::new(0),
+                inv: 10,
+                res: Some(11),
+                op: SnapOp::Update { word: 0, value: 2 },
+            },
+            OpRecord {
+                pid: ProcessId::new(0),
+                inv: 2,
+                res: Some(3),
+                op: SnapOp::Update { word: 0, value: 1 },
+            },
+        ];
+        let h = History::from_ops(1, 1, 0, ops);
+        assert_eq!(h.ops()[0].inv, 2);
+        assert_eq!(h.len(), 2);
+        assert!(h.is_single_writer());
+    }
+
+    #[test]
+    fn multi_writer_histories_are_detected() {
+        let ops = vec![OpRecord {
+            pid: ProcessId::new(1),
+            inv: 0,
+            res: Some(1),
+            op: SnapOp::Update { word: 0, value: 9 },
+        }];
+        let h = History::from_ops(2, 2, 0, ops);
+        assert!(!h.is_single_writer());
+    }
+
+    #[test]
+    #[should_panic(expected = "view length")]
+    fn wrong_view_length_is_rejected() {
+        let ops = vec![OpRecord {
+            pid: ProcessId::new(0),
+            inv: 0,
+            res: Some(1),
+            op: SnapOp::Scan { view: vec![0] },
+        }];
+        let _ = History::from_ops(1, 2, 0, ops);
+    }
+
+    #[test]
+    fn incomplete_ops_extend_to_max() {
+        let op = OpRecord {
+            pid: ProcessId::new(0),
+            inv: 5,
+            res: None,
+            op: SnapOp::Update { word: 0, value: 1 },
+        };
+        assert!(!op.is_complete());
+        assert_eq!(op.res_or_max(), u64::MAX);
+    }
+}

@@ -1,0 +1,433 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::{History, SnapOp};
+
+/// A violation (or inapplicability) reported by [`check_intervals`].
+///
+/// All variants except [`DuplicateValue`] and [`OverlappingUpdates`]
+/// certify a genuine linearizability violation. The latter two mean the
+/// *checker's preconditions* don't hold for the workload (values not
+/// unique per word / per-word updates not totally ordered in real time) —
+/// regenerate the workload, or fall back to the Wing–Gong checker.
+///
+/// Indices refer to positions in [`History::ops`].
+///
+/// [`DuplicateValue`]: IntervalViolation::DuplicateValue
+/// [`OverlappingUpdates`]: IntervalViolation::OverlappingUpdates
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntervalViolation {
+    /// A scan returned a value never written to that word.
+    UnknownValue {
+        /// Offending scan's op index.
+        scan: usize,
+        /// The word with the unexplained value.
+        word: usize,
+    },
+    /// No instant within the scan's interval is consistent with all the
+    /// per-word update intervals it claims to have observed.
+    EmptyWindow {
+        /// Offending scan's op index.
+        scan: usize,
+    },
+    /// Two scans observed updates in contradictory orders; no total order
+    /// of scans exists.
+    IncomparableScans {
+        /// One scan's op index.
+        a: usize,
+        /// The other scan's op index.
+        b: usize,
+    },
+    /// A scan observed strictly less than a scan that completed before it
+    /// was invoked (time travel).
+    StaleScan {
+        /// The earlier (more knowledgeable) scan's op index.
+        earlier: usize,
+        /// The later (stale) scan's op index.
+        later: usize,
+    },
+    /// Checker precondition failed: two updates wrote the same value to
+    /// the same word (or rewrote the initial value).
+    DuplicateValue {
+        /// The ambiguous word.
+        word: usize,
+    },
+    /// Checker precondition failed: two updates to the same word ran
+    /// concurrently, so "the next update" is ill-defined. (Cannot happen
+    /// in single-writer histories.)
+    OverlappingUpdates {
+        /// The offending word.
+        word: usize,
+    },
+}
+
+impl fmt::Display for IntervalViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalViolation::UnknownValue { scan, word } => {
+                write!(
+                    f,
+                    "scan #{scan} returned a never-written value for word {word}"
+                )
+            }
+            IntervalViolation::EmptyWindow { scan } => {
+                write!(f, "scan #{scan} admits no linearization point")
+            }
+            IntervalViolation::IncomparableScans { a, b } => {
+                write!(
+                    f,
+                    "scans #{a} and #{b} observed updates in contradictory orders"
+                )
+            }
+            IntervalViolation::StaleScan { earlier, later } => write!(
+                f,
+                "scan #{later} observed less than scan #{earlier}, which completed before it began"
+            ),
+            IntervalViolation::DuplicateValue { word } => {
+                write!(
+                    f,
+                    "word {word} was written the same value twice (checker precondition)"
+                )
+            }
+            IntervalViolation::OverlappingUpdates { word } => write!(
+                f,
+                "concurrent updates to word {word} (checker precondition; use Wing-Gong instead)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IntervalViolation {}
+
+/// One update as seen by the checker: `seq` is its 1-based position in the
+/// word's update order (0 = the initial value).
+struct WordUpdate {
+    inv: i128,
+    /// Response of the *next* update on the same word (exclusive upper
+    /// bound for observers of this one); `i128::MAX` if none.
+    next_res: i128,
+}
+
+/// Fast linearizability *necessary-condition* check for large histories.
+///
+/// Preconditions: update values are unique per word (and distinct from the
+/// initial value), and updates to each word are totally ordered in real
+/// time — both automatic for the single-writer stress workloads, and
+/// arranged by construction in the multi-writer ones.
+///
+/// Checks, for every completed scan:
+///
+/// 1. every returned value was actually written (or is the initial value);
+/// 2. a linearization point exists: some real instant inside the scan's
+///    interval lies after each observed update's invocation and before the
+///    following update's response (per word);
+/// 3. all scans are pairwise comparable in the per-word update order
+///    (scans of one object must be totally orderable);
+/// 4. real-time monotonicity: a scan invoked after another scan's response
+///    observes at least as much.
+///
+/// Runtime `O((U + S·m) + S log S·m)` for `U` updates, `S` scans, `m`
+/// words — millions of operations in well under a second.
+///
+/// # Errors
+///
+/// The first violation found, with operation indices. See
+/// [`IntervalViolation`] for which variants certify real violations.
+pub fn check_intervals<V: Clone + Eq + Hash + fmt::Debug>(
+    history: &History<V>,
+) -> Result<(), IntervalViolation> {
+    let m = history.words();
+    let ops = history.ops();
+
+    // Per-word update chronology (ops are already sorted by inv).
+    let mut by_word: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (i, op) in ops.iter().enumerate() {
+        if let SnapOp::Update { word, .. } = &op.op {
+            by_word[*word].push(i);
+        }
+    }
+
+    // Value -> (word position, interval data). Position 0 is the initial
+    // value.
+    let mut resolve: Vec<HashMap<&V, usize>> = vec![HashMap::new(); m];
+    let mut word_updates: Vec<Vec<WordUpdate>> = Vec::with_capacity(m);
+    for (word, indices) in by_word.iter().enumerate() {
+        let mut updates = Vec::with_capacity(indices.len() + 1);
+        // Virtual initial write: present since before time began.
+        updates.push(WordUpdate {
+            inv: i128::MIN,
+            next_res: indices.first().map_or(i128::MAX, |&i| res_i128(ops[i].res)),
+        });
+        if resolve[word].insert(history.init(), 0).is_some() {
+            unreachable!("first insertion cannot collide");
+        }
+        for (k, &i) in indices.iter().enumerate() {
+            let op = &ops[i];
+            // Real-time total order per word: each update must respond
+            // before the next one is invoked. A pending update is allowed
+            // only in last position.
+            if let Some(&j) = indices.get(k + 1) {
+                match op.res {
+                    Some(r) if (r as i128) < ops[j].inv as i128 => {}
+                    _ => return Err(IntervalViolation::OverlappingUpdates { word }),
+                }
+            }
+            let value = match &op.op {
+                SnapOp::Update { value, .. } => value,
+                SnapOp::Scan { .. } => unreachable!("by_word only holds updates"),
+            };
+            if resolve[word].insert(value, k + 1).is_some() {
+                return Err(IntervalViolation::DuplicateValue { word });
+            }
+            updates.push(WordUpdate {
+                inv: op.inv as i128,
+                next_res: indices
+                    .get(k + 1)
+                    .map_or(i128::MAX, |&j| res_i128(ops[j].res)),
+            });
+        }
+        word_updates.push(updates);
+    }
+
+    // Resolve each completed scan to its per-word observation vector and
+    // check its linearization window.
+    let mut scans: Vec<(usize, Vec<usize>)> = Vec::new(); // (op index, per-word positions)
+    for (i, op) in ops.iter().enumerate() {
+        let view = match (&op.op, op.res) {
+            (SnapOp::Scan { view }, Some(_)) => view,
+            _ => continue,
+        };
+        let mut positions = Vec::with_capacity(m);
+        let mut lower = op.inv as i128;
+        let mut upper = res_i128(op.res);
+        for (word, value) in view.iter().enumerate() {
+            let &pos = resolve[word]
+                .get(value)
+                .ok_or(IntervalViolation::UnknownValue { scan: i, word })?;
+            let wu = &word_updates[word][pos];
+            lower = lower.max(wu.inv);
+            upper = upper.min(wu.next_res);
+            positions.push(pos);
+        }
+        // A real-valued instant strictly between `lower` and `upper`
+        // exists iff lower < upper (timestamps are distinct integers).
+        if lower >= upper {
+            return Err(IntervalViolation::EmptyWindow { scan: i });
+        }
+        scans.push((i, positions));
+    }
+
+    // Pairwise comparability: sort by total progress; adjacent scans must
+    // be componentwise ordered, which by transitivity orders all pairs.
+    let mut by_progress: Vec<&(usize, Vec<usize>)> = scans.iter().collect();
+    by_progress.sort_by_key(|(_, pos)| pos.iter().sum::<usize>());
+    for pair in by_progress.windows(2) {
+        let (a, pa) = pair[0];
+        let (b, pb) = pair[1];
+        if !pa.iter().zip(pb).all(|(x, y)| x <= y) {
+            return Err(IntervalViolation::IncomparableScans { a: *a, b: *b });
+        }
+    }
+
+    // Real-time monotonicity sweep: running componentwise max of views of
+    // scans responded so far must not exceed any later-invoked scan.
+    let mut events: Vec<(i128, bool, usize)> = Vec::new(); // (time, is_response, scans idx)
+    for (k, (i, _)) in scans.iter().enumerate() {
+        events.push((ops[*i].inv as i128, false, k));
+        events.push((res_i128(ops[*i].res), true, k));
+    }
+    events.sort();
+    let mut cummax = vec![0usize; m];
+    let mut cummax_owner = vec![usize::MAX; m]; // scans idx that set the max
+    for (_, is_response, k) in events {
+        let (i, positions) = &scans[k];
+        if is_response {
+            for (w, &p) in positions.iter().enumerate() {
+                if p > cummax[w] {
+                    cummax[w] = p;
+                    cummax_owner[w] = *i;
+                }
+            }
+        } else {
+            for (w, &p) in positions.iter().enumerate() {
+                if p < cummax[w] {
+                    return Err(IntervalViolation::StaleScan {
+                        earlier: cummax_owner[w],
+                        later: *i,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn res_i128(res: Option<u64>) -> i128 {
+    res.map_or(i128::MAX, |r| r as i128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpRecord;
+    use snapshot_registers::ProcessId;
+
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+    const P2: ProcessId = ProcessId::new(2);
+
+    fn update(pid: ProcessId, inv: u64, res: u64, value: u32) -> OpRecord<u32> {
+        OpRecord {
+            pid,
+            inv,
+            res: Some(res),
+            op: SnapOp::Update {
+                word: pid.get(),
+                value,
+            },
+        }
+    }
+
+    fn scan(pid: ProcessId, inv: u64, res: u64, view: Vec<u32>) -> OpRecord<u32> {
+        OpRecord {
+            pid,
+            inv,
+            res: Some(res),
+            op: SnapOp::Scan { view },
+        }
+    }
+
+    fn check(n: usize, ops: Vec<OpRecord<u32>>) -> Result<(), IntervalViolation> {
+        check_intervals(&History::from_ops(n, n, 0, ops))
+    }
+
+    #[test]
+    fn clean_sequential_history_passes() {
+        assert_eq!(
+            check(2, vec![update(P0, 0, 1, 5), scan(P1, 2, 3, vec![5, 0])]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn stale_view_after_completed_update_is_caught() {
+        assert_eq!(
+            check(2, vec![update(P0, 0, 1, 5), scan(P1, 2, 3, vec![0, 0])]),
+            Err(IntervalViolation::EmptyWindow { scan: 1 })
+        );
+    }
+
+    #[test]
+    fn never_written_value_is_caught() {
+        assert_eq!(
+            check(2, vec![scan(P1, 0, 1, vec![99, 0])]),
+            Err(IntervalViolation::UnknownValue { scan: 0, word: 0 })
+        );
+    }
+
+    #[test]
+    fn future_value_is_caught() {
+        // Scan completes before the update is even invoked, yet returns it.
+        assert_eq!(
+            check(2, vec![scan(P1, 0, 1, vec![5, 0]), update(P0, 2, 3, 5)]),
+            Err(IntervalViolation::EmptyWindow { scan: 0 })
+        );
+    }
+
+    #[test]
+    fn contradictory_scan_orders_are_caught() {
+        // Updates run concurrently with both scans; one scan sees only the
+        // first, the other only the second.
+        let ops = vec![
+            update(P0, 0, 100, 5),
+            update(P1, 1, 101, 7),
+            scan(P2, 2, 3, vec![5, 0, 0]),
+            scan(P2, 4, 5, vec![0, 7, 0]),
+        ];
+        assert_eq!(
+            check(3, ops),
+            Err(IntervalViolation::IncomparableScans { a: 2, b: 3 })
+        );
+    }
+
+    #[test]
+    fn time_travel_between_scans_is_caught() {
+        // Both views are individually fine (update still running), but the
+        // second scan started after the first finished and saw less.
+        let ops = vec![
+            update(P0, 0, 100, 5),
+            scan(P1, 1, 2, vec![5, 0, 0]),
+            scan(P2, 3, 4, vec![0, 0, 0]),
+        ];
+        assert_eq!(
+            check(3, ops),
+            Err(IntervalViolation::StaleScan {
+                earlier: 1,
+                later: 2
+            })
+        );
+    }
+
+    #[test]
+    fn concurrent_scan_may_miss_or_see_update() {
+        for view in [vec![0, 0], vec![5, 0]] {
+            assert_eq!(
+                check(2, vec![update(P0, 0, 3, 5), scan(P1, 1, 2, view)]),
+                Ok(())
+            );
+        }
+    }
+
+    #[test]
+    fn pending_update_observed_is_fine() {
+        let ops = vec![
+            OpRecord {
+                pid: P0,
+                inv: 0,
+                res: None,
+                op: SnapOp::Update { word: 0, value: 9 },
+            },
+            scan(P1, 1, 2, vec![9, 0]),
+        ];
+        assert_eq!(check(2, ops), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_values_are_inapplicable_not_mischecked() {
+        let ops = vec![update(P0, 0, 1, 5), update(P0, 2, 3, 5)];
+        assert_eq!(
+            check(1, ops),
+            Err(IntervalViolation::DuplicateValue { word: 0 })
+        );
+    }
+
+    #[test]
+    fn overlapping_multiwriter_updates_are_inapplicable() {
+        let ops = vec![
+            OpRecord {
+                pid: P0,
+                inv: 0,
+                res: Some(10),
+                op: SnapOp::Update { word: 0, value: 1 },
+            },
+            OpRecord {
+                pid: P1,
+                inv: 5,
+                res: Some(15),
+                op: SnapOp::Update { word: 0, value: 2 },
+            },
+        ];
+        let h = History::from_ops(2, 2, 0, ops);
+        assert_eq!(
+            check_intervals(&h),
+            Err(IntervalViolation::OverlappingUpdates { word: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        assert_eq!(check(1, vec![]), Ok(()));
+    }
+}

@@ -1,0 +1,62 @@
+//! History recording and linearizability checking for the atomic-snapshot
+//! reproduction.
+//!
+//! The paper's Theorems 3.5, 4.5 and 5.4 assert that every run of the
+//! constructions serializes correctly — i.e. is *linearizable* with respect
+//! to the snapshot object semantics (\[HW87\] in the paper's bibliography).
+//! This crate machine-checks that on millions of real and simulated runs:
+//!
+//! * [`Recorder`] / [`History`] — concurrent capture of operation
+//!   invocation/response intervals with their arguments and results;
+//! * [`check_history`] — a **Wing–Gong search**: exhaustively looks for a
+//!   valid linearization order (complete for small histories, exponential
+//!   in the worst case, memoized); the witness order can be
+//!   cross-validated against the paper's own SWS specification automaton
+//!   from `snapshot-automata` via [`witness_accepted_by_sws`];
+//! * [`check_intervals`] — a fast *necessary-condition* checker for large
+//!   stress histories with unique update values: each scan must admit a
+//!   linearization point inside its interval consistent with per-word
+//!   update intervals, and all scans must be pairwise comparable. Any
+//!   violation it reports is a genuine linearizability violation; it may
+//!   not catch every exotic violation (the Wing–Gong checker is the
+//!   authority on small histories).
+//!
+//! # Example
+//!
+//! ```
+//! use snapshot_lin::{check_history, History, Recorder, WgResult};
+//! use snapshot_registers::ProcessId;
+//!
+//! // One process updates, another scans strictly afterwards.
+//! let recorder = Recorder::new(2, 2, 0u32);
+//! let p0 = ProcessId::new(0);
+//! let p1 = ProcessId::new(1);
+//!
+//! let t = recorder.begin();
+//! recorder.end_update(p0, 0, 7, t);
+//! let t = recorder.begin();
+//! recorder.end_scan(p1, vec![7, 0], t);
+//!
+//! let history: History<u32> = recorder.finish();
+//! assert!(matches!(
+//!     check_history(&history),
+//!     WgResult::Linearizable { .. }
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod history;
+mod interval;
+mod recorder;
+mod spec;
+mod timeline;
+mod wing_gong;
+
+pub use history::{History, OpRecord, SnapOp};
+pub use interval::{check_intervals, IntervalViolation};
+pub use recorder::Recorder;
+pub use timeline::render_timeline;
+pub use spec::{RegisterOp, RegisterSpec, SeqSpec, SnapshotSpec};
+pub use wing_gong::{check_history, check_linearizable, witness_accepted_by_sws, WgOp, WgResult};

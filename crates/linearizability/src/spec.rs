@@ -1,0 +1,191 @@
+use std::fmt;
+use std::hash::Hash;
+
+use snapshot_registers::ProcessId;
+
+use crate::SnapOp;
+
+/// A deterministic sequential specification of a shared object, for the
+/// Wing–Gong search.
+///
+/// `apply` returns the state after the operation **iff** the operation's
+/// embedded result is what the sequential object would have produced;
+/// otherwise `None` (the candidate linearization order is wrong).
+pub trait SeqSpec {
+    /// Object states (hashed for search memoization).
+    type State: Clone + Eq + Hash + fmt::Debug;
+    /// Operations, with results baked in.
+    type Op;
+
+    /// The object's initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `op` by `pid` to `state`.
+    fn apply(&self, state: &Self::State, pid: ProcessId, op: &Self::Op) -> Option<Self::State>;
+}
+
+/// The sequential snapshot object: a vector of `words` values; `update`
+/// overwrites one word, `scan` must return the vector exactly.
+///
+/// Setting `single_writer` additionally enforces that process `i` only
+/// writes word `i` (the discipline of Sections 3–4).
+#[derive(Clone, Debug)]
+pub struct SnapshotSpec<V> {
+    words: usize,
+    init: V,
+    single_writer: bool,
+}
+
+impl<V: Clone + Eq + Hash + fmt::Debug> SnapshotSpec<V> {
+    /// A single-writer snapshot spec over `n` segments.
+    pub fn single_writer(n: usize, init: V) -> Self {
+        SnapshotSpec {
+            words: n,
+            init,
+            single_writer: true,
+        }
+    }
+
+    /// A multi-writer snapshot spec over `words` words.
+    pub fn multi_writer(words: usize, init: V) -> Self {
+        SnapshotSpec {
+            words,
+            init,
+            single_writer: false,
+        }
+    }
+}
+
+impl<V: Clone + Eq + Hash + fmt::Debug> SeqSpec for SnapshotSpec<V> {
+    type State = Vec<V>;
+    type Op = SnapOp<V>;
+
+    fn initial(&self) -> Vec<V> {
+        vec![self.init.clone(); self.words]
+    }
+
+    fn apply(&self, state: &Vec<V>, pid: ProcessId, op: &SnapOp<V>) -> Option<Vec<V>> {
+        match op {
+            SnapOp::Update { word, value } => {
+                if *word >= self.words || (self.single_writer && *word != pid.get()) {
+                    return None;
+                }
+                let mut next = state.clone();
+                next[*word] = value.clone();
+                Some(next)
+            }
+            SnapOp::Scan { view } => {
+                if view == state {
+                    Some(state.clone())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One read/write register operation with its result, for checking the
+/// register substrate (e.g. [`MwmrFromSwmr`]) itself.
+///
+/// [`MwmrFromSwmr`]: snapshot_registers::MwmrFromSwmr
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegisterOp<V> {
+    /// A read that returned `value`.
+    Read {
+        /// The value returned.
+        value: V,
+    },
+    /// A write of `value`.
+    Write {
+        /// The value written.
+        value: V,
+    },
+}
+
+/// The sequential read/write register: writes overwrite, reads must return
+/// the current value.
+#[derive(Clone, Debug)]
+pub struct RegisterSpec<V> {
+    init: V,
+}
+
+impl<V: Clone + Eq + Hash + fmt::Debug> RegisterSpec<V> {
+    /// A register spec with initial value `init`.
+    pub fn new(init: V) -> Self {
+        RegisterSpec { init }
+    }
+}
+
+impl<V: Clone + Eq + Hash + fmt::Debug> SeqSpec for RegisterSpec<V> {
+    type State = V;
+    type Op = RegisterOp<V>;
+
+    fn initial(&self) -> V {
+        self.init.clone()
+    }
+
+    fn apply(&self, state: &V, _pid: ProcessId, op: &RegisterOp<V>) -> Option<V> {
+        match op {
+            RegisterOp::Write { value } => Some(value.clone()),
+            RegisterOp::Read { value } => {
+                if value == state {
+                    Some(state.clone())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+
+    #[test]
+    fn snapshot_scan_matches_exactly() {
+        let spec = SnapshotSpec::single_writer(2, 0u8);
+        let s0 = spec.initial();
+        let s1 = spec
+            .apply(&s0, P0, &SnapOp::Update { word: 0, value: 3 })
+            .unwrap();
+        assert!(spec
+            .apply(&s1, P1, &SnapOp::Scan { view: vec![3, 0] })
+            .is_some());
+        assert!(spec
+            .apply(&s1, P1, &SnapOp::Scan { view: vec![0, 0] })
+            .is_none());
+    }
+
+    #[test]
+    fn single_writer_discipline_is_enforced() {
+        let spec = SnapshotSpec::single_writer(2, 0u8);
+        let s0 = spec.initial();
+        assert!(spec
+            .apply(&s0, P1, &SnapOp::Update { word: 0, value: 1 })
+            .is_none());
+        let mw = SnapshotSpec::multi_writer(2, 0u8);
+        assert!(mw
+            .apply(&s0, P1, &SnapOp::Update { word: 0, value: 1 })
+            .is_some());
+    }
+
+    #[test]
+    fn register_reads_check_current_value() {
+        let spec = RegisterSpec::new(0u8);
+        let s0 = spec.initial();
+        let s1 = spec
+            .apply(&s0, P0, &RegisterOp::Write { value: 5 })
+            .unwrap();
+        assert!(spec
+            .apply(&s1, P1, &RegisterOp::Read { value: 5 })
+            .is_some());
+        assert!(spec
+            .apply(&s1, P1, &RegisterOp::Read { value: 0 })
+            .is_none());
+    }
+}

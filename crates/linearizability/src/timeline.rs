@@ -1,0 +1,95 @@
+use std::fmt::Write as _;
+
+use crate::{History, SnapOp};
+
+/// Renders a history as a human-readable timeline, one line per
+/// operation, ordered by invocation — the first thing you want when a
+/// checker reports a violation.
+///
+/// Interval endpoints are the recorder's logical timestamps; `…` marks an
+/// operation that never completed.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_lin::{render_timeline, Recorder};
+/// use snapshot_registers::ProcessId;
+///
+/// let rec = Recorder::new(2, 2, 0u32);
+/// let t = rec.begin();
+/// rec.end_update(ProcessId::new(0), 0, 5, t);
+/// let t = rec.begin();
+/// rec.end_scan(ProcessId::new(1), vec![5, 0], t);
+/// let text = render_timeline(&rec.finish());
+/// assert!(text.contains("update"));
+/// assert!(text.contains("scan"));
+/// ```
+pub fn render_timeline<V: std::fmt::Debug>(history: &History<V>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "history: {} processes, {} words, {} operations",
+        history.processes(),
+        history.words(),
+        history.len()
+    );
+    for op in history.ops() {
+        let span = match op.res {
+            Some(res) => format!("[{:>4}, {:>4}]", op.inv, res),
+            None => format!("[{:>4},    …]", op.inv),
+        };
+        let what = match &op.op {
+            SnapOp::Update { word, value } => {
+                format!("update(word {word}, {value:?})")
+            }
+            SnapOp::Scan { view } => format!("scan -> {view:?}"),
+        };
+        let _ = writeln!(out, "  {span} {:<4} {what}", op.pid.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpRecord, SnapOp};
+    use snapshot_registers::ProcessId;
+
+    #[test]
+    fn renders_complete_and_pending_operations() {
+        let ops = vec![
+            OpRecord {
+                pid: ProcessId::new(0),
+                inv: 0,
+                res: Some(3),
+                op: SnapOp::Update { word: 0, value: 7 },
+            },
+            OpRecord {
+                pid: ProcessId::new(1),
+                inv: 1,
+                res: None,
+                op: SnapOp::Update { word: 1, value: 9 },
+            },
+            OpRecord {
+                pid: ProcessId::new(0),
+                inv: 4,
+                res: Some(5),
+                op: SnapOp::Scan { view: vec![7, 0] },
+            },
+        ];
+        let history = History::from_ops(2, 2, 0, ops);
+        let text = render_timeline(&history);
+        assert!(text.contains("2 processes, 2 words, 3 operations"));
+        assert!(text.contains("update(word 0, 7)"));
+        assert!(text.contains("…"), "pending op must render an open interval");
+        assert!(text.contains("scan -> [7, 0]"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_history_renders_header_only() {
+        let history: History<u8> = History::from_ops(1, 1, 0, vec![]);
+        let text = render_timeline(&history);
+        assert_eq!(text.lines().count(), 1);
+    }
+}

@@ -1,0 +1,448 @@
+use std::collections::HashSet;
+use std::fmt;
+
+use snapshot_automata::{accepts, Sws, SwsAction};
+use snapshot_registers::ProcessId;
+
+use crate::{History, SeqSpec, SnapOp, SnapshotSpec};
+
+/// One operation in Wing–Gong form: an interval plus the operation with
+/// its result.
+#[derive(Clone, Debug)]
+pub struct WgOp<O> {
+    /// Executing process.
+    pub pid: ProcessId,
+    /// Invocation timestamp.
+    pub inv: u64,
+    /// Response timestamp; `None` for pending operations, which *may* have
+    /// taken effect and are linearized only if doing so helps.
+    pub res: Option<u64>,
+    /// The operation.
+    pub op: O,
+}
+
+impl<O> WgOp<O> {
+    fn res_or_max(&self) -> u64 {
+        self.res.unwrap_or(u64::MAX)
+    }
+}
+
+/// Result of a Wing–Gong linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WgResult {
+    /// A valid linearization exists; `witness` lists operation indices in
+    /// linearization order (pending operations may be absent).
+    Linearizable {
+        /// Indices into the checked op slice, in linearization order.
+        witness: Vec<usize>,
+    },
+    /// No linearization exists: the history is **not** linearizable.
+    NotLinearizable,
+    /// The history exceeds the checker's operation limit (128).
+    TooLarge {
+        /// Number of operations in the offending history.
+        len: usize,
+    },
+}
+
+impl WgResult {
+    /// True if a witness was found.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, WgResult::Linearizable { .. })
+    }
+}
+
+const MAX_OPS: usize = 128;
+
+/// Exhaustive linearizability check of `ops` against `spec` (Wing & Gong's
+/// search, with memoization of failed `(linearized-set, state)` pairs).
+///
+/// Complete: returns [`WgResult::NotLinearizable`] **only if** no
+/// linearization exists. Worst-case exponential — intended for histories of
+/// up to a few dozen operations; larger histories go to
+/// [`check_intervals`](crate::check_intervals).
+pub fn check_linearizable<S: SeqSpec>(spec: &S, ops: &[WgOp<S::Op>]) -> WgResult {
+    if ops.len() > MAX_OPS {
+        return WgResult::TooLarge { len: ops.len() };
+    }
+    let complete_mask: u128 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.res.is_some())
+        .fold(0u128, |m, (i, _)| m | (1 << i));
+
+    let mut memo: HashSet<(u128, S::State)> = HashSet::new();
+    let mut witness = Vec::new();
+    if dfs(
+        spec,
+        ops,
+        0,
+        &spec.initial(),
+        complete_mask,
+        &mut memo,
+        &mut witness,
+    ) {
+        WgResult::Linearizable { witness }
+    } else {
+        WgResult::NotLinearizable
+    }
+}
+
+fn dfs<S: SeqSpec>(
+    spec: &S,
+    ops: &[WgOp<S::Op>],
+    mask: u128,
+    state: &S::State,
+    complete_mask: u128,
+    memo: &mut HashSet<(u128, S::State)>,
+    witness: &mut Vec<usize>,
+) -> bool {
+    if mask & complete_mask == complete_mask {
+        return true;
+    }
+    if memo.contains(&(mask, state.clone())) {
+        return false;
+    }
+    for i in 0..ops.len() {
+        if mask & (1 << i) != 0 {
+            continue;
+        }
+        // Real-time order: `i` may be next only if no other unlinearized
+        // operation responded before `i` was invoked.
+        let precedes_ok = (0..ops.len())
+            .all(|j| j == i || mask & (1 << j) != 0 || ops[i].inv < ops[j].res_or_max());
+        if !precedes_ok {
+            continue;
+        }
+        if let Some(next) = spec.apply(state, ops[i].pid, &ops[i].op) {
+            witness.push(i);
+            if dfs(
+                spec,
+                ops,
+                mask | (1 << i),
+                &next,
+                complete_mask,
+                memo,
+                witness,
+            ) {
+                return true;
+            }
+            witness.pop();
+        }
+    }
+    memo.insert((mask, state.clone()));
+    false
+}
+
+/// Checks a recorded snapshot [`History`] for linearizability against the
+/// appropriate (single- or multi-writer) sequential snapshot spec.
+pub fn check_history<V: Clone + Eq + std::hash::Hash + fmt::Debug>(
+    history: &History<V>,
+) -> WgResult {
+    let spec = if history.is_single_writer() {
+        SnapshotSpec::single_writer(history.words(), history.init().clone())
+    } else {
+        SnapshotSpec::multi_writer(history.words(), history.init().clone())
+    };
+    let ops: Vec<WgOp<SnapOp<V>>> = history
+        .ops()
+        .iter()
+        .map(|o| WgOp {
+            pid: o.pid,
+            inv: o.inv,
+            res: o.res,
+            op: o.op.clone(),
+        })
+        .collect();
+    check_linearizable(&spec, &ops)
+}
+
+/// Cross-validates a Wing–Gong witness against the paper's own correctness
+/// definition: reconstructs the full behavior — `Request`/`Return` events
+/// in timestamp order with the internal `Update`/`Scan` actions inserted at
+/// the witnessed serialization points — and runs it through the [`Sws`]
+/// automaton of Figure 1.
+///
+/// Only meaningful for single-writer histories; returns `false` for
+/// multi-writer ones.
+pub fn witness_accepted_by_sws<V: Clone + Eq + fmt::Debug>(
+    history: &History<V>,
+    witness: &[usize],
+) -> bool {
+    if !history.is_single_writer() {
+        return false;
+    }
+    let ops = history.ops();
+    let internal = |i: usize| -> SwsAction<V> {
+        let o = &ops[i];
+        match &o.op {
+            SnapOp::Update { value, .. } => SwsAction::Update {
+                pid: o.pid,
+                value: value.clone(),
+            },
+            SnapOp::Scan { view } => SwsAction::Scan {
+                pid: o.pid,
+                view: view.clone(),
+            },
+        }
+    };
+
+    // Boundary events in timestamp order.
+    #[derive(Clone, Copy)]
+    enum Boundary {
+        Inv(usize),
+        Res(usize),
+    }
+    let mut events: Vec<(u64, Boundary)> = Vec::new();
+    for (i, o) in ops.iter().enumerate() {
+        events.push((o.inv, Boundary::Inv(i)));
+        if let Some(r) = o.res {
+            events.push((r, Boundary::Res(i)));
+        }
+    }
+    events.sort_by_key(|(t, _)| *t);
+
+    // Witness position per op (usize::MAX = not linearized).
+    let mut pos = vec![usize::MAX; ops.len()];
+    for (k, &i) in witness.iter().enumerate() {
+        pos[i] = k;
+    }
+
+    let mut actions: Vec<SwsAction<V>> = Vec::new();
+    let mut inv_seen = vec![false; ops.len()];
+    let mut next_internal = 0usize;
+
+    let flush_up_to = |k_incl: usize,
+                       actions: &mut Vec<SwsAction<V>>,
+                       inv_seen: &[bool],
+                       next_internal: &mut usize|
+     -> bool {
+        while *next_internal <= k_incl {
+            let op_idx = witness[*next_internal];
+            if !inv_seen[op_idx] {
+                return false; // serialized before invocation: invalid witness
+            }
+            actions.push(internal(op_idx));
+            *next_internal += 1;
+        }
+        true
+    };
+
+    for (_, b) in events {
+        match b {
+            Boundary::Inv(i) => {
+                inv_seen[i] = true;
+                let o = &ops[i];
+                actions.push(match &o.op {
+                    SnapOp::Update { value, .. } => SwsAction::UpdateRequest {
+                        pid: o.pid,
+                        value: value.clone(),
+                    },
+                    SnapOp::Scan { .. } => SwsAction::ScanRequest { pid: o.pid },
+                });
+            }
+            Boundary::Res(i) => {
+                // Everything serialized at or before this op must take
+                // effect before it returns.
+                if pos[i] == usize::MAX {
+                    return false; // a completed op missing from the witness
+                }
+                if !flush_up_to(pos[i], &mut actions, &inv_seen, &mut next_internal) {
+                    return false;
+                }
+                let o = &ops[i];
+                actions.push(match &o.op {
+                    SnapOp::Update { .. } => SwsAction::UpdateReturn { pid: o.pid },
+                    SnapOp::Scan { view } => SwsAction::ScanReturn {
+                        pid: o.pid,
+                        view: view.clone(),
+                    },
+                });
+            }
+        }
+    }
+    // Pending ops linearized after the last response.
+    if !witness.is_empty()
+        && !flush_up_to(
+            witness.len() - 1,
+            &mut actions,
+            &inv_seen,
+            &mut next_internal,
+        )
+    {
+        return false;
+    }
+
+    let sws = Sws::new(history.processes(), history.init().clone());
+    accepts(&sws, &actions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpRecord;
+
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+    const P2: ProcessId = ProcessId::new(2);
+
+    fn update(pid: ProcessId, inv: u64, res: u64, value: u32) -> OpRecord<u32> {
+        OpRecord {
+            pid,
+            inv,
+            res: Some(res),
+            op: SnapOp::Update {
+                word: pid.get(),
+                value,
+            },
+        }
+    }
+
+    fn scan(pid: ProcessId, inv: u64, res: u64, view: Vec<u32>) -> OpRecord<u32> {
+        OpRecord {
+            pid,
+            inv,
+            res: Some(res),
+            op: SnapOp::Scan { view },
+        }
+    }
+
+    fn check(n: usize, ops: Vec<OpRecord<u32>>) -> WgResult {
+        check_history(&History::from_ops(n, n, 0, ops))
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check(2, vec![]).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let r = check(2, vec![update(P0, 0, 1, 5), scan(P1, 2, 3, vec![5, 0])]);
+        assert_eq!(
+            r,
+            WgResult::Linearizable {
+                witness: vec![0, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn stale_scan_after_update_is_rejected() {
+        // Scan starts after the update completed but misses its value.
+        let r = check(2, vec![update(P0, 0, 1, 5), scan(P1, 2, 3, vec![0, 0])]);
+        assert_eq!(r, WgResult::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_scan_may_or_may_not_see_update() {
+        for view in [vec![5, 0], vec![0, 0]] {
+            let r = check(2, vec![update(P0, 0, 3, 5), scan(P1, 1, 2, view)]);
+            assert!(r.is_linearizable());
+        }
+    }
+
+    #[test]
+    fn scans_must_be_mutually_consistent() {
+        // Two scans concurrent with two updates observe them in opposite
+        // orders: {5,0} then {0,7} is impossible in any serialization.
+        let ops = vec![
+            update(P0, 0, 10, 5),
+            update(P1, 1, 11, 7),
+            scan(P2, 2, 3, vec![5, 0, 0]),
+            scan(P2, 4, 5, vec![0, 7, 0]),
+        ];
+        assert_eq!(check(3, ops), WgResult::NotLinearizable);
+    }
+
+    #[test]
+    fn pending_update_may_be_observed() {
+        let ops = vec![
+            OpRecord {
+                pid: P0,
+                inv: 0,
+                res: None,
+                op: SnapOp::Update { word: 0, value: 9 },
+            },
+            scan(P1, 1, 2, vec![9, 0]),
+        ];
+        assert!(check(2, ops).is_linearizable());
+    }
+
+    #[test]
+    fn pending_update_may_also_never_happen() {
+        let ops = vec![
+            OpRecord {
+                pid: P0,
+                inv: 0,
+                res: None,
+                op: SnapOp::Update { word: 0, value: 9 },
+            },
+            scan(P1, 1, 2, vec![0, 0]),
+        ];
+        assert!(check(2, ops).is_linearizable());
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // Update finishes before scan starts; scan sees it; then a second
+        // scan must not travel back in time.
+        let ops = vec![
+            update(P0, 0, 1, 1),
+            scan(P1, 2, 3, vec![1, 0]),
+            update(P0, 4, 5, 2),
+            scan(P1, 6, 7, vec![1, 0]), // stale: must see 2
+        ];
+        assert_eq!(check(2, ops), WgResult::NotLinearizable);
+    }
+
+    #[test]
+    fn witness_is_validated_by_the_sws_automaton() {
+        let ops = vec![
+            update(P0, 0, 3, 5),
+            scan(P1, 1, 2, vec![0, 0]), // concurrent, misses it
+            scan(P1, 4, 5, vec![5, 0]),
+        ];
+        let h = History::from_ops(2, 2, 0, ops);
+        match check_history(&h) {
+            WgResult::Linearizable { witness } => {
+                assert!(witness_accepted_by_sws(&h, &witness));
+            }
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bogus_witness_is_rejected_by_the_sws_automaton() {
+        let ops = vec![update(P0, 0, 1, 5), scan(P1, 2, 3, vec![5, 0])];
+        let h = History::from_ops(2, 2, 0, ops);
+        // Reversed order: scan would have to see 5 before it was written.
+        assert!(!witness_accepted_by_sws(&h, &[1, 0]));
+    }
+
+    #[test]
+    fn oversized_histories_are_refused_not_mischecked() {
+        let ops: Vec<OpRecord<u32>> = (0..130)
+            .map(|k| update(P0, 2 * k, 2 * k + 1, k as u32))
+            .collect();
+        let h = History::from_ops(1, 1, 0, ops);
+        assert_eq!(check_history(&h), WgResult::TooLarge { len: 130 });
+    }
+
+    #[test]
+    fn multi_writer_histories_use_the_mw_spec() {
+        // P1 writes word 0 (illegal in SW, legal in MW).
+        let ops = vec![
+            OpRecord {
+                pid: P1,
+                inv: 0,
+                res: Some(1),
+                op: SnapOp::Update { word: 0, value: 3 },
+            },
+            scan(P0, 2, 3, vec![3, 0]),
+        ];
+        let h = History::from_ops(2, 2, 0, ops);
+        assert!(!h.is_single_writer());
+        assert!(check_history(&h).is_linearizable());
+    }
+}

@@ -1,0 +1,64 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::{ProcessId, Register};
+
+/// A one-bit atomic register backed directly by an [`AtomicBool`].
+///
+/// The bounded algorithms (Figures 3 and 4 of the paper) communicate
+/// through *handshake bits* `q_{i,j}` — single-writer, single-reader
+/// boolean registers. A hardware atomic boolean implements that primitive
+/// exactly, with no indirection.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_registers::{BitCell, ProcessId, Register};
+///
+/// let bit = BitCell::new(false);
+/// bit.write(ProcessId::new(0), true);
+/// assert!(bit.read(ProcessId::new(1)));
+/// ```
+#[derive(Debug, Default)]
+pub struct BitCell {
+    bit: AtomicBool,
+}
+
+impl BitCell {
+    /// Creates a bit register holding `init`.
+    pub fn new(init: bool) -> Self {
+        BitCell {
+            bit: AtomicBool::new(init),
+        }
+    }
+}
+
+impl Register<bool> for BitCell {
+    fn read(&self, _reader: ProcessId) -> bool {
+        self.bit.load(Ordering::SeqCst)
+    }
+
+    fn write(&self, _writer: ProcessId, value: bool) {
+        self.bit.store(value, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flips_round_trip() {
+        let bit = BitCell::new(false);
+        let p = ProcessId::new(0);
+        assert!(!bit.read(p));
+        bit.write(p, true);
+        assert!(bit.read(p));
+        bit.write(p, false);
+        assert!(!bit.read(p));
+    }
+
+    #[test]
+    fn default_is_false() {
+        assert!(!BitCell::default().read(ProcessId::new(0)));
+    }
+}

@@ -1,0 +1,42 @@
+use crate::{ProcessId, Register};
+
+/// Reads every register in `regs`, in index order, on behalf of `reader`.
+///
+/// This is the paper's `collect` operation: a *non-atomic* read of the
+/// whole register array, the building block of the double-collect scans in
+/// Figures 2–4. A single collect gives no consistency guarantee — the whole
+/// point of the snapshot constructions is to turn pairs of collects into an
+/// atomic scan.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register};
+///
+/// let backend = EpochBackend::default();
+/// let regs: Vec<_> = (0..3u32).map(|i| backend.cell(i)).collect();
+/// regs[1].write(ProcessId::new(1), 10);
+/// assert_eq!(collect(ProcessId::new(0), &regs), vec![0, 10, 2]);
+/// ```
+pub fn collect<T, R: Register<T>>(reader: ProcessId, regs: &[R]) -> Vec<T> {
+    regs.iter().map(|r| r.read(reader)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, EpochBackend};
+
+    #[test]
+    fn collect_reads_in_index_order() {
+        let backend = EpochBackend::new();
+        let regs: Vec<_> = (0..5i32).map(|i| backend.cell(i * i)).collect();
+        assert_eq!(collect(ProcessId::new(0), &regs), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn collect_of_empty_array_is_empty() {
+        let regs: Vec<crate::EpochCell<u8>> = Vec::new();
+        assert!(collect(ProcessId::new(0), &regs).is_empty());
+    }
+}

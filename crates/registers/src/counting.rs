@@ -1,0 +1,225 @@
+use std::fmt;
+use std::ops::{Add, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ProcessId;
+
+/// The kind of a primitive register operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A register read.
+    Read,
+    /// A register write.
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => f.write_str("read"),
+            OpKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Per-process counters of primitive register operations.
+///
+/// The paper's complexity claims (Lemmas 3.4, 4.4 and the Section 6
+/// comparison) are stated in *reads and writes to the component shared
+/// registers*. Wrapping any [`Backend`] in [`Instrumented`] with an
+/// `OpCounters` makes those counts observable, so the experiments measure
+/// exactly the quantity the paper bounds.
+///
+/// [`Backend`]: crate::Backend
+/// [`Instrumented`]: crate::Instrumented
+///
+/// # Example
+///
+/// ```
+/// use snapshot_registers::{OpCounters, OpKind, ProcessId};
+///
+/// let counters = OpCounters::new(2);
+/// counters.record(ProcessId::new(0), OpKind::Read);
+/// counters.record(ProcessId::new(0), OpKind::Write);
+/// let snap = counters.snapshot(ProcessId::new(0));
+/// assert_eq!((snap.reads, snap.writes), (1, 1));
+/// ```
+pub struct OpCounters {
+    reads: Box<[AtomicU64]>,
+    writes: Box<[AtomicU64]>,
+}
+
+impl OpCounters {
+    /// Creates zeroed counters for `n` processes.
+    pub fn new(n: usize) -> Self {
+        OpCounters {
+            reads: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            writes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of processes tracked.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the counter set tracks zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Records one operation by `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range for the tracked process count.
+    pub fn record(&self, pid: ProcessId, op: OpKind) {
+        let i = pid.get();
+        match op {
+            OpKind::Read => self.reads[i].fetch_add(1, Ordering::Relaxed),
+            OpKind::Write => self.writes[i].fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Current counts for one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range for the tracked process count.
+    pub fn snapshot(&self, pid: ProcessId) -> OpSnapshot {
+        let i = pid.get();
+        OpSnapshot {
+            reads: self.reads[i].load(Ordering::Relaxed),
+            writes: self.writes[i].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sum of counts over all processes.
+    pub fn total(&self) -> OpSnapshot {
+        let mut acc = OpSnapshot::default();
+        for i in 0..self.len() {
+            acc = acc + self.snapshot(ProcessId::new(i));
+        }
+        acc
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        for c in self.reads.iter().chain(self.writes.iter()) {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for OpCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpCounters")
+            .field("processes", &self.len())
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+/// A point-in-time reading of one process's (or the aggregate) operation
+/// counts. Subtract two snapshots to get the cost of a code region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpSnapshot {
+    /// Number of register reads.
+    pub reads: u64,
+    /// Number of register writes.
+    pub writes: u64,
+}
+
+impl OpSnapshot {
+    /// Total primitive operations (reads + writes).
+    pub fn total(self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl Add for OpSnapshot {
+    type Output = OpSnapshot;
+
+    fn add(self, rhs: OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+impl Sub for OpSnapshot {
+    type Output = OpSnapshot;
+
+    fn sub(self, rhs: OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+        }
+    }
+}
+
+impl fmt::Display for OpSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}r+{}w", self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_attributed_per_process() {
+        let c = OpCounters::new(3);
+        c.record(ProcessId::new(0), OpKind::Read);
+        c.record(ProcessId::new(2), OpKind::Write);
+        c.record(ProcessId::new(2), OpKind::Write);
+        assert_eq!(c.snapshot(ProcessId::new(0)).reads, 1);
+        assert_eq!(c.snapshot(ProcessId::new(1)).total(), 0);
+        assert_eq!(c.snapshot(ProcessId::new(2)).writes, 2);
+        assert_eq!(c.total().total(), 3);
+    }
+
+    #[test]
+    fn snapshot_deltas_measure_regions() {
+        let c = OpCounters::new(1);
+        let p = ProcessId::new(0);
+        c.record(p, OpKind::Read);
+        let before = c.snapshot(p);
+        c.record(p, OpKind::Read);
+        c.record(p, OpKind::Write);
+        let delta = c.snapshot(p) - before;
+        assert_eq!(
+            delta,
+            OpSnapshot {
+                reads: 1,
+                writes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = OpCounters::new(2);
+        c.record(ProcessId::new(1), OpKind::Read);
+        c.reset();
+        assert_eq!(c.total(), OpSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let c = OpCounters::new(4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        c.record(ProcessId::new(t), OpKind::Read);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.total().reads, 4_000);
+    }
+}

@@ -1,0 +1,41 @@
+use std::fmt;
+
+use crate::{OpKind, ProcessId};
+
+/// A hook invoked immediately before every primitive register operation.
+///
+/// The deterministic simulator in `snapshot-sim` implements this trait with
+/// a gate that *parks the calling thread* until the scheduler grants it a
+/// step. Because every shared-memory access funnels through the gate and at
+/// most one process runs between grants, the scheduler totally orders all
+/// register operations — turning the very same algorithm code that runs on
+/// real threads into a deterministically explorable state machine.
+///
+/// Implementations must not panic while other gated threads are parked
+/// unless the whole exploration is being torn down.
+pub trait StepGate: Send + Sync {
+    /// Blocks (or not) until the process `pid` may perform `op`.
+    fn step(&self, pid: ProcessId, op: OpKind);
+}
+
+/// A gate that never blocks: real-concurrency execution.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_registers::{NullGate, OpKind, ProcessId, StepGate};
+///
+/// NullGate.step(ProcessId::new(0), OpKind::Read); // returns immediately
+/// ```
+#[derive(Clone, Copy, Default)]
+pub struct NullGate;
+
+impl StepGate for NullGate {
+    fn step(&self, _pid: ProcessId, _op: OpKind) {}
+}
+
+impl fmt::Debug for NullGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("NullGate")
+    }
+}

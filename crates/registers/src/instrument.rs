@@ -1,0 +1,228 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Backend, OpCounters, OpKind, ProcessId, Register, RegisterValue, StepGate};
+
+/// The observation hooks shared by every cell an [`Instrumented`] backend
+/// creates: optional per-process operation counters and an optional
+/// scheduler gate.
+#[derive(Clone, Default)]
+pub struct Probe {
+    counters: Option<Arc<OpCounters>>,
+    gate: Option<Arc<dyn StepGate>>,
+}
+
+impl Probe {
+    /// A probe that counts operations into `counters`.
+    pub fn counting(counters: Arc<OpCounters>) -> Self {
+        Probe {
+            counters: Some(counters),
+            gate: None,
+        }
+    }
+
+    /// A probe that parks at `gate` before every operation.
+    pub fn gated(gate: Arc<dyn StepGate>) -> Self {
+        Probe {
+            counters: None,
+            gate: Some(gate),
+        }
+    }
+
+    /// Adds counting to this probe.
+    pub fn with_counters(mut self, counters: Arc<OpCounters>) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Adds gating to this probe.
+    pub fn with_gate(mut self, gate: Arc<dyn StepGate>) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// The counters this probe records into, if any.
+    pub fn counters(&self) -> Option<&Arc<OpCounters>> {
+        self.counters.as_ref()
+    }
+
+    fn observe(&self, pid: ProcessId, op: OpKind) {
+        if let Some(gate) = &self.gate {
+            gate.step(pid, op);
+        }
+        if let Some(counters) = &self.counters {
+            counters.record(pid, op);
+        }
+    }
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe")
+            .field("counting", &self.counters.is_some())
+            .field("gated", &self.gate.is_some())
+            .finish()
+    }
+}
+
+/// A [`Backend`] wrapper whose every cell reports to a shared [`Probe`].
+///
+/// Composes with any inner backend: counted real-concurrency runs
+/// (`Instrumented<EpochBackend>` with counters), deterministic simulation
+/// (gate installed by `snapshot-sim`), or both at once — the step-complexity
+/// experiments count operations *under* adversarial schedules this way.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use snapshot_registers::{
+///     Backend, EpochBackend, Instrumented, OpCounters, ProcessId, Register,
+/// };
+///
+/// let counters = Arc::new(OpCounters::new(1));
+/// let backend = Instrumented::new(EpochBackend::default())
+///     .with_counters(Arc::clone(&counters));
+/// let cell = backend.cell(0u8);
+/// let p = ProcessId::new(0);
+/// cell.write(p, 1);
+/// cell.read(p);
+/// let snap = counters.snapshot(p);
+/// assert_eq!((snap.reads, snap.writes), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct Instrumented<B> {
+    inner: B,
+    probe: Probe,
+}
+
+impl<B> Instrumented<B> {
+    /// Wraps `inner` with an empty probe (no counting, no gating).
+    pub fn new(inner: B) -> Self {
+        Instrumented {
+            inner,
+            probe: Probe::default(),
+        }
+    }
+
+    /// Wraps `inner` with an explicit probe.
+    pub fn with_probe(inner: B, probe: Probe) -> Self {
+        Instrumented { inner, probe }
+    }
+
+    /// Adds operation counting.
+    pub fn with_counters(mut self, counters: Arc<OpCounters>) -> Self {
+        self.probe = self.probe.with_counters(counters);
+        self
+    }
+
+    /// Adds scheduler gating.
+    pub fn with_gate(mut self, gate: Arc<dyn StepGate>) -> Self {
+        self.probe = self.probe.with_gate(gate);
+        self
+    }
+
+    /// The probe shared by all cells of this backend.
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Consumes the wrapper, returning the inner backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: Backend> Backend for Instrumented<B> {
+    type Cell<T: RegisterValue> = InstrumentedCell<B::Cell<T>>;
+    type Bit = InstrumentedCell<B::Bit>;
+
+    fn cell<T: RegisterValue>(&self, init: T) -> Self::Cell<T> {
+        InstrumentedCell {
+            inner: self.inner.cell(init),
+            probe: self.probe.clone(),
+        }
+    }
+
+    fn bit(&self, init: bool) -> Self::Bit {
+        InstrumentedCell {
+            inner: self.inner.bit(init),
+            probe: self.probe.clone(),
+        }
+    }
+}
+
+/// A register cell that reports every operation to a [`Probe`] before
+/// delegating to the wrapped cell.
+pub struct InstrumentedCell<R> {
+    inner: R,
+    probe: Probe,
+}
+
+impl<T, R: Register<T>> Register<T> for InstrumentedCell<R> {
+    fn read(&self, reader: ProcessId) -> T {
+        self.probe.observe(reader, OpKind::Read);
+        self.inner.read(reader)
+    }
+
+    fn write(&self, writer: ProcessId, value: T) {
+        self.probe.observe(writer, OpKind::Write);
+        self.inner.write(writer, value)
+    }
+}
+
+impl<R: fmt::Debug> fmt::Debug for InstrumentedCell<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstrumentedCell")
+            .field("inner", &self.inner)
+            .field("probe", &self.probe)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EpochBackend;
+
+    #[test]
+    fn counters_see_every_cell_of_the_backend() {
+        let counters = Arc::new(OpCounters::new(2));
+        let backend = Instrumented::new(EpochBackend::new()).with_counters(Arc::clone(&counters));
+        let a = backend.cell(0u32);
+        let b = backend.cell(0u32);
+        let bit = backend.bit(false);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+
+        a.read(p0);
+        b.read(p0);
+        bit.write(p1, true);
+
+        assert_eq!(counters.snapshot(p0).reads, 2);
+        assert_eq!(counters.snapshot(p1).writes, 1);
+    }
+
+    #[test]
+    fn gate_is_invoked_before_each_operation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Debug, Default)]
+        struct CountingGate(AtomicU64);
+        impl StepGate for CountingGate {
+            fn step(&self, _pid: ProcessId, _op: OpKind) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let gate = Arc::new(CountingGate::default());
+        let backend = Instrumented::new(EpochBackend::new())
+            .with_gate(Arc::clone(&gate) as Arc<dyn StepGate>);
+        let cell = backend.cell(0u8);
+        let p = ProcessId::new(0);
+        cell.write(p, 1);
+        cell.read(p);
+        cell.read(p);
+        assert_eq!(gate.0.load(Ordering::Relaxed), 3);
+    }
+}

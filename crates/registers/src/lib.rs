@@ -1,0 +1,105 @@
+//! Atomic read/write register substrate for the wait-free atomic-snapshot
+//! constructions of Afek, Attiya, Dolev, Gafni, Merritt and Shavit
+//! (*Atomic Snapshots of Shared Memory*, PODC 1990).
+//!
+//! The paper's model allows exactly one kind of shared primitive: the
+//! **atomic (linearizable) read/write register**. This crate provides that
+//! primitive in several interchangeable flavors, plus the instrumentation
+//! the reproduction needs:
+//!
+//! * [`Register`] — the abstract single-cell read/write interface, with
+//!   every access attributed to a [`ProcessId`];
+//! * [`EpochCell`] — the default lock-free register: an immutable record
+//!   behind an atomic pointer, reclaimed with epoch-based GC (a write is a
+//!   single pointer swap, so arbitrarily wide records are written
+//!   atomically, exactly as the paper assumes);
+//! * [`MutexCell`] and [`SeqLockCell`] — blocking and sequence-lock
+//!   baselines for the benchmarks;
+//! * [`BitCell`] — a specialized boolean register for the handshake bits
+//!   of the bounded algorithms;
+//! * [`Backend`] — a factory abstraction so each snapshot algorithm is
+//!   generic over the register flavor;
+//! * [`Instrumented`] — a transparent wrapper that counts register
+//!   operations per process ([`OpCounters`]) and/or parks at every
+//!   register access until a scheduler grants a step ([`StepGate`]); the
+//!   deterministic simulator in `snapshot-sim` drives the latter;
+//! * [`MwmrFromSwmr`] — an n-writer n-reader register built from n
+//!   single-writer registers (Vitányi–Awerbuch-style unbounded-tag
+//!   construction), used to trace the multi-writer snapshot's cost back to
+//!   single-writer operations as in Section 6 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use snapshot_registers::{Backend, EpochBackend, ProcessId, Register};
+//!
+//! let backend = EpochBackend::default();
+//! let cell = backend.cell(0u64);
+//! let p0 = ProcessId::new(0);
+//! cell.write(p0, 7);
+//! assert_eq!(cell.read(p0), 7);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod bit_cell;
+mod collect;
+mod counting;
+mod epoch_cell;
+mod gate;
+mod instrument;
+mod mutex_cell;
+mod mwmr_from_swmr;
+mod process;
+mod seqlock;
+
+pub use backend::{Backend, EpochBackend, MutexBackend, RegisterValue};
+pub use bit_cell::BitCell;
+pub use collect::collect;
+pub use counting::{OpCounters, OpKind, OpSnapshot};
+pub use epoch_cell::EpochCell;
+pub use gate::{NullGate, StepGate};
+pub use instrument::{Instrumented, InstrumentedCell, Probe};
+pub use mutex_cell::MutexCell;
+pub use mwmr_from_swmr::{CompoundBackend, MwmrFromSwmr, Tagged};
+pub use process::ProcessId;
+pub use seqlock::SeqLockCell;
+
+/// A shared atomic (linearizable) read/write register.
+///
+/// Every access names the process performing it; implementations use this
+/// for instrumentation, for scheduler gating, and (in debug builds) to
+/// enforce single-writer disciplines.
+///
+/// Implementations must be linearizable: each `read` returns the value of
+/// some `write` (or the initial value) consistent with a total order of all
+/// operations that respects real time.
+pub trait Register<T>: Send + Sync {
+    /// Reads the current register contents on behalf of `reader`.
+    fn read(&self, reader: ProcessId) -> T;
+
+    /// Replaces the register contents with `value` on behalf of `writer`.
+    fn write(&self, writer: ProcessId, value: T);
+}
+
+impl<T, R: Register<T> + ?Sized> Register<T> for &R {
+    fn read(&self, reader: ProcessId) -> T {
+        (**self).read(reader)
+    }
+
+    fn write(&self, writer: ProcessId, value: T) {
+        (**self).write(writer, value)
+    }
+}
+
+impl<T, R: Register<T> + ?Sized> Register<T> for std::sync::Arc<R> {
+    fn read(&self, reader: ProcessId) -> T {
+        (**self).read(reader)
+    }
+
+    fn write(&self, writer: ProcessId, value: T) {
+        (**self).write(writer, value)
+    }
+}

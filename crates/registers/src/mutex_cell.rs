@@ -1,0 +1,87 @@
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::{ProcessId, Register};
+
+/// A blocking register baseline: the value behind a [`parking_lot::Mutex`].
+///
+/// Linearizable but *not* wait-free in the strict sense (a reader can be
+/// delayed by a writer holding the lock). It exists as a benchmark baseline
+/// and as a sanity cross-check for the lock-free [`EpochCell`]: every test
+/// and experiment in the workspace can be re-run over this backend.
+///
+/// [`EpochCell`]: crate::EpochCell
+///
+/// # Example
+///
+/// ```
+/// use snapshot_registers::{MutexCell, ProcessId, Register};
+///
+/// let cell = MutexCell::new(1u8);
+/// cell.write(ProcessId::new(0), 2);
+/// assert_eq!(cell.read(ProcessId::new(1)), 2);
+/// ```
+pub struct MutexCell<T> {
+    slot: Mutex<T>,
+}
+
+impl<T: Clone + Send> MutexCell<T> {
+    /// Creates a register holding `init`.
+    pub fn new(init: T) -> Self {
+        MutexCell {
+            slot: Mutex::new(init),
+        }
+    }
+}
+
+impl<T: Clone + Send> Register<T> for MutexCell<T> {
+    fn read(&self, _reader: ProcessId) -> T {
+        self.slot.lock().clone()
+    }
+
+    fn write(&self, _writer: ProcessId, value: T) {
+        *self.slot.lock() = value;
+    }
+}
+
+impl<T> fmt::Debug for MutexCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutexCell").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let cell = MutexCell::new(vec![0u8]);
+        cell.write(ProcessId::new(0), vec![1, 2]);
+        assert_eq!(cell.read(ProcessId::new(1)), vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_tear() {
+        let cell = MutexCell::new((0u64, 0u64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cell = &cell;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let v = t * 500 + i;
+                        cell.write(ProcessId::new(t as usize), (v, v * 7));
+                    }
+                });
+            }
+            let cell = &cell;
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    let (a, b) = cell.read(ProcessId::new(4));
+                    assert_eq!(b, a * 7);
+                }
+            });
+        });
+    }
+}

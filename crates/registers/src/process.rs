@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Identity of one of the `n` processes sharing a snapshot object.
+///
+/// Process ids are dense indices `0..n`; the paper writes them `P_1 .. P_n`.
+/// The id doubles as the index of the process's own segment in a
+/// single-writer snapshot memory.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_registers::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.get(), 3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from its dense index.
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the dense index of this process.
+    pub const fn get(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all process ids `0..n`.
+    ///
+    /// ```
+    /// use snapshot_registers::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).map(|p| p.get()).collect();
+    /// assert_eq!(ids, [0, 1, 2]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(pid: ProcessId) -> Self {
+        pid.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the register substrate: sequential semantics of
+//! every cell flavor against a reference model, and the counter algebra.
+
+use proptest::prelude::*;
+use snapshot_registers::{
+    Backend, EpochBackend, EpochCell, MutexBackend, MwmrFromSwmr, OpCounters, OpKind, ProcessId,
+    Register, SeqLockCell,
+};
+
+/// One sequential register operation by some process.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { pid: usize, value: u64 },
+    Read { pid: usize },
+}
+
+fn ops(n_procs: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..n_procs, any::<u64>()).prop_map(|(pid, value)| Op::Write { pid, value }),
+            (0..n_procs).prop_map(|pid| Op::Read { pid }),
+        ],
+        0..len,
+    )
+}
+
+/// Applies `ops` sequentially to `reg`, checking every read against the
+/// last-write model.
+fn check_sequential<R: Register<u64>>(reg: &R, init: u64, ops: &[Op]) {
+    let mut model = init;
+    for op in ops {
+        match op {
+            Op::Write { pid, value } => {
+                reg.write(ProcessId::new(*pid), *value);
+                model = *value;
+            }
+            Op::Read { pid } => {
+                assert_eq!(reg.read(ProcessId::new(*pid)), model);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn epoch_cell_is_a_sequential_register(init in any::<u64>(), ops in ops(4, 64)) {
+        check_sequential(&EpochCell::new(init), init, &ops);
+    }
+
+    #[test]
+    fn mutex_backend_is_a_sequential_register(init in any::<u64>(), ops in ops(4, 64)) {
+        let backend = MutexBackend::new();
+        check_sequential(&backend.cell(init), init, &ops);
+    }
+
+    #[test]
+    fn seqlock_is_a_sequential_register(init in any::<u64>(), ops in ops(1, 64)) {
+        // SeqLock is single-writer: all ops by process 0.
+        let owner = ProcessId::new(0);
+        check_sequential(&SeqLockCell::new(owner, init), init, &ops);
+    }
+
+    #[test]
+    fn mwmr_from_swmr_is_a_sequential_register(
+        init in any::<u64>(),
+        n in 1usize..6,
+        raw_ops in ops(6, 48),
+    ) {
+        // Clamp pids into range for this n.
+        let ops: Vec<Op> = raw_ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Write { pid, value } => Op::Write { pid: pid % n, value },
+                Op::Read { pid } => Op::Read { pid: pid % n },
+            })
+            .collect();
+        let reg = MwmrFromSwmr::new(&EpochBackend::new(), n, init);
+        check_sequential(&reg, init, &ops);
+    }
+
+    #[test]
+    fn bit_cells_round_trip(bits in prop::collection::vec(any::<bool>(), 0..32)) {
+        let backend = EpochBackend::new();
+        let bit = backend.bit(false);
+        let p = ProcessId::new(0);
+        let mut model = false;
+        for b in bits {
+            bit.write(p, b);
+            model = b;
+            prop_assert_eq!(bit.read(p), model);
+        }
+    }
+
+    #[test]
+    fn op_counters_sum_to_recorded_totals(
+        events in prop::collection::vec((0usize..5, any::<bool>()), 0..200)
+    ) {
+        let counters = OpCounters::new(5);
+        let mut reads = [0u64; 5];
+        let mut writes = [0u64; 5];
+        for (pid, is_read) in &events {
+            let kind = if *is_read { OpKind::Read } else { OpKind::Write };
+            counters.record(ProcessId::new(*pid), kind);
+            if *is_read {
+                reads[*pid] += 1;
+            } else {
+                writes[*pid] += 1;
+            }
+        }
+        for pid in 0..5 {
+            let snap = counters.snapshot(ProcessId::new(pid));
+            prop_assert_eq!(snap.reads, reads[pid]);
+            prop_assert_eq!(snap.writes, writes[pid]);
+        }
+        let total = counters.total();
+        prop_assert_eq!(total.reads, reads.iter().sum::<u64>());
+        prop_assert_eq!(total.writes, writes.iter().sum::<u64>());
+        prop_assert_eq!(total.total(), events.len() as u64);
+    }
+
+    #[test]
+    fn mwmr_tags_strictly_dominate_after_writes(
+        writers in prop::collection::vec(0usize..4, 1..24)
+    ) {
+        // After any sequential series of writes, a read from anybody
+        // returns the LAST write, regardless of which processes wrote
+        // (tag order must break ties deterministically).
+        let reg = MwmrFromSwmr::new(&EpochBackend::new(), 4, 0u64);
+        let mut last = 0u64;
+        for (k, w) in writers.iter().enumerate() {
+            last = (k as u64 + 1) * 10 + *w as u64;
+            reg.write(ProcessId::new(*w), last);
+        }
+        for r in 0..4 {
+            prop_assert_eq!(reg.read(ProcessId::new(r)), last);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+use std::fmt;
+
+use crate::policy::ReplayPolicy;
+
+/// Bounds for a systematic exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreLimits {
+    /// Maximum number of schedules to execute.
+    pub max_runs: u64,
+    /// Decisions past this depth never branch (always take choice 0), so
+    /// the exploration tree stays finite even for long runs.
+    pub max_depth: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_runs: 100_000,
+            max_depth: 256,
+        }
+    }
+}
+
+/// How an exploration ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExploreOutcome {
+    /// Every schedule (up to `max_depth` branching) was executed.
+    Complete {
+        /// Number of schedules executed.
+        runs: u64,
+    },
+    /// The `max_runs` budget ran out first.
+    Truncated {
+        /// Number of schedules executed.
+        runs: u64,
+    },
+}
+
+impl ExploreOutcome {
+    /// Number of schedules executed.
+    pub fn runs(&self) -> u64 {
+        match *self {
+            ExploreOutcome::Complete { runs } | ExploreOutcome::Truncated { runs } => runs,
+        }
+    }
+
+    /// True if the whole (depth-bounded) schedule tree was covered.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ExploreOutcome::Complete { .. })
+    }
+}
+
+/// Errors surfaced by [`Explorer::explore`].
+#[derive(Debug)]
+pub enum ExplorerError<E> {
+    /// Replaying an identical prefix produced a different ready-set size —
+    /// the run body is not a deterministic function of the schedule.
+    NonDeterministic {
+        /// First decision depth at which the arity diverged.
+        depth: usize,
+    },
+    /// The run body itself failed (e.g. the simulated algorithm panicked
+    /// or a property check rejected the run).
+    Body {
+        /// The body's error.
+        error: E,
+        /// The choice prefix that reproduces the failing schedule: feed it
+        /// to [`ReplayPolicy::new`] to replay the exact run.
+        ///
+        /// [`ReplayPolicy::new`]: crate::ReplayPolicy::new
+        schedule: Vec<usize>,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for ExplorerError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorerError::NonDeterministic { depth } => write!(
+                f,
+                "exploration body is not deterministic: ready-set arity diverged at depth {depth}"
+            ),
+            ExplorerError::Body { error, schedule } => write!(
+                f,
+                "exploration body failed: {error} (replay schedule: {schedule:?})"
+            ),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for ExplorerError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExplorerError::Body { error, .. } => Some(error),
+            ExplorerError::NonDeterministic { .. } => None,
+        }
+    }
+}
+
+/// Replay-based depth-first enumeration of *every* schedule of a bounded
+/// concurrent run.
+///
+/// The body receives a [`ReplayPolicy`] pre-loaded with a choice prefix; it
+/// must build a **fresh** instance of the system under test, run it under
+/// that policy, and check whatever property it cares about. The explorer
+/// reads back which choices were actually taken and how many alternatives
+/// existed at each decision, then backtracks lexicographically.
+///
+/// # Example
+///
+/// Exhaustively check that two gated writers can produce either final
+/// value:
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use std::sync::Arc;
+/// use snapshot_registers::{Backend, EpochBackend, Instrumented, ProcessId, Register};
+/// use snapshot_sim::{ExploreLimits, Explorer, Sim, SimConfig};
+///
+/// let mut finals = BTreeSet::new();
+/// let outcome = Explorer::new(ExploreLimits::default())
+///     .explore::<std::convert::Infallible>(|policy| {
+///         let sim = Sim::new(2);
+///         let backend = Instrumented::new(EpochBackend::default()).with_gate(sim.gate());
+///         let cell = Arc::new(backend.cell(0u32));
+///         let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+///         for p in 0..2u32 {
+///             let cell = Arc::clone(&cell);
+///             bodies.push(Box::new(move || cell.write(ProcessId::new(p as usize), p + 1)));
+///         }
+///         sim.run(policy, SimConfig::default(), bodies).unwrap();
+///         finals.insert(cell.read(ProcessId::new(0)));
+///         Ok(())
+///     })
+///     .unwrap();
+/// assert!(outcome.is_complete());
+/// assert_eq!(finals, BTreeSet::from([1, 2]));
+/// ```
+#[derive(Debug)]
+pub struct Explorer {
+    limits: ExploreLimits,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given bounds.
+    pub fn new(limits: ExploreLimits) -> Self {
+        Explorer { limits }
+    }
+
+    /// Runs the exploration. See the type-level docs for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first body error, and reports
+    /// [`ExplorerError::NonDeterministic`] if a replayed prefix observes a
+    /// different ready-set size than the run that recorded it.
+    pub fn explore<E>(
+        &self,
+        mut body: impl FnMut(&mut ReplayPolicy) -> Result<(), E>,
+    ) -> Result<ExploreOutcome, ExplorerError<E>> {
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut prev_arities: Vec<usize> = Vec::new();
+        let mut runs: u64 = 0;
+
+        loop {
+            let mut policy = ReplayPolicy::new(prefix.clone());
+            if let Err(error) = body(&mut policy) {
+                let (schedule, _) = policy.into_parts();
+                return Err(ExplorerError::Body { error, schedule });
+            }
+            runs += 1;
+
+            let (choices, arities) = policy.into_parts();
+            // Determinism check over the replayed prefix.
+            for d in 0..prefix.len().min(prev_arities.len()).min(arities.len()) {
+                if arities[d] != prev_arities[d] {
+                    return Err(ExplorerError::NonDeterministic { depth: d });
+                }
+            }
+            prev_arities = arities.clone();
+
+            if runs >= self.limits.max_runs {
+                return Ok(ExploreOutcome::Truncated { runs });
+            }
+
+            // Backtrack: find the deepest branchable decision.
+            let branch_limit = choices.len().min(arities.len()).min(self.limits.max_depth);
+            let mut next = None;
+            for d in (0..branch_limit).rev() {
+                // `choices[d]` may exceed the arity if the caller seeded an
+                // out-of-range prefix; the policy clamps at runtime, so
+                // clamp here symmetrically.
+                let taken = choices[d].min(arities[d] - 1);
+                if taken + 1 < arities[d] {
+                    let mut p = choices[..d].to_vec();
+                    p.push(taken + 1);
+                    next = Some(p);
+                    break;
+                }
+            }
+            match next {
+                Some(p) => {
+                    prev_arities.truncate(p.len().saturating_sub(1));
+                    prefix = p;
+                }
+                None => return Ok(ExploreOutcome::Complete { runs }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::convert::Infallible;
+    use std::sync::Arc;
+
+    use snapshot_registers::{Backend, EpochBackend, Instrumented, ProcessId, Register};
+
+    use crate::{Sim, SimConfig};
+
+    /// Two processes, each performing `k` reads: the schedule tree has
+    /// C(2k, k) interleavings; check the explorer counts them exactly.
+    fn count_interleavings(k: usize) -> u64 {
+        let outcome = Explorer::new(ExploreLimits::default())
+            .explore::<Infallible>(|policy| {
+                let sim = Sim::new(2);
+                let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+                let cell = Arc::new(backend.cell(0u8));
+                let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+                for p in 0..2 {
+                    let cell = Arc::clone(&cell);
+                    bodies.push(Box::new(move || {
+                        for _ in 0..k {
+                            cell.read(ProcessId::new(p));
+                        }
+                    }));
+                }
+                sim.run(policy, SimConfig::default(), bodies).unwrap();
+                Ok(())
+            })
+            .unwrap();
+        assert!(outcome.is_complete());
+        outcome.runs()
+    }
+
+    #[test]
+    fn explores_exactly_the_binomial_number_of_schedules() {
+        // C(2,1)=2, C(4,2)=6, C(6,3)=20.
+        assert_eq!(count_interleavings(1), 2);
+        assert_eq!(count_interleavings(2), 6);
+        assert_eq!(count_interleavings(3), 20);
+    }
+
+    #[test]
+    fn covers_all_distinct_outcomes() {
+        // Read-then-write increment by two processes: final value in {1,2}
+        // and both must be observed across schedules.
+        let mut finals = BTreeSet::new();
+        Explorer::new(ExploreLimits::default())
+            .explore::<Infallible>(|policy| {
+                let sim = Sim::new(2);
+                let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+                let cell = Arc::new(backend.cell(0u32));
+                let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+                for p in 0..2 {
+                    let cell = Arc::clone(&cell);
+                    bodies.push(Box::new(move || {
+                        let pid = ProcessId::new(p);
+                        let v = cell.read(pid);
+                        cell.write(pid, v + 1);
+                    }));
+                }
+                sim.run(policy, SimConfig::default(), bodies).unwrap();
+                finals.insert(cell.read(ProcessId::new(0)));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(finals, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn run_budget_truncates() {
+        let outcome = Explorer::new(ExploreLimits {
+            max_runs: 3,
+            max_depth: 256,
+        })
+        .explore::<Infallible>(|policy| {
+            let sim = Sim::new(2);
+            let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+            let cell = Arc::new(backend.cell(0u8));
+            let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for p in 0..2 {
+                let cell = Arc::clone(&cell);
+                bodies.push(Box::new(move || {
+                    for _ in 0..3 {
+                        cell.read(ProcessId::new(p));
+                    }
+                }));
+            }
+            sim.run(policy, SimConfig::default(), bodies).unwrap();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(outcome, ExploreOutcome::Truncated { runs: 3 });
+    }
+
+    #[test]
+    fn body_errors_propagate() {
+        let err = Explorer::new(ExploreLimits::default())
+            .explore::<&'static str>(|policy| {
+                let sim = Sim::new(1);
+                let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+                let cell = backend.cell(0u8);
+                sim.run(
+                    policy,
+                    SimConfig::default(),
+                    vec![Box::new(|| {
+                        cell.read(ProcessId::new(0));
+                    })],
+                )
+                .unwrap();
+                Err("property violated")
+            })
+            .unwrap_err();
+        match err {
+            ExplorerError::Body { error, schedule } => {
+                assert_eq!(error, "property violated");
+                // The failing run had two reads: two decisions, trivially
+                // index 0 each (one process).
+                assert_eq!(schedule.len(), 1);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic concurrency simulator for the atomic-snapshot
+//! reproduction.
+//!
+//! Wait-freedom and linearizability are properties quantified over *all*
+//! schedules of an adversarial scheduler; real threads exercise only the
+//! schedules the OS happens to produce. This crate runs the **same
+//! algorithm code** that runs on real threads, but funnels every primitive
+//! register operation through a [`StepGate`] that parks the calling thread
+//! until a controller grants it one step. Exactly one process runs between
+//! grants, so the controller totally orders all shared-memory operations
+//! and the execution is a deterministic function of the scheduling
+//! decisions.
+//!
+//! On top of the gate sit:
+//!
+//! * [`Sim`] — the controller: spawns one thread per process, repeatedly
+//!   asks a [`SchedulePolicy`] which parked process to release next, and
+//!   enforces step limits and stop conditions;
+//! * policies — seeded-random ([`RandomPolicy`]), round-robin
+//!   ([`RoundRobinPolicy`]), strict-priority starvation adversaries
+//!   ([`PriorityPolicy`]), crash injection ([`CrashPolicy`]), and exact
+//!   replay ([`ReplayPolicy`]);
+//! * [`Explorer`] — replay-based depth-first *systematic* exploration of
+//!   every schedule of a small configuration, the engine behind the
+//!   exhaustive linearizability experiments.
+//!
+//! [`StepGate`]: snapshot_registers::StepGate
+//!
+//! # Example: two gated writers, fully controlled
+//!
+//! ```
+//! use std::sync::Arc;
+//! use snapshot_registers::{Backend, EpochBackend, Instrumented, ProcessId, Register};
+//! use snapshot_sim::{RoundRobinPolicy, Sim, SimConfig};
+//!
+//! let sim = Sim::new(2);
+//! let backend = Instrumented::new(EpochBackend::default()).with_gate(sim.gate());
+//! let cell = Arc::new(backend.cell(0u32));
+//!
+//! let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+//! for p in 0..2u32 {
+//!     let cell = Arc::clone(&cell);
+//!     bodies.push(Box::new(move || {
+//!         cell.write(ProcessId::new(p as usize), p + 1);
+//!     }));
+//! }
+//! let report = sim
+//!     .run(&mut RoundRobinPolicy::new(), SimConfig::default(), bodies)
+//!     .unwrap();
+//! assert_eq!(report.steps, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod explorer;
+mod policy;
+mod scheduler;
+mod shrink;
+
+pub use explorer::{ExploreLimits, ExploreOutcome, Explorer, ExplorerError};
+pub use policy::{
+    CrashPolicy, Decision, FnPolicy, OpBiasPolicy, PriorityPolicy, RandomPolicy, ReadyProcess,
+    ReplayPolicy, RoundRobinPolicy, SchedulePolicy,
+};
+pub use scheduler::{
+    HaltReason, ProcessStatus, Sim, SimConfig, SimError, SimGate, SimReport, StepRecord,
+};
+pub use shrink::{replay, shrink_schedule};

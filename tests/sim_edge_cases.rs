@@ -1,0 +1,183 @@
+//! Edge cases of the deterministic simulator that the algorithm tests
+//! never hit naturally: empty bodies, processes with no register ops,
+//! single-process exploration, handle reclaim under simulation, and
+//! schedule shrinking of a real linearizability failure.
+
+use std::sync::Arc;
+
+use snapshot_bench::harness::{run_mw_sim, MwStep};
+use snapshot_core::{MultiWriterSnapshot, MwVariant};
+use snapshot_lin::check_history;
+use snapshot_registers::{Backend, EpochBackend, Instrumented, ProcessId, Register};
+use snapshot_sim::{
+    replay, shrink_schedule, Decision, ExploreLimits, Explorer, FnPolicy, RoundRobinPolicy, Sim,
+    SimConfig,
+};
+
+#[test]
+fn processes_with_no_register_ops_complete_immediately() {
+    let sim = Sim::new(3);
+    let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+    let cell = Arc::new(backend.cell(0u8));
+    let c = Arc::clone(&cell);
+    let bodies: Vec<Box<dyn FnOnce() + Send>> = vec![
+        Box::new(|| {}),                                 // empty body
+        Box::new(|| std::hint::black_box(())),           // local-only body
+        Box::new(move || {
+            c.write(ProcessId::new(2), 1);
+        }),
+    ];
+    let report = sim
+        .run(&mut RoundRobinPolicy::new(), SimConfig::default(), bodies)
+        .unwrap();
+    assert_eq!(report.steps, 1); // only P2's write needed a grant
+    assert!(report.statuses.iter().all(|s| matches!(
+        s,
+        snapshot_sim::ProcessStatus::Completed
+    )));
+    assert_eq!(cell.read(ProcessId::new(0)), 1);
+}
+
+#[test]
+fn single_process_exploration_has_exactly_one_schedule() {
+    let mut runs = 0;
+    let outcome = Explorer::new(ExploreLimits::default())
+        .explore::<String>(|policy| {
+            let sim = Sim::new(1);
+            let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+            let cell = backend.cell(0u8);
+            sim.run(
+                policy,
+                SimConfig::default(),
+                vec![Box::new(|| {
+                    cell.write(ProcessId::new(0), 1);
+                    cell.read(ProcessId::new(0));
+                })],
+            )
+            .map_err(|e| e.to_string())?;
+            runs += 1;
+            Ok(())
+        })
+        .unwrap();
+    assert!(outcome.is_complete());
+    assert_eq!(runs, 1);
+}
+
+#[test]
+fn handles_can_be_reclaimed_inside_a_simulated_process() {
+    use snapshot_core::{BoundedSnapshot, SwSnapshot, SwSnapshotHandle};
+
+    let sim = Sim::new(1);
+    let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+    let object = BoundedSnapshot::with_backend(1, 0u64, &backend);
+    let report = sim
+        .run(
+            &mut RoundRobinPolicy::new(),
+            SimConfig::default(),
+            vec![Box::new(|| {
+                {
+                    let mut h = object.handle(ProcessId::new(0));
+                    h.update(1);
+                } // drop + re-claim
+                let mut h = object.handle(ProcessId::new(0));
+                h.update(2);
+                assert_eq!(h.scan().to_vec(), vec![2]);
+            })],
+        )
+        .unwrap();
+    assert!(report.completed(ProcessId::new(0)));
+}
+
+#[test]
+fn shrinker_minimizes_the_figure4_violation_schedule() {
+    // Reproduce the Figure 4 literal-variant violation by *schedule*
+    // (rather than the handcrafted FnPolicy), then shrink it and confirm
+    // the shrunk schedule still convicts the literal variant.
+    const N: usize = 3;
+    const M: usize = 2;
+    let scripts: Vec<Vec<MwStep>> = vec![
+        vec![MwStep::Update(0)],
+        vec![MwStep::Update(1)],
+        vec![MwStep::Scan, MwStep::Scan],
+    ];
+
+    let reproduces = |schedule: &[usize]| -> bool {
+        let mut policy = replay(schedule);
+        let result = run_mw_sim(
+            N,
+            M,
+            &scripts,
+            &mut policy,
+            SimConfig {
+                max_steps: Some(5_000),
+                stop_when_done: vec![ProcessId::new(2)],
+                record_trace: false,
+            },
+            |b| MultiWriterSnapshot::with_options(N, M, 0u64, b, b, MwVariant::LiteralGoto1),
+        );
+        match result {
+            Ok((history, report)) => {
+                report.completed(ProcessId::new(2))
+                    && !check_history(&history).is_linearizable()
+            }
+            Err(_) => false,
+        }
+    };
+
+    // First find a failing schedule by translating the known phased attack
+    // into ready-set indices: capture it by running the FnPolicy attack
+    // with a recording wrapper — simplest is to search nearby: start from
+    // the attack policy's decisions re-expressed through exploration.
+    let found: Option<Vec<usize>>;
+    {
+        // Derive the schedule from the attack policy by simulating it and
+        // recording which ready-set index it picked each step.
+        let mut granted = [0u64; N];
+        let mut picks: Vec<usize> = Vec::new();
+        let mut policy = FnPolicy(|ready: &[snapshot_sim::ReadyProcess], _| {
+            let pick = |pid: usize| ready.iter().position(|r| r.pid.get() == pid);
+            let decision = if let Some(i) = pick(1) {
+                granted[1] += 1;
+                i
+            } else if granted[2] < 19 && pick(2).is_some() {
+                granted[2] += 1;
+                pick(2).unwrap()
+            } else if granted[0] < 6 && pick(0).is_some() {
+                granted[0] += 1;
+                pick(0).unwrap()
+            } else if let Some(i) = pick(2) {
+                granted[2] += 1;
+                i
+            } else {
+                return Decision::Halt;
+            };
+            picks.push(decision);
+            Decision::Run(decision)
+        });
+        let (history, report) = run_mw_sim(
+            N,
+            M,
+            &scripts,
+            &mut policy,
+            SimConfig {
+                max_steps: Some(5_000),
+                stop_when_done: vec![ProcessId::new(2)],
+                record_trace: false,
+            },
+            |b| MultiWriterSnapshot::with_options(N, M, 0u64, b, b, MwVariant::LiteralGoto1),
+        )
+        .unwrap();
+        assert!(report.completed(ProcessId::new(2)));
+        assert!(!check_history(&history).is_linearizable());
+        found = Some(picks);
+    }
+
+    let failing = found.unwrap();
+    assert!(reproduces(&failing), "recorded schedule must reproduce");
+    let minimal = shrink_schedule(failing.clone(), reproduces);
+    assert!(reproduces(&minimal));
+    assert!(
+        minimal.len() <= failing.len(),
+        "shrinker must not grow the schedule"
+    );
+}

@@ -1,0 +1,98 @@
+//! Heavy soak tests — excluded from the default run; execute with
+//! `cargo test --release -- --ignored` when you want hours of additional
+//! confidence.
+
+use snapshot_bench::harness::{
+    mw_disjoint_scripts, run_mw_threaded, run_sw_threaded, sw_mixed_scripts, sw_random_scripts,
+};
+use snapshot_core::{BoundedSnapshot, MultiWriterSnapshot, UnboundedSnapshot};
+use snapshot_lin::{check_history, check_intervals};
+
+#[test]
+#[ignore = "soak: ~minutes of threaded stress"]
+fn soak_threaded_sixteen_processes() {
+    for _ in 0..5 {
+        let n = 16;
+        let object = BoundedSnapshot::new(n, 0u64);
+        let history = run_sw_threaded(&object, &sw_mixed_scripts(n, 2_000));
+        assert_eq!(check_intervals(&history), Ok(()));
+
+        let object = UnboundedSnapshot::new(n, 0u64);
+        let history = run_sw_threaded(&object, &sw_mixed_scripts(n, 2_000));
+        assert_eq!(check_intervals(&history), Ok(()));
+    }
+}
+
+#[test]
+#[ignore = "soak: ~minutes of multi-writer stress"]
+fn soak_multiwriter_wide_memory() {
+    let n = 8;
+    let m = 32;
+    let object = MultiWriterSnapshot::new(n, m, 0u64);
+    let history = run_mw_threaded(&object, &mw_disjoint_scripts(n, m, 2_000));
+    assert_eq!(check_intervals(&history), Ok(()));
+}
+
+#[test]
+#[ignore = "soak: thousands of Wing-Gong-checked micro-races"]
+fn soak_many_small_wing_gong_races() {
+    for round in 0..5_000u64 {
+        let n = 3;
+        let object = BoundedSnapshot::new(n, 0u64);
+        let history = run_sw_threaded(&object, &sw_random_scripts(n, 3, 0.5, round));
+        assert!(
+            check_history(&history).is_linearizable(),
+            "round {round}: {history:?}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "soak: long message-passing crash churn"]
+fn soak_abd_crash_churn() {
+    use snapshot_abd::{AbdBackend, Network, NetworkConfig};
+    use snapshot_registers::ProcessId;
+    use std::sync::Arc;
+
+    let network = Arc::new(Network::with_config(NetworkConfig {
+        replicas: 7,
+        jitter_seed: Some(99),
+    }));
+    let backend = AbdBackend::new(&network);
+    let n = 4;
+    let object = UnboundedSnapshot::with_backend(n, 0u64, &backend);
+    std::thread::scope(|s| {
+        for i in 0..n {
+            let object = &object;
+            s.spawn(move || {
+                use snapshot_core::{SwSnapshot, SwSnapshotHandle};
+                let mut h = object.handle(ProcessId::new(i));
+                let mut last = vec![0u64; n];
+                for k in 1..=200u64 {
+                    h.update(k);
+                    let view = h.scan();
+                    for (j, &v) in view.iter().enumerate() {
+                        assert!(v >= last[j]);
+                        last[j] = v;
+                    }
+                }
+            });
+        }
+        let network = &network;
+        s.spawn(move || {
+            for round in 0..300usize {
+                // Keep at most 3 of 7 crashed (tolerance).
+                let a = round % 7;
+                let b = (round + 2) % 7;
+                let c = (round + 4) % 7;
+                network.crash(a);
+                network.crash(b);
+                network.crash(c);
+                std::thread::yield_now();
+                network.restart(a);
+                network.restart(b);
+                network.restart(c);
+            }
+        });
+    });
+}

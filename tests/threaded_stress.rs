@@ -1,0 +1,103 @@
+//! Real-concurrency stress: the algorithms run on OS threads (no
+//! simulator), and every recorded history passes the fast interval-based
+//! linearizability checks. Small histories additionally go through the
+//! complete Wing–Gong checker.
+
+use snapshot_bench::harness::{
+    mw_disjoint_scripts, run_mw_threaded, run_sw_threaded, sw_mixed_scripts, sw_random_scripts,
+};
+use snapshot_core::{BoundedSnapshot, LockSnapshot, MultiWriterSnapshot, UnboundedSnapshot};
+use snapshot_lin::{check_history, check_intervals};
+
+#[test]
+fn unbounded_stress_intervals() {
+    for n in [2usize, 4, 8] {
+        let object = UnboundedSnapshot::new(n, 0u64);
+        let history = run_sw_threaded(&object, &sw_mixed_scripts(n, 150));
+        assert_eq!(
+            check_intervals(&history),
+            Ok(()),
+            "n={n}: {} ops",
+            history.len()
+        );
+    }
+}
+
+#[test]
+fn bounded_stress_intervals() {
+    for n in [2usize, 4, 8] {
+        let object = BoundedSnapshot::new(n, 0u64);
+        let history = run_sw_threaded(&object, &sw_mixed_scripts(n, 150));
+        assert_eq!(
+            check_intervals(&history),
+            Ok(()),
+            "n={n}: {} ops",
+            history.len()
+        );
+    }
+}
+
+#[test]
+fn multiwriter_stress_intervals_disjoint_words() {
+    for n in [2usize, 4] {
+        let m = n + 1;
+        let object = MultiWriterSnapshot::new(n, m, 0u64);
+        let history = run_mw_threaded(&object, &mw_disjoint_scripts(n, m, 100));
+        assert_eq!(
+            check_intervals(&history),
+            Ok(()),
+            "n={n} m={m}: {} ops",
+            history.len()
+        );
+    }
+}
+
+#[test]
+fn scan_heavy_and_update_heavy_mixes() {
+    for prob in [0.1f64, 0.9] {
+        let n = 4;
+        let object = BoundedSnapshot::new(n, 0u64);
+        let history = run_sw_threaded(&object, &sw_random_scripts(n, 200, prob, 99));
+        assert_eq!(check_intervals(&history), Ok(()), "update_prob={prob}");
+    }
+}
+
+#[test]
+fn small_threaded_histories_pass_wing_gong() {
+    // Repeated tiny threaded runs: complete checking with the exhaustive
+    // checker, not just the interval conditions.
+    for round in 0..30u64 {
+        let n = 3;
+        let object = UnboundedSnapshot::new(n, 0u64);
+        let history = run_sw_threaded(&object, &sw_random_scripts(n, 3, 0.5, round));
+        assert!(
+            check_history(&history).is_linearizable(),
+            "round {round}: {history:?}"
+        );
+    }
+}
+
+#[test]
+fn lock_baseline_is_also_linearizable() {
+    // The baseline should of course pass the same checks (it trades
+    // wait-freedom, not safety).
+    let n = 4;
+    let object = LockSnapshot::new(n, 0u64);
+    let history = run_sw_threaded(&object, &sw_mixed_scripts(n, 150));
+    assert_eq!(check_intervals(&history), Ok(()));
+}
+
+#[test]
+fn many_short_adversarial_thread_races() {
+    // Lots of tiny objects and very short races maximize the chance of
+    // hitting rare interleavings at thread startup.
+    for round in 0..200u64 {
+        let n = 2;
+        let object = BoundedSnapshot::new(n, 0u64);
+        let history = run_sw_threaded(&object, &sw_random_scripts(n, 2, 0.5, round));
+        assert!(
+            check_history(&history).is_linearizable(),
+            "round {round}: {history:?}"
+        );
+    }
+}
