@@ -8,7 +8,14 @@ use crate::{AbdRegister, Network};
 /// A register [`Backend`] whose every cell is an [`AbdRegister`] on a
 /// shared replica [`Network`] — plug it into any snapshot construction and
 /// the algorithm runs message-passing, tolerating minority replica
-/// crashes, exactly as Section 6 of the paper describes.
+/// crashes, partitions and lossy links, exactly as Section 6 of the paper
+/// describes (see the crate-level *Fault model & degradation* notes).
+///
+/// The [`Backend`] interface is infallible, so cells produced here panic
+/// if the liveness boundary (a reachable majority) is violated for longer
+/// than the configured timeout; fault-injection tests that intend to cross
+/// that boundary should use [`AbdRegister::try_read`] /
+/// [`AbdRegister::try_write`] directly.
 ///
 /// See the [crate docs](crate) for an example.
 #[derive(Clone)]
@@ -24,9 +31,15 @@ impl AbdBackend {
         }
     }
 
-    /// The underlying network (for crash injection in tests).
+    /// The underlying network (for fault injection in tests).
     pub fn network(&self) -> &Arc<Network> {
         &self.network
+    }
+
+    /// Snapshot of the network's fault and traffic counters
+    /// (convenience passthrough to [`Network::stats`]).
+    pub fn stats(&self) -> crate::NetworkStats {
+        self.network.stats()
     }
 }
 

@@ -1,0 +1,117 @@
+use std::fmt;
+use std::time::Duration;
+
+use crate::RegisterId;
+
+/// Which quorum phase of an ABD operation failed.
+///
+/// Both reads and writes run a query phase followed by a store phase
+/// (reads write back the maximum they saw), so either phase of either
+/// operation can be the one that exhausts its timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbdPhase {
+    /// Phase 1: collecting `(tag, value)` replies from a majority.
+    Query,
+    /// Phase 2: collecting store acknowledgements from a majority.
+    Store,
+}
+
+impl fmt::Display for AbdPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbdPhase::Query => f.write_str("query"),
+            AbdPhase::Store => f.write_str("store"),
+        }
+    }
+}
+
+/// Typed failure of an ABD register operation.
+///
+/// ABD is safe under any message loss, duplication, reordering or replica
+/// crash pattern — but it is *live* only while a majority of replicas is
+/// reachable (the paper's exact resilience boundary). When liveness is
+/// lost, [`AbdRegister::try_read`]/[`AbdRegister::try_write`] surface this
+/// error instead of panicking or hanging forever; the operation may be
+/// retried once the partition heals or replicas restart.
+///
+/// [`AbdRegister::try_read`]: crate::AbdRegister::try_read
+/// [`AbdRegister::try_write`]: crate::AbdRegister::try_write
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbdError {
+    /// A quorum phase timed out before a majority of replicas answered.
+    ///
+    /// The operation is *indeterminate*: a write may or may not have taken
+    /// effect at the replicas it did reach (linearizability checkers must
+    /// treat it as pending). It had **no effect** only if `acks == 0` in
+    /// the `Query` phase.
+    QuorumUnavailable {
+        /// The phase that starved.
+        phase: AbdPhase,
+        /// Distinct replicas that answered before the timeout.
+        acks: usize,
+        /// Majority size that was required.
+        needed: usize,
+        /// Wall-clock time spent waiting (≥ the configured
+        /// [`op_timeout`](crate::NetworkConfig::op_timeout)).
+        elapsed: Duration,
+    },
+    /// A replica returned a value of a different type than this register's.
+    ///
+    /// Registers of all value types share one replica fleet, keyed by
+    /// [`RegisterId`]; this error means two `AbdRegister` handles of
+    /// different types were constructed with the same id (a bug in the
+    /// embedding, not a network fault).
+    ValueTypeMismatch {
+        /// The register whose value failed to downcast.
+        register: RegisterId,
+    },
+}
+
+impl fmt::Display for AbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbdError::QuorumUnavailable {
+                phase,
+                acks,
+                needed,
+                elapsed,
+            } => write!(
+                f,
+                "no majority: {phase} phase got {acks}/{needed} replica acks in {elapsed:?} \
+                 (more than a minority crashed or partitioned away?)"
+            ),
+            AbdError::ValueTypeMismatch { register } => write!(
+                f,
+                "replica returned a value of the wrong type for register {register:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AbdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_phase_and_counts() {
+        let e = AbdError::QuorumUnavailable {
+            phase: AbdPhase::Query,
+            acks: 1,
+            needed: 3,
+            elapsed: Duration::from_millis(250),
+        };
+        let s = e.to_string();
+        assert!(s.contains("query"), "{s}");
+        assert!(s.contains("1/3"), "{s}");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(AbdError::ValueTypeMismatch {
+            register: RegisterId(3),
+        });
+    }
+}

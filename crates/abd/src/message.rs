@@ -10,6 +10,18 @@ use crossbeam::channel::Sender;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegisterId(pub(crate) u64);
 
+/// Identifier of one client quorum round (a query or store phase).
+///
+/// Every phase draws a fresh id from its network and stamps it on the
+/// initial broadcast *and* every retransmission, so replicas can
+/// deduplicate retries (`Store` is applied at most once per id) and
+/// clients can discard duplicate replies. This is what makes the client's
+/// retry loop idempotent under message duplication: a link may deliver a
+/// request twice, or a retransmission may race its original, and the
+/// observable outcome is the same.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct RequestId(pub(crate) u64);
+
 /// The ABD logical timestamp: `(seq, writer)`, totally ordered.
 ///
 /// Replicas keep the highest-tagged value they have seen per register;
@@ -28,14 +40,22 @@ pub struct Tag {
 pub(crate) type ErasedValue = Arc<dyn Any + Send + Sync>;
 
 /// A client-to-replica request.
+///
+/// `Clone` so the fault-injection layer can duplicate deliveries and the
+/// client can retransmit: both paths reuse the same reply channel and
+/// request id, and replicas answer every delivery (re-acking is how a
+/// client whose *reply* was dropped ever completes).
+#[derive(Clone)]
 pub(crate) enum Request {
     /// "Send me your `(tag, value)` for this register."
     Query {
+        id: RequestId,
         register: RegisterId,
         reply: Sender<Response>,
     },
     /// "Store this `(tag, value)` if it exceeds yours, then ack."
     Store {
+        id: RequestId,
         register: RegisterId,
         tag: Tag,
         value: ErasedValue,
@@ -48,11 +68,16 @@ pub(crate) enum Request {
 impl fmt::Debug for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Request::Query { register, .. } => {
-                f.debug_struct("Query").field("register", register).finish()
-            }
-            Request::Store { register, tag, .. } => f
+            Request::Query { id, register, .. } => f
+                .debug_struct("Query")
+                .field("id", id)
+                .field("register", register)
+                .finish(),
+            Request::Store {
+                id, register, tag, ..
+            } => f
                 .debug_struct("Store")
+                .field("id", id)
                 .field("register", register)
                 .field("tag", tag)
                 .finish(),
@@ -61,8 +86,24 @@ impl fmt::Debug for Request {
     }
 }
 
-/// A replica-to-client response.
-pub(crate) enum Response {
+/// A replica-to-client response, stamped with the replying replica's index
+/// and the request id it answers.
+///
+/// Clients count *distinct* replicas per id toward the quorum, so
+/// duplicated or re-acked replies are harmless.
+#[derive(Clone)]
+pub(crate) struct Response {
+    /// Index of the replying replica.
+    pub from: usize,
+    /// The request id this reply answers.
+    pub id: RequestId,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+/// Payload of a [`Response`].
+#[derive(Clone)]
+pub(crate) enum ResponseBody {
     /// Current `(tag, value)` held by the replica (value absent if the
     /// replica has never stored this register).
     QueryReply {
@@ -75,13 +116,14 @@ pub(crate) enum Response {
 
 impl fmt::Debug for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Response::QueryReply { tag, value } => f
-                .debug_struct("QueryReply")
+        let mut s = f.debug_struct("Response");
+        s.field("from", &self.from).field("id", &self.id);
+        match &self.body {
+            ResponseBody::QueryReply { tag, value } => s
                 .field("tag", tag)
                 .field("has_value", &value.is_some())
                 .finish(),
-            Response::StoreAck => f.write_str("StoreAck"),
+            ResponseBody::StoreAck => s.field("body", &"StoreAck").finish(),
         }
     }
 }
@@ -97,5 +139,22 @@ mod tests {
         let c = Tag { seq: 2, writer: 1 };
         assert!(a < b && b < c);
         assert_eq!(Tag::default(), Tag { seq: 0, writer: 0 });
+    }
+
+    #[test]
+    fn requests_are_cloneable_for_duplication_and_retransmit() {
+        let (tx, _rx) = crossbeam::channel::unbounded();
+        let req = Request::Store {
+            id: RequestId(7),
+            register: RegisterId(0),
+            tag: Tag { seq: 1, writer: 0 },
+            value: Arc::new(5u32) as ErasedValue,
+            reply: tx,
+        };
+        let dup = req.clone();
+        match (req, dup) {
+            (Request::Store { id: a, .. }, Request::Store { id: b, .. }) => assert_eq!(a, b),
+            _ => unreachable!(),
+        }
     }
 }

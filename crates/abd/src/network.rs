@@ -1,14 +1,83 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::message::{ErasedValue, Request, Response};
+use crate::fault::{FaultPlan, LinkFault};
+use crate::message::{ErasedValue, Request, RequestId, Response, ResponseBody};
+use crate::stats::{Counters, LatencySnapshot, NetworkStats};
 use crate::{RegisterId, Tag};
+
+/// How many recently seen request ids each replica remembers for
+/// retransmission/duplication dedup. Retries of an id older than this
+/// window are re-applied — harmless, because `Store` is a max-by-tag
+/// merge and `Query` is read-only (idempotent either way; the window only
+/// keeps the `duplicates_suppressed` metric honest for live traffic).
+const DEDUP_WINDOW: usize = 4096;
+
+/// How long a replica with held-back (reordered) messages waits for new
+/// traffic before releasing them anyway, so reordering can never stall a
+/// quiescent system.
+const HOLDBACK_IDLE_FLUSH: Duration = Duration::from_millis(1);
+
+/// Client retry policy: capped exponential backoff with deterministic
+/// jitter.
+///
+/// A quorum phase broadcasts once, then retransmits to every replica that
+/// has not yet answered each time the backoff expires, until either a
+/// majority answers or [`NetworkConfig::op_timeout`] elapses. Jitter is
+/// derived from the request id (not a clock or global RNG), so a fixed
+/// fault-plan seed yields a reproducible retry cadence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff before the first retransmission.
+    pub initial_backoff: Duration,
+    /// Upper bound on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+    /// Backoff growth factor per retry (values `< 1` behave as `1`).
+    pub multiplier: u32,
+    /// Jitter fraction in `[0, 1]`: each backoff is stretched by up to
+    /// this fraction of itself.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            multiplier: 2,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff following `current`, jittered deterministically by
+    /// `(id, attempt)`.
+    pub(crate) fn next_backoff(&self, current: Duration, id: RequestId, attempt: u32) -> Duration {
+        let mut next = current.saturating_mul(self.multiplier.max(1));
+        if next > self.max_backoff {
+            next = self.max_backoff;
+        }
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter > 0.0 {
+            // splitmix-style hash of (id, attempt): reproducible, no clock.
+            let mut h = id.0 ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = h.wrapping_mul(0xD1B5_4A32_D192_ED03);
+            h ^= h >> 29;
+            let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+            next += next.mul_f64(jitter * frac);
+        }
+        next
+    }
+}
 
 /// Configuration of the simulated message-passing system.
 #[derive(Clone, Debug)]
@@ -19,14 +88,71 @@ pub struct NetworkConfig {
     /// messages), widening the asynchrony the clients observe. `None`
     /// disables jitter.
     pub jitter_seed: Option<u64>,
+    /// Seeded link-fault plan (drops, duplication, reordering, delay).
+    /// `None` leaves every link healthy.
+    pub faults: Option<FaultPlan>,
+    /// How long a quorum phase may wait (across all its retries) before
+    /// concluding the majority is gone and returning
+    /// [`AbdError::QuorumUnavailable`](crate::AbdError::QuorumUnavailable).
+    pub op_timeout: Duration,
+    /// Retransmission backoff policy for quorum phases.
+    pub retry: RetryPolicy,
 }
 
 impl NetworkConfig {
-    /// A jitter-free network of `replicas` servers.
+    /// A jitter-free, fault-free network of `replicas` servers with the
+    /// default 30-second operation timeout.
     pub fn new(replicas: usize) -> Self {
         NetworkConfig {
             replicas,
             jitter_seed: None,
+            faults: None,
+            op_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Enables per-replica processing jitter with the given seed.
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// Installs a seeded link-fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the per-operation quorum timeout.
+    pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// Sets the retransmission backoff policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Runtime fault state of one client↔replica link: the (mutable) fault
+/// policy plus partition cuts in each direction.
+struct LinkState {
+    fault: RwLock<LinkFault>,
+    /// Requests to the replica are discarded.
+    cut_inbound: AtomicBool,
+    /// Replies from the replica are discarded.
+    cut_outbound: AtomicBool,
+}
+
+impl LinkState {
+    fn new(fault: LinkFault) -> Self {
+        LinkState {
+            fault: RwLock::new(fault),
+            cut_inbound: AtomicBool::new(false),
+            cut_outbound: AtomicBool::new(false),
         }
     }
 }
@@ -37,24 +163,238 @@ struct Replica {
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Sets the shared flag if its thread unwinds, making replica panics
+/// visible to `Network::poisoned` and `Network::drop` instead of being
+/// silently swallowed by `JoinHandle::join`.
+struct PanicFlag(Arc<AtomicBool>);
+
+impl Drop for PanicFlag {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Per-replica server state and fault machinery, run on the replica's own
+/// thread.
+struct ReplicaCore {
+    index: usize,
+    store: HashMap<RegisterId, (Tag, ErasedValue)>,
+    seen: HashSet<RequestId>,
+    seen_order: VecDeque<RequestId>,
+    crashed: Arc<AtomicBool>,
+    link: Arc<LinkState>,
+    counters: Arc<Counters>,
+    /// Fault-decision RNG (seeded from the fault plan).
+    rng: StdRng,
+    /// Processing-jitter RNG (seeded from `jitter_seed`).
+    jitter: Option<StdRng>,
+}
+
+impl ReplicaCore {
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.random_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Applies link faults to a freshly arrived request; surviving copies
+    /// are delivered now or pushed onto the holdback buffer.
+    fn admit(&mut self, held: &mut Vec<(Request, u32)>, request: Request) {
+        let fault = self.link.fault.read().clone();
+        if self.link.cut_inbound.load(Ordering::Acquire) || self.chance(fault.drop) {
+            Counters::add(&self.counters.messages_dropped, 1);
+            return;
+        }
+        if self.chance(fault.duplicate) {
+            Counters::add(&self.counters.messages_duplicated, 1);
+            // The extra copy is delivered immediately; the original may
+            // still be held back below, so the two can arrive far apart.
+            self.deliver_delayed(&fault, request.clone());
+        }
+        if fault.reorder_window > 0 && self.chance(fault.reorder) {
+            Counters::add(&self.counters.messages_reordered, 1);
+            let holdback = self.rng.random_range(1..=fault.reorder_window as u32);
+            held.push((request, holdback));
+        } else {
+            self.deliver_delayed(&fault, request);
+        }
+    }
+
+    fn deliver_delayed(&mut self, fault: &LinkFault, request: Request) {
+        if let Some((min, max)) = fault.delay {
+            let (lo, hi) = (min.as_micros() as u64, max.as_micros() as u64);
+            let micros = if hi > lo {
+                self.rng.random_range(lo..=hi)
+            } else {
+                lo
+            };
+            if micros > 0 {
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+        }
+        self.deliver(request);
+    }
+
+    /// Processes one delivered request: dedup by request id, apply, reply.
+    fn deliver(&mut self, request: Request) {
+        if let Some(rng) = &mut self.jitter {
+            for _ in 0..rng.random_range(0..3) {
+                std::thread::yield_now();
+            }
+        }
+        if self.crashed.load(Ordering::Acquire) {
+            // A crashed replica consumes without acking — from the client's
+            // point of view the message is lost, so it counts as a drop. A
+            // restart lets the replica speak again (state intact).
+            Counters::add(&self.counters.messages_dropped, 1);
+            return;
+        }
+        match request {
+            Request::Query {
+                id,
+                register,
+                reply,
+            } => {
+                // Queries are read-only: dedup only records the id; every
+                // delivery is (re-)answered with the current state, which
+                // is what lets a client whose reply was lost make progress.
+                self.note_seen(id);
+                let (tag, value) = match self.store.get(&register) {
+                    Some((t, v)) => (*t, Some(Arc::clone(v))),
+                    None => (Tag::default(), None),
+                };
+                self.reply(
+                    &reply,
+                    Response {
+                        from: self.index,
+                        id,
+                        body: ResponseBody::QueryReply { tag, value },
+                    },
+                );
+            }
+            Request::Store {
+                id,
+                register,
+                tag,
+                value,
+                reply,
+            } => {
+                if self.note_seen(id) {
+                    let entry = self.store.entry(register);
+                    match entry {
+                        std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                            if tag > occupied.get().0 {
+                                occupied.insert((tag, value));
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(vacant) => {
+                            vacant.insert((tag, value));
+                        }
+                    }
+                } else {
+                    // Duplicate delivery (link duplication or client
+                    // retransmission): skip the apply, but re-ack — the
+                    // first ack may have been lost.
+                    Counters::add(&self.counters.duplicates_suppressed, 1);
+                }
+                self.reply(
+                    &reply,
+                    Response {
+                        from: self.index,
+                        id,
+                        body: ResponseBody::StoreAck,
+                    },
+                );
+            }
+            Request::Shutdown => {}
+        }
+    }
+
+    /// Records `id` as seen; returns `true` the first time.
+    fn note_seen(&mut self, id: RequestId) -> bool {
+        if !self.seen.insert(id) {
+            return false;
+        }
+        self.seen_order.push_back(id);
+        if self.seen_order.len() > DEDUP_WINDOW {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        true
+    }
+
+    fn reply(&mut self, to: &Sender<Response>, response: Response) {
+        let reply_drop = self.link.fault.read().reply_drop;
+        if self.link.cut_outbound.load(Ordering::Acquire) || self.chance(reply_drop) {
+            Counters::add(&self.counters.messages_dropped, 1);
+            return;
+        }
+        let _ = to.send(response);
+    }
+
+    /// Ages the holdback buffer by one arrival and delivers everything
+    /// whose countdown expired.
+    fn age_holdback(&mut self, held: &mut Vec<(Request, u32)>) {
+        let mut i = 0;
+        let mut due = Vec::new();
+        while i < held.len() {
+            if held[i].1 <= 1 {
+                due.push(held.swap_remove(i).0);
+            } else {
+                held[i].1 -= 1;
+                i += 1;
+            }
+        }
+        for request in due {
+            self.deliver(request);
+        }
+    }
+
+    fn flush_holdback(&mut self, held: &mut Vec<(Request, u32)>) {
+        for (request, _) in held.drain(..) {
+            self.deliver(request);
+        }
+    }
+}
+
 /// A simulated asynchronous message-passing system: replica servers that
-/// store tagged register values, connected to clients by unbounded FIFO
-/// channels.
+/// store tagged register values, connected to clients by channels wrapped
+/// in a seeded fault-injection layer ([`FaultPlan`]).
 ///
-/// Crashes ([`Network::crash`]) silence a replica: it drains and ignores
-/// its inbox, never replying — indistinguishable, to clients, from
-/// arbitrary message delay, which is exactly the fault model of \[ABD\].
-/// [`Network::restart`] brings it back (with its state intact — a crash
-/// here models a partition/silence, not disk loss; ABD tolerates either
-/// as long as a majority responds).
+/// # Fault model
+///
+/// * **Crashes** ([`Network::crash`]) silence a replica: it drains and
+///   ignores its inbox, never replying — indistinguishable, to clients,
+///   from arbitrary message delay, which is exactly the fault model of
+///   \[ABD\]. [`Network::restart`] brings it back (state intact — a crash
+///   here models a partition/silence, not disk loss; ABD tolerates either
+///   as long as a majority responds).
+/// * **Lossy links** ([`LinkFault`]): every client↔replica link can drop,
+///   duplicate, reorder (within a bounded window) and delay requests, and
+///   drop replies, each with a seeded per-link probability.
+/// * **Partitions** ([`Network::partition`]): cut a set of replicas off
+///   symmetrically (both directions) or asymmetrically (requests only),
+///   at runtime; [`Network::heal`] reconnects everything.
+///
+/// Safety (linearizability) holds under *any* mix of the above; liveness
+/// needs a majority of replicas reachable in both directions — the
+/// paper's exact resilience boundary. Clients mask transient faults with
+/// retransmissions ([`RetryPolicy`]), and every fault decision is counted
+/// ([`Network::stats`]) so tests can assert the faults actually fired.
 pub struct Network {
     replicas: Vec<Replica>,
+    links: Vec<Arc<LinkState>>,
     next_register: AtomicU64,
-    messages: AtomicU64,
+    next_request: AtomicU64,
+    counters: Arc<Counters>,
+    op_timeout: Duration,
+    retry: RetryPolicy,
+    panicked: Arc<AtomicBool>,
 }
 
 impl Network {
-    /// Spawns a jitter-free network of `replicas` servers.
+    /// Spawns a jitter-free, fault-free network of `replicas` servers.
     ///
     /// # Panics
     ///
@@ -70,62 +410,67 @@ impl Network {
     /// Panics if `config.replicas` is zero.
     pub fn with_config(config: NetworkConfig) -> Self {
         assert!(config.replicas > 0, "a network needs at least one replica");
+        let counters = Arc::new(Counters::default());
+        let panicked = Arc::new(AtomicBool::new(false));
+        let fault_seed = config.faults.as_ref().map(|p| p.seed).unwrap_or(0);
+        let links: Vec<Arc<LinkState>> = (0..config.replicas)
+            .map(|i| {
+                let fault = config
+                    .faults
+                    .as_ref()
+                    .map(|p| p.fault_for(i))
+                    .unwrap_or_else(LinkFault::healthy);
+                Arc::new(LinkState::new(fault))
+            })
+            .collect();
         let replicas = (0..config.replicas)
             .map(|i| {
                 let (tx, rx) = unbounded::<Request>();
                 let crashed = Arc::new(AtomicBool::new(false));
-                let crashed_flag = Arc::clone(&crashed);
-                let mut jitter = config
-                    .jitter_seed
-                    .map(|seed| StdRng::seed_from_u64(seed.wrapping_add(i as u64)));
+                let mut core = ReplicaCore {
+                    index: i,
+                    store: HashMap::new(),
+                    seen: HashSet::new(),
+                    seen_order: VecDeque::new(),
+                    crashed: Arc::clone(&crashed),
+                    link: Arc::clone(&links[i]),
+                    counters: Arc::clone(&counters),
+                    rng: StdRng::seed_from_u64(fault_seed.wrapping_add(i as u64)),
+                    jitter: config
+                        .jitter_seed
+                        .map(|seed| StdRng::seed_from_u64(seed.wrapping_add(i as u64))),
+                };
+                let panic_flag = Arc::clone(&panicked);
                 let thread = std::thread::Builder::new()
                     .name(format!("abd-replica-{i}"))
                     .spawn(move || {
-                        let mut store: HashMap<RegisterId, (Tag, ErasedValue)> = HashMap::new();
-                        for request in rx {
-                            if let Some(rng) = &mut jitter {
-                                for _ in 0..rng.random_range(0..3) {
-                                    std::thread::yield_now();
-                                }
-                            }
-                            if crashed_flag.load(Ordering::Acquire) {
-                                // A crashed replica consumes silently; a
-                                // restart lets it speak again.
-                                if matches!(request, Request::Shutdown) {
+                        let _guard = PanicFlag(panic_flag);
+                        let mut held: Vec<(Request, u32)> = Vec::new();
+                        loop {
+                            // While messages are held back, poll with a
+                            // short timeout so reordering can never stall
+                            // a quiescent system.
+                            let next = if held.is_empty() {
+                                rx.recv().map_err(|_| RecvTimeoutError::Disconnected)
+                            } else {
+                                rx.recv_timeout(HOLDBACK_IDLE_FLUSH)
+                            };
+                            match next {
+                                Ok(Request::Shutdown) => {
+                                    core.flush_holdback(&mut held);
                                     break;
                                 }
-                                continue;
-                            }
-                            match request {
-                                Request::Query { register, reply } => {
-                                    let (tag, value) = store
-                                        .get(&register)
-                                        .map(|(t, v)| (*t, Some(Arc::clone(v))))
-                                        .unwrap_or((Tag::default(), None));
-                                    let _ = reply.send(Response::QueryReply { tag, value });
+                                Ok(request) => {
+                                    core.age_holdback(&mut held);
+                                    core.admit(&mut held, request);
                                 }
-                                Request::Store {
-                                    register,
-                                    tag,
-                                    value,
-                                    reply,
-                                } => {
-                                    let entry = store.entry(register);
-                                    match entry {
-                                        std::collections::hash_map::Entry::Occupied(
-                                            mut occupied,
-                                        ) => {
-                                            if tag > occupied.get().0 {
-                                                occupied.insert((tag, value));
-                                            }
-                                        }
-                                        std::collections::hash_map::Entry::Vacant(vacant) => {
-                                            vacant.insert((tag, value));
-                                        }
-                                    }
-                                    let _ = reply.send(Response::StoreAck);
+                                Err(RecvTimeoutError::Timeout) => {
+                                    core.age_holdback(&mut held);
                                 }
-                                Request::Shutdown => break,
+                                Err(RecvTimeoutError::Disconnected) => {
+                                    core.flush_holdback(&mut held);
+                                    break;
+                                }
                             }
                         }
                     })
@@ -139,15 +484,30 @@ impl Network {
             .collect();
         Network {
             replicas,
+            links,
             next_register: AtomicU64::new(0),
-            messages: AtomicU64::new(0),
+            next_request: AtomicU64::new(0),
+            counters,
+            op_timeout: config.op_timeout,
+            retry: config.retry,
+            panicked,
         }
     }
 
-    /// Total client-to-replica messages sent so far (request messages;
-    /// replies are one-for-one for live replicas).
+    /// Total client-to-replica messages sent so far (initial broadcasts
+    /// and retransmissions).
     pub fn messages_sent(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+        self.counters.snapshot().messages_sent
+    }
+
+    /// A snapshot of all fault and traffic counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.counters.snapshot()
+    }
+
+    /// A snapshot of the per-operation quorum-phase latency histogram.
+    pub fn quorum_latency(&self) -> LatencySnapshot {
+        self.counters.latency_snapshot()
     }
 
     /// Number of replicas.
@@ -164,6 +524,16 @@ impl Network {
     /// staying live.
     pub fn fault_tolerance(&self) -> usize {
         self.replicas.len() - self.quorum()
+    }
+
+    /// The configured per-operation quorum timeout.
+    pub fn op_timeout(&self) -> Duration {
+        self.op_timeout
+    }
+
+    /// The configured retransmission policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Crashes replica `index`: it stops responding until
@@ -185,24 +555,98 @@ impl Network {
         self.replicas[index].crashed.store(false, Ordering::Release);
     }
 
+    /// Symmetrically partitions the listed replicas away: requests to them
+    /// and replies from them are discarded until [`Network::heal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn partition(&self, replicas: &[usize]) {
+        for &i in replicas {
+            self.links[i].cut_inbound.store(true, Ordering::Release);
+            self.links[i].cut_outbound.store(true, Ordering::Release);
+        }
+    }
+
+    /// Asymmetrically partitions the listed replicas: requests to them are
+    /// discarded, but replies they still owe can get out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn partition_inbound(&self, replicas: &[usize]) {
+        for &i in replicas {
+            self.links[i].cut_inbound.store(true, Ordering::Release);
+        }
+    }
+
+    /// Clears every partition cut (crashes and link faults are untouched).
+    pub fn heal(&self) {
+        for link in &self.links {
+            link.cut_inbound.store(false, Ordering::Release);
+            link.cut_outbound.store(false, Ordering::Release);
+        }
+    }
+
+    /// Replaces replica `index`'s link-fault policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_fault(&self, index: usize, fault: LinkFault) {
+        *self.links[index].fault.write() = fault;
+    }
+
+    /// Replaces every link's fault policy.
+    pub fn set_fault_all(&self, fault: LinkFault) {
+        for link in &self.links {
+            *link.fault.write() = fault.clone();
+        }
+    }
+
+    /// True if any replica thread has panicked. Checked (and escalated to
+    /// a panic) when the network is dropped, so a poisoned replica fleet
+    /// cannot silently pass a test.
+    pub fn poisoned(&self) -> bool {
+        self.panicked.load(Ordering::Acquire)
+    }
+
     /// Allocates a fresh register id.
     pub(crate) fn allocate_register(&self) -> RegisterId {
         RegisterId(self.next_register.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Sends `make(reply_sender)` to every replica; returns the reply
-    /// receiver.
-    pub(crate) fn broadcast(
+    /// Allocates a fresh request id for one quorum phase.
+    pub(crate) fn fresh_request_id(&self) -> RequestId {
+        RequestId(self.next_request.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Sends `make()` to every replica for which `include` holds; returns
+    /// how many were sent.
+    pub(crate) fn send_where(
         &self,
-        make: impl Fn(Sender<Response>) -> Request,
-    ) -> crossbeam::channel::Receiver<Response> {
-        let (tx, rx) = unbounded();
-        for replica in &self.replicas {
-            let _ = replica.inbox.send(make(tx.clone()));
+        include: impl Fn(usize) -> bool,
+        make: impl Fn() -> Request,
+    ) -> usize {
+        let mut sent = 0usize;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            if include(i) {
+                let _ = replica.inbox.send(make());
+                sent += 1;
+            }
         }
-        self.messages
-            .fetch_add(self.replicas.len() as u64, Ordering::Relaxed);
-        rx
+        Counters::add(&self.counters.messages_sent, sent as u64);
+        sent
+    }
+
+    /// Counts client retransmissions (per replica re-contacted).
+    pub(crate) fn note_retries(&self, n: u64) {
+        Counters::add(&self.counters.retries, n);
+    }
+
+    /// Records one completed quorum phase's latency.
+    pub(crate) fn record_quorum_latency(&self, elapsed: Duration) {
+        self.counters.record_quorum_latency(elapsed);
     }
 }
 
@@ -213,7 +657,16 @@ impl Drop for Network {
         }
         for replica in &mut self.replicas {
             if let Some(thread) = replica.thread.take() {
-                let _ = thread.join();
+                if thread.join().is_err() {
+                    self.panicked.store(true, Ordering::Release);
+                }
+            }
+        }
+        if self.panicked.load(Ordering::Acquire) {
+            if std::thread::panicking() {
+                eprintln!("abd: a replica thread panicked (while already unwinding)");
+            } else {
+                panic!("abd: a replica thread panicked; see stderr for its message");
             }
         }
     }
@@ -224,6 +677,7 @@ impl fmt::Debug for Network {
         f.debug_struct("Network")
             .field("replicas", &self.replicas.len())
             .field("quorum", &self.quorum())
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -251,6 +705,7 @@ mod tests {
     #[test]
     fn shutdown_joins_cleanly() {
         let net = Network::new(5);
+        assert!(!net.poisoned());
         drop(net);
     }
 
@@ -260,5 +715,69 @@ mod tests {
         let a = net.allocate_register();
         let b = net.allocate_register();
         assert_ne!(a, b);
+        assert_ne!(net.fresh_request_id(), net.fresh_request_id());
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_jittered_deterministically() {
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            multiplier: 2,
+            jitter: 0.0,
+        };
+        let id = RequestId(42);
+        let b1 = policy.next_backoff(Duration::from_millis(1), id, 1);
+        assert_eq!(b1, Duration::from_millis(2));
+        let capped = policy.next_backoff(Duration::from_millis(8), id, 5);
+        assert_eq!(capped, Duration::from_millis(8));
+
+        let jittery = RetryPolicy {
+            jitter: 0.5,
+            ..policy
+        };
+        let a = jittery.next_backoff(Duration::from_millis(4), id, 2);
+        let b = jittery.next_backoff(Duration::from_millis(4), id, 2);
+        assert_eq!(a, b, "same (id, attempt) must jitter identically");
+        assert!(a >= Duration::from_millis(8) && a <= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn partitions_cut_and_heal() {
+        let net = Network::new(3);
+        net.partition(&[0, 2]);
+        assert!(net.links[0].cut_inbound.load(Ordering::Acquire));
+        assert!(net.links[0].cut_outbound.load(Ordering::Acquire));
+        assert!(!net.links[1].cut_inbound.load(Ordering::Acquire));
+        net.heal();
+        assert!(!net.links[0].cut_inbound.load(Ordering::Acquire));
+        net.partition_inbound(&[1]);
+        assert!(net.links[1].cut_inbound.load(Ordering::Acquire));
+        assert!(!net.links[1].cut_outbound.load(Ordering::Acquire));
+        net.heal();
+    }
+
+    #[test]
+    fn dedup_window_forgets_oldest() {
+        let mut core = ReplicaCore {
+            index: 0,
+            store: HashMap::new(),
+            seen: HashSet::new(),
+            seen_order: VecDeque::new(),
+            crashed: Arc::new(AtomicBool::new(false)),
+            link: Arc::new(LinkState::new(LinkFault::healthy())),
+            counters: Arc::new(Counters::default()),
+            rng: StdRng::seed_from_u64(0),
+            jitter: None,
+        };
+        assert!(core.note_seen(RequestId(0)));
+        assert!(!core.note_seen(RequestId(0)), "immediate retry is a dup");
+        for i in 1..=DEDUP_WINDOW as u64 {
+            assert!(core.note_seen(RequestId(i)));
+        }
+        assert!(
+            core.note_seen(RequestId(0)),
+            "ids beyond the window are forgotten (and re-applying is safe)"
+        );
     }
 }

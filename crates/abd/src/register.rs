@@ -1,17 +1,29 @@
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
-use snapshot_registers::{ProcessId, Register};
+use crossbeam::channel::{unbounded, Sender};
+use snapshot_registers::{ProcessId, Register, TryRegister};
 
-use crate::message::{ErasedValue, Request, Response};
+use crate::error::{AbdError, AbdPhase};
+use crate::message::{ErasedValue, Request, RequestId, Response, ResponseBody};
 use crate::{Network, RegisterId, Tag};
 
-/// How long a quorum phase may wait before concluding the majority is
-/// gone. Far beyond any simulated latency; reaching it means the caller
-/// violated the minority-crash assumption.
-const QUORUM_TIMEOUT: Duration = Duration::from_secs(30);
+/// Explicit max-by-tag fold over query-phase replies.
+///
+/// The chosen reply is the lexicographic maximum of `(tag, has_value)`:
+/// a strictly higher tag always wins, and at equal tags a reply that
+/// carries a value beats one that does not. In well-formed executions a
+/// valueless reply only ever carries `Tag::default()` (replicas store tag
+/// and value together), but the fold enforces the invariant rather than
+/// relying on it: no `None` reply can ever displace a seen value, and the
+/// returned tag is always the maximum tag observed.
+fn fold_max_tag(best: &mut (Tag, Option<ErasedValue>), tag: Tag, value: Option<ErasedValue>) {
+    if (tag, value.is_some()) > (best.0, best.1.is_some()) {
+        *best = (tag, value);
+    }
+}
 
 /// An atomic multi-writer register emulated over the replicas of a
 /// [`Network`] with the ABD protocol.
@@ -28,11 +40,27 @@ const QUORUM_TIMEOUT: Duration = Duration::from_secs(30);
 /// query majority intersects every completed write's store majority, so
 /// the read sees the write's tag (or a larger one).
 ///
+/// # Fault tolerance
+///
+/// Each quorum phase is a retry loop keyed by a fresh request id: the
+/// client broadcasts, then retransmits to every replica that has not yet
+/// answered under capped exponential backoff with jitter
+/// ([`RetryPolicy`](crate::RetryPolicy)), so dropped, duplicated,
+/// reordered and delayed messages are masked. Replicas dedupe by request
+/// id (a retried `Store` is applied at most once, then re-acked), and the
+/// client counts *distinct* replicas toward the quorum, so duplicated
+/// replies are harmless — the protocol is duplication-safe by
+/// construction.
+///
 /// # Liveness
 ///
-/// Operations block while no majority responds and panic after an
-/// internal timeout — the paper's resilience claim is *exactly* "as long
-/// as a majority of the system remains connected".
+/// [`AbdRegister::try_read`]/[`AbdRegister::try_write`] block while no
+/// majority responds and return [`AbdError::QuorumUnavailable`] once the
+/// configured [`op_timeout`](crate::NetworkConfig::op_timeout) elapses —
+/// the paper's resilience claim is *exactly* "as long as a majority of
+/// the system remains connected". The infallible [`Register`] interface
+/// panics on the same condition (it has no error channel), so snapshot
+/// constructions built on it should be run within the liveness boundary.
 ///
 /// See the [crate docs](crate) for an example.
 pub struct AbdRegister<V> {
@@ -59,84 +87,168 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
         self.id
     }
 
+    /// Reads the register, returning a typed error instead of panicking
+    /// when no majority of replicas answers within the configured timeout.
+    pub fn try_read(&self, _reader: ProcessId) -> Result<V, AbdError> {
+        let (tag, value) = self.query_majority()?;
+        match value {
+            Some(erased) => {
+                // Write-back before returning: later reads must not see an
+                // older maximum.
+                self.store_majority(tag, Arc::clone(&erased))?;
+                erased
+                    .downcast_ref::<V>()
+                    .cloned()
+                    .ok_or(AbdError::ValueTypeMismatch { register: self.id })
+            }
+            None => Ok(self.init.clone()),
+        }
+    }
+
+    /// Writes the register, returning a typed error instead of panicking
+    /// when no majority of replicas answers within the configured timeout.
+    ///
+    /// On `Err(QuorumUnavailable)` the write is *indeterminate*: the value
+    /// may have reached some replicas and may yet become visible (exactly
+    /// like a crashed writer in the paper's model).
+    pub fn try_write(&self, writer: ProcessId, value: V) -> Result<(), AbdError> {
+        let (max_tag, _) = self.query_majority()?;
+        let tag = Tag {
+            seq: max_tag.seq + 1,
+            writer: writer.get(),
+        };
+        self.store_majority(tag, Arc::new(value) as ErasedValue)
+    }
+
     /// Phase 1 of both operations: query all, await a majority, return the
     /// maximum `(tag, value)` seen (value `None` = still the initial
     /// value).
-    fn query_majority(&self) -> (Tag, Option<ErasedValue>) {
-        let rx = self.network.broadcast(|reply| Request::Query {
-            register: self.id,
-            reply,
-        });
-        let quorum = self.network.quorum();
+    fn query_majority(&self) -> Result<(Tag, Option<ErasedValue>), AbdError> {
         let mut best: (Tag, Option<ErasedValue>) = (Tag::default(), None);
-        for _ in 0..quorum {
-            match rx.recv_timeout(QUORUM_TIMEOUT) {
-                Ok(Response::QueryReply { tag, value }) => {
-                    if value.is_some() && (best.1.is_none() || tag > best.0) {
-                        best = (tag, value);
-                    } else if best.1.is_none() {
-                        best.0 = best.0.max(tag);
-                    }
+        self.run_quorum_phase(
+            AbdPhase::Query,
+            |id, reply| Request::Query {
+                id,
+                register: self.id,
+                reply,
+            },
+            |body| match body {
+                ResponseBody::QueryReply { tag, value } => {
+                    fold_max_tag(&mut best, tag, value);
+                    true
                 }
-                Ok(Response::StoreAck) => unreachable!("query phase got a store ack"),
-                Err(_) => panic!(
-                    "ABD register {:?}: no majority of replicas responded \
-                     (more than a minority crashed?)",
-                    self.id
-                ),
-            }
-        }
-        best
+                ResponseBody::StoreAck => false,
+            },
+        )?;
+        Ok(best)
     }
 
     /// Phase 2: store `(tag, value)` everywhere, await a majority of acks.
-    fn store_majority(&self, tag: Tag, value: ErasedValue) {
-        let rx = self.network.broadcast(|reply| Request::Store {
-            register: self.id,
-            tag,
-            value: Arc::clone(&value),
-            reply,
-        });
-        for _ in 0..self.network.quorum() {
-            match rx.recv_timeout(QUORUM_TIMEOUT) {
-                Ok(Response::StoreAck) => {}
-                Ok(Response::QueryReply { .. }) => {
-                    unreachable!("store phase got a query reply")
+    fn store_majority(&self, tag: Tag, value: ErasedValue) -> Result<(), AbdError> {
+        self.run_quorum_phase(
+            AbdPhase::Store,
+            |id, reply| Request::Store {
+                id,
+                register: self.id,
+                tag,
+                value: Arc::clone(&value),
+                reply,
+            },
+            |body| matches!(body, ResponseBody::StoreAck),
+        )
+    }
+
+    /// One quorum phase: broadcast `make(id, reply)`, collect replies from
+    /// distinct replicas (duplicates discarded) until a majority accepted,
+    /// retransmitting to silent replicas under capped exponential backoff,
+    /// and giving up with [`AbdError::QuorumUnavailable`] at the
+    /// configured operation timeout.
+    ///
+    /// `on_reply` returns whether the reply was of the expected kind; only
+    /// accepted replies count toward the quorum.
+    fn run_quorum_phase(
+        &self,
+        phase: AbdPhase,
+        make: impl Fn(RequestId, Sender<Response>) -> Request,
+        mut on_reply: impl FnMut(ResponseBody) -> bool,
+    ) -> Result<(), AbdError> {
+        let network = &self.network;
+        let id = network.fresh_request_id();
+        let (tx, rx) = unbounded();
+        let started = Instant::now();
+        let deadline = started + network.op_timeout();
+        let needed = network.quorum();
+        let retry = network.retry_policy().clone();
+        let mut acked = vec![false; network.replicas()];
+        let mut acks = 0usize;
+
+        network.send_where(|_| true, || make(id, tx.clone()));
+        let mut backoff = retry.initial_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let wake = deadline.min(Instant::now() + backoff);
+            loop {
+                match rx.recv_deadline(wake) {
+                    Ok(response) => {
+                        debug_assert_eq!(
+                            response.id, id,
+                            "reply channels are per-phase; ids cannot mix"
+                        );
+                        if response.id != id || acked[response.from] {
+                            continue;
+                        }
+                        if !on_reply(response.body) {
+                            continue;
+                        }
+                        acked[response.from] = true;
+                        acks += 1;
+                        if acks >= needed {
+                            network.record_quorum_latency(started.elapsed());
+                            return Ok(());
+                        }
+                    }
+                    Err(_) => break, // wake deadline hit
                 }
-                Err(_) => panic!(
-                    "ABD register {:?}: no majority of replicas acked a store \
-                     (more than a minority crashed?)",
-                    self.id
-                ),
             }
+            if Instant::now() >= deadline {
+                return Err(AbdError::QuorumUnavailable {
+                    phase,
+                    acks,
+                    needed,
+                    elapsed: started.elapsed(),
+                });
+            }
+            // Messages may have been dropped: retransmit (same request id,
+            // so replicas dedupe) to every replica still silent.
+            attempt += 1;
+            let resent = network.send_where(|i| !acked[i], || make(id, tx.clone()));
+            network.note_retries(resent as u64);
+            backoff = retry.next_backoff(backoff, id, attempt);
         }
     }
 }
 
 impl<V: Clone + Send + Sync + 'static> Register<V> for AbdRegister<V> {
-    fn read(&self, _reader: ProcessId) -> V {
-        let (tag, value) = self.query_majority();
-        match value {
-            Some(erased) => {
-                // Write-back before returning: later reads must not see an
-                // older maximum.
-                self.store_majority(tag, Arc::clone(&erased));
-                erased
-                    .downcast_ref::<V>()
-                    .expect("replica returned a value of the wrong type")
-                    .clone()
-            }
-            None => self.init.clone(),
-        }
+    fn read(&self, reader: ProcessId) -> V {
+        self.try_read(reader)
+            .unwrap_or_else(|e| panic!("ABD register {:?}: read failed: {e}", self.id))
     }
 
     fn write(&self, writer: ProcessId, value: V) {
-        let (max_tag, _) = self.query_majority();
-        let tag = Tag {
-            seq: max_tag.seq + 1,
-            writer: writer.get(),
-        };
-        self.store_majority(tag, Arc::new(value) as ErasedValue);
+        self.try_write(writer, value)
+            .unwrap_or_else(|e| panic!("ABD register {:?}: write failed: {e}", self.id))
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> TryRegister<V> for AbdRegister<V> {
+    type Error = AbdError;
+
+    fn try_read(&self, reader: ProcessId) -> Result<V, AbdError> {
+        AbdRegister::try_read(self, reader)
+    }
+
+    fn try_write(&self, writer: ProcessId, value: V) -> Result<(), AbdError> {
+        AbdRegister::try_write(self, writer, value)
     }
 }
 
@@ -149,9 +261,63 @@ impl<V> fmt::Debug for AbdRegister<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    use crate::{LinkFault, NetworkConfig, RetryPolicy};
 
     const P0: ProcessId = ProcessId::new(0);
     const P1: ProcessId = ProcessId::new(1);
+
+    fn erase(v: u32) -> ErasedValue {
+        Arc::new(v) as ErasedValue
+    }
+
+    fn unerase(v: &ErasedValue) -> u32 {
+        *v.downcast_ref::<u32>().unwrap()
+    }
+
+    #[test]
+    fn fold_keeps_max_tag_and_prefers_values_at_ties() {
+        let t = |seq, writer| Tag { seq, writer };
+
+        // Mixed Some/None replies, in both arrival orders: the None reply
+        // (a replica still at the initial value) must never displace a
+        // seen value, and the max tag must win.
+        let mut best = (Tag::default(), None);
+        fold_max_tag(&mut best, Tag::default(), None);
+        fold_max_tag(&mut best, t(3, 1), Some(erase(30)));
+        fold_max_tag(&mut best, Tag::default(), None);
+        fold_max_tag(&mut best, t(5, 0), Some(erase(50)));
+        fold_max_tag(&mut best, Tag::default(), None);
+        assert_eq!(best.0, t(5, 0));
+        assert_eq!(unerase(best.1.as_ref().unwrap()), 50);
+
+        // All-None replies: the (maximum) tag is still tracked.
+        let mut best = (Tag::default(), None);
+        fold_max_tag(&mut best, Tag::default(), None);
+        fold_max_tag(&mut best, Tag::default(), None);
+        assert_eq!(best, (Tag::default(), None));
+
+        // Equal tags: a value-carrying reply beats a valueless one,
+        // regardless of order.
+        let mut best = (Tag::default(), None);
+        fold_max_tag(&mut best, t(2, 0), Some(erase(7)));
+        fold_max_tag(&mut best, t(2, 0), None);
+        assert_eq!(unerase(best.1.as_ref().unwrap()), 7);
+        let mut best = (Tag::default(), None);
+        fold_max_tag(&mut best, t(2, 0), None);
+        fold_max_tag(&mut best, t(2, 0), Some(erase(7)));
+        assert_eq!(unerase(best.1.as_ref().unwrap()), 7);
+
+        // A defective higher-tagged None reply cannot clobber the value
+        // (the fold keeps the max tag but the invariant "value is the max
+        // tagged value seen" is preserved by tag order).
+        let mut best = (Tag::default(), None);
+        fold_max_tag(&mut best, t(4, 0), Some(erase(9)));
+        fold_max_tag(&mut best, t(4, 0), None);
+        assert_eq!(best.0, t(4, 0));
+        assert_eq!(unerase(best.1.as_ref().unwrap()), 9);
+    }
 
     #[test]
     fn initial_value_before_any_write() {
@@ -204,11 +370,80 @@ mod tests {
     }
 
     #[test]
+    fn majority_partition_returns_typed_error_then_recovers() {
+        let net = Arc::new(Network::with_config(
+            NetworkConfig::new(3)
+                .with_op_timeout(Duration::from_millis(120))
+                .with_retry(RetryPolicy {
+                    initial_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(10),
+                    multiplier: 2,
+                    jitter: 0.5,
+                }),
+        ));
+        let reg = AbdRegister::new(Arc::clone(&net), 0u32);
+        reg.write(P0, 3);
+
+        net.partition(&[0, 1]); // majority gone
+        match reg.try_read(P1) {
+            Err(AbdError::QuorumUnavailable {
+                phase: AbdPhase::Query,
+                acks,
+                needed,
+                elapsed,
+            }) => {
+                assert!(acks < needed, "{acks} acks should not reach quorum {needed}");
+                assert!(elapsed >= Duration::from_millis(120));
+            }
+            other => panic!("expected QuorumUnavailable, got {other:?}"),
+        }
+        assert!(
+            reg.try_write(P0, 4).is_err(),
+            "writes starve without a majority too"
+        );
+
+        net.heal();
+        // The indeterminate write may or may not have landed; either way
+        // the register must answer again and stay well-formed.
+        let v = reg.try_read(P1).expect("healed majority answers");
+        assert!(v == 3 || v == 4, "read {v}");
+        assert!(net.stats().retries > 0, "starved phases must have retried");
+    }
+
+    #[test]
+    fn retries_mask_a_very_lossy_link() {
+        let plan = crate::FaultPlan::seeded(17).with_default(
+            LinkFault::healthy()
+                .with_drop(0.4)
+                .with_duplicate(0.3)
+                .with_reorder(0.3, 3)
+                .with_reply_drop(0.2),
+        );
+        let net = Arc::new(Network::with_config(
+            NetworkConfig::new(3)
+                .with_faults(plan)
+                .with_retry(RetryPolicy {
+                    initial_backoff: Duration::from_micros(200),
+                    max_backoff: Duration::from_millis(5),
+                    multiplier: 2,
+                    jitter: 0.5,
+                }),
+        ));
+        let reg = AbdRegister::new(Arc::clone(&net), 0u32);
+        for k in 1..=20u32 {
+            reg.try_write(P0, k).expect("majority is connected");
+            assert_eq!(reg.try_read(P1).unwrap(), k);
+        }
+        let stats = net.stats();
+        assert!(stats.messages_dropped > 0, "{stats:?}");
+        assert!(stats.messages_duplicated > 0, "{stats:?}");
+        assert!(stats.retries > 0, "{stats:?}");
+        assert!(net.quorum_latency().count() > 0);
+    }
+
+    #[test]
     fn concurrent_readers_and_writers_no_tearing() {
-        let net = Arc::new(Network::with_config(crate::NetworkConfig {
-            replicas: 3,
-            jitter_seed: Some(7),
-        }));
+        let net = Arc::new(Network::with_config(NetworkConfig::new(3).with_jitter(7)));
         let reg = Arc::new(AbdRegister::new(net, (0u64, 0u64)));
         std::thread::scope(|s| {
             for w in 0..2usize {

@@ -1,0 +1,226 @@
+//! Fault and retry counters plus a per-operation quorum-latency
+//! histogram, threaded through the replica threads and the client retry
+//! loop so soak tests and benches can assert on what the fault layer
+//! actually did (a nemesis test whose `messages_dropped` stays zero is
+//! not testing what it claims to).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ microsecond buckets in the latency histogram
+/// (bucket 31 holds everything ≥ ~35 minutes — effectively "timeout").
+const BUCKETS: usize = 32;
+
+/// Live atomic counters shared by the network, its replicas and clients.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub messages_sent: AtomicU64,
+    pub messages_dropped: AtomicU64,
+    pub messages_duplicated: AtomicU64,
+    pub messages_reordered: AtomicU64,
+    pub retries: AtomicU64,
+    pub duplicates_suppressed: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Counters {
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_quorum_latency(&self, elapsed: Duration) {
+        self.latency.record(elapsed);
+    }
+
+    pub fn snapshot(&self) -> NetworkStats {
+        NetworkStats {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
+            messages_duplicated: self.messages_duplicated.load(Ordering::Relaxed),
+            messages_reordered: self.messages_reordered.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        self.latency.snapshot()
+    }
+}
+
+/// A point-in-time snapshot of a [`Network`]'s fault and traffic counters.
+///
+/// All counts are cumulative since the network was spawned. Obtained from
+/// [`Network::stats`]; cheap to copy and compare, so tests typically diff
+/// two snapshots around the interval of interest.
+///
+/// [`Network`]: crate::Network
+/// [`Network::stats`]: crate::Network::stats
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Client→replica request messages handed to the links (initial
+    /// broadcasts *and* retransmissions).
+    pub messages_sent: u64,
+    /// Messages discarded by the fault layer: lossy-link drops, partition
+    /// cuts (both request and reply direction).
+    pub messages_dropped: u64,
+    /// Requests the fault layer delivered twice.
+    pub messages_duplicated: u64,
+    /// Requests the fault layer held back past later traffic (bounded
+    /// reordering).
+    pub messages_reordered: u64,
+    /// Retransmissions issued by client retry loops (counted per replica
+    /// re-contacted, matching `messages_sent` granularity).
+    pub retries: u64,
+    /// Duplicate `Store` deliveries a replica recognized by request id and
+    /// acked without re-applying.
+    pub duplicates_suppressed: u64,
+}
+
+/// A lock-free log₂-bucketed histogram of quorum-phase latencies.
+///
+/// Bucket `i` counts phases whose wall-clock duration was in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 additionally holds sub-µs
+/// phases).
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(elapsed: Duration) -> usize {
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        if micros == 0 {
+            0
+        } else {
+            (micros.ilog2() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    pub fn record(&self, elapsed: Duration) {
+        self.buckets[Self::bucket_of(elapsed)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the per-operation quorum-latency histogram.
+///
+/// Obtained from [`Network::quorum_latency`]. Bucket `i` counts quorum
+/// phases that completed in `[2^i, 2^(i+1))` microseconds.
+///
+/// [`Network::quorum_latency`]: crate::Network::quorum_latency
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    buckets: [u64; BUCKETS],
+}
+
+impl LatencySnapshot {
+    /// Total number of recorded quorum phases.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts (log₂ microseconds).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// An upper bound on the `q`-quantile latency (`q` in `[0, 1]`):
+    /// the exclusive upper edge of the bucket containing that quantile.
+    /// Returns `None` if nothing was recorded.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper_micros = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
+                return Some(Duration::from_micros(upper_micros));
+            }
+        }
+        Some(Duration::from_micros(u64::MAX))
+    }
+}
+
+impl fmt::Debug for LatencySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencySnapshot")
+            .field("count", &self.count())
+            .field("p50_upper", &self.quantile_upper_bound(0.5))
+            .field("p99_upper", &self.quantile_upper_bound(0.99))
+            .finish()
+    }
+}
+
+impl fmt::Debug for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_micros() {
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(10)), 0);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(1)), 0);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(2)), 1);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(3)), 1);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(1024)), 10);
+        assert_eq!(
+            LatencyHistogram::bucket_of(Duration::from_secs(1 << 40)),
+            BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.snapshot().quantile_upper_bound(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket 3: [8, 16)
+        }
+        h.record(Duration::from_millis(100)); // bucket 16
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        assert_eq!(
+            snap.quantile_upper_bound(0.5),
+            Some(Duration::from_micros(16))
+        );
+        assert_eq!(
+            snap.quantile_upper_bound(1.0),
+            Some(Duration::from_micros(1 << 17))
+        );
+    }
+
+    #[test]
+    fn counters_snapshot_roundtrip() {
+        let c = Counters::default();
+        Counters::add(&c.messages_sent, 5);
+        Counters::add(&c.retries, 2);
+        let s = c.snapshot();
+        assert_eq!(s.messages_sent, 5);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.messages_dropped, 0);
+    }
+}

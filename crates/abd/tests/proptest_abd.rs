@@ -3,9 +3,12 @@
 //! churn, and quorum arithmetic.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
-use snapshot_abd::{AbdBackend, Network, NetworkConfig};
+use snapshot_abd::{
+    AbdBackend, AbdRegister, FaultPlan, LinkFault, Network, NetworkConfig, RetryPolicy,
+};
 use snapshot_registers::{Backend, ProcessId, Register};
 
 #[derive(Clone, Debug)]
@@ -87,10 +90,7 @@ proptest! {
     fn independent_registers_do_not_interfere(
         writes in prop::collection::vec((0..3usize, any::<u64>()), 1..16)
     ) {
-        let network = Arc::new(Network::with_config(NetworkConfig {
-            replicas: 3,
-            jitter_seed: Some(1),
-        }));
+        let network = Arc::new(Network::with_config(NetworkConfig::new(3).with_jitter(1)));
         let backend = AbdBackend::new(&network);
         let regs: Vec<_> = (0..3).map(|i| backend.cell(i as u64)).collect();
         let mut model = [0u64, 1, 2];
@@ -110,5 +110,49 @@ proptest! {
         prop_assert!(2 * network.quorum() > replicas);
         prop_assert!(2 * (network.quorum() - 1) <= replicas);
         prop_assert_eq!(network.fault_tolerance(), replicas - network.quorum());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sequential semantics are *fault-oblivious*: under any seeded mix of
+    /// message drops, duplicates and reordering (majority still reachable),
+    /// retransmission plus replica-side dedup must make every operation
+    /// complete with exactly the last-write model's answer.
+    #[test]
+    fn sequential_semantics_survive_a_lossy_network(
+        seed in any::<u64>(),
+        drop in 0.0f64..0.35,
+        duplicate in 0.0f64..0.3,
+        reorder in 0.0f64..0.3,
+        script in prop::collection::vec((0..4usize, any::<u64>()), 1..12),
+    ) {
+        let fault = LinkFault::healthy()
+            .with_drop(drop)
+            .with_duplicate(duplicate)
+            .with_reorder(reorder, 3)
+            .with_reply_drop(drop / 2.0);
+        let network = Arc::new(Network::with_config(
+            NetworkConfig::new(3)
+                .with_jitter(seed)
+                .with_faults(FaultPlan::seeded(seed).with_default(fault))
+                .with_retry(RetryPolicy {
+                    initial_backoff: Duration::from_micros(300),
+                    max_backoff: Duration::from_millis(5),
+                    multiplier: 2,
+                    jitter: 0.5,
+                }),
+        ));
+        let reg = AbdRegister::new(Arc::clone(&network), 0u64);
+        let mut model = 0u64;
+        for (pid, value) in script {
+            let p = ProcessId::new(pid);
+            reg.try_write(p, value).expect("majority reachable: write completes");
+            model = value;
+            let got = reg.try_read(p).expect("majority reachable: read completes");
+            prop_assert_eq!(got, model);
+        }
+        prop_assert!(!network.poisoned());
     }
 }

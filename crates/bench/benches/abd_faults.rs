@@ -1,0 +1,105 @@
+//! Cost of resilience: ABD register operation latency under seeded link
+//! faults. Measures how the retransmission machinery degrades as the fault
+//! mix thickens — the "graceful" half of graceful degradation, to put next
+//! to `abd_latency`'s fault-free numbers.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_abd::{
+    AbdRegister, FaultPlan, LinkFault, Network, NetworkConfig, RetryPolicy,
+};
+use snapshot_registers::ProcessId;
+
+/// Fast retries so retransmission latency, not backoff idling, dominates.
+fn bench_retry() -> RetryPolicy {
+    RetryPolicy {
+        initial_backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(4),
+        multiplier: 2,
+        jitter: 0.5,
+    }
+}
+
+fn fault_mixes() -> Vec<(&'static str, LinkFault)> {
+    vec![
+        ("clean", LinkFault::healthy()),
+        ("drop10", LinkFault::healthy().with_drop(0.10)),
+        ("drop25", LinkFault::healthy().with_drop(0.25)),
+        (
+            "dup_reorder",
+            LinkFault::healthy()
+                .with_duplicate(0.15)
+                .with_reorder(0.20, 3),
+        ),
+        (
+            "storm",
+            LinkFault::healthy()
+                .with_drop(0.15)
+                .with_duplicate(0.10)
+                .with_reorder(0.15, 3)
+                .with_reply_drop(0.08),
+        ),
+    ]
+}
+
+fn bench_abd_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abd_faulty_link");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(15);
+
+    for (name, fault) in fault_mixes() {
+        let network = Arc::new(Network::with_config(
+            NetworkConfig::new(5)
+                .with_jitter(2026)
+                .with_faults(FaultPlan::seeded(42).with_default(fault))
+                .with_retry(bench_retry()),
+        ));
+        let reg = AbdRegister::new(Arc::clone(&network), 0u64);
+        let p = ProcessId::new(0);
+        reg.try_write(p, 1).expect("all replicas reachable");
+
+        group.bench_with_input(BenchmarkId::new("read", name), &name, |b, _| {
+            b.iter(|| black_box(reg.try_read(p).expect("majority reachable")))
+        });
+        let mut k = 1u64;
+        group.bench_with_input(BenchmarkId::new("write", name), &name, |b, _| {
+            b.iter(|| {
+                k += 1;
+                reg.try_write(p, black_box(k)).expect("majority reachable")
+            })
+        });
+    }
+    group.finish();
+
+    // A crashed minority forces the client to time out on its acks — the
+    // quorum still answers, but every phase sends to dead replicas.
+    let mut group = c.benchmark_group("abd_crashed_minority");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(15);
+    for crashed in [0usize, 1, 2] {
+        let network = Arc::new(Network::with_config(
+            NetworkConfig::new(5).with_jitter(7).with_retry(bench_retry()),
+        ));
+        for i in 0..crashed {
+            network.crash(i);
+        }
+        let reg = AbdRegister::new(Arc::clone(&network), 0u64);
+        let p = ProcessId::new(0);
+        group.bench_with_input(
+            BenchmarkId::new("read", format!("crashed{crashed}")),
+            &crashed,
+            |b, _| b.iter(|| black_box(reg.try_read(p).expect("majority alive"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abd_faults);
+criterion_main!(benches);

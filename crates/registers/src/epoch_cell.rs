@@ -3,7 +3,7 @@ use std::sync::atomic::Ordering;
 
 use crossbeam_epoch::{self as epoch, Atomic, Owned};
 
-use crate::{ProcessId, Register};
+use crate::{ProcessId, Register, TryRegister};
 
 /// The default lock-free atomic register: an immutable record behind an
 /// atomic pointer, reclaimed with epoch-based garbage collection.
@@ -58,6 +58,19 @@ impl<T: Clone + Send + Sync> Register<T> for EpochCell<T> {
         // now unreachable from the slot; readers that loaded it are pinned,
         // so destruction is deferred past their epochs.
         unsafe { guard.defer_destroy(old) };
+    }
+}
+
+impl<T: Clone + Send + Sync> TryRegister<T> for EpochCell<T> {
+    type Error = std::convert::Infallible;
+
+    fn try_read(&self, reader: ProcessId) -> Result<T, Self::Error> {
+        Ok(self.read(reader))
+    }
+
+    fn try_write(&self, writer: ProcessId, value: T) -> Result<(), Self::Error> {
+        self.write(writer, value);
+        Ok(())
     }
 }
 

@@ -83,6 +83,31 @@ pub trait Register<T>: Send + Sync {
     /// Replaces the register contents with `value` on behalf of `writer`.
     fn write(&self, writer: ProcessId, value: T);
 }
+/// A register whose operations can fail with a typed error.
+///
+/// In-process registers never fail (their `Error` is
+/// [`std::convert::Infallible`]), but registers emulated over a
+/// message-passing system lose liveness when the network degrades past
+/// the protocol's resilience boundary — e.g. the ABD emulation's quorum
+/// phases starve once a majority of replicas is unreachable. This trait
+/// lets such embeddings surface that as a typed error the caller can
+/// retry or report, while the plain [`Register`] interface (which the
+/// wait-free constructions use, and which has no error channel) panics.
+///
+/// For infallible implementations the `try_` methods are exactly
+/// `read`/`write`; implementations with real failure modes must keep the
+/// pair coherent: `read`/`write` behave as `try_read`/`try_write` with
+/// errors escalated to panics.
+pub trait TryRegister<T>: Register<T> {
+    /// The error produced when an operation cannot complete.
+    type Error: std::error::Error + Send + Sync + 'static;
+
+    /// Reads the current register contents on behalf of `reader`.
+    fn try_read(&self, reader: ProcessId) -> Result<T, Self::Error>;
+
+    /// Replaces the register contents with `value` on behalf of `writer`.
+    fn try_write(&self, writer: ProcessId, value: T) -> Result<(), Self::Error>;
+}
 
 impl<T, R: Register<T> + ?Sized> Register<T> for &R {
     fn read(&self, reader: ProcessId) -> T {

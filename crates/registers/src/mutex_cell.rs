@@ -2,7 +2,7 @@ use std::fmt;
 
 use parking_lot::Mutex;
 
-use crate::{ProcessId, Register};
+use crate::{ProcessId, Register, TryRegister};
 
 /// A blocking register baseline: the value behind a [`parking_lot::Mutex`].
 ///
@@ -42,6 +42,19 @@ impl<T: Clone + Send> Register<T> for MutexCell<T> {
 
     fn write(&self, _writer: ProcessId, value: T) {
         *self.slot.lock() = value;
+    }
+}
+
+impl<T: Clone + Send> TryRegister<T> for MutexCell<T> {
+    type Error = std::convert::Infallible;
+
+    fn try_read(&self, reader: ProcessId) -> Result<T, Self::Error> {
+        Ok(self.read(reader))
+    }
+
+    fn try_write(&self, writer: ProcessId, value: T) -> Result<(), Self::Error> {
+        self.write(writer, value);
+        Ok(())
     }
 }
 

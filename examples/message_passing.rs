@@ -15,10 +15,7 @@ fn main() {
     const PROCESSES: usize = 3;
     const REPLICAS: usize = 5;
 
-    let network = Arc::new(Network::with_config(NetworkConfig {
-        replicas: REPLICAS,
-        jitter_seed: Some(2026),
-    }));
+    let network = Arc::new(Network::with_config(NetworkConfig::new(REPLICAS).with_jitter(2026)));
     println!(
         "replica network: {REPLICAS} replicas, quorum {}, tolerates {} crash(es)",
         network.quorum(),

@@ -126,6 +126,97 @@ fn multiwriter_survives_crash_between_handshake_and_value_write() {
     }
 }
 
+/// Crash/restart *storm* on the message-passing side: the ABD emulation's
+/// analogue of the simulator crash sweeps above. Two replicas of a
+/// 5-replica network flap up and down at random (seeded) instants while
+/// writers and readers run — at most 2 replicas are ever down, so a
+/// majority stays reachable and, by the paper's Section 6 argument, every
+/// operation must complete and the register must stay atomic. Composite
+/// `(k, 3k)` values make torn or stale-mix reads detectable.
+#[test]
+fn abd_register_survives_replica_crash_restart_storm() {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    use snapshot_abd::{AbdRegister, Network, NetworkConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    for seed in [3u64, 11, 42] {
+        let network = Arc::new(Network::with_config(
+            NetworkConfig::new(5).with_jitter(seed),
+        ));
+        let reg = Arc::new(AbdRegister::new(Arc::clone(&network), (0u64, 0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        std::thread::scope(|s| {
+            {
+                // Storm driver: flap replicas 0 and 1 only, so at most a
+                // minority (2 of 5) is ever crashed.
+                let network = Arc::clone(&network);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut down = [false; 2];
+                    while !stop.load(Ordering::Relaxed) {
+                        let i = rng.random_range(0..2usize);
+                        if down[i] {
+                            network.restart(i);
+                        } else {
+                            network.crash(i);
+                        }
+                        down[i] = !down[i];
+                        std::thread::sleep(Duration::from_micros(rng.random_range(200..2_000)));
+                    }
+                    for (i, d) in down.into_iter().enumerate() {
+                        if d {
+                            network.restart(i);
+                        }
+                    }
+                });
+            }
+            for w in 0..2u64 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let pid = ProcessId::new(w as usize);
+                    for i in 0..60 {
+                        let k = w * 1_000 + i;
+                        reg.try_write(pid, (k, k * 3))
+                            .unwrap_or_else(|e| panic!("seed {seed}: write under storm: {e}"));
+                    }
+                });
+            }
+            let mut readers = Vec::new();
+            for r in 0..2u64 {
+                let reg = Arc::clone(&reg);
+                readers.push(s.spawn(move || {
+                    let pid = ProcessId::new(2 + r as usize);
+                    for _ in 0..120 {
+                        let (a, b) = reg
+                            .try_read(pid)
+                            .unwrap_or_else(|e| panic!("seed {seed}: read under storm: {e}"));
+                        assert_eq!(b, a * 3, "seed {seed}: torn/mixed read ({a}, {b})");
+                    }
+                }));
+            }
+            // Stop the storm only after the workload is done; readers and
+            // writers never observe a settled network.
+            for h in readers {
+                h.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        assert!(!network.poisoned(), "seed {seed}: replica thread panicked");
+        // Crashed replicas swallow requests without acking, so the storm
+        // itself must have forced some drops to be counted.
+        let stats = network.stats();
+        assert!(
+            stats.messages_dropped > 0,
+            "seed {seed}: storm never caught an op in flight: {stats:?}"
+        );
+    }
+}
+
 #[test]
 fn all_but_one_crashed_scanner_still_terminates() {
     // Extreme case: every other process crashes almost immediately; the

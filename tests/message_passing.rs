@@ -13,10 +13,7 @@ use snapshot_registers::ProcessId;
 
 #[test]
 fn snapshot_over_message_passing_is_linearizable() {
-    let network = Arc::new(Network::with_config(NetworkConfig {
-        replicas: 3,
-        jitter_seed: Some(11),
-    }));
+    let network = Arc::new(Network::with_config(NetworkConfig::new(3).with_jitter(11)));
     let backend = AbdBackend::new(&network);
     let n = 3;
     let object = UnboundedSnapshot::with_backend(n, 0u64, &backend);
@@ -27,10 +24,7 @@ fn snapshot_over_message_passing_is_linearizable() {
 #[test]
 fn small_message_passing_histories_pass_wing_gong() {
     for seed in 0..5u64 {
-        let network = Arc::new(Network::with_config(NetworkConfig {
-            replicas: 3,
-            jitter_seed: Some(seed),
-        }));
+        let network = Arc::new(Network::with_config(NetworkConfig::new(3).with_jitter(seed)));
         let backend = AbdBackend::new(&network);
         let n = 2;
         let object = BoundedSnapshot::with_backend(n, 0u64, &backend);
@@ -74,10 +68,7 @@ fn snapshot_survives_minority_replica_crashes() {
 
 #[test]
 fn concurrent_snapshot_traffic_during_crash_and_recovery() {
-    let network = Arc::new(Network::with_config(NetworkConfig {
-        replicas: 5,
-        jitter_seed: Some(3),
-    }));
+    let network = Arc::new(Network::with_config(NetworkConfig::new(5).with_jitter(3)));
     let backend = AbdBackend::new(&network);
     let n = 3;
     let object = UnboundedSnapshot::with_backend(n, 0u64, &backend);

@@ -1,0 +1,257 @@
+//! Nemesis soak tests for the message-passing emulation: seeded
+//! drop + duplicate + reorder + delay link faults, runtime partitions and
+//! replica crash/restart schedules, driven against concurrent ABD readers
+//! and writers on a 5-replica network.
+//!
+//! The paper's Section 6 resilience claim is *"as long as a majority of
+//! the system remains connected"* — so these tests pin both sides of that
+//! boundary:
+//!
+//! * every fault mix that preserves a reachable majority must leave the
+//!   recorded history linearizable (`snapshot_lin::check_history`), with
+//!   the faults *provably* injected (nonzero `messages_dropped`,
+//!   `messages_duplicated`, `retries`);
+//! * once a majority is partitioned or crashed away, operations must
+//!   surface `AbdError::QuorumUnavailable` within the configured timeout
+//!   — not a panic, not a hang — and recover after healing.
+//!
+//! Fault decisions (which message is dropped/duplicated/held back) are
+//! drawn from per-link RNGs seeded by the test's fixed seed, so a failing
+//! run reproduces; thread interleavings still vary, which is fine — the
+//! assertions must hold for *every* interleaving.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use snapshot_abd::{
+    AbdError, AbdPhase, AbdRegister, Dwell, FaultPlan, LinkFault, Nemesis, NemesisEvent, Network,
+    NetworkConfig, RetryPolicy,
+};
+use snapshot_lin::{check_history, Recorder};
+use snapshot_registers::ProcessId;
+
+const WRITERS: usize = 2;
+const READERS: usize = 2;
+const OPS_PER_WRITER: u64 = 8;
+const OPS_PER_READER: u64 = 8;
+
+fn lossy_link() -> LinkFault {
+    LinkFault::healthy()
+        .with_drop(0.12)
+        .with_duplicate(0.10)
+        .with_reorder(0.15, 3)
+        .with_reply_drop(0.06)
+        .with_delay(Duration::from_micros(5), Duration::from_micros(150))
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        initial_backoff: Duration::from_micros(500),
+        max_backoff: Duration::from_millis(8),
+        multiplier: 2,
+        jitter: 0.5,
+    }
+}
+
+/// The schedule the issue asks for: heal → partition a minority → flap a
+/// replica → heal, with an asymmetric cut thrown in. At every instant at
+/// least 3 of the 5 replicas are reachable, so the workload stays live.
+fn minority_nemesis() -> Nemesis {
+    Nemesis::new()
+        .phase(vec![NemesisEvent::Heal], Dwell::Millis(5))
+        .phase(
+            vec![NemesisEvent::Partition {
+                replicas: vec![0, 1],
+                symmetric: true,
+            }],
+            Dwell::Millis(20),
+        )
+        .phase(
+            vec![NemesisEvent::Heal, NemesisEvent::Crash(2)],
+            Dwell::Millis(20),
+        )
+        .phase(
+            vec![
+                NemesisEvent::Restart(2),
+                NemesisEvent::Heal,
+                NemesisEvent::Partition {
+                    replicas: vec![3],
+                    symmetric: false, // asymmetric: requests cut, replies pass
+                },
+            ],
+            Dwell::Millis(15),
+        )
+        .phase(vec![NemesisEvent::Heal], Dwell::Millis(5))
+}
+
+fn run_nemesis_soak(seed: u64) {
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(5)
+            .with_jitter(seed)
+            .with_faults(FaultPlan::seeded(seed).with_default(lossy_link()))
+            .with_retry(fast_retry()),
+    ));
+    let reg = Arc::new(AbdRegister::new(Arc::clone(&network), 0u64));
+    // One multi-writer register modeled as a 1-word snapshot object:
+    // writes are updates to word 0, reads are scans returning the single
+    // word — `check_history` then runs the Wing–Gong search against the
+    // multi-writer snapshot spec, which for one word is exactly an atomic
+    // multi-writer register.
+    let recorder = Recorder::new(WRITERS + READERS, 1, 0u64);
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let reg = Arc::clone(&reg);
+            let recorder = &recorder;
+            s.spawn(move || {
+                let pid = ProcessId::new(w);
+                for k in 1..=OPS_PER_WRITER {
+                    let value = (w as u64 + 1) * 1000 + k; // globally unique
+                    let inv = recorder.begin();
+                    match reg.try_write(pid, value) {
+                        Ok(()) => recorder.end_update(pid, 0, value, inv),
+                        // Indeterminate: may or may not have taken effect.
+                        Err(e) => {
+                            recorder.pending_update(pid, 0, value, inv);
+                            panic!("writer {w} lost a live majority: {e}");
+                        }
+                    }
+                }
+            });
+        }
+        for r in 0..READERS {
+            let reg = Arc::clone(&reg);
+            let recorder = &recorder;
+            s.spawn(move || {
+                let pid = ProcessId::new(WRITERS + r);
+                for _ in 0..OPS_PER_READER {
+                    let inv = recorder.begin();
+                    let value = reg
+                        .try_read(pid)
+                        .unwrap_or_else(|e| panic!("reader {r} lost a live majority: {e}"));
+                    recorder.end_scan(pid, vec![value], inv);
+                }
+            });
+        }
+        let network = Arc::clone(&network);
+        s.spawn(move || minority_nemesis().run(&network));
+    });
+
+    let history = recorder.finish();
+    let result = check_history(&history);
+    assert!(
+        result.is_linearizable(),
+        "seed {seed}: nemesis history not linearizable: {history:?}"
+    );
+
+    let stats = network.stats();
+    assert!(stats.messages_dropped > 0, "seed {seed}: {stats:?}");
+    assert!(stats.messages_duplicated > 0, "seed {seed}: {stats:?}");
+    assert!(stats.messages_reordered > 0, "seed {seed}: {stats:?}");
+    assert!(stats.retries > 0, "seed {seed}: {stats:?}");
+    let latency = network.quorum_latency();
+    assert!(latency.count() > 0, "seed {seed}: no quorum phases recorded");
+    assert!(!network.poisoned(), "seed {seed}: a replica thread panicked");
+}
+
+#[test]
+fn nemesis_soak_keeps_abd_linearizable_seed_7() {
+    run_nemesis_soak(7);
+}
+
+#[test]
+fn nemesis_soak_keeps_abd_linearizable_seed_21() {
+    run_nemesis_soak(21);
+}
+
+#[test]
+fn nemesis_soak_keeps_abd_linearizable_seed_1990() {
+    run_nemesis_soak(1990);
+}
+
+/// Crossing the liveness boundary must produce a typed error within the
+/// configured timeout — never a panic or a hang — and the client must
+/// recover once the partition heals.
+#[test]
+fn majority_partition_yields_quorum_unavailable_not_panic() {
+    let op_timeout = Duration::from_millis(200);
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(5)
+            .with_op_timeout(op_timeout)
+            .with_retry(fast_retry()),
+    ));
+    let reg = AbdRegister::new(Arc::clone(&network), 0u64);
+    let p0 = ProcessId::new(0);
+    let p1 = ProcessId::new(1);
+    reg.try_write(p0, 11).unwrap();
+
+    network.partition(&[0, 1, 2]); // majority gone
+    let started = Instant::now();
+    let err = reg.try_read(p1).expect_err("no majority is reachable");
+    let took = started.elapsed();
+    match err {
+        AbdError::QuorumUnavailable {
+            phase,
+            acks,
+            needed,
+            elapsed,
+        } => {
+            assert_eq!(phase, AbdPhase::Query);
+            assert_eq!(needed, 3);
+            assert!(acks <= 2, "only a minority could have answered: {acks}");
+            assert!(elapsed >= op_timeout);
+        }
+        other => panic!("expected QuorumUnavailable, got {other:?}"),
+    }
+    assert!(
+        took < Duration::from_secs(10),
+        "timed out in {took:?}, far beyond the configured {op_timeout:?}"
+    );
+    assert!(reg.try_write(p0, 12).is_err(), "writes starve too");
+    let stats = network.stats();
+    assert!(stats.retries > 0, "starved phases retransmit: {stats:?}");
+
+    network.heal();
+    let v = reg.try_read(p1).expect("majority healed");
+    assert!(v == 11 || v == 12, "indeterminate write may have landed: {v}");
+
+    // Same boundary via crashes instead of partitions.
+    network.crash(2);
+    network.crash(3);
+    network.crash(4);
+    let err = reg.try_write(p0, 13).expect_err("3 of 5 replicas crashed");
+    assert!(matches!(err, AbdError::QuorumUnavailable { .. }), "{err:?}");
+    network.restart(2);
+    network.restart(3);
+    network.restart(4);
+    reg.try_write(p0, 14).expect("restarted majority acks");
+    assert_eq!(reg.try_read(p1).unwrap(), 14);
+}
+
+/// An operation that *starts* against a partitioned majority completes
+/// (rather than erroring) if the partition heals before the timeout:
+/// retransmissions carry it across the healing boundary.
+#[test]
+fn retries_carry_an_operation_across_a_healing_partition() {
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(5)
+            .with_op_timeout(Duration::from_secs(30))
+            .with_retry(fast_retry()),
+    ));
+    let reg = Arc::new(AbdRegister::new(Arc::clone(&network), 0u64));
+    network.partition(&[0, 1, 2]);
+
+    std::thread::scope(|s| {
+        let reg = Arc::clone(&reg);
+        let writer = s.spawn(move || reg.try_write(ProcessId::new(0), 5));
+        std::thread::sleep(Duration::from_millis(30));
+        network.heal();
+        writer.join().unwrap().expect("write completes after heal");
+    });
+    assert_eq!(reg.try_read(ProcessId::new(1)).unwrap(), 5);
+    assert!(
+        network.stats().retries > 0,
+        "the blocked phase must have retransmitted: {:?}",
+        network.stats()
+    );
+}

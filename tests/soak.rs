@@ -54,10 +54,7 @@ fn soak_abd_crash_churn() {
     use snapshot_registers::ProcessId;
     use std::sync::Arc;
 
-    let network = Arc::new(Network::with_config(NetworkConfig {
-        replicas: 7,
-        jitter_seed: Some(99),
-    }));
+    let network = Arc::new(Network::with_config(NetworkConfig::new(7).with_jitter(99)));
     let backend = AbdBackend::new(&network);
     let n = 4;
     let object = UnboundedSnapshot::with_backend(n, 0u64, &backend);
