@@ -8,6 +8,7 @@ use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use snapshot_obs::{Registry, Trace};
 
 use crate::fault::{FaultPlan, LinkFault};
 use crate::message::{ErasedValue, Request, RequestId, Response, ResponseBody};
@@ -97,6 +98,15 @@ pub struct NetworkConfig {
     pub op_timeout: Duration,
     /// Retransmission backoff policy for quorum phases.
     pub retry: RetryPolicy,
+    /// Metrics registry the network's `abd.*` counters and the
+    /// quorum-latency histogram are registered on. `None` gives the
+    /// network a private registry (still readable via
+    /// [`Network::registry`]).
+    pub registry: Option<Arc<Registry>>,
+    /// Trace receiving quorum-phase lifecycle events
+    /// (`abd_phase_start`, `abd_retransmit`, `abd_quorum_reached`,
+    /// `abd_quorum_failed`). Disabled by default.
+    pub trace: Trace,
 }
 
 impl NetworkConfig {
@@ -109,6 +119,8 @@ impl NetworkConfig {
             faults: None,
             op_timeout: Duration::from_secs(30),
             retry: RetryPolicy::default(),
+            registry: None,
+            trace: Trace::disabled(),
         }
     }
 
@@ -133,6 +145,19 @@ impl NetworkConfig {
     /// Sets the retransmission backoff policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Registers the network's counters on a shared metrics registry, so
+    /// `abd.*` metrics appear next to every other subsystem's.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Attaches a trace for quorum-phase lifecycle events.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -202,17 +227,17 @@ impl ReplicaCore {
     fn admit(&mut self, held: &mut Vec<(Request, u32)>, request: Request) {
         let fault = self.link.fault.read().clone();
         if self.link.cut_inbound.load(Ordering::Acquire) || self.chance(fault.drop) {
-            Counters::add(&self.counters.messages_dropped, 1);
+            self.counters.messages_dropped.inc();
             return;
         }
         if self.chance(fault.duplicate) {
-            Counters::add(&self.counters.messages_duplicated, 1);
+            self.counters.messages_duplicated.inc();
             // The extra copy is delivered immediately; the original may
             // still be held back below, so the two can arrive far apart.
             self.deliver_delayed(&fault, request.clone());
         }
         if fault.reorder_window > 0 && self.chance(fault.reorder) {
-            Counters::add(&self.counters.messages_reordered, 1);
+            self.counters.messages_reordered.inc();
             let holdback = self.rng.random_range(1..=fault.reorder_window as u32);
             held.push((request, holdback));
         } else {
@@ -246,7 +271,7 @@ impl ReplicaCore {
             // A crashed replica consumes without acking — from the client's
             // point of view the message is lost, so it counts as a drop. A
             // restart lets the replica speak again (state intact).
-            Counters::add(&self.counters.messages_dropped, 1);
+            self.counters.messages_dropped.inc();
             return;
         }
         match request {
@@ -295,7 +320,7 @@ impl ReplicaCore {
                     // Duplicate delivery (link duplication or client
                     // retransmission): skip the apply, but re-ack — the
                     // first ack may have been lost.
-                    Counters::add(&self.counters.duplicates_suppressed, 1);
+                    self.counters.duplicates_suppressed.inc();
                 }
                 self.reply(
                     &reply,
@@ -327,7 +352,7 @@ impl ReplicaCore {
     fn reply(&mut self, to: &Sender<Response>, response: Response) {
         let reply_drop = self.link.fault.read().reply_drop;
         if self.link.cut_outbound.load(Ordering::Acquire) || self.chance(reply_drop) {
-            Counters::add(&self.counters.messages_dropped, 1);
+            self.counters.messages_dropped.inc();
             return;
         }
         let _ = to.send(response);
@@ -388,6 +413,8 @@ pub struct Network {
     next_register: AtomicU64,
     next_request: AtomicU64,
     counters: Arc<Counters>,
+    registry: Arc<Registry>,
+    trace: Trace,
     op_timeout: Duration,
     retry: RetryPolicy,
     panicked: Arc<AtomicBool>,
@@ -410,7 +437,8 @@ impl Network {
     /// Panics if `config.replicas` is zero.
     pub fn with_config(config: NetworkConfig) -> Self {
         assert!(config.replicas > 0, "a network needs at least one replica");
-        let counters = Arc::new(Counters::default());
+        let registry = config.registry.unwrap_or_default();
+        let counters = Arc::new(Counters::new(&registry));
         let panicked = Arc::new(AtomicBool::new(false));
         let fault_seed = config.faults.as_ref().map(|p| p.seed).unwrap_or(0);
         let links: Vec<Arc<LinkState>> = (0..config.replicas)
@@ -488,6 +516,8 @@ impl Network {
             next_register: AtomicU64::new(0),
             next_request: AtomicU64::new(0),
             counters,
+            registry,
+            trace: config.trace,
             op_timeout: config.op_timeout,
             retry: config.retry,
             panicked,
@@ -508,6 +538,19 @@ impl Network {
     /// A snapshot of the per-operation quorum-phase latency histogram.
     pub fn quorum_latency(&self) -> LatencySnapshot {
         self.counters.latency_snapshot()
+    }
+
+    /// The metrics registry carrying this network's `abd.*` metrics
+    /// (shared if one was installed via [`NetworkConfig::with_registry`],
+    /// private otherwise).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The trace receiving this network's quorum-phase events (disabled
+    /// unless one was installed via [`NetworkConfig::with_trace`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Number of replicas.
@@ -635,13 +678,13 @@ impl Network {
                 sent += 1;
             }
         }
-        Counters::add(&self.counters.messages_sent, sent as u64);
+        self.counters.messages_sent.add(sent as u64);
         sent
     }
 
     /// Counts client retransmissions (per replica re-contacted).
     pub(crate) fn note_retries(&self, n: u64) {
-        Counters::add(&self.counters.retries, n);
+        self.counters.retries.add(n);
     }
 
     /// Records one completed quorum phase's latency.

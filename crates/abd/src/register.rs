@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
+use snapshot_obs::{AbdPhaseKind, Event};
 use snapshot_registers::{ProcessId, Register, TryRegister};
 
 use crate::error::{AbdError, AbdPhase};
@@ -89,13 +90,13 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
 
     /// Reads the register, returning a typed error instead of panicking
     /// when no majority of replicas answers within the configured timeout.
-    pub fn try_read(&self, _reader: ProcessId) -> Result<V, AbdError> {
-        let (tag, value) = self.query_majority()?;
+    pub fn try_read(&self, reader: ProcessId) -> Result<V, AbdError> {
+        let (tag, value) = self.query_majority(reader)?;
         match value {
             Some(erased) => {
                 // Write-back before returning: later reads must not see an
                 // older maximum.
-                self.store_majority(tag, Arc::clone(&erased))?;
+                self.store_majority(reader, tag, Arc::clone(&erased))?;
                 erased
                     .downcast_ref::<V>()
                     .cloned()
@@ -112,20 +113,21 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     /// may have reached some replicas and may yet become visible (exactly
     /// like a crashed writer in the paper's model).
     pub fn try_write(&self, writer: ProcessId, value: V) -> Result<(), AbdError> {
-        let (max_tag, _) = self.query_majority()?;
+        let (max_tag, _) = self.query_majority(writer)?;
         let tag = Tag {
             seq: max_tag.seq + 1,
             writer: writer.get(),
         };
-        self.store_majority(tag, Arc::new(value) as ErasedValue)
+        self.store_majority(writer, tag, Arc::new(value) as ErasedValue)
     }
 
     /// Phase 1 of both operations: query all, await a majority, return the
     /// maximum `(tag, value)` seen (value `None` = still the initial
     /// value).
-    fn query_majority(&self) -> Result<(Tag, Option<ErasedValue>), AbdError> {
+    fn query_majority(&self, pid: ProcessId) -> Result<(Tag, Option<ErasedValue>), AbdError> {
         let mut best: (Tag, Option<ErasedValue>) = (Tag::default(), None);
         self.run_quorum_phase(
+            pid,
             AbdPhase::Query,
             |id, reply| Request::Query {
                 id,
@@ -144,8 +146,9 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     }
 
     /// Phase 2: store `(tag, value)` everywhere, await a majority of acks.
-    fn store_majority(&self, tag: Tag, value: ErasedValue) -> Result<(), AbdError> {
+    fn store_majority(&self, pid: ProcessId, tag: Tag, value: ErasedValue) -> Result<(), AbdError> {
         self.run_quorum_phase(
+            pid,
             AbdPhase::Store,
             |id, reply| Request::Store {
                 id,
@@ -165,9 +168,11 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     /// configured operation timeout.
     ///
     /// `on_reply` returns whether the reply was of the expected kind; only
-    /// accepted replies count toward the quorum.
+    /// accepted replies count toward the quorum. `pid` is the client
+    /// process running the phase, used to attribute trace events.
     fn run_quorum_phase(
         &self,
+        pid: ProcessId,
         phase: AbdPhase,
         make: impl Fn(RequestId, Sender<Response>) -> Request,
         mut on_reply: impl FnMut(ResponseBody) -> bool,
@@ -181,6 +186,11 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
         let retry = network.retry_policy().clone();
         let mut acked = vec![false; network.replicas()];
         let mut acks = 0usize;
+        let kind = match phase {
+            AbdPhase::Query => AbdPhaseKind::Query,
+            AbdPhase::Store => AbdPhaseKind::Store,
+        };
+        network.trace().emit(pid.get(), Event::AbdPhaseStart { phase: kind });
 
         network.send_where(|_| true, || make(id, tx.clone()));
         let mut backoff = retry.initial_backoff;
@@ -203,7 +213,17 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
                         acked[response.from] = true;
                         acks += 1;
                         if acks >= needed {
-                            network.record_quorum_latency(started.elapsed());
+                            let elapsed = started.elapsed();
+                            network.record_quorum_latency(elapsed);
+                            network.trace().emit(
+                                pid.get(),
+                                Event::AbdQuorumReached {
+                                    phase: kind,
+                                    acks,
+                                    elapsed_us: elapsed.as_micros().min(u128::from(u64::MAX))
+                                        as u64,
+                                },
+                            );
                             return Ok(());
                         }
                     }
@@ -211,6 +231,9 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
                 }
             }
             if Instant::now() >= deadline {
+                network
+                    .trace()
+                    .emit(pid.get(), Event::AbdQuorumFailed { phase: kind, acks, needed });
                 return Err(AbdError::QuorumUnavailable {
                     phase,
                     acks,
@@ -223,6 +246,9 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
             attempt += 1;
             let resent = network.send_where(|i| !acked[i], || make(id, tx.clone()));
             network.note_retries(resent as u64);
+            network
+                .trace()
+                .emit(pid.get(), Event::AbdRetransmit { phase: kind, attempt, resent });
             backoff = retry.next_backoff(backoff, id, attempt);
         }
     }
@@ -439,6 +465,37 @@ mod tests {
         assert!(stats.messages_duplicated > 0, "{stats:?}");
         assert!(stats.retries > 0, "{stats:?}");
         assert!(net.quorum_latency().count() > 0);
+    }
+
+    #[test]
+    fn traced_operations_emit_phase_events_onto_the_shared_registry() {
+        use snapshot_obs::{CountingSink, Registry, Sink, Trace};
+
+        let sink = Arc::new(CountingSink::new());
+        let registry = Arc::new(Registry::new());
+        let net = Arc::new(Network::with_config(
+            NetworkConfig::new(3)
+                .with_trace(Trace::new(Arc::clone(&sink) as Arc<dyn Sink>))
+                .with_registry(Arc::clone(&registry)),
+        ));
+        let reg = AbdRegister::new(Arc::clone(&net), 0u32);
+        reg.write(P0, 7);
+        assert_eq!(reg.read(P1), 7);
+
+        // write = query + store; read = query + write-back store.
+        assert_eq!(sink.count("abd_phase_start"), 4);
+        assert_eq!(sink.count("abd_quorum_reached"), 4);
+        assert_eq!(sink.count("abd_quorum_failed"), 0);
+
+        // The same traffic is visible through both the legacy stats view
+        // and the shared registry.
+        let sent = registry.counter("abd.messages_sent").get();
+        assert_eq!(sent, net.stats().messages_sent);
+        assert!(sent >= 12, "four quorum phases x three replicas, got {sent}");
+        assert_eq!(
+            registry.histogram("abd.quorum_latency_us").snapshot().count(),
+            net.quorum_latency().count(),
+        );
     }
 
     #[test]

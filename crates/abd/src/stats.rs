@@ -3,30 +3,48 @@
 //! loop so soak tests and benches can assert on what the fault layer
 //! actually did (a nemesis test whose `messages_dropped` stays zero is
 //! not testing what it claims to).
+//!
+//! Since the observability layer landed, the counters are handles into a
+//! shared [`Registry`] (`abd.messages_sent`, …, `abd.quorum_latency_us`),
+//! so a network's traffic shows up next to every other subsystem's metrics
+//! in one `Registry::render` dump. The legacy [`NetworkStats`] /
+//! [`LatencySnapshot`] views are unchanged — they now read the registry
+//! handles.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of log₂ microsecond buckets in the latency histogram
-/// (bucket 31 holds everything ≥ ~35 minutes — effectively "timeout").
-const BUCKETS: usize = 32;
+use snapshot_obs::{Counter, Histogram, HistogramSnapshot, Registry};
 
-/// Live atomic counters shared by the network, its replicas and clients.
+/// Live counter handles shared by the network, its replicas and clients.
+///
+/// Each field is a cheap clone of a metric registered on the network's
+/// [`Registry`] under the `abd.` prefix; `Default` builds free-standing
+/// handles not attached to any registry (used by unit tests).
 #[derive(Default)]
 pub(crate) struct Counters {
-    pub messages_sent: AtomicU64,
-    pub messages_dropped: AtomicU64,
-    pub messages_duplicated: AtomicU64,
-    pub messages_reordered: AtomicU64,
-    pub retries: AtomicU64,
-    pub duplicates_suppressed: AtomicU64,
-    latency: LatencyHistogram,
+    pub messages_sent: Counter,
+    pub messages_dropped: Counter,
+    pub messages_duplicated: Counter,
+    pub messages_reordered: Counter,
+    pub retries: Counter,
+    pub duplicates_suppressed: Counter,
+    latency: Histogram,
 }
 
 impl Counters {
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// Registers (or re-resolves) the `abd.*` metrics on `registry` and
+    /// returns handles to them.
+    pub fn new(registry: &Registry) -> Self {
+        Counters {
+            messages_sent: registry.counter("abd.messages_sent"),
+            messages_dropped: registry.counter("abd.messages_dropped"),
+            messages_duplicated: registry.counter("abd.messages_duplicated"),
+            messages_reordered: registry.counter("abd.messages_reordered"),
+            retries: registry.counter("abd.retries"),
+            duplicates_suppressed: registry.counter("abd.duplicates_suppressed"),
+            latency: registry.histogram("abd.quorum_latency_us"),
+        }
     }
 
     pub fn record_quorum_latency(&self, elapsed: Duration) {
@@ -35,17 +53,17 @@ impl Counters {
 
     pub fn snapshot(&self) -> NetworkStats {
         NetworkStats {
-            messages_sent: self.messages_sent.load(Ordering::Relaxed),
-            messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
-            messages_duplicated: self.messages_duplicated.load(Ordering::Relaxed),
-            messages_reordered: self.messages_reordered.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
+            messages_sent: self.messages_sent.get(),
+            messages_dropped: self.messages_dropped.get(),
+            messages_duplicated: self.messages_duplicated.get(),
+            messages_reordered: self.messages_reordered.get(),
+            retries: self.retries.get(),
+            duplicates_suppressed: self.duplicates_suppressed.get(),
         }
     }
 
     pub fn latency_snapshot(&self) -> LatencySnapshot {
-        self.latency.snapshot()
+        LatencySnapshot { inner: self.latency.snapshot() }
     }
 }
 
@@ -78,85 +96,34 @@ pub struct NetworkStats {
     pub duplicates_suppressed: u64,
 }
 
-/// A lock-free log₂-bucketed histogram of quorum-phase latencies.
-///
-/// Bucket `i` counts phases whose wall-clock duration was in
-/// `[2^i, 2^(i+1))` microseconds (bucket 0 additionally holds sub-µs
-/// phases).
-pub(crate) struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_of(elapsed: Duration) -> usize {
-        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        if micros == 0 {
-            0
-        } else {
-            (micros.ilog2() as usize).min(BUCKETS - 1)
-        }
-    }
-
-    pub fn record(&self, elapsed: Duration) {
-        self.buckets[Self::bucket_of(elapsed)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn snapshot(&self) -> LatencySnapshot {
-        LatencySnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-        }
-    }
-}
-
 /// A point-in-time snapshot of the per-operation quorum-latency histogram.
 ///
 /// Obtained from [`Network::quorum_latency`]. Bucket `i` counts quorum
-/// phases that completed in `[2^i, 2^(i+1))` microseconds.
+/// phases that completed in `[2^i, 2^(i+1))` microseconds (bucket 0
+/// additionally holds sub-µs phases).
 ///
 /// [`Network::quorum_latency`]: crate::Network::quorum_latency
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct LatencySnapshot {
-    buckets: [u64; BUCKETS],
+    inner: HistogramSnapshot,
 }
 
 impl LatencySnapshot {
     /// Total number of recorded quorum phases.
     pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
+        self.inner.count()
     }
 
     /// The raw bucket counts (log₂ microseconds).
     pub fn buckets(&self) -> &[u64] {
-        &self.buckets
+        &self.inner.buckets
     }
 
     /// An upper bound on the `q`-quantile latency (`q` in `[0, 1]`):
     /// the exclusive upper edge of the bucket containing that quantile.
     /// Returns `None` if nothing was recorded.
     pub fn quantile_upper_bound(&self, q: f64) -> Option<Duration> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper_micros = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
-                return Some(Duration::from_micros(upper_micros));
-            }
-        }
-        Some(Duration::from_micros(u64::MAX))
+        self.inner.quantile_upper_bound(q).map(Duration::from_micros)
     }
 }
 
@@ -182,26 +149,29 @@ mod tests {
 
     #[test]
     fn buckets_are_log2_micros() {
-        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(10)), 0);
-        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(1)), 0);
-        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(2)), 1);
-        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(3)), 1);
-        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(1024)), 10);
-        assert_eq!(
-            LatencyHistogram::bucket_of(Duration::from_secs(1 << 40)),
-            BUCKETS - 1
-        );
+        let c = Counters::default();
+        c.record_quorum_latency(Duration::from_nanos(10));
+        c.record_quorum_latency(Duration::from_micros(1));
+        c.record_quorum_latency(Duration::from_micros(2));
+        c.record_quorum_latency(Duration::from_micros(3));
+        c.record_quorum_latency(Duration::from_micros(1024));
+        c.record_quorum_latency(Duration::from_secs(1 << 40));
+        let snap = c.latency_snapshot();
+        assert_eq!(snap.buckets()[0], 2, "sub-µs and 1µs share bucket 0");
+        assert_eq!(snap.buckets()[1], 2, "[2, 4)µs");
+        assert_eq!(snap.buckets()[10], 1, "1024µs");
+        assert_eq!(snap.buckets()[31], 1, "overflow lands in the last bucket");
     }
 
     #[test]
     fn quantiles_walk_the_buckets() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.snapshot().quantile_upper_bound(0.5), None);
+        let c = Counters::default();
+        assert_eq!(c.latency_snapshot().quantile_upper_bound(0.5), None);
         for _ in 0..99 {
-            h.record(Duration::from_micros(10)); // bucket 3: [8, 16)
+            c.record_quorum_latency(Duration::from_micros(10)); // bucket 3: [8, 16)
         }
-        h.record(Duration::from_millis(100)); // bucket 16
-        let snap = h.snapshot();
+        c.record_quorum_latency(Duration::from_millis(100)); // bucket 16
+        let snap = c.latency_snapshot();
         assert_eq!(snap.count(), 100);
         assert_eq!(
             snap.quantile_upper_bound(0.5),
@@ -216,11 +186,27 @@ mod tests {
     #[test]
     fn counters_snapshot_roundtrip() {
         let c = Counters::default();
-        Counters::add(&c.messages_sent, 5);
-        Counters::add(&c.retries, 2);
+        c.messages_sent.add(5);
+        c.retries.add(2);
         let s = c.snapshot();
         assert_eq!(s.messages_sent, 5);
         assert_eq!(s.retries, 2);
         assert_eq!(s.messages_dropped, 0);
+    }
+
+    #[test]
+    fn registry_backed_counters_surface_under_abd_names() {
+        let registry = Registry::new();
+        let c = Counters::new(&registry);
+        c.messages_sent.add(3);
+        c.record_quorum_latency(Duration::from_micros(10));
+        assert_eq!(registry.counter("abd.messages_sent").get(), 3);
+        assert_eq!(
+            registry.histogram("abd.quorum_latency_us").snapshot().count(),
+            1
+        );
+        let rendered = registry.render();
+        assert!(rendered.contains("abd.messages_sent"), "{rendered}");
+        assert!(rendered.contains("abd.quorum_latency_us"), "{rendered}");
     }
 }

@@ -5,7 +5,11 @@
 //! ```text
 //! cargo run -p snapshot-bench --release --bin experiments -- all
 //! cargo run -p snapshot-bench --release --bin experiments -- e1 e4
+//! cargo run -p snapshot-bench --release --bin experiments -- e8 --trace-out trace.jsonl
 //! ```
+//!
+//! `--trace-out PATH` makes `e8` dump its captured trace as JSON lines to
+//! `PATH` and as a chrome://tracing file to `PATH.chrome.json`.
 //!
 //! Experiment index (see EXPERIMENTS.md for paper-vs-measured records):
 //!
@@ -20,7 +24,12 @@
 //! * `e5` — linearizability battery: exhaustive + randomized model
 //!   checking and threaded stress, plus the Figure 4 retry-edge ablation;
 //! * `e6` — wall-clock latency/throughput of all algorithms vs the lock
-//!   baseline (criterion benches give the precise distributions).
+//!   baseline (criterion benches give the precise distributions);
+//! * `e7` — snapshots over message passing via \[ABD\] under replica
+//!   crashes (Section 6);
+//! * `e8` — observability demo: one shared trace across a threaded soak,
+//!   a deterministic sim run and ABD quorum phases, with the metrics
+//!   registry and (optionally) JSON-lines / chrome://tracing dumps.
 
 use std::sync::Arc;
 
@@ -41,7 +50,22 @@ use snapshot_sim::{
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace-out" {
+            args.remove(i);
+            if i < args.len() {
+                trace_out = Some(std::path::PathBuf::from(args.remove(i)));
+            } else {
+                eprintln!("--trace-out requires a path argument");
+                std::process::exit(2);
+            }
+        } else {
+            i += 1;
+        }
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -71,6 +95,119 @@ fn main() {
     if want("e7") {
         e7_message_passing();
     }
+    if want("e8") {
+        e8_observability(trace_out.as_deref());
+    }
+}
+
+fn e8_observability(trace_out: Option<&std::path::Path>) {
+    use snapshot_abd::{AbdRegister, Network, NetworkConfig};
+    use snapshot_obs::{
+        chrome_tracing, json_lines, CountingSink, FanoutSink, Registry, RingSink, Sink, Trace,
+    };
+    use snapshot_registers::Register;
+
+    const N: usize = 4;
+    let ring = Arc::new(RingSink::new(N, 65_536));
+    let counts = Arc::new(CountingSink::new());
+    let fanout: Arc<dyn Sink> = Arc::new(FanoutSink::new(vec![
+        Arc::clone(&ring) as Arc<dyn Sink>,
+        Arc::clone(&counts) as Arc<dyn Sink>,
+    ]));
+    let trace = Trace::new(fanout);
+    let registry = Arc::new(Registry::new());
+
+    // (a) A 4-process threaded soak on the bounded algorithm: real
+    // interleavings of rounds, handshakes, toggles and borrows.
+    {
+        let object = BoundedSnapshot::new(N, 0u64).with_trace(trace.clone());
+        std::thread::scope(|s| {
+            for i in 0..N {
+                let object = &object;
+                s.spawn(move || {
+                    let mut h = object.handle(ProcessId::new(i));
+                    for k in 0..100u64 {
+                        h.update(k);
+                        std::hint::black_box(h.scan());
+                    }
+                });
+            }
+        });
+    }
+
+    // (b) A deterministic sim run: scheduler step grants interleaved with
+    // the algorithm's own events on the same sequence axis.
+    {
+        let sim = Sim::new(2).with_trace(trace.clone());
+        let backend = Instrumented::new(EpochBackend::new()).with_gate(sim.gate());
+        let object = UnboundedSnapshot::with_backend(2, 0u64, &backend).with_trace(trace.clone());
+        let mut bodies: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        {
+            let object = &object;
+            bodies.push(Box::new(move || {
+                let mut h = object.handle(ProcessId::new(0));
+                for k in 0..10u64 {
+                    h.update(k);
+                }
+            }));
+        }
+        {
+            let object = &object;
+            bodies.push(Box::new(move || {
+                let mut h = object.handle(ProcessId::new(1));
+                for _ in 0..5 {
+                    std::hint::black_box(h.scan());
+                }
+            }));
+        }
+        sim.run(&mut RoundRobinPolicy::new(), SimConfig::default(), bodies)
+            .expect("simulation failed");
+    }
+
+    // (c) ABD quorum phases onto the same trace, with the network's
+    // counters on the shared registry.
+    {
+        let network = Arc::new(Network::with_config(
+            NetworkConfig::new(3)
+                .with_registry(Arc::clone(&registry))
+                .with_trace(trace.clone()),
+        ));
+        let reg = AbdRegister::new(Arc::clone(&network), 0u64);
+        for k in 1..=10u64 {
+            reg.write(ProcessId::new(0), k);
+            std::hint::black_box(reg.read(ProcessId::new(1)));
+        }
+    }
+
+    let events = ring.drain();
+    let mut t = Table::new(
+        "E8 — observability: event counts by kind (one trace shared by threads, sim and ABD)",
+        &["event kind", "count"],
+    );
+    for (kind, count) in counts.counts() {
+        t.row(&[kind.to_string(), count.to_string()]);
+    }
+    println!("{t}");
+    println!("   metrics registry:");
+    for line in registry.render().lines() {
+        println!("   {line}");
+    }
+    if ring.dropped() > 0 {
+        println!("   ({} oldest events evicted by the ring buffer)", ring.dropped());
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, json_lines(&events)).expect("writing --trace-out JSON lines");
+        let chrome_path = std::path::PathBuf::from(format!("{}.chrome.json", path.display()));
+        std::fs::write(&chrome_path, chrome_tracing(&events))
+            .expect("writing --trace-out chrome://tracing file");
+        println!(
+            "   wrote {} events to {} (JSON lines) and {} (chrome://tracing)",
+            events.len(),
+            path.display(),
+            chrome_path.display()
+        );
+    }
+    println!();
 }
 
 fn e7_message_passing() {

@@ -6,6 +6,10 @@ use crate::SnapshotView;
 
 /// Per-scan execution statistics, exposing exactly the quantities the
 /// paper's wait-freedom proofs bound.
+///
+/// Marked `#[must_use]`: if you call a `_with_stats` method, dropping the
+/// stats silently is almost always a test that forgot to assert.
+#[must_use]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScanStats {
     /// Number of double collects executed (loop iterations). The paper's
@@ -20,6 +24,17 @@ pub struct ScanStats {
     /// observed to move twice / three times) rather than its own
     /// successful double collect.
     pub borrowed: bool,
+    /// Primitive register reads the operation issued (collects, handshake
+    /// reads, borrowed-view reads). Counted at the algorithm level, so the
+    /// totals are exact for the deterministic constructions and can be
+    /// cross-checked against [`OpCounters`].
+    ///
+    /// [`OpCounters`]: snapshot_registers::OpCounters
+    pub reads: u64,
+    /// Primitive register writes the operation issued (handshake writes
+    /// and value/view publications). The lock-based baseline, which uses
+    /// no primitive registers, reports zero.
+    pub writes: u64,
 }
 
 /// A single-writer atomic snapshot object shared by `n` processes.
@@ -53,12 +68,13 @@ pub trait SwSnapshotHandle<V> {
     /// Writes `value` to this process's segment (the paper's
     /// `update_i(value)`), atomically with respect to all scans.
     fn update(&mut self, value: V) {
-        self.update_with_stats(value);
+        let _ = self.update_with_stats(value);
     }
 
     /// Like [`update`](Self::update), also reporting the statistics of
     /// the *embedded scan* (Figure 2/3 updates scan before writing).
     /// Baselines without an embedded scan report zeros.
+    #[must_use]
     fn update_with_stats(&mut self, value: V) -> ScanStats;
 
     /// Returns an instantaneous view of all segments (the paper's
@@ -69,6 +85,7 @@ pub trait SwSnapshotHandle<V> {
 
     /// Like [`scan`](Self::scan), also reporting how hard the scan had to
     /// work.
+    #[must_use]
     fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats);
 }
 
@@ -106,7 +123,7 @@ pub trait MwSnapshotHandle<V> {
     ///
     /// Panics if `word` is out of range.
     fn update(&mut self, word: usize, value: V) {
-        self.update_with_stats(word, value);
+        let _ = self.update_with_stats(word, value);
     }
 
     /// Like [`update`](Self::update), also reporting the embedded scan's
@@ -115,6 +132,7 @@ pub trait MwSnapshotHandle<V> {
     /// # Panics
     ///
     /// Panics if `word` is out of range.
+    #[must_use]
     fn update_with_stats(&mut self, word: usize, value: V) -> ScanStats;
 
     /// Returns an instantaneous view of all `m` words.
@@ -123,6 +141,7 @@ pub trait MwSnapshotHandle<V> {
     }
 
     /// Like [`scan`](Self::scan), also reporting per-scan statistics.
+    #[must_use]
     fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats);
 }
 

@@ -1,6 +1,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use snapshot_obs::{Algo, Event, RoundOutcome, Trace};
 use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
 
 use crate::api::HandleRegistry;
@@ -53,6 +54,7 @@ pub struct BoundedSnapshot<V: RegisterValue, B: Backend = EpochBackend> {
     q: Box<[Box<[B::Bit]>]>,
     registry: HandleRegistry,
     n: usize,
+    trace: Trace,
 }
 
 impl<V: RegisterValue> BoundedSnapshot<V, EpochBackend> {
@@ -93,7 +95,17 @@ impl<V: RegisterValue, B: Backend> BoundedSnapshot<V, B> {
                 .collect(),
             registry: HandleRegistry::new(n),
             n,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Routes this object's typed events (scan/update spans, double-collect
+    /// rounds, handshake and toggle transitions, borrow decisions) into
+    /// `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -143,12 +155,17 @@ impl<V: RegisterValue, B: Backend> BoundedHandle<'_, V, B> {
     fn scan_inner(&self) -> (SnapshotView<V>, ScanStats) {
         let n = self.shared.n;
         let i = self.pid.get();
+        let trace = &self.shared.trace;
         let mut moved = vec![0u8; n];
         let mut stats = ScanStats::default();
         // `q_local[j]` mirrors the last value this scan wrote to q_{i,j};
         // the single-writer discipline lets us avoid re-reading it.
         let mut q_local = vec![false; n];
         loop {
+            trace.emit(
+                i,
+                Event::RoundStart { algo: Algo::BoundedSw, round: stats.double_collects + 1 },
+            );
             // Line 0.5 — handshake: q_{i,j} := p_{j,i}(r_j). Re-executed on
             // every retry (Figure 3 loops back to line 0.5), so a single
             // handshake flip is blamed at most once.
@@ -156,10 +173,14 @@ impl<V: RegisterValue, B: Backend> BoundedHandle<'_, V, B> {
                 let r_j = self.shared.regs[j].read(self.pid);
                 q_local[j] = r_j.p[i];
                 self.shared.q[i][j].write(self.pid, q_local[j]);
+                stats.reads += 1;
+                stats.writes += 1;
+                trace.emit(i, Event::HandshakeCopy { partner: j, bit: q_local[j] });
             }
             let a = collect(self.pid, &self.shared.regs); // line 1
             let b = collect(self.pid, &self.shared.regs); // line 2
             stats.double_collects += 1;
+            stats.reads += 2 * n as u64;
             debug_assert!(
                 stats.double_collects as usize <= n + 1,
                 "wait-freedom bound violated: {} double collects for n = {n}",
@@ -171,15 +192,32 @@ impl<V: RegisterValue, B: Backend> BoundedHandle<'_, V, B> {
                 a[j].p[i] == q_local[j] && b[j].p[i] == q_local[j] && a[j].toggle == b[j].toggle
             };
             if (0..n).all(unmoved) {
+                trace.emit(
+                    i,
+                    Event::RoundEnd {
+                        algo: Algo::BoundedSw,
+                        round: stats.double_collects,
+                        outcome: RoundOutcome::Clean,
+                    },
+                );
                 let values = b.into_iter().map(|r| r.value).collect::<Vec<_>>();
                 return (SnapshotView::from(values), stats); // line 4
             }
+            trace.emit(
+                i,
+                Event::RoundEnd {
+                    algo: Algo::BoundedSw,
+                    round: stats.double_collects,
+                    outcome: RoundOutcome::Moved,
+                },
+            );
             for j in 0..n {
                 if !unmoved(j) {
                     // line 6: P_j moved
                     if moved[j] == 1 {
                         // Line 7-8: moved once before — borrow its view.
                         stats.borrowed = true;
+                        trace.emit(i, Event::BorrowDecision { lender: j, moved: 2 });
                         return (b[j].view.clone(), stats);
                     }
                     moved[j] += 1; // line 9
@@ -201,12 +239,19 @@ impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for BoundedHandle<'_, V, 
     fn update_with_stats(&mut self, value: V) -> ScanStats {
         let n = self.shared.n;
         let i = self.pid.get();
+        let trace = &self.shared.trace;
+        trace.emit(i, Event::UpdateBegin { algo: Algo::BoundedSw });
         // Line 0: f_j := ¬q_{j,i} — invert what each scanner last showed us.
         let f: Arc<[bool]> = (0..n)
             .map(|j| !self.shared.q[j][i].read(self.pid))
             .collect();
-        let (view, stats) = self.scan_inner(); // line 1: embedded scan
+        for (j, &bit) in f.iter().enumerate() {
+            trace.emit(i, Event::HandshakeFlip { partner: j, bit });
+        }
+        let (view, mut stats) = self.scan_inner(); // line 1: embedded scan
+        stats.reads += n as u64; // the line-0 reads of q_{j,i}
         self.toggle = !self.toggle;
+        trace.emit(i, Event::ToggleFlip { word: i, toggle: self.toggle });
         self.shared.regs[i].write(
             self.pid,
             BndRecord {
@@ -216,11 +261,28 @@ impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for BoundedHandle<'_, V, 
                 view,
             },
         ); // line 2
+        stats.writes += 1;
+        trace.emit(
+            i,
+            Event::UpdateEnd { algo: Algo::BoundedSw, double_collects: stats.double_collects },
+        );
         stats
     }
 
     fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats) {
-        self.scan_inner()
+        let i = self.pid.get();
+        let trace = &self.shared.trace;
+        trace.emit(i, Event::ScanBegin { algo: Algo::BoundedSw });
+        let (view, stats) = self.scan_inner();
+        trace.emit(
+            i,
+            Event::ScanEnd {
+                algo: Algo::BoundedSw,
+                double_collects: stats.double_collects,
+                borrowed: stats.borrowed,
+            },
+        );
+        (view, stats)
     }
 }
 

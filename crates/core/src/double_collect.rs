@@ -1,5 +1,6 @@
 use std::fmt;
 
+use snapshot_obs::{Algo, Event, RoundOutcome, Trace};
 use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
 
 use crate::api::HandleRegistry;
@@ -40,6 +41,7 @@ pub struct DoubleCollectSnapshot<V: RegisterValue, B: Backend = EpochBackend> {
     regs: Box<[B::Cell<DcRecord<V>>]>,
     registry: HandleRegistry,
     n: usize,
+    trace: Trace,
 }
 
 impl<V: RegisterValue> DoubleCollectSnapshot<V, EpochBackend> {
@@ -72,7 +74,16 @@ impl<V: RegisterValue, B: Backend> DoubleCollectSnapshot<V, B> {
                 .collect(),
             registry: HandleRegistry::new(n),
             n,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Routes this object's typed events (scan/update spans and
+    /// double-collect rounds) into `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -119,12 +130,29 @@ impl<V: RegisterValue, B: Backend> DoubleCollectHandle<'_, V, B> {
     /// wait-freedom.
     pub fn try_scan(&mut self, max_double_collects: u32) -> Option<(SnapshotView<V>, ScanStats)> {
         let n = self.shared.n;
+        let trace = &self.shared.trace;
+        let me = self.pid.get();
         let mut stats = ScanStats::default();
         let mut a = collect(self.pid, &self.shared.regs);
+        stats.reads += n as u64;
         while stats.double_collects < max_double_collects {
+            trace.emit(
+                me,
+                Event::RoundStart { algo: Algo::DoubleCollect, round: stats.double_collects + 1 },
+            );
             let b = collect(self.pid, &self.shared.regs);
             stats.double_collects += 1;
-            if (0..n).all(|j| a[j].seq == b[j].seq) {
+            stats.reads += n as u64;
+            let clean = (0..n).all(|j| a[j].seq == b[j].seq);
+            trace.emit(
+                me,
+                Event::RoundEnd {
+                    algo: Algo::DoubleCollect,
+                    round: stats.double_collects,
+                    outcome: if clean { RoundOutcome::Clean } else { RoundOutcome::Moved },
+                },
+            );
+            if clean {
                 let values = b.into_iter().map(|r| r.value).collect::<Vec<_>>();
                 return Some((SnapshotView::from(values), stats));
             }
@@ -142,6 +170,9 @@ impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for DoubleCollectHandle<'
     /// A single register write — no embedded scan, hence no help for
     /// starving scanners.
     fn update_with_stats(&mut self, value: V) -> ScanStats {
+        let me = self.pid.get();
+        let trace = &self.shared.trace;
+        trace.emit(me, Event::UpdateBegin { algo: Algo::DoubleCollect });
         self.seq += 1;
         self.shared.regs[self.pid.get()].write(
             self.pid,
@@ -150,7 +181,11 @@ impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for DoubleCollectHandle<'
                 seq: self.seq,
             },
         );
-        ScanStats::default()
+        trace.emit(me, Event::UpdateEnd { algo: Algo::DoubleCollect, double_collects: 0 });
+        ScanStats {
+            writes: 1,
+            ..ScanStats::default()
+        }
     }
 
     /// # Blocking
@@ -158,8 +193,20 @@ impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for DoubleCollectHandle<'
     /// May loop forever under continuous concurrent updates; use
     /// [`DoubleCollectHandle::try_scan`] where starvation is possible.
     fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats) {
-        self.try_scan(u32::MAX)
-            .expect("u32::MAX double collects exhausted")
+        let me = self.pid.get();
+        self.shared.trace.emit(me, Event::ScanBegin { algo: Algo::DoubleCollect });
+        let (view, stats) = self
+            .try_scan(u32::MAX)
+            .expect("u32::MAX double collects exhausted");
+        self.shared.trace.emit(
+            me,
+            Event::ScanEnd {
+                algo: Algo::DoubleCollect,
+                double_collects: stats.double_collects,
+                borrowed: false,
+            },
+        );
+        (view, stats)
     }
 }
 

@@ -90,13 +90,8 @@ impl<V: RegisterValue> SwSnapshotHandle<V> for LockHandle<'_, V> {
 
     fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats) {
         let view = SnapshotView::from(self.shared.mem.read().clone());
-        (
-            view,
-            ScanStats {
-                double_collects: 0,
-                borrowed: false,
-            },
-        )
+        // No primitive registers, no double collects: all stats are zero.
+        (view, ScanStats::default())
     }
 }
 

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use snapshot_obs::{Algo, Event, RoundOutcome, Trace};
 use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
 
 use crate::api::HandleRegistry;
@@ -93,6 +94,7 @@ pub struct MultiWriterSnapshot<V: RegisterValue, B: Backend = EpochBackend, BM: 
     variant: MwVariant,
     n: usize,
     m: usize,
+    trace: Trace,
 }
 
 impl<V: RegisterValue> MultiWriterSnapshot<V, EpochBackend, EpochBackend> {
@@ -168,7 +170,17 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterSnapshot<V, B, BM> {
             variant,
             n,
             m,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Routes this object's typed events (scan/update spans, double-collect
+    /// rounds, handshake and toggle transitions, borrow decisions) into
+    /// `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The scan-retry variant this object was built with.
@@ -226,25 +238,34 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterHandle<'_, V, B, BM> 
         let shared = self.shared;
         let (n, m) = (shared.n, shared.m);
         let i = self.pid.get();
+        let trace = &shared.trace;
         let mut moved = vec![0u8; n];
         let mut stats = ScanStats::default();
         let mut q_local = vec![false; n];
 
-        let handshake = |q_local: &mut [bool]| {
+        let handshake = |q_local: &mut [bool], stats: &mut ScanStats| {
             // Line 0.5: q_{i,j} := p_{j,i}.
             for j in 0..n {
                 q_local[j] = shared.p[j][i].read(self.pid);
                 shared.q[i][j].write(self.pid, q_local[j]);
+                stats.reads += 1;
+                stats.writes += 1;
+                trace.emit(i, Event::HandshakeCopy { partner: j, bit: q_local[j] });
             }
         };
 
-        handshake(&mut q_local);
+        handshake(&mut q_local, &mut stats);
         loop {
+            trace.emit(
+                i,
+                Event::RoundStart { algo: Algo::MultiWriter, round: stats.double_collects + 1 },
+            );
             let a = collect(self.pid, &shared.vals); // line 1
             let b = collect(self.pid, &shared.vals); // line 2
                                                      // Line 2.5: h := collect(p_{j,i}).
             let h: Vec<bool> = (0..n).map(|j| shared.p[j][i].read(self.pid)).collect();
             stats.double_collects += 1;
+            stats.reads += 2 * m as u64 + n as u64;
             debug_assert!(
                 stats.double_collects as usize <= 2 * n + 1,
                 "wait-freedom bound violated: {} double collects for n = {n}",
@@ -254,9 +275,25 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterHandle<'_, V, B, BM> 
             let handshakes_clean = (0..n).all(|j| q_local[j] == h[j]);
             let values_clean = (0..m).all(|k| a[k].id == b[k].id && a[k].toggle == b[k].toggle);
             if handshakes_clean && values_clean {
+                trace.emit(
+                    i,
+                    Event::RoundEnd {
+                        algo: Algo::MultiWriter,
+                        round: stats.double_collects,
+                        outcome: RoundOutcome::Clean,
+                    },
+                );
                 let values = b.into_iter().map(|r| r.value).collect::<Vec<_>>();
                 return (SnapshotView::from(values), stats); // line 4
             }
+            trace.emit(
+                i,
+                Event::RoundEnd {
+                    algo: Algo::MultiWriter,
+                    round: stats.double_collects,
+                    outcome: RoundOutcome::Moved,
+                },
+            );
             for j in 0..n {
                 // Line 6: P_j moved — its handshake bit toward us flipped,
                 // or a word it last wrote changed under our double collect.
@@ -269,6 +306,8 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterHandle<'_, V, B, BM> 
                         // complete update's embedded scan ran inside our
                         // interval; borrow its published view.
                         stats.borrowed = true;
+                        stats.reads += 1;
+                        trace.emit(i, Event::BorrowDecision { lender: j, moved: 3 });
                         return (shared.views[j].read(self.pid), stats);
                     }
                     moved[j] += 1; // line 9
@@ -276,7 +315,7 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterHandle<'_, V, B, BM> 
             }
             // Line 10: the retry edge — see `MwVariant`.
             if shared.variant == MwVariant::RescanHandshake {
-                handshake(&mut q_local);
+                handshake(&mut q_local, &mut stats);
             }
         }
     }
@@ -302,17 +341,24 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MwSnapshotHandle<V>
             shared.m
         );
         let i = self.pid.get();
+        let trace = &shared.trace;
+        trace.emit(i, Event::UpdateBegin { algo: Algo::MultiWriter });
         // Line 0: p_{i,j} := ¬q_{j,i} — announce movement to every scanner.
+        let mut extra = ScanStats::default();
         for j in 0..shared.n {
             let qji = shared.q[j][i].read(self.pid);
             shared.p[i][j].write(self.pid, !qji);
+            extra.reads += 1;
+            extra.writes += 1;
+            trace.emit(i, Event::HandshakeFlip { partner: j, bit: !qji });
         }
         // Line 1: view_i := scan_i (embedded scan, published separately).
-        let (view, stats) = self.scan_inner();
+        let (view, mut stats) = self.scan_inner();
         shared.views[i].write(self.pid, view);
         // Lines 1.5-2: flip the word's local toggle, write the value
         // register.
         self.toggles[word] = !self.toggles[word];
+        trace.emit(i, Event::ToggleFlip { word, toggle: self.toggles[word] });
         shared.vals[word].write(
             self.pid,
             MwRecord {
@@ -321,11 +367,29 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MwSnapshotHandle<V>
                 toggle: self.toggles[word],
             },
         );
+        stats.reads += extra.reads;
+        stats.writes += extra.writes + 2; // the view and value publications
+        trace.emit(
+            i,
+            Event::UpdateEnd { algo: Algo::MultiWriter, double_collects: stats.double_collects },
+        );
         stats
     }
 
     fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats) {
-        self.scan_inner()
+        let i = self.pid.get();
+        let trace = &self.shared.trace;
+        trace.emit(i, Event::ScanBegin { algo: Algo::MultiWriter });
+        let (view, stats) = self.scan_inner();
+        trace.emit(
+            i,
+            Event::ScanEnd {
+                algo: Algo::MultiWriter,
+                double_collects: stats.double_collects,
+                borrowed: stats.borrowed,
+            },
+        );
+        (view, stats)
     }
 }
 

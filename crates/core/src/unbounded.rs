@@ -1,5 +1,6 @@
 use std::fmt;
 
+use snapshot_obs::{Algo, Event, RoundOutcome, Trace};
 use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
 
 use crate::api::HandleRegistry;
@@ -49,6 +50,7 @@ pub struct UnboundedSnapshot<V: RegisterValue, B: Backend = EpochBackend> {
     regs: Box<[B::Cell<UnbRecord<V>>]>,
     registry: HandleRegistry,
     n: usize,
+    trace: Trace,
 }
 
 impl<V: RegisterValue> UnboundedSnapshot<V, EpochBackend> {
@@ -85,7 +87,16 @@ impl<V: RegisterValue, B: Backend> UnboundedSnapshot<V, B> {
                 .collect(),
             registry: HandleRegistry::new(n),
             n,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Routes this object's typed events (scan/update spans, double-collect
+    /// rounds, borrow decisions) into `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -134,12 +145,19 @@ impl<V: RegisterValue, B: Backend> UnboundedHandle<'_, V, B> {
     /// `procedure scan_i` of Figure 2.
     fn scan_inner(&self) -> (SnapshotView<V>, ScanStats) {
         let n = self.shared.n;
+        let trace = &self.shared.trace;
+        let me = self.pid.get();
         let mut moved = vec![0u8; n];
         let mut stats = ScanStats::default();
         loop {
+            trace.emit(
+                me,
+                Event::RoundStart { algo: Algo::UnboundedSw, round: stats.double_collects + 1 },
+            );
             let a = collect(self.pid, &self.shared.regs); // line 1
             let b = collect(self.pid, &self.shared.regs); // line 2
             stats.double_collects += 1;
+            stats.reads += 2 * n as u64;
             debug_assert!(
                 stats.double_collects as usize <= n + 1,
                 "wait-freedom bound violated: {} double collects for n = {n}",
@@ -148,9 +166,25 @@ impl<V: RegisterValue, B: Backend> UnboundedHandle<'_, V, B> {
             if (0..n).all(|j| a[j].seq == b[j].seq) {
                 // Line 3-4: nobody moved; Observation 1 makes `b` a
                 // snapshot serialized between the two collects.
+                trace.emit(
+                    me,
+                    Event::RoundEnd {
+                        algo: Algo::UnboundedSw,
+                        round: stats.double_collects,
+                        outcome: RoundOutcome::Clean,
+                    },
+                );
                 let values = b.into_iter().map(|r| r.value).collect::<Vec<_>>();
                 return (SnapshotView::from(values), stats);
             }
+            trace.emit(
+                me,
+                Event::RoundEnd {
+                    algo: Algo::UnboundedSw,
+                    round: stats.double_collects,
+                    outcome: RoundOutcome::Moved,
+                },
+            );
             for j in 0..n {
                 if a[j].seq != b[j].seq {
                     // line 6: P_j moved
@@ -159,6 +193,7 @@ impl<V: RegisterValue, B: Backend> UnboundedHandle<'_, V, B> {
                         // observed update ran a whole embedded scan inside
                         // our interval; borrow its view (Observation 2).
                         stats.borrowed = true;
+                        trace.emit(me, Event::BorrowDecision { lender: j, moved: 2 });
                         return (b[j].view.clone(), stats);
                     }
                     moved[j] += 1; // line 9
@@ -177,7 +212,10 @@ impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for UnboundedHandle<'_, V
     /// `procedure update_i(value)` of Figure 2: embedded scan, then one
     /// atomic write of `(value, seq + 1, view)`.
     fn update_with_stats(&mut self, value: V) -> ScanStats {
-        let (view, stats) = self.scan_inner(); // line 1: embedded scan
+        let trace = &self.shared.trace;
+        let me = self.pid.get();
+        trace.emit(me, Event::UpdateBegin { algo: Algo::UnboundedSw });
+        let (view, mut stats) = self.scan_inner(); // line 1: embedded scan
         self.seq += 1;
         self.shared.regs[self.pid.get()].write(
             self.pid,
@@ -187,11 +225,28 @@ impl<V: RegisterValue, B: Backend> SwSnapshotHandle<V> for UnboundedHandle<'_, V
                 view,
             },
         ); // line 2
+        stats.writes += 1;
+        trace.emit(
+            me,
+            Event::UpdateEnd { algo: Algo::UnboundedSw, double_collects: stats.double_collects },
+        );
         stats
     }
 
     fn scan_with_stats(&mut self) -> (SnapshotView<V>, ScanStats) {
-        self.scan_inner()
+        let trace = &self.shared.trace;
+        let me = self.pid.get();
+        trace.emit(me, Event::ScanBegin { algo: Algo::UnboundedSw });
+        let (view, stats) = self.scan_inner();
+        trace.emit(
+            me,
+            Event::ScanEnd {
+                algo: Algo::UnboundedSw,
+                double_collects: stats.double_collects,
+                borrowed: stats.borrowed,
+            },
+        );
+        (view, stats)
     }
 }
 
@@ -242,7 +297,9 @@ mod tests {
             stats,
             ScanStats {
                 double_collects: 1,
-                borrowed: false
+                borrowed: false,
+                reads: 8, // two collects over four registers
+                writes: 0
             }
         );
     }

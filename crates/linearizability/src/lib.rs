@@ -57,6 +57,6 @@ mod wing_gong;
 pub use history::{History, OpRecord, SnapOp};
 pub use interval::{check_intervals, IntervalViolation};
 pub use recorder::Recorder;
-pub use timeline::render_timeline;
+pub use timeline::{render_annotated_timeline, render_timeline};
 pub use spec::{RegisterOp, RegisterSpec, SeqSpec, SnapshotSpec};
 pub use wing_gong::{check_history, check_linearizable, witness_accepted_by_sws, WgOp, WgResult};

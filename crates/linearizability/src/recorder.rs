@@ -1,7 +1,7 @@
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+use snapshot_obs::Clock;
 use snapshot_registers::ProcessId;
 
 use crate::{History, OpRecord, SnapOp};
@@ -25,7 +25,7 @@ pub struct Recorder<V> {
     n: usize,
     words: usize,
     init: V,
-    clock: AtomicU64,
+    clock: Clock,
     ops: Mutex<Vec<OpRecord<V>>>,
 }
 
@@ -33,11 +33,21 @@ impl<V: Clone> Recorder<V> {
     /// Creates a recorder for `n` processes over `words` memory words all
     /// initialized to `init` (use `words == n` for single-writer objects).
     pub fn new(n: usize, words: usize, init: V) -> Self {
+        Self::with_clock(n, words, init, Clock::new())
+    }
+
+    /// Like [`Recorder::new`], but timestamps come from the given shared
+    /// [`Clock`]. Pass a trace's clock (see `snapshot_obs::Trace::clock`)
+    /// to put operation intervals and trace events on one timestamp axis —
+    /// the prerequisite for [`render_annotated_timeline`].
+    ///
+    /// [`render_annotated_timeline`]: crate::render_annotated_timeline
+    pub fn with_clock(n: usize, words: usize, init: V, clock: Clock) -> Self {
         Recorder {
             n,
             words,
             init,
-            clock: AtomicU64::new(0),
+            clock,
             ops: Mutex::new(Vec::new()),
         }
     }
@@ -45,12 +55,12 @@ impl<V: Clone> Recorder<V> {
     /// Takes an invocation timestamp. Call immediately before invoking the
     /// operation.
     pub fn begin(&self) -> u64 {
-        self.clock.fetch_add(1, Ordering::Relaxed)
+        self.clock.tick()
     }
 
     /// Records a completed `update(word, value)` by `pid` invoked at `inv`.
     pub fn end_update(&self, pid: ProcessId, word: usize, value: V, inv: u64) {
-        let res = self.clock.fetch_add(1, Ordering::Relaxed);
+        let res = self.clock.tick();
         self.push(OpRecord {
             pid,
             inv,
@@ -61,7 +71,7 @@ impl<V: Clone> Recorder<V> {
 
     /// Records a completed `scan()` by `pid` that returned `view`.
     pub fn end_scan(&self, pid: ProcessId, view: Vec<V>, inv: u64) {
-        let res = self.clock.fetch_add(1, Ordering::Relaxed);
+        let res = self.clock.tick();
         self.push(OpRecord {
             pid,
             inv,

@@ -1,6 +1,8 @@
 use std::fmt::Write as _;
 
-use crate::{History, SnapOp};
+use snapshot_obs::TraceEvent;
+
+use crate::{History, OpRecord, SnapOp};
 
 /// Renders a history as a human-readable timeline, one line per
 /// operation, ordered by invocation — the first thing you want when a
@@ -34,17 +36,77 @@ pub fn render_timeline<V: std::fmt::Debug>(history: &History<V>) -> String {
         history.len()
     );
     for op in history.ops() {
-        let span = match op.res {
-            Some(res) => format!("[{:>4}, {:>4}]", op.inv, res),
-            None => format!("[{:>4},    …]", op.inv),
-        };
-        let what = match &op.op {
-            SnapOp::Update { word, value } => {
-                format!("update(word {word}, {value:?})")
+        out.push_str(&op_line(op));
+        out.push('\n');
+    }
+    out
+}
+
+fn op_line<V: std::fmt::Debug>(op: &OpRecord<V>) -> String {
+    let span = match op.res {
+        Some(res) => format!("[{:>4}, {:>4}]", op.inv, res),
+        None => format!("[{:>4},    …]", op.inv),
+    };
+    let what = match &op.op {
+        SnapOp::Update { word, value } => format!("update(word {word}, {value:?})"),
+        SnapOp::Scan { view } => format!("scan -> {view:?}"),
+    };
+    format!("  {span} {:<4} {what}", op.pid.to_string())
+}
+
+/// Renders a history interleaved with the trace events that produced it,
+/// merged into one sequence ordered by timestamp.
+///
+/// Only meaningful when the trace and the [`Recorder`] shared one
+/// [`Clock`]: operation interval endpoints and event sequence numbers then
+/// live on a single axis, so the dump shows *which* double-collect rounds,
+/// handshake flips and borrow decisions happened inside each failed
+/// operation's interval. Operation lines use the same format as
+/// [`render_timeline`] (placed at their invocation timestamp); event lines
+/// are indented underneath with a `·` marker.
+///
+/// [`Recorder`]: crate::Recorder
+/// [`Clock`]: snapshot_obs::Clock
+pub fn render_annotated_timeline<V: std::fmt::Debug>(
+    history: &History<V>,
+    events: &[TraceEvent],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "history: {} processes, {} words, {} operations, {} trace events",
+        history.processes(),
+        history.words(),
+        history.len(),
+        events.len()
+    );
+    // Merge by timestamp; at equal timestamps the operation line comes
+    // first (an op's invocation precedes anything it then emitted).
+    let mut ops = history.ops().iter().peekable();
+    let mut evs = events.iter().peekable();
+    loop {
+        match (ops.peek(), evs.peek()) {
+            (Some(op), Some(ev)) => {
+                if op.inv <= ev.seq {
+                    out.push_str(&op_line(op));
+                    out.push('\n');
+                    ops.next();
+                } else {
+                    let _ = writeln!(out, "     · {:>4}    {:<4} {}", ev.seq, format!("P{}", ev.pid), ev.event);
+                    evs.next();
+                }
             }
-            SnapOp::Scan { view } => format!("scan -> {view:?}"),
-        };
-        let _ = writeln!(out, "  {span} {:<4} {what}", op.pid.to_string());
+            (Some(op), None) => {
+                out.push_str(&op_line(op));
+                out.push('\n');
+                ops.next();
+            }
+            (None, Some(ev)) => {
+                let _ = writeln!(out, "     · {:>4}    {:<4} {}", ev.seq, format!("P{}", ev.pid), ev.event);
+                evs.next();
+            }
+            (None, None) => break,
+        }
     }
     out
 }
@@ -91,5 +153,46 @@ mod tests {
         let history: History<u8> = History::from_ops(1, 1, 0, vec![]);
         let text = render_timeline(&history);
         assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn annotated_timeline_interleaves_events_by_timestamp() {
+        use snapshot_obs::{Event, RoundOutcome, TraceEvent};
+
+        let ops = vec![
+            OpRecord {
+                pid: ProcessId::new(0),
+                inv: 0,
+                res: Some(2),
+                op: SnapOp::Update { word: 0, value: 7 },
+            },
+            OpRecord {
+                pid: ProcessId::new(1),
+                inv: 3,
+                res: Some(6),
+                op: SnapOp::Scan { view: vec![7, 0] },
+            },
+        ];
+        let history = History::from_ops(2, 2, 0, ops);
+        let events = vec![
+            TraceEvent { seq: 1, pid: 0, event: Event::ToggleFlip { word: 0, toggle: true } },
+            TraceEvent {
+                seq: 4,
+                pid: 1,
+                event: Event::RoundEnd {
+                    algo: snapshot_obs::Algo::BoundedSw,
+                    round: 1,
+                    outcome: RoundOutcome::Clean,
+                },
+            },
+        ];
+        let text = render_annotated_timeline(&history, &events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 2 ops + 2 events:\n{text}");
+        assert!(lines[0].contains("2 operations, 2 trace events"));
+        assert!(lines[1].contains("update(word 0, 7)"));
+        assert!(lines[2].contains("toggle_flip"), "event at seq 1 follows the op invoked at 0");
+        assert!(lines[3].contains("scan -> [7, 0]"));
+        assert!(lines[4].contains("round_end"));
     }
 }

@@ -1,0 +1,348 @@
+//! The typed event taxonomy.
+//!
+//! Every proof-relevant step in the reproduction — a double-collect round,
+//! a handshake transition, a borrow decision, an ABD quorum phase — maps to
+//! one [`Event`] variant. Events are small `Copy` values so emitting one
+//! into a sink never allocates on the hot path.
+
+use std::fmt;
+
+/// Which snapshot algorithm emitted an event.
+///
+/// Mirrors the constructions of the paper: the unbounded single-writer
+/// protocol (Fig. 2), the bounded single-writer protocol (Fig. 3), the
+/// multi-writer protocol (Fig. 4), and the non-wait-free double-collect
+/// baseline of Section 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Unbounded single-writer snapshot (Fig. 2).
+    UnboundedSw,
+    /// Bounded single-writer snapshot with handshake bits (Fig. 3).
+    BoundedSw,
+    /// Multi-writer snapshot (Fig. 4).
+    MultiWriter,
+    /// Plain double-collect scan (not wait-free; Section 2 baseline).
+    DoubleCollect,
+}
+
+impl Algo {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::UnboundedSw => "unbounded_sw",
+            Algo::BoundedSw => "bounded_sw",
+            Algo::MultiWriter => "multi_writer",
+            Algo::DoubleCollect => "double_collect",
+        }
+    }
+}
+
+impl fmt::Display for Algo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of one double-collect round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoundOutcome {
+    /// The two collects were equal (no observed movement): the round
+    /// yields a direct scan.
+    Clean,
+    /// At least one register moved between the collects; the scanner
+    /// retries or borrows.
+    Moved,
+}
+
+impl RoundOutcome {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoundOutcome::Clean => "clean",
+            RoundOutcome::Moved => "moved",
+        }
+    }
+}
+
+impl fmt::Display for RoundOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Kind of primitive register operation, as seen by the scheduler or the
+/// instrumented register layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegOp {
+    /// A primitive register read.
+    Read,
+    /// A primitive register write.
+    Write,
+}
+
+impl RegOp {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegOp::Read => "read",
+            RegOp::Write => "write",
+        }
+    }
+}
+
+impl fmt::Display for RegOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which ABD quorum phase an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbdPhaseKind {
+    /// The read/query phase (collect `(tag, value)` from a majority).
+    Query,
+    /// The write-back/store phase (push `(tag, value)` to a majority).
+    Store,
+}
+
+impl AbdPhaseKind {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbdPhaseKind::Query => "query",
+            AbdPhaseKind::Store => "store",
+        }
+    }
+}
+
+impl fmt::Display for AbdPhaseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single typed trace event.
+///
+/// The variants cover the three layers the reproduction instruments:
+///
+/// * **snapshot-core** — scan/update spans, double-collect rounds,
+///   handshake and toggle transitions, and borrow decisions;
+/// * **snapshot-registers / snapshot-sim** — primitive register operations
+///   and deterministic scheduler steps;
+/// * **snapshot-abd** — quorum phase lifecycle (start, retransmit,
+///   quorum reached / failed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A scan operation began.
+    ScanBegin {
+        /// The algorithm performing the scan.
+        algo: Algo,
+    },
+    /// A scan operation completed.
+    ScanEnd {
+        /// The algorithm performing the scan.
+        algo: Algo,
+        /// Double-collect rounds the scan used.
+        double_collects: u32,
+        /// Whether the scan returned a borrowed (embedded) view.
+        borrowed: bool,
+    },
+    /// An update operation began.
+    UpdateBegin {
+        /// The algorithm performing the update.
+        algo: Algo,
+    },
+    /// An update operation completed.
+    UpdateEnd {
+        /// The algorithm performing the update.
+        algo: Algo,
+        /// Double-collect rounds used by the embedded scan (0 when the
+        /// algorithm embeds no scan, e.g. the double-collect baseline).
+        double_collects: u32,
+    },
+    /// A double-collect round began.
+    RoundStart {
+        /// The algorithm performing the round.
+        algo: Algo,
+        /// 1-based round index within the current scan.
+        round: u32,
+    },
+    /// A double-collect round ended.
+    RoundEnd {
+        /// The algorithm performing the round.
+        algo: Algo,
+        /// 1-based round index within the current scan.
+        round: u32,
+        /// Whether the two collects agreed.
+        outcome: RoundOutcome,
+    },
+    /// A scanner copied a partner's handshake bit (`q[i][j] := p[j][i]`,
+    /// Fig. 3 line 1a / Fig. 4 line 1).
+    HandshakeCopy {
+        /// The partner process whose bit was copied.
+        partner: usize,
+        /// The copied bit value.
+        bit: bool,
+    },
+    /// An updater flipped its handshake bit against a partner
+    /// (`p[i][j] := ¬q[j][i]`, Fig. 3 line 0 / Fig. 4 line 0).
+    HandshakeFlip {
+        /// The partner process the bit is aimed at.
+        partner: usize,
+        /// The new bit value.
+        bit: bool,
+    },
+    /// An updater flipped a toggle as part of publishing a new value.
+    ToggleFlip {
+        /// The word (multi-writer) or register index (single-writer)
+        /// whose toggle flipped.
+        word: usize,
+        /// The new toggle value.
+        toggle: bool,
+    },
+    /// A scanner decided to borrow an embedded view instead of collecting
+    /// one itself (Observation 2 / Lemma 4.2).
+    BorrowDecision {
+        /// The process whose embedded view is returned.
+        lender: usize,
+        /// How many moves of the lender the scanner had observed when it
+        /// borrowed: 2 for the single-writer protocols, 3 for the
+        /// multi-writer protocol.
+        moved: u8,
+    },
+    /// A primitive register read observed by the instrumentation layer.
+    RegisterRead,
+    /// A primitive register write observed by the instrumentation layer.
+    RegisterWrite,
+    /// The deterministic simulator granted one step to a process.
+    ScheduleStep {
+        /// Global 0-based step index (the scheduler's own counter).
+        step: u64,
+        /// The primitive operation the granted step performs.
+        op: RegOp,
+    },
+    /// An ABD quorum phase started.
+    AbdPhaseStart {
+        /// Which phase.
+        phase: AbdPhaseKind,
+    },
+    /// An ABD quorum phase retransmitted to replicas that had not acked.
+    AbdRetransmit {
+        /// Which phase.
+        phase: AbdPhaseKind,
+        /// 1-based retransmission attempt number.
+        attempt: u32,
+        /// Number of replicas the retransmission was sent to.
+        resent: usize,
+    },
+    /// An ABD quorum phase reached a majority of acks.
+    AbdQuorumReached {
+        /// Which phase.
+        phase: AbdPhaseKind,
+        /// Acks collected when the quorum was declared.
+        acks: usize,
+        /// Wall-clock phase latency in microseconds.
+        elapsed_us: u64,
+    },
+    /// An ABD quorum phase timed out before reaching a majority.
+    AbdQuorumFailed {
+        /// Which phase.
+        phase: AbdPhaseKind,
+        /// Acks collected when the deadline expired.
+        acks: usize,
+        /// Acks that would have been needed for a quorum.
+        needed: usize,
+    },
+}
+
+impl Event {
+    /// Stable snake_case name of the variant, used as the JSON `kind`
+    /// field and the chrome://tracing event name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ScanBegin { .. } => "scan_begin",
+            Event::ScanEnd { .. } => "scan_end",
+            Event::UpdateBegin { .. } => "update_begin",
+            Event::UpdateEnd { .. } => "update_end",
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::HandshakeCopy { .. } => "handshake_copy",
+            Event::HandshakeFlip { .. } => "handshake_flip",
+            Event::ToggleFlip { .. } => "toggle_flip",
+            Event::BorrowDecision { .. } => "borrow_decision",
+            Event::RegisterRead => "register_read",
+            Event::RegisterWrite => "register_write",
+            Event::ScheduleStep { .. } => "schedule_step",
+            Event::AbdPhaseStart { .. } => "abd_phase_start",
+            Event::AbdRetransmit { .. } => "abd_retransmit",
+            Event::AbdQuorumReached { .. } => "abd_quorum_reached",
+            Event::AbdQuorumFailed { .. } => "abd_quorum_failed",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::ScanBegin { algo } => write!(f, "scan_begin({algo})"),
+            Event::ScanEnd { algo, double_collects, borrowed } => {
+                write!(f, "scan_end({algo}, dc={double_collects}, borrowed={borrowed})")
+            }
+            Event::UpdateBegin { algo } => write!(f, "update_begin({algo})"),
+            Event::UpdateEnd { algo, double_collects } => {
+                write!(f, "update_end({algo}, dc={double_collects})")
+            }
+            Event::RoundStart { algo, round } => write!(f, "round_start({algo}, r{round})"),
+            Event::RoundEnd { algo, round, outcome } => {
+                write!(f, "round_end({algo}, r{round}, {outcome})")
+            }
+            Event::HandshakeCopy { partner, bit } => {
+                write!(f, "handshake_copy(partner=P{partner}, bit={bit})")
+            }
+            Event::HandshakeFlip { partner, bit } => {
+                write!(f, "handshake_flip(partner=P{partner}, bit={bit})")
+            }
+            Event::ToggleFlip { word, toggle } => {
+                write!(f, "toggle_flip(word={word}, toggle={toggle})")
+            }
+            Event::BorrowDecision { lender, moved } => {
+                write!(f, "borrow_decision(lender=P{lender}, moved={moved})")
+            }
+            Event::RegisterRead => f.write_str("register_read"),
+            Event::RegisterWrite => f.write_str("register_write"),
+            Event::ScheduleStep { step, op } => write!(f, "schedule_step(#{step}, {op})"),
+            Event::AbdPhaseStart { phase } => write!(f, "abd_phase_start({phase})"),
+            Event::AbdRetransmit { phase, attempt, resent } => {
+                write!(f, "abd_retransmit({phase}, attempt={attempt}, resent={resent})")
+            }
+            Event::AbdQuorumReached { phase, acks, elapsed_us } => {
+                write!(f, "abd_quorum_reached({phase}, acks={acks}, {elapsed_us}us)")
+            }
+            Event::AbdQuorumFailed { phase, acks, needed } => {
+                write!(f, "abd_quorum_failed({phase}, acks={acks}/{needed})")
+            }
+        }
+    }
+}
+
+/// A trace event stamped with its global sequence number and the emitting
+/// process.
+///
+/// `seq` comes from the [`Clock`](crate::Clock) shared by every traced
+/// component (and, optionally, by the linearizability recorder), so sorting
+/// by `seq` recovers one total order over operations *and* events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (total order across processes).
+    pub seq: u64,
+    /// Emitting process id.
+    pub pid: usize,
+    /// The typed payload.
+    pub event: Event,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:<5} P{:<3} {}", self.seq, self.pid, self.event)
+    }
+}

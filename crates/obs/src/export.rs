@@ -1,0 +1,144 @@
+//! Trace exporters: JSON-lines and chrome://tracing.
+//!
+//! Both are hand-rolled (the workspace takes no serialization dependency
+//! for this). Every emitted string field is a static identifier from the
+//! event taxonomy, so no JSON string escaping is required.
+
+use crate::event::{Event, TraceEvent};
+
+fn push_field(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    out.push_str(value);
+    out.push('"');
+}
+
+/// Appends the variant-specific payload fields of `event` to a JSON object
+/// under construction (each field prefixed with a comma).
+fn push_payload(out: &mut String, event: &Event) {
+    match *event {
+        Event::ScanBegin { algo } | Event::UpdateBegin { algo } => {
+            push_str_field(out, "algo", algo.name());
+        }
+        Event::ScanEnd { algo, double_collects, borrowed } => {
+            push_str_field(out, "algo", algo.name());
+            push_field(out, "double_collects", double_collects);
+            push_field(out, "borrowed", borrowed);
+        }
+        Event::UpdateEnd { algo, double_collects } => {
+            push_str_field(out, "algo", algo.name());
+            push_field(out, "double_collects", double_collects);
+        }
+        Event::RoundStart { algo, round } => {
+            push_str_field(out, "algo", algo.name());
+            push_field(out, "round", round);
+        }
+        Event::RoundEnd { algo, round, outcome } => {
+            push_str_field(out, "algo", algo.name());
+            push_field(out, "round", round);
+            push_str_field(out, "outcome", outcome.name());
+        }
+        Event::HandshakeCopy { partner, bit } | Event::HandshakeFlip { partner, bit } => {
+            push_field(out, "partner", partner);
+            push_field(out, "bit", bit);
+        }
+        Event::ToggleFlip { word, toggle } => {
+            push_field(out, "word", word);
+            push_field(out, "toggle", toggle);
+        }
+        Event::BorrowDecision { lender, moved } => {
+            push_field(out, "lender", lender);
+            push_field(out, "moved", moved);
+        }
+        Event::RegisterRead | Event::RegisterWrite => {}
+        Event::ScheduleStep { step, op } => {
+            push_field(out, "step", step);
+            push_str_field(out, "op", op.name());
+        }
+        Event::AbdPhaseStart { phase } => {
+            push_str_field(out, "phase", phase.name());
+        }
+        Event::AbdRetransmit { phase, attempt, resent } => {
+            push_str_field(out, "phase", phase.name());
+            push_field(out, "attempt", attempt);
+            push_field(out, "resent", resent);
+        }
+        Event::AbdQuorumReached { phase, acks, elapsed_us } => {
+            push_str_field(out, "phase", phase.name());
+            push_field(out, "acks", acks);
+            push_field(out, "elapsed_us", elapsed_us);
+        }
+        Event::AbdQuorumFailed { phase, acks, needed } => {
+            push_str_field(out, "phase", phase.name());
+            push_field(out, "acks", acks);
+            push_field(out, "needed", needed);
+        }
+    }
+}
+
+/// Renders events as JSON-lines: one JSON object per line with `seq`,
+/// `pid`, `kind`, and the variant's payload fields.
+pub fn json_lines(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for e in events {
+        out.push_str("{\"seq\":");
+        out.push_str(&e.seq.to_string());
+        push_field(&mut out, "pid", e.pid);
+        push_str_field(&mut out, "kind", e.event.kind());
+        push_payload(&mut out, &e.event);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders events as a chrome://tracing (`about:tracing` / Perfetto)
+/// "Trace Event Format" JSON document.
+///
+/// Scan/update begin/end pairs become duration spans (`ph: "B"`/`"E"`);
+/// everything else becomes an instant event (`ph: "i"`, thread scope).
+/// Timestamps are the logical sequence numbers (the trace is a logical
+/// schedule, not a wall-clock profile), and each process id becomes a
+/// `tid` so the viewer shows one track per process.
+pub fn chrome_tracing(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for e in events {
+        let (ph, name): (&str, &str) = match e.event {
+            Event::ScanBegin { .. } => ("B", "scan"),
+            Event::ScanEnd { .. } => ("E", "scan"),
+            Event::UpdateBegin { .. } => ("B", "update"),
+            Event::UpdateEnd { .. } => ("E", "update"),
+            _ => ("i", e.event.kind()),
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        out.push_str(name);
+        out.push_str("\",\"ph\":\"");
+        out.push_str(ph);
+        out.push_str("\",\"pid\":0");
+        push_field(&mut out, "tid", e.pid);
+        push_field(&mut out, "ts", e.seq);
+        if ph == "i" {
+            push_str_field(&mut out, "s", "t");
+        }
+        out.push_str(",\"args\":{\"seq\":");
+        out.push_str(&e.seq.to_string());
+        push_str_field(&mut out, "kind", e.event.kind());
+        push_payload(&mut out, &e.event);
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}

@@ -1,15 +1,19 @@
 use std::fmt;
 use std::sync::Arc;
 
+use snapshot_obs::{Event, Trace};
+
 use crate::{Backend, OpCounters, OpKind, ProcessId, Register, RegisterValue, StepGate};
 
 /// The observation hooks shared by every cell an [`Instrumented`] backend
-/// creates: optional per-process operation counters and an optional
-/// scheduler gate.
+/// creates: optional per-process operation counters, an optional scheduler
+/// gate, and an optional [`Trace`] receiving a typed event per primitive
+/// register operation.
 #[derive(Clone, Default)]
 pub struct Probe {
     counters: Option<Arc<OpCounters>>,
     gate: Option<Arc<dyn StepGate>>,
+    trace: Trace,
 }
 
 impl Probe {
@@ -18,6 +22,7 @@ impl Probe {
         Probe {
             counters: Some(counters),
             gate: None,
+            trace: Trace::disabled(),
         }
     }
 
@@ -26,6 +31,7 @@ impl Probe {
         Probe {
             counters: None,
             gate: Some(gate),
+            trace: Trace::disabled(),
         }
     }
 
@@ -41,9 +47,21 @@ impl Probe {
         self
     }
 
+    /// Routes a `register_read` / `register_write` event into `trace` for
+    /// every observed operation.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// The counters this probe records into, if any.
     pub fn counters(&self) -> Option<&Arc<OpCounters>> {
         self.counters.as_ref()
+    }
+
+    /// The trace this probe emits into (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     fn observe(&self, pid: ProcessId, op: OpKind) {
@@ -53,6 +71,13 @@ impl Probe {
         if let Some(counters) = &self.counters {
             counters.record(pid, op);
         }
+        self.trace.emit(
+            pid.get(),
+            match op {
+                OpKind::Read => Event::RegisterRead,
+                OpKind::Write => Event::RegisterWrite,
+            },
+        );
     }
 }
 
@@ -61,6 +86,7 @@ impl fmt::Debug for Probe {
         f.debug_struct("Probe")
             .field("counting", &self.counters.is_some())
             .field("gated", &self.gate.is_some())
+            .field("traced", &self.trace.is_enabled())
             .finish()
     }
 }
@@ -119,6 +145,12 @@ impl<B> Instrumented<B> {
     /// Adds scheduler gating.
     pub fn with_gate(mut self, gate: Arc<dyn StepGate>) -> Self {
         self.probe = self.probe.with_gate(gate);
+        self
+    }
+
+    /// Adds trace emission (one event per primitive register operation).
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.probe = self.probe.with_trace(trace);
         self
     }
 
@@ -224,5 +256,24 @@ mod tests {
         cell.read(p);
         cell.read(p);
         assert_eq!(gate.0.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn trace_sees_each_operation_with_the_right_kind() {
+        use snapshot_obs::RingSink;
+
+        let sink = Arc::new(RingSink::new(2, 16));
+        let backend =
+            Instrumented::new(EpochBackend::new()).with_trace(Trace::new(sink.clone()));
+        let cell = backend.cell(0u8);
+        let p1 = ProcessId::new(1);
+        cell.write(p1, 7);
+        cell.read(p1);
+
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].pid, 1);
+        assert_eq!(events[0].event, Event::RegisterWrite);
+        assert_eq!(events[1].event, Event::RegisterRead);
     }
 }

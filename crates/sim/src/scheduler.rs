@@ -4,6 +4,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+use snapshot_obs::{Event, RegOp, Trace};
 use snapshot_registers::{OpKind, ProcessId, StepGate};
 
 use crate::policy::{Decision, ReadyProcess, SchedulePolicy};
@@ -251,6 +252,7 @@ impl std::error::Error for SimError {}
 pub struct Sim {
     n: usize,
     shared: Arc<Shared>,
+    trace: Trace,
 }
 
 impl Sim {
@@ -274,7 +276,18 @@ impl Sim {
                 worker_cv: Condvar::new(),
                 ctrl_cv: Condvar::new(),
             }),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Emits a `schedule_step` event into `trace` for every step the
+    /// controller grants, making simulated traces deterministic and
+    /// replayable. Share the trace (and its clock) with the object under
+    /// test to interleave scheduler grants with algorithm events.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Number of simulated processes.
@@ -382,6 +395,16 @@ impl Sim {
                 match policy.choose(&ready, steps) {
                     Decision::Run(idx) => {
                         let picked = ready[idx.min(ready.len() - 1)];
+                        self.trace.emit(
+                            picked.pid.get(),
+                            Event::ScheduleStep {
+                                step: steps,
+                                op: match picked.op {
+                                    OpKind::Read => RegOp::Read,
+                                    OpKind::Write => RegOp::Write,
+                                },
+                            },
+                        );
                         if config.record_trace {
                             trace.push(StepRecord {
                                 step: steps,

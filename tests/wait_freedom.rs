@@ -254,6 +254,75 @@ fn random_adversaries_never_break_the_bound() {
 }
 
 #[test]
+fn scan_stats_register_counts_match_the_instrumentation_layer() {
+    use snapshot_registers::{OpCounters, OpSnapshot};
+
+    for n in [2usize, 3, 4] {
+        let sim = Sim::new(n);
+        let counters = Arc::new(OpCounters::new(n));
+        let backend = Instrumented::new(EpochBackend::new())
+            .with_gate(sim.gate())
+            .with_counters(Arc::clone(&counters));
+        let object = BoundedSnapshot::with_backend(n, 0u64, &backend);
+        let observed: Mutex<Vec<(ScanStats, OpSnapshot)>> = Mutex::new(Vec::new());
+
+        let mut bodies: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for i in 0..n - 1 {
+            let object = &object;
+            bodies.push(Box::new(move || {
+                object.drive_updates(ProcessId::new(i), 100);
+            }));
+        }
+        {
+            let object = &object;
+            let counters = Arc::clone(&counters);
+            let observed = &observed;
+            bodies.push(Box::new(move || {
+                let pid = ProcessId::new(n - 1);
+                let mut h = object.handle(pid);
+                for _ in 0..10 {
+                    let before = counters.snapshot(pid);
+                    let (_, stats) = h.scan_with_stats();
+                    let delta = counters.snapshot(pid) - before;
+                    observed.lock().push((stats, delta));
+                }
+            }));
+        }
+        sim.run(
+            &mut RoundRobinPolicy::new(),
+            SimConfig {
+                max_steps: Some(2_000_000),
+                stop_when_done: vec![ProcessId::new(n - 1)],
+                record_trace: false,
+            },
+            bodies,
+        )
+        .expect("simulation failed");
+
+        let observed = observed.lock();
+        assert_eq!(observed.len(), 10);
+        for (k, (stats, delta)) in observed.iter().enumerate() {
+            // The stats' own primitive-register tallies must agree exactly
+            // with the instrumentation layer's independent count...
+            assert_eq!(stats.reads, delta.reads, "n={n} scan {k}: {stats:?} vs {delta:?}");
+            assert_eq!(stats.writes, delta.writes, "n={n} scan {k}: {stats:?} vs {delta:?}");
+            // ...and match the Figure 3 round structure: every round is n
+            // handshake read/write pairs plus two n-register collects.
+            let dc = u64::from(stats.double_collects);
+            assert_eq!(stats.reads, 3 * n as u64 * dc, "n={n} scan {k}");
+            assert_eq!(stats.writes, n as u64 * dc, "n={n} scan {k}");
+            // Lemma 4.4's pigeonhole bound, asserted from the per-scan
+            // stats alone.
+            assert!(
+                stats.double_collects as usize <= n + 1,
+                "n={n} scan {k}: {} double collects",
+                stats.double_collects
+            );
+        }
+    }
+}
+
+#[test]
 fn borrowed_views_actually_occur_under_adversarial_interleaving() {
     // Sanity: the Observation-2 fallback is exercised, not dead code. The
     // scanner scans repeatedly while the updater streams updates; under
