@@ -1,0 +1,410 @@
+//! `snapbench` — the tracked benchmark suite behind `BENCH_*.json`.
+//!
+//! Runs a fixed matrix of workloads (`scan_heavy`, `update_heavy`,
+//! `mixed`, and the multi-writer-only `contended_mw`) against the four
+//! contention-relevant constructions (`unbounded`, `bounded`,
+//! `multiwriter`, `locked`) at several thread counts, on real OS threads
+//! with wall-clock timing. Unlike the criterion micro-benchmarks in
+//! `benches/`, the output is a stable machine-readable JSON report
+//! (schema `snapbench/v1`, see `snapshot_bench::tracked`) meant to be
+//! committed and diffed:
+//!
+//! ```text
+//! cargo run -p snapshot-bench --release --bin snapbench -- \
+//!     --out BENCH_3.json
+//! cargo run -p snapshot-bench --release --bin snapbench -- \
+//!     --quick --compare BENCH_3.json --report-only
+//! ```
+//!
+//! `--compare` exits with status 1 when any entry's median ns/op
+//! regressed by more than `--threshold-pct` (default 20%) against the
+//! baseline, unless `--report-only` is given. Usage errors exit 2.
+
+use std::process::ExitCode;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use snapshot_bench::tracked::{self, BenchEntry, BenchReport};
+use snapshot_core::{
+    BoundedSnapshot, LockSnapshot, MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle,
+    SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+};
+use snapshot_registers::ProcessId;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    /// 7 scans per update: the shape that rewards the clone-free
+    /// incremental collect.
+    ScanHeavy,
+    /// 7 updates per scan: stresses the embedded scan inside update.
+    UpdateHeavy,
+    /// Alternating update/scan.
+    Mixed,
+    /// Multi-writer only: every thread hammers the same two words.
+    ContendedMw,
+}
+
+impl Workload {
+    const ALL: [Workload; 4] = [
+        Workload::ScanHeavy,
+        Workload::UpdateHeavy,
+        Workload::Mixed,
+        Workload::ContendedMw,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Workload::ScanHeavy => "scan_heavy",
+            Workload::UpdateHeavy => "update_heavy",
+            Workload::Mixed => "mixed",
+            Workload::ContendedMw => "contended_mw",
+        }
+    }
+
+    /// Whether the `k`-th operation of a thread is an update.
+    fn is_update(self, k: u64) -> bool {
+        match self {
+            Workload::ScanHeavy => k % 8 == 0,
+            Workload::UpdateHeavy => k % 8 != 0,
+            Workload::Mixed => k % 2 == 0,
+            Workload::ContendedMw => k % 2 == 0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Construction {
+    Unbounded,
+    Bounded,
+    MultiWriter,
+    Locked,
+}
+
+impl Construction {
+    const ALL: [Construction; 4] = [
+        Construction::Unbounded,
+        Construction::Bounded,
+        Construction::MultiWriter,
+        Construction::Locked,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Construction::Unbounded => "unbounded",
+            Construction::Bounded => "bounded",
+            Construction::MultiWriter => "multiwriter",
+            Construction::Locked => "locked",
+        }
+    }
+}
+
+/// One cell of the benchmark matrix.
+struct Config {
+    workload: Workload,
+    construction: Construction,
+    threads: usize,
+}
+
+impl Config {
+    fn name(&self) -> String {
+        format!(
+            "{}/{}/t{}",
+            self.workload.name(),
+            self.construction.name(),
+            self.threads
+        )
+    }
+}
+
+/// Suite knobs; `--quick` shrinks everything for CI smoke runs.
+struct Tuning {
+    iters_per_thread: u64,
+    samples: u32,
+    warmup: u32,
+    thread_counts: &'static [usize],
+}
+
+const FULL: Tuning = Tuning {
+    iters_per_thread: 4_000,
+    samples: 5,
+    warmup: 1,
+    thread_counts: &[1, 2, 4],
+};
+
+const QUICK: Tuning = Tuning {
+    iters_per_thread: 300,
+    samples: 2,
+    warmup: 1,
+    thread_counts: &[1, 2],
+};
+
+fn suite(tuning: &Tuning) -> Vec<Config> {
+    let mut configs = Vec::new();
+    for workload in Workload::ALL {
+        for construction in Construction::ALL {
+            // The contended workload writes arbitrary words, which only
+            // the multi-writer construction supports.
+            if workload == Workload::ContendedMw && construction != Construction::MultiWriter {
+                continue;
+            }
+            for &threads in tuning.thread_counts {
+                // Contention needs at least two threads to mean anything.
+                if workload == Workload::ContendedMw && threads < 2 {
+                    continue;
+                }
+                configs.push(Config {
+                    workload,
+                    construction,
+                    threads,
+                });
+            }
+        }
+    }
+    configs
+}
+
+/// Times one sample of a single-writer-style workload: every thread runs
+/// `iters` operations against its own handle; returns total wall ns.
+fn time_sw<O: SwSnapshot<u64>>(object: &O, threads: usize, iters: u64, workload: Workload) -> u128 {
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = 0u128;
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut handle = object.handle(ProcessId::new(i));
+                barrier.wait();
+                let mut acc = 0u64;
+                for k in 0..iters {
+                    if workload.is_update(k) {
+                        handle.update(((i as u64) << 32) | k);
+                    } else {
+                        acc = acc.wrapping_add(handle.scan().as_slice().iter().sum::<u64>());
+                    }
+                }
+                std::hint::black_box(acc);
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        elapsed = start.elapsed().as_nanos();
+    });
+    elapsed
+}
+
+/// Multi-writer analogue of [`time_sw`]. In the disjoint workloads each
+/// thread owns word `i`; under [`Workload::ContendedMw`] all threads
+/// scatter writes over the whole (small) word array.
+fn time_mw<O: MwSnapshot<u64>>(object: &O, threads: usize, iters: u64, workload: Workload) -> u128 {
+    let words = object.words();
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = 0u128;
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut handle = object.handle(ProcessId::new(i));
+                barrier.wait();
+                let mut acc = 0u64;
+                for k in 0..iters {
+                    if workload.is_update(k) {
+                        let word = if workload == Workload::ContendedMw {
+                            // Cheap multiplicative scatter, deterministic
+                            // per (thread, op).
+                            (k.wrapping_add(i as u64).wrapping_mul(2_654_435_761) as usize) % words
+                        } else {
+                            i
+                        };
+                        handle.update(word, ((i as u64) << 32) | k);
+                    } else {
+                        acc = acc.wrapping_add(handle.scan().as_slice().iter().sum::<u64>());
+                    }
+                }
+                std::hint::black_box(acc);
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        elapsed = start.elapsed().as_nanos();
+    });
+    elapsed
+}
+
+/// Runs one matrix cell: warmups, then `samples` timed runs; returns the
+/// finished entry. A fresh object is built per sample so handle claims
+/// and cache state never leak between samples.
+fn run_config(config: &Config, tuning: &Tuning) -> BenchEntry {
+    let threads = config.threads;
+    let iters = tuning.iters_per_thread;
+    let total_ops = threads as u64 * iters;
+    let mut ns_per_op = Vec::with_capacity(tuning.samples as usize);
+
+    for round in 0..tuning.warmup + tuning.samples {
+        let elapsed = match config.construction {
+            Construction::Unbounded => {
+                let object = UnboundedSnapshot::new(threads, 0u64);
+                time_sw(&object, threads, iters, config.workload)
+            }
+            Construction::Bounded => {
+                let object = BoundedSnapshot::new(threads, 0u64);
+                time_sw(&object, threads, iters, config.workload)
+            }
+            Construction::Locked => {
+                let object = LockSnapshot::new(threads, 0u64);
+                time_sw(&object, threads, iters, config.workload)
+            }
+            Construction::MultiWriter => {
+                // Two words under contention (maximal collisions);
+                // otherwise one word per thread.
+                let words = if config.workload == Workload::ContendedMw {
+                    2
+                } else {
+                    threads
+                };
+                let object = MultiWriterSnapshot::new(threads, words, 0u64);
+                time_mw(&object, threads, iters, config.workload)
+            }
+        };
+        if round >= tuning.warmup {
+            ns_per_op.push(elapsed as f64 / total_ops as f64);
+        }
+    }
+
+    ns_per_op.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = ns_per_op[ns_per_op.len() / 2];
+    BenchEntry {
+        name: config.name(),
+        workload: config.workload.name().to_string(),
+        construction: config.construction.name().to_string(),
+        threads,
+        iters_per_thread: iters,
+        samples: tuning.samples,
+        warmup: tuning.warmup,
+        total_ops,
+        median_ns_per_op: median,
+        min_ns_per_op: ns_per_op[0],
+        max_ns_per_op: ns_per_op[ns_per_op.len() - 1],
+    }
+}
+
+struct Args {
+    quick: bool,
+    out: String,
+    compare: Option<String>,
+    threshold_pct: f64,
+    report_only: bool,
+    filter: Option<String>,
+    list: bool,
+}
+
+const USAGE: &str = "usage: snapbench [--quick] [--out PATH] [--compare BASELINE.json]\n\
+                     \x20                [--threshold-pct N] [--report-only] [--filter SUBSTR] [--list]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_3.json".to_string(),
+        compare: None,
+        threshold_pct: 20.0,
+        report_only: false,
+        filter: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = value_of("--out")?,
+            "--compare" => args.compare = Some(value_of("--compare")?),
+            "--threshold-pct" => {
+                args.threshold_pct = value_of("--threshold-pct")?
+                    .parse()
+                    .map_err(|_| "--threshold-pct needs a number".to_string())?;
+            }
+            "--report-only" => args.report_only = true,
+            "--filter" => args.filter = Some(value_of("--filter")?),
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("snapbench: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let tuning = if args.quick { &QUICK } else { &FULL };
+    let mut configs = suite(tuning);
+    if let Some(filter) = &args.filter {
+        configs.retain(|c| c.name().contains(filter.as_str()));
+    }
+    if configs.is_empty() {
+        eprintln!("snapbench: no benchmarks match the filter\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if args.list {
+        for config in &configs {
+            println!("{}", config.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut report = BenchReport::new();
+    for (i, config) in configs.iter().enumerate() {
+        eprint!("[{:>2}/{}] {:<32} ", i + 1, configs.len(), config.name());
+        let entry = run_config(config, tuning);
+        eprintln!(
+            "median {:>10.1} ns/op  (min {:.1}, max {:.1})",
+            entry.median_ns_per_op, entry.min_ns_per_op, entry.max_ns_per_op
+        );
+        report.entries.push(entry);
+    }
+
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("snapbench: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    eprintln!("wrote {} ({} entries)", args.out, report.entries.len());
+
+    if let Some(baseline_path) = &args.compare {
+        let baseline = match std::fs::read_to_string(baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| BenchReport::from_json(&text).map_err(|e| e.to_string()))
+        {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("snapbench: cannot load baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let cmp = tracked::compare(&baseline, &report, args.threshold_pct);
+        print!("{}", cmp.render());
+        if cmp.has_regressions() {
+            if args.report_only {
+                println!(
+                    "regressions beyond {}% detected (report-only: not failing)",
+                    args.threshold_pct
+                );
+            } else {
+                println!("regressions beyond {}% detected", args.threshold_pct);
+                return ExitCode::from(1);
+            }
+        } else {
+            println!("no regressions beyond {}%", args.threshold_pct);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -13,13 +13,18 @@
 //!   composite-register constructions (the paper's Section 6 comparison
 //!   baseline);
 //! * [`report`] — plain-text table rendering for the `experiments` binary;
+//! * [`tracked`] — the `snapbench` JSON report format (schema
+//!   `snapbench/v1`) and its regression comparator;
 //! * `benches/` — criterion micro-benchmarks of scan/update latency and
 //!   contention behavior;
 //! * `src/bin/experiments.rs` — the table generator
-//!   (`cargo run -p snapshot-bench --release --bin experiments -- all`).
+//!   (`cargo run -p snapshot-bench --release --bin experiments -- all`);
+//! * `src/bin/snapbench.rs` — the tracked wall-clock suite behind the
+//!   committed `BENCH_*.json` baselines.
 
 #![warn(missing_docs)]
 
 pub mod anderson_model;
 pub mod harness;
 pub mod report;
+pub mod tracked;

@@ -1,0 +1,678 @@
+//! Tracked-benchmark report format: the `snapbench` binary's JSON schema,
+//! a hand-rolled writer and parser (the workspace takes no serialization
+//! dependency), and the regression comparator behind `snapbench --compare`.
+//!
+//! A report is committed at the repository root as `BENCH_<pr>.json` so
+//! that later changes can be diffed against it: `snapbench --compare
+//! BENCH_3.json` re-runs the suite and exits non-zero when any matching
+//! entry's median cost per operation regressed by more than the
+//! threshold. The numbers are machine-dependent, so CI runs the compare
+//! in report-only mode; the committed file documents the *shape* of the
+//! expected costs (e.g. locked scans degrade under writers, wait-free
+//! scans do not).
+
+use std::fmt;
+
+/// Schema identifier stamped into every report; bump on breaking format
+/// changes so `--compare` refuses to diff across incompatible files.
+pub const SCHEMA: &str = "snapbench/v1";
+
+/// One benchmark configuration's measured result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Unique key, `"{workload}/{construction}/t{threads}"` — the join key
+    /// for `--compare`.
+    pub name: String,
+    /// Workload shape (`scan_heavy`, `update_heavy`, `mixed`,
+    /// `contended_mw`).
+    pub workload: String,
+    /// Construction under test (`unbounded`, `bounded`, `multiwriter`,
+    /// `locked`).
+    pub construction: String,
+    /// Concurrent processes (one OS thread each).
+    pub threads: usize,
+    /// Operations issued by each thread per sample.
+    pub iters_per_thread: u64,
+    /// Timed samples taken; the reported figure is their median.
+    pub samples: u32,
+    /// Untimed warmup runs before the first sample.
+    pub warmup: u32,
+    /// `threads * iters_per_thread` — total operations per sample.
+    pub total_ops: u64,
+    /// Median over samples of (sample wall time in ns / `total_ops`).
+    pub median_ns_per_op: f64,
+    /// Fastest sample's ns/op.
+    pub min_ns_per_op: f64,
+    /// Slowest sample's ns/op.
+    pub max_ns_per_op: f64,
+}
+
+/// A full `snapbench` run: the schema tag plus one entry per
+/// configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`] for reports written by this version.
+    pub schema: String,
+    /// Measured entries, in suite order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// An empty report with the current schema tag.
+    pub fn new() -> Self {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON (one entry per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.entries.len() * 256);
+        out.push_str("{\n  \"schema\": ");
+        push_json_string(&mut out, &self.schema);
+        out.push_str(",\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            push_json_string(&mut out, &e.name);
+            out.push_str(", \"workload\": ");
+            push_json_string(&mut out, &e.workload);
+            out.push_str(", \"construction\": ");
+            push_json_string(&mut out, &e.construction);
+            out.push_str(&format!(
+                ", \"threads\": {}, \"iters_per_thread\": {}, \"samples\": {}, \"warmup\": {}, \
+                 \"total_ops\": {}, \"median_ns_per_op\": {}, \"min_ns_per_op\": {}, \
+                 \"max_ns_per_op\": {}}}",
+                e.threads,
+                e.iters_per_thread,
+                e.samples,
+                e.warmup,
+                e.total_ops,
+                e.median_ns_per_op,
+                e.min_ns_per_op,
+                e.max_ns_per_op
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed JSON, a missing or
+    /// wrongly-typed field, or a schema tag other than [`SCHEMA`].
+    pub fn from_json(text: &str) -> Result<Self, ParseError> {
+        let value = Parser::new(text).parse_document()?;
+        let root = value.as_obj("top level")?;
+        let schema = get(root, "schema")?.as_str("schema")?.to_string();
+        if schema != SCHEMA {
+            return Err(ParseError::new(0, "unsupported schema (want snapbench/v1)"));
+        }
+        let mut entries = Vec::new();
+        for item in get(root, "entries")?.as_arr("entries")? {
+            let o = item.as_obj("entry")?;
+            entries.push(BenchEntry {
+                name: get(o, "name")?.as_str("name")?.to_string(),
+                workload: get(o, "workload")?.as_str("workload")?.to_string(),
+                construction: get(o, "construction")?.as_str("construction")?.to_string(),
+                threads: get(o, "threads")?.as_u64("threads")? as usize,
+                iters_per_thread: get(o, "iters_per_thread")?.as_u64("iters_per_thread")?,
+                samples: get(o, "samples")?.as_u64("samples")? as u32,
+                warmup: get(o, "warmup")?.as_u64("warmup")? as u32,
+                total_ops: get(o, "total_ops")?.as_u64("total_ops")?,
+                median_ns_per_op: get(o, "median_ns_per_op")?.as_f64("median_ns_per_op")?,
+                min_ns_per_op: get(o, "min_ns_per_op")?.as_f64("min_ns_per_op")?,
+                max_ns_per_op: get(o, "max_ns_per_op")?.as_f64("max_ns_per_op")?,
+            });
+        }
+        Ok(BenchReport { schema, entries })
+    }
+}
+
+impl Default for BenchReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// Per-entry outcome of comparing a new report against a baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// The entry's join key.
+    pub name: String,
+    /// Baseline median ns/op.
+    pub old_ns: f64,
+    /// New median ns/op.
+    pub new_ns: f64,
+    /// Percentage change, `(new - old) / old * 100` (positive = slower).
+    pub pct: f64,
+    /// Whether `pct` exceeds the comparison threshold.
+    pub regressed: bool,
+}
+
+/// Result of [`compare`]: matched deltas plus the entries present on only
+/// one side (never treated as regressions — suites are allowed to grow).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Comparison {
+    /// One delta per entry name present in both reports, in new-report
+    /// order.
+    pub deltas: Vec<Delta>,
+    /// Baseline entries absent from the new report.
+    pub missing_in_new: Vec<String>,
+    /// New entries absent from the baseline.
+    pub new_only: Vec<String>,
+}
+
+impl Comparison {
+    /// True when any matched entry regressed beyond the threshold.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Plain-text table of the comparison, one line per delta, regressions
+    /// flagged.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:>12} {:>12} {:>9}\n",
+            "benchmark", "old ns/op", "new ns/op", "delta"
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<36} {:>12.1} {:>12.1} {:>+8.1}%{}\n",
+                d.name,
+                d.old_ns,
+                d.new_ns,
+                d.pct,
+                if d.regressed { "  REGRESSION" } else { "" }
+            ));
+        }
+        for name in &self.missing_in_new {
+            out.push_str(&format!("{name:<36} (missing in new report)\n"));
+        }
+        for name in &self.new_only {
+            out.push_str(&format!("{name:<36} (no baseline)\n"));
+        }
+        out
+    }
+}
+
+/// Compares `new` against the `old` baseline, flagging every matched
+/// entry whose median ns/op grew by more than `threshold_pct` percent.
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    for e in &new.entries {
+        match old.entries.iter().find(|o| o.name == e.name) {
+            Some(o) => {
+                let pct = if o.median_ns_per_op > 0.0 {
+                    (e.median_ns_per_op - o.median_ns_per_op) / o.median_ns_per_op * 100.0
+                } else {
+                    0.0
+                };
+                cmp.deltas.push(Delta {
+                    name: e.name.clone(),
+                    old_ns: o.median_ns_per_op,
+                    new_ns: e.median_ns_per_op,
+                    pct,
+                    regressed: pct > threshold_pct,
+                });
+            }
+            None => cmp.new_only.push(e.name.clone()),
+        }
+    }
+    for o in &old.entries {
+        if !new.entries.iter().any(|e| e.name == o.name) {
+            cmp.missing_in_new.push(o.name.clone());
+        }
+    }
+    cmp
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (the subset the report format emits)
+// ---------------------------------------------------------------------------
+
+/// Parse failure: byte offset plus a static description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl ParseError {
+    fn new(pos: usize, msg: &'static str) -> Self {
+        ParseError { pos, msg }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self, what: &'static str) -> Result<&[(String, Json)], ParseError> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            _ => Err(ParseError::new(0, type_err(what, "an object"))),
+        }
+    }
+
+    fn as_arr(&self, what: &'static str) -> Result<&[Json], ParseError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(ParseError::new(0, type_err(what, "an array"))),
+        }
+    }
+
+    fn as_str(&self, what: &'static str) -> Result<&str, ParseError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(ParseError::new(0, type_err(what, "a string"))),
+        }
+    }
+
+    fn as_f64(&self, what: &'static str) -> Result<f64, ParseError> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            _ => Err(ParseError::new(0, type_err(what, "a number"))),
+        }
+    }
+
+    fn as_u64(&self, what: &'static str) -> Result<u64, ParseError> {
+        let x = self.as_f64(what)?;
+        if x < 0.0 || x.fract() != 0.0 || x > u64::MAX as f64 {
+            return Err(ParseError::new(0, type_err(what, "a non-negative integer")));
+        }
+        Ok(x as u64)
+    }
+}
+
+/// Static "field X must be Y" messages without allocating in the error
+/// type: the comparator only ever needs a handful of shapes.
+fn type_err(what: &'static str, want: &'static str) -> &'static str {
+    // The field/type pair is informative enough for a format this small;
+    // fold both into one static message per expected type.
+    let _ = what;
+    match want {
+        "an object" => "expected an object",
+        "an array" => "expected an array",
+        "a string" => "expected a string",
+        "a number" => "expected a number",
+        _ => "expected a non-negative integer",
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &'static str) -> Result<&'a Json, ParseError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or(ParseError::new(0, "missing required field"))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Json, ParseError> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(ParseError::new(self.pos, "trailing garbage after document"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, ParseError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(ParseError::new(self.pos, "unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError::new(self.pos, "unexpected character"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, ParseError> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Json::Str(self.parse_string()?)),
+            b't' => self.parse_keyword("true", Json::Bool(true)),
+            b'f' => self.parse_keyword("false", Json::Bool(false)),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(ParseError::new(self.pos, "unrecognized keyword"))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(ParseError::new(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(ParseError::new(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or(ParseError::new(self.pos, "unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or(ParseError::new(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(ParseError::new(self.pos, "bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| ParseError::new(self.pos, "bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs never occur in this format's
+                            // identifiers; reject rather than mis-decode.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(ParseError::new(self.pos, "bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(ParseError::new(self.pos, "unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the raw
+                    // input rather than byte-by-byte.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk = self
+                            .bytes
+                            .get(start..start + width)
+                            .and_then(|c| std::str::from_utf8(c).ok())
+                            .ok_or(ParseError::new(start, "invalid UTF-8 in string"))?;
+                        out.push_str(chunk);
+                        self.pos = start + width;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(ParseError::new(start, "expected a value"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or(ParseError::new(start, "malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, median: f64) -> BenchEntry {
+        let (workload, rest) = name.split_once('/').unwrap();
+        let (construction, threads) = rest.split_once("/t").unwrap();
+        BenchEntry {
+            name: name.to_string(),
+            workload: workload.to_string(),
+            construction: construction.to_string(),
+            threads: threads.parse().unwrap(),
+            iters_per_thread: 10_000,
+            samples: 5,
+            warmup: 1,
+            total_ops: 10_000 * threads.parse::<u64>().unwrap(),
+            median_ns_per_op: median,
+            min_ns_per_op: median * 0.9,
+            max_ns_per_op: median * 1.25,
+        }
+    }
+
+    fn report(entries: Vec<BenchEntry>) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            entries,
+        }
+    }
+
+    #[test]
+    fn serialize_parse_round_trips_exactly() {
+        // Rust's f64 Display emits the shortest exactly-round-tripping
+        // decimal, so field-for-field equality (not approximate) holds.
+        let original = report(vec![
+            entry("scan_heavy/unbounded/t1", 812.5),
+            entry("mixed/locked/t4", 153.071),
+        ]);
+        let parsed = BenchReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parser_rejects_wrong_schema_and_malformed_input() {
+        let bad_schema = r#"{"schema": "snapbench/v0", "entries": []}"#;
+        assert!(BenchReport::from_json(bad_schema).is_err());
+        assert!(BenchReport::from_json("{\"schema\": \"snapbench/v1\"").is_err());
+        assert!(BenchReport::from_json("[]").is_err());
+        assert!(BenchReport::from_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_parse_errors() {
+        let text = r#"{"schema": "snapbench/v1", "entries": [{"name": "x"}]}"#;
+        assert!(BenchReport::from_json(text).is_err());
+    }
+
+    #[test]
+    fn injected_regression_beyond_threshold_is_flagged() {
+        // The acceptance fixture: a 30% slowdown must trip a 20% gate.
+        let old = report(vec![
+            entry("scan_heavy/unbounded/t2", 100.0),
+            entry("mixed/bounded/t2", 200.0),
+        ]);
+        let new = report(vec![
+            entry("scan_heavy/unbounded/t2", 130.0), // +30%
+            entry("mixed/bounded/t2", 210.0),        // +5%
+        ]);
+        let cmp = compare(&old, &new, 20.0);
+        assert!(cmp.has_regressions());
+        let flagged: Vec<&str> = cmp
+            .deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.name.as_str())
+            .collect();
+        assert_eq!(flagged, vec!["scan_heavy/unbounded/t2"]);
+
+        // Raising the threshold above the slowdown clears the gate.
+        assert!(!compare(&old, &new, 35.0).has_regressions());
+    }
+
+    #[test]
+    fn improvements_and_suite_growth_are_not_regressions() {
+        let old = report(vec![entry("mixed/locked/t1", 500.0)]);
+        let new = report(vec![
+            entry("mixed/locked/t1", 250.0),
+            entry("mixed/locked/t4", 900.0),
+        ]);
+        let cmp = compare(&old, &new, 20.0);
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.deltas[0].pct, -50.0);
+        assert_eq!(cmp.new_only, vec!["mixed/locked/t4".to_string()]);
+        assert!(cmp.missing_in_new.is_empty());
+    }
+
+    #[test]
+    fn removed_entries_are_reported_but_do_not_gate() {
+        let old = report(vec![
+            entry("mixed/locked/t1", 500.0),
+            entry("mixed/locked/t2", 600.0),
+        ]);
+        let new = report(vec![entry("mixed/locked/t1", 505.0)]);
+        let cmp = compare(&old, &new, 20.0);
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.missing_in_new, vec!["mixed/locked/t2".to_string()]);
+    }
+
+    #[test]
+    fn render_marks_regressions() {
+        let old = report(vec![entry("scan_heavy/locked/t2", 100.0)]);
+        let new = report(vec![entry("scan_heavy/locked/t2", 150.0)]);
+        let table = compare(&old, &new, 20.0).render();
+        assert!(table.contains("scan_heavy/locked/t2"));
+        assert!(table.contains("REGRESSION"));
+        assert!(table.contains("+50.0%"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut r = report(vec![entry("mixed/locked/t1", 1.0)]);
+        r.entries[0].name = "weird \"name\"\\with\nescapes".to_string();
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.entries[0].name, r.entries[0].name);
+    }
+}

@@ -2,7 +2,10 @@ use std::fmt;
 use std::sync::Arc;
 
 use snapshot_obs::{Algo, Event, RoundOutcome, Trace};
-use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
+use snapshot_registers::{
+    collect, Backend, CachePadded, EpochBackend, ProcessId, Register, RegisterValue,
+    TrackedCollect,
+};
 
 use crate::api::HandleRegistry;
 use crate::{ScanStats, SnapshotView, SwSnapshot, SwSnapshotHandle};
@@ -49,12 +52,16 @@ struct BndRecord<V> {
 /// assert_eq!(h.scan().to_vec(), vec![0, 9]);
 /// ```
 pub struct BoundedSnapshot<V: RegisterValue, B: Backend = EpochBackend> {
-    regs: Box<[B::Cell<BndRecord<V>>]>,
+    // Padded: one single-writer register per process in a dense array.
+    regs: Box<[CachePadded<B::Cell<BndRecord<V>>>]>,
     /// `q[i][j]`: written by scans of `P_i`, read by updates of `P_j`.
-    q: Box<[Box<[B::Bit]>]>,
+    /// Rows are padded — row `i` is written only by `P_i`, so row
+    /// granularity is where the false sharing would happen.
+    q: Box<[CachePadded<Box<[B::Bit]>>]>,
     registry: HandleRegistry,
     n: usize,
     trace: Trace,
+    incremental: bool,
 }
 
 impl<V: RegisterValue> BoundedSnapshot<V, EpochBackend> {
@@ -82,21 +89,35 @@ impl<V: RegisterValue, B: Backend> BoundedSnapshot<V, B> {
         BoundedSnapshot {
             regs: (0..n)
                 .map(|_| {
-                    backend.cell(BndRecord {
+                    CachePadded::new(backend.cell(BndRecord {
                         value: init.clone(),
                         p: Arc::clone(&initial_p),
                         toggle: false,
                         view: initial_view.clone(),
-                    })
+                    }))
                 })
                 .collect(),
             q: (0..n)
-                .map(|_| (0..n).map(|_| backend.bit(false)).collect())
+                .map(|_| CachePadded::new((0..n).map(|_| backend.bit(false)).collect()))
                 .collect(),
             registry: HandleRegistry::new(n),
             n,
             trace: Trace::disabled(),
+            incremental: true,
         }
+    }
+
+    /// Enables or disables the incremental collect path (default: on).
+    ///
+    /// Same algorithm, same move-counting; the incremental path reuses
+    /// the scanner's record cache (see [`TrackedCollect`]) so unchanged
+    /// registers cost a version probe instead of a full record clone.
+    /// Handshake-bit keys are only trusted *within* a double collect
+    /// (Lemma 4.1's window); every other reuse needs a version proof.
+    #[must_use]
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
     }
 
     /// Routes this object's typed events (scan/update spans, double-collect
@@ -124,11 +145,12 @@ impl<V: RegisterValue, B: Backend> SwSnapshot<V> for BoundedSnapshot<V, B> {
         // Restore the toggle from the own register so a re-claimed handle
         // keeps flipping it on every write (scans detect movement by
         // toggle *changes*; a reset toggle could make a write invisible).
-        let toggle = self.regs[pid.get()].read(pid).toggle;
+        let toggle = self.regs[pid.get()].read_with(pid, |r| r.toggle);
         BoundedHandle {
             shared: self,
             pid,
             toggle,
+            cache: TrackedCollect::new(),
         }
     }
 }
@@ -148,11 +170,22 @@ pub struct BoundedHandle<'a, V: RegisterValue, B: Backend> {
     shared: &'a BoundedSnapshot<V, B>,
     pid: ProcessId,
     toggle: bool,
+    /// Scanner-local record cache for the incremental collect path.
+    cache: TrackedCollect<BndRecord<V>>,
 }
 
 impl<V: RegisterValue, B: Backend> BoundedHandle<'_, V, B> {
     /// `procedure scan_i` of Figure 3.
-    fn scan_inner(&self) -> (SnapshotView<V>, ScanStats) {
+    fn scan_inner(&mut self) -> (SnapshotView<V>, ScanStats) {
+        if self.shared.incremental {
+            self.scan_inner_incremental()
+        } else {
+            self.scan_inner_full()
+        }
+    }
+
+    /// The literal Figure 3 loop: handshake, then two fresh full collects.
+    fn scan_inner_full(&self) -> (SnapshotView<V>, ScanStats) {
         let n = self.shared.n;
         let i = self.pid.get();
         let trace = &self.shared.trace;
@@ -221,6 +254,99 @@ impl<V: RegisterValue, B: Backend> BoundedHandle<'_, V, B> {
                         return (b[j].view.clone(), stats);
                     }
                     moved[j] += 1; // line 9
+                }
+            }
+            // line 10: goto line 0.5
+        }
+    }
+
+    /// Figure 3 over the handle's record cache.
+    ///
+    /// The handshake loop advances the cache one register at a time
+    /// (`advance_one`) so the gated operation sequence — read `r_j`,
+    /// write `q_{i,j}`, read `r_{j+1}`, … — is identical to the literal
+    /// path's. Keys (`p[i]`, `toggle`) are trusted only on the second
+    /// collect: within a double collect the comparison is exactly the
+    /// paper's `moved` predicate (Lemma 4.1 excludes the key ABA there),
+    /// while in any wider window — across the handshake, across rounds,
+    /// across scans — two completed updates can restore a key, so only a
+    /// version probe (proof that *no write completed*) may skip a read.
+    ///
+    /// The blame predicate is rewritten but equivalent: with `pa[j]` the
+    /// pass-a value of `p_{j,i}` and `changed_b[j]` the pass-b key
+    /// comparison, `pa[j] != q_local[j] || changed_b[j]` holds iff the
+    /// literal path's `!unmoved(j)` does (case split on `pa[j] ==
+    /// q_local[j]`).
+    fn scan_inner_incremental(&mut self) -> (SnapshotView<V>, ScanStats) {
+        let shared = self.shared;
+        let n = shared.n;
+        let i = self.pid.get();
+        let same = |a: &BndRecord<V>, b: &BndRecord<V>| a.p[i] == b.p[i] && a.toggle == b.toggle;
+        let mut moved = vec![0u8; n];
+        let mut stats = ScanStats::default();
+        let mut q_local = vec![false; n];
+        let mut pa = vec![false; n];
+        loop {
+            shared.trace.emit(
+                i,
+                Event::RoundStart { algo: Algo::BoundedSw, round: stats.double_collects + 1 },
+            );
+            // Line 0.5 — handshake, interleaved per partner as in the
+            // literal path. Keys untrusted: this window spans our own
+            // q-writes, outside Lemma 4.1's double-collect interval.
+            for j in 0..n {
+                let _ = self.cache.advance_one(self.pid, &shared.regs, j, false, same);
+                q_local[j] = self.cache.records()[j].p[i];
+                shared.q[i][j].write(self.pid, q_local[j]);
+                stats.reads += 1;
+                stats.writes += 1;
+                shared.trace.emit(i, Event::HandshakeCopy { partner: j, bit: q_local[j] });
+            }
+            // Line 1 — collect a (keys untrusted for the same reason).
+            let _ = self.cache.advance(self.pid, &shared.regs, false, same);
+            for (j, slot) in pa.iter_mut().enumerate() {
+                *slot = self.cache.records()[j].p[i];
+            }
+            // Line 2 — collect b; within the double collect, keys are the
+            // paper's own movement test and may skip clones.
+            let pass_b = self.cache.advance(self.pid, &shared.regs, true, same);
+            stats.double_collects += 1;
+            stats.reads += 2 * n as u64;
+            debug_assert!(
+                stats.double_collects as usize <= n + 1,
+                "wait-freedom bound violated: {} double collects for n = {n}",
+                stats.double_collects
+            );
+            let moved_now = |j: usize| pa[j] != q_local[j] || pass_b.changed[j];
+            if (0..n).all(|j| !moved_now(j)) {
+                shared.trace.emit(
+                    i,
+                    Event::RoundEnd {
+                        algo: Algo::BoundedSw,
+                        round: stats.double_collects,
+                        outcome: RoundOutcome::Clean,
+                    },
+                );
+                let values: Vec<V> =
+                    self.cache.records().iter().map(|r| r.value.clone()).collect();
+                return (SnapshotView::from(values), stats); // line 4
+            }
+            shared.trace.emit(
+                i,
+                Event::RoundEnd {
+                    algo: Algo::BoundedSw,
+                    round: stats.double_collects,
+                    outcome: RoundOutcome::Moved,
+                },
+            );
+            for j in 0..n {
+                if moved_now(j) {
+                    if moved[j] == 1 {
+                        stats.borrowed = true;
+                        shared.trace.emit(i, Event::BorrowDecision { lender: j, moved: 2 });
+                        return (self.cache.records()[j].view.clone(), stats);
+                    }
+                    moved[j] += 1;
                 }
             }
             // line 10: goto line 0.5
@@ -346,6 +472,41 @@ mod tests {
         let (_, stats) = h.scan_with_stats();
         assert_eq!(stats.double_collects, 1);
         assert!(!stats.borrowed);
+    }
+
+    #[test]
+    fn incremental_and_full_paths_agree_operation_for_operation() {
+        let inc = BoundedSnapshot::new(3, 0u32).with_incremental(true);
+        let full = BoundedSnapshot::new(3, 0u32).with_incremental(false);
+        let mut hi = inc.handle(ProcessId::new(0));
+        let mut hf = full.handle(ProcessId::new(0));
+        let mut gi = inc.handle(ProcessId::new(2));
+        let mut gf = full.handle(ProcessId::new(2));
+        for k in 1..=20u32 {
+            assert_eq!(hi.update_with_stats(k), hf.update_with_stats(k));
+            assert_eq!(gi.update_with_stats(k + 100), gf.update_with_stats(k + 100));
+            let (vi, si) = hi.scan_with_stats();
+            let (vf, sf) = hf.scan_with_stats();
+            assert_eq!(vi.to_vec(), vf.to_vec());
+            assert_eq!(si, sf);
+        }
+    }
+
+    #[test]
+    fn warm_cache_scans_report_the_same_abstract_cost() {
+        // Repeated quiescent scans: the cache makes later rounds cheaper
+        // physically, but the reported cost model must not drift — the
+        // wait-freedom suite equates these stats with gated op counts.
+        let snap = BoundedSnapshot::new(4, 0u8);
+        let mut h = snap.handle(ProcessId::new(1));
+        let (_, first) = h.scan_with_stats();
+        for _ in 0..4 {
+            let (view, stats) = h.scan_with_stats();
+            assert_eq!(view.to_vec(), vec![0; 4]);
+            assert_eq!(stats, first);
+            assert_eq!(stats.reads, 3 * 4); // handshake n + collects 2n
+            assert_eq!(stats.writes, 4); // handshake writes
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 use std::fmt;
 
 use snapshot_obs::{Algo, Event, RoundOutcome, Trace};
-use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
+use snapshot_registers::{
+    collect, Backend, CachePadded, EpochBackend, ProcessId, Register, RegisterValue,
+};
 
 use crate::api::HandleRegistry;
 use crate::{ScanStats, SnapshotView, SwSnapshot, SwSnapshotHandle};
@@ -38,7 +40,9 @@ struct DcRecord<V> {
 /// assert_eq!(h.scan().to_vec(), vec![5, 0]);
 /// ```
 pub struct DoubleCollectSnapshot<V: RegisterValue, B: Backend = EpochBackend> {
-    regs: Box<[B::Cell<DcRecord<V>>]>,
+    // Padded like the wait-free constructions, so benchmark comparisons
+    // against them measure the algorithms, not their false sharing.
+    regs: Box<[CachePadded<B::Cell<DcRecord<V>>>]>,
     registry: HandleRegistry,
     n: usize,
     trace: Trace,
@@ -66,10 +70,10 @@ impl<V: RegisterValue, B: Backend> DoubleCollectSnapshot<V, B> {
         DoubleCollectSnapshot {
             regs: (0..n)
                 .map(|_| {
-                    backend.cell(DcRecord {
+                    CachePadded::new(backend.cell(DcRecord {
                         value: init.clone(),
                         seq: 0,
-                    })
+                    }))
                 })
                 .collect(),
             registry: HandleRegistry::new(n),

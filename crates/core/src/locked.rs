@@ -1,7 +1,7 @@
 use std::fmt;
 
 use parking_lot::RwLock;
-use snapshot_registers::{ProcessId, RegisterValue};
+use snapshot_registers::{CachePadded, ProcessId, RegisterValue};
 
 use crate::api::HandleRegistry;
 use crate::{ScanStats, SnapshotView, SwSnapshot, SwSnapshotHandle};
@@ -27,7 +27,9 @@ use crate::{ScanStats, SnapshotView, SwSnapshot, SwSnapshotHandle};
 /// assert_eq!(h.scan().to_vec(), vec![0, 3]);
 /// ```
 pub struct LockSnapshot<V> {
-    mem: RwLock<Vec<V>>,
+    // Padded so the lock word does not share a line with the registry's
+    // claim flags — the benchmarks hammer both from different threads.
+    mem: CachePadded<RwLock<Vec<V>>>,
     registry: HandleRegistry,
     n: usize,
 }
@@ -41,7 +43,7 @@ impl<V: RegisterValue> LockSnapshot<V> {
     pub fn new(n: usize, init: V) -> Self {
         assert!(n > 0, "a snapshot object needs at least one process");
         LockSnapshot {
-            mem: RwLock::new(vec![init; n]),
+            mem: CachePadded::new(RwLock::new(vec![init; n])),
             registry: HandleRegistry::new(n),
             n,
         }

@@ -1,7 +1,10 @@
 use std::fmt;
 
 use snapshot_obs::{Algo, Event, RoundOutcome, Trace};
-use snapshot_registers::{collect, Backend, EpochBackend, ProcessId, Register, RegisterValue};
+use snapshot_registers::{
+    collect, Backend, CachePadded, EpochBackend, ProcessId, Register, RegisterValue,
+    TrackedCollect,
+};
 
 use crate::api::HandleRegistry;
 use crate::{MwSnapshot, MwSnapshotHandle, ScanStats, SnapshotView};
@@ -77,24 +80,27 @@ pub enum MwVariant {
 /// assert_eq!(h0.scan().to_vec(), vec![0, 0, 77]);
 /// ```
 pub struct MultiWriterSnapshot<V: RegisterValue, B: Backend = EpochBackend, BM: Backend = B> {
-    /// The `m` multi-writer value registers `r_k`.
-    vals: Box<[BM::Cell<MwRecord<V>>]>,
+    /// The `m` multi-writer value registers `r_k` (padded: dense array of
+    /// independently-hammered words).
+    vals: Box<[CachePadded<BM::Cell<MwRecord<V>>>]>,
     /// `view_i`: single-writer registers holding each process's last
-    /// embedded-scan result.
-    views: Box<[B::Cell<SnapshotView<V>>]>,
+    /// embedded-scan result (padded: one per process).
+    views: Box<[CachePadded<B::Cell<SnapshotView<V>>>]>,
     /// `p[i][j]`: written by updates of `P_i`, read by scans of `P_j`.
-    p: Box<[Box<[B::Bit]>]>,
+    /// Rows padded — row `i` has a single writer.
+    p: Box<[CachePadded<Box<[B::Bit]>>]>,
     /// `q[i][j]`: written by scans of `P_i`, read by updates of `P_j`.
-    q: Box<[Box<[B::Bit]>]>,
+    q: Box<[CachePadded<Box<[B::Bit]>>]>,
     /// Per-process saved toggle arrays `t_k`, persisted across handle
     /// claims: every write by the same process to the same word must flip
     /// the toggle, even across a drop/re-claim of the handle.
-    saved_toggles: Box<[parking_lot::Mutex<Vec<bool>>]>,
+    saved_toggles: Box<[CachePadded<parking_lot::Mutex<Vec<bool>>>]>,
     registry: HandleRegistry,
     variant: MwVariant,
     n: usize,
     m: usize,
     trace: Trace,
+    incremental: bool,
 }
 
 impl<V: RegisterValue> MultiWriterSnapshot<V, EpochBackend, EpochBackend> {
@@ -149,29 +155,44 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterSnapshot<V, B, BM> {
         MultiWriterSnapshot {
             vals: (0..m)
                 .map(|_| {
-                    mwmr.cell(MwRecord {
+                    CachePadded::new(mwmr.cell(MwRecord {
                         value: init.clone(),
                         id: NO_WRITER,
                         toggle: false,
-                    })
+                    }))
                 })
                 .collect(),
-            views: (0..n).map(|_| swmr.cell(initial_view.clone())).collect(),
+            views: (0..n)
+                .map(|_| CachePadded::new(swmr.cell(initial_view.clone())))
+                .collect(),
             p: (0..n)
-                .map(|_| (0..n).map(|_| swmr.bit(false)).collect())
+                .map(|_| CachePadded::new((0..n).map(|_| swmr.bit(false)).collect()))
                 .collect(),
             q: (0..n)
-                .map(|_| (0..n).map(|_| swmr.bit(false)).collect())
+                .map(|_| CachePadded::new((0..n).map(|_| swmr.bit(false)).collect()))
                 .collect(),
             saved_toggles: (0..n)
-                .map(|_| parking_lot::Mutex::new(vec![false; m]))
+                .map(|_| CachePadded::new(parking_lot::Mutex::new(vec![false; m])))
                 .collect(),
             registry: HandleRegistry::new(n),
             variant,
             n,
             m,
             trace: Trace::disabled(),
+            incremental: true,
         }
+    }
+
+    /// Enables or disables the incremental collect path (default: on).
+    ///
+    /// Same Figure 4 algorithm, same three-strike blame accounting; the
+    /// incremental path caches value records across collects (see
+    /// [`TrackedCollect`]), trusting `(id, toggle)` keys only within a
+    /// double collect (Lemma 5.1's window) and version probes everywhere.
+    #[must_use]
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
     }
 
     /// Routes this object's typed events (scan/update spans, double-collect
@@ -210,6 +231,7 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MwSnapshot<V> for MultiWriterSna
             shared: self,
             pid,
             toggles,
+            cache: TrackedCollect::new(),
         }
     }
 }
@@ -230,11 +252,22 @@ pub struct MultiWriterHandle<'a, V: RegisterValue, B: Backend, BM: Backend> {
     shared: &'a MultiWriterSnapshot<V, B, BM>,
     pid: ProcessId,
     toggles: Vec<bool>,
+    /// Scanner-local value-record cache for the incremental collect path.
+    cache: TrackedCollect<MwRecord<V>>,
 }
 
 impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterHandle<'_, V, B, BM> {
     /// `procedure scan_i` of Figure 4.
-    fn scan_inner(&self) -> (SnapshotView<V>, ScanStats) {
+    fn scan_inner(&mut self) -> (SnapshotView<V>, ScanStats) {
+        if self.shared.incremental {
+            self.scan_inner_incremental()
+        } else {
+            self.scan_inner_full()
+        }
+    }
+
+    /// The literal Figure 4 loop: two fresh full collects per round.
+    fn scan_inner_full(&self) -> (SnapshotView<V>, ScanStats) {
         let shared = self.shared;
         let (n, m) = (shared.n, shared.m);
         let i = self.pid.get();
@@ -309,6 +342,101 @@ impl<V: RegisterValue, B: Backend, BM: Backend> MultiWriterHandle<'_, V, B, BM> 
                         stats.reads += 1;
                         trace.emit(i, Event::BorrowDecision { lender: j, moved: 3 });
                         return (shared.views[j].read(self.pid), stats);
+                    }
+                    moved[j] += 1; // line 9
+                }
+            }
+            // Line 10: the retry edge — see `MwVariant`.
+            if shared.variant == MwVariant::RescanHandshake {
+                handshake(&mut q_local, &mut stats);
+            }
+        }
+    }
+
+    /// Figure 4 over the handle's value-record cache.
+    ///
+    /// Handshake bits and the `h` collect are always read fresh — the
+    /// bits *are* the movement signal and are never cached. Value-record
+    /// keys `(id, toggle)` are trusted only on the second collect of a
+    /// round (Lemma 5.1's window); in any wider window two completed
+    /// updates can restore a word's key, so only a version probe may
+    /// substitute for the read. The blame test `b[k].id == j ∧ (a[k] ≠
+    /// b[k] keys)` becomes `changed_b[k] ∧ records[k].id == j`: after the
+    /// second collect the cache holds exactly the `b` records (`id` is
+    /// part of the key, so even a key-reused slot has `b`'s id).
+    fn scan_inner_incremental(&mut self) -> (SnapshotView<V>, ScanStats) {
+        let shared = self.shared;
+        let (n, m) = (shared.n, shared.m);
+        let i = self.pid.get();
+        let pid = self.pid;
+        let trace = &shared.trace;
+        let same = |a: &MwRecord<V>, b: &MwRecord<V>| a.id == b.id && a.toggle == b.toggle;
+        let mut moved = vec![0u8; n];
+        let mut stats = ScanStats::default();
+        let mut q_local = vec![false; n];
+
+        let handshake = |q_local: &mut [bool], stats: &mut ScanStats| {
+            // Line 0.5: q_{i,j} := p_{j,i}.
+            for j in 0..n {
+                q_local[j] = shared.p[j][i].read(pid);
+                shared.q[i][j].write(pid, q_local[j]);
+                stats.reads += 1;
+                stats.writes += 1;
+                trace.emit(i, Event::HandshakeCopy { partner: j, bit: q_local[j] });
+            }
+        };
+
+        handshake(&mut q_local, &mut stats);
+        loop {
+            trace.emit(
+                i,
+                Event::RoundStart { algo: Algo::MultiWriter, round: stats.double_collects + 1 },
+            );
+            // Line 1 — collect a: keys untrusted outside the double collect.
+            let _ = self.cache.advance(pid, &shared.vals, false, same);
+            // Line 2 — collect b: key comparison is the paper's own test.
+            let pass_b = self.cache.advance(pid, &shared.vals, true, same);
+            // Line 2.5: h := collect(p_{j,i}).
+            let h: Vec<bool> = (0..n).map(|j| shared.p[j][i].read(pid)).collect();
+            stats.double_collects += 1;
+            stats.reads += 2 * m as u64 + n as u64;
+            debug_assert!(
+                stats.double_collects as usize <= 2 * n + 1,
+                "wait-freedom bound violated: {} double collects for n = {n}",
+                stats.double_collects
+            );
+            let handshakes_clean = (0..n).all(|j| q_local[j] == h[j]);
+            if handshakes_clean && pass_b.clean() {
+                trace.emit(
+                    i,
+                    Event::RoundEnd {
+                        algo: Algo::MultiWriter,
+                        round: stats.double_collects,
+                        outcome: RoundOutcome::Clean,
+                    },
+                );
+                let values: Vec<V> =
+                    self.cache.records().iter().map(|r| r.value.clone()).collect();
+                return (SnapshotView::from(values), stats); // line 4
+            }
+            trace.emit(
+                i,
+                Event::RoundEnd {
+                    algo: Algo::MultiWriter,
+                    round: stats.double_collects,
+                    outcome: RoundOutcome::Moved,
+                },
+            );
+            for j in 0..n {
+                let hs_moved = q_local[j] != h[j];
+                let val_moved =
+                    (0..m).any(|k| pass_b.changed[k] && self.cache.records()[k].id == j);
+                if hs_moved || val_moved {
+                    if moved[j] == 2 {
+                        stats.borrowed = true;
+                        stats.reads += 1;
+                        trace.emit(i, Event::BorrowDecision { lender: j, moved: 3 });
+                        return (shared.views[j].read(pid), stats);
                     }
                     moved[j] += 1; // line 9
                 }
@@ -468,6 +596,97 @@ mod tests {
         let snap: MultiWriterSnapshot<u8, _, _> =
             MultiWriterSnapshot::with_options(1, 1, 0, &backend, &backend, MwVariant::LiteralGoto1);
         assert_eq!(snap.variant(), MwVariant::LiteralGoto1);
+    }
+
+    #[test]
+    fn incremental_and_full_paths_agree_operation_for_operation() {
+        let backend = EpochBackend::new();
+        let inc = MultiWriterSnapshot::with_backend(2, 3, 0u32, &backend).with_incremental(true);
+        let full = MultiWriterSnapshot::with_backend(2, 3, 0u32, &backend).with_incremental(false);
+        let mut hi = inc.handle(ProcessId::new(0));
+        let mut hf = full.handle(ProcessId::new(0));
+        for k in 1..=20u32 {
+            let word = (k as usize) % 3;
+            assert_eq!(hi.update_with_stats(word, k), hf.update_with_stats(word, k));
+            let (vi, si) = hi.scan_with_stats();
+            let (vf, sf) = hf.scan_with_stats();
+            assert_eq!(vi.to_vec(), vf.to_vec());
+            assert_eq!(si, sf);
+        }
+    }
+
+    #[test]
+    fn borrowed_view_is_the_lender_published_allocation() {
+        // The multi-writer S3 check: the view a three-strike borrow
+        // returns is the very allocation the lender published to its
+        // `view_i` register — an Arc alias, not a structural copy. The
+        // updater body inlines Figure 4's update so it can log the exact
+        // Arc before the gated publication write.
+        use parking_lot::Mutex;
+        use snapshot_sim::{RoundRobinPolicy, Sim, SimConfig};
+
+        let (n, m) = (2usize, 2usize);
+        let sim = Sim::new(n);
+        let backend = snapshot_registers::Instrumented::new(EpochBackend::new())
+            .with_gate(sim.gate());
+        let object = MultiWriterSnapshot::with_backend(n, m, 0u64, &backend);
+        let published: Mutex<Vec<SnapshotView<u64>>> = Mutex::new(Vec::new());
+        let borrowed: Mutex<Option<SnapshotView<u64>>> = Mutex::new(None);
+
+        let mut bodies: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        {
+            let object = &object;
+            let published = &published;
+            bodies.push(Box::new(move || {
+                let p0 = ProcessId::new(0);
+                let mut h = object.handle(p0);
+                let mut toggle = false;
+                for k in 1..=1000u64 {
+                    // Line 0: p_{0,j} := ¬q_{j,0}.
+                    for j in 0..n {
+                        let qj0 = object.q[j][0].read(p0);
+                        object.p[0][j].write(p0, !qj0);
+                    }
+                    let (view, _) = h.scan_with_stats(); // line 1: embedded scan
+                    published.lock().push(view.clone()); // log the Arc itself
+                    object.views[0].write(p0, view);
+                    toggle = !toggle;
+                    object.vals[0].write(p0, MwRecord { value: k, id: 0, toggle }); // line 2
+                }
+            }));
+        }
+        {
+            let object = &object;
+            let borrowed = &borrowed;
+            bodies.push(Box::new(move || {
+                let mut h = object.handle(ProcessId::new(1));
+                for _ in 0..50 {
+                    let (view, stats) = h.scan_with_stats();
+                    if stats.borrowed {
+                        *borrowed.lock() = Some(view);
+                        break;
+                    }
+                }
+            }));
+        }
+        sim.run(
+            &mut RoundRobinPolicy::new(),
+            SimConfig {
+                max_steps: Some(2_000_000),
+                stop_when_done: vec![ProcessId::new(1)],
+                record_trace: false,
+            },
+            bodies,
+        )
+        .expect("simulation failed");
+
+        let view = borrowed.into_inner().expect("round-robin starves the scanner into borrowing");
+        let log = published.into_inner();
+        assert!(
+            log.iter().any(|v| std::ptr::eq(v.as_slice().as_ptr(), view.as_slice().as_ptr())),
+            "borrowed view must alias one of the {} published allocations",
+            log.len()
+        );
     }
 
     #[test]

@@ -33,6 +33,18 @@ impl BitCell {
 }
 
 impl Register<bool> for BitCell {
+    // Memory-ordering audit: both accesses are SeqCst and must stay so.
+    // The handshake arguments (PROOFS.md Lemma 4.1, proving Figure 3's
+    // Observation 2 analogue) order a scanner's write of q_{i,j} against
+    // the updater's read of p_{j,i} *and* against both parties' later
+    // accesses to the data register r_j — three different memory
+    // locations placed in one real-time total order. Acquire/Release only
+    // constrains same-location access pairs and admits IRIW outcomes in
+    // which two observers disagree about the order of two independent
+    // writes; under such an outcome an updater could see the scanner's
+    // handshake flip yet miss the collect it signals, voiding the lemma.
+    // SeqCst membership in the single total order S is exactly the
+    // "atomic register" premise the proofs import.
     fn read(&self, _reader: ProcessId) -> bool {
         self.bit.load(Ordering::SeqCst)
     }

@@ -22,10 +22,237 @@ pub fn collect<T, R: Register<T>>(reader: ProcessId, regs: &[R]) -> Vec<T> {
     regs.iter().map(|r| r.read(reader)).collect()
 }
 
+/// How [`TrackedCollect`] resolved one register slot during a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// The register's [`Register::version_hint`] matched the one recorded
+    /// with the cached record, so no write completed since the record was
+    /// read — the cache is current and the register was not touched.
+    ReusedByVersion,
+    /// The register was read in place ([`Register::read_with`]) and the
+    /// caller's key comparison said the stored record is the *same write*
+    /// as the cached one, so the clone was skipped.
+    ReusedByKey,
+    /// The register was read and its record cloned into the cache.
+    Cloned {
+        /// Whether the caller's key comparison saw a *different* write
+        /// than the cached record (always `true` on the priming pass).
+        changed: bool,
+    },
+}
+
+/// Summary of one full [`TrackedCollect::advance`] pass over the array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassSummary {
+    /// Per-slot: did this pass observe a different write than the cache
+    /// held before the pass? (Index = register index.)
+    pub changed: Vec<bool>,
+    /// How many slots were actually cloned (the `k` in the "n probes +
+    /// k clones" steady-state cost).
+    pub cloned: usize,
+}
+
+impl PassSummary {
+    /// `true` when no slot changed — the collect equals the previous one.
+    pub fn clean(&self) -> bool {
+        self.changed.iter().all(|c| !c)
+    }
+}
+
+/// An incremental collect: a cached copy of the register array that
+/// re-reads (and re-clones) only the registers that moved.
+///
+/// The classical double collect clones all `n` composite records twice
+/// per round even when nothing changed. `TrackedCollect` keeps the last
+/// record seen per register together with the [`Register::version_hint`]
+/// observed *just before* that record was read. A later pass first probes
+/// the version: if it is unchanged, **no write completed in between**
+/// (see the `version_hint` contract), so the cached record is still the
+/// register's current content and the slot costs one atomic load — no
+/// read, no clone. In the steady state a pass is `n` version probes plus
+/// `k` clones, where `k` is the number of registers that actually moved.
+///
+/// When the version differs (or the register keeps no versions), the slot
+/// is read in place via [`Register::read_with`] and the caller's `same`
+/// closure compares algorithm-level keys — `seq` for the unbounded
+/// construction, `(p[i], toggle)` for the bounded one, `(id, toggle)` for
+/// the multi-writer one. The comparison decides the `changed` bit that
+/// drives the algorithms' move-counting, exactly as comparing two full
+/// collects did.
+///
+/// # Key reuse vs. version reuse — soundness (`trust_keys`)
+///
+/// The two reuse paths have *different* soundness windows, and the
+/// `trust_keys` flag exists to keep them apart:
+///
+/// * A **version** match proves no write completed between the two
+///   observations, full stop. It is sound in *any* window — across
+///   rounds, across scans, across handshakes.
+/// * A **key** match only proves the keys are equal. For the bounded
+///   algorithms a key can recur: two completed updates can restore
+///   `(p[i], toggle)` (an ABA), so outside a double collect a key match
+///   may equate two different writes, and reusing the cached record there
+///   could hand the scanner a stale value for one register combined with
+///   fresher values for others — a cut the original algorithm can never
+///   output. *Within* one scan's pass-`b`, however, the key comparison is
+///   exactly the paper's own `moved` predicate (Lemma 4.1 / 5.1 exclude
+///   the ABA there), so skipping the clone is safe. Callers therefore
+///   pass `trust_keys = true` only on the second collect of a double
+///   collect — except the unbounded construction, whose per-writer `seq`
+///   is monotone (key-equal implies same write in every window), so it
+///   may trust keys everywhere.
+///
+/// With `trust_keys = false` a key match still yields `changed = false`
+/// (the move-counting semantics) but the record is re-cloned, so the
+/// cache always holds what was actually read in that pass.
+///
+/// # Example
+///
+/// ```
+/// use snapshot_registers::{Backend, EpochBackend, ProcessId, Register, TrackedCollect};
+///
+/// let backend = EpochBackend::default();
+/// let regs: Vec<_> = (0..4u64).map(|i| backend.cell(i)).collect();
+/// let p = ProcessId::new(0);
+/// let mut tc = TrackedCollect::new();
+/// let same = |a: &u64, b: &u64| a == b;
+///
+/// tc.advance(p, &regs, false, same); // priming pass: clones everything
+/// let pass = tc.advance(p, &regs, false, same);
+/// assert!(pass.clean());
+/// assert_eq!(pass.cloned, 0); // steady state: version probes only
+///
+/// regs[2].write(ProcessId::new(2), 99);
+/// let pass = tc.advance(p, &regs, false, same);
+/// assert_eq!(pass.changed, vec![false, false, true, false]);
+/// assert_eq!(tc.records()[2], 99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrackedCollect<T> {
+    records: Vec<T>,
+    versions: Vec<Option<u64>>,
+}
+
+impl<T: Clone> Default for TrackedCollect<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> TrackedCollect<T> {
+    /// Creates an empty, unprimed cache.
+    pub fn new() -> Self {
+        TrackedCollect {
+            records: Vec::new(),
+            versions: Vec::new(),
+        }
+    }
+
+    /// `true` once a priming pass has filled the cache.
+    pub fn is_primed(&self) -> bool {
+        !self.records.is_empty()
+    }
+
+    /// The cached records, one per register, in index order.
+    pub fn records(&self) -> &[T] {
+        &self.records
+    }
+
+    /// Drops the cache; the next pass will prime from scratch.
+    pub fn invalidate(&mut self) {
+        self.records.clear();
+        self.versions.clear();
+    }
+
+    /// Advances the cache for register `j` alone.
+    ///
+    /// This exists so the bounded scan's handshake loop can interleave the
+    /// cache refresh of `r_j` with its write of `q_{i,j}` *per register*,
+    /// preserving the exact operation sequence (`read r_0`, `write q_0`,
+    /// `read r_1`, …) that the deterministic-scheduler tests count on.
+    /// On an unprimed cache, slots must be advanced in index order.
+    ///
+    /// `same(cached, current)` compares algorithm-level keys; see the
+    /// type-level docs for what `trust_keys` licenses.
+    pub fn advance_one<R: Register<T>>(
+        &mut self,
+        reader: ProcessId,
+        regs: &[R],
+        j: usize,
+        trust_keys: bool,
+        same: impl Fn(&T, &T) -> bool,
+    ) -> SlotOutcome {
+        // Observe the version BEFORE reading the record: an unchanged
+        // probe later then certifies the record (contract: no write
+        // completed between the two probes, and the read sits between).
+        let hint = regs[j].version_hint();
+        if j >= self.records.len() {
+            // Priming: first visit of this slot.
+            debug_assert_eq!(j, self.records.len(), "prime slots in index order");
+            let rec = regs[j].read_with(reader, |cur| cur.clone());
+            self.records.push(rec);
+            self.versions.push(hint);
+            return SlotOutcome::Cloned { changed: true };
+        }
+        if let (Some(h), Some(v)) = (hint, self.versions[j]) {
+            if h == v {
+                return SlotOutcome::ReusedByVersion;
+            }
+        }
+        let prev = &self.records[j];
+        let fresh = regs[j].read_with(reader, |cur| {
+            let is_same = same(prev, cur);
+            if trust_keys && is_same {
+                None
+            } else {
+                Some((cur.clone(), !is_same))
+            }
+        });
+        match fresh {
+            None => {
+                self.versions[j] = hint;
+                SlotOutcome::ReusedByKey
+            }
+            Some((rec, changed)) => {
+                self.records[j] = rec;
+                self.versions[j] = hint;
+                SlotOutcome::Cloned { changed }
+            }
+        }
+    }
+
+    /// Advances the cache across the whole array — one incremental
+    /// collect pass — and reports which slots moved.
+    ///
+    /// On an unprimed cache this is the priming pass: every slot is
+    /// cloned and reported `changed` (callers discard the mask of a
+    /// priming pass; the algorithms always run at least two passes).
+    pub fn advance<R: Register<T>>(
+        &mut self,
+        reader: ProcessId,
+        regs: &[R],
+        trust_keys: bool,
+        same: impl Fn(&T, &T) -> bool,
+    ) -> PassSummary {
+        let mut changed = Vec::with_capacity(regs.len());
+        let mut cloned = 0;
+        for j in 0..regs.len() {
+            let outcome = self.advance_one(reader, regs, j, trust_keys, &same);
+            changed.push(matches!(outcome, SlotOutcome::Cloned { changed: true }));
+            if matches!(outcome, SlotOutcome::Cloned { .. }) {
+                cloned += 1;
+            }
+        }
+        PassSummary { changed, cloned }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Backend, EpochBackend};
+    use crate::{Backend, EpochBackend, MutexBackend};
+
+    const P0: ProcessId = ProcessId::new(0);
 
     #[test]
     fn collect_reads_in_index_order() {
@@ -38,5 +265,108 @@ mod tests {
     fn collect_of_empty_array_is_empty() {
         let regs: Vec<crate::EpochCell<u8>> = Vec::new();
         assert!(collect(ProcessId::new(0), &regs).is_empty());
+    }
+
+    #[test]
+    fn steady_state_costs_zero_clones_with_versions() {
+        let backend = EpochBackend::new();
+        let regs: Vec<_> = (0..6u64).map(|i| backend.cell(i)).collect();
+        let same = |a: &u64, b: &u64| a == b;
+        let mut tc = TrackedCollect::new();
+        let prime = tc.advance(P0, &regs, false, same);
+        assert_eq!(prime.cloned, 6);
+        assert!(tc.is_primed());
+        for _ in 0..3 {
+            let pass = tc.advance(P0, &regs, false, same);
+            assert!(pass.clean());
+            assert_eq!(pass.cloned, 0, "quiescent pass must be probe-only");
+        }
+        assert_eq!(tc.records(), collect(P0, &regs).as_slice());
+    }
+
+    #[test]
+    fn a_single_write_costs_a_single_clone() {
+        let backend = EpochBackend::new();
+        let regs: Vec<_> = (0..4u64).map(|i| backend.cell(i)).collect();
+        let same = |a: &u64, b: &u64| a == b;
+        let mut tc = TrackedCollect::new();
+        tc.advance(P0, &regs, false, same);
+        regs[1].write(ProcessId::new(1), 77);
+        let pass = tc.advance(P0, &regs, false, same);
+        assert_eq!(pass.changed, vec![false, true, false, false]);
+        assert_eq!(pass.cloned, 1);
+        assert_eq!(tc.records(), collect(P0, &regs).as_slice());
+    }
+
+    #[test]
+    fn version_reuse_detects_same_payload_rewrites() {
+        // Rewriting the same payload is still a write; the algorithms'
+        // toggle bits exist to distinguish it. The key comparison alone
+        // would call it unchanged — correct for move-counting — but the
+        // version probe must NOT claim the register was untouched.
+        let backend = EpochBackend::new();
+        let regs: Vec<_> = (0..2u64).map(|i| backend.cell(i)).collect();
+        let same = |a: &u64, b: &u64| a == b;
+        let mut tc = TrackedCollect::new();
+        tc.advance(P0, &regs, false, same);
+        regs[0].write(P0, 0); // same payload, new write
+        let pass = tc.advance(P0, &regs, false, same);
+        assert!(pass.clean(), "key comparison says unmoved");
+        assert_eq!(pass.cloned, 1, "but the slot had to be re-read");
+    }
+
+    #[test]
+    fn without_versions_untrusted_keys_clone_everything() {
+        let backend = MutexBackend::new();
+        let regs: Vec<_> = (0..3u64).map(|i| backend.cell(i)).collect();
+        let same = |a: &u64, b: &u64| a == b;
+        let mut tc = TrackedCollect::new();
+        tc.advance(P0, &regs, false, same);
+        let pass = tc.advance(P0, &regs, false, same);
+        assert!(pass.clean());
+        assert_eq!(pass.cloned, 3, "no versions + no key trust = full clone");
+    }
+
+    #[test]
+    fn without_versions_trusted_keys_skip_clones() {
+        let backend = MutexBackend::new();
+        let regs: Vec<_> = (0..3u64).map(|i| backend.cell(i)).collect();
+        let same = |a: &u64, b: &u64| a == b;
+        let mut tc = TrackedCollect::new();
+        tc.advance(P0, &regs, true, same);
+        let pass = tc.advance(P0, &regs, true, same);
+        assert!(pass.clean());
+        assert_eq!(pass.cloned, 0, "key-equal slots reuse the cache");
+        regs[2].write(ProcessId::new(2), 9);
+        let pass = tc.advance(P0, &regs, true, same);
+        assert_eq!(pass.changed, vec![false, false, true]);
+        assert_eq!(tc.records(), collect(P0, &regs).as_slice());
+    }
+
+    #[test]
+    fn advance_one_primes_in_index_order() {
+        let backend = EpochBackend::new();
+        let regs: Vec<_> = (0..3u64).map(|i| backend.cell(i)).collect();
+        let same = |a: &u64, b: &u64| a == b;
+        let mut tc = TrackedCollect::new();
+        for j in 0..regs.len() {
+            let out = tc.advance_one(P0, &regs, j, false, same);
+            assert_eq!(out, SlotOutcome::Cloned { changed: true });
+        }
+        assert_eq!(tc.records(), &[0, 1, 2]);
+        assert_eq!(tc.advance_one(P0, &regs, 1, false, same), SlotOutcome::ReusedByVersion);
+    }
+
+    #[test]
+    fn invalidate_forces_a_fresh_prime() {
+        let backend = EpochBackend::new();
+        let regs: Vec<_> = (0..2u64).map(|i| backend.cell(i)).collect();
+        let same = |a: &u64, b: &u64| a == b;
+        let mut tc = TrackedCollect::new();
+        tc.advance(P0, &regs, false, same);
+        tc.invalidate();
+        assert!(!tc.is_primed());
+        let pass = tc.advance(P0, &regs, false, same);
+        assert_eq!(pass.cloned, 2);
     }
 }

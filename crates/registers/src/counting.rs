@@ -2,7 +2,7 @@ use std::fmt;
 use std::ops::{Add, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::ProcessId;
+use crate::{CachePadded, ProcessId};
 
 /// The kind of a primitive register operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -45,16 +45,20 @@ impl fmt::Display for OpKind {
 /// assert_eq!((snap.reads, snap.writes), (1, 1));
 /// ```
 pub struct OpCounters {
-    reads: Box<[AtomicU64]>,
-    writes: Box<[AtomicU64]>,
+    // Each process increments its own slot on every register operation of
+    // every instrumented cell — the hottest write traffic in a counted
+    // run. Padding keeps neighbouring processes' counters off each
+    // other's cache lines (see `CachePadded`).
+    reads: Box<[CachePadded<AtomicU64>]>,
+    writes: Box<[CachePadded<AtomicU64>]>,
 }
 
 impl OpCounters {
     /// Creates zeroed counters for `n` processes.
     pub fn new(n: usize) -> Self {
         OpCounters {
-            reads: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            writes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            reads: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            writes: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
         }
     }
 
@@ -75,6 +79,9 @@ impl OpCounters {
     /// Panics if `pid` is out of range for the tracked process count.
     pub fn record(&self, pid: ProcessId, op: OpKind) {
         let i = pid.get();
+        // Relaxed throughout this type: the counters are diagnostics, not
+        // part of the register semantics the proofs rely on — only the
+        // eventual totals matter, and fetch_add is atomic per slot.
         match op {
             OpKind::Read => self.reads[i].fetch_add(1, Ordering::Relaxed),
             OpKind::Write => self.writes[i].fetch_add(1, Ordering::Relaxed),
@@ -205,6 +212,17 @@ mod tests {
         c.record(ProcessId::new(1), OpKind::Read);
         c.reset();
         assert_eq!(c.total(), OpSnapshot::default());
+    }
+
+    #[test]
+    fn counter_slots_are_cache_padded() {
+        // The padding claim, asserted here as well as at compile time in
+        // `pad.rs`: per-process counter slots occupy distinct lines.
+        assert!(std::mem::size_of::<CachePadded<AtomicU64>>() >= 128);
+        let c = OpCounters::new(2);
+        let a = &c.reads[0] as *const _ as usize;
+        let b = &c.reads[1] as *const _ as usize;
+        assert!(b.abs_diff(a) >= 128);
     }
 
     #[test]

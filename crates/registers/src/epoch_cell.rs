@@ -1,5 +1,5 @@
 use std::fmt;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Owned};
 
@@ -17,7 +17,30 @@ use crate::{ProcessId, Register, TryRegister};
 ///
 /// Reads clone the stored value (`T: Clone`); the snapshot algorithms keep
 /// their bulky fields (the `view` vectors) behind `Arc`, so cloning is
-/// cheap.
+/// cheap — and the [`Register::read_with`] override here avoids even that
+/// clone by borrowing the record under the epoch pin.
+///
+/// The cell also keeps a *write-version* counter for
+/// [`Register::version_hint`]: it is bumped **after** each pointer swap,
+/// inside `write`, so an unchanged version between two observations
+/// proves no write completed in between (a swap the observer missed can
+/// only belong to a `write` call that had not yet returned — a concurrent
+/// write, which a linearizable reader may order after itself).
+///
+/// # Memory-ordering audit
+///
+/// All cross-thread accesses here are `SeqCst`, deliberately. The paper's
+/// proofs (Observation 1, and the Figure 3 handshake argument recorded as
+/// Lemma 4.1 in PROOFS.md) reason about a single real-time total order of
+/// operations on *different* registers — e.g. a scanner's write to the
+/// handshake bit `q_{i,j}` must be ordered against an updater's read of
+/// it and against both parties' subsequent accesses to `r_j`. Pairwise
+/// `Acquire`/`Release` only orders accesses to the *same* location and
+/// admits IRIW-style anomalies across locations, which would let two
+/// scanners disagree on the order of two independent writes — breaking
+/// the linearizable-register abstraction out from under every proof. The
+/// only `Relaxed` access is in [`Drop`], where `&mut self` guarantees
+/// exclusivity and no concurrent observer exists.
 ///
 /// # Example
 ///
@@ -30,6 +53,8 @@ use crate::{ProcessId, Register, TryRegister};
 /// ```
 pub struct EpochCell<T> {
     slot: Atomic<T>,
+    /// Write-version for `version_hint`; bumped after every swap.
+    version: AtomicU64,
 }
 
 impl<T: Clone + Send + Sync> EpochCell<T> {
@@ -37,6 +62,7 @@ impl<T: Clone + Send + Sync> EpochCell<T> {
     pub fn new(init: T) -> Self {
         EpochCell {
             slot: Atomic::new(init),
+            version: AtomicU64::new(0),
         }
     }
 }
@@ -44,6 +70,9 @@ impl<T: Clone + Send + Sync> EpochCell<T> {
 impl<T: Clone + Send + Sync> Register<T> for EpochCell<T> {
     fn read(&self, _reader: ProcessId) -> T {
         let guard = epoch::pin();
+        // SeqCst: the read must take its place in the global operation
+        // order the snapshot proofs quantify over (see the type-level
+        // ordering audit above).
         let shared = self.slot.load(Ordering::SeqCst, &guard);
         // SAFETY: the slot is never null (initialized in `new`, and every
         // write installs a valid allocation); the epoch guard keeps the
@@ -53,11 +82,30 @@ impl<T: Clone + Send + Sync> Register<T> for EpochCell<T> {
 
     fn write(&self, _writer: ProcessId, value: T) {
         let guard = epoch::pin();
+        // SeqCst: same global-order requirement as `read`.
         let old = self.slot.swap(Owned::new(value), Ordering::SeqCst, &guard);
+        // The version bump follows the swap (both SeqCst, same thread):
+        // once this `write` returns, the bump is visible, so an observer
+        // seeing an unchanged version can only have missed swaps of writes
+        // that had not yet returned — concurrent writes, which the
+        // `version_hint` contract explicitly permits missing.
+        self.version.fetch_add(1, Ordering::SeqCst);
         // SAFETY: `old` was produced by `Owned::new` / `Atomic::new` and is
         // now unreachable from the slot; readers that loaded it are pinned,
         // so destruction is deferred past their epochs.
         unsafe { guard.defer_destroy(old) };
+    }
+
+    fn read_with<U>(&self, _reader: ProcessId, f: impl FnOnce(&T) -> U) -> U {
+        let guard = epoch::pin();
+        let shared = self.slot.load(Ordering::SeqCst, &guard);
+        // SAFETY: as in `read`; `f` borrows the record only while the
+        // epoch guard is live, so no clone is needed.
+        f(unsafe { shared.deref() })
+    }
+
+    fn version_hint(&self) -> Option<u64> {
+        Some(self.version.load(Ordering::SeqCst))
     }
 }
 
@@ -77,7 +125,8 @@ impl<T: Clone + Send + Sync> TryRegister<T> for EpochCell<T> {
 impl<T> Drop for EpochCell<T> {
     fn drop(&mut self) {
         // SAFETY: we have exclusive access; the pointer is non-null and no
-        // concurrent reader can exist.
+        // concurrent reader can exist. Relaxed suffices for the same
+        // reason: `&mut self` already synchronized with every past access.
         unsafe {
             let guard = epoch::unprotected();
             let shared = self.slot.load(Ordering::Relaxed, guard);
@@ -111,6 +160,42 @@ mod tests {
         let cell = EpochCell::new(String::from("a"));
         cell.write(P0, String::from("b"));
         assert_eq!(cell.read(P1), "b");
+    }
+
+    #[test]
+    fn read_with_borrows_the_stored_record() {
+        let cell = EpochCell::new(vec![1, 2, 3]);
+        assert_eq!(cell.read_with(P0, Vec::len), 3);
+        cell.write(P0, vec![9]);
+        assert_eq!(cell.read_with(P1, |v| v[0]), 9);
+    }
+
+    #[test]
+    fn version_hint_moves_on_every_completed_write() {
+        let cell = EpochCell::new(0u8);
+        let v0 = cell.version_hint().unwrap();
+        cell.write(P0, 1);
+        let v1 = cell.version_hint().unwrap();
+        assert_ne!(v0, v1, "a write must change the version");
+        // Writing the same value still counts: the algorithms' toggle
+        // bits exist precisely because identical payloads must remain
+        // distinguishable writes.
+        cell.write(P0, 1);
+        assert_ne!(cell.version_hint().unwrap(), v1);
+    }
+
+    #[test]
+    fn version_probe_pairs_with_reads() {
+        // The reuse discipline of TrackedCollect: observe the version,
+        // read the record, and an unchanged version later certifies the
+        // record is still current.
+        let cell = EpochCell::new(10u32);
+        let v = cell.version_hint().unwrap();
+        let rec = cell.read(P0);
+        assert_eq!(cell.version_hint().unwrap(), v);
+        assert_eq!(rec, cell.read(P0));
+        cell.write(P1, 11);
+        assert_ne!(cell.version_hint().unwrap(), v);
     }
 
     #[test]

@@ -201,6 +201,22 @@ impl<T, R: Register<T>> Register<T> for InstrumentedCell<R> {
         self.probe.observe(writer, OpKind::Write);
         self.inner.write(writer, value)
     }
+
+    fn read_with<U>(&self, reader: ProcessId, f: impl FnOnce(&T) -> U) -> U {
+        // Exactly one observed step per logical read, same as `read`, so
+        // the clone-free path is indistinguishable to gates and counters.
+        self.probe.observe(reader, OpKind::Read);
+        self.inner.read_with(reader, f)
+    }
+
+    fn version_hint(&self) -> Option<u64> {
+        // Deliberately no hint, even when the inner cell keeps versions: a
+        // version probe would let callers skip reads *without parking at
+        // the gate*, hiding steps from the deterministic scheduler and
+        // changing the operation counts the simulator tests assert on.
+        // Under instrumentation, every logical read must be a gated step.
+        None
+    }
 }
 
 impl<R: fmt::Debug> fmt::Debug for InstrumentedCell<R> {
@@ -256,6 +272,19 @@ mod tests {
         cell.read(p);
         cell.read(p);
         assert_eq!(gate.0.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn read_with_is_one_observed_step_and_versions_are_hidden() {
+        let counters = Arc::new(OpCounters::new(1));
+        let backend = Instrumented::new(EpochBackend::new()).with_counters(Arc::clone(&counters));
+        let cell = backend.cell(5u32);
+        let p = ProcessId::new(0);
+        assert_eq!(cell.read_with(p, |v| v + 1), 6);
+        assert_eq!(counters.snapshot(p).reads, 1);
+        // The inner EpochCell keeps versions, but instrumentation must not
+        // leak them: a probe-based shortcut would bypass the gate.
+        assert_eq!(cell.version_hint(), None);
     }
 
     #[test]

@@ -26,7 +26,12 @@
 //! * [`MwmrFromSwmr`] — an n-writer n-reader register built from n
 //!   single-writer registers (Vitányi–Awerbuch-style unbounded-tag
 //!   construction), used to trace the multi-writer snapshot's cost back to
-//!   single-writer operations as in Section 6 of the paper.
+//!   single-writer operations as in Section 6 of the paper;
+//! * [`CachePadded`] — 128-byte padding for per-process cell arrays, so
+//!   neighbouring processes' registers never false-share a cache line;
+//! * [`TrackedCollect`] — an incremental collect that re-reads only the
+//!   registers that moved, using [`Register::version_hint`] probes and the
+//!   algorithms' own seq/handshake keys (see `registers/collect.rs`).
 //!
 //! # Example
 //!
@@ -52,18 +57,20 @@ mod gate;
 mod instrument;
 mod mutex_cell;
 mod mwmr_from_swmr;
+mod pad;
 mod process;
 mod seqlock;
 
 pub use backend::{Backend, EpochBackend, MutexBackend, RegisterValue};
 pub use bit_cell::BitCell;
-pub use collect::collect;
+pub use collect::{collect, PassSummary, SlotOutcome, TrackedCollect};
 pub use counting::{OpCounters, OpKind, OpSnapshot};
 pub use epoch_cell::EpochCell;
 pub use gate::{NullGate, StepGate};
 pub use instrument::{Instrumented, InstrumentedCell, Probe};
 pub use mutex_cell::MutexCell;
 pub use mwmr_from_swmr::{CompoundBackend, MwmrFromSwmr, Tagged};
+pub use pad::CachePadded;
 pub use process::ProcessId;
 pub use seqlock::SeqLockCell;
 
@@ -82,6 +89,50 @@ pub trait Register<T>: Send + Sync {
 
     /// Replaces the register contents with `value` on behalf of `writer`.
     fn write(&self, writer: ProcessId, value: T);
+
+    /// Applies `f` to the current register contents *in place* and returns
+    /// its result — one atomic read, no clone of `T`.
+    ///
+    /// This is the clone-free read path the collects are built on: a
+    /// scanner comparing sequence numbers or handshake bits only needs to
+    /// *look at* a record, and cloning the whole `(value, seq, view)`
+    /// composite just to drop it is the dominant constant-factor cost of a
+    /// double collect. The default implementation clones via [`read`] and
+    /// borrows the copy, so every register is correct out of the box;
+    /// in-memory cells override it to borrow the shared record directly
+    /// (e.g. [`EpochCell`] pins an epoch and derefs the stored pointer).
+    ///
+    /// `f` may run while an implementation-internal resource is held (an
+    /// epoch pin, a lock): keep it short and never call back into the same
+    /// register from inside it.
+    ///
+    /// [`read`]: Register::read
+    /// [`EpochCell`]: crate::EpochCell
+    fn read_with<U>(&self, reader: ProcessId, f: impl FnOnce(&T) -> U) -> U
+    where
+        Self: Sized,
+    {
+        f(&self.read(reader))
+    }
+
+    /// A cheap *write-version* observation, if the implementation keeps
+    /// one ([`None`] otherwise, the default).
+    ///
+    /// Contract for implementers: the counter changes with every `write`,
+    /// and the change becomes visible no later than the write's return.
+    /// Hence if two calls return the same `Some(v)`, **no write completed
+    /// between them** — a write the pair missed is still in flight, i.e.
+    /// concurrent with both observations. A caller that observes the
+    /// version, then reads the record, may later treat an unchanged
+    /// version as proof that its record is still current: the only writes
+    /// it can be missing are concurrent ones, which may legally be
+    /// linearized after the read. [`TrackedCollect`] uses exactly this to
+    /// skip re-reading registers that have not moved.
+    ///
+    /// [`TrackedCollect`]: crate::TrackedCollect
+    fn version_hint(&self) -> Option<u64> {
+        None
+    }
 }
 /// A register whose operations can fail with a typed error.
 ///
@@ -117,6 +168,13 @@ impl<T, R: Register<T> + ?Sized> Register<T> for &R {
     fn write(&self, writer: ProcessId, value: T) {
         (**self).write(writer, value)
     }
+
+    // `read_with` keeps its cloning default here: the inner `R` is
+    // `?Sized`, so its own (possibly overridden) `read_with` cannot be
+    // named. Version hints are object-safe and forward fine.
+    fn version_hint(&self) -> Option<u64> {
+        (**self).version_hint()
+    }
 }
 
 impl<T, R: Register<T> + ?Sized> Register<T> for std::sync::Arc<R> {
@@ -126,5 +184,9 @@ impl<T, R: Register<T> + ?Sized> Register<T> for std::sync::Arc<R> {
 
     fn write(&self, writer: ProcessId, value: T) {
         (**self).write(writer, value)
+    }
+
+    fn version_hint(&self) -> Option<u64> {
+        (**self).version_hint()
     }
 }

@@ -43,6 +43,12 @@ impl<T: Clone + Send> Register<T> for MutexCell<T> {
     fn write(&self, _writer: ProcessId, value: T) {
         *self.slot.lock() = value;
     }
+
+    fn read_with<U>(&self, _reader: ProcessId, f: impl FnOnce(&T) -> U) -> U {
+        // Borrow under the lock instead of cloning out; `f` must stay
+        // short (see the trait docs) since it runs with the lock held.
+        f(&self.slot.lock())
+    }
 }
 
 impl<T: Clone + Send> TryRegister<T> for MutexCell<T> {

@@ -1,7 +1,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::{Backend, ProcessId, Register, RegisterValue};
+use crate::{Backend, CachePadded, ProcessId, Register, RegisterValue};
 
 /// A value stamped with a totally-ordered `(seq, pid)` tag.
 ///
@@ -58,7 +58,9 @@ impl<V> Tagged<V> {
 /// assert_eq!(reg.read(ProcessId::new(1)), 7);
 /// ```
 pub struct MwmrFromSwmr<V: RegisterValue, B: Backend> {
-    cells: Box<[B::Cell<Tagged<V>>]>,
+    // One single-writer cell per process, each written only by its owner:
+    // the canonical false-sharing layout, hence the padding.
+    cells: Box<[CachePadded<B::Cell<Tagged<V>>>]>,
 }
 
 impl<V: RegisterValue, B: Backend> MwmrFromSwmr<V, B> {
@@ -73,11 +75,11 @@ impl<V: RegisterValue, B: Backend> MwmrFromSwmr<V, B> {
         MwmrFromSwmr {
             cells: (0..n)
                 .map(|pid| {
-                    backend.cell(Tagged {
+                    CachePadded::new(backend.cell(Tagged {
                         seq: 0,
                         pid,
                         value: init.clone(),
-                    })
+                    }))
                 })
                 .collect(),
         }

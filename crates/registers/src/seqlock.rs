@@ -59,6 +59,14 @@ impl<T: Copy + Send> SeqLockCell<T> {
 }
 
 impl<T: Copy + Send> Register<T> for SeqLockCell<T> {
+    // Memory-ordering audit: unlike BitCell/EpochCell (which need SeqCst
+    // because the snapshot proofs order operations across *different*
+    // registers), the seqlock protocol is a single-location validation
+    // scheme — a read is trusted only if the version is even and
+    // unchanged around the payload copy. Acquire/Release plus the fences
+    // suffice for that local invariant. The cell is correspondingly NOT
+    // offered as the default backend for the proof-carrying algorithms;
+    // it is a benchmark baseline.
     fn read(&self, _reader: ProcessId) -> T {
         loop {
             let v1 = self.version.load(Ordering::Acquire);

@@ -1,0 +1,285 @@
+//! Equivalence of the incremental (clone-free) collect path with the
+//! original full-clone collect path.
+//!
+//! The incremental path caches the previous pass in a
+//! [`TrackedCollect`] and re-reads (clones) only the registers whose
+//! version hints moved, so it must be *observationally identical* to the
+//! full path: same register-operation sequence under the gated
+//! simulator, same recorded histories, same views, same linearizability
+//! verdicts. These tests pin that contract three ways:
+//!
+//! 1. a direct property test that [`TrackedCollect::advance`] always
+//!    lands on exactly the state a fresh [`collect`] would return, over
+//!    random write/advance/invalidate interleavings, with and without
+//!    version hints and key trust;
+//! 2. property tests running the *same* random scripts under the *same*
+//!    seeded adversarial schedule with the incremental path switched on
+//!    and off, asserting the recorded histories are bit-identical
+//!    (possible because `InstrumentedCell` hides version hints, so both
+//!    modes execute the same gated operation sequence);
+//! 3. threaded runs of the incremental path on the real (non-gated)
+//!    backend, where version probes genuinely skip clones, checked for
+//!    linearizability.
+
+use proptest::prelude::*;
+use snapshot_bench::harness::{
+    mw_contended_scripts, mw_disjoint_scripts, run_mw_sim, run_sw_sim, run_sw_threaded,
+    sw_random_scripts, GatedBackend, SwStep,
+};
+use snapshot_core::{
+    BoundedSnapshot, MultiWriterSnapshot, SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+};
+use snapshot_lin::{check_history, check_intervals, History};
+use snapshot_registers::{
+    collect, Backend, EpochBackend, MutexBackend, ProcessId, Register, TrackedCollect,
+};
+use snapshot_sim::{RandomPolicy, SimConfig};
+
+// ---------------------------------------------------------------------------
+// 1. TrackedCollect vs. ground-truth collect()
+// ---------------------------------------------------------------------------
+
+/// One step of the random single-threaded driver for the direct property.
+#[derive(Clone, Copy, Debug)]
+enum Act {
+    /// Overwrite register `reg` with `val`.
+    Write { reg: usize, val: u64 },
+    /// Run one incremental pass and check it against a full collect.
+    Advance,
+    /// Drop the cache, forcing the next pass to re-prime.
+    Invalidate,
+}
+
+fn act_strategy(regs: usize) -> impl Strategy<Value = Act> {
+    prop_oneof![
+        3 => (0..regs, any::<u64>()).prop_map(|(reg, val)| Act::Write { reg, val }),
+        3 => Just(Act::Advance),
+        1 => Just(Act::Invalidate),
+    ]
+}
+
+/// Runs the act script over cells from `backend`, asserting after every
+/// pass that the incremental cache equals a fresh full collect.
+fn check_against_ground_truth<B: Backend>(backend: &B, acts: &[Act], regs: usize, trust: bool) {
+    let cells: Vec<B::Cell<u64>> = (0..regs).map(|_| backend.cell(0u64)).collect();
+    let mut tracked: TrackedCollect<u64> = TrackedCollect::new();
+    let pid = ProcessId::new(0);
+    for act in acts {
+        match *act {
+            Act::Write { reg, val } => cells[reg].write(pid, val),
+            Act::Advance => {
+                let _ = tracked.advance(pid, &cells, trust, |a, b| a == b);
+                assert_eq!(
+                    tracked.records(),
+                    collect(pid, &cells).as_slice(),
+                    "incremental pass diverged from full collect (trust_keys={trust})"
+                );
+            }
+            Act::Invalidate => tracked.invalidate(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With version hints (epoch cells), without them (mutex cells), with
+    /// keys trusted and not: every advance must land on the full-collect
+    /// state.
+    #[test]
+    fn tracked_collect_always_matches_full_collect(
+        acts in proptest::collection::vec(act_strategy(4), 1..40),
+        trust in any::<bool>(),
+    ) {
+        check_against_ground_truth(&EpochBackend::new(), &acts, 4, trust);
+        check_against_ground_truth(&MutexBackend::new(), &acts, 4, trust);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Incremental vs. full under the gated simulator
+// ---------------------------------------------------------------------------
+
+/// Runs the same single-writer scripts under the same seeded schedule
+/// with the incremental path off and on; returns both histories.
+fn sw_both_modes<O, F>(
+    n: usize,
+    scripts: &[Vec<SwStep>],
+    sched_seed: u64,
+    build: F,
+) -> (History<u64>, History<u64>)
+where
+    O: SwSnapshot<u64>,
+    F: Fn(&GatedBackend, bool) -> O,
+{
+    let (full, _) = run_sw_sim(
+        n,
+        scripts,
+        &mut RandomPolicy::seeded(sched_seed),
+        SimConfig::default(),
+        |b| build(b, false),
+    )
+    .expect("full-mode simulation completes");
+    let (incremental, _) = run_sw_sim(
+        n,
+        scripts,
+        &mut RandomPolicy::seeded(sched_seed),
+        SimConfig::default(),
+        |b| build(b, true),
+    )
+    .expect("incremental-mode simulation completes");
+    (full, incremental)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Unbounded construction: identical scripts + identical adversarial
+    /// schedule must record bit-identical histories in both modes.
+    #[test]
+    fn unbounded_incremental_histories_are_bit_identical(
+        len in 1..10usize,
+        update_prob in 0.0..=1.0f64,
+        script_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+    ) {
+        let n = 3;
+        let scripts = sw_random_scripts(n, len, update_prob, script_seed);
+        let (full, incremental) = sw_both_modes(n, &scripts, sched_seed, |b, inc| {
+            UnboundedSnapshot::with_backend(n, 0u64, b).with_incremental(inc)
+        });
+        prop_assert_eq!(full.ops(), incremental.ops());
+        prop_assert_eq!(check_intervals(&incremental), Ok(()));
+    }
+
+    /// Bounded (handshake) construction: same property; the incremental
+    /// path also re-implements the handshake interleaving, so this guards
+    /// its per-partner read/write ordering too.
+    #[test]
+    fn bounded_incremental_histories_are_bit_identical(
+        len in 1..10usize,
+        update_prob in 0.0..=1.0f64,
+        script_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+    ) {
+        let n = 3;
+        let scripts = sw_random_scripts(n, len, update_prob, script_seed);
+        let (full, incremental) = sw_both_modes(n, &scripts, sched_seed, |b, inc| {
+            BoundedSnapshot::with_backend(n, 0u64, b).with_incremental(inc)
+        });
+        prop_assert_eq!(full.ops(), incremental.ops());
+        prop_assert_eq!(check_intervals(&incremental), Ok(()));
+    }
+
+    /// Multi-writer construction, disjoint words: bit-identical histories
+    /// plus the fast interval check.
+    #[test]
+    fn multiwriter_disjoint_incremental_histories_are_bit_identical(
+        rounds in 1..4usize,
+        sched_seed in any::<u64>(),
+    ) {
+        let (n, m) = (3, 3);
+        let scripts = mw_disjoint_scripts(n, m, rounds);
+        let run = |inc: bool, seed: u64| {
+            run_mw_sim(
+                n,
+                m,
+                &scripts,
+                &mut RandomPolicy::seeded(seed),
+                SimConfig::default(),
+                |b| MultiWriterSnapshot::with_backend(n, m, 0u64, b).with_incremental(inc),
+            )
+            .expect("simulation completes")
+            .0
+        };
+        let full = run(false, sched_seed);
+        let incremental = run(true, sched_seed);
+        prop_assert_eq!(full.ops(), incremental.ops());
+        prop_assert_eq!(check_intervals(&incremental), Ok(()));
+    }
+
+    /// Multi-writer construction, contended words (several writers per
+    /// word): bit-identical histories, checked with Wing–Gong since the
+    /// interval checker needs per-word writer order.
+    #[test]
+    fn multiwriter_contended_incremental_histories_are_bit_identical(
+        len in 1..6usize,
+        script_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+    ) {
+        let (n, m) = (3, 2);
+        let scripts = mw_contended_scripts(n, m, len, 0.6, script_seed);
+        let run = |inc: bool| {
+            run_mw_sim(
+                n,
+                m,
+                &scripts,
+                &mut RandomPolicy::seeded(sched_seed),
+                SimConfig::default(),
+                |b| MultiWriterSnapshot::with_backend(n, m, 0u64, b).with_incremental(inc),
+            )
+            .expect("simulation completes")
+            .0
+        };
+        let full = run(false);
+        let incremental = run(true);
+        prop_assert_eq!(full.ops(), incremental.ops());
+        prop_assert!(check_history(&incremental).is_linearizable());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Incremental path on real threads and real version hints
+// ---------------------------------------------------------------------------
+
+/// On the non-instrumented epoch backend the version probes genuinely
+/// replace clones; hammer the path from real threads and check the
+/// recorded history.
+#[test]
+fn threaded_incremental_unbounded_is_linearizable() {
+    let n = 3;
+    let object = UnboundedSnapshot::new(n, 0u64);
+    let scripts: Vec<Vec<SwStep>> = (0..n)
+        .map(|_| {
+            (0..30)
+                .flat_map(|_| [SwStep::Update, SwStep::Scan])
+                .collect()
+        })
+        .collect();
+    let history = run_sw_threaded(&object, &scripts);
+    assert_eq!(history.len(), n * 60);
+    assert_eq!(check_intervals(&history), Ok(()));
+}
+
+#[test]
+fn threaded_incremental_bounded_is_linearizable() {
+    let n = 3;
+    let object = BoundedSnapshot::new(n, 0u64);
+    let scripts: Vec<Vec<SwStep>> = (0..n)
+        .map(|_| {
+            (0..30)
+                .flat_map(|_| [SwStep::Update, SwStep::Scan])
+                .collect()
+        })
+        .collect();
+    let history = run_sw_threaded(&object, &scripts);
+    assert_eq!(check_intervals(&history), Ok(()));
+}
+
+/// A scanner repeatedly scanning a quiescent object must keep returning
+/// the exact same values through its warm cache.
+#[test]
+fn warm_cache_is_stable_when_memory_is_quiet() {
+    let n = 4;
+    let object = UnboundedSnapshot::new(n, 0u64);
+    {
+        let mut writer = object.handle(ProcessId::new(1));
+        writer.update(7);
+    }
+    let mut scanner = object.handle(ProcessId::new(0));
+    let first = scanner.scan().to_vec();
+    assert_eq!(first, vec![0, 7, 0, 0]);
+    for _ in 0..100 {
+        assert_eq!(scanner.scan().to_vec(), first);
+    }
+}
