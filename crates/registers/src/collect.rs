@@ -31,7 +31,10 @@ pub enum SlotOutcome {
     ReusedByVersion,
     /// The register was read in place ([`Register::read_with`]) and the
     /// caller's key comparison said the stored record is the *same write*
-    /// as the cached one, so the clone was skipped.
+    /// as the cached one, so the clone was skipped. The stored version is
+    /// *not* refreshed: a key match does not carry the version contract's
+    /// guarantee, so the slot will be re-validated by reading on the next
+    /// pass (see the soundness discussion on [`TrackedCollect`]).
     ReusedByKey,
     /// The register was read and its record cloned into the cache.
     Cloned {
@@ -105,6 +108,16 @@ impl PassSummary {
 /// With `trust_keys = false` a key match still yields `changed = false`
 /// (the move-counting semantics) but the record is re-cloned, so the
 /// cache always holds what was actually read in that pass.
+///
+/// Because a key match proves less than a version match, a key-reuse
+/// never *upgrades* into version-level trust: the slot keeps the version
+/// recorded when its cached record was actually read, not the one probed
+/// in the reusing pass. (The probed version certifies the register's
+/// current record, which under a key ABA may differ from the cached one;
+/// storing it would let every later pass `ReusedByVersion` a stale
+/// record forever.) The cost is one extra in-place read the next time
+/// the slot is visited; the cache self-corrects on the next untrusted
+/// pass.
 ///
 /// # Example
 ///
@@ -210,7 +223,19 @@ impl<T: Clone> TrackedCollect<T> {
         });
         match fresh {
             None => {
-                self.versions[j] = hint;
+                // Do NOT refresh `self.versions[j]` here. `hint` certifies
+                // the record *currently stored* in the register (`cur`),
+                // but the cache keeps `prev`, and a key match does not
+                // prove `prev == cur`: the bounded algorithms' keys can
+                // recur (three updates inside one double collect restore
+                // `(p[i], toggle)` with a different value). Pairing `prev`
+                // with `hint` would let every later pass take
+                // `ReusedByVersion` on a stale record — a scan of a
+                // then-quiescent object would return values older than
+                // writes that completed before it began. Keeping the old
+                // version (probed before `prev` was read) preserves the
+                // pairing invariant, so the next pass sees the version
+                // mismatch and re-validates the slot by reading.
                 SlotOutcome::ReusedByKey
             }
             Some((rec, changed)) => {
@@ -341,6 +366,45 @@ mod tests {
         let pass = tc.advance(P0, &regs, true, same);
         assert_eq!(pass.changed, vec![false, false, true]);
         assert_eq!(tc.records(), collect(P0, &regs).as_slice());
+    }
+
+    #[test]
+    fn key_reuse_does_not_certify_stale_records() {
+        // Composite records whose key (.0) can recur with a different
+        // payload (.1) — the bounded algorithms' key ABA. A trusted key
+        // match legitimately skips the clone (the cache is stale *by
+        // design* within that pass), but it must NOT pair the stale
+        // cached record with the freshly probed version: that would make
+        // every later pass `ReusedByVersion` on the stale record, even
+        // once memory is quiescent.
+        let backend = EpochBackend::new();
+        let regs = vec![backend.cell((0u8, 0u64))];
+        let same = |a: &(u8, u64), b: &(u8, u64)| a.0 == b.0;
+        let mut tc = TrackedCollect::new();
+        tc.advance(P0, &regs, false, same); // cache holds (0, 0)
+
+        // Two completed writes restore key 0 with a different payload.
+        regs[0].write(P0, (1, 10));
+        regs[0].write(P0, (0, 20));
+
+        // Trusted pass: key matches, clone skipped, cache keeps (0, 0).
+        let out = tc.advance_one(P0, &regs, 0, true, same);
+        assert_eq!(out, SlotOutcome::ReusedByKey);
+        assert_eq!(tc.records()[0], (0u8, 0u64));
+
+        // No further writes: the slot's version must still mismatch, so
+        // the next pass re-reads and repairs the cache instead of
+        // certifying the stale record.
+        let pass = tc.advance(P0, &regs, false, same);
+        assert_eq!(pass.cloned, 1, "stale slot must be re-validated by reading");
+        assert_eq!(tc.records(), collect(P0, &regs).as_slice());
+        assert_eq!(tc.records()[0], (0u8, 20u64));
+
+        // Only now — cache repaired and version correctly paired — may
+        // the quiescent slot be served by version probes alone.
+        let pass = tc.advance(P0, &regs, false, same);
+        assert_eq!(pass.cloned, 0);
+        assert_eq!(tc.records()[0], (0u8, 20u64));
     }
 
     #[test]

@@ -106,7 +106,16 @@ pub trait Register<T>: Send + Sync {
     /// epoch pin, a lock): keep it short and never call back into the same
     /// register from inside it.
     ///
+    /// Note the `where Self: Sized` bound: `read_with` cannot be
+    /// dispatched through a `dyn Register` trait object, so an unsized
+    /// register only ever exposes this cloning fallback. The blanket
+    /// impls for `&R` and `Arc<R>` require `R: Sized` precisely so they
+    /// can forward to the inner register's (possibly clone-free)
+    /// override instead of silently degrading to `read` + clone while
+    /// still advertising [`version_hint`].
+    ///
     /// [`read`]: Register::read
+    /// [`version_hint`]: Register::version_hint
     /// [`EpochCell`]: crate::EpochCell
     fn read_with<U>(&self, reader: ProcessId, f: impl FnOnce(&T) -> U) -> U
     where
@@ -160,7 +169,11 @@ pub trait TryRegister<T>: Register<T> {
     fn try_write(&self, writer: ProcessId, value: T) -> Result<(), Self::Error>;
 }
 
-impl<T, R: Register<T> + ?Sized> Register<T> for &R {
+// `R: Sized` (not `?Sized`) so `read_with` can forward to the inner
+// register's override — a `&R` register must not degrade to the cloning
+// fallback while still advertising `version_hint`. `dyn Register` is
+// deliberately unsupported here; see the `read_with` docs.
+impl<T, R: Register<T>> Register<T> for &R {
     fn read(&self, reader: ProcessId) -> T {
         (**self).read(reader)
     }
@@ -169,21 +182,26 @@ impl<T, R: Register<T> + ?Sized> Register<T> for &R {
         (**self).write(writer, value)
     }
 
-    // `read_with` keeps its cloning default here: the inner `R` is
-    // `?Sized`, so its own (possibly overridden) `read_with` cannot be
-    // named. Version hints are object-safe and forward fine.
+    fn read_with<U>(&self, reader: ProcessId, f: impl FnOnce(&T) -> U) -> U {
+        (**self).read_with(reader, f)
+    }
+
     fn version_hint(&self) -> Option<u64> {
         (**self).version_hint()
     }
 }
 
-impl<T, R: Register<T> + ?Sized> Register<T> for std::sync::Arc<R> {
+impl<T, R: Register<T>> Register<T> for std::sync::Arc<R> {
     fn read(&self, reader: ProcessId) -> T {
         (**self).read(reader)
     }
 
     fn write(&self, writer: ProcessId, value: T) {
         (**self).write(writer, value)
+    }
+
+    fn read_with<U>(&self, reader: ProcessId, f: impl FnOnce(&T) -> U) -> U {
+        (**self).read_with(reader, f)
     }
 
     fn version_hint(&self) -> Option<u64> {

@@ -20,6 +20,16 @@
 //! 3. threaded runs of the incremental path on the real (non-gated)
 //!    backend, where version probes genuinely skip clones, checked for
 //!    linearizability.
+//!
+//! The property tests have a blind spot the deterministic tests below
+//! close: under the gated simulator `InstrumentedCell` hides version
+//! hints (that is what makes the two modes' operation sequences
+//! comparable), and the direct ground-truth property uses `u64` cells
+//! whose key *is* the value — so neither can reach the interaction of
+//! key-ABA with the version cache. `key_aba_with_trusted_keys_*` drives
+//! exactly that corner against real `EpochCell`s with composite records
+//! (key ≠ payload): three same-key writes between two trusted advances,
+//! asserting the cache is never version-certified while stale.
 
 use proptest::prelude::*;
 use snapshot_bench::harness::{
@@ -94,6 +104,87 @@ proptest! {
         check_against_ground_truth(&EpochBackend::new(), &acts, 4, trust);
         check_against_ground_truth(&MutexBackend::new(), &acts, 4, trust);
     }
+}
+
+// ---------------------------------------------------------------------------
+// 1b. Key ABA vs. the version cache (deterministic, real version hints)
+// ---------------------------------------------------------------------------
+
+/// A record shaped like the bounded algorithms' registers: a small key
+/// that toggles and can recur (`.0`) alongside a payload (`.1`) that
+/// does not. `same` compares only the key, as the bounded `moved`
+/// predicates do.
+type Composite = (u8, u64);
+
+fn same_key(a: &Composite, b: &Composite) -> bool {
+    a.0 == b.0
+}
+
+/// The review scenario behind the `trust_keys` soundness note on
+/// [`TrackedCollect`]: three completed same-slot writes between two
+/// trusted advances restore the key with a different payload. The
+/// trusted pass may keep the stale record (within a double collect the
+/// algorithms' handshakes catch the movement), but the *next* advance
+/// must re-read the slot — the stale record must never ride a
+/// `ReusedByVersion` out of the window.
+#[test]
+fn key_aba_with_trusted_keys_is_repaired_by_the_next_advance() {
+    let backend = EpochBackend::new();
+    let cells: Vec<_> = (0..3).map(|_| backend.cell((0u8, 0u64))).collect();
+    let p = ProcessId::new(0);
+    let mut tc: TrackedCollect<Composite> = TrackedCollect::new();
+
+    tc.advance(p, &cells, true, same_key); // prime: cache (0, 0) per slot
+
+    // Three writes to slot 1, ending on the cached key 0 with a payload
+    // the cache has never seen.
+    cells[1].write(p, (0, 11));
+    cells[1].write(p, (1, 22));
+    cells[1].write(p, (0, 33));
+
+    // Trusted pass (pass-b of a double collect): the key matches, so the
+    // clone is skipped and the cache legitimately still holds (0, 0).
+    let pass = tc.advance(p, &cells, true, same_key);
+    assert_eq!(pass.cloned, 0);
+    assert_eq!(tc.records()[1], (0, 0));
+
+    // Memory is now quiescent. The next advance — trusted or not — must
+    // re-read slot 1 rather than certify the stale record by version.
+    let pass = tc.advance(p, &cells, true, same_key);
+    assert_eq!(pass.cloned, 0, "key reuse again: record still stale by design");
+    let pass = tc.advance(p, &cells, false, same_key);
+    assert_eq!(pass.cloned, 1, "untrusted pass must re-validate the moved slot");
+    assert_eq!(tc.records(), collect(p, &cells).as_slice());
+    assert_eq!(tc.records()[1], (0, 33));
+}
+
+/// Same shape, driven through a snapshot-level lens: after a scan-like
+/// trusted/untrusted pass pair, a fresh pair over quiescent memory must
+/// land on the registers' true contents — a stale cache certified by a
+/// current version would instead return (0, 0) forever.
+#[test]
+fn key_aba_quiescent_scan_sees_completed_writes() {
+    let backend = EpochBackend::new();
+    let cells: Vec<_> = (0..2).map(|_| backend.cell((0u8, 0u64))).collect();
+    let p = ProcessId::new(0);
+    let mut tc: TrackedCollect<Composite> = TrackedCollect::new();
+
+    // Scan 1, pass a (untrusted) …
+    tc.advance(p, &cells, false, same_key);
+    // … three updates complete inside the double collect …
+    cells[0].write(p, (0, 2));
+    cells[0].write(p, (1, 3));
+    cells[0].write(p, (0, 4));
+    // … scan 1, pass b (trusted): key restored, clone skipped.
+    tc.advance(p, &cells, true, same_key);
+
+    // Scan 2 over quiescent memory: pass a then pass b. Every value it
+    // can return must reflect the writes that completed before it began.
+    tc.advance(p, &cells, false, same_key);
+    let pass_b = tc.advance(p, &cells, true, same_key);
+    assert!(pass_b.clean(), "quiescent double collect must succeed");
+    assert_eq!(tc.records(), collect(p, &cells).as_slice());
+    assert_eq!(tc.records()[0], (0, 4));
 }
 
 // ---------------------------------------------------------------------------
