@@ -1,8 +1,10 @@
 //! `snapbench` — the tracked benchmark suite behind `BENCH_*.json`.
 //!
 //! Runs a fixed matrix of workloads (`scan_heavy`, `update_heavy`,
-//! `mixed`, and the multi-writer-only `contended_mw`) against the four
-//! contention-relevant constructions (`unbounded`, `bounded`,
+//! `mixed`, the multi-writer-only `contended_mw`, and the
+//! service-routed `partial-scan-{s1,sq,sn}` family — subset sizes 1,
+//! n/4 and n through `snapshot_service::SnapshotService`) against the
+//! four contention-relevant constructions (`unbounded`, `bounded`,
 //! `multiwriter`, `locked`) at several thread counts, on real OS threads
 //! with wall-clock timing. Unlike the criterion micro-benchmarks in
 //! `benches/`, the output is a stable machine-readable JSON report
@@ -11,9 +13,9 @@
 //!
 //! ```text
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --out BENCH_3.json
+//!     --out BENCH_4.json
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --quick --compare BENCH_3.json --report-only
+//!     --quick --compare BENCH_4.json --report-only
 //! ```
 //!
 //! `--compare` exits with status 1 when any entry's median ns/op
@@ -27,9 +29,10 @@ use std::time::Instant;
 use snapshot_bench::tracked::{self, BenchEntry, BenchReport};
 use snapshot_core::{
     BoundedSnapshot, LockSnapshot, MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle,
-    SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+    SnapshotCore, SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
 };
 use snapshot_registers::ProcessId;
+use snapshot_service::SnapshotService;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Workload {
@@ -42,14 +45,24 @@ enum Workload {
     Mixed,
     /// Multi-writer only: every thread hammers the same two words.
     ContendedMw,
+    /// Service-routed: alternating update / `scan_subset` of 1 segment.
+    PartialScanS1,
+    /// Service-routed: subsets of n/4 segments.
+    PartialScanSq,
+    /// Service-routed: subsets covering all n segments (the coalesced
+    /// full-scan path in service clothing).
+    PartialScanSn,
 }
 
 impl Workload {
-    const ALL: [Workload; 4] = [
+    const ALL: [Workload; 7] = [
         Workload::ScanHeavy,
         Workload::UpdateHeavy,
         Workload::Mixed,
         Workload::ContendedMw,
+        Workload::PartialScanS1,
+        Workload::PartialScanSq,
+        Workload::PartialScanSn,
     ];
 
     fn name(self) -> &'static str {
@@ -58,6 +71,9 @@ impl Workload {
             Workload::UpdateHeavy => "update_heavy",
             Workload::Mixed => "mixed",
             Workload::ContendedMw => "contended_mw",
+            Workload::PartialScanS1 => "partial-scan-s1",
+            Workload::PartialScanSq => "partial-scan-sq",
+            Workload::PartialScanSn => "partial-scan-sn",
         }
     }
 
@@ -68,6 +84,20 @@ impl Workload {
             Workload::UpdateHeavy => k % 8 != 0,
             Workload::Mixed => k % 2 == 0,
             Workload::ContendedMw => k % 2 == 0,
+            Workload::PartialScanS1 | Workload::PartialScanSq | Workload::PartialScanSn => {
+                k % 2 == 0
+            }
+        }
+    }
+
+    /// Subset size for the service-routed partial-scan workloads, given
+    /// `n` segments; `None` for the direct-handle workloads.
+    fn subset_len(self, n: usize) -> Option<usize> {
+        match self {
+            Workload::PartialScanS1 => Some(1),
+            Workload::PartialScanSq => Some((n / 4).max(1)),
+            Workload::PartialScanSn => Some(n),
+            _ => None,
         }
     }
 }
@@ -234,6 +264,59 @@ fn time_mw<O: MwSnapshot<u64>>(object: &O, threads: usize, iters: u64, workload:
     elapsed
 }
 
+/// Times one sample of a service-routed partial-scan workload: every
+/// thread claims a service client and alternates updates (its own lane's
+/// segment — legal on every backing) with `scan_subset` over a rotating
+/// window of `subset_len` segments, exercising certified collects, shard
+/// coalescing, and the projected-full-scan fallback depending on the
+/// backing construction.
+fn time_service<C: SnapshotCore<u64>>(
+    core: C,
+    threads: usize,
+    iters: u64,
+    subset_len: usize,
+) -> u128 {
+    let service = SnapshotService::new(core);
+    let n = service.segments();
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = 0u128;
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let barrier = &barrier;
+            let service = &service;
+            s.spawn(move || {
+                let mut client = service.client(i);
+                barrier.wait();
+                let mut acc = 0u64;
+                let mut subset = vec![0usize; subset_len];
+                for k in 0..iters {
+                    if k % 2 == 0 {
+                        client.update(i, ((i as u64) << 32) | k).expect("in budget");
+                    } else {
+                        // Rotating window start, deterministic per
+                        // (thread, op); wrapping windows span shards.
+                        let start = (k.wrapping_add(i as u64).wrapping_mul(2_654_435_761)
+                            as usize)
+                            % n;
+                        for (j, slot) in subset.iter_mut().enumerate() {
+                            *slot = (start + j) % n;
+                        }
+                        let view = client.scan_subset(&subset).expect("valid subset");
+                        acc = acc.wrapping_add(view.values().iter().sum::<u64>());
+                    }
+                }
+                std::hint::black_box(acc);
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        elapsed = start.elapsed().as_nanos();
+    });
+    elapsed
+}
+
 /// Runs one matrix cell: warmups, then `samples` timed runs; returns the
 /// finished entry. A fresh object is built per sample so handle claims
 /// and cache state never leak between samples.
@@ -244,29 +327,49 @@ fn run_config(config: &Config, tuning: &Tuning) -> BenchEntry {
     let mut ns_per_op = Vec::with_capacity(tuning.samples as usize);
 
     for round in 0..tuning.warmup + tuning.samples {
-        let elapsed = match config.construction {
-            Construction::Unbounded => {
-                let object = UnboundedSnapshot::new(threads, 0u64);
-                time_sw(&object, threads, iters, config.workload)
+        let elapsed = if let Some(subset_len) = config.workload.subset_len(threads) {
+            match config.construction {
+                Construction::Unbounded => {
+                    time_service(UnboundedSnapshot::new(threads, 0u64), threads, iters, subset_len)
+                }
+                Construction::Bounded => {
+                    time_service(BoundedSnapshot::new(threads, 0u64), threads, iters, subset_len)
+                }
+                Construction::Locked => {
+                    time_service(LockSnapshot::new(threads, 0u64), threads, iters, subset_len)
+                }
+                Construction::MultiWriter => time_service(
+                    MultiWriterSnapshot::new(threads, threads, 0u64),
+                    threads,
+                    iters,
+                    subset_len,
+                ),
             }
-            Construction::Bounded => {
-                let object = BoundedSnapshot::new(threads, 0u64);
-                time_sw(&object, threads, iters, config.workload)
-            }
-            Construction::Locked => {
-                let object = LockSnapshot::new(threads, 0u64);
-                time_sw(&object, threads, iters, config.workload)
-            }
-            Construction::MultiWriter => {
-                // Two words under contention (maximal collisions);
-                // otherwise one word per thread.
-                let words = if config.workload == Workload::ContendedMw {
-                    2
-                } else {
-                    threads
-                };
-                let object = MultiWriterSnapshot::new(threads, words, 0u64);
-                time_mw(&object, threads, iters, config.workload)
+        } else {
+            match config.construction {
+                Construction::Unbounded => {
+                    let object = UnboundedSnapshot::new(threads, 0u64);
+                    time_sw(&object, threads, iters, config.workload)
+                }
+                Construction::Bounded => {
+                    let object = BoundedSnapshot::new(threads, 0u64);
+                    time_sw(&object, threads, iters, config.workload)
+                }
+                Construction::Locked => {
+                    let object = LockSnapshot::new(threads, 0u64);
+                    time_sw(&object, threads, iters, config.workload)
+                }
+                Construction::MultiWriter => {
+                    // Two words under contention (maximal collisions);
+                    // otherwise one word per thread.
+                    let words = if config.workload == Workload::ContendedMw {
+                        2
+                    } else {
+                        threads
+                    };
+                    let object = MultiWriterSnapshot::new(threads, words, 0u64);
+                    time_mw(&object, threads, iters, config.workload)
+                }
             }
         };
         if round >= tuning.warmup {
@@ -307,7 +410,7 @@ const USAGE: &str = "usage: snapbench [--quick] [--out PATH] [--compare BASELINE
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_3.json".to_string(),
+        out: "BENCH_4.json".to_string(),
         compare: None,
         threshold_pct: 20.0,
         report_only: false,

@@ -163,6 +163,43 @@ impl<V: RegisterValue, B: Backend> fmt::Debug for BoundedSnapshot<V, B> {
     }
 }
 
+impl<V: RegisterValue, B: Backend> crate::SnapshotCore<V> for BoundedSnapshot<V, B> {
+    fn segments(&self) -> usize {
+        self.n
+    }
+
+    fn lanes(&self) -> usize {
+        self.n
+    }
+
+    fn single_writer(&self) -> bool {
+        true
+    }
+
+    fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats) {
+        self.handle(lane).scan_with_stats()
+    }
+
+    fn core_update(&self, lane: ProcessId, segment: usize, value: V) -> ScanStats {
+        assert_eq!(
+            segment,
+            lane.get(),
+            "single-writer construction: lane {lane} cannot update segment {segment}"
+        );
+        self.handle(lane).update_with_stats(value)
+    }
+
+    /// Figure 3 deliberately keeps no per-write key — the `(p_i, toggle)`
+    /// handshake pair recurs after two writes (the ABA the bounded proof
+    /// works around with move counting), so it cannot serve as an ABA-free
+    /// certificate. Partial scans over this construction fall back to a
+    /// projected full scan.
+    fn certified_read(&self, _reader: ProcessId, segment: usize) -> Option<(V, u64)> {
+        assert!(segment < self.n, "segment {segment} out of range");
+        None
+    }
+}
+
 /// Process-local state for [`BoundedSnapshot`]: the current toggle of the
 /// own register (the writer knows its own register's contents, so no read
 /// is needed to flip it).

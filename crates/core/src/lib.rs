@@ -28,6 +28,11 @@
 //!
 //! [`Backend`]: snapshot_registers::Backend
 //!
+//! The unbounded, bounded, multi-writer and locked constructions also
+//! implement [`SnapshotCore`] — the object-level multiplexing interface
+//! (`&self` operations plus per-segment collect hooks) that the
+//! `snapshot-service` front-end serves many concurrent clients over.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -57,11 +62,13 @@ mod api;
 mod bounded;
 mod double_collect;
 mod locked;
+mod multiplex;
 mod multiwriter;
 mod unbounded;
 mod view;
 
 pub use api::{MwSnapshot, MwSnapshotHandle, ScanStats, SwSnapshot, SwSnapshotHandle};
+pub use multiplex::SnapshotCore;
 pub use bounded::{BoundedHandle, BoundedSnapshot};
 pub use double_collect::{DoubleCollectHandle, DoubleCollectSnapshot};
 pub use locked::{LockHandle, LockSnapshot};

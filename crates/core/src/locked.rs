@@ -74,6 +74,41 @@ impl<V> fmt::Debug for LockSnapshot<V> {
     }
 }
 
+impl<V: RegisterValue> crate::SnapshotCore<V> for LockSnapshot<V> {
+    fn segments(&self) -> usize {
+        self.n
+    }
+
+    fn lanes(&self) -> usize {
+        self.n
+    }
+
+    fn single_writer(&self) -> bool {
+        true
+    }
+
+    fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats) {
+        self.handle(lane).scan_with_stats()
+    }
+
+    fn core_update(&self, lane: ProcessId, segment: usize, value: V) -> ScanStats {
+        assert_eq!(
+            segment,
+            lane.get(),
+            "single-writer construction: lane {lane} cannot update segment {segment}"
+        );
+        self.handle(lane).update_with_stats(value)
+    }
+
+    /// The baseline keeps no per-segment versions, so partial scans fall
+    /// back to a projected full scan (which here is just one lock
+    /// acquisition anyway).
+    fn certified_read(&self, _reader: ProcessId, segment: usize) -> Option<(V, u64)> {
+        assert!(segment < self.n, "segment {segment} out of range");
+        None
+    }
+}
+
 /// Process handle for [`LockSnapshot`].
 pub struct LockHandle<'a, V> {
     shared: &'a LockSnapshot<V>,

@@ -1,0 +1,151 @@
+//! Object-level multiplexing hooks for the service layer.
+//!
+//! The per-process handle traits ([`SwSnapshot`] / [`MwSnapshot`]) are the
+//! right shape for a process that *owns* its algorithm state, but a
+//! request-serving front-end (`snapshot-service`) multiplexes many
+//! short-lived requests over one object: it needs operations that take
+//! `&self` plus a lane, and it needs the *collect hooks* a partial scan is
+//! built from. [`SnapshotCore`] is that interface, implemented by all four
+//! contention-relevant constructions.
+//!
+//! [`SwSnapshot`]: crate::SwSnapshot
+//! [`MwSnapshot`]: crate::MwSnapshot
+
+use snapshot_registers::ProcessId;
+
+use crate::{ScanStats, SnapshotView};
+
+/// Object-level entry points the service layer multiplexes over.
+///
+/// A **lane** is a process id reserved for one service client; every call
+/// names the lane on whose behalf it runs. Implementations claim the
+/// lane's per-process handle transiently (the service guarantees at most
+/// one in-flight operation per lane, exactly the discipline the handle
+/// registry enforces).
+///
+/// `certified_read` is the collect hook partial scans need: a single
+/// register read returning the segment's value together with a
+/// *certificate* that is guaranteed to differ across any two writes of
+/// that segment (ABA-free). Two collects of a segment subset whose
+/// certificates all match certify that the second collect is an
+/// instantaneous picture *of that subset* — Observation 1 projected onto
+/// the subset. Constructions whose registers carry no ABA-free per-write
+/// key (the bounded handshake/toggle ones, the lock baseline) return
+/// `None`, and the service falls back to a full scan projected onto the
+/// subset, which is always correct.
+pub trait SnapshotCore<V>: Send + Sync {
+    /// Number of memory segments a scan covers (`n` for the single-writer
+    /// constructions, `m` words for the multi-writer one).
+    fn segments(&self) -> usize;
+
+    /// Number of lanes (process ids) available to clients.
+    fn lanes(&self) -> usize;
+
+    /// True if updates are restricted to the lane's own segment (the
+    /// single-writer discipline of Sections 3–4).
+    fn single_writer(&self) -> bool;
+
+    /// Runs one full scan on behalf of `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or has another operation in
+    /// flight.
+    fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats);
+
+    /// Writes `value` to `segment` on behalf of `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is out of range, if `lane` is out of range or
+    /// busy, or if the construction is [single-writer](Self::single_writer)
+    /// and `segment != lane` — the service validates and surfaces a typed
+    /// error before calling.
+    fn core_update(&self, lane: ProcessId, segment: usize, value: V) -> ScanStats;
+
+    /// Reads `segment` once, returning its value and an ABA-free write
+    /// certificate, or `None` if this construction cannot certify
+    /// individual segments (see the trait docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is out of range.
+    fn certified_read(&self, reader: ProcessId, segment: usize) -> Option<(V, u64)>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        BoundedSnapshot, LockSnapshot, MultiWriterSnapshot, UnboundedSnapshot,
+    };
+
+    fn exercise(core: &dyn SnapshotCore<u32>, single_writer: bool) {
+        let lane = ProcessId::new(0);
+        assert_eq!(core.single_writer(), single_writer);
+        assert_eq!(core.segments(), 3);
+        let _ = core.core_update(lane, 0, 7);
+        let (view, _) = core.core_scan(lane);
+        assert_eq!(view[0], 7);
+        // The certificate, when present, changes across writes.
+        if let Some((v, c1)) = core.certified_read(lane, 0) {
+            assert_eq!(v, 7);
+            let _ = core.core_update(lane, 0, 8);
+            let (v, c2) = core.certified_read(lane, 0).unwrap();
+            assert_eq!(v, 8);
+            assert_ne!(c1, c2, "certificate must move with every write");
+        }
+    }
+
+    #[test]
+    fn unbounded_implements_core_with_certificates() {
+        let snap = UnboundedSnapshot::new(3, 0u32);
+        exercise(&snap, true);
+        assert!(snap.certified_read(ProcessId::new(1), 2).is_some());
+    }
+
+    #[test]
+    fn bounded_implements_core_without_certificates() {
+        let snap = BoundedSnapshot::new(3, 0u32);
+        exercise(&snap, true);
+        assert!(snap.certified_read(ProcessId::new(1), 2).is_none());
+    }
+
+    #[test]
+    fn multiwriter_implements_core_over_words() {
+        let snap = MultiWriterSnapshot::new(2, 3, 0u32);
+        let lane = ProcessId::new(1);
+        assert!(!snap.single_writer());
+        assert_eq!(snap.segments(), 3);
+        assert_eq!(snap.lanes(), 2);
+        // Any lane may write any word.
+        let _ = snap.core_update(lane, 0, 9);
+        assert_eq!(snap.core_scan(lane).0[0], 9);
+    }
+
+    #[test]
+    fn locked_implements_core_without_certificates() {
+        let snap = LockSnapshot::new(3, 0u32);
+        exercise(&snap, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-writer")]
+    fn single_writer_core_update_rejects_foreign_segments() {
+        let snap = UnboundedSnapshot::new(2, 0u32);
+        let _ = snap.core_update(ProcessId::new(0), 1, 5);
+    }
+
+    #[test]
+    fn transient_claims_leave_the_lane_reusable() {
+        let snap = UnboundedSnapshot::new(2, 0u32);
+        let lane = ProcessId::new(0);
+        for k in 1..=5 {
+            let _ = snap.core_update(lane, 0, k);
+            assert_eq!(snap.core_scan(lane).0[0], k);
+        }
+        // The ordinary handle interface still works afterwards.
+        use crate::SwSnapshot;
+        let _h = snap.handle(lane);
+    }
+}

@@ -246,6 +246,38 @@ impl<V: RegisterValue, B: Backend, BM: Backend> fmt::Debug for MultiWriterSnapsh
     }
 }
 
+impl<V: RegisterValue, B: Backend, BM: Backend> crate::SnapshotCore<V>
+    for MultiWriterSnapshot<V, B, BM>
+{
+    fn segments(&self) -> usize {
+        self.m
+    }
+
+    fn lanes(&self) -> usize {
+        self.n
+    }
+
+    fn single_writer(&self) -> bool {
+        false
+    }
+
+    fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats) {
+        self.handle(lane).scan_with_stats()
+    }
+
+    fn core_update(&self, lane: ProcessId, segment: usize, value: V) -> ScanStats {
+        self.handle(lane).update_with_stats(segment, value)
+    }
+
+    /// Figure 4's value records carry `(id, toggle)` — `2n` distinct keys
+    /// that recur under ABA, not a per-write-unique certificate. Partial
+    /// scans over this construction fall back to a projected full scan.
+    fn certified_read(&self, _reader: ProcessId, segment: usize) -> Option<(V, u64)> {
+        assert!(segment < self.m, "segment {segment} out of range");
+        None
+    }
+}
+
 /// Process-local state for [`MultiWriterSnapshot`]: the per-word toggle
 /// bits `t_k` of Figure 4 (saved between updates).
 pub struct MultiWriterHandle<'a, V: RegisterValue, B: Backend, BM: Backend> {

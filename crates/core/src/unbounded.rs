@@ -155,6 +155,40 @@ impl<V: RegisterValue, B: Backend> fmt::Debug for UnboundedSnapshot<V, B> {
     }
 }
 
+impl<V: RegisterValue, B: Backend> crate::SnapshotCore<V> for UnboundedSnapshot<V, B> {
+    fn segments(&self) -> usize {
+        self.n
+    }
+
+    fn lanes(&self) -> usize {
+        self.n
+    }
+
+    fn single_writer(&self) -> bool {
+        true
+    }
+
+    fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats) {
+        self.handle(lane).scan_with_stats()
+    }
+
+    fn core_update(&self, lane: ProcessId, segment: usize, value: V) -> ScanStats {
+        assert_eq!(
+            segment,
+            lane.get(),
+            "single-writer construction: lane {lane} cannot update segment {segment}"
+        );
+        self.handle(lane).update_with_stats(value)
+    }
+
+    /// Figure 2's `seq` is exactly the certificate the contract asks for:
+    /// the single-writer discipline makes it strictly monotone, so no two
+    /// writes of a segment ever share it.
+    fn certified_read(&self, reader: ProcessId, segment: usize) -> Option<(V, u64)> {
+        Some(self.regs[segment].read_with(reader, |r| (r.value.clone(), r.seq)))
+    }
+}
+
 /// Process-local state for [`UnboundedSnapshot`]: the saved sequence
 /// number `seq_i` of Figure 2.
 pub struct UnboundedHandle<'a, V: RegisterValue, B: Backend> {

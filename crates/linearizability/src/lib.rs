@@ -19,7 +19,11 @@
 //!   update intervals, and all scans must be pairwise comparable. Any
 //!   violation it reports is a genuine linearizability violation; it may
 //!   not catch every exotic violation (the Wing–Gong checker is the
-//!   authority on small histories).
+//!   authority on small histories);
+//! * [`ProjectedSnapshotSpec`] / [`check_partial_history`] — the spec
+//!   extended with *partial* scans (`scan_subset` in `snapshot-service`):
+//!   a subset scan must match the projection of one sequential state onto
+//!   its requested segments.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 
 mod history;
 mod interval;
+mod partial;
 mod recorder;
 mod spec;
 mod timeline;
@@ -56,6 +61,7 @@ mod wing_gong;
 
 pub use history::{History, OpRecord, SnapOp};
 pub use interval::{check_intervals, IntervalViolation};
+pub use partial::{check_partial_history, PartialOp, ProjectedSnapshotSpec};
 pub use recorder::Recorder;
 pub use timeline::{render_annotated_timeline, render_timeline};
 pub use spec::{RegisterOp, RegisterSpec, SeqSpec, SnapshotSpec};

@@ -1,0 +1,216 @@
+//! Partial-scan operations and the projected sequential spec.
+//!
+//! The service layer's `scan_subset` returns an instantaneous picture of
+//! a *subset* of segments. Checking such histories needs a spec whose
+//! scan operation compares only the projection of the sequential state
+//! onto the requested segments — [`ProjectedSnapshotSpec`] — while
+//! updates and full scans behave exactly as in
+//! [`SnapshotSpec`](crate::SnapshotSpec). The atomicity requirement is
+//! unchanged: a `ScanSubset` must match the projection of *one* state in
+//! the linearization order, so a partial view stitched from two different
+//! states is still rejected.
+
+use std::fmt;
+use std::hash::Hash;
+
+use snapshot_registers::ProcessId;
+
+use crate::{check_linearizable, SeqSpec, WgOp, WgResult};
+
+/// One snapshot operation in a history that may contain partial scans.
+///
+/// `Update` and `Scan` mirror [`SnapOp`](crate::SnapOp); `ScanSubset`
+/// carries the requested segment indices (in the canonical strictly
+/// increasing order the service returns) alongside the values observed
+/// for exactly those segments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartialOp<V> {
+    /// A write of `value` to `word`.
+    Update {
+        /// The segment written.
+        word: usize,
+        /// The value written.
+        value: V,
+    },
+    /// A full scan that returned `view`.
+    Scan {
+        /// The observed view over all segments.
+        view: Vec<V>,
+    },
+    /// A partial scan over `segments` that returned `view`
+    /// (`view[k]` is the observed value of `segments[k]`).
+    ScanSubset {
+        /// The requested segment indices, strictly increasing.
+        segments: Vec<usize>,
+        /// The observed values, one per requested segment.
+        view: Vec<V>,
+    },
+}
+
+/// The sequential snapshot spec extended with projected scans.
+///
+/// A `ScanSubset { segments, view }` is legal in a state `s` iff
+/// `view[k] == s[segments[k]]` for every `k` — the scan is an
+/// instantaneous picture of the projection of `s` onto `segments`.
+/// Malformed operations (length mismatch, out-of-range or non-increasing
+/// segment lists) never apply, so a history containing one is reported
+/// not linearizable rather than silently accepted.
+#[derive(Clone, Debug)]
+pub struct ProjectedSnapshotSpec<V> {
+    words: usize,
+    init: V,
+    single_writer: bool,
+}
+
+impl<V: Clone + Eq + Hash + fmt::Debug> ProjectedSnapshotSpec<V> {
+    /// A single-writer projected spec over `n` segments.
+    pub fn single_writer(n: usize, init: V) -> Self {
+        ProjectedSnapshotSpec { words: n, init, single_writer: true }
+    }
+
+    /// A multi-writer projected spec over `words` words.
+    pub fn multi_writer(words: usize, init: V) -> Self {
+        ProjectedSnapshotSpec { words, init, single_writer: false }
+    }
+}
+
+impl<V: Clone + Eq + Hash + fmt::Debug> SeqSpec for ProjectedSnapshotSpec<V> {
+    type State = Vec<V>;
+    type Op = PartialOp<V>;
+
+    fn initial(&self) -> Vec<V> {
+        vec![self.init.clone(); self.words]
+    }
+
+    fn apply(&self, state: &Vec<V>, pid: ProcessId, op: &PartialOp<V>) -> Option<Vec<V>> {
+        match op {
+            PartialOp::Update { word, value } => {
+                if *word >= self.words || (self.single_writer && *word != pid.get()) {
+                    return None;
+                }
+                let mut next = state.clone();
+                next[*word] = value.clone();
+                Some(next)
+            }
+            PartialOp::Scan { view } => {
+                if view == state {
+                    Some(state.clone())
+                } else {
+                    None
+                }
+            }
+            PartialOp::ScanSubset { segments, view } => {
+                if segments.len() != view.len()
+                    || segments.windows(2).any(|w| w[0] >= w[1])
+                    || segments.last().is_some_and(|&s| s >= self.words)
+                {
+                    return None;
+                }
+                if segments.iter().zip(view).all(|(&s, v)| state[s] == *v) {
+                    Some(state.clone())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Wing–Gong check of a partial-scan history against the projected spec.
+///
+/// Convenience wrapper mirroring [`check_history`](crate::check_history)
+/// for histories assembled as [`WgOp`]`<`[`PartialOp`]`>` (the service
+/// tests build these directly from a shared clock).
+pub fn check_partial_history<V: Clone + Eq + Hash + fmt::Debug>(
+    words: usize,
+    init: V,
+    single_writer: bool,
+    ops: &[WgOp<PartialOp<V>>],
+) -> WgResult {
+    let spec = if single_writer {
+        ProjectedSnapshotSpec::single_writer(words, init)
+    } else {
+        ProjectedSnapshotSpec::multi_writer(words, init)
+    };
+    check_linearizable(&spec, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+
+    fn op<V>(pid: ProcessId, inv: u64, res: u64, op: PartialOp<V>) -> WgOp<PartialOp<V>> {
+        WgOp { pid, inv, res: Some(res), op }
+    }
+
+    #[test]
+    fn projected_scan_checks_only_its_segments() {
+        let spec = ProjectedSnapshotSpec::single_writer(3, 0u8);
+        let s = vec![1, 2, 3];
+        let good = PartialOp::ScanSubset { segments: vec![0, 2], view: vec![1, 3] };
+        let bad = PartialOp::ScanSubset { segments: vec![0, 2], view: vec![1, 2] };
+        assert!(spec.apply(&s, P1, &good).is_some());
+        assert!(spec.apply(&s, P1, &bad).is_none());
+    }
+
+    #[test]
+    fn malformed_subsets_never_apply() {
+        let spec = ProjectedSnapshotSpec::single_writer(3, 0u8);
+        let s = spec.initial();
+        for bad in [
+            PartialOp::ScanSubset { segments: vec![0, 0], view: vec![0, 0] }, // duplicate
+            PartialOp::ScanSubset { segments: vec![2, 1], view: vec![0, 0] }, // unsorted
+            PartialOp::ScanSubset { segments: vec![3], view: vec![0] },       // out of range
+            PartialOp::ScanSubset { segments: vec![0], view: vec![0, 0] },    // length mismatch
+        ] {
+            assert!(spec.apply(&s, P0, &bad).is_none(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn sequential_partial_history_is_linearizable() {
+        let ops = vec![
+            op(P0, 0, 1, PartialOp::Update { word: 0, value: 5u8 }),
+            op(P1, 2, 3, PartialOp::ScanSubset { segments: vec![0], view: vec![5] }),
+            op(P1, 4, 5, PartialOp::Scan { view: vec![5, 0] }),
+        ];
+        assert!(check_partial_history(2, 0u8, true, &ops).is_linearizable());
+    }
+
+    #[test]
+    fn stale_partial_scan_is_rejected() {
+        // The subset scan starts after the update completed but misses it.
+        let ops = vec![
+            op(P0, 0, 1, PartialOp::Update { word: 0, value: 5u8 }),
+            op(P1, 2, 3, PartialOp::ScanSubset { segments: vec![0], view: vec![0] }),
+        ];
+        assert_eq!(check_partial_history(2, 0u8, true, &ops), WgResult::NotLinearizable);
+    }
+
+    #[test]
+    fn stitched_partial_views_are_rejected() {
+        // P0 keeps words 0 and 1 equal (writes both to k sequentially, with
+        // the multi-writer spec); a subset scan observing (old, new) after
+        // both writes completed is a stitch of two states.
+        let ops = vec![
+            op(P0, 0, 1, PartialOp::Update { word: 0, value: 1u8 }),
+            op(P0, 2, 3, PartialOp::Update { word: 1, value: 1u8 }),
+            op(P1, 4, 5, PartialOp::ScanSubset { segments: vec![0, 1], view: vec![0, 1] }),
+        ];
+        assert_eq!(check_partial_history(2, 0u8, false, &ops), WgResult::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_partial_scan_may_or_may_not_see_update() {
+        for seen in [0u8, 5] {
+            let ops = vec![
+                op(P0, 0, 3, PartialOp::Update { word: 0, value: 5u8 }),
+                op(P1, 1, 2, PartialOp::ScanSubset { segments: vec![0], view: vec![seen] }),
+            ];
+            assert!(check_partial_history(2, 0u8, true, &ops).is_linearizable());
+        }
+    }
+}

@@ -130,7 +130,9 @@ impl fmt::Display for AbdPhaseKind {
 /// * **snapshot-registers / snapshot-sim** — primitive register operations
 ///   and deterministic scheduler steps;
 /// * **snapshot-abd** — quorum phase lifecycle (start, retransmit,
-///   quorum reached / failed).
+///   quorum reached / failed);
+/// * **snapshot-service** — coalescing lead/join decisions, admission
+///   rejections, and partial-collect outcomes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A scan operation began.
@@ -253,6 +255,36 @@ pub enum Event {
         /// Acks that would have been needed for a quorum.
         needed: usize,
     },
+    /// A service-layer scan became the leader of a coalescing cohort and
+    /// will run the underlying collect itself.
+    CoalesceLead {
+        /// The coalescing generation this leader's collect carries.
+        generation: u64,
+    },
+    /// A service-layer scan joined a coalescing cohort, accepting a view
+    /// whose collect started after this request (the paper's borrowed-view
+    /// rule lifted to the service layer).
+    CoalesceJoin {
+        /// The generation of the accepted view (strictly greater than the
+        /// generation current when this request arrived).
+        generation: u64,
+    },
+    /// The service rejected a request at admission: the in-flight budget
+    /// was exhausted (typed backpressure instead of queueing).
+    ServiceOverload {
+        /// Requests in flight when the rejection was issued.
+        inflight: usize,
+    },
+    /// A service-layer partial collect completed.
+    PartialCollect {
+        /// Number of segments the caller requested.
+        segments: usize,
+        /// Certified collect passes performed (0 when the construction
+        /// offers no certified reads and the service fell back directly).
+        rounds: u32,
+        /// Whether the partial scan fell back to projecting a full scan.
+        fallback: bool,
+    },
 }
 
 impl Event {
@@ -277,6 +309,10 @@ impl Event {
             Event::AbdRetransmit { .. } => "abd_retransmit",
             Event::AbdQuorumReached { .. } => "abd_quorum_reached",
             Event::AbdQuorumFailed { .. } => "abd_quorum_failed",
+            Event::CoalesceLead { .. } => "coalesce_lead",
+            Event::CoalesceJoin { .. } => "coalesce_join",
+            Event::ServiceOverload { .. } => "service_overload",
+            Event::PartialCollect { .. } => "partial_collect",
         }
     }
 }
@@ -320,6 +356,18 @@ impl fmt::Display for Event {
             }
             Event::AbdQuorumFailed { phase, acks, needed } => {
                 write!(f, "abd_quorum_failed({phase}, acks={acks}/{needed})")
+            }
+            Event::CoalesceLead { generation } => {
+                write!(f, "coalesce_lead(gen={generation})")
+            }
+            Event::CoalesceJoin { generation } => {
+                write!(f, "coalesce_join(gen={generation})")
+            }
+            Event::ServiceOverload { inflight } => {
+                write!(f, "service_overload(inflight={inflight})")
+            }
+            Event::PartialCollect { segments, rounds, fallback } => {
+                write!(f, "partial_collect(segments={segments}, rounds={rounds}, fallback={fallback})")
             }
         }
     }

@@ -81,6 +81,17 @@ fn push_payload(out: &mut String, event: &Event) {
             push_field(out, "acks", acks);
             push_field(out, "needed", needed);
         }
+        Event::CoalesceLead { generation } | Event::CoalesceJoin { generation } => {
+            push_field(out, "generation", generation);
+        }
+        Event::ServiceOverload { inflight } => {
+            push_field(out, "inflight", inflight);
+        }
+        Event::PartialCollect { segments, rounds, fallback } => {
+            push_field(out, "segments", segments);
+            push_field(out, "rounds", rounds);
+            push_field(out, "fallback", fallback);
+        }
     }
 }
 

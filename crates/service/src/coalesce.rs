@@ -1,0 +1,285 @@
+//! The scan-coalescing rendezvous.
+//!
+//! [`Coalescer`] lets many concurrent scan requests share one underlying
+//! collect, with the paper's borrowed-view discipline (Observation 2 /
+//! Lemma 4.1) lifted to the service layer: a request may return a view
+//! produced by someone else **only if** the collect that produced it
+//! started after the request did — then the collect interval is nested in
+//! the request interval, so the collect's linearization point is a valid
+//! linearization point for the borrowing request too.
+//!
+//! The protocol is a generation counter under one mutex:
+//!
+//! * `started` — bumped by a leader at election, which is also when its
+//!   collect starts (the leader runs the collect immediately after
+//!   [`enter`](Coalescer::enter) returns);
+//! * `published` — the generation of the newest completed view.
+//!
+//! A request records `my_gen = started` on entry. It may accept a
+//! published view iff `published > my_gen`: such a view's collect was
+//! elected — and therefore started — after the request entered. When no
+//! acceptable view exists, the request becomes the leader if the seat is
+//! free, else parks on a condvar. In particular a request that arrives
+//! *during* collect `g` never accepts `g` (some of `g`'s reads may
+//! precede the request); it is served by collect `g + 1`, whose leader is
+//! elected from the parked cohort when `g` publishes. Every request
+//! therefore waits for at most two collects, and each collect serves the
+//! whole cohort parked before its election — the coalescing win.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+struct CoalState<T> {
+    /// Generation of the most recently elected leader (its collect starts
+    /// at election).
+    started: u64,
+    /// Whether a leader is currently elected and collecting.
+    leading: bool,
+    /// Generation of the newest published view (0 = none yet).
+    published: u64,
+    /// The newest published view.
+    view: Option<T>,
+    /// Requests currently parked on the condvar (observability; tests use
+    /// it to stage deterministic cohorts).
+    waiting: usize,
+}
+
+/// A generation-counted rendezvous point for coalescing scans.
+#[derive(Debug)]
+pub(crate) struct Coalescer<T> {
+    state: Mutex<CoalState<T>>,
+    cv: Condvar,
+}
+
+impl<T> std::fmt::Debug for CoalState<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoalState")
+            .field("started", &self.started)
+            .field("leading", &self.leading)
+            .field("published", &self.published)
+            .field("waiting", &self.waiting)
+            .finish()
+    }
+}
+
+/// Outcome of [`Coalescer::enter`].
+pub(crate) enum Entry<'a, T> {
+    /// An acceptable view was (or became) available: its collect started
+    /// after this request entered.
+    Joined {
+        /// The generation of the accepted view.
+        generation: u64,
+        /// The accepted view.
+        view: T,
+    },
+    /// This request was elected leader: it must run the collect and
+    /// [`publish`](LeadToken::publish) the result.
+    Lead(LeadToken<'a, T>),
+}
+
+/// Leadership of one collect generation.
+///
+/// Dropping the token without publishing (the leader's collect panicked)
+/// abdicates: the seat is freed and waiters are woken so one of them can
+/// take over — a stuck leader never wedges the cohort.
+pub(crate) struct LeadToken<'a, T> {
+    coalescer: &'a Coalescer<T>,
+    generation: u64,
+    published: bool,
+}
+
+fn lock<T>(m: &Mutex<CoalState<T>>) -> MutexGuard<'_, CoalState<T>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T: Clone> Coalescer<T> {
+    pub(crate) fn new() -> Self {
+        Coalescer {
+            state: Mutex::new(CoalState {
+                started: 0,
+                leading: false,
+                published: 0,
+                view: None,
+                waiting: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Joins the rendezvous: returns an acceptable published view, or
+    /// leadership of the next collect. Blocks (without holding the lock)
+    /// while another leader's collect is in flight and no acceptable view
+    /// exists yet.
+    pub(crate) fn enter(&self) -> Entry<'_, T> {
+        let mut s = lock(&self.state);
+        let my_gen = s.started;
+        loop {
+            if s.published > my_gen {
+                let generation = s.published;
+                let view = s.view.clone().expect("published generation without a view");
+                return Entry::Joined { generation, view };
+            }
+            if !s.leading {
+                s.leading = true;
+                s.started += 1;
+                let generation = s.started;
+                return Entry::Lead(LeadToken { coalescer: self, generation, published: false });
+            }
+            s.waiting += 1;
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            s.waiting -= 1;
+        }
+    }
+
+    /// Number of requests currently parked waiting for a collect.
+    pub(crate) fn waiters(&self) -> usize {
+        lock(&self.state).waiting
+    }
+}
+
+impl<T> LeadToken<'_, T> {
+    /// The generation this leader's collect carries.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Publishes the completed collect's view and wakes the cohort.
+    pub(crate) fn publish(mut self, view: T) {
+        let mut s = lock(&self.coalescer.state);
+        debug_assert_eq!(s.started, self.generation, "interleaved leaders");
+        s.leading = false;
+        s.published = self.generation;
+        s.view = Some(view);
+        self.published = true;
+        drop(s);
+        self.coalescer.cv.notify_all();
+    }
+}
+
+impl<T> Drop for LeadToken<'_, T> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        // Abdication: free the seat so a waiter can lead the generation's
+        // retry. `started` stays bumped — waiters from before this failed
+        // election still need a collect that starts after them, which the
+        // successor provides.
+        let mut s = lock(&self.coalescer.state);
+        s.leading = false;
+        drop(s);
+        self.coalescer.cv.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for LeadToken<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeadToken")
+            .field("generation", &self.generation)
+            .field("published", &self.published)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_entrant_leads_generation_one() {
+        let c: Coalescer<u32> = Coalescer::new();
+        match c.enter() {
+            Entry::Lead(t) => assert_eq!(t.generation(), 1),
+            Entry::Joined { .. } => panic!("nothing published yet"),
+        };
+    }
+
+    #[test]
+    fn entrant_after_publish_must_not_accept_the_old_view() {
+        // The published collect started before this entrant's request, so
+        // the generation rule forces a fresh collect.
+        let c: Coalescer<u32> = Coalescer::new();
+        let Entry::Lead(t) = c.enter() else { panic!("expected lead") };
+        t.publish(7);
+        match c.enter() {
+            Entry::Lead(t) => assert_eq!(t.generation(), 2),
+            Entry::Joined { .. } => panic!("stale view accepted"),
+        };
+    }
+
+    #[test]
+    fn waiter_parked_during_a_collect_joins_the_next_generation() {
+        let c: Coalescer<u32> = Coalescer::new();
+        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match c.enter() {
+                // Parked during collect 1 → elected for collect 2.
+                Entry::Lead(t2) => {
+                    assert_eq!(t2.generation(), 2);
+                    t2.publish(8);
+                    8
+                }
+                Entry::Joined { .. } => panic!("must not accept generation 1"),
+            });
+            while c.waiters() == 0 {
+                std::thread::yield_now();
+            }
+            t1.publish(7);
+            assert_eq!(waiter.join().unwrap(), 8);
+        });
+        // A cohort parked during collect 2 would have accepted it; a fresh
+        // entrant (request started after collect 2) must not.
+        assert!(matches!(c.enter(), Entry::Lead(_)));
+    }
+
+    #[test]
+    fn cohort_parked_before_election_accepts_the_published_view() {
+        let c: Coalescer<u32> = Coalescer::new();
+        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        std::thread::scope(|s| {
+            let followers: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| match c.enter() {
+                        Entry::Joined { generation, view } => (generation, view, false),
+                        Entry::Lead(t) => {
+                            let g = t.generation();
+                            t.publish(90 + g as u32);
+                            (g, 90 + g as u32, true)
+                        }
+                    })
+                })
+                .collect();
+            while c.waiters() < 4 {
+                std::thread::yield_now();
+            }
+            // All four parked during collect 1: exactly one leads collect
+            // 2, the other three join it.
+            t1.publish(70);
+            let results: Vec<_> = followers.into_iter().map(|f| f.join().unwrap()).collect();
+            assert_eq!(results.iter().filter(|r| r.2).count(), 1, "one leader");
+            for (generation, view, _) in results {
+                assert_eq!(generation, 2);
+                assert_eq!(view, 92);
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_leadership_is_taken_over_by_a_waiter() {
+        let c: Coalescer<u32> = Coalescer::new();
+        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match c.enter() {
+                Entry::Lead(t) => {
+                    t.publish(5);
+                    true
+                }
+                Entry::Joined { .. } => false,
+            });
+            while c.waiters() == 0 {
+                std::thread::yield_now();
+            }
+            drop(t1); // leader "crashed" without publishing
+            assert!(waiter.join().unwrap(), "waiter must inherit the seat");
+        });
+    }
+}

@@ -1,0 +1,72 @@
+//! Typed service errors.
+
+use std::fmt;
+
+/// Why the service refused a request.
+///
+/// All variants are *caller-visible backpressure or usage errors*; the
+/// underlying snapshot object is never left in a partial state (rejected
+/// requests perform no register operations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded in-flight budget was exhausted. Retry later (the
+    /// admission check is wait-free; there is no queue to sit in).
+    Overloaded {
+        /// Requests in flight when the rejection was issued.
+        inflight: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A segment index was out of range.
+    InvalidSegment {
+        /// The offending index.
+        segment: usize,
+        /// Number of segments the object has.
+        segments: usize,
+    },
+    /// `scan_subset` was called with an empty segment list.
+    EmptySubset,
+    /// An update named a segment the lane does not own (the backing
+    /// construction is single-writer).
+    NotOwner {
+        /// The requesting lane.
+        lane: usize,
+        /// The foreign segment it tried to write.
+        segment: usize,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ServiceError::Overloaded { inflight, budget } => {
+                write!(f, "service overloaded: {inflight} requests in flight (budget {budget})")
+            }
+            ServiceError::InvalidSegment { segment, segments } => {
+                write!(f, "segment {segment} out of range (object has {segments} segments)")
+            }
+            ServiceError::EmptySubset => f.write_str("scan_subset requires at least one segment"),
+            ServiceError::NotOwner { lane, segment } => {
+                write!(
+                    f,
+                    "lane {lane} cannot update segment {segment}: the backing construction \
+                     is single-writer"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServiceError::Overloaded { inflight: 9, budget: 8 };
+        assert!(e.to_string().contains("budget 8"));
+        assert!(ServiceError::EmptySubset.to_string().contains("at least one"));
+    }
+}

@@ -1,0 +1,86 @@
+//! # snapshot-service — a sharded front-end for atomic snapshot objects
+//!
+//! The constructions in [`snapshot_core`] give each process a private
+//! handle to one shared snapshot object. This crate puts a *service* in
+//! front of any of them ([`SnapshotCore`] is the adapter trait) and adds
+//! the three things a shared front-end can provide that the raw objects
+//! cannot:
+//!
+//! ## Scan coalescing
+//!
+//! Under a scan-heavy load every caller runs its own double collect —
+//! `Θ(n)` register reads each, all observing nearly the same memory. The
+//! service instead lets concurrent scans rendezvous: one caller (the
+//! *leader*) runs the collect, everyone in the cohort returns the same
+//! view. This is sound for exactly the reason the paper's Observation 2 /
+//! Lemma 4.1 lets a scanner borrow an embedded view from a writer it saw
+//! move twice: a view may be borrowed only if the collect that produced
+//! it is nested inside the borrower's own operation interval. The
+//! coalescer enforces that with a generation counter — a request only
+//! accepts a view whose collect was *elected after the request arrived* —
+//! so a coalesced scan linearizes at the shared collect's linearization
+//! point, inside every cohort member's interval.
+//!
+//! ## Partial scans
+//!
+//! [`ServiceClient::scan_subset`] returns an atomic picture of just the
+//! requested segments. Where the backing construction exposes ABA-free
+//! per-segment certificates ([`SnapshotCore::certified_read`] — the
+//! unbounded construction's sequence numbers qualify; bounded handshake
+//! bits do not), the service runs a *projected double collect*: two
+//! adjacent passes over the subset with unchanged certificates certify
+//! that no write to those segments completed in between, which is
+//! Observation 1 restricted to the projection. Otherwise it falls back to
+//! projecting a full scan — still wait-free, because the constructions'
+//! own scans are. `snapshot-lin` ships a projected sequential spec
+//! (`check_partial_history`) so these histories can be checked by the
+//! Wing & Gong backtracking checker.
+//!
+//! ## Sharding and admission control
+//!
+//! Segments are partitioned into contiguous shards, each with its own
+//! cache-padded rendezvous, so subset scans confined to one shard
+//! coalesce among themselves without contending with full scans. A
+//! bounded in-flight budget turns overload into a typed
+//! [`ServiceError::Overloaded`] rejection (wait-free admission — there is
+//! no queue), and everything is observable through `snapshot-obs`
+//! metrics (`service.scan.coalesced`, `service.scan.solo`,
+//! `service.inflight`, log₂-µs latency histograms) and trace events for
+//! each coalescing decision.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use snapshot_core::UnboundedSnapshot;
+//! use snapshot_service::{ServiceConfig, SnapshotService};
+//!
+//! let service = SnapshotService::with_config(
+//!     UnboundedSnapshot::new(4, 0u64),
+//!     ServiceConfig { shards: 2, max_inflight: 64, ..ServiceConfig::default() },
+//! );
+//!
+//! std::thread::scope(|s| {
+//!     for lane in 0..4 {
+//!         let service = &service;
+//!         s.spawn(move || {
+//!             let mut client = service.client(lane);
+//!             client.update(lane, 7 * lane as u64 + 1).unwrap();
+//!             let view = client.scan().unwrap();          // possibly coalesced
+//!             assert_eq!(view.len(), 4);
+//!             let pair = client.scan_subset(&[0, 1]).unwrap(); // partial scan
+//!             assert_eq!(pair.segments(), &[0, 1]);
+//!         });
+//!     }
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coalesce;
+mod error;
+mod service;
+mod shard;
+
+pub use error::ServiceError;
+pub use service::{PartialView, ServiceClient, ServiceConfig, ServiceStats, SnapshotService};

@@ -1,0 +1,777 @@
+//! The sharded snapshot front-end.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use snapshot_core::{ScanStats, SnapshotCore, SnapshotView};
+use snapshot_obs::{Counter, Event, Gauge, Histogram, Registry, Trace};
+use snapshot_registers::{CachePadded, ProcessId, RegisterValue};
+
+use crate::coalesce::{Coalescer, Entry};
+use crate::shard::ShardMap;
+use crate::ServiceError;
+
+/// Tuning knobs for a [`SnapshotService`].
+///
+/// Values are normalized at construction: `shards` is clamped into
+/// `[1, segments]`, `max_inflight` and `max_partial_rounds` to at
+/// least 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of shards the segments are partitioned into (contiguous
+    /// balanced ranges, each with its own cache-padded coalescing state).
+    pub shards: usize,
+    /// Admission budget: requests in flight (including scans parked in a
+    /// coalescing rendezvous) beyond this are rejected with
+    /// [`ServiceError::Overloaded`].
+    pub max_inflight: usize,
+    /// Whether concurrent scans coalesce onto shared collects. Off, every
+    /// scan runs its own collect — the "solo" mode the equivalence tests
+    /// compare against.
+    pub coalesce: bool,
+    /// Certified-collect passes a partial scan attempts before falling
+    /// back to a projected full scan (the wait-free escape hatch).
+    pub max_partial_rounds: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { shards: 4, max_inflight: 256, coalesce: true, max_partial_rounds: 8 }
+    }
+}
+
+/// Per-request statistics reported by the `_with_stats` entry points.
+#[must_use]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// True if the request was served from another request's collect
+    /// (it joined a coalescing cohort and performed no register
+    /// operations itself).
+    pub coalesced: bool,
+    /// The coalescing generation of the view (0 when coalescing was off
+    /// or the request never touched a rendezvous).
+    pub generation: u64,
+    /// True if a partial scan fell back to projecting a full scan.
+    pub fallback_full: bool,
+    /// Certified-collect passes a partial scan performed (0 for full
+    /// scans and for fallbacks that never certified).
+    pub certified_rounds: u32,
+    /// Register-level statistics of the collect this request ran itself;
+    /// all zero for coalesced joins.
+    pub underlying: ScanStats,
+}
+
+/// An instantaneous picture of a subset of segments, as returned by
+/// [`ServiceClient::scan_subset`].
+///
+/// Segment indices are held in strictly increasing order (the service
+/// canonicalizes the request), and `values()[k]` is the observed value of
+/// `segments()[k]`.
+#[derive(Clone, Debug)]
+pub struct PartialView<V> {
+    segments: Arc<[usize]>,
+    values: Arc<[V]>,
+}
+
+impl<V> PartialView<V> {
+    fn new(segments: &[usize], values: Arc<[V]>) -> Self {
+        debug_assert_eq!(segments.len(), values.len());
+        PartialView { segments: segments.into(), values }
+    }
+
+    /// The covered segment indices, strictly increasing.
+    pub fn segments(&self) -> &[usize] {
+        &self.segments
+    }
+
+    /// The observed values, aligned with [`segments`](Self::segments).
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Number of covered segments.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the view covers no segments (never produced by the
+    /// service, which rejects empty subsets).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The observed value of `segment`, if it is covered.
+    pub fn get(&self, segment: usize) -> Option<&V> {
+        let k = self.segments.binary_search(&segment).ok()?;
+        Some(&self.values[k])
+    }
+
+    /// Iterates `(segment, value)` pairs in segment order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &V)> + '_ {
+        self.segments.iter().copied().zip(self.values.iter())
+    }
+}
+
+/// Pre-resolved metric handles (free-standing until a registry is
+/// attached, so the hot path never consults a registry).
+#[derive(Clone, Debug, Default)]
+struct Metrics {
+    coalesced: Counter,
+    solo: Counter,
+    partial: Counter,
+    fallback_full: Counter,
+    overloaded: Counter,
+    inflight: Gauge,
+    scan_latency: Histogram,
+    partial_latency: Histogram,
+    update_latency: Histogram,
+}
+
+impl Metrics {
+    fn from_registry(registry: &Registry) -> Self {
+        Metrics {
+            coalesced: registry.counter("service.scan.coalesced"),
+            solo: registry.counter("service.scan.solo"),
+            partial: registry.counter("service.scan.partial"),
+            fallback_full: registry.counter("service.partial.fallback_full"),
+            overloaded: registry.counter("service.overloaded"),
+            inflight: registry.gauge("service.inflight"),
+            scan_latency: registry.histogram("service.scan.latency_us"),
+            partial_latency: registry.histogram("service.partial.latency_us"),
+            update_latency: registry.histogram("service.update.latency_us"),
+        }
+    }
+}
+
+/// A concurrent front-end over one snapshot object.
+///
+/// The service multiplexes many clients onto any [`SnapshotCore`]
+/// construction, adding three things the raw object does not have:
+///
+/// * **scan coalescing** — concurrent full scans rendezvous so one
+///   double-collect pass serves a whole cohort (the `coalesce` module
+///   docs give the generation-counter argument tying this to
+///   Observation 2);
+/// * **partial scans** — [`ServiceClient::scan_subset`] returns an
+///   atomic picture of just the requested segments, via certified
+///   per-segment collects where the construction supports them
+///   ([`SnapshotCore::certified_read`]) and a projected full scan
+///   otherwise;
+/// * **admission control** — a bounded in-flight budget with typed
+///   [`ServiceError::Overloaded`] rejections instead of unbounded
+///   queueing, plus [`Registry`] metrics (`service.scan.coalesced`,
+///   `service.scan.solo`, `service.inflight`, log₂-µs latency
+///   histograms) and [`Trace`] events for every coalescing decision.
+///
+/// Clients are claimed per lane with [`client`](Self::client); the
+/// service itself is `Sync` and meant to be shared by reference across
+/// threads.
+pub struct SnapshotService<V: RegisterValue, C: SnapshotCore<V>> {
+    core: C,
+    cfg: ServiceConfig,
+    map: ShardMap,
+    /// Rendezvous for full scans.
+    global: CachePadded<Coalescer<SnapshotView<V>>>,
+    /// Per-shard rendezvous for subset scans confined to one shard; the
+    /// payload is the shard's contiguous range of values.
+    shards: Box<[CachePadded<Coalescer<Arc<[V]>>>]>,
+    inflight: CachePadded<AtomicUsize>,
+    lanes: Box<[AtomicBool]>,
+    metrics: Metrics,
+    trace: Trace,
+}
+
+impl<V: RegisterValue, C: SnapshotCore<V>> SnapshotService<V, C> {
+    /// Fronts `core` with the default configuration.
+    pub fn new(core: C) -> Self {
+        Self::with_config(core, ServiceConfig::default())
+    }
+
+    /// Fronts `core` with an explicit configuration (normalized; see
+    /// [`ServiceConfig`]).
+    pub fn with_config(core: C, config: ServiceConfig) -> Self {
+        let segments = core.segments();
+        assert!(segments > 0, "a snapshot service needs at least one segment");
+        let map = ShardMap::new(segments, config.shards);
+        let cfg = ServiceConfig {
+            shards: map.shards(),
+            max_inflight: config.max_inflight.max(1),
+            coalesce: config.coalesce,
+            max_partial_rounds: config.max_partial_rounds.max(1),
+        };
+        let lanes = (0..core.lanes()).map(|_| AtomicBool::new(false)).collect();
+        SnapshotService {
+            cfg,
+            map,
+            global: CachePadded::new(Coalescer::new()),
+            shards: (0..map.shards()).map(|_| CachePadded::new(Coalescer::new())).collect(),
+            inflight: CachePadded::new(AtomicUsize::new(0)),
+            lanes,
+            metrics: Metrics::default(),
+            trace: Trace::disabled(),
+            core,
+        }
+    }
+
+    /// Resolves this service's metrics from `registry` (names under
+    /// `service.*`).
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.metrics = Metrics::from_registry(registry);
+        self
+    }
+
+    /// Routes coalescing/admission decisions into `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The normalized configuration in effect.
+    pub fn config(&self) -> ServiceConfig {
+        self.cfg
+    }
+
+    /// Number of memory segments the backing object has.
+    pub fn segments(&self) -> usize {
+        self.core.segments()
+    }
+
+    /// Number of client lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The backing snapshot object.
+    pub fn backing(&self) -> &C {
+        &self.core
+    }
+
+    /// Requests currently in flight (admitted and not yet finished).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Scans currently parked in a coalescing rendezvous, waiting for a
+    /// collect they can accept.
+    pub fn coalescing_waiters(&self) -> usize {
+        self.global.waiters() + self.shards.iter().map(|s| s.waiters()).sum::<usize>()
+    }
+
+    /// Claims the client for `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or already claimed (one client
+    /// per lane, mirroring the per-process handle discipline of the
+    /// constructions).
+    pub fn client(&self, lane: usize) -> ServiceClient<'_, V, C> {
+        assert!(lane < self.lanes.len(), "lane {lane} out of range ({} lanes)", self.lanes.len());
+        let was = self.lanes[lane].swap(true, Ordering::AcqRel);
+        assert!(!was, "client for lane {lane} already claimed");
+        ServiceClient { service: self, lane: ProcessId::new(lane) }
+    }
+
+    /// Wait-free admission check: takes an in-flight slot or rejects.
+    fn admit(&self) -> Result<Admitted<'_, V, C>, ServiceError> {
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.cfg.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.overloaded.inc();
+            self.trace.emit(0, Event::ServiceOverload { inflight: prev });
+            return Err(ServiceError::Overloaded { inflight: prev, budget: self.cfg.max_inflight });
+        }
+        self.metrics.inflight.add(1);
+        Ok(Admitted { service: self })
+    }
+
+    fn check_segment(&self, segment: usize) -> Result<(), ServiceError> {
+        let segments = self.core.segments();
+        if segment >= segments {
+            return Err(ServiceError::InvalidSegment { segment, segments });
+        }
+        Ok(())
+    }
+
+    /// Sorted, deduplicated, validated copy of a requested subset.
+    fn canonical_subset(&self, segments: &[usize]) -> Result<Vec<usize>, ServiceError> {
+        if segments.is_empty() {
+            return Err(ServiceError::EmptySubset);
+        }
+        let mut subset = segments.to_vec();
+        subset.sort_unstable();
+        subset.dedup();
+        self.check_segment(*subset.last().expect("non-empty"))?;
+        Ok(subset)
+    }
+
+    /// One full scan, coalesced when enabled. Counts toward
+    /// `service.scan.solo` (ran the collect) or `service.scan.coalesced`
+    /// (joined someone else's).
+    fn full_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ServiceStats) {
+        if !self.cfg.coalesce {
+            let (view, stats) = self.core.core_scan(lane);
+            self.metrics.solo.inc();
+            return (view, ServiceStats { underlying: stats, ..ServiceStats::default() });
+        }
+        match self.global.enter() {
+            Entry::Joined { generation, view } => {
+                self.metrics.coalesced.inc();
+                self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
+                (view, ServiceStats { coalesced: true, generation, ..ServiceStats::default() })
+            }
+            Entry::Lead(token) => {
+                let generation = token.generation();
+                self.trace.emit(lane.get(), Event::CoalesceLead { generation });
+                let (view, stats) = self.core.core_scan(lane);
+                token.publish(view.clone());
+                self.metrics.solo.inc();
+                (view, ServiceStats { generation, underlying: stats, ..ServiceStats::default() })
+            }
+        }
+    }
+
+    /// Double collect over `subset` using certified reads: two adjacent
+    /// passes whose certificates all match make the second pass an
+    /// instantaneous picture of the subset (Observation 1 projected —
+    /// certificates are ABA-free, so unchanged certificates mean *no
+    /// write at all* completed in between). Returns `None` if the
+    /// construction offers no certified reads or contention exhausted the
+    /// round budget.
+    fn certified_collect(
+        &self,
+        lane: ProcessId,
+        subset: &[usize],
+    ) -> Option<(Vec<V>, u32, ScanStats)> {
+        let mut stats = ScanStats::default();
+        let read_all = |stats: &mut ScanStats| -> Option<Vec<(V, u64)>> {
+            stats.reads += subset.len() as u64;
+            subset.iter().map(|&s| self.core.certified_read(lane, s)).collect()
+        };
+        let mut prev = read_all(&mut stats)?;
+        for round in 1..=self.cfg.max_partial_rounds {
+            let next = read_all(&mut stats)?;
+            let clean = prev.iter().zip(&next).all(|(a, b)| a.1 == b.1);
+            if clean {
+                stats.double_collects = round;
+                let values = next.into_iter().map(|(v, _)| v).collect();
+                return Some((values, round, stats));
+            }
+            prev = next;
+        }
+        None
+    }
+
+    /// Produces the value range of one shard: a certified collect over
+    /// the range when possible, otherwise a projected full collect run
+    /// directly on the core (not through the global rendezvous — a shard
+    /// leader must make progress without waiting on other leaders).
+    fn shard_collect(
+        &self,
+        lane: ProcessId,
+        shard: usize,
+    ) -> (Arc<[V]>, u32, bool, ScanStats) {
+        let range = self.map.range(shard);
+        let segs: Vec<usize> = range.clone().collect();
+        if let Some((values, rounds, stats)) = self.certified_collect(lane, &segs) {
+            (values.into(), rounds, false, stats)
+        } else {
+            let (view, stats) = self.core.core_scan(lane);
+            (view[range].iter().cloned().collect(), 0, true, stats)
+        }
+    }
+
+    /// The partial-scan brain: single-shard subsets go through the
+    /// shard's rendezvous; anything else runs a direct certified collect,
+    /// falling back to a projected full scan (wait-free: the full scan is
+    /// the constructions' own bounded algorithm).
+    fn partial_scan(&self, lane: ProcessId, subset: &[usize]) -> (PartialView<V>, ServiceStats) {
+        let segments = self.core.segments();
+        if subset.len() == segments {
+            // Full coverage: this *is* a full scan, serve it as one.
+            let (view, stats) = self.full_scan(lane);
+            let values: Arc<[V]> = view.iter().cloned().collect();
+            return (PartialView::new(subset, values), stats);
+        }
+        if self.cfg.coalesce {
+            if let Some(shard) = self.map.shard_containing(subset) {
+                let start = self.map.range(shard).start;
+                let project = |range_values: &[V]| -> Arc<[V]> {
+                    subset.iter().map(|&s| range_values[s - start].clone()).collect()
+                };
+                match self.shards[shard].enter() {
+                    Entry::Joined { generation, view } => {
+                        self.metrics.coalesced.inc();
+                        self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
+                        let stats =
+                            ServiceStats { coalesced: true, generation, ..ServiceStats::default() };
+                        return (PartialView::new(subset, project(&view)), stats);
+                    }
+                    Entry::Lead(token) => {
+                        let generation = token.generation();
+                        self.trace.emit(lane.get(), Event::CoalesceLead { generation });
+                        let (range_values, rounds, fallback, stats) =
+                            self.shard_collect(lane, shard);
+                        token.publish(range_values.clone());
+                        self.metrics.solo.inc();
+                        let stats = ServiceStats {
+                            generation,
+                            fallback_full: fallback,
+                            certified_rounds: rounds,
+                            underlying: stats,
+                            ..ServiceStats::default()
+                        };
+                        return (PartialView::new(subset, project(&range_values)), stats);
+                    }
+                }
+            }
+        }
+        if let Some((values, rounds, stats)) = self.certified_collect(lane, subset) {
+            self.metrics.solo.inc();
+            let stats = ServiceStats {
+                certified_rounds: rounds,
+                underlying: stats,
+                ..ServiceStats::default()
+            };
+            return (PartialView::new(subset, values.into()), stats);
+        }
+        let (view, mut stats) = self.full_scan(lane);
+        stats.fallback_full = true;
+        let values: Arc<[V]> = subset.iter().map(|&s| view[s].clone()).collect();
+        (PartialView::new(subset, values), stats)
+    }
+}
+
+impl<V: RegisterValue, C: SnapshotCore<V>> std::fmt::Debug for SnapshotService<V, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotService")
+            .field("segments", &self.core.segments())
+            .field("lanes", &self.lanes.len())
+            .field("config", &self.cfg)
+            .finish()
+    }
+}
+
+/// RAII in-flight slot.
+struct Admitted<'a, V: RegisterValue, C: SnapshotCore<V>> {
+    service: &'a SnapshotService<V, C>,
+}
+
+impl<V: RegisterValue, C: SnapshotCore<V>> Drop for Admitted<'_, V, C> {
+    fn drop(&mut self) {
+        self.service.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.service.metrics.inflight.add(-1);
+    }
+}
+
+/// One lane's interface to a [`SnapshotService`].
+///
+/// Operations take `&mut self`: a lane runs at most one request at a
+/// time, which is exactly the discipline the constructions' handle
+/// registry enforces underneath.
+pub struct ServiceClient<'a, V: RegisterValue, C: SnapshotCore<V>> {
+    service: &'a SnapshotService<V, C>,
+    lane: ProcessId,
+}
+
+impl<V: RegisterValue, C: SnapshotCore<V>> ServiceClient<'_, V, C> {
+    /// The lane this client owns.
+    pub fn lane(&self) -> usize {
+        self.lane.get()
+    }
+
+    /// The service this client belongs to.
+    pub fn service(&self) -> &SnapshotService<V, C> {
+        self.service
+    }
+
+    /// A full scan: an instantaneous view of all segments.
+    pub fn scan(&mut self) -> Result<SnapshotView<V>, ServiceError> {
+        self.scan_with_stats().map(|(view, _)| view)
+    }
+
+    /// Like [`scan`](Self::scan), also reporting how the request was
+    /// served.
+    pub fn scan_with_stats(
+        &mut self,
+    ) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
+        let svc = self.service;
+        let _slot = svc.admit()?;
+        let start = Instant::now();
+        let out = svc.full_scan(self.lane);
+        svc.metrics.scan_latency.record(start.elapsed());
+        Ok(out)
+    }
+
+    /// A partial scan: an instantaneous picture of `segments` only
+    /// (deduplicated and sorted; the view reports the canonical order).
+    pub fn scan_subset(&mut self, segments: &[usize]) -> Result<PartialView<V>, ServiceError> {
+        self.scan_subset_with_stats(segments).map(|(view, _)| view)
+    }
+
+    /// Like [`scan_subset`](Self::scan_subset), also reporting how the
+    /// request was served.
+    pub fn scan_subset_with_stats(
+        &mut self,
+        segments: &[usize],
+    ) -> Result<(PartialView<V>, ServiceStats), ServiceError> {
+        let svc = self.service;
+        let subset = svc.canonical_subset(segments)?;
+        let _slot = svc.admit()?;
+        let start = Instant::now();
+        let (view, stats) = svc.partial_scan(self.lane, &subset);
+        svc.metrics.partial.inc();
+        if stats.fallback_full {
+            svc.metrics.fallback_full.inc();
+        }
+        svc.trace.emit(
+            self.lane.get(),
+            Event::PartialCollect {
+                segments: subset.len(),
+                rounds: stats.certified_rounds,
+                fallback: stats.fallback_full,
+            },
+        );
+        svc.metrics.partial_latency.record(start.elapsed());
+        Ok((view, stats))
+    }
+
+    /// Writes `value` to `segment`.
+    ///
+    /// For single-writer constructions `segment` must equal this client's
+    /// lane ([`ServiceError::NotOwner`] otherwise); multi-writer backings
+    /// accept any segment.
+    pub fn update(&mut self, segment: usize, value: V) -> Result<(), ServiceError> {
+        self.update_with_stats(segment, value).map(|_| ())
+    }
+
+    /// Like [`update`](Self::update), also reporting the embedded scan's
+    /// statistics.
+    pub fn update_with_stats(
+        &mut self,
+        segment: usize,
+        value: V,
+    ) -> Result<ScanStats, ServiceError> {
+        let svc = self.service;
+        svc.check_segment(segment)?;
+        if svc.core.single_writer() && segment != self.lane.get() {
+            return Err(ServiceError::NotOwner { lane: self.lane.get(), segment });
+        }
+        let _slot = svc.admit()?;
+        let start = Instant::now();
+        let stats = svc.core.core_update(self.lane, segment, value);
+        svc.metrics.update_latency.record(start.elapsed());
+        Ok(stats)
+    }
+}
+
+impl<V: RegisterValue, C: SnapshotCore<V>> Drop for ServiceClient<'_, V, C> {
+    fn drop(&mut self) {
+        self.service.lanes[self.lane.get()].store(false, Ordering::Release);
+    }
+}
+
+impl<V: RegisterValue, C: SnapshotCore<V>> std::fmt::Debug for ServiceClient<'_, V, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient").field("lane", &self.lane).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapshot_core::{BoundedSnapshot, LockSnapshot, MultiWriterSnapshot, UnboundedSnapshot};
+
+    #[test]
+    fn quiescent_scan_and_update_round_trip() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(4, 0u64));
+        let mut c1 = svc.client(1);
+        c1.update(1, 11).unwrap();
+        let view = c1.scan().unwrap();
+        assert_eq!(view.to_vec(), vec![0, 11, 0, 0]);
+    }
+
+    #[test]
+    fn partial_scan_projects_the_memory() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(5, 0u64));
+        let mut c0 = svc.client(0);
+        let mut c3 = svc.client(3);
+        c0.update(0, 7).unwrap();
+        c3.update(3, 9).unwrap();
+        let (view, stats) = c0.scan_subset_with_stats(&[3, 0]).unwrap();
+        assert_eq!(view.segments(), &[0, 3]);
+        assert_eq!(view.values(), &[7, 9]);
+        assert_eq!(view.get(3), Some(&9));
+        assert_eq!(view.get(1), None);
+        // The unbounded backing certifies segments, so no fallback.
+        assert!(!stats.fallback_full);
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_subsets_are_canonicalized() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(4, 0u32));
+        let mut c = svc.client(0);
+        let view = c.scan_subset(&[2, 0, 2, 0]).unwrap();
+        assert_eq!(view.segments(), &[0, 2]);
+        assert_eq!(view.len(), 2);
+    }
+
+    #[test]
+    fn subset_errors_are_typed() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(3, 0u32));
+        let mut c = svc.client(0);
+        assert_eq!(c.scan_subset(&[]).unwrap_err(), ServiceError::EmptySubset);
+        assert_eq!(
+            c.scan_subset(&[1, 3]).unwrap_err(),
+            ServiceError::InvalidSegment { segment: 3, segments: 3 }
+        );
+        assert_eq!(
+            c.update(1, 5).unwrap_err(),
+            ServiceError::NotOwner { lane: 0, segment: 1 }
+        );
+        assert_eq!(
+            c.update(9, 5).unwrap_err(),
+            ServiceError::InvalidSegment { segment: 9, segments: 3 }
+        );
+    }
+
+    #[test]
+    fn multiwriter_backing_allows_any_segment() {
+        let svc = SnapshotService::new(MultiWriterSnapshot::new(2, 6, 0u32));
+        assert_eq!(svc.segments(), 6);
+        assert_eq!(svc.lanes(), 2);
+        let mut c = svc.client(1);
+        c.update(4, 44).unwrap();
+        assert_eq!(c.scan_subset(&[4]).unwrap().values(), &[44]);
+    }
+
+    #[test]
+    fn uncertified_backings_fall_back_to_projected_full_scans() {
+        // Bounded and locked cores have no certified reads: a multi-shard
+        // subset must fall back (single-shard ones are coalesced via the
+        // shard rendezvous, also fallback-collected by the leader).
+        let svc = SnapshotService::with_config(
+            BoundedSnapshot::new(4, 0u32),
+            ServiceConfig { shards: 2, ..ServiceConfig::default() },
+        );
+        let mut c = svc.client(0);
+        c.update(0, 5).unwrap();
+        let (view, stats) = c.scan_subset_with_stats(&[0, 3]).unwrap(); // spans both shards
+        assert_eq!(view.values(), &[5, 0]);
+        assert!(stats.fallback_full);
+        assert_eq!(stats.certified_rounds, 0);
+
+        let (view, stats) = c.scan_subset_with_stats(&[0, 1]).unwrap(); // single shard
+        assert_eq!(view.values(), &[5, 0]);
+        assert!(stats.fallback_full, "shard leader must report its fallback");
+    }
+
+    #[test]
+    fn locked_backing_works_end_to_end() {
+        let svc = SnapshotService::new(LockSnapshot::new(3, 0u8));
+        let mut c = svc.client(2);
+        c.update(2, 9).unwrap();
+        assert_eq!(c.scan().unwrap().to_vec(), vec![0, 0, 9]);
+        assert_eq!(c.scan_subset(&[2]).unwrap().values(), &[9]);
+    }
+
+    #[test]
+    fn full_coverage_subset_is_served_as_a_full_scan() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(3, 0u32));
+        let mut c = svc.client(0);
+        c.update(0, 1).unwrap();
+        let (view, stats) = c.scan_subset_with_stats(&[0, 1, 2]).unwrap();
+        assert_eq!(view.values(), &[1, 0, 0]);
+        assert!(!stats.fallback_full);
+        assert_eq!(stats.certified_rounds, 0);
+    }
+
+    #[test]
+    fn solo_mode_never_coalesces() {
+        let registry = Registry::new();
+        let svc = SnapshotService::with_config(
+            UnboundedSnapshot::new(2, 0u32),
+            ServiceConfig { coalesce: false, ..ServiceConfig::default() },
+        )
+        .with_registry(&registry);
+        let mut c = svc.client(0);
+        for _ in 0..5 {
+            let (_, stats) = c.scan_with_stats().unwrap();
+            assert!(!stats.coalesced);
+        }
+        assert_eq!(registry.counter("service.scan.solo").get(), 5);
+        assert_eq!(registry.counter("service.scan.coalesced").get(), 0);
+    }
+
+    #[test]
+    fn sequential_scans_never_reuse_a_view() {
+        // Each scan's request starts after the previous collect, so the
+        // generation rule forces a fresh collect every time.
+        let svc = SnapshotService::new(UnboundedSnapshot::new(2, 0u32));
+        let mut c = svc.client(0);
+        let (_, s1) = c.scan_with_stats().unwrap();
+        let (_, s2) = c.scan_with_stats().unwrap();
+        assert!(!s1.coalesced && !s2.coalesced);
+        assert!(s2.generation > s1.generation);
+    }
+
+    #[test]
+    fn inflight_budget_rejects_with_typed_error() {
+        let svc = SnapshotService::with_config(
+            UnboundedSnapshot::new(2, 0u32),
+            ServiceConfig { max_inflight: 1, ..ServiceConfig::default() },
+        );
+        // Hold the only slot by faking an admitted request.
+        let slot = svc.admit().unwrap();
+        let mut c = svc.client(0);
+        assert_eq!(
+            c.scan().unwrap_err(),
+            ServiceError::Overloaded { inflight: 1, budget: 1 }
+        );
+        drop(slot);
+        assert!(c.scan().is_ok());
+    }
+
+    #[test]
+    fn lanes_are_exclusive_until_dropped() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(2, 0u32));
+        let c = svc.client(0);
+        drop(c);
+        let _c2 = svc.client(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn double_client_panics() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(2, 0u32));
+        let _a = svc.client(0);
+        let _b = svc.client(0);
+    }
+
+    #[test]
+    fn concurrent_scans_coalesce_under_load() {
+        // Liveness + counter smoke: with many scanning threads, at least
+        // one join happens and every scan returns a plausible view.
+        let registry = Registry::new();
+        let svc = SnapshotService::new(UnboundedSnapshot::new(4, 0u64)).with_registry(&registry);
+        std::thread::scope(|s| {
+            for lane in 0..4 {
+                let svc = &svc;
+                s.spawn(move || {
+                    let mut c = svc.client(lane);
+                    for k in 1..=200u64 {
+                        c.update(lane, k).unwrap();
+                        let view = c.scan().unwrap();
+                        assert_eq!(view.len(), 4);
+                    }
+                });
+            }
+        });
+        let solo = registry.counter("service.scan.solo").get();
+        let coalesced = registry.counter("service.scan.coalesced").get();
+        assert_eq!(solo + coalesced, 4 * 200);
+        assert!(solo > 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Partial scans through the service, checked against the projected
+//! sequential spec.
+//!
+//! The service serves `scan_subset` three ways — certified per-segment
+//! double collects (unbounded backing), shard-coalesced range views, and
+//! projected full scans (the wait-free fallback, the only option for the
+//! bounded backing) — and all three must produce views that are
+//! instantaneous pictures of the requested projection. The concurrent
+//! tests record every operation with a shared logical clock and hand the
+//! histories to the Wing & Gong checker under
+//! `snapshot_lin::check_partial_history`.
+
+use std::sync::Mutex;
+
+use snapshot_core::{
+    BoundedSnapshot, MultiWriterSnapshot, SnapshotCore, UnboundedSnapshot,
+};
+use snapshot_lin::{check_partial_history, PartialOp, WgOp, WgResult};
+use snapshot_obs::Clock;
+use snapshot_registers::ProcessId;
+use snapshot_service::{ServiceConfig, SnapshotService};
+
+// ---------------------------------------------------------------------------
+// Quiescent ground truth
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quiescent_partial_scans_equal_the_projected_full_scan() {
+    let service = SnapshotService::new(UnboundedSnapshot::new(6, 0u64));
+    for lane in 0..6 {
+        // Claim each lane transiently just to seed its segment.
+        let mut writer = service.client(lane);
+        writer.update(lane, 100 + lane as u64).unwrap();
+    }
+    let mut client = service.client(0);
+    let full = client.scan().unwrap();
+    for subset in [vec![0], vec![5], vec![1, 4], vec![0, 2, 3, 5], (0..6).collect()] {
+        let view = client.scan_subset(&subset).unwrap();
+        assert_eq!(view.segments(), subset.as_slice());
+        let expected: Vec<u64> = subset.iter().map(|&s| full[s]).collect();
+        assert_eq!(view.values(), expected.as_slice(), "subset {subset:?}");
+    }
+}
+
+#[test]
+fn certified_and_fallback_paths_report_themselves() {
+    // Unbounded: per-segment sequence numbers certify the projection.
+    let certified = SnapshotService::with_config(
+        UnboundedSnapshot::new(4, 0u64),
+        ServiceConfig { coalesce: false, ..ServiceConfig::default() },
+    );
+    let mut c = certified.client(0);
+    let (_, stats) = c.scan_subset_with_stats(&[0, 3]).unwrap();
+    assert!(!stats.fallback_full);
+    assert!(stats.certified_rounds >= 1);
+    assert_eq!(stats.underlying.reads as usize, 2 * (stats.certified_rounds as usize + 1));
+
+    // Bounded: handshake bits recur (ABA), so there is no certificate and
+    // the service projects a full scan instead.
+    let fallback = SnapshotService::with_config(
+        BoundedSnapshot::new(4, 0u64),
+        ServiceConfig { coalesce: false, ..ServiceConfig::default() },
+    );
+    let mut c = fallback.client(0);
+    let (_, stats) = c.scan_subset_with_stats(&[0, 3]).unwrap();
+    assert!(stats.fallback_full);
+    assert_eq!(stats.certified_rounds, 0);
+    assert!(stats.underlying.reads > 0, "the fallback runs a real collect");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent histories against the projected spec
+// ---------------------------------------------------------------------------
+
+/// Drives `threads` lanes of mixed updates / subset scans / full scans
+/// through a service over `core`, recording a `PartialOp` history on one
+/// shared clock, and returns the checker's verdict.
+fn run_partial_history<C: SnapshotCore<u64>>(core: C, ops_per_thread: usize) -> WgResult {
+    let single_writer = core.single_writer();
+    let words = core.segments();
+    let threads = core.lanes();
+    let service = SnapshotService::with_config(
+        core,
+        ServiceConfig { shards: 2, ..ServiceConfig::default() },
+    );
+    let clock = Clock::new();
+    let ops: Mutex<Vec<WgOp<PartialOp<u64>>>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for lane in 0..threads {
+            let service = &service;
+            let clock = &clock;
+            let ops = &ops;
+            s.spawn(move || {
+                let pid = ProcessId::new(lane);
+                let mut client = service.client(lane);
+                let record = |inv: u64, op: PartialOp<u64>| {
+                    let res = Some(clock.tick());
+                    ops.lock().unwrap().push(WgOp { pid, inv, res, op });
+                };
+                for k in 0..ops_per_thread {
+                    match k % 3 {
+                        0 => {
+                            // Single-writer lanes own their segment;
+                            // multi-writer lanes scatter.
+                            let word =
+                                if single_writer { lane } else { (lane + k) % words };
+                            let value = ((lane as u64) << 32) | (k as u64 + 1);
+                            let inv = clock.tick();
+                            client.update(word, value).expect("legal update");
+                            record(inv, PartialOp::Update { word, value });
+                        }
+                        1 => {
+                            // A wrapping two-segment window: sometimes one
+                            // shard (coalesced range view), sometimes two
+                            // (direct certified collect or fallback).
+                            let subset = {
+                                let a = (lane + k) % words;
+                                let b = (a + 1) % words;
+                                let mut s = vec![a, b];
+                                s.sort_unstable();
+                                s.dedup();
+                                s
+                            };
+                            let inv = clock.tick();
+                            let view = client.scan_subset(&subset).expect("valid subset");
+                            record(
+                                inv,
+                                PartialOp::ScanSubset {
+                                    segments: view.segments().to_vec(),
+                                    view: view.values().to_vec(),
+                                },
+                            );
+                        }
+                        _ => {
+                            let inv = clock.tick();
+                            let view = client.scan().expect("within budget");
+                            record(inv, PartialOp::Scan { view: view.to_vec() });
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut ops = ops.into_inner().unwrap();
+    ops.sort_by_key(|op| op.inv);
+    check_partial_history(words, 0u64, single_writer, &ops)
+}
+
+#[test]
+fn concurrent_partial_history_linearizes_on_the_certified_path() {
+    for round in 0..4 {
+        let verdict = run_partial_history(UnboundedSnapshot::new(3, 0u64), 9);
+        assert!(
+            matches!(verdict, WgResult::Linearizable { .. }),
+            "round {round}: certified-path history rejected: {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_partial_history_linearizes_on_the_fallback_path() {
+    for round in 0..4 {
+        let verdict = run_partial_history(BoundedSnapshot::new(3, 0u64), 9);
+        assert!(
+            matches!(verdict, WgResult::Linearizable { .. }),
+            "round {round}: fallback-path history rejected: {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_partial_history_linearizes_on_a_multiwriter_backing() {
+    for round in 0..4 {
+        let verdict = run_partial_history(MultiWriterSnapshot::new(3, 4, 0u64), 9);
+        assert!(
+            matches!(verdict, WgResult::Linearizable { .. }),
+            "round {round}: multi-writer history rejected: {verdict:?}"
+        );
+    }
+}
