@@ -65,6 +65,13 @@ pub enum AbdError {
         /// The register whose value failed to downcast.
         register: RegisterId,
     },
+    /// The replica fleet is poisoned: a replica thread panicked, or the
+    /// network was explicitly [`poison`](crate::Network::poison)ed.
+    ///
+    /// Unlike [`QuorumUnavailable`](AbdError::QuorumUnavailable) this is
+    /// terminal — retries cannot succeed, so every operation on a poisoned
+    /// network fails fast (no retransmission burn, no timeout wait).
+    NetworkPoisoned,
 }
 
 impl fmt::Display for AbdError {
@@ -83,6 +90,10 @@ impl fmt::Display for AbdError {
             AbdError::ValueTypeMismatch { register } => write!(
                 f,
                 "replica returned a value of the wrong type for register {register:?}"
+            ),
+            AbdError::NetworkPoisoned => f.write_str(
+                "replica fleet poisoned (a replica thread panicked or the network was \
+                 marked failed); operations cannot succeed and fail fast",
             ),
         }
     }

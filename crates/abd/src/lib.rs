@@ -32,7 +32,13 @@
 //!   constructions' [`Backend`] interface, so **the very same snapshot
 //!   code** that runs on shared memory runs message-passing, and keeps
 //!   working while any minority of replicas is crashed, partitioned, or
-//!   behind a lossy link.
+//!   behind a lossy link;
+//! * [`AbdSnapshotCore`] — the unbounded single-writer construction
+//!   (Figure 2) run *fallibly* over `AbdRegister` lanes through
+//!   `snapshot-core`'s `TrySnapshotCore` interface: where the infallible
+//!   backend panics past the liveness boundary, this surfaces typed
+//!   `CoreError`s the `snapshot-service` front-end retries, sheds, or
+//!   fans out to a coalescing cohort.
 //!
 //! [`Backend`]: snapshot_registers::Backend
 //!
@@ -83,9 +89,11 @@ mod fault;
 mod message;
 mod network;
 mod register;
+mod snapshot_core;
 mod stats;
 
 pub use backend::AbdBackend;
+pub use snapshot_core::AbdSnapshotCore;
 pub use error::{AbdError, AbdPhase};
 pub use fault::{Dwell, FaultPlan, LinkFault, Nemesis, NemesisEvent, NemesisPhase};
 pub use message::{RegisterId, Tag};

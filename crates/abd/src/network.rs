@@ -418,6 +418,9 @@ pub struct Network {
     op_timeout: Duration,
     retry: RetryPolicy,
     panicked: Arc<AtomicBool>,
+    /// Explicitly marked failed via [`Network::poison`]; unlike `panicked`
+    /// this is not escalated to a panic on drop.
+    marked_failed: AtomicBool,
 }
 
 impl Network {
@@ -521,6 +524,7 @@ impl Network {
             op_timeout: config.op_timeout,
             retry: config.retry,
             panicked,
+            marked_failed: AtomicBool::new(false),
         }
     }
 
@@ -647,11 +651,28 @@ impl Network {
         }
     }
 
-    /// True if any replica thread has panicked. Checked (and escalated to
-    /// a panic) when the network is dropped, so a poisoned replica fleet
-    /// cannot silently pass a test.
+    /// True if the fleet is failed: a replica thread panicked, or
+    /// [`poison`](Self::poison) was called. Every register operation on a
+    /// poisoned network fails fast with
+    /// [`AbdError::NetworkPoisoned`](crate::AbdError::NetworkPoisoned)
+    /// instead of burning its retry/timeout budget. Thread panics are
+    /// additionally escalated to a panic when the network is dropped, so a
+    /// poisoned replica fleet cannot silently pass a test.
     pub fn poisoned(&self) -> bool {
-        self.panicked.load(Ordering::Acquire)
+        self.panicked.load(Ordering::Acquire) || self.marked_failed.load(Ordering::Acquire)
+    }
+
+    /// Marks the fleet as permanently failed: every subsequent register
+    /// operation fails fast with
+    /// [`AbdError::NetworkPoisoned`](crate::AbdError::NetworkPoisoned).
+    ///
+    /// There is no un-poison — this models an unrecoverable deployment
+    /// fault (as opposed to [`partition`](Self::partition)/
+    /// [`crash`](Self::crash), which [`heal`](Self::heal)/
+    /// [`restart`](Self::restart) undo). Tests use it to pin down the
+    /// fail-fast contract without having to panic a replica thread.
+    pub fn poison(&self) {
+        self.marked_failed.store(true, Ordering::Release);
     }
 
     /// Allocates a fresh register id.

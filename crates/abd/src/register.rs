@@ -178,6 +178,12 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
         mut on_reply: impl FnMut(ResponseBody) -> bool,
     ) -> Result<(), AbdError> {
         let network = &self.network;
+        // Fail fast on a poisoned fleet: no broadcast, no backoff, no
+        // timeout wait — retries against a panicked replica thread (or an
+        // explicitly poisoned network) can never succeed.
+        if network.poisoned() {
+            return Err(AbdError::NetworkPoisoned);
+        }
         let id = network.fresh_request_id();
         let (tx, rx) = unbounded();
         let started = Instant::now();
@@ -240,6 +246,11 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
                     needed,
                     elapsed: started.elapsed(),
                 });
+            }
+            // A fleet poisoned mid-phase cannot answer any more: stop
+            // retransmitting instead of spinning until the timeout.
+            if network.poisoned() {
+                return Err(AbdError::NetworkPoisoned);
             }
             // Messages may have been dropped: retransmit (same request id,
             // so replicas dedupe) to every replica still silent.
@@ -322,7 +333,8 @@ mod tests {
         let mut best = (Tag::default(), None);
         fold_max_tag(&mut best, Tag::default(), None);
         fold_max_tag(&mut best, Tag::default(), None);
-        assert_eq!(best, (Tag::default(), None));
+        assert_eq!(best.0, Tag::default());
+        assert!(best.1.is_none());
 
         // Equal tags: a value-carrying reply beats a valueless one,
         // regardless of order.

@@ -1,0 +1,347 @@
+//! The unbounded single-writer snapshot construction over ABD registers,
+//! with failure as a first-class value.
+//!
+//! Section 6 of the paper: applying the \[ABD\] register emulators to the
+//! snapshot constructions yields atomic snapshot memory in message-passing
+//! systems, "resilient to process and link failures, as long as a majority
+//! of the system remains connected". [`AbdSnapshotCore`] is that stack
+//! built *fallibly*: it runs Figure 2's double-collect + borrowed-view
+//! algorithm over one [`AbdRegister`] lane per process, and where the
+//! in-process constructions could only panic or hang past the liveness
+//! boundary, every operation here returns a typed
+//! [`CoreError`] the service layer can retry, shed, or surface.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use snapshot_core::{CoreError, ScanStats, SnapshotView, TrySnapshotCore};
+use snapshot_registers::{CachePadded, ProcessId};
+
+use crate::{AbdError, AbdRegister, Network};
+
+/// Contents of register `r_i` in Figure 2, stored as one ABD register
+/// value: `(value, seq, view)` written in one (emulated) atomic write.
+#[derive(Clone)]
+struct AbdRecord<V> {
+    value: V,
+    seq: u64,
+    view: SnapshotView<V>,
+}
+
+fn core_error(e: AbdError) -> CoreError {
+    match e {
+        // The liveness boundary: a healed partition or restarted replica
+        // can make the next attempt succeed.
+        AbdError::QuorumUnavailable { .. } => CoreError::Unavailable { reason: e.to_string() },
+        // Terminal faults: retries cannot succeed.
+        AbdError::NetworkPoisoned | AbdError::ValueTypeMismatch { .. } => {
+            CoreError::Failed { reason: e.to_string() }
+        }
+    }
+}
+
+/// The unbounded single-writer snapshot (Figure 2) emulated over the
+/// replicas of a [`Network`], exposed through the fallible
+/// [`TrySnapshotCore`] interface.
+///
+/// Each of the `n` lanes owns one [`AbdRegister`] holding `(value, seq,
+/// view)`. A scan runs double collects until two consecutive collects
+/// agree on every sequence number (Observation 1: the second collect is a
+/// snapshot) or some lane is observed to move twice (Observation 2: its
+/// embedded view is borrowed). An update runs the embedded scan, then one
+/// register write of `(value, seq + 1, view)` — wait-free in register
+/// operations by the paper's pigeonhole bound of `n + 1` double collects.
+///
+/// Every register operation is two quorum phases that can starve: a drop,
+/// partition, or crashed majority surfaces as
+/// [`CoreError::Unavailable`] (retryable — heal the network and try
+/// again), and a poisoned fleet as [`CoreError::Failed`] (terminal). An
+/// errored update is *indeterminate*: the write may have reached some
+/// replicas and may yet become visible, exactly like a crashed writer in
+/// the paper's model — its sequence number is consumed either way, so a
+/// retry never reuses one.
+///
+/// The single-writer discipline is per **lane**: the caller (normally
+/// `snapshot-service`) must run at most one operation per lane at a time;
+/// a busy lane panics, mirroring the in-process constructions' handle
+/// registry.
+pub struct AbdSnapshotCore<V> {
+    network: Arc<Network>,
+    regs: Box<[AbdRegister<AbdRecord<V>>]>,
+    /// Next sequence number per lane. Authoritative because registers are
+    /// allocated fresh by this core and written only by their own lane;
+    /// bumped *before* each write so an indeterminate (errored) write
+    /// still consumes its number.
+    seqs: Box<[CachePadded<AtomicU64>]>,
+    busy: Box<[AtomicBool]>,
+    n: usize,
+}
+
+impl<V: Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
+    /// Creates the object for `n` lanes over `network`'s replicas, every
+    /// segment holding `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(network: &Arc<Network>, n: usize, init: V) -> Self {
+        assert!(n > 0, "a snapshot object needs at least one process");
+        let initial_view = SnapshotView::from(vec![init.clone(); n]);
+        AbdSnapshotCore {
+            regs: (0..n)
+                .map(|_| {
+                    AbdRegister::new(
+                        Arc::clone(network),
+                        AbdRecord { value: init.clone(), seq: 0, view: initial_view.clone() },
+                    )
+                })
+                .collect(),
+            seqs: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            busy: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            network: Arc::clone(network),
+            n,
+        }
+    }
+
+    /// The network this core's registers are emulated over.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    fn claim(&self, lane: ProcessId) -> LaneGuard<'_> {
+        let i = lane.get();
+        assert!(i < self.n, "lane {i} out of range ({} lanes)", self.n);
+        let was = self.busy[i].swap(true, Ordering::AcqRel);
+        assert!(!was, "lane {i} already has an operation in flight");
+        LaneGuard { flag: &self.busy[i] }
+    }
+
+    /// One collect: read all `n` registers. Any starved quorum phase
+    /// aborts the collect with a typed error.
+    fn collect(&self, lane: ProcessId) -> Result<Vec<AbdRecord<V>>, CoreError> {
+        (0..self.n).map(|j| self.regs[j].try_read(lane).map_err(core_error)).collect()
+    }
+
+    /// `procedure scan_i` of Figure 2, fallibly. The caller holds the
+    /// lane claim.
+    fn scan_inner(&self, lane: ProcessId) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
+        let n = self.n;
+        let mut moved = vec![0u8; n];
+        let mut stats = ScanStats::default();
+        loop {
+            let a = self.collect(lane)?; // line 1
+            let b = self.collect(lane)?; // line 2
+            stats.double_collects += 1;
+            stats.reads += 2 * n as u64;
+            debug_assert!(
+                stats.double_collects as usize <= n + 1,
+                "wait-freedom bound violated: {} double collects for n = {n}",
+                stats.double_collects
+            );
+            if (0..n).all(|j| a[j].seq == b[j].seq) {
+                // Observation 1: nobody moved between the collects.
+                let values = b.into_iter().map(|r| r.value).collect::<Vec<_>>();
+                return Ok((SnapshotView::from(values), stats));
+            }
+            for j in 0..n {
+                if a[j].seq != b[j].seq {
+                    if moved[j] == 1 {
+                        // Observation 2: lane j completed a whole update
+                        // (embedded scan included) inside our interval.
+                        stats.borrowed = true;
+                        return Ok((b[j].view.clone(), stats));
+                    }
+                    moved[j] += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Releases the lane's busy flag even when an operation errors or panics
+/// mid-flight, so a failed operation never wedges its lane.
+struct LaneGuard<'a> {
+    flag: &'a AtomicBool,
+}
+
+impl Drop for LaneGuard<'_> {
+    fn drop(&mut self) {
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V> {
+    fn segments(&self) -> usize {
+        self.n
+    }
+
+    fn lanes(&self) -> usize {
+        self.n
+    }
+
+    fn single_writer(&self) -> bool {
+        true
+    }
+
+    fn try_scan(&self, lane: ProcessId) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
+        let _guard = self.claim(lane);
+        self.scan_inner(lane)
+    }
+
+    fn try_update(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: V,
+    ) -> Result<ScanStats, CoreError> {
+        assert_eq!(
+            segment,
+            lane.get(),
+            "single-writer construction: lane {lane} cannot update segment {segment}"
+        );
+        let _guard = self.claim(lane);
+        let (view, mut stats) = self.scan_inner(lane)?; // Fig. 2 update line 1
+        let seq = self.seqs[lane.get()].fetch_add(1, Ordering::Relaxed) + 1;
+        self.regs[lane.get()]
+            .try_write(lane, AbdRecord { value, seq, view }) // line 2
+            .map_err(core_error)?;
+        stats.writes += 1;
+        Ok(stats)
+    }
+
+    /// Figure 2's `seq` is the ABA-free certificate: strictly monotone
+    /// under the single-writer discipline, so no two writes of a segment
+    /// ever share it.
+    fn try_certified_read(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+    ) -> Result<Option<(V, u64)>, CoreError> {
+        assert!(segment < self.n, "segment {segment} out of range ({} segments)", self.n);
+        let r = self.regs[segment].try_read(reader).map_err(core_error)?;
+        Ok(Some((r.value, r.seq)))
+    }
+}
+
+impl<V> fmt::Debug for AbdSnapshotCore<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbdSnapshotCore")
+            .field("lanes", &self.n)
+            .field("replicas", &self.network.replicas())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use crate::{NetworkConfig, RetryPolicy};
+
+    fn fast_net(replicas: usize) -> Arc<Network> {
+        Arc::new(Network::with_config(
+            NetworkConfig::new(replicas)
+                .with_op_timeout(Duration::from_millis(80))
+                .with_retry(RetryPolicy {
+                    initial_backoff: Duration::from_micros(200),
+                    max_backoff: Duration::from_millis(5),
+                    multiplier: 2,
+                    jitter: 0.5,
+                }),
+        ))
+    }
+
+    #[test]
+    fn healthy_round_trip() {
+        let net = fast_net(3);
+        let core = AbdSnapshotCore::new(&net, 3, 0u32);
+        let p1 = ProcessId::new(1);
+        core.try_update(p1, 1, 11).unwrap();
+        let (view, stats) = core.try_scan(p1).unwrap();
+        assert_eq!(view.to_vec(), vec![0, 11, 0]);
+        assert!(stats.double_collects >= 1);
+        assert_eq!(stats.reads % 6, 0, "collects touch all 3 registers");
+    }
+
+    #[test]
+    fn certificates_move_with_every_write() {
+        let net = fast_net(3);
+        let core = AbdSnapshotCore::new(&net, 2, 0u32);
+        let p0 = ProcessId::new(0);
+        let (v, c1) = core.try_certified_read(p0, 0).unwrap().unwrap();
+        assert_eq!(v, 0);
+        core.try_update(p0, 0, 7).unwrap();
+        let (v, c2) = core.try_certified_read(p0, 0).unwrap().unwrap();
+        assert_eq!(v, 7);
+        assert!(c2 > c1, "certificate must move with every write");
+    }
+
+    #[test]
+    fn majority_partition_surfaces_retryable_error_then_recovers() {
+        let net = fast_net(3);
+        let core = AbdSnapshotCore::new(&net, 2, 0u32);
+        let p0 = ProcessId::new(0);
+        core.try_update(p0, 0, 1).unwrap();
+
+        net.partition(&[0, 1]); // majority gone
+        let err = core.try_scan(p0).unwrap_err();
+        assert!(err.retryable(), "quorum loss must be retryable: {err}");
+        let err = core.try_update(p0, 0, 2).unwrap_err();
+        assert!(err.retryable());
+
+        net.heal();
+        let (view, _) = core.try_scan(p0).unwrap();
+        // The partitioned update was indeterminate; either outcome is
+        // linearizable, and the register must answer again.
+        assert!(view[0] == 1 || view[0] == 2, "view {:?}", view.to_vec());
+    }
+
+    #[test]
+    fn indeterminate_updates_never_reuse_a_sequence_number() {
+        let net = fast_net(3);
+        let core = AbdSnapshotCore::new(&net, 1, 0u32);
+        let p0 = ProcessId::new(0);
+        core.try_update(p0, 0, 1).unwrap();
+        let (_, c1) = core.try_certified_read(p0, 0).unwrap().unwrap();
+
+        net.partition(&[0, 1, 2]);
+        assert!(core.try_update(p0, 0, 2).is_err());
+        net.heal();
+
+        core.try_update(p0, 0, 3).unwrap();
+        let (v, c2) = core.try_certified_read(p0, 0).unwrap().unwrap();
+        assert_eq!(v, 3);
+        // Certificates stay strictly monotone across the error. (The
+        // blackout starved the update's *embedded scan*, before the seq
+        // allocation — nothing consumed. A write-phase failure would have
+        // consumed its seq: the `fetch_add` makes reuse impossible either
+        // way.)
+        assert_eq!(c2, c1 + 1);
+        assert!(c2 > c1, "certificate must move on the successful retry");
+    }
+
+    #[test]
+    fn poisoned_fleet_is_a_terminal_error() {
+        let net = fast_net(3);
+        let core = AbdSnapshotCore::new(&net, 2, 0u32);
+        let p0 = ProcessId::new(0);
+        core.try_update(p0, 0, 5).unwrap();
+        net.poison();
+        let err = core.try_scan(p0).unwrap_err();
+        assert!(!err.retryable(), "poisoned fleet must be terminal: {err}");
+    }
+
+    #[test]
+    fn errored_operations_release_their_lane() {
+        let net = fast_net(3);
+        let core = AbdSnapshotCore::new(&net, 2, 0u32);
+        let p0 = ProcessId::new(0);
+        net.partition(&[0, 1, 2]);
+        assert!(core.try_scan(p0).is_err());
+        net.heal();
+        // The lane is reusable after the error.
+        assert!(core.try_scan(p0).is_ok());
+    }
+}

@@ -1,21 +1,22 @@
 //! `snapbench` — the tracked benchmark suite behind `BENCH_*.json`.
 //!
 //! Runs a fixed matrix of workloads (`scan_heavy`, `update_heavy`,
-//! `mixed`, the multi-writer-only `contended_mw`, and the
+//! `mixed`, the multi-writer-only `contended_mw`, the
 //! service-routed `partial-scan-{s1,sq,sn}` family — subset sizes 1,
-//! n/4 and n through `snapshot_service::SnapshotService`) against the
-//! four contention-relevant constructions (`unbounded`, `bounded`,
-//! `multiwriter`, `locked`) at several thread counts, on real OS threads
-//! with wall-clock timing. Unlike the criterion micro-benchmarks in
-//! `benches/`, the output is a stable machine-readable JSON report
-//! (schema `snapbench/v1`, see `snapshot_bench::tracked`) meant to be
-//! committed and diffed:
+//! n/4 and n through `snapshot_service::SnapshotService` — and
+//! `abd-scan`, the service over an `AbdSnapshotCore` on a healthy
+//! in-process replica network) against the four contention-relevant
+//! constructions (`unbounded`, `bounded`, `multiwriter`, `locked`) at
+//! several thread counts, on real OS threads with wall-clock timing.
+//! Unlike the criterion micro-benchmarks in `benches/`, the output is a
+//! stable machine-readable JSON report (schema `snapbench/v1`, see
+//! `snapshot_bench::tracked`) meant to be committed and diffed:
 //!
 //! ```text
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --out BENCH_4.json
+//!     --out BENCH_5.json
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --quick --compare BENCH_4.json --report-only
+//!     --quick --compare BENCH_5.json --report-only
 //! ```
 //!
 //! `--compare` exits with status 1 when any entry's median ns/op
@@ -23,13 +24,14 @@
 //! baseline, unless `--report-only` is given. Usage errors exit 2.
 
 use std::process::ExitCode;
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
+use snapshot_abd::{AbdSnapshotCore, Network, NetworkConfig};
 use snapshot_bench::tracked::{self, BenchEntry, BenchReport};
 use snapshot_core::{
     BoundedSnapshot, LockSnapshot, MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle,
-    SnapshotCore, SwSnapshot, SwSnapshotHandle, UnboundedSnapshot,
+    SwSnapshot, SwSnapshotHandle, TrySnapshotCore, UnboundedSnapshot,
 };
 use snapshot_registers::ProcessId;
 use snapshot_service::SnapshotService;
@@ -52,10 +54,16 @@ enum Workload {
     /// Service-routed: subsets covering all n segments (the coalesced
     /// full-scan path in service clothing).
     PartialScanSn,
+    /// Service over `AbdSnapshotCore` on a healthy in-process replica
+    /// network: alternating update / full scan, every register access a
+    /// pair of quorum phases. Runs only against `unbounded` (the
+    /// construction `AbdSnapshotCore` executes) with reduced iteration
+    /// counts — message-passing ops are orders of magnitude slower.
+    AbdScan,
 }
 
 impl Workload {
-    const ALL: [Workload; 7] = [
+    const ALL: [Workload; 8] = [
         Workload::ScanHeavy,
         Workload::UpdateHeavy,
         Workload::Mixed,
@@ -63,6 +71,7 @@ impl Workload {
         Workload::PartialScanS1,
         Workload::PartialScanSq,
         Workload::PartialScanSn,
+        Workload::AbdScan,
     ];
 
     fn name(self) -> &'static str {
@@ -74,6 +83,7 @@ impl Workload {
             Workload::PartialScanS1 => "partial-scan-s1",
             Workload::PartialScanSq => "partial-scan-sq",
             Workload::PartialScanSn => "partial-scan-sn",
+            Workload::AbdScan => "abd-scan",
         }
     }
 
@@ -87,6 +97,16 @@ impl Workload {
             Workload::PartialScanS1 | Workload::PartialScanSq | Workload::PartialScanSn => {
                 k % 2 == 0
             }
+            Workload::AbdScan => k % 2 == 0,
+        }
+    }
+
+    /// Per-thread iteration divisor: quorum-phase workloads are orders
+    /// of magnitude slower per op, so they run a slice of the budget.
+    fn iters_divisor(self) -> u64 {
+        match self {
+            Workload::AbdScan => 20,
+            _ => 1,
         }
     }
 
@@ -175,6 +195,11 @@ fn suite(tuning: &Tuning) -> Vec<Config> {
             // The contended workload writes arbitrary words, which only
             // the multi-writer construction supports.
             if workload == Workload::ContendedMw && construction != Construction::MultiWriter {
+                continue;
+            }
+            // The abd workload always runs Figure 2 over ABD lanes,
+            // which is the unbounded construction.
+            if workload == Workload::AbdScan && construction != Construction::Unbounded {
                 continue;
             }
             for &threads in tuning.thread_counts {
@@ -270,7 +295,7 @@ fn time_mw<O: MwSnapshot<u64>>(object: &O, threads: usize, iters: u64, workload:
 /// window of `subset_len` segments, exercising certified collects, shard
 /// coalescing, and the projected-full-scan fallback depending on the
 /// backing construction.
-fn time_service<C: SnapshotCore<u64>>(
+fn time_service<C: TrySnapshotCore<u64>>(
     core: C,
     threads: usize,
     iters: u64,
@@ -317,17 +342,59 @@ fn time_service<C: SnapshotCore<u64>>(
     elapsed
 }
 
+/// Times one sample of the `abd-scan` workload: the service fronts an
+/// `AbdSnapshotCore` whose every register access is a pair of quorum
+/// phases over a healthy in-process 3-replica network. Full scans (the
+/// coalesced path) alternate with single-writer updates; on a healthy
+/// network every fallible operation must succeed.
+fn time_abd(threads: usize, iters: u64) -> u128 {
+    let network = Arc::new(Network::with_config(NetworkConfig::new(3)));
+    let service = SnapshotService::new(AbdSnapshotCore::new(&network, threads, 0u64));
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = 0u128;
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let barrier = &barrier;
+            let service = &service;
+            s.spawn(move || {
+                let mut client = service.client(i);
+                barrier.wait();
+                let mut acc = 0u64;
+                for k in 0..iters {
+                    if k % 2 == 0 {
+                        client
+                            .update(i, ((i as u64) << 32) | k)
+                            .expect("healthy network");
+                    } else {
+                        let view = client.scan().expect("healthy network");
+                        acc = acc.wrapping_add(view.iter().sum::<u64>());
+                    }
+                }
+                std::hint::black_box(acc);
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        elapsed = start.elapsed().as_nanos();
+    });
+    elapsed
+}
+
 /// Runs one matrix cell: warmups, then `samples` timed runs; returns the
 /// finished entry. A fresh object is built per sample so handle claims
 /// and cache state never leak between samples.
 fn run_config(config: &Config, tuning: &Tuning) -> BenchEntry {
     let threads = config.threads;
-    let iters = tuning.iters_per_thread;
+    let iters = (tuning.iters_per_thread / config.workload.iters_divisor()).max(2);
     let total_ops = threads as u64 * iters;
     let mut ns_per_op = Vec::with_capacity(tuning.samples as usize);
 
     for round in 0..tuning.warmup + tuning.samples {
-        let elapsed = if let Some(subset_len) = config.workload.subset_len(threads) {
+        let elapsed = if config.workload == Workload::AbdScan {
+            time_abd(threads, iters)
+        } else if let Some(subset_len) = config.workload.subset_len(threads) {
             match config.construction {
                 Construction::Unbounded => {
                     time_service(UnboundedSnapshot::new(threads, 0u64), threads, iters, subset_len)
@@ -410,7 +477,7 @@ const USAGE: &str = "usage: snapbench [--quick] [--out PATH] [--compare BASELINE
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_4.json".to_string(),
+        out: "BENCH_5.json".to_string(),
         compare: None,
         threshold_pct: 20.0,
         report_only: false,

@@ -1,0 +1,271 @@
+//! Fallible object-level operations.
+//!
+//! The paper's constructions assume registers that never fail, so
+//! [`SnapshotCore`] is infallible. Emulated registers (the ABD
+//! message-passing emulation of Section 6) are *live only while a majority
+//! of replicas is reachable*: a register operation issued past that
+//! boundary must surface an error, not hang or panic. [`TrySnapshotCore`]
+//! is the fallible twin of [`SnapshotCore`] — same lanes/segments
+//! contract, every operation returns `Result<_, CoreError>` — and the
+//! [`impl_try_snapshot_core!`](crate::impl_try_snapshot_core) forwarding
+//! macro lifts any infallible core into it (applied here to every
+//! construction in this crate), so one service front-end serves both.
+
+use std::fmt;
+
+use snapshot_registers::{Backend, ProcessId, RegisterValue};
+
+use crate::{ScanStats, SnapshotCore, SnapshotView};
+
+/// Why a fallible snapshot operation could not complete.
+///
+/// The distinction that matters to callers is *retryability*: an
+/// [`Unavailable`](CoreError::Unavailable) core may answer again once the
+/// backing heals (a partition lifted, replicas restarted), while a
+/// [`Failed`](CoreError::Failed) core never will — retrying it only burns
+/// the caller's budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// The backing register layer lost liveness (e.g. an ABD quorum phase
+    /// starved without a majority). The operation is *indeterminate*: an
+    /// update may or may not have taken effect, exactly like a crashed
+    /// writer in the paper's model. Retrying after the backing heals may
+    /// succeed.
+    Unavailable {
+        /// What the register layer reported.
+        reason: String,
+    },
+    /// The backing store failed permanently (a poisoned replica fleet, a
+    /// type-confused register). Retries cannot succeed.
+    Failed {
+        /// What the register layer reported.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// True if retrying the operation later may succeed.
+    pub fn retryable(&self) -> bool {
+        matches!(self, CoreError::Unavailable { .. })
+    }
+
+    /// The backing layer's diagnostic message.
+    pub fn reason(&self) -> &str {
+        match self {
+            CoreError::Unavailable { reason } | CoreError::Failed { reason } => reason,
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Unavailable { reason } => {
+                write!(f, "snapshot backing unavailable (retryable): {reason}")
+            }
+            CoreError::Failed { reason } => {
+                write!(f, "snapshot backing failed permanently: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Fallible twin of [`SnapshotCore`]: the same object-level contract
+/// (lanes, segments, the single-writer discipline, certified reads) with
+/// every operation returning `Result<_, CoreError>`.
+///
+/// Contract violations (a lane out of range, a busy lane, a single-writer
+/// update to a foreign segment) still panic — they are caller bugs the
+/// service layer validates away before calling, not runtime faults.
+/// `CoreError` is reserved for the backing losing liveness mid-operation.
+///
+/// Every infallible [`SnapshotCore`] in this crate is a `TrySnapshotCore`
+/// via a forwarding impl (its operations simply never err), so service
+/// code written against this trait serves the in-process constructions
+/// unchanged. Wrapper cores in other crates opt in with
+/// [`impl_try_snapshot_core!`](crate::impl_try_snapshot_core).
+pub trait TrySnapshotCore<V>: Send + Sync {
+    /// Number of memory segments a scan covers.
+    fn segments(&self) -> usize;
+
+    /// Number of lanes (process ids) available to clients.
+    fn lanes(&self) -> usize;
+
+    /// True if updates are restricted to the lane's own segment.
+    fn single_writer(&self) -> bool;
+
+    /// Runs one full scan on behalf of `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or has another operation in
+    /// flight.
+    fn try_scan(&self, lane: ProcessId) -> Result<(SnapshotView<V>, ScanStats), CoreError>;
+
+    /// Writes `value` to `segment` on behalf of `lane`.
+    ///
+    /// On `Err` the update is *indeterminate*: it may yet become visible
+    /// (linearizability checkers must treat it as pending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is out of range, if `lane` is out of range or
+    /// busy, or if the construction is single-writer and `segment != lane`.
+    fn try_update(&self, lane: ProcessId, segment: usize, value: V)
+        -> Result<ScanStats, CoreError>;
+
+    /// Reads `segment` once, returning its value and an ABA-free write
+    /// certificate, or `Ok(None)` if this construction cannot certify
+    /// individual segments (see [`SnapshotCore::certified_read`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is out of range.
+    fn try_certified_read(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+    ) -> Result<Option<(V, u64)>, CoreError>;
+}
+
+/// Implements [`TrySnapshotCore`] for a type by forwarding to its
+/// (infallible) [`SnapshotCore`] impl — the lifted operations simply never
+/// err.
+///
+/// A blanket `impl<T: SnapshotCore<V>> TrySnapshotCore<V> for T` is ruled
+/// out by coherence: fallible cores in other crates (`snapshot-abd`'s
+/// `AbdSnapshotCore`) need their own generic `TrySnapshotCore<V>` impl,
+/// and next to a blanket impl that is E0119 — a downstream crate could
+/// legally write `impl SnapshotCore<Local> for AbdSnapshotCore<Local>`
+/// and make the two overlap. So the lift is opt-in per type: this macro
+/// generates the forwarding impl, and every construction in this crate
+/// already invokes it. Wrapper cores elsewhere invoke it as
+///
+/// ```
+/// use snapshot_core::SnapshotCore;
+///
+/// struct Logged<C>(C);
+/// # impl<V, C: SnapshotCore<V>> SnapshotCore<V> for Logged<C> {
+/// #     fn segments(&self) -> usize { self.0.segments() }
+/// #     fn lanes(&self) -> usize { self.0.lanes() }
+/// #     fn single_writer(&self) -> bool { self.0.single_writer() }
+/// #     fn core_scan(&self, lane: snapshot_registers::ProcessId)
+/// #         -> (snapshot_core::SnapshotView<V>, snapshot_core::ScanStats)
+/// #     { self.0.core_scan(lane) }
+/// #     fn core_update(&self, lane: snapshot_registers::ProcessId, segment: usize, value: V)
+/// #         -> snapshot_core::ScanStats
+/// #     { self.0.core_update(lane, segment, value) }
+/// #     fn certified_read(&self, reader: snapshot_registers::ProcessId, segment: usize)
+/// #         -> Option<(V, u64)>
+/// #     { self.0.certified_read(reader, segment) }
+/// # }
+/// snapshot_core::impl_try_snapshot_core!([V, C: SnapshotCore<V>] V, Logged<C>);
+/// ```
+///
+/// The bracketed list is the impl's generic parameters, followed by the
+/// value type and the implementing type; the macro adds a
+/// `where $ty: SnapshotCore<$value>` clause, so the type must already
+/// implement the infallible trait. The invoking crate must depend on
+/// `snapshot-registers` (for `ProcessId` in the generated signatures).
+#[macro_export]
+macro_rules! impl_try_snapshot_core {
+    ([$($gen:tt)*] $v:ty, $ty:ty) => {
+        impl<$($gen)*> $crate::TrySnapshotCore<$v> for $ty
+        where
+            $ty: $crate::SnapshotCore<$v>,
+        {
+            fn segments(&self) -> usize {
+                $crate::SnapshotCore::segments(self)
+            }
+
+            fn lanes(&self) -> usize {
+                $crate::SnapshotCore::lanes(self)
+            }
+
+            fn single_writer(&self) -> bool {
+                $crate::SnapshotCore::single_writer(self)
+            }
+
+            fn try_scan(
+                &self,
+                lane: ::snapshot_registers::ProcessId,
+            ) -> Result<($crate::SnapshotView<$v>, $crate::ScanStats), $crate::CoreError>
+            {
+                Ok($crate::SnapshotCore::core_scan(self, lane))
+            }
+
+            fn try_update(
+                &self,
+                lane: ::snapshot_registers::ProcessId,
+                segment: usize,
+                value: $v,
+            ) -> Result<$crate::ScanStats, $crate::CoreError> {
+                Ok($crate::SnapshotCore::core_update(self, lane, segment, value))
+            }
+
+            fn try_certified_read(
+                &self,
+                reader: ::snapshot_registers::ProcessId,
+                segment: usize,
+            ) -> Result<Option<($v, u64)>, $crate::CoreError> {
+                Ok($crate::SnapshotCore::certified_read(self, reader, segment))
+            }
+        }
+    };
+}
+
+// Lift every infallible construction in this crate.
+crate::impl_try_snapshot_core!(
+    [V: RegisterValue, B: Backend] V, crate::UnboundedSnapshot<V, B>
+);
+crate::impl_try_snapshot_core!(
+    [V: RegisterValue, B: Backend] V, crate::BoundedSnapshot<V, B>
+);
+crate::impl_try_snapshot_core!([V: RegisterValue] V, crate::LockSnapshot<V>);
+crate::impl_try_snapshot_core!(
+    [V: RegisterValue, B: Backend, BM: Backend] V, crate::MultiWriterSnapshot<V, B, BM>
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BoundedSnapshot, UnboundedSnapshot};
+
+    #[test]
+    fn forwarding_impls_cover_infallible_cores() {
+        fn exercise(core: &dyn TrySnapshotCore<u32>) {
+            let lane = ProcessId::new(0);
+            core.try_update(lane, 0, 5).unwrap();
+            let (view, _) = core.try_scan(lane).unwrap();
+            assert_eq!(view[0], 5);
+        }
+        exercise(&UnboundedSnapshot::new(2, 0u32));
+        exercise(&BoundedSnapshot::new(2, 0u32));
+        exercise(&crate::LockSnapshot::new(2, 0u32));
+    }
+
+    #[test]
+    fn forwarded_certified_read() {
+        let snap = UnboundedSnapshot::new(2, 0u32);
+        let lane = ProcessId::new(0);
+        TrySnapshotCore::try_update(&snap, lane, 0, 9).unwrap();
+        let (v, _cert) = snap.try_certified_read(lane, 0).unwrap().unwrap();
+        assert_eq!(v, 9);
+        // Bounded cores certify nothing, fallibly too.
+        let b = BoundedSnapshot::new(2, 0u32);
+        assert_eq!(b.try_certified_read(lane, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn retryability_follows_the_variant() {
+        let transient = CoreError::Unavailable { reason: "no quorum".into() };
+        let terminal = CoreError::Failed { reason: "fleet poisoned".into() };
+        assert!(transient.retryable());
+        assert!(!terminal.retryable());
+        assert!(transient.to_string().contains("retryable"));
+        assert!(terminal.to_string().contains("permanently"));
+        assert_eq!(terminal.reason(), "fleet poisoned");
+    }
+}

@@ -31,7 +31,11 @@
 //! The unbounded, bounded, multi-writer and locked constructions also
 //! implement [`SnapshotCore`] — the object-level multiplexing interface
 //! (`&self` operations plus per-segment collect hooks) that the
-//! `snapshot-service` front-end serves many concurrent clients over.
+//! `snapshot-service` front-end serves many concurrent clients over. Its
+//! fallible twin [`TrySnapshotCore`] (every construction here gets a
+//! forwarding impl; wrapper cores opt in with
+//! [`impl_try_snapshot_core!`]) lets the same front-end run over emulated registers
+//! whose operations can fail — see `snapshot-abd`'s `AbdSnapshotCore`.
 //!
 //! # Quickstart
 //!
@@ -61,6 +65,7 @@
 mod api;
 mod bounded;
 mod double_collect;
+mod fallible;
 mod locked;
 mod multiplex;
 mod multiwriter;
@@ -68,6 +73,7 @@ mod unbounded;
 mod view;
 
 pub use api::{MwSnapshot, MwSnapshotHandle, ScanStats, SwSnapshot, SwSnapshotHandle};
+pub use fallible::{CoreError, TrySnapshotCore};
 pub use multiplex::SnapshotCore;
 pub use bounded::{BoundedHandle, BoundedSnapshot};
 pub use double_collect::{DoubleCollectHandle, DoubleCollectSnapshot};

@@ -132,7 +132,8 @@ impl fmt::Display for AbdPhaseKind {
 /// * **snapshot-abd** — quorum phase lifecycle (start, retransmit,
 ///   quorum reached / failed);
 /// * **snapshot-service** — coalescing lead/join decisions, admission
-///   rejections, and partial-collect outcomes.
+///   rejections, partial-collect outcomes, and the fault path (backend
+///   errors, leader abdications, retry exhaustion, shard degradation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A scan operation began.
@@ -285,6 +286,36 @@ pub enum Event {
         /// Whether the partial scan fell back to projecting a full scan.
         fallback: bool,
     },
+    /// A fallible backing core returned an error to the service layer
+    /// (e.g. an ABD quorum phase starved without a majority).
+    BackendError {
+        /// 1-based attempt number within the request's retry budget.
+        attempt: u32,
+        /// Whether the error is transient (retrying may succeed once the
+        /// backing heals).
+        retryable: bool,
+    },
+    /// A coalescing leader abdicated without publishing: its collect
+    /// failed (or it panicked), the error was fanned out to the parked
+    /// cohort, and the seat was freed so a waiter can re-elect.
+    CoalesceAbdicate {
+        /// The generation the abdicating leader held.
+        generation: u64,
+    },
+    /// A service request exhausted its retry budget and surfaced the
+    /// backend error to the caller.
+    RetryExhausted {
+        /// Attempts consumed (including the first).
+        attempts: u32,
+    },
+    /// The service shed a request because a shard's health gate is open
+    /// (circuit breaker tripped by consecutive backend failures).
+    ShardDegraded {
+        /// The degraded shard.
+        shard: usize,
+        /// Microseconds until the gate half-opens for a probe.
+        retry_after_us: u64,
+    },
 }
 
 impl Event {
@@ -313,6 +344,10 @@ impl Event {
             Event::CoalesceJoin { .. } => "coalesce_join",
             Event::ServiceOverload { .. } => "service_overload",
             Event::PartialCollect { .. } => "partial_collect",
+            Event::BackendError { .. } => "backend_error",
+            Event::CoalesceAbdicate { .. } => "coalesce_abdicate",
+            Event::RetryExhausted { .. } => "retry_exhausted",
+            Event::ShardDegraded { .. } => "shard_degraded",
         }
     }
 }
@@ -368,6 +403,18 @@ impl fmt::Display for Event {
             }
             Event::PartialCollect { segments, rounds, fallback } => {
                 write!(f, "partial_collect(segments={segments}, rounds={rounds}, fallback={fallback})")
+            }
+            Event::BackendError { attempt, retryable } => {
+                write!(f, "backend_error(attempt={attempt}, retryable={retryable})")
+            }
+            Event::CoalesceAbdicate { generation } => {
+                write!(f, "coalesce_abdicate(gen={generation})")
+            }
+            Event::RetryExhausted { attempts } => {
+                write!(f, "retry_exhausted(attempts={attempts})")
+            }
+            Event::ShardDegraded { shard, retry_after_us } => {
+                write!(f, "shard_degraded(shard={shard}, retry_after={retry_after_us}us)")
             }
         }
     }

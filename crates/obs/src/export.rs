@@ -92,6 +92,20 @@ fn push_payload(out: &mut String, event: &Event) {
             push_field(out, "rounds", rounds);
             push_field(out, "fallback", fallback);
         }
+        Event::BackendError { attempt, retryable } => {
+            push_field(out, "attempt", attempt);
+            push_field(out, "retryable", retryable);
+        }
+        Event::CoalesceAbdicate { generation } => {
+            push_field(out, "generation", generation);
+        }
+        Event::RetryExhausted { attempts } => {
+            push_field(out, "attempts", attempts);
+        }
+        Event::ShardDegraded { shard, retry_after_us } => {
+            push_field(out, "shard", shard);
+            push_field(out, "retry_after_us", retry_after_us);
+        }
     }
 }
 

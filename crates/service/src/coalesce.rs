@@ -13,7 +13,9 @@
 //! * `started` — bumped by a leader at election, which is also when its
 //!   collect starts (the leader runs the collect immediately after
 //!   [`enter`](Coalescer::enter) returns);
-//! * `published` — the generation of the newest completed view.
+//! * `published` — the generation of the newest completed view;
+//! * `failed` — the generation of the newest *failed* collect (fallible
+//!   backing cores can error instead of publishing).
 //!
 //! A request records `my_gen = started` on entry. It may accept a
 //! published view iff `published > my_gen`: such a view's collect was
@@ -25,8 +27,31 @@
 //! elected from the parked cohort when `g` publishes. Every request
 //! therefore waits for at most two collects, and each collect serves the
 //! whole cohort parked before its election — the coalescing win.
+//!
+//! # Failure fan-out
+//!
+//! A leader whose collect errors calls [`LeadToken::fail`] instead of
+//! publishing. The same generation rule then routes the *error*: a waiter
+//! observing `failed > my_gen` learns that the collect elected to serve it
+//! died, and returns [`Entry::Failed`] instead of parking forever. A
+//! waiter that arrived *during* the failing collect (`my_gen = failed`)
+//! is untouched by the error — the dead collect was never acceptable to
+//! it anyway — and simply re-elects on the freed seat, exactly as it
+//! would after a leader crash ([`LeadToken`]'s drop-abdication). Both
+//! paths wake the whole cohort, so no waiter can park forever behind a
+//! failed collect.
+//!
+//! Failed generations keep `started` bumped and never rewind. That is
+//! what preserves the Observation-2 nesting condition across a
+//! fault/heal boundary: any request re-entering after a fan-out error
+//! records a *fresh* `my_gen ≥ failed`, so the only views it can ever
+//! accept come from collects started after the re-entry — a post-heal
+//! view can never be smuggled to a pre-fault request whose interval it
+//! does not nest inside.
 
 use std::sync::{Condvar, Mutex, MutexGuard};
+
+use snapshot_core::CoreError;
 
 struct CoalState<T> {
     /// Generation of the most recently elected leader (its collect starts
@@ -38,6 +63,13 @@ struct CoalState<T> {
     published: u64,
     /// The newest published view.
     view: Option<T>,
+    /// Generation of the newest failed collect (0 = none yet).
+    failed: u64,
+    /// The error the newest failed collect died with.
+    error: Option<CoreError>,
+    /// Leaders that ended without publishing: explicit failures plus
+    /// drop-abdications.
+    abdications: u64,
     /// Requests currently parked on the condvar (observability; tests use
     /// it to stage deterministic cohorts).
     waiting: usize,
@@ -56,6 +88,8 @@ impl<T> std::fmt::Debug for CoalState<T> {
             .field("started", &self.started)
             .field("leading", &self.leading)
             .field("published", &self.published)
+            .field("failed", &self.failed)
+            .field("abdications", &self.abdications)
             .field("waiting", &self.waiting)
             .finish()
     }
@@ -71,20 +105,35 @@ pub(crate) enum Entry<'a, T> {
         /// The accepted view.
         view: T,
     },
+    /// The collect elected to serve this request failed: the leader's
+    /// error, fanned out to the cohort. The caller decides whether to
+    /// re-enter (a fresh entry re-elects) or surface the error.
+    Failed {
+        /// The generation of the failed collect.
+        generation: u64,
+        /// The error the leader's collect died with.
+        error: CoreError,
+    },
     /// This request was elected leader: it must run the collect and
-    /// [`publish`](LeadToken::publish) the result.
+    /// [`publish`](LeadToken::publish) the result (or
+    /// [`fail`](LeadToken::fail) it).
     Lead(LeadToken<'a, T>),
 }
 
 /// Leadership of one collect generation.
 ///
-/// Dropping the token without publishing (the leader's collect panicked)
-/// abdicates: the seat is freed and waiters are woken so one of them can
-/// take over — a stuck leader never wedges the cohort.
+/// A leader ends its generation one of three ways: [`publish`] a
+/// completed view, [`fail`] with the collect's typed error (fanned out to
+/// the cohort), or drop without either (the collect panicked), which
+/// abdicates — the seat is freed and waiters are woken so one of them can
+/// take over. A stuck leader never wedges the cohort.
+///
+/// [`publish`]: LeadToken::publish
+/// [`fail`]: LeadToken::fail
 pub(crate) struct LeadToken<'a, T> {
     coalescer: &'a Coalescer<T>,
     generation: u64,
-    published: bool,
+    done: bool,
 }
 
 fn lock<T>(m: &Mutex<CoalState<T>>) -> MutexGuard<'_, CoalState<T>> {
@@ -99,30 +148,42 @@ impl<T: Clone> Coalescer<T> {
                 leading: false,
                 published: 0,
                 view: None,
+                failed: 0,
+                error: None,
+                abdications: 0,
                 waiting: 0,
             }),
             cv: Condvar::new(),
         }
     }
 
-    /// Joins the rendezvous: returns an acceptable published view, or
+    /// Joins the rendezvous: returns an acceptable published view, the
+    /// fanned-out error of the collect that was serving this request, or
     /// leadership of the next collect. Blocks (without holding the lock)
-    /// while another leader's collect is in flight and no acceptable view
-    /// exists yet.
+    /// while another leader's collect is in flight and none of those
+    /// resolutions is available yet.
     pub(crate) fn enter(&self) -> Entry<'_, T> {
         let mut s = lock(&self.state);
         let my_gen = s.started;
         loop {
+            // Success is checked before failure: if a newer collect
+            // published after an older one failed, the view serves this
+            // request and the stale error is irrelevant to it.
             if s.published > my_gen {
                 let generation = s.published;
                 let view = s.view.clone().expect("published generation without a view");
                 return Entry::Joined { generation, view };
             }
+            if s.failed > my_gen {
+                let generation = s.failed;
+                let error = s.error.clone().expect("failed generation without an error");
+                return Entry::Failed { generation, error };
+            }
             if !s.leading {
                 s.leading = true;
                 s.started += 1;
                 let generation = s.started;
-                return Entry::Lead(LeadToken { coalescer: self, generation, published: false });
+                return Entry::Lead(LeadToken { coalescer: self, generation, done: false });
             }
             s.waiting += 1;
             s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
@@ -133,6 +194,12 @@ impl<T: Clone> Coalescer<T> {
     /// Number of requests currently parked waiting for a collect.
     pub(crate) fn waiters(&self) -> usize {
         lock(&self.state).waiting
+    }
+
+    /// Number of leaderships that ended without a published view
+    /// (explicit failures plus drop-abdications).
+    pub(crate) fn abdications(&self) -> u64 {
+        lock(&self.state).abdications
     }
 }
 
@@ -149,7 +216,24 @@ impl<T> LeadToken<'_, T> {
         s.leading = false;
         s.published = self.generation;
         s.view = Some(view);
-        self.published = true;
+        self.done = true;
+        drop(s);
+        self.coalescer.cv.notify_all();
+    }
+
+    /// Ends the generation with the collect's error and wakes the cohort.
+    ///
+    /// Every waiter this collect was serving (`my_gen < generation`)
+    /// receives [`Entry::Failed`] with this error; waiters that arrived
+    /// during the collect re-elect on the freed seat.
+    pub(crate) fn fail(mut self, error: CoreError) {
+        let mut s = lock(&self.coalescer.state);
+        debug_assert_eq!(s.started, self.generation, "interleaved leaders");
+        s.leading = false;
+        s.failed = self.generation;
+        s.error = Some(error);
+        s.abdications += 1;
+        self.done = true;
         drop(s);
         self.coalescer.cv.notify_all();
     }
@@ -157,7 +241,7 @@ impl<T> LeadToken<'_, T> {
 
 impl<T> Drop for LeadToken<'_, T> {
     fn drop(&mut self) {
-        if self.published {
+        if self.done {
             return;
         }
         // Abdication: free the seat so a waiter can lead the generation's
@@ -166,6 +250,7 @@ impl<T> Drop for LeadToken<'_, T> {
         // successor provides.
         let mut s = lock(&self.coalescer.state);
         s.leading = false;
+        s.abdications += 1;
         drop(s);
         self.coalescer.cv.notify_all();
     }
@@ -175,7 +260,7 @@ impl<T> std::fmt::Debug for LeadToken<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LeadToken")
             .field("generation", &self.generation)
-            .field("published", &self.published)
+            .field("done", &self.done)
             .finish()
     }
 }
@@ -184,12 +269,16 @@ impl<T> std::fmt::Debug for LeadToken<'_, T> {
 mod tests {
     use super::*;
 
+    fn unavailable() -> CoreError {
+        CoreError::Unavailable { reason: "quorum lost".into() }
+    }
+
     #[test]
     fn first_entrant_leads_generation_one() {
         let c: Coalescer<u32> = Coalescer::new();
         match c.enter() {
             Entry::Lead(t) => assert_eq!(t.generation(), 1),
-            Entry::Joined { .. } => panic!("nothing published yet"),
+            _ => panic!("nothing published yet"),
         };
     }
 
@@ -202,7 +291,7 @@ mod tests {
         t.publish(7);
         match c.enter() {
             Entry::Lead(t) => assert_eq!(t.generation(), 2),
-            Entry::Joined { .. } => panic!("stale view accepted"),
+            _ => panic!("stale view accepted"),
         };
     }
 
@@ -218,7 +307,7 @@ mod tests {
                     t2.publish(8);
                     8
                 }
-                Entry::Joined { .. } => panic!("must not accept generation 1"),
+                _ => panic!("must not accept generation 1"),
             });
             while c.waiters() == 0 {
                 std::thread::yield_now();
@@ -245,6 +334,7 @@ mod tests {
                             t.publish(90 + g as u32);
                             (g, 90 + g as u32, true)
                         }
+                        Entry::Failed { .. } => panic!("nothing failed"),
                     })
                 })
                 .collect();
@@ -273,7 +363,7 @@ mod tests {
                     t.publish(5);
                     true
                 }
-                Entry::Joined { .. } => false,
+                _ => false,
             });
             while c.waiters() == 0 {
                 std::thread::yield_now();
@@ -281,5 +371,82 @@ mod tests {
             drop(t1); // leader "crashed" without publishing
             assert!(waiter.join().unwrap(), "waiter must inherit the seat");
         });
+        assert_eq!(c.abdications(), 1);
+    }
+
+    #[test]
+    fn failure_fans_out_to_the_cohort_the_collect_served() {
+        // Three waiters park during collect 1. The leader abdicates, one
+        // waiter inherits the seat as collect 2 — elected to serve the
+        // other two — and its collect fails: both must receive the error
+        // rather than park forever.
+        let c: Coalescer<u32> = Coalescer::new();
+        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        std::thread::scope(|s| {
+            let waiters: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(|| match c.enter() {
+                        Entry::Lead(t) => {
+                            assert_eq!(t.generation(), 2);
+                            t.fail(unavailable());
+                            None
+                        }
+                        Entry::Failed { generation, error } => Some((generation, error)),
+                        Entry::Joined { .. } => panic!("nothing publishable"),
+                    })
+                })
+                .collect();
+            while c.waiters() < 3 {
+                std::thread::yield_now();
+            }
+            drop(t1);
+            let results: Vec<_> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+            let fanned: Vec<_> = results.iter().flatten().collect();
+            assert_eq!(fanned.len(), 2, "exactly one waiter led, two got the fan-out");
+            for (generation, error) in fanned {
+                assert_eq!(*generation, 2);
+                assert_eq!(*error, unavailable());
+            }
+        });
+        assert_eq!(c.abdications(), 2, "one drop + one explicit failure");
+    }
+
+    #[test]
+    fn waiters_parked_during_the_failing_collect_reelect() {
+        // A waiter that arrived during collect 1 is NOT served by it — it
+        // ignores the failure and simply inherits the seat, like after a
+        // crash.
+        let c: Coalescer<u32> = Coalescer::new();
+        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match c.enter() {
+                Entry::Lead(t) => {
+                    assert_eq!(t.generation(), 2);
+                    t.publish(9);
+                    true
+                }
+                _ => false,
+            });
+            while c.waiters() == 0 {
+                std::thread::yield_now();
+            }
+            t1.fail(unavailable());
+            assert!(waiter.join().unwrap(), "waiter must re-elect, not receive gen-1's error");
+        });
+    }
+
+    #[test]
+    fn fresh_entrant_after_a_failure_never_sees_the_stale_error() {
+        let c: Coalescer<u32> = Coalescer::new();
+        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        t1.fail(unavailable());
+        // my_gen = started = 1 = failed: the failure predates this request
+        // and must not leak into it.
+        let Entry::Lead(t2) = c.enter() else { panic!("stale error leaked") };
+        assert_eq!(t2.generation(), 2);
+        t2.publish(11);
+        // And the post-heal view obeys the same generation rule as ever: a
+        // request entering now must not accept collect 2.
+        assert!(matches!(c.enter(), Entry::Lead(_)));
     }
 }

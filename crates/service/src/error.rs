@@ -1,13 +1,23 @@
 //! Typed service errors.
 
 use std::fmt;
+use std::time::Duration;
 
-/// Why the service refused a request.
+use snapshot_core::CoreError;
+
+/// Why the service refused (or could not complete) a request.
 ///
-/// All variants are *caller-visible backpressure or usage errors*; the
-/// underlying snapshot object is never left in a partial state (rejected
-/// requests perform no register operations).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// The first four variants are *caller-visible backpressure or usage
+/// errors*: rejected requests perform no register operations and the
+/// underlying snapshot object is never left in a partial state.
+/// [`Degraded`](ServiceError::Degraded) likewise touches no registers —
+/// the shard's health gate shed the request before it reached the
+/// backend. [`Backend`](ServiceError::Backend) is the one variant that
+/// *did* reach the backend: the operation's retry budget was consumed by
+/// [`CoreError`]s. For scans that is harmless (reads leave no trace); a
+/// failed update is **indeterminate** — the write may or may not have
+/// taken effect, exactly like an ABD write that lost its quorum.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
     /// The bounded in-flight budget was exhausted. Retry later (the
     /// admission check is wait-free; there is no queue to sit in).
@@ -34,11 +44,29 @@ pub enum ServiceError {
         /// The foreign segment it tried to write.
         segment: usize,
     },
+    /// A shard's health gate is open (its circuit breaker tripped on
+    /// consecutive backend failures): the request was shed without
+    /// touching the backend.
+    Degraded {
+        /// The unhealthy shard.
+        shard: usize,
+        /// How long until the breaker half-opens and admits a probe — a
+        /// retry hint, not a guarantee.
+        retry_after: Duration,
+    },
+    /// The backing core kept erroring until the operation's retry budget
+    /// (attempts or deadline) ran out, or failed terminally.
+    Backend {
+        /// Attempts consumed, including the first.
+        attempts: u32,
+        /// The final backend error.
+        error: CoreError,
+    },
 }
 
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
+        match self {
             ServiceError::Overloaded { inflight, budget } => {
                 write!(f, "service overloaded: {inflight} requests in flight (budget {budget})")
             }
@@ -53,11 +81,28 @@ impl fmt::Display for ServiceError {
                      is single-writer"
                 )
             }
+            ServiceError::Degraded { shard, retry_after } => {
+                write!(
+                    f,
+                    "shard {shard} degraded: health gate open, retry after {:?}",
+                    retry_after
+                )
+            }
+            ServiceError::Backend { attempts, error } => {
+                write!(f, "backend failed after {attempts} attempt(s): {error}")
+            }
         }
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Backend { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -68,5 +113,24 @@ mod tests {
         let e = ServiceError::Overloaded { inflight: 9, budget: 8 };
         assert!(e.to_string().contains("budget 8"));
         assert!(ServiceError::EmptySubset.to_string().contains("at least one"));
+        let d = ServiceError::Degraded { shard: 3, retry_after: Duration::from_millis(10) };
+        assert!(d.to_string().contains("shard 3"));
+        let b = ServiceError::Backend {
+            attempts: 4,
+            error: CoreError::Unavailable { reason: "quorum lost".into() },
+        };
+        assert!(b.to_string().contains("4 attempt(s)"));
+        assert!(b.to_string().contains("quorum lost"));
+    }
+
+    #[test]
+    fn backend_errors_expose_their_source() {
+        use std::error::Error as _;
+        let b = ServiceError::Backend {
+            attempts: 1,
+            error: CoreError::Failed { reason: "poisoned".into() },
+        };
+        assert!(b.source().is_some());
+        assert!(ServiceError::EmptySubset.source().is_none());
     }
 }

@@ -1,0 +1,198 @@
+//! Per-shard health gating: a consecutive-failure circuit breaker.
+//!
+//! When a backing core keeps erroring, letting every request run its full
+//! retry budget against a dead backend multiplies latency for no
+//! information. Each shard therefore carries a tiny three-state breaker:
+//!
+//! * **closed** — requests pass; consecutive backend failures are
+//!   counted, successes reset the count;
+//! * **open** — tripped by [`HealthConfig::failure_threshold`]
+//!   consecutive failures (or immediately by a terminal, non-retryable
+//!   error such as a poisoned replica fleet): requests are shed with
+//!   [`ServiceError::Degraded`](crate::ServiceError::Degraded) carrying a
+//!   `retry_after` hint, touching no registers at all;
+//! * **half-open** — after [`HealthConfig::cooldown`], exactly one
+//!   request is admitted as a *probe* (claimed by compare-and-swap, so
+//!   a thundering herd stays shed); its success closes the breaker, its
+//!   failure re-opens the cooldown.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Circuit-breaker tuning for the per-shard health gates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive backend failures that trip a shard's breaker open (at
+    /// least 1). Terminal (non-retryable) errors trip it immediately
+    /// regardless of the count.
+    pub failure_threshold: u32,
+    /// How long an open breaker sheds load before admitting a half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig { failure_threshold: 5, cooldown: Duration::from_millis(250) }
+    }
+}
+
+impl HealthConfig {
+    /// A gate that never trips (the threshold is unreachable): useful for
+    /// tests that isolate retry/fan-out behavior from load shedding.
+    pub fn disabled() -> Self {
+        HealthConfig { failure_threshold: u32::MAX, ..HealthConfig::default() }
+    }
+}
+
+/// Outcome of consulting a shard's gate at admission.
+pub(crate) enum Gate {
+    /// Breaker closed: proceed normally.
+    Admit,
+    /// Breaker half-open and this request won the probe claim: proceed,
+    /// and *must* resolve the probe via `on_success`/`on_failure` (or
+    /// `release_probe`).
+    Probe,
+    /// Breaker open (or another probe is in flight): shed the request.
+    Shed {
+        /// Time until the breaker half-opens (a retry hint, not a
+        /// guarantee).
+        retry_after: Duration,
+    },
+}
+
+/// One shard's breaker state, all atomics (the gate sits on the admission
+/// fast path and must not lock).
+#[derive(Debug, Default)]
+pub(crate) struct ShardHealth {
+    /// Consecutive backend failures since the last success.
+    consecutive: AtomicU32,
+    /// Microseconds (on the service's epoch clock) when an open breaker
+    /// may admit a probe; 0 = closed.
+    open_until_us: AtomicU64,
+    /// A half-open probe is in flight.
+    probing: AtomicBool,
+}
+
+impl ShardHealth {
+    pub(crate) fn new() -> Self {
+        ShardHealth::default()
+    }
+
+    /// Consults the gate at `now_us` on the service's epoch clock.
+    pub(crate) fn check(&self, now_us: u64, cfg: &HealthConfig) -> Gate {
+        let open_until = self.open_until_us.load(Ordering::Acquire);
+        if open_until == 0 {
+            return Gate::Admit;
+        }
+        if now_us < open_until {
+            return Gate::Shed { retry_after: Duration::from_micros(open_until - now_us) };
+        }
+        // Cooldown elapsed: admit exactly one probe; everyone else keeps
+        // shedding until the probe resolves.
+        if self
+            .probing
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            Gate::Probe
+        } else {
+            Gate::Shed { retry_after: cfg.cooldown }
+        }
+    }
+
+    /// Un-claims a probe that never reached the backend (e.g. another
+    /// shard's gate shed the request). Idempotent.
+    pub(crate) fn release_probe(&self) {
+        self.probing.store(false, Ordering::Release);
+    }
+
+    /// A backend operation through this shard succeeded: close the
+    /// breaker and reset the failure count.
+    pub(crate) fn on_success(&self) {
+        self.consecutive.store(0, Ordering::Release);
+        self.open_until_us.store(0, Ordering::Release);
+        self.probing.store(false, Ordering::Release);
+    }
+
+    /// A backend operation through this shard failed. Trips the breaker
+    /// open (until `now_us + cooldown`) once the consecutive-failure
+    /// threshold is reached — immediately for non-retryable errors.
+    pub(crate) fn on_failure(&self, retryable: bool, now_us: u64, cfg: &HealthConfig) {
+        let consecutive = self.consecutive.fetch_add(1, Ordering::AcqRel).saturating_add(1);
+        if !retryable || consecutive >= cfg.failure_threshold.max(1) {
+            self.open_until_us
+                .store(now_us + cfg.cooldown.as_micros().min(u128::from(u64::MAX)) as u64, Ordering::Release);
+            self.probing.store(false, Ordering::Release);
+        }
+    }
+
+    /// True if the breaker currently sheds (open and cooling down).
+    pub(crate) fn is_open(&self, now_us: u64) -> bool {
+        let open_until = self.open_until_us.load(Ordering::Acquire);
+        open_until != 0 && now_us < open_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: HealthConfig =
+        HealthConfig { failure_threshold: 2, cooldown: Duration::from_micros(100) };
+
+    #[test]
+    fn trips_after_threshold_and_sheds() {
+        let h = ShardHealth::new();
+        assert!(matches!(h.check(0, &CFG), Gate::Admit));
+        h.on_failure(true, 0, &CFG);
+        assert!(matches!(h.check(0, &CFG), Gate::Admit), "below threshold");
+        h.on_failure(true, 0, &CFG);
+        assert!(h.is_open(50));
+        match h.check(50, &CFG) {
+            Gate::Shed { retry_after } => assert_eq!(retry_after, Duration::from_micros(50)),
+            _ => panic!("open breaker must shed"),
+        }
+    }
+
+    #[test]
+    fn terminal_errors_trip_immediately() {
+        let h = ShardHealth::new();
+        h.on_failure(false, 0, &CFG);
+        assert!(h.is_open(0), "one non-retryable failure is enough");
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_success_closes() {
+        let h = ShardHealth::new();
+        h.on_failure(true, 0, &CFG);
+        h.on_failure(true, 0, &CFG);
+        // Cooldown elapsed: first consult wins the probe, the second sheds.
+        assert!(matches!(h.check(200, &CFG), Gate::Probe));
+        assert!(matches!(h.check(200, &CFG), Gate::Shed { .. }));
+        h.on_success();
+        assert!(matches!(h.check(200, &CFG), Gate::Admit));
+        assert!(!h.is_open(200));
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_cooldown() {
+        let h = ShardHealth::new();
+        h.on_failure(true, 0, &CFG);
+        h.on_failure(true, 0, &CFG);
+        assert!(matches!(h.check(200, &CFG), Gate::Probe));
+        h.on_failure(true, 200, &CFG);
+        assert!(h.is_open(250));
+        // After the fresh cooldown, probing is available again.
+        assert!(matches!(h.check(301, &CFG), Gate::Probe));
+    }
+
+    #[test]
+    fn released_probe_can_be_reclaimed() {
+        let h = ShardHealth::new();
+        h.on_failure(false, 0, &CFG);
+        assert!(matches!(h.check(200, &CFG), Gate::Probe));
+        h.release_probe();
+        assert!(matches!(h.check(200, &CFG), Gate::Probe));
+    }
+}

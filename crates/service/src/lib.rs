@@ -2,9 +2,12 @@
 //!
 //! The constructions in [`snapshot_core`] give each process a private
 //! handle to one shared snapshot object. This crate puts a *service* in
-//! front of any of them ([`SnapshotCore`] is the adapter trait) and adds
-//! the three things a shared front-end can provide that the raw objects
-//! cannot:
+//! front of any of them ([`TrySnapshotCore`] is the adapter trait —
+//! every infallible [`SnapshotCore`] construction carries a forwarding
+//! impl (wrappers opt in via `snapshot_core::impl_try_snapshot_core!`),
+//! and fallible message-passing cores such as `snapshot-abd`'s
+//! `AbdSnapshotCore` plug in directly) and adds the things a shared
+//! front-end can provide that the raw objects cannot:
 //!
 //! ## Scan coalescing
 //!
@@ -45,8 +48,28 @@
 //! [`ServiceError::Overloaded`] rejection (wait-free admission — there is
 //! no queue), and everything is observable through `snapshot-obs`
 //! metrics (`service.scan.coalesced`, `service.scan.solo`,
-//! `service.inflight`, log₂-µs latency histograms) and trace events for
-//! each coalescing decision.
+//! `service.fault.*`, `service.inflight`, log₂-µs latency histograms)
+//! and trace events for each coalescing and failure decision.
+//!
+//! ## Fault tolerance
+//!
+//! When the backing core is fallible (its collects run over emulated
+//! message-passing registers that can lose their quorum), failure is a
+//! typed value all the way up, never a hang:
+//!
+//! * each operation runs under a **retry budget** ([`RetryConfig`]):
+//!   retryable `CoreError`s are retried with capped deterministic
+//!   backoff until an attempt count or deadline runs out, then surface
+//!   as [`ServiceError::Backend`];
+//! * a coalescing leader whose collect fails **fans the error out** to
+//!   every waiter its collect was serving and frees the seat, so no
+//!   request parks forever behind a dead collect and post-heal views
+//!   still satisfy the Observation-2 nesting rule (see the `coalesce`
+//!   module docs);
+//! * per-shard **circuit breakers** ([`HealthConfig`]) trip after
+//!   consecutive backend failures and shed requests early with
+//!   [`ServiceError::Degraded`] (a `retry_after` hint attached), then
+//!   half-open to a single probe and close again on success.
 //!
 //! ## Quickstart
 //!
@@ -79,8 +102,12 @@
 
 mod coalesce;
 mod error;
+mod health;
+mod retry;
 mod service;
 mod shard;
 
 pub use error::ServiceError;
+pub use health::HealthConfig;
+pub use retry::RetryConfig;
 pub use service::{PartialView, ServiceClient, ServiceConfig, ServiceStats, SnapshotService};

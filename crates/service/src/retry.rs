@@ -1,0 +1,83 @@
+//! Per-operation retry budget for fallible backing cores.
+
+use std::time::Duration;
+
+/// How the service retries an operation whose backing core errored.
+///
+/// Mirrors the shape of `snapshot-abd`'s `RetryPolicy` (capped exponential
+/// backoff), one layer up: the abd policy paces *retransmissions inside
+/// one register operation*, this one paces *whole snapshot operations*
+/// after a typed [`CoreError`](snapshot_core::CoreError). The budget is
+/// two-dimensional — at most [`max_attempts`](RetryConfig::max_attempts)
+/// attempts, all inside one [`deadline`](RetryConfig::deadline) — so a
+/// caller is guaranteed an answer (a view or a typed error) within a
+/// bounded wall-clock window. Backoff is deterministic (no jitter): the
+/// register layer underneath already jitters its retransmissions.
+///
+/// Only [retryable](snapshot_core::CoreError::retryable) errors consume
+/// backoff sleeps; a terminal error surfaces immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Maximum operation attempts, including the first (at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on the backoff.
+    pub max_backoff: Duration,
+    /// Backoff growth factor per retry (values `< 1` behave as `1`).
+    pub multiplier: u32,
+    /// Overall per-operation deadline across all attempts: a retry that
+    /// cannot start before the deadline is not started.
+    pub deadline: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 3,
+            initial_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(20),
+            multiplier: 2,
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// A single-attempt budget: the first backend error surfaces to the
+    /// caller untouched.
+    pub fn no_retries() -> Self {
+        RetryConfig { max_attempts: 1, ..RetryConfig::default() }
+    }
+
+    /// The backoff following `current`: multiplied and capped.
+    pub(crate) fn next_backoff(&self, current: Duration) -> Duration {
+        current.saturating_mul(self.multiplier.max(1)).min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = RetryConfig {
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            multiplier: 2,
+            ..RetryConfig::default()
+        };
+        let b1 = cfg.next_backoff(cfg.initial_backoff);
+        assert_eq!(b1, Duration::from_millis(2));
+        assert_eq!(cfg.next_backoff(b1), Duration::from_millis(4));
+        assert_eq!(cfg.next_backoff(Duration::from_millis(4)), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn degenerate_multiplier_behaves_as_one() {
+        let cfg = RetryConfig { multiplier: 0, ..RetryConfig::default() };
+        let b = Duration::from_millis(3);
+        assert_eq!(cfg.next_backoff(b), b);
+    }
+}

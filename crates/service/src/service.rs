@@ -4,11 +4,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use snapshot_core::{ScanStats, SnapshotCore, SnapshotView};
+use snapshot_core::{CoreError, ScanStats, SnapshotView, TrySnapshotCore};
 use snapshot_obs::{Counter, Event, Gauge, Histogram, Registry, Trace};
 use snapshot_registers::{CachePadded, ProcessId, RegisterValue};
 
 use crate::coalesce::{Coalescer, Entry};
+use crate::health::{Gate, HealthConfig, ShardHealth};
+use crate::retry::RetryConfig;
 use crate::shard::ShardMap;
 use crate::ServiceError;
 
@@ -16,7 +18,8 @@ use crate::ServiceError;
 ///
 /// Values are normalized at construction: `shards` is clamped into
 /// `[1, segments]`, `max_inflight` and `max_partial_rounds` to at
-/// least 1.
+/// least 1 (`retry.max_attempts` and `health.failure_threshold` are
+/// treated as at least 1 at use).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Number of shards the segments are partitioned into (contiguous
@@ -33,11 +36,23 @@ pub struct ServiceConfig {
     /// Certified-collect passes a partial scan attempts before falling
     /// back to a projected full scan (the wait-free escape hatch).
     pub max_partial_rounds: u32,
+    /// Retry budget applied when the backing core returns a retryable
+    /// [`CoreError`] (infallible in-process cores never do).
+    pub retry: RetryConfig,
+    /// Per-shard circuit-breaker tuning for health gating.
+    pub health: HealthConfig,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { shards: 4, max_inflight: 256, coalesce: true, max_partial_rounds: 8 }
+        ServiceConfig {
+            shards: 4,
+            max_inflight: 256,
+            coalesce: true,
+            max_partial_rounds: 8,
+            retry: RetryConfig::default(),
+            health: HealthConfig::default(),
+        }
     }
 }
 
@@ -57,6 +72,10 @@ pub struct ServiceStats {
     /// Certified-collect passes a partial scan performed (0 for full
     /// scans and for fallbacks that never certified).
     pub certified_rounds: u32,
+    /// Attempts the retry budget consumed *before* the one that
+    /// succeeded (0 when the first attempt went through — always 0 for
+    /// infallible in-process cores).
+    pub retries: u32,
     /// Register-level statistics of the collect this request ran itself;
     /// all zero for coalesced joins.
     pub underlying: ScanStats,
@@ -122,6 +141,12 @@ struct Metrics {
     partial: Counter,
     fallback_full: Counter,
     overloaded: Counter,
+    abdicated: Counter,
+    backend_errors: Counter,
+    retries: Counter,
+    retry_exhausted: Counter,
+    degraded: Counter,
+    cohort_errors: Counter,
     inflight: Gauge,
     scan_latency: Histogram,
     partial_latency: Histogram,
@@ -136,6 +161,12 @@ impl Metrics {
             partial: registry.counter("service.scan.partial"),
             fallback_full: registry.counter("service.partial.fallback_full"),
             overloaded: registry.counter("service.overloaded"),
+            abdicated: registry.counter("service.coalesce.abdicated"),
+            backend_errors: registry.counter("service.fault.backend_errors"),
+            retries: registry.counter("service.fault.retries"),
+            retry_exhausted: registry.counter("service.fault.retry_exhausted"),
+            degraded: registry.counter("service.fault.degraded_shed"),
+            cohort_errors: registry.counter("service.fault.cohort_errors"),
             inflight: registry.gauge("service.inflight"),
             scan_latency: registry.histogram("service.scan.latency_us"),
             partial_latency: registry.histogram("service.partial.latency_us"),
@@ -144,10 +175,44 @@ impl Metrics {
     }
 }
 
+/// Which shards' health gates an operation touches.
+#[derive(Clone, Copy)]
+enum Shards<'a> {
+    /// Every shard (full scans read all segments).
+    All,
+    /// One shard (updates, shard-confined partials).
+    One(usize),
+    /// An explicit sorted set (multi-shard subsets).
+    Set(&'a [usize]),
+}
+
+/// Half-open probes claimed at the gate. Dropping releases any claims so
+/// a request that never reports a backend outcome (it joined a cohort,
+/// or a later shard's gate shed it) cannot wedge a shard in its probing
+/// state. Releasing after the outcome was recorded is harmless — the
+/// breaker's `on_success`/`on_failure` already cleared the claim.
+struct GateClaims<'a> {
+    health: &'a [CachePadded<ShardHealth>],
+    claimed: Vec<usize>,
+}
+
+impl Drop for GateClaims<'_> {
+    fn drop(&mut self) {
+        for &s in &self.claimed {
+            self.health[s].release_probe();
+        }
+    }
+}
+
 /// A concurrent front-end over one snapshot object.
 ///
-/// The service multiplexes many clients onto any [`SnapshotCore`]
-/// construction, adding three things the raw object does not have:
+/// The service multiplexes many clients onto any [`TrySnapshotCore`]
+/// backing — every infallible in-process [`SnapshotCore`] construction
+/// qualifies via its forwarding impl
+/// (`snapshot_core::impl_try_snapshot_core!` lifts custom wrappers too),
+/// and fallible message-passing cores (`snapshot-abd`'s
+/// `AbdSnapshotCore`) plug in directly — adding four things the raw
+/// object does not have:
 ///
 /// * **scan coalescing** — concurrent full scans rendezvous so one
 ///   double-collect pass serves a whole cohort (the `coalesce` module
@@ -155,19 +220,29 @@ impl Metrics {
 ///   Observation 2);
 /// * **partial scans** — [`ServiceClient::scan_subset`] returns an
 ///   atomic picture of just the requested segments, via certified
-///   per-segment collects where the construction supports them
-///   ([`SnapshotCore::certified_read`]) and a projected full scan
-///   otherwise;
+///   per-segment collects where the construction supports them and a
+///   projected full scan otherwise;
 /// * **admission control** — a bounded in-flight budget with typed
 ///   [`ServiceError::Overloaded`] rejections instead of unbounded
-///   queueing, plus [`Registry`] metrics (`service.scan.coalesced`,
-///   `service.scan.solo`, `service.inflight`, log₂-µs latency
-///   histograms) and [`Trace`] events for every coalescing decision.
+///   queueing;
+/// * **fault tolerance** — typed backend errors are retried under a
+///   per-operation budget ([`RetryConfig`]), fanned out to coalescing
+///   cohorts (a failed leader wakes every waiter with the error — no
+///   request parks forever behind a dead collect), and shed early by
+///   per-shard circuit breakers ([`HealthConfig`]) once a shard's
+///   backend keeps failing ([`ServiceError::Degraded`]).
+///
+/// Everything is observable through [`Registry`] metrics
+/// (`service.scan.*`, `service.fault.*`, `service.inflight`, log₂-µs
+/// latency histograms) and [`Trace`] events for every coalescing and
+/// failure decision.
 ///
 /// Clients are claimed per lane with [`client`](Self::client); the
 /// service itself is `Sync` and meant to be shared by reference across
 /// threads.
-pub struct SnapshotService<V: RegisterValue, C: SnapshotCore<V>> {
+///
+/// [`SnapshotCore`]: snapshot_core::SnapshotCore
+pub struct SnapshotService<V: RegisterValue, C: TrySnapshotCore<V>> {
     core: C,
     cfg: ServiceConfig,
     map: ShardMap,
@@ -176,13 +251,17 @@ pub struct SnapshotService<V: RegisterValue, C: SnapshotCore<V>> {
     /// Per-shard rendezvous for subset scans confined to one shard; the
     /// payload is the shard's contiguous range of values.
     shards: Box<[CachePadded<Coalescer<Arc<[V]>>>]>,
+    /// Per-shard circuit breakers.
+    health: Box<[CachePadded<ShardHealth>]>,
+    /// Epoch for the breakers' monotonic microsecond clock.
+    epoch: Instant,
     inflight: CachePadded<AtomicUsize>,
     lanes: Box<[AtomicBool]>,
     metrics: Metrics,
     trace: Trace,
 }
 
-impl<V: RegisterValue, C: SnapshotCore<V>> SnapshotService<V, C> {
+impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
     /// Fronts `core` with the default configuration.
     pub fn new(core: C) -> Self {
         Self::with_config(core, ServiceConfig::default())
@@ -199,6 +278,8 @@ impl<V: RegisterValue, C: SnapshotCore<V>> SnapshotService<V, C> {
             max_inflight: config.max_inflight.max(1),
             coalesce: config.coalesce,
             max_partial_rounds: config.max_partial_rounds.max(1),
+            retry: config.retry,
+            health: config.health,
         };
         let lanes = (0..core.lanes()).map(|_| AtomicBool::new(false)).collect();
         SnapshotService {
@@ -206,6 +287,8 @@ impl<V: RegisterValue, C: SnapshotCore<V>> SnapshotService<V, C> {
             map,
             global: CachePadded::new(Coalescer::new()),
             shards: (0..map.shards()).map(|_| CachePadded::new(Coalescer::new())).collect(),
+            health: (0..map.shards()).map(|_| CachePadded::new(ShardHealth::new())).collect(),
+            epoch: Instant::now(),
             inflight: CachePadded::new(AtomicUsize::new(0)),
             lanes,
             metrics: Metrics::default(),
@@ -260,6 +343,19 @@ impl<V: RegisterValue, C: SnapshotCore<V>> SnapshotService<V, C> {
         self.global.waiters() + self.shards.iter().map(|s| s.waiters()).sum::<usize>()
     }
 
+    /// Collect leaderships that ended without a published view, across
+    /// the global and all shard rendezvous — explicit backend failures
+    /// fanned to their cohorts plus drop-abdications.
+    pub fn abdications(&self) -> u64 {
+        self.global.abdications() + self.shards.iter().map(|s| s.abdications()).sum::<u64>()
+    }
+
+    /// Shards whose health gate is currently open (shedding requests).
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        let now = self.now_us();
+        (0..self.health.len()).filter(|&s| self.health[s].is_open(now)).collect()
+    }
+
     /// Claims the client for `lane`.
     ///
     /// # Panics
@@ -274,6 +370,10 @@ impl<V: RegisterValue, C: SnapshotCore<V>> SnapshotService<V, C> {
         ServiceClient { service: self, lane: ProcessId::new(lane) }
     }
 
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
     /// Wait-free admission check: takes an in-flight slot or rejects.
     fn admit(&self) -> Result<Admitted<'_, V, C>, ServiceError> {
         let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
@@ -285,6 +385,365 @@ impl<V: RegisterValue, C: SnapshotCore<V>> SnapshotService<V, C> {
         }
         self.metrics.inflight.add(1);
         Ok(Admitted { service: self })
+    }
+
+    /// Consults the health gates of every shard the operation touches:
+    /// sheds with [`ServiceError::Degraded`] if any breaker is open
+    /// (releasing probes claimed on earlier shards), claims half-open
+    /// probes otherwise.
+    fn gate(
+        &self,
+        lane: ProcessId,
+        shards: impl IntoIterator<Item = usize>,
+    ) -> Result<GateClaims<'_>, ServiceError> {
+        let now = self.now_us();
+        let mut claims = GateClaims { health: &self.health, claimed: Vec::new() };
+        for s in shards {
+            match self.health[s].check(now, &self.cfg.health) {
+                Gate::Admit => {}
+                Gate::Probe => claims.claimed.push(s),
+                Gate::Shed { retry_after } => {
+                    self.metrics.degraded.inc();
+                    self.trace.emit(
+                        lane.get(),
+                        Event::ShardDegraded {
+                            shard: s,
+                            retry_after_us: retry_after.as_micros().min(u128::from(u64::MAX))
+                                as u64,
+                        },
+                    );
+                    return Err(ServiceError::Degraded { shard: s, retry_after });
+                }
+            }
+        }
+        Ok(claims)
+    }
+
+    fn record_ok(&self, shards: Shards<'_>) {
+        match shards {
+            Shards::All => self.health.iter().for_each(|h| h.on_success()),
+            Shards::One(s) => self.health[s].on_success(),
+            Shards::Set(set) => set.iter().for_each(|&s| self.health[s].on_success()),
+        }
+    }
+
+    fn record_err(&self, shards: Shards<'_>, retryable: bool) {
+        let now = self.now_us();
+        let cfg = &self.cfg.health;
+        match shards {
+            Shards::All => self.health.iter().for_each(|h| h.on_failure(retryable, now, cfg)),
+            Shards::One(s) => self.health[s].on_failure(retryable, now, cfg),
+            Shards::Set(set) => {
+                set.iter().for_each(|&s| self.health[s].on_failure(retryable, now, cfg))
+            }
+        }
+    }
+
+    /// Accounting shared by every backend error this request observed
+    /// from its *own* core operation (cohort fan-outs are accounted by
+    /// the failed leader, not the waiters).
+    fn note_backend_error(
+        &self,
+        lane: ProcessId,
+        attempt: u32,
+        error: &CoreError,
+        shards: Shards<'_>,
+    ) {
+        self.record_err(shards, error.retryable());
+        self.metrics.backend_errors.inc();
+        self.trace
+            .emit(lane.get(), Event::BackendError { attempt, retryable: error.retryable() });
+    }
+
+    /// One core scan with health/metrics accounting.
+    fn core_scan_recorded(
+        &self,
+        lane: ProcessId,
+        attempt: u32,
+        shards: Shards<'_>,
+    ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
+        match self.core.try_scan(lane) {
+            Ok(out) => {
+                self.record_ok(shards);
+                Ok(out)
+            }
+            Err(e) => {
+                self.note_backend_error(lane, attempt, &e, shards);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drives `attempt_fn` under the configured retry budget: retryable
+    /// [`CoreError`]s are retried with capped deterministic backoff until
+    /// the attempt or deadline budget runs out; terminal errors surface
+    /// immediately. Both exits map to [`ServiceError::Backend`].
+    fn run_with_retry<T>(
+        &self,
+        lane: ProcessId,
+        mut attempt_fn: impl FnMut(u32) -> Result<T, CoreError>,
+    ) -> Result<T, ServiceError> {
+        let retry = self.cfg.retry;
+        let deadline = Instant::now().checked_add(retry.deadline);
+        let mut backoff = retry.initial_backoff;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let error = match attempt_fn(attempts) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let past_deadline = deadline.is_some_and(|d| Instant::now() + backoff >= d);
+            if !error.retryable() || attempts >= retry.max_attempts.max(1) || past_deadline {
+                self.metrics.retry_exhausted.inc();
+                self.trace.emit(lane.get(), Event::RetryExhausted { attempts });
+                return Err(ServiceError::Backend { attempts, error });
+            }
+            self.metrics.retries.inc();
+            std::thread::sleep(backoff);
+            backoff = retry.next_backoff(backoff);
+        }
+    }
+
+    /// One full scan, coalesced when enabled, under the retry budget.
+    /// Counts toward `service.scan.solo` (ran the collect) or
+    /// `service.scan.coalesced` (joined someone else's).
+    fn full_scan(&self, lane: ProcessId) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
+        self.run_with_retry(lane, |attempt| self.scan_attempt(lane, attempt))
+    }
+
+    /// One attempt of a full scan: join, fail over, or lead-and-collect.
+    fn scan_attempt(
+        &self,
+        lane: ProcessId,
+        attempt: u32,
+    ) -> Result<(SnapshotView<V>, ServiceStats), CoreError> {
+        let retries = attempt - 1;
+        if !self.cfg.coalesce {
+            let (view, stats) = self.core_scan_recorded(lane, attempt, Shards::All)?;
+            self.metrics.solo.inc();
+            return Ok((view, ServiceStats { retries, underlying: stats, ..ServiceStats::default() }));
+        }
+        match self.global.enter() {
+            Entry::Joined { generation, view } => {
+                self.metrics.coalesced.inc();
+                self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
+                Ok((
+                    view,
+                    ServiceStats { coalesced: true, generation, retries, ..ServiceStats::default() },
+                ))
+            }
+            Entry::Failed { error, .. } => {
+                // The leader elected to serve this request died; its error
+                // reaches us through the rendezvous. It already did the
+                // health/backend accounting — we only consume our own
+                // retry budget on it.
+                self.metrics.cohort_errors.inc();
+                Err(error)
+            }
+            Entry::Lead(token) => {
+                let generation = token.generation();
+                self.trace.emit(lane.get(), Event::CoalesceLead { generation });
+                match self.core_scan_recorded(lane, attempt, Shards::All) {
+                    Ok((view, stats)) => {
+                        token.publish(view.clone());
+                        self.metrics.solo.inc();
+                        Ok((
+                            view,
+                            ServiceStats {
+                                generation,
+                                retries,
+                                underlying: stats,
+                                ..ServiceStats::default()
+                            },
+                        ))
+                    }
+                    Err(e) => {
+                        // Cohort-safe abdication: fan the error out so no
+                        // waiter parks forever behind this dead collect.
+                        self.metrics.abdicated.inc();
+                        self.trace.emit(lane.get(), Event::CoalesceAbdicate { generation });
+                        token.fail(e.clone());
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Double collect over `subset` using certified reads: two adjacent
+    /// passes whose certificates all match make the second pass an
+    /// instantaneous picture of the subset (Observation 1 projected —
+    /// certificates are ABA-free, so unchanged certificates mean *no
+    /// write at all* completed in between). Returns `Ok(None)` if the
+    /// construction offers no certified reads or contention exhausted the
+    /// round budget; backend errors surface as `Err`.
+    fn certified_collect(
+        &self,
+        lane: ProcessId,
+        subset: &[usize],
+    ) -> Result<Option<(Vec<V>, u32, ScanStats)>, CoreError> {
+        let mut stats = ScanStats::default();
+        let read_all = |stats: &mut ScanStats| -> Result<Option<Vec<(V, u64)>>, CoreError> {
+            stats.reads += subset.len() as u64;
+            subset.iter().map(|&s| self.core.try_certified_read(lane, s)).collect()
+        };
+        let Some(mut prev) = read_all(&mut stats)? else { return Ok(None) };
+        for round in 1..=self.cfg.max_partial_rounds {
+            let Some(next) = read_all(&mut stats)? else { return Ok(None) };
+            let clean = prev.iter().zip(&next).all(|(a, b)| a.1 == b.1);
+            if clean {
+                stats.double_collects = round;
+                let values = next.into_iter().map(|(v, _)| v).collect();
+                return Ok(Some((values, round, stats)));
+            }
+            prev = next;
+        }
+        Ok(None)
+    }
+
+    /// Produces the value range of one shard: a certified collect over
+    /// the range when possible, otherwise a projected full collect run
+    /// directly on the core (not through the global rendezvous — a shard
+    /// leader must make progress without waiting on other leaders).
+    fn shard_collect(
+        &self,
+        lane: ProcessId,
+        shard: usize,
+        attempt: u32,
+    ) -> Result<(Arc<[V]>, u32, bool, ScanStats), CoreError> {
+        let range = self.map.range(shard);
+        let segs: Vec<usize> = range.clone().collect();
+        match self.certified_collect(lane, &segs) {
+            Ok(Some((values, rounds, stats))) => {
+                self.record_ok(Shards::One(shard));
+                Ok((values.into(), rounds, false, stats))
+            }
+            Ok(None) => {
+                let (view, stats) = self.core_scan_recorded(lane, attempt, Shards::One(shard))?;
+                Ok((view[range].iter().cloned().collect(), 0, true, stats))
+            }
+            Err(e) => {
+                self.note_backend_error(lane, attempt, &e, Shards::One(shard));
+                Err(e)
+            }
+        }
+    }
+
+    /// The partial-scan brain: single-shard subsets go through the
+    /// shard's rendezvous; anything else runs a direct certified collect,
+    /// falling back to a projected full collect (wait-free: the full scan
+    /// is the constructions' own bounded algorithm). `covered` is the
+    /// sorted set of shards the subset touches (for health accounting).
+    fn partial_scan(
+        &self,
+        lane: ProcessId,
+        subset: &[usize],
+        covered: &[usize],
+    ) -> Result<(PartialView<V>, ServiceStats), ServiceError> {
+        let segments = self.core.segments();
+        if subset.len() == segments {
+            // Full coverage: this *is* a full scan, serve it as one (the
+            // full-scan path owns its retry budget).
+            let (view, stats) = self.full_scan(lane)?;
+            let values: Arc<[V]> = view.iter().cloned().collect();
+            return Ok((PartialView::new(subset, values), stats));
+        }
+        self.run_with_retry(lane, |attempt| self.partial_attempt(lane, subset, covered, attempt))
+    }
+
+    /// One attempt of a non-full-coverage partial scan.
+    fn partial_attempt(
+        &self,
+        lane: ProcessId,
+        subset: &[usize],
+        covered: &[usize],
+        attempt: u32,
+    ) -> Result<(PartialView<V>, ServiceStats), CoreError> {
+        let retries = attempt - 1;
+        if self.cfg.coalesce {
+            if let Some(shard) = self.map.shard_containing(subset) {
+                let start = self.map.range(shard).start;
+                let project = |range_values: &[V]| -> Arc<[V]> {
+                    subset.iter().map(|&s| range_values[s - start].clone()).collect()
+                };
+                return match self.shards[shard].enter() {
+                    Entry::Joined { generation, view } => {
+                        self.metrics.coalesced.inc();
+                        self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
+                        let stats = ServiceStats {
+                            coalesced: true,
+                            generation,
+                            retries,
+                            ..ServiceStats::default()
+                        };
+                        Ok((PartialView::new(subset, project(&view)), stats))
+                    }
+                    Entry::Failed { error, .. } => {
+                        self.metrics.cohort_errors.inc();
+                        Err(error)
+                    }
+                    Entry::Lead(token) => {
+                        let generation = token.generation();
+                        self.trace.emit(lane.get(), Event::CoalesceLead { generation });
+                        match self.shard_collect(lane, shard, attempt) {
+                            Ok((range_values, rounds, fallback, stats)) => {
+                                token.publish(range_values.clone());
+                                self.metrics.solo.inc();
+                                let stats = ServiceStats {
+                                    generation,
+                                    fallback_full: fallback,
+                                    certified_rounds: rounds,
+                                    retries,
+                                    underlying: stats,
+                                    ..ServiceStats::default()
+                                };
+                                Ok((PartialView::new(subset, project(&range_values)), stats))
+                            }
+                            Err(e) => {
+                                self.metrics.abdicated.inc();
+                                self.trace.emit(lane.get(), Event::CoalesceAbdicate { generation });
+                                token.fail(e.clone());
+                                Err(e)
+                            }
+                        }
+                    }
+                };
+            }
+        }
+        match self.certified_collect(lane, subset) {
+            Ok(Some((values, rounds, stats))) => {
+                self.record_ok(Shards::Set(covered));
+                self.metrics.solo.inc();
+                let stats = ServiceStats {
+                    certified_rounds: rounds,
+                    retries,
+                    underlying: stats,
+                    ..ServiceStats::default()
+                };
+                Ok((PartialView::new(subset, values.into()), stats))
+            }
+            Ok(None) => {
+                // Projected full-collect fallback, run directly on the
+                // core: the outer loop owns the retry budget, and routing
+                // it through the global rendezvous would stack a second
+                // budget on top.
+                let (view, stats) = self.core_scan_recorded(lane, attempt, Shards::Set(covered))?;
+                self.metrics.solo.inc();
+                let values: Arc<[V]> = subset.iter().map(|&s| view[s].clone()).collect();
+                let stats = ServiceStats {
+                    fallback_full: true,
+                    retries,
+                    underlying: stats,
+                    ..ServiceStats::default()
+                };
+                Ok((PartialView::new(subset, values), stats))
+            }
+            Err(e) => {
+                self.note_backend_error(lane, attempt, &e, Shards::Set(covered));
+                Err(e)
+            }
+        }
     }
 
     fn check_segment(&self, segment: usize) -> Result<(), ServiceError> {
@@ -307,144 +766,15 @@ impl<V: RegisterValue, C: SnapshotCore<V>> SnapshotService<V, C> {
         Ok(subset)
     }
 
-    /// One full scan, coalesced when enabled. Counts toward
-    /// `service.scan.solo` (ran the collect) or `service.scan.coalesced`
-    /// (joined someone else's).
-    fn full_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ServiceStats) {
-        if !self.cfg.coalesce {
-            let (view, stats) = self.core.core_scan(lane);
-            self.metrics.solo.inc();
-            return (view, ServiceStats { underlying: stats, ..ServiceStats::default() });
-        }
-        match self.global.enter() {
-            Entry::Joined { generation, view } => {
-                self.metrics.coalesced.inc();
-                self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
-                (view, ServiceStats { coalesced: true, generation, ..ServiceStats::default() })
-            }
-            Entry::Lead(token) => {
-                let generation = token.generation();
-                self.trace.emit(lane.get(), Event::CoalesceLead { generation });
-                let (view, stats) = self.core.core_scan(lane);
-                token.publish(view.clone());
-                self.metrics.solo.inc();
-                (view, ServiceStats { generation, underlying: stats, ..ServiceStats::default() })
-            }
-        }
-    }
-
-    /// Double collect over `subset` using certified reads: two adjacent
-    /// passes whose certificates all match make the second pass an
-    /// instantaneous picture of the subset (Observation 1 projected —
-    /// certificates are ABA-free, so unchanged certificates mean *no
-    /// write at all* completed in between). Returns `None` if the
-    /// construction offers no certified reads or contention exhausted the
-    /// round budget.
-    fn certified_collect(
-        &self,
-        lane: ProcessId,
-        subset: &[usize],
-    ) -> Option<(Vec<V>, u32, ScanStats)> {
-        let mut stats = ScanStats::default();
-        let read_all = |stats: &mut ScanStats| -> Option<Vec<(V, u64)>> {
-            stats.reads += subset.len() as u64;
-            subset.iter().map(|&s| self.core.certified_read(lane, s)).collect()
-        };
-        let mut prev = read_all(&mut stats)?;
-        for round in 1..=self.cfg.max_partial_rounds {
-            let next = read_all(&mut stats)?;
-            let clean = prev.iter().zip(&next).all(|(a, b)| a.1 == b.1);
-            if clean {
-                stats.double_collects = round;
-                let values = next.into_iter().map(|(v, _)| v).collect();
-                return Some((values, round, stats));
-            }
-            prev = next;
-        }
-        None
-    }
-
-    /// Produces the value range of one shard: a certified collect over
-    /// the range when possible, otherwise a projected full collect run
-    /// directly on the core (not through the global rendezvous — a shard
-    /// leader must make progress without waiting on other leaders).
-    fn shard_collect(
-        &self,
-        lane: ProcessId,
-        shard: usize,
-    ) -> (Arc<[V]>, u32, bool, ScanStats) {
-        let range = self.map.range(shard);
-        let segs: Vec<usize> = range.clone().collect();
-        if let Some((values, rounds, stats)) = self.certified_collect(lane, &segs) {
-            (values.into(), rounds, false, stats)
-        } else {
-            let (view, stats) = self.core.core_scan(lane);
-            (view[range].iter().cloned().collect(), 0, true, stats)
-        }
-    }
-
-    /// The partial-scan brain: single-shard subsets go through the
-    /// shard's rendezvous; anything else runs a direct certified collect,
-    /// falling back to a projected full scan (wait-free: the full scan is
-    /// the constructions' own bounded algorithm).
-    fn partial_scan(&self, lane: ProcessId, subset: &[usize]) -> (PartialView<V>, ServiceStats) {
-        let segments = self.core.segments();
-        if subset.len() == segments {
-            // Full coverage: this *is* a full scan, serve it as one.
-            let (view, stats) = self.full_scan(lane);
-            let values: Arc<[V]> = view.iter().cloned().collect();
-            return (PartialView::new(subset, values), stats);
-        }
-        if self.cfg.coalesce {
-            if let Some(shard) = self.map.shard_containing(subset) {
-                let start = self.map.range(shard).start;
-                let project = |range_values: &[V]| -> Arc<[V]> {
-                    subset.iter().map(|&s| range_values[s - start].clone()).collect()
-                };
-                match self.shards[shard].enter() {
-                    Entry::Joined { generation, view } => {
-                        self.metrics.coalesced.inc();
-                        self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
-                        let stats =
-                            ServiceStats { coalesced: true, generation, ..ServiceStats::default() };
-                        return (PartialView::new(subset, project(&view)), stats);
-                    }
-                    Entry::Lead(token) => {
-                        let generation = token.generation();
-                        self.trace.emit(lane.get(), Event::CoalesceLead { generation });
-                        let (range_values, rounds, fallback, stats) =
-                            self.shard_collect(lane, shard);
-                        token.publish(range_values.clone());
-                        self.metrics.solo.inc();
-                        let stats = ServiceStats {
-                            generation,
-                            fallback_full: fallback,
-                            certified_rounds: rounds,
-                            underlying: stats,
-                            ..ServiceStats::default()
-                        };
-                        return (PartialView::new(subset, project(&range_values)), stats);
-                    }
-                }
-            }
-        }
-        if let Some((values, rounds, stats)) = self.certified_collect(lane, subset) {
-            self.metrics.solo.inc();
-            let stats = ServiceStats {
-                certified_rounds: rounds,
-                underlying: stats,
-                ..ServiceStats::default()
-            };
-            return (PartialView::new(subset, values.into()), stats);
-        }
-        let (view, mut stats) = self.full_scan(lane);
-        stats.fallback_full = true;
-        let values: Arc<[V]> = subset.iter().map(|&s| view[s].clone()).collect();
-        (PartialView::new(subset, values), stats)
+    /// The sorted set of shards a canonical (sorted) subset touches.
+    fn covered_shards(&self, subset: &[usize]) -> Vec<usize> {
+        let mut shards: Vec<usize> = subset.iter().map(|&s| self.map.shard_of(s)).collect();
+        shards.dedup(); // sorted subset → monotone shard indices
+        shards
     }
 }
 
-impl<V: RegisterValue, C: SnapshotCore<V>> std::fmt::Debug for SnapshotService<V, C> {
+impl<V: RegisterValue, C: TrySnapshotCore<V>> std::fmt::Debug for SnapshotService<V, C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SnapshotService")
             .field("segments", &self.core.segments())
@@ -455,11 +785,11 @@ impl<V: RegisterValue, C: SnapshotCore<V>> std::fmt::Debug for SnapshotService<V
 }
 
 /// RAII in-flight slot.
-struct Admitted<'a, V: RegisterValue, C: SnapshotCore<V>> {
+struct Admitted<'a, V: RegisterValue, C: TrySnapshotCore<V>> {
     service: &'a SnapshotService<V, C>,
 }
 
-impl<V: RegisterValue, C: SnapshotCore<V>> Drop for Admitted<'_, V, C> {
+impl<V: RegisterValue, C: TrySnapshotCore<V>> Drop for Admitted<'_, V, C> {
     fn drop(&mut self) {
         self.service.inflight.fetch_sub(1, Ordering::AcqRel);
         self.service.metrics.inflight.add(-1);
@@ -471,12 +801,12 @@ impl<V: RegisterValue, C: SnapshotCore<V>> Drop for Admitted<'_, V, C> {
 /// Operations take `&mut self`: a lane runs at most one request at a
 /// time, which is exactly the discipline the constructions' handle
 /// registry enforces underneath.
-pub struct ServiceClient<'a, V: RegisterValue, C: SnapshotCore<V>> {
+pub struct ServiceClient<'a, V: RegisterValue, C: TrySnapshotCore<V>> {
     service: &'a SnapshotService<V, C>,
     lane: ProcessId,
 }
 
-impl<V: RegisterValue, C: SnapshotCore<V>> ServiceClient<'_, V, C> {
+impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
     /// The lane this client owns.
     pub fn lane(&self) -> usize {
         self.lane.get()
@@ -499,10 +829,11 @@ impl<V: RegisterValue, C: SnapshotCore<V>> ServiceClient<'_, V, C> {
     ) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
         let svc = self.service;
         let _slot = svc.admit()?;
+        let _claims = svc.gate(self.lane, 0..svc.map.shards())?;
         let start = Instant::now();
         let out = svc.full_scan(self.lane);
         svc.metrics.scan_latency.record(start.elapsed());
-        Ok(out)
+        out
     }
 
     /// A partial scan: an instantaneous picture of `segments` only
@@ -519,23 +850,27 @@ impl<V: RegisterValue, C: SnapshotCore<V>> ServiceClient<'_, V, C> {
     ) -> Result<(PartialView<V>, ServiceStats), ServiceError> {
         let svc = self.service;
         let subset = svc.canonical_subset(segments)?;
+        let covered = svc.covered_shards(&subset);
         let _slot = svc.admit()?;
+        let _claims = svc.gate(self.lane, covered.iter().copied())?;
         let start = Instant::now();
-        let (view, stats) = svc.partial_scan(self.lane, &subset);
+        let out = svc.partial_scan(self.lane, &subset, &covered);
         svc.metrics.partial.inc();
-        if stats.fallback_full {
-            svc.metrics.fallback_full.inc();
-        }
-        svc.trace.emit(
-            self.lane.get(),
-            Event::PartialCollect {
-                segments: subset.len(),
-                rounds: stats.certified_rounds,
-                fallback: stats.fallback_full,
-            },
-        );
         svc.metrics.partial_latency.record(start.elapsed());
-        Ok((view, stats))
+        if let Ok((_, stats)) = &out {
+            if stats.fallback_full {
+                svc.metrics.fallback_full.inc();
+            }
+            svc.trace.emit(
+                self.lane.get(),
+                Event::PartialCollect {
+                    segments: subset.len(),
+                    rounds: stats.certified_rounds,
+                    fallback: stats.fallback_full,
+                },
+            );
+        }
+        out
     }
 
     /// Writes `value` to `segment`.
@@ -543,6 +878,11 @@ impl<V: RegisterValue, C: SnapshotCore<V>> ServiceClient<'_, V, C> {
     /// For single-writer constructions `segment` must equal this client's
     /// lane ([`ServiceError::NotOwner`] otherwise); multi-writer backings
     /// accept any segment.
+    ///
+    /// A failed update ([`ServiceError::Backend`]) is **indeterminate**:
+    /// the write may or may not have taken effect (retries re-apply the
+    /// same value, which is idempotent at the snapshot level). This is
+    /// the same boundary an ABD write that loses its quorum sits on.
     pub fn update(&mut self, segment: usize, value: V) -> Result<(), ServiceError> {
         self.update_with_stats(segment, value).map(|_| ())
     }
@@ -560,20 +900,33 @@ impl<V: RegisterValue, C: SnapshotCore<V>> ServiceClient<'_, V, C> {
             return Err(ServiceError::NotOwner { lane: self.lane.get(), segment });
         }
         let _slot = svc.admit()?;
+        let shard = svc.map.shard_of(segment);
+        let _claims = svc.gate(self.lane, [shard])?;
         let start = Instant::now();
-        let stats = svc.core.core_update(self.lane, segment, value);
+        let out = svc.run_with_retry(self.lane, |attempt| {
+            match svc.core.try_update(self.lane, segment, value.clone()) {
+                Ok(stats) => {
+                    svc.record_ok(Shards::One(shard));
+                    Ok(stats)
+                }
+                Err(e) => {
+                    svc.note_backend_error(self.lane, attempt, &e, Shards::One(shard));
+                    Err(e)
+                }
+            }
+        });
         svc.metrics.update_latency.record(start.elapsed());
-        Ok(stats)
+        out
     }
 }
 
-impl<V: RegisterValue, C: SnapshotCore<V>> Drop for ServiceClient<'_, V, C> {
+impl<V: RegisterValue, C: TrySnapshotCore<V>> Drop for ServiceClient<'_, V, C> {
     fn drop(&mut self) {
         self.service.lanes[self.lane.get()].store(false, Ordering::Release);
     }
 }
 
-impl<V: RegisterValue, C: SnapshotCore<V>> std::fmt::Debug for ServiceClient<'_, V, C> {
+impl<V: RegisterValue, C: TrySnapshotCore<V>> std::fmt::Debug for ServiceClient<'_, V, C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceClient").field("lane", &self.lane).finish()
     }
@@ -700,9 +1053,11 @@ mod tests {
         for _ in 0..5 {
             let (_, stats) = c.scan_with_stats().unwrap();
             assert!(!stats.coalesced);
+            assert_eq!(stats.retries, 0, "infallible cores never consume retries");
         }
         assert_eq!(registry.counter("service.scan.solo").get(), 5);
         assert_eq!(registry.counter("service.scan.coalesced").get(), 0);
+        assert_eq!(registry.counter("service.fault.backend_errors").get(), 0);
     }
 
     #[test]
@@ -732,6 +1087,16 @@ mod tests {
         );
         drop(slot);
         assert!(c.scan().is_ok());
+    }
+
+    #[test]
+    fn healthy_service_reports_no_degraded_shards() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(4, 0u32));
+        let mut c = svc.client(0);
+        c.update(0, 1).unwrap();
+        c.scan().unwrap();
+        assert!(svc.degraded_shards().is_empty());
+        assert_eq!(svc.abdications(), 0);
     }
 
     #[test]

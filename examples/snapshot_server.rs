@@ -65,6 +65,8 @@ impl<V, C: SnapshotCore<V>> SnapshotCore<V> for SlowCore<C> {
     }
 }
 
+snapshot_core::impl_try_snapshot_core!([V, C: SnapshotCore<V>] V, SlowCore<C>);
+
 const SEGMENTS: usize = 8;
 const OPS_PER_CLIENT: u64 = 2_000;
 

@@ -228,6 +228,48 @@ fn majority_partition_yields_quorum_unavailable_not_panic() {
     assert_eq!(reg.try_read(p1).unwrap(), 14);
 }
 
+/// A poisoned network fails fast with a typed, *terminal* error: every
+/// subsequent operation returns `AbdError::NetworkPoisoned` immediately —
+/// no retransmission burn, no waiting out the op timeout. Poisoning
+/// models an unrecoverable deployment fault (a replica thread died), so
+/// unlike partitions there is no heal path.
+#[test]
+fn poisoned_network_fails_fast_without_retry_burn() {
+    let op_timeout = Duration::from_secs(5); // deliberately long: fail-fast must not wait it out
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(3)
+            .with_op_timeout(op_timeout)
+            .with_retry(fast_retry()),
+    ));
+    let reg = AbdRegister::new(Arc::clone(&network), 0u64);
+    let p0 = ProcessId::new(0);
+    reg.try_write(p0, 7).unwrap();
+    let retries_before = network.stats().retries;
+
+    network.poison();
+    assert!(network.poisoned());
+    for _ in 0..3 {
+        let started = Instant::now();
+        let read = reg.try_read(p0);
+        let write = reg.try_write(p0, 8);
+        let took = started.elapsed();
+        assert!(matches!(read, Err(AbdError::NetworkPoisoned)), "{read:?}");
+        assert!(matches!(write, Err(AbdError::NetworkPoisoned)), "{write:?}");
+        assert!(
+            took < op_timeout / 2,
+            "poisoned ops must fail fast, not ride the {op_timeout:?} timeout (took {took:?})"
+        );
+    }
+    assert_eq!(
+        network.stats().retries,
+        retries_before,
+        "a poisoned fleet must not burn retransmissions"
+    );
+    // Healing fixes partitions, not poison: the mark is terminal.
+    network.heal();
+    assert!(matches!(reg.try_read(p0), Err(AbdError::NetworkPoisoned)));
+}
+
 /// An operation that *starts* against a partitioned majority completes
 /// (rather than erroring) if the partition heals before the timeout:
 /// retransmissions carry it across the healing boundary.

@@ -1,0 +1,464 @@
+//! Nemesis suite for the fault-tolerant service mode: a coalescing
+//! client fleet over an `AbdSnapshotCore` (Figure 2 run fallibly over
+//! emulated message-passing registers), attacked by phased partitions
+//! and crash/restart storms.
+//!
+//! The contract under test, end to end:
+//!
+//! * **No deadlocked cohort.** Every request returns — a view or a typed
+//!   `ServiceError` — within its retry budget; after every phase the
+//!   coalescing rendezvous is empty and the admission budget is fully
+//!   returned.
+//! * **Every success linearizes.** All completed operations, including
+//!   ones that straddle a heal boundary, pass the Wing & Gong checker
+//!   (failed updates are registered as pending: they are indeterminate,
+//!   exactly like an ABD write that lost its quorum).
+//! * **Failure is typed at every layer.** Backend faults surface as
+//!   `ServiceError::Backend` (budget consumed) or `Degraded` (health
+//!   gate shed the request before it touched a register) — never a
+//!   panic, never a hang.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use snapshot_abd::{
+    AbdSnapshotCore, Dwell, FaultPlan, LinkFault, Nemesis, NemesisEvent, Network, NetworkConfig,
+    RetryPolicy,
+};
+use snapshot_core::{
+    CoreError, ScanStats, SnapshotCore, SnapshotView, TrySnapshotCore, UnboundedSnapshot,
+};
+use snapshot_lin::{check_history, Recorder};
+use snapshot_obs::Registry;
+use snapshot_registers::ProcessId;
+use snapshot_service::{
+    HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService,
+};
+
+const LANES: usize = 3;
+const REPLICAS: usize = 5;
+
+fn mild_lossy_link() -> LinkFault {
+    LinkFault::healthy()
+        .with_drop(0.08)
+        .with_duplicate(0.06)
+        .with_reorder(0.10, 3)
+        .with_delay(Duration::from_micros(5), Duration::from_micros(80))
+}
+
+fn fast_abd_retry() -> RetryPolicy {
+    RetryPolicy {
+        initial_backoff: Duration::from_micros(300),
+        max_backoff: Duration::from_millis(4),
+        multiplier: 2,
+        jitter: 0.5,
+    }
+}
+
+fn service_retry() -> RetryConfig {
+    RetryConfig {
+        max_attempts: 3,
+        initial_backoff: Duration::from_micros(300),
+        max_backoff: Duration::from_millis(4),
+        multiplier: 2,
+        deadline: Duration::from_secs(30),
+    }
+}
+
+/// Partition/crash storm: minority cuts the fleet rides out, one
+/// majority blackout it must *fail typed* through, then heal.
+fn storm(network: &Arc<Network>) -> std::thread::JoinHandle<()> {
+    let network = Arc::clone(network);
+    std::thread::spawn(move || {
+        Nemesis::new()
+            .phase(vec![NemesisEvent::Heal], Dwell::Millis(5))
+            .phase(
+                vec![NemesisEvent::Partition { replicas: vec![0, 1], symmetric: true }],
+                Dwell::Millis(25),
+            )
+            .phase(vec![NemesisEvent::Heal, NemesisEvent::Crash(2)], Dwell::Millis(25))
+            .phase(
+                // The blackout: a majority is gone. Liveness is lost on
+                // purpose; everything issued here must return typed
+                // errors within its budget.
+                vec![NemesisEvent::Partition { replicas: vec![0, 1, 3], symmetric: true }],
+                Dwell::Millis(60),
+            )
+            .phase(vec![NemesisEvent::Restart(2), NemesisEvent::Heal], Dwell::Millis(30))
+            .run(&network)
+    })
+}
+
+#[test]
+fn nemesis_storm_service_returns_views_or_typed_errors() {
+    let seed = 1990;
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(REPLICAS)
+            .with_jitter(seed)
+            .with_faults(FaultPlan::seeded(seed).with_default(mild_lossy_link()))
+            .with_op_timeout(Duration::from_millis(40))
+            .with_retry(fast_abd_retry()),
+    ));
+    let registry = Registry::new();
+    let service = SnapshotService::with_config(
+        AbdSnapshotCore::new(&network, LANES, 0u64),
+        ServiceConfig {
+            retry: service_retry(),
+            health: HealthConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(10),
+            },
+            ..ServiceConfig::default()
+        },
+    )
+    .with_registry(&registry);
+    let recorder = Recorder::new(LANES, LANES, 0u64);
+    let errors: Mutex<Vec<ServiceError>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for lane in 0..LANES {
+            let service = &service;
+            let recorder = &recorder;
+            let errors = &errors;
+            s.spawn(move || {
+                let pid = ProcessId::new(lane);
+                let mut client = service.client(lane);
+                // 21 iterations keeps the worst-case recorded history
+                // (every op succeeds: 3 lanes × 21 × 2 ops = 126) inside
+                // the Wing & Gong checker's 128-operation limit.
+                for k in 1..=21u64 {
+                    // Update then scan, riding straight through fault
+                    // phases and heal boundaries.
+                    let value = ((lane as u64) << 32) | k;
+                    let inv = recorder.begin();
+                    match client.update(lane, value) {
+                        Ok(()) => recorder.end_update(pid, lane, value, inv),
+                        Err(e @ ServiceError::Backend { .. }) => {
+                            // Indeterminate: the write may have landed on
+                            // a quorum we never heard back from.
+                            recorder.pending_update(pid, lane, value, inv);
+                            errors.lock().unwrap().push(e);
+                        }
+                        Err(e @ ServiceError::Degraded { .. }) => {
+                            // Shed before touching any register: the
+                            // write definitely did not happen.
+                            errors.lock().unwrap().push(e);
+                        }
+                        Err(other) => panic!("lane {lane}: unexpected error {other:?}"),
+                    }
+                    let inv = recorder.begin();
+                    match client.scan() {
+                        Ok(view) => recorder.end_scan(pid, view.to_vec(), inv),
+                        Err(e @ (ServiceError::Backend { .. } | ServiceError::Degraded { .. })) => {
+                            errors.lock().unwrap().push(e)
+                        }
+                        Err(other) => panic!("lane {lane}: unexpected error {other:?}"),
+                    }
+                }
+            });
+        }
+        storm(&network).join().unwrap();
+    });
+
+    // (a) No deadlocked cohort: every thread returned, the rendezvous is
+    // drained and the admission budget is fully returned.
+    assert_eq!(service.coalescing_waiters(), 0, "waiters parked forever");
+    assert_eq!(service.inflight(), 0, "admission slots leaked");
+
+    // (b) Every success linearizes, across heal boundaries, with failed
+    // updates treated as indeterminate.
+    let history = recorder.finish();
+    let result = check_history(&history);
+    assert!(
+        result.is_linearizable(),
+        "seed {seed}: storm history rejected ({result:?}): {history:?}"
+    );
+
+    // (c) Failure accounting is consistent: the blackout phase makes
+    // errors overwhelmingly likely but not certain on every
+    // interleaving, so assert consistency rather than a count.
+    let errors = errors.into_inner().unwrap();
+    let backend = errors.iter().filter(|e| matches!(e, ServiceError::Backend { .. })).count();
+    let degraded = errors.iter().filter(|e| matches!(e, ServiceError::Degraded { .. })).count();
+    assert_eq!(backend + degraded, errors.len());
+    assert!(
+        registry.counter("service.fault.retry_exhausted").get() >= backend as u64,
+        "every Backend error passed through retry exhaustion"
+    );
+    assert_eq!(registry.counter("service.fault.degraded_shed").get(), degraded as u64);
+    assert!(!network.poisoned(), "a replica thread panicked");
+
+    // After the final heal the service recovers end to end.
+    let mut probe = service.client(0);
+    let mut view = None;
+    for _ in 0..40 {
+        match probe.scan() {
+            Ok(v) => {
+                view = Some(v);
+                break;
+            }
+            Err(ServiceError::Degraded { retry_after, .. }) => std::thread::sleep(retry_after),
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    assert!(view.is_some(), "service must recover after the storm heals");
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cohort fan-out (scripted backend, no timing luck)
+// ---------------------------------------------------------------------------
+
+/// Scripted fallible core: `try_scan` parks (spinning) while `gate` is
+/// set, then fails while `fail_remaining > 0`. Implements
+/// `TrySnapshotCore` directly, so the service's whole failure path runs
+/// without a network in the loop.
+struct ScriptedCore {
+    inner: UnboundedSnapshot<u64>,
+    gate: Arc<AtomicBool>,
+    entered: Arc<AtomicUsize>,
+    fail_remaining: AtomicUsize,
+}
+
+impl ScriptedCore {
+    fn new(n: usize, failures: usize) -> Self {
+        ScriptedCore {
+            inner: UnboundedSnapshot::new(n, 0u64),
+            gate: Arc::new(AtomicBool::new(false)),
+            entered: Arc::new(AtomicUsize::new(0)),
+            fail_remaining: AtomicUsize::new(failures),
+        }
+    }
+
+    fn take_failure(&self) -> bool {
+        self.fail_remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(1))
+            .is_ok()
+    }
+}
+
+impl TrySnapshotCore<u64> for ScriptedCore {
+    // Fully qualified: `UnboundedSnapshot` implements both `SnapshotCore`
+    // and `TrySnapshotCore`, so bare method calls on it are ambiguous.
+    fn segments(&self) -> usize {
+        SnapshotCore::segments(&self.inner)
+    }
+
+    fn lanes(&self) -> usize {
+        SnapshotCore::lanes(&self.inner)
+    }
+
+    fn single_writer(&self) -> bool {
+        SnapshotCore::single_writer(&self.inner)
+    }
+
+    fn try_scan(&self, lane: ProcessId) -> Result<(SnapshotView<u64>, ScanStats), CoreError> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        while self.gate.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        if self.take_failure() {
+            return Err(CoreError::Unavailable { reason: "scripted outage".into() });
+        }
+        Ok(self.inner.core_scan(lane))
+    }
+
+    fn try_update(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: u64,
+    ) -> Result<ScanStats, CoreError> {
+        if self.take_failure() {
+            return Err(CoreError::Unavailable { reason: "scripted outage".into() });
+        }
+        Ok(self.inner.core_update(lane, segment, value))
+    }
+
+    fn try_certified_read(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+    ) -> Result<Option<(u64, u64)>, CoreError> {
+        Ok(self.inner.certified_read(reader, segment))
+    }
+}
+
+#[test]
+fn failed_leader_fans_errors_to_the_whole_cohort_within_budget() {
+    const CLIENTS: usize = 6;
+    let core = ScriptedCore::new(CLIENTS, usize::MAX / 2); // outage outlasts every budget
+    let gate = core.gate.clone();
+    let entered = core.entered.clone();
+    gate.store(true, Ordering::SeqCst);
+
+    let registry = Registry::new();
+    let service = SnapshotService::with_config(
+        core,
+        ServiceConfig {
+            retry: RetryConfig {
+                max_attempts: 2,
+                initial_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(200),
+                ..RetryConfig::default()
+            },
+            health: HealthConfig::disabled(), // isolate fan-out from shedding
+            ..ServiceConfig::default()
+        },
+    )
+    .with_registry(&registry);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|lane| {
+                let service = &service;
+                s.spawn(move || service.client(lane).scan().unwrap_err())
+            })
+            .collect();
+
+        // One leader is inside the (held) collect; the rest of the fleet
+        // parks behind it.
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        while service.coalescing_waiters() < CLIENTS - 1 {
+            std::thread::yield_now();
+        }
+
+        // Release the collect into the outage: the leader fails, the
+        // error fans out, successors re-elect and fail too. Nobody may
+        // park forever.
+        gate.store(false, Ordering::SeqCst);
+        for h in handles {
+            let err = h.join().unwrap();
+            match err {
+                ServiceError::Backend { attempts, error } => {
+                    assert!(attempts <= 2, "budget overrun: {attempts}");
+                    assert!(error.retryable());
+                }
+                other => panic!("expected Backend, got {other:?}"),
+            }
+        }
+    });
+
+    assert_eq!(service.coalescing_waiters(), 0, "no waiter may stay parked");
+    assert_eq!(service.inflight(), 0, "admission budget fully returned");
+    assert!(service.abdications() >= 1, "at least the first leader failed over");
+    assert!(
+        registry.counter("service.fault.cohort_errors").get() >= 1,
+        "someone must have received a fanned-out error"
+    );
+    assert_eq!(
+        registry.counter("service.fault.retry_exhausted").get(),
+        CLIENTS as u64,
+        "every client exhausted its own budget"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shard health gate: trip, shed, half-open probe, recover
+// ---------------------------------------------------------------------------
+
+#[test]
+fn health_gate_trips_sheds_probes_and_recovers() {
+    let cooldown = Duration::from_millis(40);
+    let core = ScriptedCore::new(2, 2); // exactly two failures, then healthy
+    let registry = Registry::new();
+    let service = SnapshotService::with_config(
+        core,
+        ServiceConfig {
+            coalesce: false,
+            retry: RetryConfig::no_retries(), // one backend attempt per request
+            health: HealthConfig { failure_threshold: 2, cooldown },
+            ..ServiceConfig::default()
+        },
+    )
+    .with_registry(&registry);
+    let mut client = service.client(0);
+
+    // Two consecutive failures trip every gated shard's breaker.
+    for _ in 0..2 {
+        let err = client.scan().unwrap_err();
+        assert!(matches!(err, ServiceError::Backend { attempts: 1, .. }), "{err:?}");
+    }
+    assert!(!service.degraded_shards().is_empty(), "breaker must be open");
+
+    // Open breaker: shed with a retry hint, without touching the backend.
+    match client.scan().unwrap_err() {
+        ServiceError::Degraded { retry_after, .. } => {
+            assert!(retry_after <= cooldown);
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    assert_eq!(registry.counter("service.fault.degraded_shed").get(), 1);
+    assert_eq!(
+        registry.counter("service.fault.backend_errors").get(),
+        2,
+        "the shed request must not reach the backend"
+    );
+
+    // After the cooldown the half-open probe goes through (the scripted
+    // outage is over), closing the breaker for everyone.
+    std::thread::sleep(cooldown + Duration::from_millis(10));
+    let view = client.scan().expect("probe must be admitted and succeed");
+    assert_eq!(view.len(), 2);
+    assert!(service.degraded_shards().is_empty(), "breaker must close on probe success");
+    client.scan().expect("closed breaker admits normally");
+    client.update(0, 7).expect("updates flow again");
+    assert_eq!(client.scan().unwrap()[0], 7);
+}
+
+// ---------------------------------------------------------------------------
+// Healthy-network parity: the ABD-backed service behaves like in-process
+// ---------------------------------------------------------------------------
+
+#[test]
+fn healthy_abd_service_matches_in_process_semantics() {
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(3).with_retry(fast_abd_retry()),
+    ));
+    let registry = Registry::new();
+    let service = SnapshotService::new(AbdSnapshotCore::new(&network, LANES, 0u64))
+        .with_registry(&registry);
+    let recorder = Recorder::new(LANES, LANES, 0u64);
+
+    std::thread::scope(|s| {
+        for lane in 0..LANES {
+            let service = &service;
+            let recorder = &recorder;
+            s.spawn(move || {
+                let pid = ProcessId::new(lane);
+                let mut client = service.client(lane);
+                for k in 1..=8u64 {
+                    let value = ((lane as u64) << 16) | k;
+                    let inv = recorder.begin();
+                    client.update(lane, value).expect("healthy network");
+                    recorder.end_update(pid, lane, value, inv);
+                    let inv = recorder.begin();
+                    let view = client.scan().expect("healthy network");
+                    recorder.end_scan(pid, view.to_vec(), inv);
+                    // Partial scans ride the ABD certificates (seq
+                    // numbers) exactly like the unbounded in-process core.
+                    let partial = client.scan_subset(&[lane]).expect("healthy network");
+                    assert_eq!(partial.segments(), &[lane]);
+                }
+            });
+        }
+    });
+
+    let history = recorder.finish();
+    assert!(check_history(&history).is_linearizable(), "healthy ABD service must linearize");
+
+    // Coalescing happened through the same rendezvous as in-process
+    // cores, and no fault path ever fired. Full scans and single-shard
+    // partials each take exactly one solo-or-coalesced slot.
+    let solo = registry.counter("service.scan.solo").get();
+    let coalesced = registry.counter("service.scan.coalesced").get();
+    assert_eq!(solo + coalesced, (LANES * 8 * 2) as u64);
+    assert_eq!(registry.counter("service.fault.backend_errors").get(), 0);
+    assert_eq!(registry.counter("service.fault.degraded_shed").get(), 0);
+    assert_eq!(registry.counter("service.coalesce.abdicated").get(), 0);
+    assert_eq!(service.abdications(), 0);
+    assert_eq!(service.inflight(), 0);
+    assert_eq!(service.coalescing_waiters(), 0);
+}

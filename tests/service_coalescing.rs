@@ -18,6 +18,18 @@
 //!    on and off — recording real-time intervals, and requires the Wing &
 //!    Gong checker to accept both histories. Coalescing may change *which*
 //!    collect a scan returns, never whether the history linearizes.
+//!
+//! 4. **The generation rule holds under writers.** An adversarially
+//!    staged schedule completes a collect, then lets a writer finish an
+//!    update, then sends in a new scan — all before the collect
+//!    publishes. The new scan's request started after the update
+//!    completed, so the parked pre-update view must never be handed to
+//!    it: the coalescer forces a fresh collect that contains the write.
+//!
+//! 5. **Leader failures are accounted as abdications.** With a scripted
+//!    flaky backend, failed collect leaderships count toward
+//!    `service.coalesce.abdicated` — distinct from `service.scan.solo`
+//!    (successful leads) and `service.scan.coalesced` (joins).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -25,11 +37,13 @@ use std::sync::Arc;
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use proptest::test_runner::{Config, RngAlgorithm, TestRng, TestRunner};
-use snapshot_core::{ScanStats, SnapshotCore, SnapshotView, UnboundedSnapshot};
+use snapshot_core::{
+    CoreError, ScanStats, SnapshotCore, SnapshotView, TrySnapshotCore, UnboundedSnapshot,
+};
 use snapshot_lin::{check_history, Recorder, WgResult};
 use snapshot_obs::Registry;
 use snapshot_registers::{EpochBackend, Instrumented, OpCounters, ProcessId};
-use snapshot_service::{ServiceConfig, ServiceError, SnapshotService};
+use snapshot_service::{HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService};
 
 // ---------------------------------------------------------------------------
 // A core wrapper that can hold a scan open at a controlled point
@@ -45,16 +59,18 @@ struct Blocking<C> {
 }
 
 impl<V, C: SnapshotCore<V>> SnapshotCore<V> for Blocking<C> {
+    // Fully qualified: with both `SnapshotCore` and `TrySnapshotCore`
+    // implemented, bare `self.inner.segments()` is ambiguous.
     fn segments(&self) -> usize {
-        self.inner.segments()
+        SnapshotCore::segments(&self.inner)
     }
 
     fn lanes(&self) -> usize {
-        self.inner.lanes()
+        SnapshotCore::lanes(&self.inner)
     }
 
     fn single_writer(&self) -> bool {
-        self.inner.single_writer()
+        SnapshotCore::single_writer(&self.inner)
     }
 
     fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats) {
@@ -73,6 +89,8 @@ impl<V, C: SnapshotCore<V>> SnapshotCore<V> for Blocking<C> {
         self.inner.certified_read(reader, segment)
     }
 }
+
+snapshot_core::impl_try_snapshot_core!([V, C: SnapshotCore<V>] V, Blocking<C>);
 
 type CountedUnbounded = UnboundedSnapshot<u64, Instrumented<EpochBackend>>;
 
@@ -258,6 +276,204 @@ fn run_service_history(plans: &[Plan], coalesce: bool) -> WgResult {
         }
     });
     check_history(&recorder.finish())
+}
+
+// ---------------------------------------------------------------------------
+// The generation rule under writers (adversarial staging)
+// ---------------------------------------------------------------------------
+
+/// Delegates to the wrapped core, but `core_scan` completes the inner
+/// collect and then parks (spinning) *before returning* while `held` is
+/// set. This stages the adversarial window the generation rule exists
+/// for: a finished-but-unpublished collect whose reads all predate
+/// whatever happens during the hold.
+struct HoldAfterCollect<C> {
+    inner: C,
+    held: Arc<AtomicBool>,
+    collects_done: Arc<AtomicUsize>,
+}
+
+impl<V, C: SnapshotCore<V>> SnapshotCore<V> for HoldAfterCollect<C> {
+    // Fully qualified: with both `SnapshotCore` and `TrySnapshotCore`
+    // implemented, bare `self.inner.segments()` is ambiguous.
+    fn segments(&self) -> usize {
+        SnapshotCore::segments(&self.inner)
+    }
+
+    fn lanes(&self) -> usize {
+        SnapshotCore::lanes(&self.inner)
+    }
+
+    fn single_writer(&self) -> bool {
+        SnapshotCore::single_writer(&self.inner)
+    }
+
+    fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats) {
+        let out = self.inner.core_scan(lane);
+        self.collects_done.fetch_add(1, Ordering::SeqCst);
+        while self.held.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        out
+    }
+
+    fn core_update(&self, lane: ProcessId, segment: usize, value: V) -> ScanStats {
+        self.inner.core_update(lane, segment, value)
+    }
+
+    fn certified_read(&self, reader: ProcessId, segment: usize) -> Option<(V, u64)> {
+        self.inner.certified_read(reader, segment)
+    }
+}
+
+snapshot_core::impl_try_snapshot_core!([V, C: SnapshotCore<V>] V, HoldAfterCollect<C>);
+
+#[test]
+fn generation_rule_never_hands_out_a_pre_request_view_under_writers() {
+    const MARKER: u64 = 0xFEED;
+    let held = Arc::new(AtomicBool::new(true));
+    let collects_done = Arc::new(AtomicUsize::new(0));
+    let service = SnapshotService::new(HoldAfterCollect {
+        inner: UnboundedSnapshot::new(3, 0u64),
+        held: held.clone(),
+        collects_done: collects_done.clone(),
+    });
+
+    std::thread::scope(|s| {
+        // Leader: its collect observes segment 1 = 0, completes, and is
+        // held open before publishing.
+        let leader = s.spawn(|| service.client(0).scan().expect("within budget"));
+        while collects_done.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+
+        // A writer finishes an update *while the stale view is parked*.
+        // The update's embedded scan is direct (not via core_scan), so it
+        // is not held.
+        service.client(1).update(1, MARKER).expect("own segment");
+
+        // A scan request arriving now starts after the update completed:
+        // linearizability demands its view contain the marker, and the
+        // leader's parked view does not.
+        let late = s.spawn(|| {
+            let mut client = service.client(2);
+            client.scan_with_stats().expect("within budget")
+        });
+        while service.coalescing_waiters() == 0 {
+            std::thread::yield_now();
+        }
+
+        // Publish the stale view. The late scan must reject it (its
+        // generation is not newer than the late scan's entry) and run a
+        // fresh collect instead.
+        held.store(false, Ordering::SeqCst);
+        let stale = leader.join().unwrap();
+        assert_eq!(stale[1], 0, "the leader's own pre-update view is fine for the leader");
+        let (fresh, stats) = late.join().unwrap();
+        assert_eq!(
+            fresh[1], MARKER,
+            "coalescer handed a pre-request view to a post-update scan"
+        );
+        assert!(!stats.coalesced, "the late scan must have led its own collect");
+        assert_eq!(stats.generation, 2);
+    });
+    assert_eq!(collects_done.load(Ordering::SeqCst), 2, "exactly one extra collect");
+}
+
+// ---------------------------------------------------------------------------
+// Abdication accounting with a scripted flaky backend
+// ---------------------------------------------------------------------------
+
+/// A fallible core that fails its first `failures` scans with a retryable
+/// error, then recovers. Implements `TrySnapshotCore` directly (it is not
+/// a `SnapshotCore` at all — fallibility is native, not lifted).
+struct Flaky {
+    inner: UnboundedSnapshot<u64>,
+    remaining: AtomicUsize,
+}
+
+impl TrySnapshotCore<u64> for Flaky {
+    // Fully qualified: with both `SnapshotCore` and `TrySnapshotCore`
+    // implemented, bare `self.inner.segments()` is ambiguous.
+    fn segments(&self) -> usize {
+        SnapshotCore::segments(&self.inner)
+    }
+
+    fn lanes(&self) -> usize {
+        SnapshotCore::lanes(&self.inner)
+    }
+
+    fn single_writer(&self) -> bool {
+        SnapshotCore::single_writer(&self.inner)
+    }
+
+    fn try_scan(&self, lane: ProcessId) -> Result<(SnapshotView<u64>, ScanStats), CoreError> {
+        if self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(1))
+            .is_ok()
+        {
+            return Err(CoreError::Unavailable { reason: "scripted outage".into() });
+        }
+        Ok(self.inner.core_scan(lane))
+    }
+
+    fn try_update(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: u64,
+    ) -> Result<ScanStats, CoreError> {
+        Ok(self.inner.core_update(lane, segment, value))
+    }
+
+    fn try_certified_read(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+    ) -> Result<Option<(u64, u64)>, CoreError> {
+        Ok(self.inner.certified_read(reader, segment))
+    }
+}
+
+#[test]
+fn leader_failures_count_as_abdications_not_solo_leads() {
+    let registry = Registry::new();
+    let service = SnapshotService::with_config(
+        Flaky { inner: UnboundedSnapshot::new(2, 0u64), remaining: AtomicUsize::new(2) },
+        ServiceConfig {
+            retry: RetryConfig {
+                max_attempts: 3,
+                initial_backoff: std::time::Duration::from_micros(50),
+                ..RetryConfig::default()
+            },
+            health: HealthConfig::disabled(),
+            ..ServiceConfig::default()
+        },
+    )
+    .with_registry(&registry);
+
+    let mut client = service.client(0);
+    let (view, stats) = client.scan_with_stats().expect("third attempt succeeds");
+    assert_eq!(view.len(), 2);
+    assert_eq!(stats.retries, 2, "two failed attempts before the success");
+
+    // Two failed leaderships, one successful lead, zero joins: the
+    // abdication counter is disjoint from the solo/coalesced pair.
+    assert_eq!(registry.counter("service.coalesce.abdicated").get(), 2);
+    assert_eq!(registry.counter("service.scan.solo").get(), 1);
+    assert_eq!(registry.counter("service.scan.coalesced").get(), 0);
+    assert_eq!(registry.counter("service.fault.backend_errors").get(), 2);
+    assert_eq!(registry.counter("service.fault.retries").get(), 2);
+    assert_eq!(registry.counter("service.fault.retry_exhausted").get(), 0);
+    assert_eq!(service.abdications(), 2);
+
+    // The budget is finite: with the outage longer than max_attempts the
+    // error surfaces typed, and exhaustion is counted.
+    service.backing().remaining.store(10, Ordering::SeqCst);
+    let err = client.scan().unwrap_err();
+    assert!(matches!(err, ServiceError::Backend { attempts: 3, .. }), "{err:?}");
+    assert_eq!(registry.counter("service.fault.retry_exhausted").get(), 1);
 }
 
 #[test]

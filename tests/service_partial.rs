@@ -13,7 +13,7 @@
 use std::sync::Mutex;
 
 use snapshot_core::{
-    BoundedSnapshot, MultiWriterSnapshot, SnapshotCore, UnboundedSnapshot,
+    BoundedSnapshot, MultiWriterSnapshot, TrySnapshotCore, UnboundedSnapshot,
 };
 use snapshot_lin::{check_partial_history, PartialOp, WgOp, WgResult};
 use snapshot_obs::Clock;
@@ -75,7 +75,7 @@ fn certified_and_fallback_paths_report_themselves() {
 /// Drives `threads` lanes of mixed updates / subset scans / full scans
 /// through a service over `core`, recording a `PartialOp` history on one
 /// shared clock, and returns the checker's verdict.
-fn run_partial_history<C: SnapshotCore<u64>>(core: C, ops_per_thread: usize) -> WgResult {
+fn run_partial_history<C: TrySnapshotCore<u64>>(core: C, ops_per_thread: usize) -> WgResult {
     let single_writer = core.single_writer();
     let words = core.segments();
     let threads = core.lanes();
