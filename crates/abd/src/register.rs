@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
+use snapshot_core::Deadline;
 use snapshot_obs::{AbdPhaseKind, Event};
 use snapshot_registers::{ProcessId, Register, TryRegister};
 
@@ -91,12 +92,21 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     /// Reads the register, returning a typed error instead of panicking
     /// when no majority of replicas answers within the configured timeout.
     pub fn try_read(&self, reader: ProcessId) -> Result<V, AbdError> {
-        let (tag, value) = self.query_majority(reader)?;
+        self.try_read_by(reader, Deadline::none())
+    }
+
+    /// Like [`try_read`](Self::try_read), with each quorum phase's wait
+    /// additionally capped at `deadline`: a read that cannot assemble its
+    /// majority before the caller's budget runs out fails fast with
+    /// [`AbdError::QuorumUnavailable`] instead of waiting out the full
+    /// [`op_timeout`](crate::NetworkConfig::op_timeout).
+    pub fn try_read_by(&self, reader: ProcessId, deadline: Deadline) -> Result<V, AbdError> {
+        let (tag, value) = self.query_majority(reader, deadline)?;
         match value {
             Some(erased) => {
                 // Write-back before returning: later reads must not see an
                 // older maximum.
-                self.store_majority(reader, tag, Arc::clone(&erased))?;
+                self.store_majority(reader, tag, Arc::clone(&erased), deadline)?;
                 erased
                     .downcast_ref::<V>()
                     .cloned()
@@ -113,22 +123,39 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     /// may have reached some replicas and may yet become visible (exactly
     /// like a crashed writer in the paper's model).
     pub fn try_write(&self, writer: ProcessId, value: V) -> Result<(), AbdError> {
-        let (max_tag, _) = self.query_majority(writer)?;
+        self.try_write_by(writer, value, Deadline::none())
+    }
+
+    /// Like [`try_write`](Self::try_write), with each quorum phase's wait
+    /// additionally capped at `deadline`. A write cut off by the deadline
+    /// is *indeterminate* exactly like one that lost its quorum.
+    pub fn try_write_by(
+        &self,
+        writer: ProcessId,
+        value: V,
+        deadline: Deadline,
+    ) -> Result<(), AbdError> {
+        let (max_tag, _) = self.query_majority(writer, deadline)?;
         let tag = Tag {
             seq: max_tag.seq + 1,
             writer: writer.get(),
         };
-        self.store_majority(writer, tag, Arc::new(value) as ErasedValue)
+        self.store_majority(writer, tag, Arc::new(value) as ErasedValue, deadline)
     }
 
     /// Phase 1 of both operations: query all, await a majority, return the
     /// maximum `(tag, value)` seen (value `None` = still the initial
     /// value).
-    fn query_majority(&self, pid: ProcessId) -> Result<(Tag, Option<ErasedValue>), AbdError> {
+    fn query_majority(
+        &self,
+        pid: ProcessId,
+        caller_deadline: Deadline,
+    ) -> Result<(Tag, Option<ErasedValue>), AbdError> {
         let mut best: (Tag, Option<ErasedValue>) = (Tag::default(), None);
         self.run_quorum_phase(
             pid,
             AbdPhase::Query,
+            caller_deadline,
             |id, reply| Request::Query {
                 id,
                 register: self.id,
@@ -146,10 +173,17 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     }
 
     /// Phase 2: store `(tag, value)` everywhere, await a majority of acks.
-    fn store_majority(&self, pid: ProcessId, tag: Tag, value: ErasedValue) -> Result<(), AbdError> {
+    fn store_majority(
+        &self,
+        pid: ProcessId,
+        tag: Tag,
+        value: ErasedValue,
+        caller_deadline: Deadline,
+    ) -> Result<(), AbdError> {
         self.run_quorum_phase(
             pid,
             AbdPhase::Store,
+            caller_deadline,
             |id, reply| Request::Store {
                 id,
                 register: self.id,
@@ -170,10 +204,14 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     /// `on_reply` returns whether the reply was of the expected kind; only
     /// accepted replies count toward the quorum. `pid` is the client
     /// process running the phase, used to attribute trace events.
+    /// `caller_deadline` caps the phase's wait below the configured
+    /// `op_timeout`: whichever bound arrives first ends the phase with
+    /// [`AbdError::QuorumUnavailable`].
     fn run_quorum_phase(
         &self,
         pid: ProcessId,
         phase: AbdPhase,
+        caller_deadline: Deadline,
         make: impl Fn(RequestId, Sender<Response>) -> Request,
         mut on_reply: impl FnMut(ResponseBody) -> bool,
     ) -> Result<(), AbdError> {
@@ -187,7 +225,7 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
         let id = network.fresh_request_id();
         let (tx, rx) = unbounded();
         let started = Instant::now();
-        let deadline = started + network.op_timeout();
+        let deadline = caller_deadline.cap(started + network.op_timeout());
         let needed = network.quorum();
         let retry = network.retry_policy().clone();
         let mut acked = vec![false; network.replicas()];
@@ -446,6 +484,26 @@ mod tests {
         let v = reg.try_read(P1).expect("healed majority answers");
         assert!(v == 3 || v == 4, "read {v}");
         assert!(net.stats().retries > 0, "starved phases must have retried");
+    }
+
+    #[test]
+    fn caller_deadline_caps_the_quorum_wait() {
+        let net = Arc::new(Network::with_config(
+            NetworkConfig::new(3).with_op_timeout(Duration::from_secs(5)),
+        ));
+        let reg = AbdRegister::new(Arc::clone(&net), 0u32);
+        net.partition(&[0, 1]); // majority gone: phases can only starve
+        let started = Instant::now();
+        let err = reg
+            .try_read_by(P1, Deadline::after(Duration::from_millis(20)))
+            .unwrap_err();
+        assert!(matches!(err, AbdError::QuorumUnavailable { .. }), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "a 20ms deadline must cut the 5s op_timeout short"
+        );
+        net.heal();
+        assert_eq!(reg.try_read_by(P1, Deadline::none()).unwrap(), 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use snapshot_core::{CoreError, ScanStats, SnapshotView, TrySnapshotCore};
+use snapshot_core::{CoreError, Deadline, ScanStats, SnapshotView, TrySnapshotCore};
 use snapshot_registers::{CachePadded, ProcessId};
 
 use crate::{AbdError, AbdRegister, Network};
@@ -118,20 +118,27 @@ impl<V: Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
     }
 
     /// One collect: read all `n` registers. Any starved quorum phase
-    /// aborts the collect with a typed error.
-    fn collect(&self, lane: ProcessId) -> Result<Vec<AbdRecord<V>>, CoreError> {
-        (0..self.n).map(|j| self.regs[j].try_read(lane).map_err(core_error)).collect()
+    /// aborts the collect with a typed error; `deadline` caps each
+    /// register read's quorum waits.
+    fn collect(&self, lane: ProcessId, deadline: Deadline) -> Result<Vec<AbdRecord<V>>, CoreError> {
+        (0..self.n)
+            .map(|j| self.regs[j].try_read_by(lane, deadline).map_err(core_error))
+            .collect()
     }
 
     /// `procedure scan_i` of Figure 2, fallibly. The caller holds the
     /// lane claim.
-    fn scan_inner(&self, lane: ProcessId) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
+    fn scan_inner(
+        &self,
+        lane: ProcessId,
+        deadline: Deadline,
+    ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
         let n = self.n;
         let mut moved = vec![0u8; n];
         let mut stats = ScanStats::default();
         loop {
-            let a = self.collect(lane)?; // line 1
-            let b = self.collect(lane)?; // line 2
+            let a = self.collect(lane, deadline)?; // line 1
+            let b = self.collect(lane, deadline)?; // line 2
             stats.double_collects += 1;
             stats.reads += 2 * n as u64;
             debug_assert!(
@@ -185,8 +192,7 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
     }
 
     fn try_scan(&self, lane: ProcessId) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
-        let _guard = self.claim(lane);
-        self.scan_inner(lane)
+        self.try_scan_by(lane, Deadline::none())
     }
 
     fn try_update(
@@ -195,16 +201,50 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
         segment: usize,
         value: V,
     ) -> Result<ScanStats, CoreError> {
+        self.try_update_by(lane, segment, value, Deadline::none())
+    }
+
+    fn try_certified_read(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+    ) -> Result<Option<(V, u64)>, CoreError> {
+        self.try_certified_read_by(reader, segment, Deadline::none())
+    }
+
+    /// A deadline-aware scan: every quorum wait underneath is capped at
+    /// `deadline`, so a scan that cannot finish in the caller's budget
+    /// surfaces [`CoreError::Unavailable`] fast instead of waiting out
+    /// the full per-phase `op_timeout` repeatedly.
+    fn try_scan_by(
+        &self,
+        lane: ProcessId,
+        deadline: Deadline,
+    ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
+        let _guard = self.claim(lane);
+        self.scan_inner(lane, deadline)
+    }
+
+    /// A deadline-aware update. A deadline-cut write is *indeterminate*
+    /// exactly like a quorum-starved one; its sequence number is consumed
+    /// either way, so a retry never reuses one.
+    fn try_update_by(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: V,
+        deadline: Deadline,
+    ) -> Result<ScanStats, CoreError> {
         assert_eq!(
             segment,
             lane.get(),
             "single-writer construction: lane {lane} cannot update segment {segment}"
         );
         let _guard = self.claim(lane);
-        let (view, mut stats) = self.scan_inner(lane)?; // Fig. 2 update line 1
+        let (view, mut stats) = self.scan_inner(lane, deadline)?; // Fig. 2 update line 1
         let seq = self.seqs[lane.get()].fetch_add(1, Ordering::Relaxed) + 1;
         self.regs[lane.get()]
-            .try_write(lane, AbdRecord { value, seq, view }) // line 2
+            .try_write_by(lane, AbdRecord { value, seq, view }, deadline) // line 2
             .map_err(core_error)?;
         stats.writes += 1;
         Ok(stats)
@@ -212,14 +252,16 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
 
     /// Figure 2's `seq` is the ABA-free certificate: strictly monotone
     /// under the single-writer discipline, so no two writes of a segment
-    /// ever share it.
-    fn try_certified_read(
+    /// ever share it. Deadline-aware like
+    /// [`try_scan_by`](TrySnapshotCore::try_scan_by).
+    fn try_certified_read_by(
         &self,
         reader: ProcessId,
         segment: usize,
+        deadline: Deadline,
     ) -> Result<Option<(V, u64)>, CoreError> {
         assert!(segment < self.n, "segment {segment} out of range ({} segments)", self.n);
-        let r = self.regs[segment].try_read(reader).map_err(core_error)?;
+        let r = self.regs[segment].try_read_by(reader, deadline).map_err(core_error)?;
         Ok(Some((r.value, r.seq)))
     }
 }
@@ -320,6 +362,26 @@ mod tests {
         // way.)
         assert_eq!(c2, c1 + 1);
         assert!(c2 > c1, "certificate must move on the successful retry");
+    }
+
+    #[test]
+    fn deadline_cuts_a_starving_scan_short() {
+        // op_timeout is deliberately huge: only the caller's deadline can
+        // end the scan quickly, and it must do so with a retryable error.
+        let net = Arc::new(Network::with_config(
+            NetworkConfig::new(3).with_op_timeout(Duration::from_secs(10)),
+        ));
+        let core = AbdSnapshotCore::new(&net, 2, 0u32);
+        let p0 = ProcessId::new(0);
+        net.partition(&[0, 1]);
+        let started = std::time::Instant::now();
+        let err = core
+            .try_scan_by(p0, Deadline::after(Duration::from_millis(25)))
+            .unwrap_err();
+        assert!(err.retryable(), "deadline expiry is the retryable boundary: {err}");
+        assert!(started.elapsed() < Duration::from_secs(2));
+        net.heal();
+        assert!(core.try_scan(p0).is_ok(), "lane released, core answers again");
     }
 
     #[test]

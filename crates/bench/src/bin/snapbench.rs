@@ -3,20 +3,24 @@
 //! Runs a fixed matrix of workloads (`scan_heavy`, `update_heavy`,
 //! `mixed`, the multi-writer-only `contended_mw`, the
 //! service-routed `partial-scan-{s1,sq,sn}` family — subset sizes 1,
-//! n/4 and n through `snapshot_service::SnapshotService` — and
+//! n/4 and n through `snapshot_service::SnapshotService` —
 //! `abd-scan`, the service over an `AbdSnapshotCore` on a healthy
-//! in-process replica network) against the four contention-relevant
-//! constructions (`unbounded`, `bounded`, `multiwriter`, `locked`) at
-//! several thread counts, on real OS threads with wall-clock timing.
+//! in-process replica network, and `degraded-shard`, the service over
+//! a backing whose full collects blip in bursts so the windowed
+//! breaker cycles trip → shed → probe → close while the bench
+//! measures the typed-failure path) against the four
+//! contention-relevant constructions (`unbounded`, `bounded`,
+//! `multiwriter`, `locked`) at several thread counts, on real OS
+//! threads with wall-clock timing.
 //! Unlike the criterion micro-benchmarks in `benches/`, the output is a
 //! stable machine-readable JSON report (schema `snapbench/v1`, see
 //! `snapshot_bench::tracked`) meant to be committed and diffed:
 //!
 //! ```text
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --out BENCH_5.json
+//!     --out BENCH_6.json
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --quick --compare BENCH_5.json --report-only
+//!     --quick --compare BENCH_6.json --report-only
 //! ```
 //!
 //! `--compare` exits with status 1 when any entry's median ns/op
@@ -24,17 +28,18 @@
 //! baseline, unless `--report-only` is given. Usage errors exit 2.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use snapshot_abd::{AbdSnapshotCore, Network, NetworkConfig};
 use snapshot_bench::tracked::{self, BenchEntry, BenchReport};
 use snapshot_core::{
-    BoundedSnapshot, LockSnapshot, MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle,
-    SwSnapshot, SwSnapshotHandle, TrySnapshotCore, UnboundedSnapshot,
+    BoundedSnapshot, CoreError, LockSnapshot, MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle,
+    ScanStats, SnapshotView, SwSnapshot, SwSnapshotHandle, TrySnapshotCore, UnboundedSnapshot,
 };
 use snapshot_registers::ProcessId;
-use snapshot_service::SnapshotService;
+use snapshot_service::{HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Workload {
@@ -60,10 +65,17 @@ enum Workload {
     /// construction `AbdSnapshotCore` executes) with reduced iteration
     /// counts — message-passing ops are orders of magnitude slower.
     AbdScan,
+    /// Service over a backing whose full collects fail in periodic
+    /// bursts: the windowed breaker cycles trip → shed → probe → close
+    /// under load, so the cell times the *typed-failure* path — retry
+    /// budgets, `Degraded` shedding at the gate, and half-open
+    /// recovery — rather than the happy path. Runs only against
+    /// `unbounded`.
+    DegradedShard,
 }
 
 impl Workload {
-    const ALL: [Workload; 8] = [
+    const ALL: [Workload; 9] = [
         Workload::ScanHeavy,
         Workload::UpdateHeavy,
         Workload::Mixed,
@@ -72,6 +84,7 @@ impl Workload {
         Workload::PartialScanSq,
         Workload::PartialScanSn,
         Workload::AbdScan,
+        Workload::DegradedShard,
     ];
 
     fn name(self) -> &'static str {
@@ -84,6 +97,7 @@ impl Workload {
             Workload::PartialScanSq => "partial-scan-sq",
             Workload::PartialScanSn => "partial-scan-sn",
             Workload::AbdScan => "abd-scan",
+            Workload::DegradedShard => "degraded-shard",
         }
     }
 
@@ -97,7 +111,7 @@ impl Workload {
             Workload::PartialScanS1 | Workload::PartialScanSq | Workload::PartialScanSn => {
                 k % 2 == 0
             }
-            Workload::AbdScan => k % 2 == 0,
+            Workload::AbdScan | Workload::DegradedShard => k % 2 == 0,
         }
     }
 
@@ -106,6 +120,7 @@ impl Workload {
     fn iters_divisor(self) -> u64 {
         match self {
             Workload::AbdScan => 20,
+            Workload::DegradedShard => 4,
             _ => 1,
         }
     }
@@ -197,9 +212,12 @@ fn suite(tuning: &Tuning) -> Vec<Config> {
             if workload == Workload::ContendedMw && construction != Construction::MultiWriter {
                 continue;
             }
-            // The abd workload always runs Figure 2 over ABD lanes,
-            // which is the unbounded construction.
-            if workload == Workload::AbdScan && construction != Construction::Unbounded {
+            // The abd workload always runs Figure 2 over ABD lanes, and
+            // the degraded-shard workload wraps the same construction in
+            // a fault injector — both are unbounded-only.
+            if matches!(workload, Workload::AbdScan | Workload::DegradedShard)
+                && construction != Construction::Unbounded
+            {
                 continue;
             }
             for &threads in tuning.thread_counts {
@@ -382,6 +400,126 @@ fn time_abd(threads: usize, iters: u64) -> u128 {
     elapsed
 }
 
+/// An `UnboundedSnapshot` whose full collects fail in periodic bursts
+/// (2 of every 8 scans err `Unavailable`, counted globally): enough
+/// sustained error rate to trip the service's windowed breaker, with
+/// enough successes in between for the half-open ramp to close it
+/// again. Updates and certified reads stay healthy, so single-shard
+/// partials and health probes always succeed — the shape of a shard
+/// that is degrading, not dead.
+struct BurstyCore {
+    inner: UnboundedSnapshot<u64>,
+    scans: AtomicU64,
+}
+
+impl BurstyCore {
+    fn new(lanes: usize) -> Self {
+        BurstyCore { inner: UnboundedSnapshot::new(lanes, 0u64), scans: AtomicU64::new(0) }
+    }
+}
+
+impl TrySnapshotCore<u64> for BurstyCore {
+    fn segments(&self) -> usize {
+        TrySnapshotCore::segments(&self.inner)
+    }
+
+    fn lanes(&self) -> usize {
+        TrySnapshotCore::lanes(&self.inner)
+    }
+
+    fn single_writer(&self) -> bool {
+        TrySnapshotCore::single_writer(&self.inner)
+    }
+
+    fn try_scan(&self, lane: ProcessId) -> Result<(SnapshotView<u64>, ScanStats), CoreError> {
+        if self.scans.fetch_add(1, Ordering::Relaxed) % 8 < 2 {
+            return Err(CoreError::Unavailable { reason: "injected collect blip".into() });
+        }
+        self.inner.try_scan(lane)
+    }
+
+    fn try_update(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: u64,
+    ) -> Result<ScanStats, CoreError> {
+        self.inner.try_update(lane, segment, value)
+    }
+
+    fn try_certified_read(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+    ) -> Result<Option<(u64, u64)>, CoreError> {
+        self.inner.try_certified_read(reader, segment)
+    }
+}
+
+/// Times one sample of the `degraded-shard` workload: the service fronts
+/// a [`BurstyCore`] with a fast-cycling breaker (short cooldown, short
+/// ramp interval), and every thread alternates updates with full scans.
+/// Scans answered with `Backend`, `Degraded`, or a view all count as one
+/// completed operation — the point of the cell is the cost of the
+/// *failure* path (retry budget, gate shed, half-open probe), and a
+/// panic or a hang is the only wrong answer.
+fn time_degraded(threads: usize, iters: u64) -> u128 {
+    let service = SnapshotService::with_config(
+        BurstyCore::new(threads),
+        ServiceConfig {
+            retry: RetryConfig { max_attempts: 2, ..RetryConfig::default() },
+            health: HealthConfig {
+                window: 16,
+                trip_error_pct: 25,
+                min_volume: 4,
+                cooldown: Duration::from_micros(500),
+                ramp_successes: 2,
+                ramp_tokens: 8,
+                ramp_interval: Duration::from_micros(100),
+                jitter_pct: 25,
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = 0u128;
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let barrier = &barrier;
+            let service = &service;
+            s.spawn(move || {
+                let mut client = service.client(i);
+                barrier.wait();
+                let mut acc = 0u64;
+                let mut shed = 0u64;
+                for k in 0..iters {
+                    let outcome = if k % 2 == 0 {
+                        // Bulk updates are the last class the half-open
+                        // ramp readmits, so they shed too while the
+                        // breaker recovers.
+                        client.update(i, ((i as u64) << 32) | k).map(|()| 0)
+                    } else {
+                        client.scan().map(|view| view.iter().sum::<u64>())
+                    };
+                    match outcome {
+                        Ok(sum) => acc = acc.wrapping_add(sum),
+                        Err(ServiceError::Backend { .. }) => {}
+                        Err(ServiceError::Degraded { .. }) => shed += 1,
+                        Err(other) => panic!("unexpected service error: {other:?}"),
+                    }
+                }
+                std::hint::black_box((acc, shed));
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        elapsed = start.elapsed().as_nanos();
+    });
+    elapsed
+}
+
 /// Runs one matrix cell: warmups, then `samples` timed runs; returns the
 /// finished entry. A fresh object is built per sample so handle claims
 /// and cache state never leak between samples.
@@ -394,6 +532,8 @@ fn run_config(config: &Config, tuning: &Tuning) -> BenchEntry {
     for round in 0..tuning.warmup + tuning.samples {
         let elapsed = if config.workload == Workload::AbdScan {
             time_abd(threads, iters)
+        } else if config.workload == Workload::DegradedShard {
+            time_degraded(threads, iters)
         } else if let Some(subset_len) = config.workload.subset_len(threads) {
             match config.construction {
                 Construction::Unbounded => {
@@ -477,7 +617,7 @@ const USAGE: &str = "usage: snapbench [--quick] [--out PATH] [--compare BASELINE
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_5.json".to_string(),
+        out: "BENCH_6.json".to_string(),
         compare: None,
         threshold_pct: 20.0,
         report_only: false,

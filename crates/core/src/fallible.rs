@@ -15,7 +15,9 @@ use std::fmt;
 
 use snapshot_registers::{Backend, ProcessId, RegisterValue};
 
-use crate::{ScanStats, SnapshotCore, SnapshotView};
+#[cfg(doc)]
+use crate::SnapshotCore;
+use crate::{Deadline, ScanStats, SnapshotView};
 
 /// Why a fallible snapshot operation could not complete.
 ///
@@ -128,6 +130,51 @@ pub trait TrySnapshotCore<V>: Send + Sync {
         reader: ProcessId,
         segment: usize,
     ) -> Result<Option<(V, u64)>, CoreError>;
+
+    /// Like [`try_scan`](Self::try_scan), bounded by `deadline`: a core
+    /// whose steps can stall (message-passing register emulations) caps
+    /// its internal waits at the deadline and errs
+    /// [`Unavailable`](CoreError::Unavailable) once it passes.
+    ///
+    /// The default ignores the deadline and forwards to `try_scan` — an
+    /// in-process core completes in a bounded number of its own steps
+    /// (wait-freedom), so there is nothing to cut short. Deadline-aware
+    /// cores (`snapshot-abd`'s `AbdSnapshotCore`) override this.
+    fn try_scan_by(
+        &self,
+        lane: ProcessId,
+        _deadline: Deadline,
+    ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
+        self.try_scan(lane)
+    }
+
+    /// Like [`try_update`](Self::try_update), bounded by `deadline`
+    /// (same default-forwarding contract as [`try_scan_by`](Self::try_scan_by)).
+    ///
+    /// On `Err` the update stays *indeterminate* whether the cause was
+    /// the backing or the deadline — a write cut off mid-quorum may yet
+    /// become visible.
+    fn try_update_by(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: V,
+        _deadline: Deadline,
+    ) -> Result<ScanStats, CoreError> {
+        self.try_update(lane, segment, value)
+    }
+
+    /// Like [`try_certified_read`](Self::try_certified_read), bounded by
+    /// `deadline` (same default-forwarding contract as
+    /// [`try_scan_by`](Self::try_scan_by)).
+    fn try_certified_read_by(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+        _deadline: Deadline,
+    ) -> Result<Option<(V, u64)>, CoreError> {
+        self.try_certified_read(reader, segment)
+    }
 }
 
 /// Implements [`TrySnapshotCore`] for a type by forwarding to its
@@ -256,6 +303,20 @@ mod tests {
         // Bounded cores certify nothing, fallibly too.
         let b = BoundedSnapshot::new(2, 0u32);
         assert_eq!(b.try_certified_read(lane, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn deadline_defaults_forward_and_ignore_the_budget() {
+        // In-process cores are wait-free: an already-expired deadline must
+        // not stop them (the default methods forward unconditionally).
+        let snap = UnboundedSnapshot::new(2, 0u32);
+        let lane = ProcessId::new(0);
+        let expired = Deadline::at(std::time::Instant::now());
+        snap.try_update_by(lane, 0, 3, expired).unwrap();
+        let (view, _) = snap.try_scan_by(lane, expired).unwrap();
+        assert_eq!(view[0], 3);
+        let (v, _) = snap.try_certified_read_by(lane, 0, expired).unwrap().unwrap();
+        assert_eq!(v, 3);
     }
 
     #[test]

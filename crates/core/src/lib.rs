@@ -64,6 +64,7 @@
 
 mod api;
 mod bounded;
+mod deadline;
 mod double_collect;
 mod fallible;
 mod locked;
@@ -73,6 +74,7 @@ mod unbounded;
 mod view;
 
 pub use api::{MwSnapshot, MwSnapshotHandle, ScanStats, SwSnapshot, SwSnapshotHandle};
+pub use deadline::Deadline;
 pub use fallible::{CoreError, TrySnapshotCore};
 pub use multiplex::SnapshotCore;
 pub use bounded::{BoundedHandle, BoundedSnapshot};

@@ -309,12 +309,44 @@ pub enum Event {
         attempts: u32,
     },
     /// The service shed a request because a shard's health gate is open
-    /// (circuit breaker tripped by consecutive backend failures).
+    /// (circuit breaker tripped on the windowed backend error rate).
     ShardDegraded {
         /// The degraded shard.
         shard: usize,
         /// Microseconds until the gate half-opens for a probe.
         retry_after_us: u64,
+    },
+    /// The service shed a request at a shard's gate: the breaker is open,
+    /// or its half-open ramp is not yet admitting this priority class.
+    ShardShed {
+        /// The shedding shard.
+        shard: usize,
+        /// Priority rank of the shed request (0 = bulk … 3 = probe).
+        rank: u8,
+        /// Jittered microsecond hint for when a retry is worth trying.
+        retry_after_us: u64,
+    },
+    /// A service request's wall-clock budget ran out before the operation
+    /// could finish: it returned a typed error instead of parking.
+    DeadlineExceeded {
+        /// Attempts started before the budget expired (0 if admission
+        /// itself was already past the deadline).
+        attempts: u32,
+        /// The budget the request was given, in microseconds.
+        budget_us: u64,
+    },
+    /// A load report was taken: the service's instantaneous diagnosis of
+    /// per-shard traffic skew.
+    LoadReport {
+        /// The busiest shard (meaningful only when `skewed` is true).
+        hot_shard: usize,
+        /// True if the report diagnosed meaningful skew (volume past the
+        /// floor and the leader at ≥ 2× the per-shard mean).
+        skewed: bool,
+        /// The leader's hit share, in permille of the per-shard mean.
+        skew_permille: u64,
+        /// Shards whose breakers were open when the report was taken.
+        open_shards: u32,
     },
 }
 
@@ -348,6 +380,9 @@ impl Event {
             Event::CoalesceAbdicate { .. } => "coalesce_abdicate",
             Event::RetryExhausted { .. } => "retry_exhausted",
             Event::ShardDegraded { .. } => "shard_degraded",
+            Event::ShardShed { .. } => "shard_shed",
+            Event::DeadlineExceeded { .. } => "deadline_exceeded",
+            Event::LoadReport { .. } => "load_report",
         }
     }
 }
@@ -415,6 +450,19 @@ impl fmt::Display for Event {
             }
             Event::ShardDegraded { shard, retry_after_us } => {
                 write!(f, "shard_degraded(shard={shard}, retry_after={retry_after_us}us)")
+            }
+            Event::ShardShed { shard, rank, retry_after_us } => {
+                write!(f, "shard_shed(shard={shard}, rank={rank}, retry_after={retry_after_us}us)")
+            }
+            Event::DeadlineExceeded { attempts, budget_us } => {
+                write!(f, "deadline_exceeded(attempts={attempts}, budget={budget_us}us)")
+            }
+            Event::LoadReport { hot_shard, skewed, skew_permille, open_shards } => {
+                write!(
+                    f,
+                    "load_report(hot={hot_shard}, skewed={skewed}, skew={skew_permille}‰, \
+                     open={open_shards})"
+                )
             }
         }
     }

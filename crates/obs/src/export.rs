@@ -106,6 +106,21 @@ fn push_payload(out: &mut String, event: &Event) {
             push_field(out, "shard", shard);
             push_field(out, "retry_after_us", retry_after_us);
         }
+        Event::ShardShed { shard, rank, retry_after_us } => {
+            push_field(out, "shard", shard);
+            push_field(out, "rank", rank);
+            push_field(out, "retry_after_us", retry_after_us);
+        }
+        Event::DeadlineExceeded { attempts, budget_us } => {
+            push_field(out, "attempts", attempts);
+            push_field(out, "budget_us", budget_us);
+        }
+        Event::LoadReport { hot_shard, skewed, skew_permille, open_shards } => {
+            push_field(out, "hot_shard", hot_shard);
+            push_field(out, "skewed", skewed);
+            push_field(out, "skew_permille", skew_permille);
+            push_field(out, "open_shards", open_shards);
+        }
     }
 }
 

@@ -1,0 +1,105 @@
+//! Injectable time source for the health layer.
+//!
+//! The circuit breakers reason about time as microseconds on a monotone
+//! service-local clock. Production uses [`MonotonicClock`] (an `Instant`
+//! epoch); lifecycle tests inject a [`ManualClock`] and *advance it by
+//! hand*, so a full closed → open → half-open → closed sequence runs
+//! deterministically without a single `sleep`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotone microsecond clock the service consults for breaker
+/// cooldowns and half-open ramps.
+///
+/// Implementations must be monotone (never run backwards); the absolute
+/// origin is irrelevant, only differences are used.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Microseconds elapsed since this clock's epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// The production clock: wall time since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        MonotonicClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic breaker lifecycle tests.
+///
+/// Starts at zero; [`advance`](Self::advance) and [`set_us`](Self::set_us)
+/// move it forward. Time shared across threads moves atomically.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_us: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock stopped at microsecond zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `by` (saturating).
+    pub fn advance(&self, by: Duration) {
+        let us = by.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.now_us.fetch_add(us, Ordering::AcqRel);
+    }
+
+    /// Moves the clock to an absolute microsecond reading. Monotonicity
+    /// is the caller's responsibility; moving backwards is ignored.
+    pub fn set_us(&self, us: u64) {
+        self.now_us.fetch_max(us, Ordering::AcqRel);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let c = MonotonicClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_only_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance(Duration::from_micros(250));
+        assert_eq!(c.now_us(), 250);
+        c.set_us(1000);
+        assert_eq!(c.now_us(), 1000);
+        c.set_us(10); // backwards: ignored
+        assert_eq!(c.now_us(), 1000);
+    }
+}

@@ -51,7 +51,7 @@
 
 use std::sync::{Condvar, Mutex, MutexGuard};
 
-use snapshot_core::CoreError;
+use snapshot_core::{CoreError, Deadline};
 
 struct CoalState<T> {
     /// Generation of the most recently elected leader (its collect starts
@@ -118,6 +118,12 @@ pub(crate) enum Entry<'a, T> {
     /// [`publish`](LeadToken::publish) the result (or
     /// [`fail`](LeadToken::fail) it).
     Lead(LeadToken<'a, T>),
+    /// The request's own deadline expired before any resolution arrived:
+    /// it leaves the rendezvous empty-handed rather than parking past its
+    /// budget. Crucially a waiter measures *its own* deadline here — it
+    /// never inherits the (possibly longer) budget of the leader whose
+    /// collect it was waiting on.
+    Expired,
 }
 
 /// Leadership of one collect generation.
@@ -158,11 +164,13 @@ impl<T: Clone> Coalescer<T> {
     }
 
     /// Joins the rendezvous: returns an acceptable published view, the
-    /// fanned-out error of the collect that was serving this request, or
-    /// leadership of the next collect. Blocks (without holding the lock)
-    /// while another leader's collect is in flight and none of those
-    /// resolutions is available yet.
-    pub(crate) fn enter(&self) -> Entry<'_, T> {
+    /// fanned-out error of the collect that was serving this request,
+    /// leadership of the next collect, or [`Entry::Expired`] once the
+    /// request's own `deadline` passes unresolved. Blocks (without
+    /// holding the lock, and never past `deadline`) while another
+    /// leader's collect is in flight and none of those resolutions is
+    /// available yet.
+    pub(crate) fn enter(&self, deadline: Deadline) -> Entry<'_, T> {
         let mut s = lock(&self.state);
         let my_gen = s.started;
         loop {
@@ -179,6 +187,11 @@ impl<T: Clone> Coalescer<T> {
                 let error = s.error.clone().expect("failed generation without an error");
                 return Entry::Failed { generation, error };
             }
+            // Deadline before leadership: an out-of-budget request must
+            // not start a collect it has no time to run.
+            if deadline.expired() {
+                return Entry::Expired;
+            }
             if !s.leading {
                 s.leading = true;
                 s.started += 1;
@@ -186,7 +199,18 @@ impl<T: Clone> Coalescer<T> {
                 return Entry::Lead(LeadToken { coalescer: self, generation, done: false });
             }
             s.waiting += 1;
-            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            s = match deadline.remaining() {
+                None => self.cv.wait(s).unwrap_or_else(|e| e.into_inner()),
+                Some(left) => {
+                    // Timed park: on timeout the loop re-checks — a view
+                    // or error that raced the deadline still wins.
+                    let (guard, _timeout) = self
+                        .cv
+                        .wait_timeout(s, left)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard
+                }
+            };
             s.waiting -= 1;
         }
     }
@@ -276,7 +300,7 @@ mod tests {
     #[test]
     fn first_entrant_leads_generation_one() {
         let c: Coalescer<u32> = Coalescer::new();
-        match c.enter() {
+        match c.enter(Deadline::none()) {
             Entry::Lead(t) => assert_eq!(t.generation(), 1),
             _ => panic!("nothing published yet"),
         };
@@ -287,9 +311,9 @@ mod tests {
         // The published collect started before this entrant's request, so
         // the generation rule forces a fresh collect.
         let c: Coalescer<u32> = Coalescer::new();
-        let Entry::Lead(t) = c.enter() else { panic!("expected lead") };
+        let Entry::Lead(t) = c.enter(Deadline::none()) else { panic!("expected lead") };
         t.publish(7);
-        match c.enter() {
+        match c.enter(Deadline::none()) {
             Entry::Lead(t) => assert_eq!(t.generation(), 2),
             _ => panic!("stale view accepted"),
         };
@@ -298,9 +322,9 @@ mod tests {
     #[test]
     fn waiter_parked_during_a_collect_joins_the_next_generation() {
         let c: Coalescer<u32> = Coalescer::new();
-        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        let Entry::Lead(t1) = c.enter(Deadline::none()) else { panic!("expected lead") };
         std::thread::scope(|s| {
-            let waiter = s.spawn(|| match c.enter() {
+            let waiter = s.spawn(|| match c.enter(Deadline::none()) {
                 // Parked during collect 1 → elected for collect 2.
                 Entry::Lead(t2) => {
                     assert_eq!(t2.generation(), 2);
@@ -317,17 +341,17 @@ mod tests {
         });
         // A cohort parked during collect 2 would have accepted it; a fresh
         // entrant (request started after collect 2) must not.
-        assert!(matches!(c.enter(), Entry::Lead(_)));
+        assert!(matches!(c.enter(Deadline::none()), Entry::Lead(_)));
     }
 
     #[test]
     fn cohort_parked_before_election_accepts_the_published_view() {
         let c: Coalescer<u32> = Coalescer::new();
-        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        let Entry::Lead(t1) = c.enter(Deadline::none()) else { panic!("expected lead") };
         std::thread::scope(|s| {
             let followers: Vec<_> = (0..4)
                 .map(|_| {
-                    s.spawn(|| match c.enter() {
+                    s.spawn(|| match c.enter(Deadline::none()) {
                         Entry::Joined { generation, view } => (generation, view, false),
                         Entry::Lead(t) => {
                             let g = t.generation();
@@ -335,6 +359,7 @@ mod tests {
                             (g, 90 + g as u32, true)
                         }
                         Entry::Failed { .. } => panic!("nothing failed"),
+                        Entry::Expired => panic!("unbounded deadlines never expire"),
                     })
                 })
                 .collect();
@@ -356,9 +381,9 @@ mod tests {
     #[test]
     fn dropped_leadership_is_taken_over_by_a_waiter() {
         let c: Coalescer<u32> = Coalescer::new();
-        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        let Entry::Lead(t1) = c.enter(Deadline::none()) else { panic!("expected lead") };
         std::thread::scope(|s| {
-            let waiter = s.spawn(|| match c.enter() {
+            let waiter = s.spawn(|| match c.enter(Deadline::none()) {
                 Entry::Lead(t) => {
                     t.publish(5);
                     true
@@ -381,11 +406,11 @@ mod tests {
         // other two — and its collect fails: both must receive the error
         // rather than park forever.
         let c: Coalescer<u32> = Coalescer::new();
-        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        let Entry::Lead(t1) = c.enter(Deadline::none()) else { panic!("expected lead") };
         std::thread::scope(|s| {
             let waiters: Vec<_> = (0..3)
                 .map(|_| {
-                    s.spawn(|| match c.enter() {
+                    s.spawn(|| match c.enter(Deadline::none()) {
                         Entry::Lead(t) => {
                             assert_eq!(t.generation(), 2);
                             t.fail(unavailable());
@@ -393,6 +418,7 @@ mod tests {
                         }
                         Entry::Failed { generation, error } => Some((generation, error)),
                         Entry::Joined { .. } => panic!("nothing publishable"),
+                        Entry::Expired => panic!("unbounded deadlines never expire"),
                     })
                 })
                 .collect();
@@ -417,9 +443,9 @@ mod tests {
         // ignores the failure and simply inherits the seat, like after a
         // crash.
         let c: Coalescer<u32> = Coalescer::new();
-        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        let Entry::Lead(t1) = c.enter(Deadline::none()) else { panic!("expected lead") };
         std::thread::scope(|s| {
-            let waiter = s.spawn(|| match c.enter() {
+            let waiter = s.spawn(|| match c.enter(Deadline::none()) {
                 Entry::Lead(t) => {
                     assert_eq!(t.generation(), 2);
                     t.publish(9);
@@ -436,17 +462,55 @@ mod tests {
     }
 
     #[test]
+    fn expired_entrant_leaves_without_taking_the_seat() {
+        use std::time::{Duration, Instant};
+        let c: Coalescer<u32> = Coalescer::new();
+        // The seat is free, but an expired request must not lead.
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(matches!(c.enter(past), Entry::Expired));
+        // The rendezvous is untouched: a live request leads generation 1.
+        let entry = c.enter(Deadline::none());
+        match entry {
+            Entry::Lead(t) => assert_eq!(t.generation(), 1),
+            _ => panic!("expired entrant must not consume a generation"),
+        }
+    }
+
+    #[test]
+    fn waiter_honors_its_own_deadline_not_the_leaders() {
+        use std::time::Duration;
+        // The leader (unbounded budget) parks the cohort. A waiter with a
+        // short budget must give up with Expired instead of inheriting
+        // the leader's patience; a resolution arriving later is ignored.
+        let c: Coalescer<u32> = Coalescer::new();
+        let Entry::Lead(t1) = c.enter(Deadline::none()) else { panic!("expected lead") };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let d = Deadline::after(Duration::from_millis(20));
+                let started = std::time::Instant::now();
+                let out = c.enter(d);
+                (matches!(out, Entry::Expired), started.elapsed())
+            });
+            let (expired, waited) = waiter.join().unwrap();
+            assert!(expired, "short-budget waiter must expire, not park");
+            assert!(waited < Duration::from_secs(5), "must not wait for the leader");
+            t1.publish(7); // the leader finishing later is fine
+        });
+        assert_eq!(c.waiters(), 0, "expired waiters un-count themselves");
+    }
+
+    #[test]
     fn fresh_entrant_after_a_failure_never_sees_the_stale_error() {
         let c: Coalescer<u32> = Coalescer::new();
-        let Entry::Lead(t1) = c.enter() else { panic!("expected lead") };
+        let Entry::Lead(t1) = c.enter(Deadline::none()) else { panic!("expected lead") };
         t1.fail(unavailable());
         // my_gen = started = 1 = failed: the failure predates this request
         // and must not leak into it.
-        let Entry::Lead(t2) = c.enter() else { panic!("stale error leaked") };
+        let Entry::Lead(t2) = c.enter(Deadline::none()) else { panic!("stale error leaked") };
         assert_eq!(t2.generation(), 2);
         t2.publish(11);
         // And the post-heal view obeys the same generation rule as ever: a
         // request entering now must not accept collect 2.
-        assert!(matches!(c.enter(), Entry::Lead(_)));
+        assert!(matches!(c.enter(Deadline::none()), Entry::Lead(_)));
     }
 }

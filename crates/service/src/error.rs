@@ -17,6 +17,10 @@ use snapshot_core::CoreError;
 /// [`CoreError`]s. For scans that is harmless (reads leave no trace); a
 /// failed update is **indeterminate** — the write may or may not have
 /// taken effect, exactly like an ABD write that lost its quorum.
+/// [`DeadlineExceeded`](ServiceError::DeadlineExceeded) is the wall-clock
+/// twin of `Backend`: the request's time budget, not its attempt budget,
+/// ran out — with the same indeterminacy rule for updates that had
+/// already reached the backend.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
     /// The bounded in-flight budget was exhausted. Retry later (the
@@ -62,6 +66,19 @@ pub enum ServiceError {
         /// The final backend error.
         error: CoreError,
     },
+    /// The request's deadline budget ran out before the operation could
+    /// finish: it failed fast (admission, a coalescing wait, a retry
+    /// backoff, or an ABD quorum wait was cut short) instead of parking
+    /// past its budget. An update that reached the backend before the
+    /// deadline expired is **indeterminate**, exactly like
+    /// [`Backend`](ServiceError::Backend).
+    DeadlineExceeded {
+        /// Attempts started before the budget expired (0 if admission
+        /// itself was past the deadline).
+        attempts: u32,
+        /// The budget the request was given.
+        budget: Duration,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -90,6 +107,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Backend { attempts, error } => {
                 write!(f, "backend failed after {attempts} attempt(s): {error}")
+            }
+            ServiceError::DeadlineExceeded { attempts, budget } => {
+                write!(
+                    f,
+                    "deadline exceeded: {attempts} attempt(s) could not finish within {budget:?}"
+                )
             }
         }
     }
@@ -121,6 +144,12 @@ mod tests {
         };
         assert!(b.to_string().contains("4 attempt(s)"));
         assert!(b.to_string().contains("quorum lost"));
+        let t = ServiceError::DeadlineExceeded {
+            attempts: 2,
+            budget: Duration::from_millis(50),
+        };
+        assert!(t.to_string().contains("deadline exceeded"));
+        assert!(t.to_string().contains("50ms"));
     }
 
     #[test]

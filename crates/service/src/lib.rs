@@ -51,25 +51,45 @@
 //! `service.fault.*`, `service.inflight`, log₂-µs latency histograms)
 //! and trace events for each coalescing and failure decision.
 //!
-//! ## Fault tolerance
+//! ## Fault tolerance and adaptive load management
 //!
 //! When the backing core is fallible (its collects run over emulated
 //! message-passing registers that can lose their quorum), failure is a
 //! typed value all the way up, never a hang:
 //!
 //! * each operation runs under a **retry budget** ([`RetryConfig`]):
-//!   retryable `CoreError`s are retried with capped deterministic
-//!   backoff until an attempt count or deadline runs out, then surface
-//!   as [`ServiceError::Backend`];
+//!   retryable `CoreError`s are retried with capped backoff until an
+//!   attempt count runs out, then surface as [`ServiceError::Backend`];
+//! * each operation also carries a **wall-clock deadline budget**
+//!   (`Deadline`, threaded through admission, the coalescing rendezvous,
+//!   retry backoffs, and a fallible backend's quorum waits): it either
+//!   completes within its budget or returns a typed
+//!   [`ServiceError::DeadlineExceeded`] — it never parks past it, and a
+//!   coalesced waiter honors its *own* budget, never its leader's;
 //! * a coalescing leader whose collect fails **fans the error out** to
 //!   every waiter its collect was serving and frees the seat, so no
 //!   request parks forever behind a dead collect and post-heal views
 //!   still satisfy the Observation-2 nesting rule (see the `coalesce`
 //!   module docs);
-//! * per-shard **circuit breakers** ([`HealthConfig`]) trip after
-//!   consecutive backend failures and shed requests early with
-//!   [`ServiceError::Degraded`] (a `retry_after` hint attached), then
-//!   half-open to a single probe and close again on success.
+//! * per-shard **error-rate windowed circuit breakers**
+//!   ([`HealthConfig`], [`Breaker`]) trip when the sliding window of
+//!   backend outcomes crosses an error-rate threshold past a minimum
+//!   volume (so a shard failing every *other* request still trips, and
+//!   one unlucky burst on a quiet shard does not), shed requests early
+//!   with [`ServiceError::Degraded`] carrying a **jittered**
+//!   `retry_after` hint, and recover through a **priority-aware
+//!   half-open ramp** ([`Priority`]: health probes first, then partial
+//!   scans, full scans, and bulk updates, token-bucketed per ramp
+//!   interval);
+//! * a **metrics-driven load report**
+//!   ([`SnapshotService::load_report`]) aggregates per-shard
+//!   hit/error/latency counts into a hot-shard skew diagnosis
+//!   (`service.load.*` gauges) that also stretches the hot shard's
+//!   `retry_after` hints so shed cohorts spread out.
+//!
+//! Breaker lifecycles read an injectable [`Clock`]; tests drive a full
+//! closed → open → half-open → closed sequence with a [`ManualClock`]
+//! and zero sleeps.
 //!
 //! ## Quickstart
 //!
@@ -100,14 +120,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod clock;
 mod coalesce;
 mod error;
 mod health;
+mod load;
 mod retry;
 mod service;
 mod shard;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use error::ServiceError;
-pub use health::HealthConfig;
+pub use health::{Breaker, BreakerState, Gate, HealthConfig};
+pub use load::{LoadReport, Priority, ShardLoadStat};
 pub use retry::RetryConfig;
 pub use service::{PartialView, ServiceClient, ServiceConfig, ServiceStats, SnapshotService};

@@ -2,14 +2,16 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use snapshot_core::{CoreError, ScanStats, SnapshotView, TrySnapshotCore};
+use snapshot_core::{CoreError, Deadline, ScanStats, SnapshotView, TrySnapshotCore};
 use snapshot_obs::{Counter, Event, Gauge, Histogram, Registry, Trace};
 use snapshot_registers::{CachePadded, ProcessId, RegisterValue};
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::coalesce::{Coalescer, Entry};
-use crate::health::{Gate, HealthConfig, ShardHealth};
+use crate::health::{Breaker, Gate, HealthConfig};
+use crate::load::{LoadReport, Priority, ShardLoad};
 use crate::retry::RetryConfig;
 use crate::shard::ShardMap;
 use crate::ServiceError;
@@ -18,8 +20,8 @@ use crate::ServiceError;
 ///
 /// Values are normalized at construction: `shards` is clamped into
 /// `[1, segments]`, `max_inflight` and `max_partial_rounds` to at
-/// least 1 (`retry.max_attempts` and `health.failure_threshold` are
-/// treated as at least 1 at use).
+/// least 1 (`retry.max_attempts` is treated as at least 1 at use, and
+/// the health window is clamped into `[1, 64]` by the breaker).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Number of shards the segments are partitioned into (contiguous
@@ -147,14 +149,28 @@ struct Metrics {
     retry_exhausted: Counter,
     degraded: Counter,
     cohort_errors: Counter,
+    deadline_exceeded: Counter,
+    load_shed: Counter,
     inflight: Gauge,
+    load_skew: Gauge,
+    load_hot: Gauge,
+    /// Per-shard `service.load.shard{i}.*` gauges, refreshed when a
+    /// [`LoadReport`] is taken (empty until a registry is attached —
+    /// the registry is not retained, so handles resolve eagerly).
+    shard_hits: Vec<Gauge>,
+    shard_errors: Vec<Gauge>,
+    shard_shed: Vec<Gauge>,
+    shard_latency: Vec<Gauge>,
     scan_latency: Histogram,
     partial_latency: Histogram,
     update_latency: Histogram,
 }
 
 impl Metrics {
-    fn from_registry(registry: &Registry) -> Self {
+    fn from_registry(registry: &Registry, shards: usize) -> Self {
+        let per_shard = |field: &str| -> Vec<Gauge> {
+            (0..shards).map(|i| registry.gauge(&format!("service.load.shard{i}.{field}"))).collect()
+        };
         Metrics {
             coalesced: registry.counter("service.scan.coalesced"),
             solo: registry.counter("service.scan.solo"),
@@ -167,7 +183,15 @@ impl Metrics {
             retry_exhausted: registry.counter("service.fault.retry_exhausted"),
             degraded: registry.counter("service.fault.degraded_shed"),
             cohort_errors: registry.counter("service.fault.cohort_errors"),
+            deadline_exceeded: registry.counter("service.fault.deadline_exceeded"),
+            load_shed: registry.counter("service.load.shed"),
             inflight: registry.gauge("service.inflight"),
+            load_skew: registry.gauge("service.load.skew_permille"),
+            load_hot: registry.gauge("service.load.hot_shard"),
+            shard_hits: per_shard("hits"),
+            shard_errors: per_shard("errors"),
+            shard_shed: per_shard("shed"),
+            shard_latency: per_shard("mean_latency_us"),
             scan_latency: registry.histogram("service.scan.latency_us"),
             partial_latency: registry.histogram("service.partial.latency_us"),
             update_latency: registry.histogram("service.update.latency_us"),
@@ -186,13 +210,32 @@ enum Shards<'a> {
     Set(&'a [usize]),
 }
 
+/// Why one attempt inside [`SnapshotService::run_with_retry`] ended
+/// without a value.
+enum AttemptError {
+    /// The backend returned a typed error (retryable or terminal) — the
+    /// retry loop decides whether another attempt is worth it.
+    Backend(CoreError),
+    /// The request's own deadline expired mid-attempt (a coalescing wait
+    /// timed out, or the attempt observed the expiry directly). The
+    /// deadline belongs to the request, not the attempt: there is nothing
+    /// to retry.
+    Expired,
+}
+
+impl From<CoreError> for AttemptError {
+    fn from(e: CoreError) -> Self {
+        AttemptError::Backend(e)
+    }
+}
+
 /// Half-open probes claimed at the gate. Dropping releases any claims so
 /// a request that never reports a backend outcome (it joined a cohort,
 /// or a later shard's gate shed it) cannot wedge a shard in its probing
 /// state. Releasing after the outcome was recorded is harmless — the
 /// breaker's `on_success`/`on_failure` already cleared the claim.
 struct GateClaims<'a> {
-    health: &'a [CachePadded<ShardHealth>],
+    health: &'a [CachePadded<Breaker>],
     claimed: Vec<usize>,
 }
 
@@ -225,12 +268,17 @@ impl Drop for GateClaims<'_> {
 /// * **admission control** — a bounded in-flight budget with typed
 ///   [`ServiceError::Overloaded`] rejections instead of unbounded
 ///   queueing;
-/// * **fault tolerance** — typed backend errors are retried under a
-///   per-operation budget ([`RetryConfig`]), fanned out to coalescing
-///   cohorts (a failed leader wakes every waiter with the error — no
-///   request parks forever behind a dead collect), and shed early by
-///   per-shard circuit breakers ([`HealthConfig`]) once a shard's
-///   backend keeps failing ([`ServiceError::Degraded`]).
+/// * **fault tolerance and load management** — typed backend errors are
+///   retried under a per-operation budget ([`RetryConfig`]), fanned out
+///   to coalescing cohorts (a failed leader wakes every waiter with the
+///   error — no request parks forever behind a dead collect), and shed
+///   early by per-shard error-rate windowed circuit breakers
+///   ([`HealthConfig`]) once a shard's backend degrades
+///   ([`ServiceError::Degraded`]). Shedding and half-open recovery are
+///   [`Priority`]-aware (probes first, bulk updates last), every request
+///   carries a wall-clock deadline budget (it completes or returns
+///   [`ServiceError::DeadlineExceeded`] — never parks past it), and
+///   [`load_report`](Self::load_report) diagnoses hot-shard skew.
 ///
 /// Everything is observable through [`Registry`] metrics
 /// (`service.scan.*`, `service.fault.*`, `service.inflight`, log₂-µs
@@ -252,9 +300,12 @@ pub struct SnapshotService<V: RegisterValue, C: TrySnapshotCore<V>> {
     /// payload is the shard's contiguous range of values.
     shards: Box<[CachePadded<Coalescer<Arc<[V]>>>]>,
     /// Per-shard circuit breakers.
-    health: Box<[CachePadded<ShardHealth>]>,
-    /// Epoch for the breakers' monotonic microsecond clock.
-    epoch: Instant,
+    health: Box<[CachePadded<Breaker>]>,
+    /// Per-shard load accumulators feeding [`LoadReport`].
+    load: Box<[CachePadded<ShardLoad>]>,
+    /// Time source for breaker cooldowns and half-open ramps
+    /// (deterministic lifecycle tests inject a manual clock).
+    clock: Arc<dyn Clock>,
     inflight: CachePadded<AtomicUsize>,
     lanes: Box<[AtomicBool]>,
     metrics: Metrics,
@@ -287,8 +338,9 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
             map,
             global: CachePadded::new(Coalescer::new()),
             shards: (0..map.shards()).map(|_| CachePadded::new(Coalescer::new())).collect(),
-            health: (0..map.shards()).map(|_| CachePadded::new(ShardHealth::new())).collect(),
-            epoch: Instant::now(),
+            health: (0..map.shards()).map(|s| CachePadded::new(Breaker::new(s as u64))).collect(),
+            load: (0..map.shards()).map(|_| CachePadded::new(ShardLoad::default())).collect(),
+            clock: Arc::new(MonotonicClock::new()),
             inflight: CachePadded::new(AtomicUsize::new(0)),
             lanes,
             metrics: Metrics::default(),
@@ -301,7 +353,17 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
     /// `service.*`).
     #[must_use]
     pub fn with_registry(mut self, registry: &Registry) -> Self {
-        self.metrics = Metrics::from_registry(registry);
+        self.metrics = Metrics::from_registry(registry, self.map.shards());
+        self
+    }
+
+    /// Replaces the health layer's time source. Breaker cooldowns and
+    /// half-open ramps read this clock; tests inject a
+    /// [`ManualClock`](crate::ManualClock) and advance it by hand to
+    /// drive a full breaker lifecycle without sleeping.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -356,6 +418,49 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         (0..self.health.len()).filter(|&s| self.health[s].is_open(now)).collect()
     }
 
+    /// Takes an instantaneous [`LoadReport`] across shards: per-shard
+    /// hit/error/shed/latency rows plus a skew diagnosis flagging the hot
+    /// shard once traffic is meaningfully imbalanced.
+    ///
+    /// The same numbers are exported to the `service.load.*` gauges (when
+    /// a registry is attached) and a [`Event::LoadReport`] trace event is
+    /// emitted, so dashboards and post-mortems see what the caller saw.
+    pub fn load_report(&self) -> LoadReport {
+        let now = self.now_us();
+        let stats = (0..self.load.len())
+            .map(|s| self.load[s].stat(s, self.health[s].is_open(now)))
+            .collect();
+        let report = LoadReport::compute(stats);
+        self.metrics.load_skew.set(report.skew_permille.min(i64::MAX as u64) as i64);
+        self.metrics.load_hot.set(report.hot_shard.map_or(-1, |s| s as i64));
+        for row in &report.shards {
+            let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+            if let Some(g) = self.metrics.shard_hits.get(row.shard) {
+                g.set(clamp(row.hits));
+            }
+            if let Some(g) = self.metrics.shard_errors.get(row.shard) {
+                g.set(clamp(row.errors));
+            }
+            if let Some(g) = self.metrics.shard_shed.get(row.shard) {
+                g.set(clamp(row.shed));
+            }
+            if let Some(g) = self.metrics.shard_latency.get(row.shard) {
+                g.set(clamp(row.mean_latency_us));
+            }
+        }
+        let open_shards = report.shards.iter().filter(|s| s.open).count() as u32;
+        self.trace.emit(
+            0,
+            Event::LoadReport {
+                hot_shard: report.hot_shard.unwrap_or(usize::MAX),
+                skewed: report.is_skewed(),
+                skew_permille: report.skew_permille,
+                open_shards,
+            },
+        );
+        report
+    }
+
     /// Claims the client for `lane`.
     ///
     /// # Panics
@@ -371,7 +476,7 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
     }
 
     fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+        self.clock.now_us()
     }
 
     /// Wait-free admission check: takes an in-flight slot or rejects.
@@ -395,19 +500,24 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         &self,
         lane: ProcessId,
         shards: impl IntoIterator<Item = usize>,
+        priority: Priority,
     ) -> Result<GateClaims<'_>, ServiceError> {
         let now = self.now_us();
         let mut claims = GateClaims { health: &self.health, claimed: Vec::new() };
         for s in shards {
-            match self.health[s].check(now, &self.cfg.health) {
+            match self.health[s].check(now, priority, &self.cfg.health) {
                 Gate::Admit => {}
                 Gate::Probe => claims.claimed.push(s),
                 Gate::Shed { retry_after } => {
+                    let retry_after = self.shed_hint(s, retry_after);
+                    self.load[s].record_shed();
                     self.metrics.degraded.inc();
+                    self.metrics.load_shed.inc();
                     self.trace.emit(
                         lane.get(),
-                        Event::ShardDegraded {
+                        Event::ShardShed {
                             shard: s,
+                            rank: priority.rank(),
                             retry_after_us: retry_after.as_micros().min(u128::from(u64::MAX))
                                 as u64,
                         },
@@ -419,23 +529,39 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         Ok(claims)
     }
 
-    fn record_ok(&self, shards: Shards<'_>) {
+    /// Stretches a shed hint when `shard` is the hot shard of a skewed
+    /// load distribution, so the shed cohort's retries spread out instead
+    /// of re-converging on the hotspot the moment it half-opens.
+    fn shed_hint(&self, shard: usize, base: Duration) -> Duration {
+        let stats = (0..self.load.len()).map(|s| self.load[s].stat(s, false)).collect();
+        LoadReport::compute(stats).retry_after_hint(shard, base)
+    }
+
+    fn record_ok(&self, shards: Shards<'_>, latency: Duration) {
+        let cfg = &self.cfg.health;
+        let now = self.now_us();
+        let one = |s: usize| {
+            self.health[s].on_success(now, cfg);
+            self.load[s].record_hit(latency);
+        };
         match shards {
-            Shards::All => self.health.iter().for_each(|h| h.on_success()),
-            Shards::One(s) => self.health[s].on_success(),
-            Shards::Set(set) => set.iter().for_each(|&s| self.health[s].on_success()),
+            Shards::All => (0..self.health.len()).for_each(one),
+            Shards::One(s) => one(s),
+            Shards::Set(set) => set.iter().copied().for_each(one),
         }
     }
 
     fn record_err(&self, shards: Shards<'_>, retryable: bool) {
         let now = self.now_us();
         let cfg = &self.cfg.health;
+        let one = |s: usize| {
+            self.health[s].on_failure(retryable, now, cfg);
+            self.load[s].record_error();
+        };
         match shards {
-            Shards::All => self.health.iter().for_each(|h| h.on_failure(retryable, now, cfg)),
-            Shards::One(s) => self.health[s].on_failure(retryable, now, cfg),
-            Shards::Set(set) => {
-                set.iter().for_each(|&s| self.health[s].on_failure(retryable, now, cfg))
-            }
+            Shards::All => (0..self.health.len()).for_each(one),
+            Shards::One(s) => one(s),
+            Shards::Set(set) => set.iter().copied().for_each(one),
         }
     }
 
@@ -455,16 +581,19 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
             .emit(lane.get(), Event::BackendError { attempt, retryable: error.retryable() });
     }
 
-    /// One core scan with health/metrics accounting.
+    /// One core scan with health/metrics accounting, its wait capped by
+    /// the request's deadline.
     fn core_scan_recorded(
         &self,
         lane: ProcessId,
         attempt: u32,
         shards: Shards<'_>,
+        deadline: Deadline,
     ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
-        match self.core.try_scan(lane) {
+        let started = Instant::now();
+        match self.core.try_scan_by(lane, deadline) {
             Ok(out) => {
-                self.record_ok(shards);
+                self.record_ok(shards, started.elapsed());
                 Ok(out)
             }
             Err(e) => {
@@ -474,30 +603,59 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         }
     }
 
-    /// Drives `attempt_fn` under the configured retry budget: retryable
-    /// [`CoreError`]s are retried with capped deterministic backoff until
-    /// the attempt or deadline budget runs out; terminal errors surface
-    /// immediately. Both exits map to [`ServiceError::Backend`].
+    /// Accounting shared by every deadline expiry: typed error, metric,
+    /// trace event.
+    fn deadline_exceeded(&self, lane: ProcessId, attempts: u32, budget: Duration) -> ServiceError {
+        self.metrics.deadline_exceeded.inc();
+        self.trace.emit(
+            lane.get(),
+            Event::DeadlineExceeded {
+                attempts,
+                budget_us: budget.as_micros().min(u128::from(u64::MAX)) as u64,
+            },
+        );
+        ServiceError::DeadlineExceeded { attempts, budget }
+    }
+
+    /// Drives `attempt_fn` under the configured retry budget *and* the
+    /// request's deadline: retryable [`CoreError`]s are retried with
+    /// capped deterministic backoff until the attempt budget runs out
+    /// (→ [`ServiceError::Backend`]); terminal errors surface
+    /// immediately. The deadline cuts the loop at three points — before
+    /// an attempt starts, when an attempt reports its own expiry (a
+    /// coalescing wait timed out), and before a backoff that would sleep
+    /// past it — each mapping to [`ServiceError::DeadlineExceeded`].
     fn run_with_retry<T>(
         &self,
         lane: ProcessId,
-        mut attempt_fn: impl FnMut(u32) -> Result<T, CoreError>,
+        deadline: Deadline,
+        budget: Duration,
+        mut attempt_fn: impl FnMut(u32) -> Result<T, AttemptError>,
     ) -> Result<T, ServiceError> {
         let retry = self.cfg.retry;
-        let deadline = Instant::now().checked_add(retry.deadline);
         let mut backoff = retry.initial_backoff;
         let mut attempts = 0u32;
         loop {
+            if deadline.expired() {
+                return Err(self.deadline_exceeded(lane, attempts, budget));
+            }
             attempts += 1;
             let error = match attempt_fn(attempts) {
                 Ok(v) => return Ok(v),
-                Err(e) => e,
+                Err(AttemptError::Expired) => {
+                    return Err(self.deadline_exceeded(lane, attempts, budget));
+                }
+                Err(AttemptError::Backend(e)) => e,
             };
-            let past_deadline = deadline.is_some_and(|d| Instant::now() + backoff >= d);
-            if !error.retryable() || attempts >= retry.max_attempts.max(1) || past_deadline {
+            if !error.retryable() || attempts >= retry.max_attempts.max(1) {
                 self.metrics.retry_exhausted.inc();
                 self.trace.emit(lane.get(), Event::RetryExhausted { attempts });
                 return Err(ServiceError::Backend { attempts, error });
+            }
+            if deadline.remaining().is_some_and(|left| left <= backoff) {
+                // The backoff would sleep past the deadline: fail fast
+                // instead of napping into a guaranteed expiry.
+                return Err(self.deadline_exceeded(lane, attempts, budget));
             }
             self.metrics.retries.inc();
             std::thread::sleep(backoff);
@@ -508,8 +666,15 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
     /// One full scan, coalesced when enabled, under the retry budget.
     /// Counts toward `service.scan.solo` (ran the collect) or
     /// `service.scan.coalesced` (joined someone else's).
-    fn full_scan(&self, lane: ProcessId) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
-        self.run_with_retry(lane, |attempt| self.scan_attempt(lane, attempt))
+    fn full_scan(
+        &self,
+        lane: ProcessId,
+        deadline: Deadline,
+        budget: Duration,
+    ) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
+        self.run_with_retry(lane, deadline, budget, |attempt| {
+            self.scan_attempt(lane, attempt, deadline)
+        })
     }
 
     /// One attempt of a full scan: join, fail over, or lead-and-collect.
@@ -517,14 +682,16 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         &self,
         lane: ProcessId,
         attempt: u32,
-    ) -> Result<(SnapshotView<V>, ServiceStats), CoreError> {
+        deadline: Deadline,
+    ) -> Result<(SnapshotView<V>, ServiceStats), AttemptError> {
         let retries = attempt - 1;
         if !self.cfg.coalesce {
-            let (view, stats) = self.core_scan_recorded(lane, attempt, Shards::All)?;
+            let (view, stats) = self.core_scan_recorded(lane, attempt, Shards::All, deadline)?;
             self.metrics.solo.inc();
             return Ok((view, ServiceStats { retries, underlying: stats, ..ServiceStats::default() }));
         }
-        match self.global.enter() {
+        match self.global.enter(deadline) {
+            Entry::Expired => Err(AttemptError::Expired),
             Entry::Joined { generation, view } => {
                 self.metrics.coalesced.inc();
                 self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
@@ -539,12 +706,12 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 // health/backend accounting — we only consume our own
                 // retry budget on it.
                 self.metrics.cohort_errors.inc();
-                Err(error)
+                Err(error.into())
             }
             Entry::Lead(token) => {
                 let generation = token.generation();
                 self.trace.emit(lane.get(), Event::CoalesceLead { generation });
-                match self.core_scan_recorded(lane, attempt, Shards::All) {
+                match self.core_scan_recorded(lane, attempt, Shards::All, deadline) {
                     Ok((view, stats)) => {
                         token.publish(view.clone());
                         self.metrics.solo.inc();
@@ -564,7 +731,7 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                         self.metrics.abdicated.inc();
                         self.trace.emit(lane.get(), Event::CoalesceAbdicate { generation });
                         token.fail(e.clone());
-                        Err(e)
+                        Err(e.into())
                     }
                 }
             }
@@ -582,11 +749,12 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         &self,
         lane: ProcessId,
         subset: &[usize],
+        deadline: Deadline,
     ) -> Result<Option<(Vec<V>, u32, ScanStats)>, CoreError> {
         let mut stats = ScanStats::default();
         let read_all = |stats: &mut ScanStats| -> Result<Option<Vec<(V, u64)>>, CoreError> {
             stats.reads += subset.len() as u64;
-            subset.iter().map(|&s| self.core.try_certified_read(lane, s)).collect()
+            subset.iter().map(|&s| self.core.try_certified_read_by(lane, s, deadline)).collect()
         };
         let Some(mut prev) = read_all(&mut stats)? else { return Ok(None) };
         for round in 1..=self.cfg.max_partial_rounds {
@@ -611,16 +779,19 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         lane: ProcessId,
         shard: usize,
         attempt: u32,
+        deadline: Deadline,
     ) -> Result<(Arc<[V]>, u32, bool, ScanStats), CoreError> {
         let range = self.map.range(shard);
         let segs: Vec<usize> = range.clone().collect();
-        match self.certified_collect(lane, &segs) {
+        let started = Instant::now();
+        match self.certified_collect(lane, &segs, deadline) {
             Ok(Some((values, rounds, stats))) => {
-                self.record_ok(Shards::One(shard));
+                self.record_ok(Shards::One(shard), started.elapsed());
                 Ok((values.into(), rounds, false, stats))
             }
             Ok(None) => {
-                let (view, stats) = self.core_scan_recorded(lane, attempt, Shards::One(shard))?;
+                let (view, stats) =
+                    self.core_scan_recorded(lane, attempt, Shards::One(shard), deadline)?;
                 Ok((view[range].iter().cloned().collect(), 0, true, stats))
             }
             Err(e) => {
@@ -640,16 +811,20 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         lane: ProcessId,
         subset: &[usize],
         covered: &[usize],
+        deadline: Deadline,
+        budget: Duration,
     ) -> Result<(PartialView<V>, ServiceStats), ServiceError> {
         let segments = self.core.segments();
         if subset.len() == segments {
             // Full coverage: this *is* a full scan, serve it as one (the
             // full-scan path owns its retry budget).
-            let (view, stats) = self.full_scan(lane)?;
+            let (view, stats) = self.full_scan(lane, deadline, budget)?;
             let values: Arc<[V]> = view.iter().cloned().collect();
             return Ok((PartialView::new(subset, values), stats));
         }
-        self.run_with_retry(lane, |attempt| self.partial_attempt(lane, subset, covered, attempt))
+        self.run_with_retry(lane, deadline, budget, |attempt| {
+            self.partial_attempt(lane, subset, covered, attempt, deadline)
+        })
     }
 
     /// One attempt of a non-full-coverage partial scan.
@@ -659,7 +834,8 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         subset: &[usize],
         covered: &[usize],
         attempt: u32,
-    ) -> Result<(PartialView<V>, ServiceStats), CoreError> {
+        deadline: Deadline,
+    ) -> Result<(PartialView<V>, ServiceStats), AttemptError> {
         let retries = attempt - 1;
         if self.cfg.coalesce {
             if let Some(shard) = self.map.shard_containing(subset) {
@@ -667,7 +843,8 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 let project = |range_values: &[V]| -> Arc<[V]> {
                     subset.iter().map(|&s| range_values[s - start].clone()).collect()
                 };
-                return match self.shards[shard].enter() {
+                return match self.shards[shard].enter(deadline) {
+                    Entry::Expired => Err(AttemptError::Expired),
                     Entry::Joined { generation, view } => {
                         self.metrics.coalesced.inc();
                         self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
@@ -681,12 +858,12 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                     }
                     Entry::Failed { error, .. } => {
                         self.metrics.cohort_errors.inc();
-                        Err(error)
+                        Err(error.into())
                     }
                     Entry::Lead(token) => {
                         let generation = token.generation();
                         self.trace.emit(lane.get(), Event::CoalesceLead { generation });
-                        match self.shard_collect(lane, shard, attempt) {
+                        match self.shard_collect(lane, shard, attempt, deadline) {
                             Ok((range_values, rounds, fallback, stats)) => {
                                 token.publish(range_values.clone());
                                 self.metrics.solo.inc();
@@ -704,16 +881,17 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                                 self.metrics.abdicated.inc();
                                 self.trace.emit(lane.get(), Event::CoalesceAbdicate { generation });
                                 token.fail(e.clone());
-                                Err(e)
+                                Err(e.into())
                             }
                         }
                     }
                 };
             }
         }
-        match self.certified_collect(lane, subset) {
+        let started = Instant::now();
+        match self.certified_collect(lane, subset, deadline) {
             Ok(Some((values, rounds, stats))) => {
-                self.record_ok(Shards::Set(covered));
+                self.record_ok(Shards::Set(covered), started.elapsed());
                 self.metrics.solo.inc();
                 let stats = ServiceStats {
                     certified_rounds: rounds,
@@ -728,7 +906,8 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 // core: the outer loop owns the retry budget, and routing
                 // it through the global rendezvous would stack a second
                 // budget on top.
-                let (view, stats) = self.core_scan_recorded(lane, attempt, Shards::Set(covered))?;
+                let (view, stats) =
+                    self.core_scan_recorded(lane, attempt, Shards::Set(covered), deadline)?;
                 self.metrics.solo.inc();
                 let values: Arc<[V]> = subset.iter().map(|&s| view[s].clone()).collect();
                 let stats = ServiceStats {
@@ -741,7 +920,7 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
             }
             Err(e) => {
                 self.note_backend_error(lane, attempt, &e, Shards::Set(covered));
-                Err(e)
+                Err(e.into())
             }
         }
     }
@@ -822,16 +1001,39 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
         self.scan_with_stats().map(|(view, _)| view)
     }
 
+    /// Like [`scan`](Self::scan), but under an explicit wall-clock
+    /// budget: the request either completes within `budget` or returns
+    /// [`ServiceError::DeadlineExceeded`] — it never parks past it. The
+    /// deadline is carried through admission, the coalescing rendezvous
+    /// (a waiter honors its *own* budget, never the leader's), retry
+    /// backoffs, and a fallible backend's quorum waits.
+    pub fn scan_within(&mut self, budget: Duration) -> Result<SnapshotView<V>, ServiceError> {
+        self.scan_budgeted(Deadline::after(budget), budget).map(|(view, _)| view)
+    }
+
     /// Like [`scan`](Self::scan), also reporting how the request was
-    /// served.
+    /// served. The default budget is the retry deadline
+    /// ([`RetryConfig::deadline`]).
     pub fn scan_with_stats(
         &mut self,
     ) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
+        let budget = self.service.cfg.retry.deadline;
+        self.scan_budgeted(Deadline::after(budget), budget)
+    }
+
+    fn scan_budgeted(
+        &mut self,
+        deadline: Deadline,
+        budget: Duration,
+    ) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
         let svc = self.service;
+        if deadline.expired() {
+            return Err(svc.deadline_exceeded(self.lane, 0, budget));
+        }
         let _slot = svc.admit()?;
-        let _claims = svc.gate(self.lane, 0..svc.map.shards())?;
+        let _claims = svc.gate(self.lane, 0..svc.map.shards(), Priority::Full)?;
         let start = Instant::now();
-        let out = svc.full_scan(self.lane);
+        let out = svc.full_scan(self.lane, deadline, budget);
         svc.metrics.scan_latency.record(start.elapsed());
         out
     }
@@ -842,19 +1044,43 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
         self.scan_subset_with_stats(segments).map(|(view, _)| view)
     }
 
+    /// Like [`scan_subset`](Self::scan_subset) under an explicit
+    /// wall-clock budget (see [`scan_within`](Self::scan_within) for the
+    /// deadline rules).
+    pub fn scan_subset_within(
+        &mut self,
+        segments: &[usize],
+        budget: Duration,
+    ) -> Result<PartialView<V>, ServiceError> {
+        self.subset_budgeted(segments, Deadline::after(budget), budget).map(|(view, _)| view)
+    }
+
     /// Like [`scan_subset`](Self::scan_subset), also reporting how the
     /// request was served.
     pub fn scan_subset_with_stats(
         &mut self,
         segments: &[usize],
     ) -> Result<(PartialView<V>, ServiceStats), ServiceError> {
+        let budget = self.service.cfg.retry.deadline;
+        self.subset_budgeted(segments, Deadline::after(budget), budget)
+    }
+
+    fn subset_budgeted(
+        &mut self,
+        segments: &[usize],
+        deadline: Deadline,
+        budget: Duration,
+    ) -> Result<(PartialView<V>, ServiceStats), ServiceError> {
         let svc = self.service;
         let subset = svc.canonical_subset(segments)?;
         let covered = svc.covered_shards(&subset);
+        if deadline.expired() {
+            return Err(svc.deadline_exceeded(self.lane, 0, budget));
+        }
         let _slot = svc.admit()?;
-        let _claims = svc.gate(self.lane, covered.iter().copied())?;
+        let _claims = svc.gate(self.lane, covered.iter().copied(), Priority::Partial)?;
         let start = Instant::now();
-        let out = svc.partial_scan(self.lane, &subset, &covered);
+        let out = svc.partial_scan(self.lane, &subset, &covered, deadline, budget);
         svc.metrics.partial.inc();
         svc.metrics.partial_latency.record(start.elapsed());
         if let Ok((_, stats)) = &out {
@@ -887,6 +1113,20 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
         self.update_with_stats(segment, value).map(|_| ())
     }
 
+    /// Like [`update`](Self::update) under an explicit wall-clock budget
+    /// (see [`scan_within`](Self::scan_within) for the deadline rules).
+    /// A [`ServiceError::DeadlineExceeded`] whose attempt count is
+    /// nonzero is **indeterminate**, exactly like a failed
+    /// [`Backend`](ServiceError::Backend) update.
+    pub fn update_within(
+        &mut self,
+        segment: usize,
+        value: V,
+        budget: Duration,
+    ) -> Result<(), ServiceError> {
+        self.update_budgeted(segment, value, Deadline::after(budget), budget).map(|_| ())
+    }
+
     /// Like [`update`](Self::update), also reporting the embedded scan's
     /// statistics.
     pub fn update_with_stats(
@@ -894,29 +1134,88 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
         segment: usize,
         value: V,
     ) -> Result<ScanStats, ServiceError> {
+        let budget = self.service.cfg.retry.deadline;
+        self.update_budgeted(segment, value, Deadline::after(budget), budget)
+    }
+
+    fn update_budgeted(
+        &mut self,
+        segment: usize,
+        value: V,
+        deadline: Deadline,
+        budget: Duration,
+    ) -> Result<ScanStats, ServiceError> {
         let svc = self.service;
         svc.check_segment(segment)?;
         if svc.core.single_writer() && segment != self.lane.get() {
             return Err(ServiceError::NotOwner { lane: self.lane.get(), segment });
         }
+        if deadline.expired() {
+            return Err(svc.deadline_exceeded(self.lane, 0, budget));
+        }
         let _slot = svc.admit()?;
         let shard = svc.map.shard_of(segment);
-        let _claims = svc.gate(self.lane, [shard])?;
+        let _claims = svc.gate(self.lane, [shard], Priority::Bulk)?;
         let start = Instant::now();
-        let out = svc.run_with_retry(self.lane, |attempt| {
-            match svc.core.try_update(self.lane, segment, value.clone()) {
+        let out = svc.run_with_retry(self.lane, deadline, budget, |attempt| {
+            let op_start = Instant::now();
+            match svc.core.try_update_by(self.lane, segment, value.clone(), deadline) {
                 Ok(stats) => {
-                    svc.record_ok(Shards::One(shard));
+                    svc.record_ok(Shards::One(shard), op_start.elapsed());
                     Ok(stats)
                 }
                 Err(e) => {
                     svc.note_backend_error(self.lane, attempt, &e, Shards::One(shard));
-                    Err(e)
+                    Err(e.into())
                 }
             }
         });
         svc.metrics.update_latency.record(start.elapsed());
         out
+    }
+
+    /// A single-shard health probe: the cheapest read that produces
+    /// backend evidence for `shard`'s breaker. Probe-class traffic is the
+    /// first class a half-open breaker re-admits, so probing a degraded
+    /// shard drives its recovery instead of waiting for organic traffic
+    /// to ramp it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn probe_shard(&mut self, shard: usize) -> Result<(), ServiceError> {
+        let svc = self.service;
+        assert!(
+            shard < svc.map.shards(),
+            "shard {shard} out of range ({} shards)",
+            svc.map.shards()
+        );
+        let budget = svc.cfg.retry.deadline;
+        let deadline = Deadline::after(budget);
+        let _slot = svc.admit()?;
+        let _claims = svc.gate(self.lane, [shard], Priority::Probe)?;
+        let segment = svc.map.range(shard).start;
+        svc.run_with_retry(self.lane, deadline, budget, |attempt| {
+            let started = Instant::now();
+            let outcome = match svc.core.try_certified_read_by(self.lane, segment, deadline) {
+                Ok(Some(_)) => Ok(()),
+                // No certified reads: fall back to a full collect run
+                // directly on the core (still evidence the shard's
+                // backend answers).
+                Ok(None) => svc.core.try_scan_by(self.lane, deadline).map(|_| ()),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(()) => {
+                    svc.record_ok(Shards::One(shard), started.elapsed());
+                    Ok(())
+                }
+                Err(e) => {
+                    svc.note_backend_error(self.lane, attempt, &e, Shards::One(shard));
+                    Err(e.into())
+                }
+            }
+        })
     }
 }
 
@@ -1097,6 +1396,47 @@ mod tests {
         c.scan().unwrap();
         assert!(svc.degraded_shards().is_empty());
         assert_eq!(svc.abdications(), 0);
+    }
+
+    #[test]
+    fn zero_budget_requests_fail_fast_with_deadline_exceeded() {
+        let svc = SnapshotService::new(UnboundedSnapshot::new(4, 0u64));
+        let mut c = svc.client(0);
+        match c.scan_within(Duration::ZERO).unwrap_err() {
+            ServiceError::DeadlineExceeded { attempts, budget } => {
+                assert_eq!(attempts, 0, "the request never reached the backend");
+                assert_eq!(budget, Duration::ZERO);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(matches!(
+            c.scan_subset_within(&[1], Duration::ZERO),
+            Err(ServiceError::DeadlineExceeded { .. })
+        ));
+        assert!(matches!(
+            c.update_within(0, 7, Duration::ZERO),
+            Err(ServiceError::DeadlineExceeded { .. })
+        ));
+        // Sane budgets succeed against an in-process (wait-free) core.
+        assert!(c.scan_within(Duration::from_secs(5)).is_ok());
+        assert!(c.scan_subset_within(&[1], Duration::from_secs(5)).is_ok());
+        assert!(c.update_within(0, 7, Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn probe_and_load_report_round_trip() {
+        let registry = Registry::new();
+        let svc = SnapshotService::new(UnboundedSnapshot::new(4, 0u64)).with_registry(&registry);
+        let mut c = svc.client(0);
+        c.probe_shard(0).unwrap();
+        c.update(0, 1).unwrap();
+        c.scan().unwrap();
+        let report = svc.load_report();
+        assert!(!report.is_skewed(), "three quiet requests are not skew");
+        assert!(report.shards.iter().all(|s| !s.open));
+        assert!(report.shards[0].hits >= 3, "probe + update + scan all hit shard 0");
+        assert!(registry.gauge("service.load.shard0.hits").get() >= 3);
+        assert_eq!(registry.gauge("service.load.hot_shard").get(), -1);
     }
 
     #[test]

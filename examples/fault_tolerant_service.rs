@@ -46,8 +46,18 @@ fn main() {
                 ..RetryConfig::default()
             },
             health: HealthConfig {
-                failure_threshold: 2,
+                // Trip as soon as the 8-outcome window is half errors with
+                // at least two outcomes recorded: the two failed attempts
+                // of one exhausted retry budget are enough.
+                window: 8,
+                trip_error_pct: 50,
+                min_volume: 2,
                 cooldown: Duration::from_millis(100),
+                // One good probe closes the breaker again.
+                ramp_successes: 1,
+                ramp_tokens: 4,
+                ramp_interval: Duration::from_millis(5),
+                jitter_pct: 25,
             },
             ..ServiceConfig::default()
         },
@@ -75,9 +85,10 @@ fn main() {
         other => panic!("expected a Backend error, got {other:?}"),
     }
 
-    // That failure tripped the health gate (threshold 2: one failure per
-    // attempt). Further requests are shed *before touching the sick
-    // quorum*, with a hint saying when to come back.
+    // That failure tripped the health gate: the two failed attempts put
+    // the outcome window at 100% errors over the volume guard. Further
+    // requests are shed *before touching the sick quorum*, with a
+    // jittered hint saying when to come back.
     match client.scan() {
         Err(ServiceError::Degraded { shard, retry_after }) => {
             println!("scan (breaker open)          : Degraded, shard {shard}, retry in {retry_after:?}");
@@ -89,19 +100,24 @@ fn main() {
     }
     println!("degraded shards              : {:?}", service.degraded_shards());
 
-    // Heal: restart the crashed majority, wait out the cooldown, and the
-    // half-open probe closes the breaker for everyone.
+    // Heal: restart the crashed majority, wait out the cooldown, and walk
+    // the half-open priority ramp — probe-class traffic is admitted
+    // first, so a cheap health probe (not a client's full scan) is what
+    // verifies the quorum recovered and closes the breaker.
     println!("restarting replicas 0, 1, 2 ...");
     network.restart(0);
     network.restart(1);
     network.restart(2);
-    let view = loop {
-        match client.scan() {
-            Ok(view) => break view,
-            Err(ServiceError::Degraded { retry_after, .. }) => std::thread::sleep(retry_after),
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+    for shard in 0..LANES {
+        loop {
+            match client.probe_shard(shard) {
+                Ok(()) => break,
+                Err(ServiceError::Degraded { retry_after, .. }) => std::thread::sleep(retry_after),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
         }
-    };
+    }
+    let view = client.scan().expect("breaker closed after the probe");
     println!("scan (healed, probe passed)  : {:?}", &view[..]);
     assert_eq!(view[0], 10);
     assert_eq!(view[1], 20);
@@ -110,12 +126,21 @@ fn main() {
     client.update(0, 11).expect("healed quorum");
     println!("scan (back to normal)        : {:?}", &client.scan().unwrap()[..]);
 
+    // Every operation can also carry a wall-clock budget: it completes
+    // within the budget or returns a typed `DeadlineExceeded` — it never
+    // parks past its deadline, even coalesced behind a slower leader.
+    let view = client.scan_within(Duration::from_secs(1)).expect("healthy quorum is fast");
+    assert_eq!(view[0], 11);
+    println!("scan (1s deadline budget)    : {:?}", &view[..]);
+
     println!("\nfault accounting:");
     for name in [
         "service.fault.backend_errors",
         "service.fault.retries",
         "service.fault.retry_exhausted",
         "service.fault.degraded_shed",
+        "service.fault.deadline_exceeded",
+        "service.load.shed",
         "service.coalesce.abdicated",
     ] {
         println!("  {name:<34} {}", registry.counter(name).get());

@@ -20,7 +20,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use snapshot_abd::{
     AbdSnapshotCore, Dwell, FaultPlan, LinkFault, Nemesis, NemesisEvent, Network, NetworkConfig,
@@ -33,7 +33,7 @@ use snapshot_lin::{check_history, Recorder};
 use snapshot_obs::Registry;
 use snapshot_registers::ProcessId;
 use snapshot_service::{
-    HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService,
+    Breaker, HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService,
 };
 
 const LANES: usize = 3;
@@ -106,8 +106,14 @@ fn nemesis_storm_service_returns_views_or_typed_errors() {
         ServiceConfig {
             retry: service_retry(),
             health: HealthConfig {
-                failure_threshold: 3,
+                window: 16,
+                trip_error_pct: 60,
+                min_volume: 4,
                 cooldown: Duration::from_millis(10),
+                ramp_successes: 2,
+                ramp_tokens: 8,
+                ramp_interval: Duration::from_millis(2),
+                jitter_pct: 25,
             },
             ..ServiceConfig::default()
         },
@@ -359,6 +365,23 @@ fn failed_leader_fans_errors_to_the_whole_cohort_within_budget() {
 // Shard health gate: trip, shed, half-open probe, recover
 // ---------------------------------------------------------------------------
 
+/// Breaker tuning for the deterministic lifecycle tests: the single ramp
+/// interval outlives the test, so only recorded successes (never elapsed
+/// wall time) walk the half-open recovery ladder down — the priority
+/// ordering is asserted exactly, with no timing luck.
+fn ladder_health(cooldown: Duration) -> HealthConfig {
+    HealthConfig {
+        window: 8,
+        trip_error_pct: 50,
+        min_volume: 2,
+        cooldown,
+        ramp_successes: 2,
+        ramp_tokens: 8,
+        ramp_interval: Duration::from_secs(3600),
+        jitter_pct: 0,
+    }
+}
+
 #[test]
 fn health_gate_trips_sheds_probes_and_recovers() {
     let cooldown = Duration::from_millis(40);
@@ -369,14 +392,15 @@ fn health_gate_trips_sheds_probes_and_recovers() {
         ServiceConfig {
             coalesce: false,
             retry: RetryConfig::no_retries(), // one backend attempt per request
-            health: HealthConfig { failure_threshold: 2, cooldown },
+            health: ladder_health(cooldown),
             ..ServiceConfig::default()
         },
     )
     .with_registry(&registry);
     let mut client = service.client(0);
 
-    // Two consecutive failures trip every gated shard's breaker.
+    // Two failing scans put the window at a 100% error rate with the
+    // volume guard met, tripping every gated shard's breaker.
     for _ in 0..2 {
         let err = client.scan().unwrap_err();
         assert!(matches!(err, ServiceError::Backend { attempts: 1, .. }), "{err:?}");
@@ -391,19 +415,29 @@ fn health_gate_trips_sheds_probes_and_recovers() {
         other => panic!("expected Degraded, got {other:?}"),
     }
     assert_eq!(registry.counter("service.fault.degraded_shed").get(), 1);
+    assert_eq!(registry.counter("service.load.shed").get(), 1);
     assert_eq!(
         registry.counter("service.fault.backend_errors").get(),
         2,
         "the shed request must not reach the backend"
     );
 
-    // After the cooldown the half-open probe goes through (the scripted
-    // outage is over), closing the breaker for everyone.
+    // After the cooldown the breaker half-opens into the priority ramp.
+    // A full scan is *still* shed — probe-class traffic recovers first.
     std::thread::sleep(cooldown + Duration::from_millis(10));
-    let view = client.scan().expect("probe must be admitted and succeed");
-    assert_eq!(view.len(), 2);
-    assert!(service.degraded_shards().is_empty(), "breaker must close on probe success");
-    client.scan().expect("closed breaker admits normally");
+    match client.scan().unwrap_err() {
+        ServiceError::Degraded { .. } => {}
+        other => panic!("half-open must admit probes before full scans, got {other:?}"),
+    }
+    // Walk the recovery ladder per shard: a probe success admits
+    // single-shard partials, whose success closes the breaker.
+    for shard in 0..2 {
+        client.probe_shard(shard).expect("probe-class must be admitted first");
+        let partial = client.scan_subset(&[shard]).expect("partials follow a probe success");
+        assert_eq!(partial.segments(), &[shard]);
+    }
+    assert!(service.degraded_shards().is_empty(), "enough successes close the breaker");
+    client.scan().expect("closed breaker admits full scans again");
     client.update(0, 7).expect("updates flow again");
     assert_eq!(client.scan().unwrap()[0], 7);
 }
@@ -461,4 +495,328 @@ fn healthy_abd_service_matches_in_process_semantics() {
     assert_eq!(service.abdications(), 0);
     assert_eq!(service.inflight(), 0);
     assert_eq!(service.coalescing_waiters(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Slow degradation: the schedule the old consecutive-failure breaker
+// provably never trips on
+// ---------------------------------------------------------------------------
+
+/// A core whose scans fail every *second* call: a slowly degrading shard
+/// at a steady 50% error rate that never fails twice in a row.
+struct AlternatingCore {
+    inner: UnboundedSnapshot<u64>,
+    calls: AtomicUsize,
+}
+
+impl AlternatingCore {
+    fn new(n: usize) -> Self {
+        AlternatingCore { inner: UnboundedSnapshot::new(n, 0u64), calls: AtomicUsize::new(0) }
+    }
+}
+
+impl TrySnapshotCore<u64> for AlternatingCore {
+    fn segments(&self) -> usize {
+        SnapshotCore::segments(&self.inner)
+    }
+
+    fn lanes(&self) -> usize {
+        SnapshotCore::lanes(&self.inner)
+    }
+
+    fn single_writer(&self) -> bool {
+        SnapshotCore::single_writer(&self.inner)
+    }
+
+    fn try_scan(&self, lane: ProcessId) -> Result<(SnapshotView<u64>, ScanStats), CoreError> {
+        if self.calls.fetch_add(1, Ordering::SeqCst) % 2 == 1 {
+            return Err(CoreError::Unavailable { reason: "degrading shard".into() });
+        }
+        Ok(self.inner.core_scan(lane))
+    }
+
+    fn try_update(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: u64,
+    ) -> Result<ScanStats, CoreError> {
+        Ok(self.inner.core_update(lane, segment, value))
+    }
+
+    fn try_certified_read(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+    ) -> Result<Option<(u64, u64)>, CoreError> {
+        Ok(self.inner.certified_read(reader, segment))
+    }
+}
+
+#[test]
+fn slow_degrading_shard_trips_the_windowed_breaker() {
+    // The alternating schedule is the adversary for a consecutive-failure
+    // breaker: a success between every failure resets the consecutive
+    // count, so any trip threshold of two or more never fires (shown
+    // directly on a raw breaker below). The windowed breaker sees the
+    // 50% error rate itself and trips at the volume guard.
+    let core = AlternatingCore::new(2);
+    let registry = Registry::new();
+    let service = SnapshotService::with_config(
+        core,
+        ServiceConfig {
+            coalesce: false,
+            retry: RetryConfig::no_retries(),
+            health: ladder_health(Duration::from_millis(40)),
+            ..ServiceConfig::default()
+        },
+    )
+    .with_registry(&registry);
+    let recorder = Recorder::new(1, 2, 0u64);
+    let pid = ProcessId::new(0);
+    let mut client = service.client(0);
+
+    let mut shed = false;
+    for _ in 0..32 {
+        let inv = recorder.begin();
+        match client.scan() {
+            Ok(view) => recorder.end_scan(pid, view.to_vec(), inv),
+            Err(ServiceError::Backend { .. }) => {}
+            Err(ServiceError::Degraded { .. }) => {
+                shed = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert!(shed, "a 50% alternating error rate must trip the windowed breaker");
+    assert!(!service.degraded_shards().is_empty());
+    assert!(registry.counter("service.load.shed").get() >= 1);
+
+    // Every successful scan still linearizes.
+    let history = recorder.finish();
+    assert!(check_history(&history).is_linearizable(), "{history:?}");
+
+    // The consecutive-failure counter the windowed breaker replaced
+    // provably cannot fire here: the same alternating outcome schedule
+    // never stacks two failures, so its count never leaves {0, 1}.
+    let raw = Breaker::new(0);
+    let cfg = ladder_health(Duration::from_millis(40));
+    for t in 0..32u64 {
+        raw.on_success(t, &cfg);
+        assert_eq!(raw.consecutive(), 0, "success resets the consecutive count");
+        raw.on_failure(true, t, &cfg);
+        assert_eq!(raw.consecutive(), 1, "the alternating schedule never stacks failures");
+    }
+    assert!(raw.trips() >= 1, "the window still tripped on the same schedule");
+}
+
+// ---------------------------------------------------------------------------
+// Deadline soak: parked requests honor their own budget
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deadline_soak_parked_requests_complete_or_expire_within_budget() {
+    const CLIENTS: usize = 6;
+    let budget = Duration::from_millis(30);
+    let core = ScriptedCore::new(CLIENTS, 0); // healthy once the gate opens
+    let gate = core.gate.clone();
+    let entered = core.entered.clone();
+    gate.store(true, Ordering::SeqCst);
+
+    let registry = Registry::new();
+    let service = SnapshotService::with_config(
+        core,
+        ServiceConfig {
+            health: HealthConfig::disabled(),
+            ..ServiceConfig::default()
+        },
+    )
+    .with_registry(&registry);
+
+    let results: Mutex<Vec<Result<usize, ServiceError>>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for lane in 0..CLIENTS {
+            let service = &service;
+            let results = &results;
+            s.spawn(move || {
+                let r = service.client(lane).scan_within(budget).map(|view| view.len());
+                results.lock().unwrap().push(r);
+            });
+        }
+        // One leader is inside the held collect; the rest of the fleet
+        // parks behind it, each carrying its own 30ms budget.
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        while service.coalescing_waiters() < CLIENTS - 1 {
+            std::thread::yield_now();
+        }
+        // Hold the collect until every parked waiter has resolved: a
+        // waiter honors its *own* deadline — it cannot inherit the
+        // leader's open-ended wait, so all of them must return typed
+        // `DeadlineExceeded` while the leader is still stuck.
+        let wait_start = Instant::now();
+        while results.lock().unwrap().len() < CLIENTS - 1 {
+            assert!(
+                wait_start.elapsed() < Duration::from_secs(20),
+                "waiters failed to time out: parked past their budget"
+            );
+            std::thread::yield_now();
+        }
+        gate.store(false, Ordering::SeqCst);
+    });
+
+    let results = results.into_inner().unwrap();
+    assert_eq!(results.len(), CLIENTS);
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(ok, 1, "exactly the leader completes once released: {results:?}");
+    for r in &results {
+        match r {
+            Ok(len) => assert_eq!(*len, CLIENTS),
+            Err(ServiceError::DeadlineExceeded { attempts, budget: b }) => {
+                assert_eq!(*attempts, 1, "one attempt: the parked wait itself");
+                assert_eq!(*b, budget);
+            }
+            Err(other) => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        registry.counter("service.fault.deadline_exceeded").get(),
+        (CLIENTS - 1) as u64
+    );
+    assert_eq!(service.coalescing_waiters(), 0, "no waiter may stay parked");
+    assert_eq!(service.inflight(), 0, "admission budget fully returned");
+}
+
+// ---------------------------------------------------------------------------
+// Overload soak: hot-shard skew, blackout shedding, probe-first recovery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overload_soak_flags_hot_shard_sheds_and_recovers_probe_first() {
+    const SEGMENTS: usize = 4;
+    let cooldown = Duration::from_millis(20);
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(REPLICAS)
+            .with_jitter(77)
+            .with_op_timeout(Duration::from_millis(5))
+            .with_retry(fast_abd_retry()),
+    ));
+    let registry = Registry::new();
+    let service = SnapshotService::with_config(
+        AbdSnapshotCore::new(&network, SEGMENTS, 0u64),
+        ServiceConfig {
+            retry: RetryConfig {
+                max_attempts: 2,
+                initial_backoff: Duration::from_micros(200),
+                max_backoff: Duration::from_millis(2),
+                multiplier: 2,
+                deadline: Duration::from_secs(30),
+            },
+            health: ladder_health(cooldown),
+            ..ServiceConfig::default()
+        },
+    )
+    .with_registry(&registry);
+
+    // Phase 1 — hot-shard skew: every operation lands on shard 0 (the
+    // writer hammers segment 0, readers take single-shard partials of
+    // it). The load report must flag the skew and stretch shard 0's
+    // shed hints so a shed cohort spreads out.
+    let mut writer = service.client(0);
+    for k in 1..=40u64 {
+        writer.update(0, k).expect("healthy network");
+    }
+    for lane in 1..SEGMENTS {
+        let mut reader = service.client(lane);
+        for _ in 0..10 {
+            let partial = reader.scan_subset(&[0]).expect("healthy network");
+            assert_eq!(partial.segments(), &[0]);
+        }
+    }
+    let report = service.load_report();
+    assert_eq!(report.hot_shard, Some(0), "all traffic on shard 0: {report:?}");
+    assert!(report.is_skewed());
+    assert!(report.skew_permille >= 2000);
+    assert_eq!(
+        report.retry_after_hint(0, cooldown),
+        cooldown * 4,
+        "a maximally skewed hot shard stretches hints 4x"
+    );
+    assert_eq!(report.retry_after_hint(1, cooldown), cooldown, "cold shards keep the base hint");
+    assert_eq!(registry.gauge("service.load.hot_shard").get(), 0);
+    assert!(registry.gauge("service.load.shard0.hits").get() >= 64);
+
+    // Phase 2 — blackout: a majority partition takes the quorum away.
+    // Full scans fail typed, the error windows fill, and every shard's
+    // breaker trips; once open, requests shed without touching the
+    // backend.
+    let blackout = {
+        let network = Arc::clone(&network);
+        std::thread::spawn(move || {
+            Nemesis::new()
+                .phase(
+                    vec![NemesisEvent::Partition { replicas: vec![0, 1, 2], symmetric: true }],
+                    Dwell::Millis(250),
+                )
+                .phase(vec![NemesisEvent::Heal], Dwell::Millis(5))
+                .run(&network)
+        })
+    };
+    let mut all_tripped = false;
+    let trip_start = Instant::now();
+    let mut k = 0u64;
+    while trip_start.elapsed() < Duration::from_secs(5) {
+        k += 1;
+        // Full scans stop reaching the backend the moment the *first*
+        // shard trips (the gate sheds them), so shard 0 — whose window
+        // still holds the hammer phase's successes — needs its own
+        // single-shard evidence: updates gate only shard 0.
+        match writer.update(0, 100 + k) {
+            Ok(()) => {} // raced the partition onset
+            Err(ServiceError::Backend { .. } | ServiceError::Degraded { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+        match writer.scan() {
+            Ok(_) => {}
+            Err(ServiceError::Backend { .. }) => {}
+            Err(ServiceError::Degraded { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+        if service.degraded_shards().len() == SEGMENTS {
+            all_tripped = true;
+            break;
+        }
+    }
+    assert!(all_tripped, "the blackout must trip every shard's breaker");
+    // With every breaker open (or at best half-open to probes), the next
+    // full scan sheds at the gate without touching the backend.
+    match writer.scan().unwrap_err() {
+        ServiceError::Degraded { .. } => {}
+        other => panic!("open breakers must shed, got {other:?}"),
+    }
+    assert!(registry.counter("service.load.shed").get() >= 1);
+    blackout.join().unwrap();
+    assert!(!network.poisoned(), "a replica thread panicked");
+
+    // Phase 3 — probe-first recovery: after the cooldown the breakers
+    // half-open, but a full scan is *still* shed (rank too low for a
+    // fresh ramp). Probe-class traffic goes first; each shard's probe
+    // success admits its partial scans, whose success closes it.
+    std::thread::sleep(cooldown + Duration::from_millis(5));
+    match writer.scan().unwrap_err() {
+        ServiceError::Degraded { .. } => {}
+        other => panic!("half-open must shed full scans before probes ran, got {other:?}"),
+    }
+    for shard in 0..SEGMENTS {
+        writer.probe_shard(shard).expect("probe-class must be admitted first");
+        let partial = writer.scan_subset(&[shard]).expect("partials follow a probe success");
+        assert_eq!(partial.segments(), &[shard]);
+    }
+    assert!(service.degraded_shards().is_empty(), "the ramp must close every breaker");
+    let view = writer.scan().expect("full scans flow again after recovery");
+    assert!(view[0] >= 40, "segment 0 must hold a write from the hammer or blackout phase");
+    assert_eq!(service.coalescing_waiters(), 0, "no waiter may stay parked");
+    assert_eq!(service.inflight(), 0, "admission budget fully returned");
 }
