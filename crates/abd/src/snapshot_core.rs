@@ -15,7 +15,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use snapshot_core::{CoreError, Deadline, ScanStats, SnapshotView, TrySnapshotCore};
+use snapshot_core::{CoreError, Deadline, RequestCtx, ScanStats, SnapshotView, TrySnapshotCore};
+use snapshot_obs::{SpanId, SpanKind, SpanStatus};
 use snapshot_registers::{CachePadded, ProcessId};
 
 use crate::{AbdError, AbdRegister, Network};
@@ -119,26 +120,40 @@ impl<V: Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
 
     /// One collect: read all `n` registers. Any starved quorum phase
     /// aborts the collect with a typed error; `deadline` caps each
-    /// register read's quorum waits.
-    fn collect(&self, lane: ProcessId, deadline: Deadline) -> Result<Vec<AbdRecord<V>>, CoreError> {
-        (0..self.n)
+    /// register read's quorum waits. When `parent` names a span (a traced
+    /// request's collect), the pass runs inside a
+    /// [`SpanKind::QuorumQuery`] span on the network's trace, so a
+    /// flight recording attributes a starved scan to its quorum wait.
+    fn collect(
+        &self,
+        lane: ProcessId,
+        deadline: Deadline,
+        parent: SpanId,
+    ) -> Result<Vec<AbdRecord<V>>, CoreError> {
+        let span = self.network.trace().span(lane.get(), SpanKind::QuorumQuery, parent);
+        span.note("registers", self.n as u64);
+        let out: Result<Vec<AbdRecord<V>>, CoreError> = (0..self.n)
             .map(|j| self.regs[j].try_read_by(lane, deadline).map_err(core_error))
-            .collect()
+            .collect();
+        span.end(if out.is_ok() { SpanStatus::Ok } else { SpanStatus::Error });
+        out
     }
 
     /// `procedure scan_i` of Figure 2, fallibly. The caller holds the
-    /// lane claim.
+    /// lane claim. `parent` is the request's collect span
+    /// ([`SpanId::NONE`] for untraced callers).
     fn scan_inner(
         &self,
         lane: ProcessId,
         deadline: Deadline,
+        parent: SpanId,
     ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
         let n = self.n;
         let mut moved = vec![0u8; n];
         let mut stats = ScanStats::default();
         loop {
-            let a = self.collect(lane, deadline)?; // line 1
-            let b = self.collect(lane, deadline)?; // line 2
+            let a = self.collect(lane, deadline, parent)?; // line 1
+            let b = self.collect(lane, deadline, parent)?; // line 2
             stats.double_collects += 1;
             stats.reads += 2 * n as u64;
             debug_assert!(
@@ -221,8 +236,21 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
         lane: ProcessId,
         deadline: Deadline,
     ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
+        self.try_scan_ctx(lane, deadline, RequestCtx::none())
+    }
+
+    /// The context-carrying scan: quorum passes run inside
+    /// [`SpanKind::QuorumQuery`] spans parented under the request's
+    /// collect span (no-ops when the network's trace is disabled or the
+    /// context is empty).
+    fn try_scan_ctx(
+        &self,
+        lane: ProcessId,
+        deadline: Deadline,
+        ctx: RequestCtx,
+    ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
         let _guard = self.claim(lane);
-        self.scan_inner(lane, deadline)
+        self.scan_inner(lane, deadline, ctx.span)
     }
 
     /// A deadline-aware update. A deadline-cut write is *indeterminate*
@@ -235,17 +263,35 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
         value: V,
         deadline: Deadline,
     ) -> Result<ScanStats, CoreError> {
+        self.try_update_ctx(lane, segment, value, deadline, RequestCtx::none())
+    }
+
+    /// The context-carrying update: the embedded scan's quorum passes and
+    /// the final register write run inside [`SpanKind::QuorumQuery`] /
+    /// [`SpanKind::QuorumStore`] spans parented under the request's span.
+    fn try_update_ctx(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: V,
+        deadline: Deadline,
+        ctx: RequestCtx,
+    ) -> Result<ScanStats, CoreError> {
         assert_eq!(
             segment,
             lane.get(),
             "single-writer construction: lane {lane} cannot update segment {segment}"
         );
         let _guard = self.claim(lane);
-        let (view, mut stats) = self.scan_inner(lane, deadline)?; // Fig. 2 update line 1
+        let (view, mut stats) = self.scan_inner(lane, deadline, ctx.span)?; // Fig. 2 update line 1
         let seq = self.seqs[lane.get()].fetch_add(1, Ordering::Relaxed) + 1;
-        self.regs[lane.get()]
+        let store = self.network.trace().span(lane.get(), SpanKind::QuorumStore, ctx.span);
+        store.note("seq", seq);
+        let written = self.regs[lane.get()]
             .try_write_by(lane, AbdRecord { value, seq, view }, deadline) // line 2
-            .map_err(core_error)?;
+            .map_err(core_error);
+        store.end(if written.is_ok() { SpanStatus::Ok } else { SpanStatus::Error });
+        written?;
         stats.writes += 1;
         Ok(stats)
     }
@@ -260,9 +306,23 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
         segment: usize,
         deadline: Deadline,
     ) -> Result<Option<(V, u64)>, CoreError> {
+        self.try_certified_read_ctx(reader, segment, deadline, RequestCtx::none())
+    }
+
+    /// The context-carrying certified read: the single register read runs
+    /// inside a [`SpanKind::QuorumQuery`] span under the request's span.
+    fn try_certified_read_ctx(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+        deadline: Deadline,
+        ctx: RequestCtx,
+    ) -> Result<Option<(V, u64)>, CoreError> {
         assert!(segment < self.n, "segment {segment} out of range ({} segments)", self.n);
-        let r = self.regs[segment].try_read_by(reader, deadline).map_err(core_error)?;
-        Ok(Some((r.value, r.seq)))
+        let span = self.network.trace().span(reader.get(), SpanKind::QuorumQuery, ctx.span);
+        let read = self.regs[segment].try_read_by(reader, deadline).map_err(core_error);
+        span.end(if read.is_ok() { SpanStatus::Ok } else { SpanStatus::Error });
+        Ok(Some(read.map(|r| (r.value, r.seq))?))
     }
 }
 

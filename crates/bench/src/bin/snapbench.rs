@@ -26,6 +26,18 @@
 //! `--compare` exits with status 1 when any entry's median ns/op
 //! regressed by more than `--threshold-pct` (default 20%) against the
 //! baseline, unless `--report-only` is given. Usage errors exit 2.
+//!
+//! The `trend` subcommand runs no benchmarks at all: it loads every
+//! committed `BENCH_<n>.json` generation from `--dir` (default `.`),
+//! renders a per-benchmark markdown trend table (`snapshot_bench::trend`),
+//! and exits 1 only on *monotone multi-generation* decay — a
+//! strictly-increasing ns/op run across ≥ 3 generations totalling more
+//! than `--threshold-pct` (default 25%) — unless `--report-only`:
+//!
+//! ```text
+//! cargo run -p snapshot-bench --release --bin snapbench -- \
+//!     trend --dir . --report-only --out TREND.md
+//! ```
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +46,7 @@ use std::time::{Duration, Instant};
 
 use snapshot_abd::{AbdSnapshotCore, Network, NetworkConfig};
 use snapshot_bench::tracked::{self, BenchEntry, BenchReport};
+use snapshot_bench::trend;
 use snapshot_core::{
     BoundedSnapshot, CoreError, LockSnapshot, MultiWriterSnapshot, MwSnapshot, MwSnapshotHandle,
     ScanStats, SnapshotView, SwSnapshot, SwSnapshotHandle, TrySnapshotCore, UnboundedSnapshot,
@@ -612,7 +625,106 @@ struct Args {
 }
 
 const USAGE: &str = "usage: snapbench [--quick] [--out PATH] [--compare BASELINE.json]\n\
-                     \x20                [--threshold-pct N] [--report-only] [--filter SUBSTR] [--list]";
+                     \x20                [--threshold-pct N] [--report-only] [--filter SUBSTR] [--list]\n\
+                     \x20      snapbench trend [--dir PATH] [--threshold-pct N] [--report-only] [--out PATH]";
+
+/// Flags of the `trend` subcommand.
+struct TrendArgs {
+    dir: String,
+    threshold_pct: f64,
+    report_only: bool,
+    out: Option<String>,
+}
+
+fn parse_trend_args(mut it: impl Iterator<Item = String>) -> Result<TrendArgs, String> {
+    let mut args = TrendArgs {
+        dir: ".".to_string(),
+        threshold_pct: 25.0,
+        report_only: false,
+        out: None,
+    };
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--dir" => args.dir = value_of("--dir")?,
+            "--threshold-pct" => {
+                args.threshold_pct = value_of("--threshold-pct")?
+                    .parse()
+                    .map_err(|_| "--threshold-pct needs a number".to_string())?;
+            }
+            "--report-only" => args.report_only = true,
+            "--out" => args.out = Some(value_of("--out")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The `trend` subcommand: load every committed generation, render the
+/// barometer, gate on monotone decay.
+fn run_trend(args: TrendArgs) -> ExitCode {
+    let mut generations: Vec<(u32, String)> = Vec::new();
+    let dir_entries = match std::fs::read_dir(&args.dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("snapbench trend: cannot read {}: {e}", args.dir);
+            return ExitCode::from(2);
+        }
+    };
+    for entry in dir_entries.flatten() {
+        let file_name = entry.file_name();
+        let Some(name) = file_name.to_str() else { continue };
+        if let Some(generation) = trend::generation_of(name) {
+            generations.push((generation, entry.path().display().to_string()));
+        }
+    }
+    generations.sort_by_key(|(g, _)| *g);
+    if generations.len() < 2 {
+        eprintln!(
+            "snapbench trend: need at least 2 BENCH_<n>.json generations in {}, found {}",
+            args.dir,
+            generations.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut reports = Vec::with_capacity(generations.len());
+    for (generation, path) in &generations {
+        let report = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| BenchReport::from_json(&text).map_err(|e| e.to_string()))
+        {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("snapbench trend: cannot load {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        reports.push((*generation, report));
+    }
+
+    let barometer = trend::build(&reports, args.threshold_pct);
+    let markdown = barometer.render_markdown();
+    print!("{markdown}");
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &markdown) {
+            eprintln!("snapbench trend: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {out}");
+    }
+    if barometer.has_decay() {
+        if args.report_only {
+            println!("monotone decay detected (report-only: not failing)");
+        } else {
+            println!("monotone decay beyond {}% detected", args.threshold_pct);
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -648,6 +760,15 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("trend") {
+        return match parse_trend_args(std::env::args().skip(2)) {
+            Ok(args) => run_trend(args),
+            Err(msg) => {
+                eprintln!("snapbench trend: {msg}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {

@@ -15,6 +15,8 @@
 //! * [`report`] — plain-text table rendering for the `experiments` binary;
 //! * [`tracked`] — the `snapbench` JSON report format (schema
 //!   `snapbench/v1`) and its regression comparator;
+//! * [`trend`] — the multi-generation trend barometer over every
+//!   committed `BENCH_*.json` (`snapbench trend`);
 //! * `benches/` — criterion micro-benchmarks of scan/update latency and
 //!   contention behavior;
 //! * `src/bin/experiments.rs` — the table generator
@@ -28,3 +30,4 @@ pub mod anderson_model;
 pub mod harness;
 pub mod report;
 pub mod tracked;
+pub mod trend;

@@ -1,0 +1,348 @@
+//! Multi-generation trend analysis over committed `BENCH_*.json`
+//! baselines: the barometer behind `snapbench trend`.
+//!
+//! `--compare` answers "did *this* change regress against *one*
+//! baseline?"; the trend barometer answers the slower question — "has a
+//! benchmark been quietly decaying across the last several committed
+//! generations?" It loads every `BENCH_<n>.json` at the repository root,
+//! lines each benchmark's medians up by generation, and flags only
+//! *monotone multi-generation* decay: a strictly-increasing ns/op suffix
+//! spanning at least three present generations whose total rise exceeds
+//! the threshold. A single noisy generation (machine variance, a
+//! transient regression already fixed) therefore never trips the gate —
+//! the dip resets the run.
+
+use crate::tracked::BenchReport;
+
+/// One benchmark's median at one committed generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrendPoint {
+    /// Baseline generation — the `<n>` in `BENCH_<n>.json`.
+    pub generation: u32,
+    /// Median ns/op recorded by that generation.
+    pub median_ns_per_op: f64,
+}
+
+/// One benchmark's history across every generation that measured it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchTrend {
+    /// The entry's join key, `"{workload}/{construction}/t{threads}"`.
+    pub name: String,
+    /// Medians at the generations that ran this benchmark, ascending.
+    pub points: Vec<TrendPoint>,
+    /// Length in points of the strictly-increasing ns/op suffix (1 when
+    /// the latest generation is not slower than its predecessor).
+    pub decay_run: usize,
+    /// Percent rise across the decay run, `(last - first) / first * 100`;
+    /// zero when the run is a single point.
+    pub decay_pct: f64,
+    /// True when the run spans ≥ 3 present generations *and* its total
+    /// rise exceeds the report threshold.
+    pub decayed: bool,
+}
+
+/// The assembled barometer: every benchmark's trend across every loaded
+/// generation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendReport {
+    /// Generations loaded, ascending.
+    pub generations: Vec<u32>,
+    /// One trend per benchmark name, in first-seen suite order.
+    pub trends: Vec<BenchTrend>,
+    /// Decay gate: monotone rises larger than this percentage flag.
+    pub threshold_pct: f64,
+}
+
+/// Parses the generation number out of a committed baseline filename
+/// (`BENCH_<n>.json`); returns `None` for any other name.
+pub fn generation_of(file_name: &str) -> Option<u32> {
+    let digits = file_name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Longest strictly-increasing suffix of the points' medians, with its
+/// total percent rise. A single point is a run of 1 with 0% rise.
+fn decay_suffix(points: &[TrendPoint]) -> (usize, f64) {
+    if points.is_empty() {
+        return (0, 0.0);
+    }
+    let mut run = 1;
+    let mut i = points.len() - 1;
+    while i > 0 && points[i - 1].median_ns_per_op < points[i].median_ns_per_op {
+        run += 1;
+        i -= 1;
+    }
+    let first = points[points.len() - run].median_ns_per_op;
+    let last = points[points.len() - 1].median_ns_per_op;
+    let pct = if run >= 2 && first > 0.0 {
+        (last - first) / first * 100.0
+    } else {
+        0.0
+    };
+    (run, pct)
+}
+
+/// Builds the barometer from `(generation, report)` pairs, which must be
+/// sorted ascending by generation. Benchmark order follows the first
+/// generation each name appears in; a benchmark absent from some
+/// generations simply has fewer points (absences neither extend nor
+/// reset a decay run — the run is over *present* generations).
+pub fn build(reports: &[(u32, BenchReport)], threshold_pct: f64) -> TrendReport {
+    let mut names: Vec<String> = Vec::new();
+    for (_, report) in reports {
+        for entry in &report.entries {
+            if !names.iter().any(|n| n == &entry.name) {
+                names.push(entry.name.clone());
+            }
+        }
+    }
+    let trends = names
+        .into_iter()
+        .map(|name| {
+            let points: Vec<TrendPoint> = reports
+                .iter()
+                .filter_map(|(generation, report)| {
+                    report.entries.iter().find(|e| e.name == name).map(|e| TrendPoint {
+                        generation: *generation,
+                        median_ns_per_op: e.median_ns_per_op,
+                    })
+                })
+                .collect();
+            let (decay_run, decay_pct) = decay_suffix(&points);
+            BenchTrend {
+                name,
+                points,
+                decay_run,
+                decay_pct,
+                decayed: decay_run >= 3 && decay_pct > threshold_pct,
+            }
+        })
+        .collect();
+    TrendReport {
+        generations: reports.iter().map(|(g, _)| *g).collect(),
+        trends,
+        threshold_pct,
+    }
+}
+
+/// Eight-level bar sparkline of a row's medians, normalized to the row's
+/// own min..max (a flat row renders as a flat mid-height line).
+fn sparkline(points: &[TrendPoint]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = points.iter().map(|p| p.median_ns_per_op).fold(f64::INFINITY, f64::min);
+    let max = points.iter().map(|p| p.median_ns_per_op).fold(0.0f64, f64::max);
+    points
+        .iter()
+        .map(|p| {
+            let level = if max > min {
+                (((p.median_ns_per_op - min) / (max - min)) * 7.0).round() as usize
+            } else {
+                3
+            };
+            BARS[level.min(7)]
+        })
+        .collect()
+}
+
+impl TrendReport {
+    /// True when any benchmark's monotone decay run trips the gate.
+    pub fn has_decay(&self) -> bool {
+        self.trends.iter().any(|t| t.decayed)
+    }
+
+    /// Renders the barometer as a markdown document: one table row per
+    /// benchmark with its per-generation medians, a sparkline trend
+    /// line, and the decay verdict.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# snapbench trend barometer\n\n");
+        out.push_str(&format!(
+            "{} generations loaded ({}); decay gate: monotone rise across \
+             >= 3 generations totalling more than {}%.\n\n",
+            self.generations.len(),
+            self.generations
+                .iter()
+                .map(|g| format!("BENCH_{g}.json"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.threshold_pct
+        ));
+        out.push_str("| benchmark |");
+        for g in &self.generations {
+            out.push_str(&format!(" gen {g} |"));
+        }
+        out.push_str(" trend | run Δ | status |\n");
+        out.push_str("|---|");
+        for _ in &self.generations {
+            out.push_str("---:|");
+        }
+        out.push_str(":---:|---:|---|\n");
+        for t in &self.trends {
+            out.push_str(&format!("| {} |", t.name));
+            for g in &self.generations {
+                match t.points.iter().find(|p| p.generation == *g) {
+                    Some(p) => out.push_str(&format!(" {:.1} |", p.median_ns_per_op)),
+                    None => out.push_str(" — |"),
+                }
+            }
+            let run = if t.decay_run >= 2 {
+                format!("{:+.1}% over {}", t.decay_pct, t.decay_run)
+            } else {
+                "steady".to_string()
+            };
+            out.push_str(&format!(
+                " {} | {} | {} |\n",
+                sparkline(&t.points),
+                run,
+                if t.decayed { "**DECAY**" } else { "ok" }
+            ));
+        }
+        let decayed: Vec<&str> =
+            self.trends.iter().filter(|t| t.decayed).map(|t| t.name.as_str()).collect();
+        if decayed.is_empty() {
+            out.push_str("\nNo monotone multi-generation decay detected.\n");
+        } else {
+            out.push_str(&format!(
+                "\n{} benchmark(s) show monotone multi-generation decay: {}.\n",
+                decayed.len(),
+                decayed.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracked::{BenchEntry, BenchReport, SCHEMA};
+
+    fn entry(name: &str, median: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.to_string(),
+            workload: "mixed".to_string(),
+            construction: "unbounded".to_string(),
+            threads: 2,
+            iters_per_thread: 100,
+            samples: 3,
+            warmup: 1,
+            total_ops: 200,
+            median_ns_per_op: median,
+            min_ns_per_op: median * 0.9,
+            max_ns_per_op: median * 1.1,
+        }
+    }
+
+    fn gens(series: &[(u32, &[(&str, f64)])]) -> Vec<(u32, BenchReport)> {
+        series
+            .iter()
+            .map(|(g, entries)| {
+                (
+                    *g,
+                    BenchReport {
+                        schema: SCHEMA.to_string(),
+                        entries: entries.iter().map(|(n, m)| entry(n, *m)).collect(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generation_parsing_accepts_only_bench_n_json() {
+        assert_eq!(generation_of("BENCH_6.json"), Some(6));
+        assert_eq!(generation_of("BENCH_12.json"), Some(12));
+        assert_eq!(generation_of("BENCH_.json"), None);
+        assert_eq!(generation_of("BENCH_6.json.bak"), None);
+        assert_eq!(generation_of("bench_6.json"), None);
+        assert_eq!(generation_of("BENCH_x.json"), None);
+    }
+
+    #[test]
+    fn monotone_three_generation_rise_past_threshold_decays() {
+        let reports = gens(&[
+            (3, &[("a", 100.0)]),
+            (4, &[("a", 120.0)]),
+            (5, &[("a", 150.0)]),
+        ]);
+        let report = build(&reports, 25.0);
+        assert_eq!(report.trends[0].decay_run, 3);
+        assert!((report.trends[0].decay_pct - 50.0).abs() < 1e-9);
+        assert!(report.has_decay());
+    }
+
+    #[test]
+    fn rise_below_threshold_or_too_short_does_not_decay() {
+        // Three rising generations but only +10% total: under the gate.
+        let small = build(
+            &gens(&[(3, &[("a", 100.0)]), (4, &[("a", 105.0)]), (5, &[("a", 110.0)])]),
+            25.0,
+        );
+        assert!(!small.has_decay());
+
+        // A large rise but only two generations deep: one regression is
+        // --compare's job, not the barometer's.
+        let short = build(&gens(&[(5, &[("a", 100.0)]), (6, &[("a", 200.0)])]), 25.0);
+        assert_eq!(short.trends[0].decay_run, 2);
+        assert!(!short.has_decay());
+    }
+
+    #[test]
+    fn a_dip_resets_the_decay_run() {
+        // 100 → 160 → 140 → 190: the gen-5 dip breaks monotonicity, so
+        // the run is only the 140→190 tail.
+        let report = build(
+            &gens(&[
+                (3, &[("a", 100.0)]),
+                (4, &[("a", 160.0)]),
+                (5, &[("a", 140.0)]),
+                (6, &[("a", 190.0)]),
+            ]),
+            25.0,
+        );
+        assert_eq!(report.trends[0].decay_run, 2);
+        assert!(!report.has_decay());
+    }
+
+    #[test]
+    fn absent_generations_leave_gaps_without_resetting_runs() {
+        // "b" only exists from gen 4 on; its three present points rise
+        // monotonically past the gate.
+        let reports = gens(&[
+            (3, &[("a", 50.0)]),
+            (4, &[("a", 50.0), ("b", 100.0)]),
+            (5, &[("a", 50.0), ("b", 140.0)]),
+            (6, &[("a", 50.0), ("b", 200.0)]),
+        ]);
+        let report = build(&reports, 25.0);
+        let b = report.trends.iter().find(|t| t.name == "b").unwrap();
+        assert_eq!(b.points.len(), 3);
+        assert!(b.decayed);
+        let md = report.render_markdown();
+        assert!(md.contains("| b |"));
+        assert!(md.contains(" — |"), "gen-3 gap renders as a dash");
+        assert!(md.contains("**DECAY**"));
+    }
+
+    #[test]
+    fn markdown_lists_every_generation_and_names_decayed_rows() {
+        let report = build(
+            &gens(&[
+                (3, &[("a", 100.0)]),
+                (4, &[("a", 130.0)]),
+                (5, &[("a", 170.0)]),
+            ]),
+            25.0,
+        );
+        let md = report.render_markdown();
+        assert!(md.contains("BENCH_3.json, BENCH_4.json, BENCH_5.json"));
+        assert!(md.contains("gen 3 |"));
+        assert!(md.contains("decay: a."));
+
+        let steady = build(&gens(&[(3, &[("a", 100.0)]), (4, &[("a", 100.0)])]), 25.0);
+        assert!(steady.render_markdown().contains("No monotone multi-generation decay"));
+    }
+}

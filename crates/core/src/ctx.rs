@@ -1,0 +1,36 @@
+//! Request context carried alongside [`Deadline`](crate::Deadline).
+//!
+//! A [`RequestCtx`] travels down the call stack with an operation — through
+//! service admission, the coalescer, the retry loop, into a fallible
+//! core's register phases — carrying the identity of the causal span the
+//! operation runs under, so every layer can parent its own spans under
+//! the request that caused the work. Like `Deadline` it is a tiny `Copy`
+//! value, cheap to pass by value everywhere, and has an inert default
+//! ([`RequestCtx::none`]) for untraced callers.
+
+use snapshot_obs::SpanId;
+
+/// The per-request causal context.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestCtx {
+    /// The span the current work runs under ([`SpanId::NONE`] when the
+    /// request is untraced).
+    pub span: SpanId,
+}
+
+impl RequestCtx {
+    /// A context with no span: work done under it is untraced.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A context running under `span`.
+    pub fn under(span: SpanId) -> Self {
+        RequestCtx { span }
+    }
+
+    /// Whether any span is attached.
+    pub fn is_traced(&self) -> bool {
+        !self.span.is_none()
+    }
+}

@@ -17,7 +17,7 @@ use snapshot_registers::{Backend, ProcessId, RegisterValue};
 
 #[cfg(doc)]
 use crate::SnapshotCore;
-use crate::{Deadline, ScanStats, SnapshotView};
+use crate::{Deadline, RequestCtx, ScanStats, SnapshotView};
 
 /// Why a fallible snapshot operation could not complete.
 ///
@@ -175,6 +175,51 @@ pub trait TrySnapshotCore<V>: Send + Sync {
     ) -> Result<Option<(V, u64)>, CoreError> {
         self.try_certified_read(reader, segment)
     }
+
+    /// Like [`try_scan_by`](Self::try_scan_by), additionally carrying the
+    /// caller's [`RequestCtx`] so a core that emits causal spans can
+    /// parent its register phases under the request's span.
+    ///
+    /// The default drops the context and forwards to `try_scan_by` — an
+    /// in-process core's collect is a handful of register reads with no
+    /// internal phase worth a span of its own. Cores with observable
+    /// internal waits (`snapshot-abd`'s `AbdSnapshotCore` quorum phases)
+    /// override this.
+    fn try_scan_ctx(
+        &self,
+        lane: ProcessId,
+        deadline: Deadline,
+        _ctx: RequestCtx,
+    ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
+        self.try_scan_by(lane, deadline)
+    }
+
+    /// Like [`try_update_by`](Self::try_update_by), carrying the caller's
+    /// [`RequestCtx`] (same default-forwarding contract as
+    /// [`try_scan_ctx`](Self::try_scan_ctx)).
+    fn try_update_ctx(
+        &self,
+        lane: ProcessId,
+        segment: usize,
+        value: V,
+        deadline: Deadline,
+        _ctx: RequestCtx,
+    ) -> Result<ScanStats, CoreError> {
+        self.try_update_by(lane, segment, value, deadline)
+    }
+
+    /// Like [`try_certified_read_by`](Self::try_certified_read_by),
+    /// carrying the caller's [`RequestCtx`] (same default-forwarding
+    /// contract as [`try_scan_ctx`](Self::try_scan_ctx)).
+    fn try_certified_read_ctx(
+        &self,
+        reader: ProcessId,
+        segment: usize,
+        deadline: Deadline,
+        _ctx: RequestCtx,
+    ) -> Result<Option<(V, u64)>, CoreError> {
+        self.try_certified_read_by(reader, segment, deadline)
+    }
 }
 
 /// Implements [`TrySnapshotCore`] for a type by forwarding to its
@@ -317,6 +362,21 @@ mod tests {
         assert_eq!(view[0], 3);
         let (v, _) = snap.try_certified_read_by(lane, 0, expired).unwrap().unwrap();
         assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn ctx_defaults_forward_and_drop_the_context() {
+        // The ctx-threaded methods default through the deadline-bounded
+        // ones, so an untraced in-process core behaves identically.
+        let snap = UnboundedSnapshot::new(2, 0u32);
+        let lane = ProcessId::new(0);
+        let ctx = RequestCtx::none();
+        assert!(!ctx.is_traced());
+        snap.try_update_ctx(lane, 0, 7, Deadline::none(), ctx).unwrap();
+        let (view, _) = snap.try_scan_ctx(lane, Deadline::none(), ctx).unwrap();
+        assert_eq!(view[0], 7);
+        let (v, _) = snap.try_certified_read_ctx(lane, 0, Deadline::none(), ctx).unwrap().unwrap();
+        assert_eq!(v, 7);
     }
 
     #[test]

@@ -64,6 +64,7 @@
 
 mod api;
 mod bounded;
+mod ctx;
 mod deadline;
 mod double_collect;
 mod fallible;
@@ -74,6 +75,7 @@ mod unbounded;
 mod view;
 
 pub use api::{MwSnapshot, MwSnapshotHandle, ScanStats, SwSnapshot, SwSnapshotHandle};
+pub use ctx::RequestCtx;
 pub use deadline::Deadline;
 pub use fallible::{CoreError, TrySnapshotCore};
 pub use multiplex::SnapshotCore;

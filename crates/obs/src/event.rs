@@ -121,6 +121,95 @@ impl fmt::Display for AbdPhaseKind {
     }
 }
 
+/// What a causal span covers; the span taxonomy of the request-scoped
+/// tracing plane (DESIGN.md §12).
+///
+/// Each kind names one phase a service request can spend wall-clock time
+/// in, so a reconstructed span tree attributes a stall to a named phase:
+/// quorum wait ([`SpanKind::QuorumQuery`] / [`SpanKind::QuorumStore`] /
+/// [`SpanKind::Collect`]), coalesce park ([`SpanKind::CoalescePark`]), or
+/// retry backoff ([`SpanKind::Backoff`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A full service scan, admission to reply.
+    Scan,
+    /// A partial (subset) service scan, admission to reply.
+    PartialScan,
+    /// A service update, admission to reply.
+    Update,
+    /// A health probe against one shard.
+    Probe,
+    /// One attempt inside a request's retry budget.
+    Attempt,
+    /// Time spent parked in a coalescing cohort waiting for a leader's
+    /// view (or for the seat, when electing).
+    CoalescePark,
+    /// A collect pass over the backing registers (one of the two halves
+    /// of a double collect, or a certified partial collect).
+    Collect,
+    /// Time the retry loop slept between attempts.
+    Backoff,
+    /// An ABD query-phase quorum wait.
+    QuorumQuery,
+    /// An ABD store-phase quorum wait.
+    QuorumStore,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Scan => "scan",
+            SpanKind::PartialScan => "partial_scan",
+            SpanKind::Update => "update",
+            SpanKind::Probe => "probe",
+            SpanKind::Attempt => "attempt",
+            SpanKind::CoalescePark => "coalesce_park",
+            SpanKind::Collect => "collect",
+            SpanKind::Backoff => "backoff",
+            SpanKind::QuorumQuery => "quorum_query",
+            SpanKind::QuorumStore => "quorum_store",
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a causal span ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanStatus {
+    /// The spanned phase completed normally.
+    Ok,
+    /// The spanned phase surfaced a backend or cohort error.
+    Error,
+    /// The spanned phase ran out of its request's deadline budget.
+    Expired,
+    /// The spanned phase was shed by admission control or a health gate.
+    Shed,
+}
+
+impl SpanStatus {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Error => "error",
+            SpanStatus::Expired => "expired",
+            SpanStatus::Shed => "shed",
+        }
+    }
+}
+
+impl fmt::Display for SpanStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A single typed trace event.
 ///
 /// The variants cover the three layers the reproduction instruments:
@@ -335,6 +424,55 @@ pub enum Event {
         /// The budget the request was given, in microseconds.
         budget_us: u64,
     },
+    /// A causal span opened. The span's id is its begin event's `seq + 1`,
+    /// so ids are globally unique on the shared clock axis and `0` can
+    /// mean "no parent".
+    SpanBegin {
+        /// This span's id (begin `seq + 1`; never 0).
+        id: u64,
+        /// The parent span's id, or 0 for a root span.
+        parent: u64,
+        /// What the span covers.
+        kind: SpanKind,
+    },
+    /// A causal span closed.
+    SpanEnd {
+        /// The id assigned at [`Event::SpanBegin`].
+        id: u64,
+        /// What the span covered (repeated so an end is self-describing
+        /// even when the begin was evicted from a bounded ring).
+        kind: SpanKind,
+        /// How the spanned phase ended.
+        status: SpanStatus,
+        /// Wall-clock time the span was open, in microseconds.
+        elapsed_us: u64,
+    },
+    /// A key/value annotation attached to an open span.
+    SpanNote {
+        /// The annotated span's id.
+        id: u64,
+        /// Static attribute name.
+        key: &'static str,
+        /// Attribute value.
+        value: u64,
+    },
+    /// A cross-tree causal link: the annotated span consumed the result
+    /// of another span (e.g. a coalesced joiner adopting the lead's
+    /// collect). Rendered as a flow arrow in the chrome exporter.
+    SpanFollows {
+        /// The span that consumed the result.
+        id: u64,
+        /// The span whose result was consumed.
+        from: u64,
+    },
+    /// A shard's windowed circuit breaker tripped open on this recorded
+    /// outcome (rate past threshold at volume, or a terminal error).
+    BreakerTrip {
+        /// The tripped shard.
+        shard: usize,
+        /// Lifetime trip count for the shard, including this one.
+        trips: u64,
+    },
     /// A load report was taken: the service's instantaneous diagnosis of
     /// per-shard traffic skew.
     LoadReport {
@@ -382,6 +520,11 @@ impl Event {
             Event::ShardDegraded { .. } => "shard_degraded",
             Event::ShardShed { .. } => "shard_shed",
             Event::DeadlineExceeded { .. } => "deadline_exceeded",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+            Event::SpanNote { .. } => "span_note",
+            Event::SpanFollows { .. } => "span_follows",
+            Event::BreakerTrip { .. } => "breaker_trip",
             Event::LoadReport { .. } => "load_report",
         }
     }
@@ -456,6 +599,21 @@ impl fmt::Display for Event {
             }
             Event::DeadlineExceeded { attempts, budget_us } => {
                 write!(f, "deadline_exceeded(attempts={attempts}, budget={budget_us}us)")
+            }
+            Event::SpanBegin { id, parent, kind } => {
+                write!(f, "span_begin(S{id}, parent=S{parent}, {kind})")
+            }
+            Event::SpanEnd { id, kind, status, elapsed_us } => {
+                write!(f, "span_end(S{id}, {kind}, {status}, {elapsed_us}us)")
+            }
+            Event::SpanNote { id, key, value } => {
+                write!(f, "span_note(S{id}, {key}={value})")
+            }
+            Event::SpanFollows { id, from } => {
+                write!(f, "span_follows(S{id} <- S{from})")
+            }
+            Event::BreakerTrip { shard, trips } => {
+                write!(f, "breaker_trip(shard={shard}, trips={trips})")
             }
             Event::LoadReport { hot_shard, skewed, skew_permille, open_shards } => {
                 write!(

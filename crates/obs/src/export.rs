@@ -115,6 +115,30 @@ fn push_payload(out: &mut String, event: &Event) {
             push_field(out, "attempts", attempts);
             push_field(out, "budget_us", budget_us);
         }
+        Event::SpanBegin { id, parent, kind } => {
+            push_field(out, "id", id);
+            push_field(out, "parent", parent);
+            push_str_field(out, "span", kind.name());
+        }
+        Event::SpanEnd { id, kind, status, elapsed_us } => {
+            push_field(out, "id", id);
+            push_str_field(out, "span", kind.name());
+            push_str_field(out, "status", status.name());
+            push_field(out, "elapsed_us", elapsed_us);
+        }
+        Event::SpanNote { id, key, value } => {
+            push_field(out, "id", id);
+            push_str_field(out, "key", key);
+            push_field(out, "value", value);
+        }
+        Event::SpanFollows { id, from } => {
+            push_field(out, "id", id);
+            push_field(out, "from", from);
+        }
+        Event::BreakerTrip { shard, trips } => {
+            push_field(out, "shard", shard);
+            push_field(out, "trips", trips);
+        }
         Event::LoadReport { hot_shard, skewed, skew_permille, open_shards } => {
             push_field(out, "hot_shard", hot_shard);
             push_field(out, "skewed", skewed);
@@ -139,45 +163,106 @@ pub fn json_lines(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Opens one trace event object with the five fields every event carries
+/// (`name`, `ph`, `pid`, `tid`, `ts`), leaving the object unterminated so
+/// the caller can append event-specific fields.
+fn open_chrome_event(out: &mut String, first: &mut bool, name: &str, ph: &str, tid: usize, ts: u64) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"name\":\"");
+    out.push_str(name);
+    out.push_str("\",\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"pid\":0");
+    push_field(out, "tid", tid);
+    push_field(out, "ts", ts);
+}
+
+fn push_chrome_args(out: &mut String, e: &TraceEvent) {
+    out.push_str(",\"args\":{\"seq\":");
+    out.push_str(&e.seq.to_string());
+    push_str_field(out, "kind", e.event.kind());
+    push_payload(out, &e.event);
+    out.push('}');
+}
+
 /// Renders events as a chrome://tracing (`about:tracing` / Perfetto)
 /// "Trace Event Format" JSON document.
 ///
 /// Scan/update begin/end pairs become duration spans (`ph: "B"`/`"E"`);
-/// everything else becomes an instant event (`ph: "i"`, thread scope).
-/// Timestamps are the logical sequence numbers (the trace is a logical
-/// schedule, not a wall-clock profile), and each process id becomes a
-/// `tid` so the viewer shows one track per process.
+/// causal spans ([`Event::SpanBegin`] / [`Event::SpanEnd`]) become async
+/// spans (`ph: "b"`/`"e"`, category `span`, keyed by span id) so nested
+/// request phases render as stacked tracks; [`Event::SpanFollows`] links
+/// become flow arrows (`ph: "s"` at the producing span's begin, `ph: "f"`
+/// at the consumer — the coalesce-join → lead arrow); everything else
+/// becomes an instant event (`ph: "i"`, thread scope). A follows link
+/// whose producing span's begin is not in `events` (evicted from a
+/// bounded ring) degrades to an instant. Timestamps are the logical
+/// sequence numbers (the trace is a logical schedule, not a wall-clock
+/// profile), and each process id becomes a `tid` so the viewer shows one
+/// track per process.
 pub fn chrome_tracing(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    // Flow arrows anchor at the producing span's begin coordinates, so
+    // index the begins up front: (span id, seq, pid).
+    let begins: Vec<(u64, u64, usize)> = events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::SpanBegin { id, .. } => Some((id, e.seq, e.pid)),
+            _ => None,
+        })
+        .collect();
+    let begin_of =
+        |id: u64| begins.iter().find(|(i, _, _)| *i == id).map(|&(_, seq, pid)| (seq, pid));
     let mut first = true;
     for e in events {
-        let (ph, name): (&str, &str) = match e.event {
-            Event::ScanBegin { .. } => ("B", "scan"),
-            Event::ScanEnd { .. } => ("E", "scan"),
-            Event::UpdateBegin { .. } => ("B", "update"),
-            Event::UpdateEnd { .. } => ("E", "update"),
-            _ => ("i", e.event.kind()),
-        };
-        if !first {
-            out.push(',');
+        match e.event {
+            Event::SpanBegin { id, kind, .. } => {
+                open_chrome_event(&mut out, &mut first, kind.name(), "b", e.pid, e.seq);
+                push_str_field(&mut out, "cat", "span");
+                push_field(&mut out, "id", id);
+                push_chrome_args(&mut out, e);
+                out.push('}');
+            }
+            Event::SpanEnd { id, kind, .. } => {
+                open_chrome_event(&mut out, &mut first, kind.name(), "e", e.pid, e.seq);
+                push_str_field(&mut out, "cat", "span");
+                push_field(&mut out, "id", id);
+                push_chrome_args(&mut out, e);
+                out.push('}');
+            }
+            Event::SpanFollows { from, .. } if begin_of(from).is_some() => {
+                let (from_seq, from_pid) = begin_of(from).expect("guard checked");
+                open_chrome_event(&mut out, &mut first, "follows", "s", from_pid, from_seq);
+                push_str_field(&mut out, "cat", "flow");
+                push_field(&mut out, "id", e.seq);
+                out.push('}');
+                open_chrome_event(&mut out, &mut first, "follows", "f", e.pid, e.seq);
+                push_str_field(&mut out, "cat", "flow");
+                push_str_field(&mut out, "bp", "e");
+                push_field(&mut out, "id", e.seq);
+                push_chrome_args(&mut out, e);
+                out.push('}');
+            }
+            _ => {
+                let (ph, name): (&str, &str) = match e.event {
+                    Event::ScanBegin { .. } => ("B", "scan"),
+                    Event::ScanEnd { .. } => ("E", "scan"),
+                    Event::UpdateBegin { .. } => ("B", "update"),
+                    Event::UpdateEnd { .. } => ("E", "update"),
+                    _ => ("i", e.event.kind()),
+                };
+                open_chrome_event(&mut out, &mut first, name, ph, e.pid, e.seq);
+                if ph == "i" {
+                    push_str_field(&mut out, "s", "t");
+                }
+                push_chrome_args(&mut out, e);
+                out.push('}');
+            }
         }
-        first = false;
-        out.push_str("{\"name\":\"");
-        out.push_str(name);
-        out.push_str("\",\"ph\":\"");
-        out.push_str(ph);
-        out.push_str("\",\"pid\":0");
-        push_field(&mut out, "tid", e.pid);
-        push_field(&mut out, "ts", e.seq);
-        if ph == "i" {
-            push_str_field(&mut out, "s", "t");
-        }
-        out.push_str(",\"args\":{\"seq\":");
-        out.push_str(&e.seq.to_string());
-        push_str_field(&mut out, "kind", e.event.kind());
-        push_payload(&mut out, &e.event);
-        out.push_str("}}");
     }
     out.push_str("]}");
     out

@@ -1,0 +1,227 @@
+//! Anomaly-triggered flight recorder.
+//!
+//! A [`FlightRecorder`] is a [`Sink`] that keeps a bounded ring of the
+//! most recent events (spans included) and, when an anomaly event flows
+//! through it — a [`DeadlineExceeded`](crate::Event::DeadlineExceeded), a
+//! [`BreakerTrip`](crate::Event::BreakerTrip), or an
+//! [`Overloaded` shed](crate::Event::ServiceOverload) — freezes a copy of
+//! the ring as a [`FlightDump`]: the black-box recording of what the
+//! stack was doing in the run-up to the anomaly. Dumps render as
+//! JSON-lines with a `flight_dump` cause header, so the same tooling that
+//! reads ordinary trace dumps reads these.
+//!
+//! Wire it next to (not instead of) a [`RingSink`](crate::RingSink) with
+//! a [`FanoutSink`](crate::FanoutSink), or alone when only anomaly
+//! forensics are wanted.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::event::{Event, TraceEvent};
+use crate::export::json_lines;
+use crate::trace::Sink;
+
+/// Why a [`FlightDump`] was captured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DumpCause {
+    /// A request's wall-clock budget expired
+    /// ([`Event::DeadlineExceeded`]).
+    DeadlineExceeded,
+    /// A shard's circuit breaker tripped open ([`Event::BreakerTrip`]).
+    BreakerTrip,
+    /// Admission control shed a request ([`Event::ServiceOverload`]).
+    Overloaded,
+    /// [`FlightRecorder::trigger`] was called explicitly.
+    Manual,
+}
+
+impl DumpCause {
+    /// Stable lowercase name used in the dump header.
+    pub fn name(self) -> &'static str {
+        match self {
+            DumpCause::DeadlineExceeded => "deadline_exceeded",
+            DumpCause::BreakerTrip => "breaker_trip",
+            DumpCause::Overloaded => "overloaded",
+            DumpCause::Manual => "manual",
+        }
+    }
+}
+
+impl fmt::Display for DumpCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A frozen copy of the recorder's ring at the moment an anomaly fired.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// What froze the ring.
+    pub cause: DumpCause,
+    /// Sequence number of the triggering event (the last element of
+    /// `events` for automatic dumps; the newest buffered event, if any,
+    /// for manual ones).
+    pub trigger_seq: u64,
+    /// Pid that emitted the triggering event (0 for manual dumps).
+    pub trigger_pid: usize,
+    /// The buffered events, oldest first (the trigger included, last).
+    pub events: Vec<TraceEvent>,
+}
+
+impl FlightDump {
+    /// Renders the dump as JSON-lines: a `flight_dump` header line
+    /// carrying the cause, then one line per buffered event.
+    ///
+    /// Every line (header included) has `seq`, `pid`, and `kind`, and
+    /// lines are ordered by `seq` (the header borrows the first buffered
+    /// event's seq), so the dump satisfies the same schema as an ordinary
+    /// trace dump.
+    pub fn render(&self) -> String {
+        let header_seq = self.events.first().map_or(self.trigger_seq, |e| e.seq);
+        let mut out = format!(
+            "{{\"seq\":{},\"pid\":{},\"kind\":\"flight_dump\",\"cause\":\"{}\",\
+             \"trigger_seq\":{},\"events\":{}}}\n",
+            header_seq,
+            self.trigger_pid,
+            self.cause.name(),
+            self.trigger_seq,
+            self.events.len(),
+        );
+        out.push_str(&json_lines(&self.events));
+        out
+    }
+}
+
+struct FlightInner {
+    ring: VecDeque<TraceEvent>,
+    dumps: Vec<FlightDump>,
+}
+
+/// The black-box recorder: a bounded event ring frozen on anomalies.
+///
+/// Retains at most `max_dumps` dumps (later anomalies inside an already
+/// captured storm are counted but not re-captured), so a flapping breaker
+/// cannot grow memory without bound. The ring itself keeps recording
+/// after a dump.
+pub struct FlightRecorder {
+    inner: Mutex<FlightInner>,
+    capacity: usize,
+    max_dumps: usize,
+    suppressed: std::sync::atomic::AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder whose ring holds the most recent `capacity` events,
+    /// retaining up to 8 dumps.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_max_dumps(capacity, 8)
+    }
+
+    /// A recorder retaining up to `max_dumps` dumps.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `max_dumps` is zero.
+    pub fn with_max_dumps(capacity: usize, max_dumps: usize) -> Self {
+        assert!(capacity > 0, "FlightRecorder needs a nonzero ring");
+        assert!(max_dumps > 0, "FlightRecorder needs room for at least one dump");
+        FlightRecorder {
+            inner: Mutex::new(FlightInner {
+                ring: VecDeque::with_capacity(capacity),
+                dumps: Vec::new(),
+            }),
+            capacity,
+            max_dumps,
+            suppressed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightInner> {
+        self.inner.lock().expect("FlightRecorder poisoned")
+    }
+
+    fn capture(inner: &mut FlightInner, max_dumps: usize, dump: FlightDump) -> bool {
+        if inner.dumps.len() >= max_dumps {
+            return false;
+        }
+        inner.dumps.push(dump);
+        true
+    }
+
+    /// Freezes the current ring as a [`DumpCause::Manual`] dump. Returns
+    /// false if the dump budget was already exhausted.
+    pub fn trigger(&self, cause: DumpCause) -> bool {
+        let mut inner = self.lock();
+        let (trigger_seq, trigger_pid) =
+            inner.ring.back().map_or((0, 0), |e| (e.seq, e.pid));
+        let dump = FlightDump {
+            cause,
+            trigger_seq,
+            trigger_pid,
+            events: inner.ring.iter().copied().collect(),
+        };
+        Self::capture(&mut inner, self.max_dumps, dump)
+    }
+
+    /// Dumps captured so far (clones; the recorder keeps its copies).
+    #[must_use]
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.lock().dumps.clone()
+    }
+
+    /// Removes and returns the captured dumps, freeing the dump budget.
+    #[must_use = "taking discards the dumps if the result is unused"]
+    pub fn take_dumps(&self) -> Vec<FlightDump> {
+        std::mem::take(&mut self.lock().dumps)
+    }
+
+    /// Anomalies that fired while the dump budget was exhausted.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn cause_of(event: &Event) -> Option<DumpCause> {
+        match event {
+            Event::DeadlineExceeded { .. } => Some(DumpCause::DeadlineExceeded),
+            Event::BreakerTrip { .. } => Some(DumpCause::BreakerTrip),
+            Event::ServiceOverload { .. } => Some(DumpCause::Overloaded),
+            _ => None,
+        }
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn emit(&self, event: TraceEvent) {
+        let mut inner = self.lock();
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(event);
+        if let Some(cause) = Self::cause_of(&event.event) {
+            let dump = FlightDump {
+                cause,
+                trigger_seq: event.seq,
+                trigger_pid: event.pid,
+                events: inner.ring.iter().copied().collect(),
+            };
+            if !Self::capture(&mut inner, self.max_dumps, dump) {
+                self.suppressed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("buffered", &inner.ring.len())
+            .field("dumps", &inner.dumps.len())
+            .field("suppressed", &self.suppressed())
+            .finish()
+    }
+}

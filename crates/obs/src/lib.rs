@@ -23,7 +23,15 @@
 //!   the log₂-microsecond buckets the ABD layer has always reported;
 //! * **Exporters** ([`json_lines`], [`chrome_tracing`]) — JSON-lines for
 //!   machine consumption and a chrome://tracing document loadable in
-//!   `about:tracing` or Perfetto.
+//!   `about:tracing` or Perfetto;
+//! * **Causal spans** ([`Span`], [`SpanId`], [`SpanForest`]) — the
+//!   request-scoped tracing plane: parent-linked begin/end/annotate
+//!   emitted through the same sinks, reconstructable into span trees
+//!   that attribute a request's latency to named phases;
+//! * **Flight recorder** ([`FlightRecorder`], [`FlightDump`]) — a
+//!   bounded black-box ring frozen on anomalies (deadline exceeded,
+//!   breaker trip, overload shed) and rendered as cause-headed
+//!   JSON-lines.
 //!
 //! Sharing a trace's [`Clock`] with the linearizability recorder puts
 //! operation intervals and trace events on one timestamp axis, which is
@@ -52,15 +60,23 @@
 
 mod event;
 mod export;
+mod flight;
 mod metrics;
+mod span;
+mod spantree;
 mod trace;
 
-pub use event::{AbdPhaseKind, Algo, Event, RegOp, RoundOutcome, TraceEvent};
-pub use export::{chrome_tracing, json_lines};
-pub use metrics::{
-    bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry,
-    HISTOGRAM_BUCKETS,
+pub use event::{
+    AbdPhaseKind, Algo, Event, RegOp, RoundOutcome, SpanKind, SpanStatus, TraceEvent,
 };
+pub use export::{chrome_tracing, json_lines};
+pub use flight::{DumpCause, FlightDump, FlightRecorder};
+pub use metrics::{
+    bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, LatencySummary, MetricValue,
+    Registry, HISTOGRAM_BUCKETS,
+};
+pub use span::{Span, SpanId};
+pub use spantree::{SpanForest, SpanNode};
 pub use trace::{Clock, CountingSink, FanoutSink, RingSink, Sink, Trace};
 
 #[cfg(test)]
@@ -210,6 +226,190 @@ mod tests {
             assert!(line.starts_with('{') && line.ends_with('}'));
             assert_eq!(line.matches('{').count(), line.matches('}').count());
         }
+    }
+
+    #[test]
+    fn spans_nest_annotate_and_reconstruct() {
+        let sink = Arc::new(RingSink::new(2, 128));
+        let trace = Trace::new(sink.clone());
+        let scan = trace.root_span(0, SpanKind::Scan);
+        let attempt = scan.child(SpanKind::Attempt);
+        attempt.note("attempt", 1);
+        let park = attempt.child(SpanKind::CoalescePark);
+        park.end(SpanStatus::Expired);
+        attempt.end(SpanStatus::Error);
+        scan.end(SpanStatus::Expired);
+
+        let events = sink.drain();
+        let forest = SpanForest::build(&events);
+        forest.check().expect("span invariants hold");
+        assert_eq!(forest.roots().len(), 1);
+        let root = forest.roots()[0];
+        assert_eq!(root.kind, SpanKind::Scan);
+        assert_eq!(root.status, Some(SpanStatus::Expired));
+        let attempt = forest.node(root.children[0]).unwrap();
+        assert_eq!(attempt.kind, SpanKind::Attempt);
+        assert_eq!(attempt.notes, vec![("attempt", 1)]);
+        let park = forest.node(attempt.children[0]).unwrap();
+        assert_eq!(park.kind, SpanKind::CoalescePark);
+        assert_eq!(forest.path_to_root(park.id), vec![park.id, attempt.id, root.id]);
+        assert!(forest.attribute_stall(root.id).unwrap().is_stall_phase());
+    }
+
+    #[test]
+    fn disabled_trace_spans_are_inert() {
+        let trace = Trace::disabled();
+        let span = trace.root_span(0, SpanKind::Scan);
+        assert!(!span.is_recording());
+        assert!(span.id().is_none());
+        span.note("k", 1);
+        let child = span.child(SpanKind::Attempt);
+        child.end(SpanStatus::Ok);
+        span.end(SpanStatus::Ok);
+        assert_eq!(trace.clock().now(), 0);
+    }
+
+    #[test]
+    fn dropping_a_span_ends_it_ok() {
+        let sink = Arc::new(RingSink::new(1, 16));
+        let trace = Trace::new(sink.clone());
+        {
+            let _span = trace.root_span(0, SpanKind::Update);
+        }
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[1].event,
+            Event::SpanEnd { status: SpanStatus::Ok, kind: SpanKind::Update, .. }
+        ));
+    }
+
+    #[test]
+    fn span_forest_flags_unmatched_and_misnested_spans() {
+        // An end without a begin is an orphan.
+        let orphan_end = vec![TraceEvent {
+            seq: 0,
+            pid: 0,
+            event: Event::SpanEnd {
+                id: 9,
+                kind: SpanKind::Scan,
+                status: SpanStatus::Ok,
+                elapsed_us: 1,
+            },
+        }];
+        assert!(SpanForest::build(&orphan_end).check().is_err());
+
+        // A child ending after its parent violates nesting.
+        let misnested = vec![
+            TraceEvent { seq: 0, pid: 0, event: Event::SpanBegin { id: 1, parent: 0, kind: SpanKind::Scan } },
+            TraceEvent { seq: 1, pid: 0, event: Event::SpanBegin { id: 2, parent: 1, kind: SpanKind::Attempt } },
+            TraceEvent {
+                seq: 2,
+                pid: 0,
+                event: Event::SpanEnd { id: 1, kind: SpanKind::Scan, status: SpanStatus::Ok, elapsed_us: 1 },
+            },
+            TraceEvent {
+                seq: 3,
+                pid: 0,
+                event: Event::SpanEnd { id: 2, kind: SpanKind::Attempt, status: SpanStatus::Ok, elapsed_us: 1 },
+            },
+        ];
+        assert!(SpanForest::build(&misnested).check().is_err());
+    }
+
+    #[test]
+    fn chrome_tracing_renders_spans_async_with_flow_arrows() {
+        let sink = Arc::new(RingSink::new(2, 64));
+        let trace = Trace::new(sink.clone());
+        let lead_collect = trace.root_span(0, SpanKind::Collect);
+        let joiner = trace.root_span(1, SpanKind::CoalescePark);
+        joiner.follows_from(lead_collect.id());
+        joiner.end(SpanStatus::Ok);
+        lead_collect.end(SpanStatus::Ok);
+
+        let out = chrome_tracing(&sink.drain());
+        assert_eq!(out.matches("\"ph\":\"b\"").count(), 2);
+        assert_eq!(out.matches("\"ph\":\"e\"").count(), 2);
+        assert_eq!(out.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(out.matches("\"ph\":\"f\"").count(), 1);
+        assert!(out.contains("\"cat\":\"span\""));
+        assert!(out.contains("\"cat\":\"flow\""));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn flight_recorder_freezes_the_ring_on_anomalies() {
+        let recorder = Arc::new(FlightRecorder::new(16));
+        let trace = Trace::new(recorder.clone());
+        let span = trace.root_span(2, SpanKind::Scan);
+        span.note("attempt", 1);
+        trace.emit(2, Event::DeadlineExceeded { attempts: 1, budget_us: 500 });
+        span.end(SpanStatus::Expired);
+
+        let dumps = recorder.dumps();
+        assert_eq!(dumps.len(), 1);
+        let dump = &dumps[0];
+        assert_eq!(dump.cause, DumpCause::DeadlineExceeded);
+        assert_eq!(dump.events.len(), 3); // begin, note, trigger
+        assert!(matches!(dump.events.last().unwrap().event, Event::DeadlineExceeded { .. }));
+        let rendered = dump.render();
+        let first = rendered.lines().next().unwrap();
+        assert!(first.contains("\"kind\":\"flight_dump\""));
+        assert!(first.contains("\"cause\":\"deadline_exceeded\""));
+        // Every line keeps the jsonl schema: seq ordered, seq/pid/kind.
+        let seqs: Vec<u64> = rendered
+            .lines()
+            .map(|l| {
+                assert!(l.contains("\"seq\":") && l.contains("\"pid\":") && l.contains("\"kind\":"));
+                l.split("\"seq\":").nth(1).unwrap().split([',', '}']).next().unwrap().parse().unwrap()
+            })
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+    }
+
+    #[test]
+    fn flight_recorder_bounds_its_dumps() {
+        let recorder = Arc::new(FlightRecorder::with_max_dumps(4, 2));
+        let trace = Trace::new(recorder.clone());
+        for _ in 0..5 {
+            trace.emit(0, Event::BreakerTrip { shard: 1, trips: 1 });
+        }
+        assert_eq!(recorder.dumps().len(), 2);
+        assert_eq!(recorder.suppressed(), 3);
+        let taken = recorder.take_dumps();
+        assert_eq!(taken.len(), 2);
+        assert!(recorder.dumps().is_empty());
+        assert!(recorder.trigger(DumpCause::Manual));
+        assert_eq!(recorder.dumps()[0].cause, DumpCause::Manual);
+    }
+
+    #[test]
+    fn ring_sink_mirrors_drops_into_the_registry_gauge() {
+        let registry = Registry::new();
+        let sink = Arc::new(RingSink::new(1, 2).with_registry(&registry));
+        let trace = Trace::new(sink.clone());
+        for _ in 0..5 {
+            trace.emit(0, Event::RegisterRead);
+        }
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(registry.gauge("obs.ring.dropped").get(), 3);
+    }
+
+    #[test]
+    fn latency_summary_distills_histogram_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().summary(), LatencySummary::default());
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket 3: [8, 16)
+        }
+        h.record(Duration::from_millis(100)); // bucket 16
+        let s = h.snapshot().summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 16);
+        assert_eq!(s.p95_us, 16);
+        assert_eq!(s.p99_us, 16);
     }
 
     #[test]

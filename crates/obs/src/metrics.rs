@@ -161,6 +161,45 @@ impl HistogramSnapshot {
     }
 }
 
+/// Per-op-class latency quantiles distilled from a log₂ histogram.
+///
+/// The quantiles are bucket upper bounds (exclusive, in microseconds) —
+/// the resolution the histograms have always had — so a summary is a
+/// compact, comparable view, not a new measurement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Upper bound on the median, in microseconds (0 when empty).
+    pub p50_us: u64,
+    /// Upper bound on the 95th percentile, in microseconds (0 when empty).
+    pub p95_us: u64,
+    /// Upper bound on the 99th percentile, in microseconds (0 when empty).
+    pub p99_us: u64,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50<={}us p95<={}us p99<={}us",
+            self.count, self.p50_us, self.p95_us, self.p99_us
+        )
+    }
+}
+
+impl HistogramSnapshot {
+    /// Distills this snapshot into a [`LatencySummary`].
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            p50_us: self.quantile_upper_bound(0.50).unwrap_or(0),
+            p95_us: self.quantile_upper_bound(0.95).unwrap_or(0),
+            p99_us: self.quantile_upper_bound(0.99).unwrap_or(0),
+        }
+    }
+}
+
 impl fmt::Debug for HistogramSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HistogramSnapshot")

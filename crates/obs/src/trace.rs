@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, TraceEvent};
+use crate::metrics::{Gauge, Registry};
 
 /// A shared logical clock handing out globally unique, monotonically
 /// increasing sequence numbers.
@@ -90,6 +91,12 @@ impl Trace {
         self.sink.is_some()
     }
 
+    /// The attached sink, if any (the span constructor needs to emit an
+    /// event at a pre-assigned sequence number).
+    pub(crate) fn sink(&self) -> Option<&Arc<dyn Sink>> {
+        self.sink.as_ref()
+    }
+
     /// Emits `event` on behalf of process `pid`.
     ///
     /// Disabled traces return immediately without ticking the clock.
@@ -121,6 +128,7 @@ pub struct RingSink {
     rings: Vec<Mutex<VecDeque<TraceEvent>>>,
     capacity: usize,
     dropped: AtomicU64,
+    dropped_gauge: Option<Gauge>,
 }
 
 impl RingSink {
@@ -135,16 +143,28 @@ impl RingSink {
             rings: (0..n).map(|_| Mutex::new(VecDeque::with_capacity(capacity))).collect(),
             capacity,
             dropped: AtomicU64::new(0),
+            dropped_gauge: None,
         }
     }
 
+    /// Mirrors the eviction count into the `obs.ring.dropped` gauge on
+    /// `registry`, so silent trace loss shows up in metric snapshots next
+    /// to the component metrics instead of only on this sink.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.dropped_gauge = Some(registry.gauge("obs.ring.dropped"));
+        self
+    }
+
     /// Events evicted because a ring was full.
+    #[must_use = "a nonzero drop count means the trace is incomplete"]
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Drains every ring and returns all buffered events merged into one
     /// sequence ordered by `seq`.
+    #[must_use = "draining discards the buffered events if the result is unused"]
     pub fn drain(&self) -> Vec<TraceEvent> {
         let mut all: Vec<TraceEvent> = Vec::new();
         for ring in &self.rings {
@@ -163,6 +183,9 @@ impl Sink for RingSink {
         if ring.len() == self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(gauge) = &self.dropped_gauge {
+                gauge.add(1);
+            }
         }
         ring.push_back(event);
     }

@@ -63,6 +63,10 @@ struct CoalState<T> {
     published: u64,
     /// The newest published view.
     view: Option<T>,
+    /// Span id of the collect that produced `view` (0 = untraced): handed
+    /// to joiners so their park spans can record a causal `follows` edge
+    /// to the lead's collect.
+    view_span: u64,
     /// Generation of the newest failed collect (0 = none yet).
     failed: u64,
     /// The error the newest failed collect died with.
@@ -104,6 +108,9 @@ pub(crate) enum Entry<'a, T> {
         generation: u64,
         /// The accepted view.
         view: T,
+        /// Span id of the lead's collect span (0 when the lead was
+        /// untraced): the joiner's causal link to the work it borrowed.
+        lead_span: u64,
     },
     /// The collect elected to serve this request failed: the leader's
     /// error, fanned out to the cohort. The caller decides whether to
@@ -154,6 +161,7 @@ impl<T: Clone> Coalescer<T> {
                 leading: false,
                 published: 0,
                 view: None,
+                view_span: 0,
                 failed: 0,
                 error: None,
                 abdications: 0,
@@ -180,7 +188,7 @@ impl<T: Clone> Coalescer<T> {
             if s.published > my_gen {
                 let generation = s.published;
                 let view = s.view.clone().expect("published generation without a view");
-                return Entry::Joined { generation, view };
+                return Entry::Joined { generation, view, lead_span: s.view_span };
             }
             if s.failed > my_gen {
                 let generation = s.failed;
@@ -234,12 +242,15 @@ impl<T> LeadToken<'_, T> {
     }
 
     /// Publishes the completed collect's view and wakes the cohort.
-    pub(crate) fn publish(mut self, view: T) {
+    /// `span` is the id of the collect span that produced the view (0
+    /// when untraced); joiners record it as a causal `follows` edge.
+    pub(crate) fn publish(mut self, view: T, span: u64) {
         let mut s = lock(&self.coalescer.state);
         debug_assert_eq!(s.started, self.generation, "interleaved leaders");
         s.leading = false;
         s.published = self.generation;
         s.view = Some(view);
+        s.view_span = span;
         self.done = true;
         drop(s);
         self.coalescer.cv.notify_all();
@@ -312,7 +323,7 @@ mod tests {
         // the generation rule forces a fresh collect.
         let c: Coalescer<u32> = Coalescer::new();
         let Entry::Lead(t) = c.enter(Deadline::none()) else { panic!("expected lead") };
-        t.publish(7);
+        t.publish(7, 0);
         match c.enter(Deadline::none()) {
             Entry::Lead(t) => assert_eq!(t.generation(), 2),
             _ => panic!("stale view accepted"),
@@ -328,7 +339,7 @@ mod tests {
                 // Parked during collect 1 → elected for collect 2.
                 Entry::Lead(t2) => {
                     assert_eq!(t2.generation(), 2);
-                    t2.publish(8);
+                    t2.publish(8, 0);
                     8
                 }
                 _ => panic!("must not accept generation 1"),
@@ -336,7 +347,7 @@ mod tests {
             while c.waiters() == 0 {
                 std::thread::yield_now();
             }
-            t1.publish(7);
+            t1.publish(7, 0);
             assert_eq!(waiter.join().unwrap(), 8);
         });
         // A cohort parked during collect 2 would have accepted it; a fresh
@@ -352,10 +363,10 @@ mod tests {
             let followers: Vec<_> = (0..4)
                 .map(|_| {
                     s.spawn(|| match c.enter(Deadline::none()) {
-                        Entry::Joined { generation, view } => (generation, view, false),
+                        Entry::Joined { generation, view, .. } => (generation, view, false),
                         Entry::Lead(t) => {
                             let g = t.generation();
-                            t.publish(90 + g as u32);
+                            t.publish(90 + g as u32, 0);
                             (g, 90 + g as u32, true)
                         }
                         Entry::Failed { .. } => panic!("nothing failed"),
@@ -368,7 +379,7 @@ mod tests {
             }
             // All four parked during collect 1: exactly one leads collect
             // 2, the other three join it.
-            t1.publish(70);
+            t1.publish(70, 0);
             let results: Vec<_> = followers.into_iter().map(|f| f.join().unwrap()).collect();
             assert_eq!(results.iter().filter(|r| r.2).count(), 1, "one leader");
             for (generation, view, _) in results {
@@ -385,7 +396,7 @@ mod tests {
         std::thread::scope(|s| {
             let waiter = s.spawn(|| match c.enter(Deadline::none()) {
                 Entry::Lead(t) => {
-                    t.publish(5);
+                    t.publish(5, 0);
                     true
                 }
                 _ => false,
@@ -448,7 +459,7 @@ mod tests {
             let waiter = s.spawn(|| match c.enter(Deadline::none()) {
                 Entry::Lead(t) => {
                     assert_eq!(t.generation(), 2);
-                    t.publish(9);
+                    t.publish(9, 0);
                     true
                 }
                 _ => false,
@@ -494,7 +505,7 @@ mod tests {
             let (expired, waited) = waiter.join().unwrap();
             assert!(expired, "short-budget waiter must expire, not park");
             assert!(waited < Duration::from_secs(5), "must not wait for the leader");
-            t1.publish(7); // the leader finishing later is fine
+            t1.publish(7, 0); // the leader finishing later is fine
         });
         assert_eq!(c.waiters(), 0, "expired waiters un-count themselves");
     }
@@ -508,7 +519,7 @@ mod tests {
         // and must not leak into it.
         let Entry::Lead(t2) = c.enter(Deadline::none()) else { panic!("stale error leaked") };
         assert_eq!(t2.generation(), 2);
-        t2.publish(11);
+        t2.publish(11, 0);
         // And the post-heal view obeys the same generation rule as ever: a
         // request entering now must not accept collect 2.
         assert!(matches!(c.enter(Deadline::none()), Entry::Lead(_)));

@@ -314,7 +314,11 @@ impl Breaker {
     /// is evaluated on *every* recorded outcome: a success that lifts the
     /// window past the volume guard can still reveal a rate already over
     /// the threshold and trip the breaker.
-    pub fn on_success(&self, now_us: u64, cfg: &HealthConfig) {
+    ///
+    /// Returns `true` exactly when this outcome tripped the breaker open,
+    /// so the caller can surface the transition (trace event, flight
+    /// recorder) without polling [`state`](Self::state).
+    pub fn on_success(&self, now_us: u64, cfg: &HealthConfig) -> bool {
         self.consecutive.store(0, Ordering::Release);
         let mut w = self.lock();
         match self.mode.load(Ordering::Acquire) {
@@ -322,6 +326,7 @@ impl Breaker {
                 w.push(false, cfg.window);
                 if w.rate_tripped(cfg) {
                     self.trip(&mut w, now_us, cfg);
+                    return true;
                 }
             }
             HALF_OPEN => {
@@ -343,12 +348,17 @@ impl Breaker {
             // cooldown stands (the ramp, not a straggler, closes it).
             _ => {}
         }
+        false
     }
 
     /// A backend operation through this shard failed. Rate-over-threshold
     /// (with the volume guard) trips a closed breaker; terminal errors
     /// trip immediately; any half-open failure re-opens a fresh cooldown.
-    pub fn on_failure(&self, retryable: bool, now_us: u64, cfg: &HealthConfig) {
+    ///
+    /// Returns `true` exactly when this outcome tripped the breaker open
+    /// (closed→open or half-open→open), so the caller can surface the
+    /// transition (trace event, flight recorder) at the moment it happens.
+    pub fn on_failure(&self, retryable: bool, now_us: u64, cfg: &HealthConfig) -> bool {
         // Saturating, not wrapping: a counter that wraps to zero after
         // u32::MAX failures would report a long-dead shard as healthy.
         let _ = self
@@ -357,19 +367,24 @@ impl Breaker {
         let mut w = self.lock();
         if !retryable {
             self.trip(&mut w, now_us, cfg);
-            return;
+            return true;
         }
         match self.mode.load(Ordering::Acquire) {
             CLOSED => {
                 w.push(true, cfg.window);
                 if w.rate_tripped(cfg) {
                     self.trip(&mut w, now_us, cfg);
+                    return true;
                 }
             }
-            HALF_OPEN => self.trip(&mut w, now_us, cfg),
+            HALF_OPEN => {
+                self.trip(&mut w, now_us, cfg);
+                return true;
+            }
             // Already open: a straggler from before the trip.
             _ => {}
         }
+        false
     }
 
     fn trip(&self, w: &mut Window, now_us: u64, cfg: &HealthConfig) {

@@ -91,6 +91,26 @@
 //! closed → open → half-open → closed sequence with a [`ManualClock`]
 //! and zero sleeps.
 //!
+//! ## Causal span tracing
+//!
+//! With a trace attached ([`SnapshotService::with_trace`]) every client
+//! operation opens a request-scoped **span tree** on the shared trace
+//! plane (DESIGN.md §12): a root span per op (`scan` / `partial_scan` /
+//! `update` / `probe`, closed with the op's typed outcome), an
+//! `attempt` span per retry rung, `coalesce_park` for the rendezvous
+//! wait, `collect` for the lead's double collect, `backoff` for retry
+//! sleeps — and, on an ABD backing, `quorum_query`/`quorum_store`
+//! phases nested under the collect via `snapshot_core::RequestCtx`. A
+//! coalesced joiner records a *follows* edge to the lead's collect span
+//! (a flow arrow in the chrome://tracing export), so "who actually ran
+//! my collect" is reconstructable after the fact;
+//! `snapshot_obs::SpanForest::attribute_stall` names the phase a slow
+//! request spent its time in. Wire a `snapshot_obs::FlightRecorder`
+//! into the same trace and every `DeadlineExceeded`, breaker trip, or
+//! `Overloaded` shed freezes a black-box dump of the events (spans
+//! included) leading up to it. Per-op-class latency quantiles come from
+//! [`SnapshotService::latency_summaries`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -134,4 +154,6 @@ pub use error::ServiceError;
 pub use health::{Breaker, BreakerState, Gate, HealthConfig};
 pub use load::{LoadReport, Priority, ShardLoadStat};
 pub use retry::RetryConfig;
-pub use service::{PartialView, ServiceClient, ServiceConfig, ServiceStats, SnapshotService};
+pub use service::{
+    PartialView, ServiceClient, ServiceConfig, ServiceLatency, ServiceStats, SnapshotService,
+};

@@ -4,8 +4,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use snapshot_core::{CoreError, Deadline, ScanStats, SnapshotView, TrySnapshotCore};
-use snapshot_obs::{Counter, Event, Gauge, Histogram, Registry, Trace};
+use snapshot_core::{CoreError, Deadline, RequestCtx, ScanStats, SnapshotView, TrySnapshotCore};
+use snapshot_obs::{
+    Counter, Event, Gauge, Histogram, LatencySummary, Registry, SpanId, SpanKind, SpanStatus, Trace,
+};
 use snapshot_registers::{CachePadded, ProcessId, RegisterValue};
 
 use crate::clock::{Clock, MonotonicClock};
@@ -148,6 +150,7 @@ struct Metrics {
     retries: Counter,
     retry_exhausted: Counter,
     degraded: Counter,
+    breaker_trips: Counter,
     cohort_errors: Counter,
     deadline_exceeded: Counter,
     load_shed: Counter,
@@ -182,6 +185,7 @@ impl Metrics {
             retries: registry.counter("service.fault.retries"),
             retry_exhausted: registry.counter("service.fault.retry_exhausted"),
             degraded: registry.counter("service.fault.degraded_shed"),
+            breaker_trips: registry.counter("service.fault.breaker_trips"),
             cohort_errors: registry.counter("service.fault.cohort_errors"),
             deadline_exceeded: registry.counter("service.fault.deadline_exceeded"),
             load_shed: registry.counter("service.load.shed"),
@@ -226,6 +230,29 @@ enum AttemptError {
 impl From<CoreError> for AttemptError {
     fn from(e: CoreError) -> Self {
         AttemptError::Backend(e)
+    }
+}
+
+/// Per-op-class latency quantiles, distilled from the service's log₂-µs
+/// histograms by [`SnapshotService::latency_summaries`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceLatency {
+    /// Full-scan latency quantiles.
+    pub scan: LatencySummary,
+    /// Partial-scan latency quantiles.
+    pub partial: LatencySummary,
+    /// Update latency quantiles.
+    pub update: LatencySummary,
+}
+
+/// Maps a service outcome onto the span status taxonomy, for closing a
+/// request's root span.
+fn status_of<T>(out: &Result<T, ServiceError>) -> SpanStatus {
+    match out {
+        Ok(_) => SpanStatus::Ok,
+        Err(ServiceError::DeadlineExceeded { .. }) => SpanStatus::Expired,
+        Err(ServiceError::Overloaded { .. } | ServiceError::Degraded { .. }) => SpanStatus::Shed,
+        Err(_) => SpanStatus::Error,
     }
 }
 
@@ -412,6 +439,19 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         self.global.abdications() + self.shards.iter().map(|s| s.abdications()).sum::<u64>()
     }
 
+    /// Distills the per-op-class latency histograms into p50/p95/p99
+    /// summaries (log₂-µs bucket upper bounds; all zero until a registry
+    /// is attached via [`with_registry`](Self::with_registry), since the
+    /// free-standing histograms record but a summary of an unobserved
+    /// class is empty anyway).
+    pub fn latency_summaries(&self) -> ServiceLatency {
+        ServiceLatency {
+            scan: self.metrics.scan_latency.snapshot().summary(),
+            partial: self.metrics.partial_latency.snapshot().summary(),
+            update: self.metrics.update_latency.snapshot().summary(),
+        }
+    }
+
     /// Shards whose health gate is currently open (shedding requests).
     pub fn degraded_shards(&self) -> Vec<usize> {
         let now = self.now_us();
@@ -541,7 +581,9 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         let cfg = &self.cfg.health;
         let now = self.now_us();
         let one = |s: usize| {
-            self.health[s].on_success(now, cfg);
+            if self.health[s].on_success(now, cfg) {
+                self.note_breaker_trip(s);
+            }
             self.load[s].record_hit(latency);
         };
         match shards {
@@ -555,7 +597,9 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         let now = self.now_us();
         let cfg = &self.cfg.health;
         let one = |s: usize| {
-            self.health[s].on_failure(retryable, now, cfg);
+            if self.health[s].on_failure(retryable, now, cfg) {
+                self.note_breaker_trip(s);
+            }
             self.load[s].record_error();
         };
         match shards {
@@ -563,6 +607,14 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
             Shards::One(s) => one(s),
             Shards::Set(set) => set.iter().copied().for_each(one),
         }
+    }
+
+    /// A shard's breaker just tripped open: bump the counter and emit the
+    /// trace event (which also wakes any attached flight recorder).
+    fn note_breaker_trip(&self, shard: usize) {
+        self.metrics.breaker_trips.inc();
+        self.trace
+            .emit(0, Event::BreakerTrip { shard, trips: self.health[shard].trips() });
     }
 
     /// Accounting shared by every backend error this request observed
@@ -582,16 +634,18 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
     }
 
     /// One core scan with health/metrics accounting, its wait capped by
-    /// the request's deadline.
+    /// the request's deadline. `ctx` carries the collect span the scan
+    /// runs under, so a fallible core can parent its quorum phases.
     fn core_scan_recorded(
         &self,
         lane: ProcessId,
         attempt: u32,
         shards: Shards<'_>,
         deadline: Deadline,
+        ctx: RequestCtx,
     ) -> Result<(SnapshotView<V>, ScanStats), CoreError> {
         let started = Instant::now();
-        match self.core.try_scan_by(lane, deadline) {
+        match self.core.try_scan_ctx(lane, deadline, ctx) {
             Ok(out) => {
                 self.record_ok(shards, started.elapsed());
                 Ok(out)
@@ -625,12 +679,20 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
     /// an attempt starts, when an attempt reports its own expiry (a
     /// coalescing wait timed out), and before a backoff that would sleep
     /// past it — each mapping to [`ServiceError::DeadlineExceeded`].
+    ///
+    /// Each attempt runs inside its own [`SpanKind::Attempt`] span (the
+    /// id is handed to `attempt_fn` so the attempt's collect/park spans
+    /// nest under it), and each backoff sleep inside a
+    /// [`SpanKind::Backoff`] span — both children of `parent`, so a
+    /// stalled request's flight recording names the phase that ate the
+    /// budget.
     fn run_with_retry<T>(
         &self,
         lane: ProcessId,
         deadline: Deadline,
         budget: Duration,
-        mut attempt_fn: impl FnMut(u32) -> Result<T, AttemptError>,
+        parent: SpanId,
+        mut attempt_fn: impl FnMut(u32, SpanId) -> Result<T, AttemptError>,
     ) -> Result<T, ServiceError> {
         let retry = self.cfg.retry;
         let mut backoff = retry.initial_backoff;
@@ -640,12 +702,21 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 return Err(self.deadline_exceeded(lane, attempts, budget));
             }
             attempts += 1;
-            let error = match attempt_fn(attempts) {
-                Ok(v) => return Ok(v),
+            let span = self.trace.span(lane.get(), SpanKind::Attempt, parent);
+            span.note("attempt", u64::from(attempts));
+            let error = match attempt_fn(attempts, span.id()) {
+                Ok(v) => {
+                    span.end(SpanStatus::Ok);
+                    return Ok(v);
+                }
                 Err(AttemptError::Expired) => {
+                    span.end(SpanStatus::Expired);
                     return Err(self.deadline_exceeded(lane, attempts, budget));
                 }
-                Err(AttemptError::Backend(e)) => e,
+                Err(AttemptError::Backend(e)) => {
+                    span.end(SpanStatus::Error);
+                    e
+                }
             };
             if !error.retryable() || attempts >= retry.max_attempts.max(1) {
                 self.metrics.retry_exhausted.inc();
@@ -658,7 +729,10 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 return Err(self.deadline_exceeded(lane, attempts, budget));
             }
             self.metrics.retries.inc();
+            let pause = self.trace.span(lane.get(), SpanKind::Backoff, parent);
+            pause.note("backoff_us", backoff.as_micros().min(u128::from(u64::MAX)) as u64);
             std::thread::sleep(backoff);
+            pause.end(SpanStatus::Ok);
             backoff = retry.next_backoff(backoff);
         }
     }
@@ -671,28 +745,49 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         lane: ProcessId,
         deadline: Deadline,
         budget: Duration,
+        parent: SpanId,
     ) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
-        self.run_with_retry(lane, deadline, budget, |attempt| {
-            self.scan_attempt(lane, attempt, deadline)
+        self.run_with_retry(lane, deadline, budget, parent, |attempt, span| {
+            self.scan_attempt(lane, attempt, deadline, span)
         })
     }
 
     /// One attempt of a full scan: join, fail over, or lead-and-collect.
+    /// `parent` is the attempt span: the rendezvous park and the lead's
+    /// collect open as its children, and a joiner's park records a
+    /// `follows` edge to the lead's collect span.
     fn scan_attempt(
         &self,
         lane: ProcessId,
         attempt: u32,
         deadline: Deadline,
+        parent: SpanId,
     ) -> Result<(SnapshotView<V>, ServiceStats), AttemptError> {
         let retries = attempt - 1;
         if !self.cfg.coalesce {
-            let (view, stats) = self.core_scan_recorded(lane, attempt, Shards::All, deadline)?;
-            self.metrics.solo.inc();
-            return Ok((view, ServiceStats { retries, underlying: stats, ..ServiceStats::default() }));
+            let collect = self.trace.span(lane.get(), SpanKind::Collect, parent);
+            let ctx = RequestCtx::under(collect.id());
+            return match self.core_scan_recorded(lane, attempt, Shards::All, deadline, ctx) {
+                Ok((view, stats)) => {
+                    collect.end(SpanStatus::Ok);
+                    self.metrics.solo.inc();
+                    Ok((view, ServiceStats { retries, underlying: stats, ..ServiceStats::default() }))
+                }
+                Err(e) => {
+                    collect.end(SpanStatus::Error);
+                    Err(e.into())
+                }
+            };
         }
+        let park = self.trace.span(lane.get(), SpanKind::CoalescePark, parent);
         match self.global.enter(deadline) {
-            Entry::Expired => Err(AttemptError::Expired),
-            Entry::Joined { generation, view } => {
+            Entry::Expired => {
+                park.end(SpanStatus::Expired);
+                Err(AttemptError::Expired)
+            }
+            Entry::Joined { generation, view, lead_span } => {
+                park.follows_from(SpanId::from_raw(lead_span));
+                park.end(SpanStatus::Ok);
                 self.metrics.coalesced.inc();
                 self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
                 Ok((
@@ -705,15 +800,22 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 // reaches us through the rendezvous. It already did the
                 // health/backend accounting — we only consume our own
                 // retry budget on it.
+                park.end(SpanStatus::Error);
                 self.metrics.cohort_errors.inc();
                 Err(error.into())
             }
             Entry::Lead(token) => {
+                park.end(SpanStatus::Ok);
                 let generation = token.generation();
                 self.trace.emit(lane.get(), Event::CoalesceLead { generation });
-                match self.core_scan_recorded(lane, attempt, Shards::All, deadline) {
+                let collect = self.trace.span(lane.get(), SpanKind::Collect, parent);
+                collect.note("generation", generation);
+                let ctx = RequestCtx::under(collect.id());
+                match self.core_scan_recorded(lane, attempt, Shards::All, deadline, ctx) {
                     Ok((view, stats)) => {
-                        token.publish(view.clone());
+                        let collect_span = collect.id().raw();
+                        collect.end(SpanStatus::Ok);
+                        token.publish(view.clone(), collect_span);
                         self.metrics.solo.inc();
                         Ok((
                             view,
@@ -728,6 +830,7 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                     Err(e) => {
                         // Cohort-safe abdication: fan the error out so no
                         // waiter parks forever behind this dead collect.
+                        collect.end(SpanStatus::Error);
                         self.metrics.abdicated.inc();
                         self.trace.emit(lane.get(), Event::CoalesceAbdicate { generation });
                         token.fail(e.clone());
@@ -750,11 +853,15 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         lane: ProcessId,
         subset: &[usize],
         deadline: Deadline,
+        ctx: RequestCtx,
     ) -> Result<Option<(Vec<V>, u32, ScanStats)>, CoreError> {
         let mut stats = ScanStats::default();
         let read_all = |stats: &mut ScanStats| -> Result<Option<Vec<(V, u64)>>, CoreError> {
             stats.reads += subset.len() as u64;
-            subset.iter().map(|&s| self.core.try_certified_read_by(lane, s, deadline)).collect()
+            subset
+                .iter()
+                .map(|&s| self.core.try_certified_read_ctx(lane, s, deadline, ctx))
+                .collect()
         };
         let Some(mut prev) = read_all(&mut stats)? else { return Ok(None) };
         for round in 1..=self.cfg.max_partial_rounds {
@@ -780,18 +887,19 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         shard: usize,
         attempt: u32,
         deadline: Deadline,
+        ctx: RequestCtx,
     ) -> Result<(Arc<[V]>, u32, bool, ScanStats), CoreError> {
         let range = self.map.range(shard);
         let segs: Vec<usize> = range.clone().collect();
         let started = Instant::now();
-        match self.certified_collect(lane, &segs, deadline) {
+        match self.certified_collect(lane, &segs, deadline, ctx) {
             Ok(Some((values, rounds, stats))) => {
                 self.record_ok(Shards::One(shard), started.elapsed());
                 Ok((values.into(), rounds, false, stats))
             }
             Ok(None) => {
                 let (view, stats) =
-                    self.core_scan_recorded(lane, attempt, Shards::One(shard), deadline)?;
+                    self.core_scan_recorded(lane, attempt, Shards::One(shard), deadline, ctx)?;
                 Ok((view[range].iter().cloned().collect(), 0, true, stats))
             }
             Err(e) => {
@@ -813,21 +921,24 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         covered: &[usize],
         deadline: Deadline,
         budget: Duration,
+        parent: SpanId,
     ) -> Result<(PartialView<V>, ServiceStats), ServiceError> {
         let segments = self.core.segments();
         if subset.len() == segments {
             // Full coverage: this *is* a full scan, serve it as one (the
             // full-scan path owns its retry budget).
-            let (view, stats) = self.full_scan(lane, deadline, budget)?;
+            let (view, stats) = self.full_scan(lane, deadline, budget, parent)?;
             let values: Arc<[V]> = view.iter().cloned().collect();
             return Ok((PartialView::new(subset, values), stats));
         }
-        self.run_with_retry(lane, deadline, budget, |attempt| {
-            self.partial_attempt(lane, subset, covered, attempt, deadline)
+        self.run_with_retry(lane, deadline, budget, parent, |attempt, span| {
+            self.partial_attempt(lane, subset, covered, attempt, deadline, span)
         })
     }
 
-    /// One attempt of a non-full-coverage partial scan.
+    /// One attempt of a non-full-coverage partial scan. `parent` is the
+    /// attempt span (see [`scan_attempt`](Self::scan_attempt) for the
+    /// park/collect span discipline, identical here).
     fn partial_attempt(
         &self,
         lane: ProcessId,
@@ -835,6 +946,7 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         covered: &[usize],
         attempt: u32,
         deadline: Deadline,
+        parent: SpanId,
     ) -> Result<(PartialView<V>, ServiceStats), AttemptError> {
         let retries = attempt - 1;
         if self.cfg.coalesce {
@@ -843,9 +955,15 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 let project = |range_values: &[V]| -> Arc<[V]> {
                     subset.iter().map(|&s| range_values[s - start].clone()).collect()
                 };
+                let park = self.trace.span(lane.get(), SpanKind::CoalescePark, parent);
                 return match self.shards[shard].enter(deadline) {
-                    Entry::Expired => Err(AttemptError::Expired),
-                    Entry::Joined { generation, view } => {
+                    Entry::Expired => {
+                        park.end(SpanStatus::Expired);
+                        Err(AttemptError::Expired)
+                    }
+                    Entry::Joined { generation, view, lead_span } => {
+                        park.follows_from(SpanId::from_raw(lead_span));
+                        park.end(SpanStatus::Ok);
                         self.metrics.coalesced.inc();
                         self.trace.emit(lane.get(), Event::CoalesceJoin { generation });
                         let stats = ServiceStats {
@@ -857,15 +975,23 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                         Ok((PartialView::new(subset, project(&view)), stats))
                     }
                     Entry::Failed { error, .. } => {
+                        park.end(SpanStatus::Error);
                         self.metrics.cohort_errors.inc();
                         Err(error.into())
                     }
                     Entry::Lead(token) => {
+                        park.end(SpanStatus::Ok);
                         let generation = token.generation();
                         self.trace.emit(lane.get(), Event::CoalesceLead { generation });
-                        match self.shard_collect(lane, shard, attempt, deadline) {
+                        let collect = self.trace.span(lane.get(), SpanKind::Collect, parent);
+                        collect.note("generation", generation);
+                        collect.note("shard", shard as u64);
+                        let ctx = RequestCtx::under(collect.id());
+                        match self.shard_collect(lane, shard, attempt, deadline, ctx) {
                             Ok((range_values, rounds, fallback, stats)) => {
-                                token.publish(range_values.clone());
+                                let collect_span = collect.id().raw();
+                                collect.end(SpanStatus::Ok);
+                                token.publish(range_values.clone(), collect_span);
                                 self.metrics.solo.inc();
                                 let stats = ServiceStats {
                                     generation,
@@ -878,6 +1004,7 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                                 Ok((PartialView::new(subset, project(&range_values)), stats))
                             }
                             Err(e) => {
+                                collect.end(SpanStatus::Error);
                                 self.metrics.abdicated.inc();
                                 self.trace.emit(lane.get(), Event::CoalesceAbdicate { generation });
                                 token.fail(e.clone());
@@ -889,8 +1016,11 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
             }
         }
         let started = Instant::now();
-        match self.certified_collect(lane, subset, deadline) {
+        let collect = self.trace.span(lane.get(), SpanKind::Collect, parent);
+        let ctx = RequestCtx::under(collect.id());
+        match self.certified_collect(lane, subset, deadline, ctx) {
             Ok(Some((values, rounds, stats))) => {
+                collect.end(SpanStatus::Ok);
                 self.record_ok(Shards::Set(covered), started.elapsed());
                 self.metrics.solo.inc();
                 let stats = ServiceStats {
@@ -906,19 +1036,27 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 // core: the outer loop owns the retry budget, and routing
                 // it through the global rendezvous would stack a second
                 // budget on top.
-                let (view, stats) =
-                    self.core_scan_recorded(lane, attempt, Shards::Set(covered), deadline)?;
-                self.metrics.solo.inc();
-                let values: Arc<[V]> = subset.iter().map(|&s| view[s].clone()).collect();
-                let stats = ServiceStats {
-                    fallback_full: true,
-                    retries,
-                    underlying: stats,
-                    ..ServiceStats::default()
-                };
-                Ok((PartialView::new(subset, values), stats))
+                match self.core_scan_recorded(lane, attempt, Shards::Set(covered), deadline, ctx) {
+                    Ok((view, stats)) => {
+                        collect.end(SpanStatus::Ok);
+                        self.metrics.solo.inc();
+                        let values: Arc<[V]> = subset.iter().map(|&s| view[s].clone()).collect();
+                        let stats = ServiceStats {
+                            fallback_full: true,
+                            retries,
+                            underlying: stats,
+                            ..ServiceStats::default()
+                        };
+                        Ok((PartialView::new(subset, values), stats))
+                    }
+                    Err(e) => {
+                        collect.end(SpanStatus::Error);
+                        Err(e.into())
+                    }
+                }
             }
             Err(e) => {
+                collect.end(SpanStatus::Error);
                 self.note_backend_error(lane, attempt, &e, Shards::Set(covered));
                 Err(e.into())
             }
@@ -1027,14 +1165,21 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
         budget: Duration,
     ) -> Result<(SnapshotView<V>, ServiceStats), ServiceError> {
         let svc = self.service;
-        if deadline.expired() {
-            return Err(svc.deadline_exceeded(self.lane, 0, budget));
-        }
-        let _slot = svc.admit()?;
-        let _claims = svc.gate(self.lane, 0..svc.map.shards(), Priority::Full)?;
-        let start = Instant::now();
-        let out = svc.full_scan(self.lane, deadline, budget);
-        svc.metrics.scan_latency.record(start.elapsed());
+        // The root span opens before admission and the deadline check, so
+        // sheds and instant expiries still appear in the request's tree.
+        let root = svc.trace.root_span(self.lane.get(), SpanKind::Scan);
+        let out = (|| {
+            if deadline.expired() {
+                return Err(svc.deadline_exceeded(self.lane, 0, budget));
+            }
+            let _slot = svc.admit()?;
+            let _claims = svc.gate(self.lane, 0..svc.map.shards(), Priority::Full)?;
+            let start = Instant::now();
+            let out = svc.full_scan(self.lane, deadline, budget, root.id());
+            svc.metrics.scan_latency.record(start.elapsed());
+            out
+        })();
+        root.end(status_of(&out));
         out
     }
 
@@ -1072,30 +1217,36 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
         budget: Duration,
     ) -> Result<(PartialView<V>, ServiceStats), ServiceError> {
         let svc = self.service;
-        let subset = svc.canonical_subset(segments)?;
-        let covered = svc.covered_shards(&subset);
-        if deadline.expired() {
-            return Err(svc.deadline_exceeded(self.lane, 0, budget));
-        }
-        let _slot = svc.admit()?;
-        let _claims = svc.gate(self.lane, covered.iter().copied(), Priority::Partial)?;
-        let start = Instant::now();
-        let out = svc.partial_scan(self.lane, &subset, &covered, deadline, budget);
-        svc.metrics.partial.inc();
-        svc.metrics.partial_latency.record(start.elapsed());
-        if let Ok((_, stats)) = &out {
-            if stats.fallback_full {
-                svc.metrics.fallback_full.inc();
+        let root = svc.trace.root_span(self.lane.get(), SpanKind::PartialScan);
+        let out = (|| {
+            let subset = svc.canonical_subset(segments)?;
+            let covered = svc.covered_shards(&subset);
+            if deadline.expired() {
+                return Err(svc.deadline_exceeded(self.lane, 0, budget));
             }
-            svc.trace.emit(
-                self.lane.get(),
-                Event::PartialCollect {
-                    segments: subset.len(),
-                    rounds: stats.certified_rounds,
-                    fallback: stats.fallback_full,
-                },
-            );
-        }
+            let _slot = svc.admit()?;
+            let _claims = svc.gate(self.lane, covered.iter().copied(), Priority::Partial)?;
+            let start = Instant::now();
+            let out =
+                svc.partial_scan(self.lane, &subset, &covered, deadline, budget, root.id());
+            svc.metrics.partial.inc();
+            svc.metrics.partial_latency.record(start.elapsed());
+            if let Ok((_, stats)) = &out {
+                if stats.fallback_full {
+                    svc.metrics.fallback_full.inc();
+                }
+                svc.trace.emit(
+                    self.lane.get(),
+                    Event::PartialCollect {
+                        segments: subset.len(),
+                        rounds: stats.certified_rounds,
+                        fallback: stats.fallback_full,
+                    },
+                );
+            }
+            out
+        })();
+        root.end(status_of(&out));
         out
     }
 
@@ -1146,31 +1297,37 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
         budget: Duration,
     ) -> Result<ScanStats, ServiceError> {
         let svc = self.service;
-        svc.check_segment(segment)?;
-        if svc.core.single_writer() && segment != self.lane.get() {
-            return Err(ServiceError::NotOwner { lane: self.lane.get(), segment });
-        }
-        if deadline.expired() {
-            return Err(svc.deadline_exceeded(self.lane, 0, budget));
-        }
-        let _slot = svc.admit()?;
-        let shard = svc.map.shard_of(segment);
-        let _claims = svc.gate(self.lane, [shard], Priority::Bulk)?;
-        let start = Instant::now();
-        let out = svc.run_with_retry(self.lane, deadline, budget, |attempt| {
-            let op_start = Instant::now();
-            match svc.core.try_update_by(self.lane, segment, value.clone(), deadline) {
-                Ok(stats) => {
-                    svc.record_ok(Shards::One(shard), op_start.elapsed());
-                    Ok(stats)
-                }
-                Err(e) => {
-                    svc.note_backend_error(self.lane, attempt, &e, Shards::One(shard));
-                    Err(e.into())
-                }
+        let root = svc.trace.root_span(self.lane.get(), SpanKind::Update);
+        let out = (|| {
+            svc.check_segment(segment)?;
+            if svc.core.single_writer() && segment != self.lane.get() {
+                return Err(ServiceError::NotOwner { lane: self.lane.get(), segment });
             }
-        });
-        svc.metrics.update_latency.record(start.elapsed());
+            if deadline.expired() {
+                return Err(svc.deadline_exceeded(self.lane, 0, budget));
+            }
+            let _slot = svc.admit()?;
+            let shard = svc.map.shard_of(segment);
+            let _claims = svc.gate(self.lane, [shard], Priority::Bulk)?;
+            let start = Instant::now();
+            let out = svc.run_with_retry(self.lane, deadline, budget, root.id(), |attempt, span| {
+                let op_start = Instant::now();
+                let ctx = RequestCtx::under(span);
+                match svc.core.try_update_ctx(self.lane, segment, value.clone(), deadline, ctx) {
+                    Ok(stats) => {
+                        svc.record_ok(Shards::One(shard), op_start.elapsed());
+                        Ok(stats)
+                    }
+                    Err(e) => {
+                        svc.note_backend_error(self.lane, attempt, &e, Shards::One(shard));
+                        Err(e.into())
+                    }
+                }
+            });
+            svc.metrics.update_latency.record(start.elapsed());
+            out
+        })();
+        root.end(status_of(&out));
         out
     }
 
@@ -1192,30 +1349,38 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
         );
         let budget = svc.cfg.retry.deadline;
         let deadline = Deadline::after(budget);
-        let _slot = svc.admit()?;
-        let _claims = svc.gate(self.lane, [shard], Priority::Probe)?;
-        let segment = svc.map.range(shard).start;
-        svc.run_with_retry(self.lane, deadline, budget, |attempt| {
-            let started = Instant::now();
-            let outcome = match svc.core.try_certified_read_by(self.lane, segment, deadline) {
-                Ok(Some(_)) => Ok(()),
-                // No certified reads: fall back to a full collect run
-                // directly on the core (still evidence the shard's
-                // backend answers).
-                Ok(None) => svc.core.try_scan_by(self.lane, deadline).map(|_| ()),
-                Err(e) => Err(e),
-            };
-            match outcome {
-                Ok(()) => {
-                    svc.record_ok(Shards::One(shard), started.elapsed());
-                    Ok(())
+        let root = svc.trace.root_span(self.lane.get(), SpanKind::Probe);
+        let out = (|| {
+            let _slot = svc.admit()?;
+            let _claims = svc.gate(self.lane, [shard], Priority::Probe)?;
+            let segment = svc.map.range(shard).start;
+            svc.run_with_retry(self.lane, deadline, budget, root.id(), |attempt, span| {
+                let started = Instant::now();
+                let ctx = RequestCtx::under(span);
+                let outcome = match svc.core.try_certified_read_ctx(
+                    self.lane, segment, deadline, ctx,
+                ) {
+                    Ok(Some(_)) => Ok(()),
+                    // No certified reads: fall back to a full collect run
+                    // directly on the core (still evidence the shard's
+                    // backend answers).
+                    Ok(None) => svc.core.try_scan_ctx(self.lane, deadline, ctx).map(|_| ()),
+                    Err(e) => Err(e),
+                };
+                match outcome {
+                    Ok(()) => {
+                        svc.record_ok(Shards::One(shard), started.elapsed());
+                        Ok(())
+                    }
+                    Err(e) => {
+                        svc.note_backend_error(self.lane, attempt, &e, Shards::One(shard));
+                        Err(e.into())
+                    }
                 }
-                Err(e) => {
-                    svc.note_backend_error(self.lane, attempt, &e, Shards::One(shard));
-                    Err(e.into())
-                }
-            }
-        })
+            })
+        })();
+        root.end(status_of(&out));
+        out
     }
 }
 

@@ -5,13 +5,22 @@
 //! retry budget → the per-shard health gate shedding with `Degraded` →
 //! heal → half-open probe → full recovery.
 //!
+//! The whole run is causally traced: a [`FlightRecorder`] rides the same
+//! trace as the ring buffer, so the breaker trip and the expired deadline
+//! each freeze a black-box dump of the spans leading up to them. Pass an
+//! output path as the first argument to write the breaker-trip dump as
+//! JSON-lines (plus a chrome://tracing span file next to it) for offline
+//! forensics.
+//!
 //! Run with: `cargo run --release --example fault_tolerant_service`
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use snapshot_abd::{AbdSnapshotCore, Network, NetworkConfig, RetryPolicy};
-use snapshot_obs::Registry;
+use snapshot_obs::{
+    chrome_tracing, DumpCause, FanoutSink, FlightRecorder, Registry, RingSink, Trace,
+};
 use snapshot_service::{
     HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService,
 };
@@ -21,6 +30,12 @@ fn main() {
     const REPLICAS: usize = 5;
 
     let registry = Registry::new();
+    // One trace plane for the whole stack: the ring keeps a rolling
+    // window for the final report, the flight recorder freezes a dump
+    // whenever a breaker trips or a deadline expires.
+    let ring = Arc::new(RingSink::new(LANES, 8_192));
+    let recorder = Arc::new(FlightRecorder::with_max_dumps(4_096, 16));
+    let trace = Trace::new(Arc::new(FanoutSink::new(vec![ring.clone(), recorder.clone()])));
     let network = Arc::new(Network::with_config(
         NetworkConfig::new(REPLICAS)
             .with_op_timeout(Duration::from_millis(50))
@@ -29,7 +44,8 @@ fn main() {
                 max_backoff: Duration::from_millis(4),
                 multiplier: 2,
                 jitter: 0.5,
-            }),
+            })
+            .with_trace(trace.clone()),
     ));
     println!(
         "replica network: {REPLICAS} replicas, quorum {}, tolerates {} crash(es)",
@@ -62,7 +78,8 @@ fn main() {
             ..ServiceConfig::default()
         },
     )
-    .with_registry(&registry);
+    .with_registry(&registry)
+    .with_trace(trace);
 
     // Healthy fleet: every operation succeeds, scans coalesce as usual.
     let mut client = service.client(0);
@@ -77,6 +94,18 @@ fn main() {
     network.crash(0);
     network.crash(1);
     network.crash(2);
+
+    // A budgeted partial scan against the dead majority does not burn
+    // the full retry ladder: the wall-clock budget caps the quorum wait,
+    // the request comes back as a typed `DeadlineExceeded`, and the
+    // flight recorder freezes a dump of the spans leading up to the
+    // expiry.
+    match client.scan_subset_within(&[1], Duration::from_millis(5)) {
+        Err(ServiceError::DeadlineExceeded { .. }) => {
+            println!("scan (5ms deadline budget)   : DeadlineExceeded under the blackout");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
 
     match client.scan() {
         Err(ServiceError::Backend { attempts, error }) => {
@@ -148,5 +177,41 @@ fn main() {
     assert!(registry.counter("service.fault.backend_errors").get() >= 1);
     assert_eq!(service.inflight(), 0);
     assert_eq!(service.coalescing_waiters(), 0);
+
+    // The anomalies above each froze a black-box dump: the expired
+    // deadline and the breaker trip both captured the span tree of the
+    // requests leading up to them.
+    let dumps = recorder.dumps();
+    println!(
+        "\nflight recorder: {} dump(s) captured, {} suppressed",
+        dumps.len(),
+        recorder.suppressed()
+    );
+    for dump in &dumps {
+        println!(
+            "  cause {:<18} trigger_seq {:<6} events {}",
+            dump.cause.name(),
+            dump.trigger_seq,
+            dump.events.len()
+        );
+    }
+    assert!(dumps.iter().any(|d| d.cause == DumpCause::DeadlineExceeded));
+    let trip = dumps
+        .iter()
+        .find(|d| d.cause == DumpCause::BreakerTrip)
+        .expect("the blackout tripped the breaker");
+    let rendered = trip.render();
+    println!("breaker-trip dump header     : {}", rendered.lines().next().unwrap());
+
+    // With an output path, write the dump (JSON-lines, same schema as an
+    // ordinary trace dump) and the ring's span trace (chrome://tracing).
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &rendered).expect("write the flight dump");
+        let events = ring.drain();
+        std::fs::write(format!("{path}.chrome.json"), chrome_tracing(&events))
+            .expect("write the chrome span trace");
+        println!("flight dump written to {path} (+ .chrome.json span trace)");
+    }
+
     println!("\nevery failure was a typed value; no request ever hung. done.");
 }

@@ -15,6 +15,10 @@
 //!   rejects a request mid-flight with a typed `Overloaded` error the
 //!   client handles by retrying.
 //!
+//! The run closes with the phase-1 service's per-op-class latency
+//! quantiles (p50/p95/p99 upper bounds from its log₂-µs histograms) and
+//! a peek at the causal trace the ring sink buffered.
+//!
 //! Run with:
 //!
 //! ```text
@@ -179,6 +183,14 @@ fn main() {
 
     println!("--- metrics ---");
     print!("{}", registry.render());
+
+    // The service keeps log₂-µs latency histograms per op class; the
+    // summaries give upper bounds on the quantiles.
+    let latency = service.latency_summaries();
+    println!("\n--- latency quantiles (phase 1 service) ---");
+    println!("scan    : {}", latency.scan);
+    println!("partial : {}", latency.partial);
+    println!("update  : {}", latency.update);
 
     let events = ring.drain();
     let leads = events

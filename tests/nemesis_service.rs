@@ -30,7 +30,9 @@ use snapshot_core::{
     CoreError, ScanStats, SnapshotCore, SnapshotView, TrySnapshotCore, UnboundedSnapshot,
 };
 use snapshot_lin::{check_history, Recorder};
-use snapshot_obs::Registry;
+use snapshot_obs::{
+    DumpCause, FanoutSink, FlightRecorder, Registry, RingSink, SpanForest, SpanStatus, Trace,
+};
 use snapshot_registers::ProcessId;
 use snapshot_service::{
     Breaker, HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService,
@@ -209,6 +211,108 @@ fn nemesis_storm_service_returns_views_or_typed_errors() {
         }
     }
     assert!(view.is_some(), "service must recover after the storm heals");
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder under nemesis: the dump names the phase that stalled
+// ---------------------------------------------------------------------------
+
+/// The observability acceptance scenario: a majority blackout makes a
+/// breaker trip *and* a deadline expire, and the flight recorder's dump
+/// must attribute the stalled request to a named phase — a quorum wait
+/// (`QuorumQuery`/`QuorumStore`/`Collect`), a coalesce park, or a retry
+/// backoff — from the span tree alone.
+#[test]
+fn blackout_flight_dump_attributes_the_stall_to_a_named_phase() {
+    let ring = Arc::new(RingSink::new(LANES, 8192));
+    let recorder = Arc::new(FlightRecorder::with_max_dumps(1024, 64));
+    let trace = Trace::new(Arc::new(FanoutSink::new(vec![ring.clone(), recorder.clone()])));
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(REPLICAS)
+            .with_op_timeout(Duration::from_millis(5))
+            .with_retry(fast_abd_retry())
+            .with_trace(trace.clone()),
+    ));
+    let service = SnapshotService::with_config(
+        AbdSnapshotCore::new(&network, LANES, 0u64),
+        ServiceConfig {
+            retry: RetryConfig {
+                max_attempts: 2,
+                initial_backoff: Duration::from_micros(200),
+                max_backoff: Duration::from_millis(2),
+                multiplier: 2,
+                deadline: Duration::from_secs(30),
+            },
+            health: ladder_health(Duration::from_millis(50)),
+            ..ServiceConfig::default()
+        },
+    )
+    .with_trace(trace);
+
+    // Majority blackout: every quorum phase stalls to its op timeout,
+    // then fails. Scans with an open-ended budget exhaust their retries
+    // (filling the breaker window); scans whose budget is *smaller than
+    // one op timeout* spend it all inside the first quorum wait and
+    // expire — deterministically, because the deadline caps the wait.
+    network.partition(&[0, 1, 2]);
+    let mut client = service.client(0);
+    let start = Instant::now();
+    let mut saw_expiry = false;
+    let mut saw_trip = false;
+    while start.elapsed() < Duration::from_secs(10) && !(saw_expiry && saw_trip) {
+        match client.scan_within(Duration::from_millis(3)) {
+            Err(ServiceError::DeadlineExceeded { .. }) => saw_expiry = true,
+            Err(ServiceError::Backend { .. } | ServiceError::Degraded { .. }) | Ok(_) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+        match client.scan() {
+            Err(ServiceError::Backend { .. } | ServiceError::Degraded { .. }) | Ok(_) => {}
+            Err(ServiceError::DeadlineExceeded { .. }) => saw_expiry = true,
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+        saw_trip = recorder.dumps().iter().any(|d| d.cause == DumpCause::BreakerTrip);
+    }
+    network.heal();
+    assert!(saw_expiry, "the blackout must expire a budgeted scan");
+    assert!(saw_trip, "the blackout must trip a breaker (and dump on it)");
+    assert!(!network.poisoned(), "a replica thread panicked");
+
+    let dumps = recorder.dumps();
+    assert!(dumps.iter().any(|d| d.cause == DumpCause::BreakerTrip));
+    let dump = dumps
+        .iter()
+        .find(|d| d.cause == DumpCause::DeadlineExceeded)
+        .expect("the expiry froze a flight dump");
+
+    // From the dump alone: the trigger is the `DeadlineExceeded` event,
+    // so the expired request is the triggering pid's newest root span in
+    // the ring (its end lands after the trigger, so it is still open in
+    // the dump). Ask the forest what that request spent its budget on —
+    // the answer must be a named stall phase, not a leaf of unknown kind.
+    let forest = SpanForest::build(&dump.events);
+    let root = forest
+        .nodes()
+        .iter()
+        .filter(|n| n.parent == 0 && n.pid == dump.trigger_pid && n.begin_seq < dump.trigger_seq)
+        .max_by_key(|n| n.begin_seq)
+        .expect("the expired request's root span is in the dump");
+    assert!(
+        root.end_seq.is_none() || root.status == Some(SpanStatus::Expired),
+        "the anomaly interrupted this root: {forest}"
+    );
+    let stall = forest
+        .attribute_stall(root.id)
+        .expect("the expired request has ended descendants to attribute");
+    assert!(
+        stall.is_stall_phase(),
+        "the stall must be attributed to a quorum wait, coalesce park, or \
+         retry backoff; got {:?} in:\n{forest}",
+        stall.kind
+    );
+
+    // The dump header names its cause, schema-compatibly.
+    let rendered = dump.render();
+    assert!(rendered.starts_with('{') && rendered.contains("\"cause\":\"deadline_exceeded\""));
 }
 
 // ---------------------------------------------------------------------------
