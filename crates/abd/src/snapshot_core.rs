@@ -139,6 +139,26 @@ impl<V: Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
         out
     }
 
+    /// One **subset** collect: read only the requested registers, inside
+    /// a [`SpanKind::QuorumQuery`] span noting how many it touched — the
+    /// flight recorder shows `k`, not `n`, which is the whole point.
+    fn collect_subset(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+        deadline: Deadline,
+        parent: SpanId,
+    ) -> Result<Vec<AbdRecord<V>>, CoreError> {
+        let span = self.network.trace().span(lane.get(), SpanKind::QuorumQuery, parent);
+        span.note("registers", segments.len() as u64);
+        let out: Result<Vec<AbdRecord<V>>, CoreError> = segments
+            .iter()
+            .map(|&j| self.regs[j].try_read_by(lane, deadline).map_err(core_error))
+            .collect();
+        span.end(if out.is_ok() { SpanStatus::Ok } else { SpanStatus::Error });
+        out
+    }
+
     /// `procedure scan_i` of Figure 2, fallibly. The caller holds the
     /// lane claim. `parent` is the request's collect span
     /// ([`SpanId::NONE`] for untraced callers).
@@ -324,6 +344,75 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
         span.end(if read.is_ok() { SpanStatus::Ok } else { SpanStatus::Error });
         Ok(Some(read.map(|r| (r.value, r.seq))?))
     }
+
+    fn try_scan_subset(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+    ) -> Result<Option<(Vec<V>, ScanStats)>, CoreError> {
+        self.try_scan_subset_by(lane, segments, Deadline::none())
+    }
+
+    fn try_scan_subset_by(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+        deadline: Deadline,
+    ) -> Result<Option<(Vec<V>, ScanStats)>, CoreError> {
+        self.try_scan_subset_ctx(lane, segments, deadline, RequestCtx::none())
+    }
+
+    /// Figure 2's scan over only the requested registers: each round is
+    /// two subset collects — `2k` quorum reads instead of `2n`, the
+    /// dominant cost in a message-passing emulation. Equal sequence
+    /// numbers across the passes certify the second pass (each register
+    /// provably took no write over a window containing the instant
+    /// between them); a lane observed moving twice completed an update
+    /// whose embedded full scan ran inside our interval, so its pass-b
+    /// record's view is borrowed and projected onto the subset. At most
+    /// `2k + 1` rounds, so this always returns `Ok(Some(..))` — or a
+    /// typed error when a quorum phase starves, exactly like the full
+    /// scan.
+    fn try_scan_subset_ctx(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+        deadline: Deadline,
+        ctx: RequestCtx,
+    ) -> Result<Option<(Vec<V>, ScanStats)>, CoreError> {
+        debug_assert!(!segments.is_empty(), "canonical subsets are non-empty");
+        debug_assert!(segments.windows(2).all(|w| w[0] < w[1]), "subset must be sorted");
+        debug_assert!(segments.iter().all(|&s| s < self.n), "segment out of range");
+        let _guard = self.claim(lane);
+        let k = segments.len();
+        let mut moved = vec![0u8; k];
+        let mut stats = ScanStats::default();
+        loop {
+            let a = self.collect_subset(lane, segments, deadline, ctx.span)?;
+            let b = self.collect_subset(lane, segments, deadline, ctx.span)?;
+            stats.double_collects += 1;
+            stats.reads += 2 * k as u64;
+            debug_assert!(
+                stats.double_collects as usize <= 2 * k + 1,
+                "subset wait-freedom bound violated: {} double collects for k = {k}",
+                stats.double_collects
+            );
+            if (0..k).all(|x| a[x].seq == b[x].seq) {
+                return Ok(Some((b.into_iter().map(|r| r.value).collect(), stats)));
+            }
+            for x in 0..k {
+                if a[x].seq != b[x].seq {
+                    if moved[x] == 1 {
+                        stats.borrowed = true;
+                        let view = &b[x].view;
+                        let values = segments.iter().map(|&j| view[j].clone()).collect();
+                        return Ok(Some((values, stats)));
+                    }
+                    moved[x] += 1;
+                }
+            }
+        }
+    }
 }
 
 impl<V> fmt::Debug for AbdSnapshotCore<V> {
@@ -453,6 +542,33 @@ mod tests {
         net.poison();
         let err = core.try_scan(p0).unwrap_err();
         assert!(!err.retryable(), "poisoned fleet must be terminal: {err}");
+    }
+
+    #[test]
+    fn subset_scans_touch_only_their_registers() {
+        let net = fast_net(3);
+        let core = AbdSnapshotCore::new(&net, 8, 0u32);
+        let p3 = ProcessId::new(3);
+        let _ = core.try_update(p3, 3, 33).unwrap();
+        let (values, stats) = core
+            .try_scan_subset(ProcessId::new(0), &[3, 6])
+            .unwrap()
+            .expect("the single-writer emulation always serves subsets");
+        assert_eq!(values, vec![33, 0]);
+        assert!(!stats.borrowed);
+        assert_eq!(stats.reads, 4, "2k quorum reads for k = 2, quiescent");
+    }
+
+    #[test]
+    fn subset_scan_errors_are_typed_and_release_the_lane() {
+        let net = fast_net(3);
+        let core = AbdSnapshotCore::new(&net, 4, 0u32);
+        let p0 = ProcessId::new(0);
+        net.partition(&[0, 1]);
+        let err = core.try_scan_subset(p0, &[1, 2]).unwrap_err();
+        assert!(err.retryable(), "quorum loss must be retryable: {err}");
+        net.heal();
+        assert!(core.try_scan_subset(p0, &[1, 2]).unwrap().is_some());
     }
 
     #[test]

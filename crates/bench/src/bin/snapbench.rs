@@ -2,8 +2,10 @@
 //!
 //! Runs a fixed matrix of workloads (`scan_heavy`, `update_heavy`,
 //! `mixed`, the multi-writer-only `contended_mw`, the
-//! service-routed `partial-scan-{s1,sq,sn}` family — subset sizes 1,
-//! n/4 and n through `snapshot_service::SnapshotService` —
+//! service-routed `partial-scan-{s1,sq,sn,zipf}` family — subset sizes
+//! 1, n/4 and n over rotating windows, plus a zipf-skewed two-segment
+//! mix that hammers the hot segments the way real partial traffic
+//! does — through `snapshot_service::SnapshotService` —
 //! `abd-scan`, the service over an `AbdSnapshotCore` on a healthy
 //! in-process replica network, and `degraded-shard`, the service over
 //! a backing whose full collects blip in bursts so the windowed
@@ -18,9 +20,9 @@
 //!
 //! ```text
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --out BENCH_6.json
+//!     --out BENCH_8.json
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --quick --compare BENCH_6.json --report-only
+//!     --quick --compare BENCH_8.json --report-only
 //! ```
 //!
 //! `--compare` exits with status 1 when any entry's median ns/op
@@ -72,6 +74,13 @@ enum Workload {
     /// Service-routed: subsets covering all n segments (the coalesced
     /// full-scan path in service clothing).
     PartialScanSn,
+    /// Service-routed: two-segment subsets whose segments are drawn from
+    /// a zipf(s = 1) distribution over segment ids — the skewed shape of
+    /// real partial traffic, where a few hot segments absorb most reads.
+    /// Native O(touched) subset scans keep the hot path off the full
+    /// collect; version-filter contention on the hot segments is the
+    /// interesting cost.
+    PartialScanZipf,
     /// Service over `AbdSnapshotCore` on a healthy in-process replica
     /// network: alternating update / full scan, every register access a
     /// pair of quorum phases. Runs only against `unbounded` (the
@@ -88,7 +97,7 @@ enum Workload {
 }
 
 impl Workload {
-    const ALL: [Workload; 9] = [
+    const ALL: [Workload; 10] = [
         Workload::ScanHeavy,
         Workload::UpdateHeavy,
         Workload::Mixed,
@@ -96,6 +105,7 @@ impl Workload {
         Workload::PartialScanS1,
         Workload::PartialScanSq,
         Workload::PartialScanSn,
+        Workload::PartialScanZipf,
         Workload::AbdScan,
         Workload::DegradedShard,
     ];
@@ -109,6 +119,7 @@ impl Workload {
             Workload::PartialScanS1 => "partial-scan-s1",
             Workload::PartialScanSq => "partial-scan-sq",
             Workload::PartialScanSn => "partial-scan-sn",
+            Workload::PartialScanZipf => "partial-scan-zipf",
             Workload::AbdScan => "abd-scan",
             Workload::DegradedShard => "degraded-shard",
         }
@@ -121,9 +132,10 @@ impl Workload {
             Workload::UpdateHeavy => k % 8 != 0,
             Workload::Mixed => k % 2 == 0,
             Workload::ContendedMw => k % 2 == 0,
-            Workload::PartialScanS1 | Workload::PartialScanSq | Workload::PartialScanSn => {
-                k % 2 == 0
-            }
+            Workload::PartialScanS1
+            | Workload::PartialScanSq
+            | Workload::PartialScanSn
+            | Workload::PartialScanZipf => k % 2 == 0,
             Workload::AbdScan | Workload::DegradedShard => k % 2 == 0,
         }
     }
@@ -145,6 +157,7 @@ impl Workload {
             Workload::PartialScanS1 => Some(1),
             Workload::PartialScanSq => Some((n / 4).max(1)),
             Workload::PartialScanSn => Some(n),
+            Workload::PartialScanZipf => Some(2.min(n)),
             _ => None,
         }
     }
@@ -320,10 +333,50 @@ fn time_mw<O: MwSnapshot<u64>>(object: &O, threads: usize, iters: u64, workload:
     elapsed
 }
 
+/// Deterministic xorshift64 generator — the bench runs offline with no
+/// `rand` dependency, and reproducible subsets matter more than quality.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Cumulative zipf(s = 1) distribution over `n` segment ranks: segment 0
+/// is the hottest, with weight 1/(r + 1) for rank r.
+fn zipf_cdf(n: usize) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..n).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
+}
+
+/// Draws one segment from the zipf CDF using 53 bits of `raw`.
+fn zipf_sample(cdf: &[f64], raw: u64) -> usize {
+    let u = (raw >> 11) as f64 / (1u64 << 53) as f64;
+    cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
+}
+
 /// Times one sample of a service-routed partial-scan workload: every
 /// thread claims a service client and alternates updates (its own lane's
-/// segment — legal on every backing) with `scan_subset` over a rotating
-/// window of `subset_len` segments, exercising certified collects, shard
+/// segment — legal on every backing) with `scan_subset` over either a
+/// rotating window of `subset_len` segments or (under
+/// [`Workload::PartialScanZipf`]) `subset_len` distinct zipf-skewed
+/// segments, exercising native subset scans, certified collects, shard
 /// coalescing, and the projected-full-scan fallback depending on the
 /// backing construction.
 fn time_service<C: TrySnapshotCore<u64>>(
@@ -331,31 +384,59 @@ fn time_service<C: TrySnapshotCore<u64>>(
     threads: usize,
     iters: u64,
     subset_len: usize,
+    workload: Workload,
 ) -> u128 {
     let service = SnapshotService::new(core);
     let n = service.segments();
+    let cdf = zipf_cdf(n);
     let barrier = Barrier::new(threads + 1);
     let mut elapsed = 0u128;
     std::thread::scope(|s| {
         for i in 0..threads {
             let barrier = &barrier;
             let service = &service;
+            let cdf = &cdf;
             s.spawn(move || {
                 let mut client = service.client(i);
+                let mut rng =
+                    XorShift::new(0x5EED ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
                 barrier.wait();
                 let mut acc = 0u64;
-                let mut subset = vec![0usize; subset_len];
+                let mut subset = Vec::with_capacity(subset_len);
                 for k in 0..iters {
                     if k % 2 == 0 {
                         client.update(i, ((i as u64) << 32) | k).expect("in budget");
                     } else {
-                        // Rotating window start, deterministic per
-                        // (thread, op); wrapping windows span shards.
-                        let start = (k.wrapping_add(i as u64).wrapping_mul(2_654_435_761)
-                            as usize)
-                            % n;
-                        for (j, slot) in subset.iter_mut().enumerate() {
-                            *slot = (start + j) % n;
+                        subset.clear();
+                        if workload == Workload::PartialScanZipf {
+                            // Skewed draws, deterministic per thread; cap
+                            // the rejection loop and fill from neighbours
+                            // so small n always reaches subset_len.
+                            for _ in 0..16 {
+                                if subset.len() == subset_len {
+                                    break;
+                                }
+                                let seg = zipf_sample(cdf, rng.next());
+                                if !subset.contains(&seg) {
+                                    subset.push(seg);
+                                }
+                            }
+                            while subset.len() < subset_len {
+                                let fill = (subset.last().copied().unwrap_or(0) + 1) % n;
+                                if subset.contains(&fill) {
+                                    break;
+                                }
+                                subset.push(fill);
+                            }
+                        } else {
+                            // Rotating window start, deterministic per
+                            // (thread, op); wrapping windows span shards.
+                            let start = (k.wrapping_add(i as u64).wrapping_mul(2_654_435_761)
+                                as usize)
+                                % n;
+                            for j in 0..subset_len {
+                                subset.push((start + j) % n);
+                            }
                         }
                         let view = client.scan_subset(&subset).expect("valid subset");
                         acc = acc.wrapping_add(view.values().iter().sum::<u64>());
@@ -548,21 +629,35 @@ fn run_config(config: &Config, tuning: &Tuning) -> BenchEntry {
         } else if config.workload == Workload::DegradedShard {
             time_degraded(threads, iters)
         } else if let Some(subset_len) = config.workload.subset_len(threads) {
+            let workload = config.workload;
             match config.construction {
-                Construction::Unbounded => {
-                    time_service(UnboundedSnapshot::new(threads, 0u64), threads, iters, subset_len)
-                }
-                Construction::Bounded => {
-                    time_service(BoundedSnapshot::new(threads, 0u64), threads, iters, subset_len)
-                }
-                Construction::Locked => {
-                    time_service(LockSnapshot::new(threads, 0u64), threads, iters, subset_len)
-                }
+                Construction::Unbounded => time_service(
+                    UnboundedSnapshot::new(threads, 0u64),
+                    threads,
+                    iters,
+                    subset_len,
+                    workload,
+                ),
+                Construction::Bounded => time_service(
+                    BoundedSnapshot::new(threads, 0u64),
+                    threads,
+                    iters,
+                    subset_len,
+                    workload,
+                ),
+                Construction::Locked => time_service(
+                    LockSnapshot::new(threads, 0u64),
+                    threads,
+                    iters,
+                    subset_len,
+                    workload,
+                ),
                 Construction::MultiWriter => time_service(
                     MultiWriterSnapshot::new(threads, threads, 0u64),
                     threads,
                     iters,
                     subset_len,
+                    workload,
                 ),
             }
         } else {
@@ -729,7 +824,7 @@ fn run_trend(args: TrendArgs) -> ExitCode {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_6.json".to_string(),
+        out: "BENCH_8.json".to_string(),
         compare: None,
         threshold_pct: 20.0,
         report_only: false,

@@ -192,11 +192,89 @@ impl<V: RegisterValue, B: Backend> crate::SnapshotCore<V> for BoundedSnapshot<V,
     /// Figure 3 deliberately keeps no per-write key — the `(p_i, toggle)`
     /// handshake pair recurs after two writes (the ABA the bounded proof
     /// works around with move counting), so it cannot serve as an ABA-free
-    /// certificate. Partial scans over this construction fall back to a
-    /// projected full scan.
+    /// certificate. Partial scans over this construction go through
+    /// [`core_scan_subset`](crate::SnapshotCore::core_scan_subset), which
+    /// runs the handshake protocol natively over the subset instead.
     fn certified_read(&self, _reader: ProcessId, segment: usize) -> Option<(V, u64)> {
         assert!(segment < self.n, "segment {segment} out of range");
         None
+    }
+
+    /// Figure 3's scan restricted to the requested registers. The
+    /// handshake and its lemma are per writer-pair `(i, j)`: scanner `i`
+    /// copies `q_{i,j} := p_{j,i}` for subset writers only, and the
+    /// `unmoved` predicate — `p_{j,i}` equal to `q_{i,j}` on both passes,
+    /// toggle stable across them — still proves that no write of `r_j`
+    /// linearized between the two collect reads (one intervening write
+    /// flips the toggle; two imply the second update read our fresh
+    /// handshake bit and published its inverse). Every slot's register is
+    /// then constant over a window containing the instant between the
+    /// passes, so the second pass is an instantaneous picture of the
+    /// subset. A subset writer blamed in two different rounds completed
+    /// two writes inside this scan's interval, so the later write's
+    /// update — embedded full scan included — ran inside it: one extra
+    /// read of that register yields a borrowable view, projected onto the
+    /// subset. At most `2k + 1` rounds over `k` registers — `O(k)` work,
+    /// and always `Some`.
+    fn core_scan_subset(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+    ) -> Option<(Vec<V>, ScanStats)> {
+        debug_assert!(!segments.is_empty(), "canonical subsets are non-empty");
+        debug_assert!(segments.windows(2).all(|w| w[0] < w[1]), "subset must be sorted");
+        debug_assert!(segments.iter().all(|&s| s < self.n), "segment out of range");
+        let _lane = self.registry.claim_guard(lane);
+        let i = lane.get();
+        let k = segments.len();
+        let mut moved = vec![0u8; k];
+        let mut stats = ScanStats::default();
+        let mut q_local = vec![false; k];
+        loop {
+            // Line 0.5 restricted to the subset; re-executed every retry
+            // so a single handshake flip is blamed at most once.
+            for (x, &j) in segments.iter().enumerate() {
+                q_local[x] = self.regs[j].read_with(lane, |r| r.p[i]);
+                self.q[i][j].write(lane, q_local[x]);
+                stats.reads += 1;
+                stats.writes += 1;
+            }
+            let a: Vec<(bool, bool)> = segments
+                .iter()
+                .map(|&j| self.regs[j].read_with(lane, |r| (r.p[i], r.toggle)))
+                .collect();
+            let b: Vec<(bool, bool, V)> = segments
+                .iter()
+                .map(|&j| {
+                    self.regs[j].read_with(lane, |r| (r.p[i], r.toggle, r.value.clone()))
+                })
+                .collect();
+            stats.double_collects += 1;
+            stats.reads += 2 * k as u64;
+            debug_assert!(
+                stats.double_collects as usize <= 2 * k + 1,
+                "subset wait-freedom bound violated: {} double collects for k = {k}",
+                stats.double_collects
+            );
+            let unmoved =
+                |x: usize| a[x].0 == q_local[x] && b[x].0 == q_local[x] && a[x].1 == b[x].1;
+            if (0..k).all(unmoved) {
+                return Some((b.into_iter().map(|(_, _, v)| v).collect(), stats));
+            }
+            for x in 0..k {
+                if !unmoved(x) {
+                    if moved[x] == 1 {
+                        stats.borrowed = true;
+                        stats.reads += 1;
+                        let view =
+                            self.regs[segments[x]].read_with(lane, |r| r.view.clone());
+                        let values = segments.iter().map(|&j| view[j].clone()).collect();
+                        return Some((values, stats));
+                    }
+                    moved[x] += 1;
+                }
+            }
+        }
     }
 }
 

@@ -220,6 +220,49 @@ pub trait TrySnapshotCore<V>: Send + Sync {
     ) -> Result<Option<(V, u64)>, CoreError> {
         self.try_certified_read_by(reader, segment, deadline)
     }
+
+    /// Runs one native partial scan of `segments` (non-empty, strictly
+    /// increasing, in range) on behalf of `lane` — the fallible twin of
+    /// [`SnapshotCore::core_scan_subset`].
+    ///
+    /// `Ok(None)` means no certified subset view is available (no native
+    /// path, or its bounded interference budget ran out) and the caller
+    /// should fall back; it is not an error. The default returns
+    /// `Ok(None)`, so manually-implemented fallible cores keep compiling
+    /// and simply stay on the fallback path until they override it.
+    fn try_scan_subset(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+    ) -> Result<Option<(Vec<V>, ScanStats)>, CoreError> {
+        let _ = (lane, segments);
+        Ok(None)
+    }
+
+    /// Like [`try_scan_subset`](Self::try_scan_subset), bounded by
+    /// `deadline` (same default-forwarding contract as
+    /// [`try_scan_by`](Self::try_scan_by)).
+    fn try_scan_subset_by(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+        _deadline: Deadline,
+    ) -> Result<Option<(Vec<V>, ScanStats)>, CoreError> {
+        self.try_scan_subset(lane, segments)
+    }
+
+    /// Like [`try_scan_subset_by`](Self::try_scan_subset_by), carrying
+    /// the caller's [`RequestCtx`] (same default-forwarding contract as
+    /// [`try_scan_ctx`](Self::try_scan_ctx)).
+    fn try_scan_subset_ctx(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+        deadline: Deadline,
+        _ctx: RequestCtx,
+    ) -> Result<Option<(Vec<V>, ScanStats)>, CoreError> {
+        self.try_scan_subset_by(lane, segments, deadline)
+    }
 }
 
 /// Implements [`TrySnapshotCore`] for a type by forwarding to its
@@ -303,6 +346,14 @@ macro_rules! impl_try_snapshot_core {
                 segment: usize,
             ) -> Result<Option<($v, u64)>, $crate::CoreError> {
                 Ok($crate::SnapshotCore::certified_read(self, reader, segment))
+            }
+
+            fn try_scan_subset(
+                &self,
+                lane: ::snapshot_registers::ProcessId,
+                segments: &[usize],
+            ) -> Result<Option<(Vec<$v>, $crate::ScanStats)>, $crate::CoreError> {
+                Ok($crate::SnapshotCore::core_scan_subset(self, lane, segments))
             }
         }
     };

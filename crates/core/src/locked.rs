@@ -100,12 +100,30 @@ impl<V: RegisterValue> crate::SnapshotCore<V> for LockSnapshot<V> {
         self.handle(lane).update_with_stats(value)
     }
 
-    /// The baseline keeps no per-segment versions, so partial scans fall
-    /// back to a projected full scan (which here is just one lock
-    /// acquisition anyway).
+    /// The baseline keeps no per-segment versions, so a single read has
+    /// no certificate to return; subset reads go through
+    /// [`core_scan_subset`](crate::SnapshotCore::core_scan_subset), which
+    /// projects under the lock.
     fn certified_read(&self, _reader: ProcessId, segment: usize) -> Option<(V, u64)> {
         assert!(segment < self.n, "segment {segment} out of range");
         None
+    }
+
+    /// A lock-scoped projection: the read lock makes the whole memory
+    /// instantaneous, so copying only the requested segments out of it is
+    /// trivially a partial snapshot — and clones `k` values instead of
+    /// `n`, which is the entire point for wide objects.
+    fn core_scan_subset(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+    ) -> Option<(Vec<V>, ScanStats)> {
+        debug_assert!(!segments.is_empty(), "canonical subsets are non-empty");
+        debug_assert!(segments.windows(2).all(|w| w[0] < w[1]), "subset must be sorted");
+        debug_assert!(segments.iter().all(|&s| s < self.n), "segment out of range");
+        let _lane = self.registry.claim_guard(lane);
+        let mem = self.mem.read();
+        Some((segments.iter().map(|&s| mem[s].clone()).collect(), ScanStats::default()))
     }
 }
 

@@ -2,8 +2,8 @@ use std::fmt;
 
 use snapshot_obs::{Algo, Event, RoundOutcome, Trace};
 use snapshot_registers::{
-    collect, Backend, CachePadded, EpochBackend, ProcessId, Register, RegisterValue,
-    TrackedCollect,
+    collect, subset_collect, Backend, CachePadded, EpochBackend, ProcessId, Register,
+    RegisterValue, SubsetOutcome, TrackedCollect,
 };
 
 use crate::api::HandleRegistry;
@@ -270,11 +270,57 @@ impl<V: RegisterValue, B: Backend, BM: Backend> crate::SnapshotCore<V>
     }
 
     /// Figure 4's value records carry `(id, toggle)` — `2n` distinct keys
-    /// that recur under ABA, not a per-write-unique certificate. Partial
-    /// scans over this construction fall back to a projected full scan.
+    /// that recur under ABA, not a per-write-unique certificate.
+    /// Per-segment certification therefore needs the *register backend's*
+    /// version filter (see [`core_scan_subset`]); a single logical read
+    /// has nothing ABA-free to return.
+    ///
+    /// [`core_scan_subset`]: crate::SnapshotCore::core_scan_subset
     fn certified_read(&self, _reader: ProcessId, segment: usize) -> Option<(V, u64)> {
         assert!(segment < self.m, "segment {segment} out of range");
         None
+    }
+
+    /// Version-filtered subset collect over the requested value words.
+    ///
+    /// Figure 4's update linearizes at its single `vals[word]` write (the
+    /// handshake/view writes around it are helping metadata, invisible to
+    /// readers of the word), so a window over which a word's register
+    /// provably took no write is a window over which the *segment* did
+    /// not change. [`subset_collect`] builds exactly that proof from
+    /// [`Register::version_hint`] probes: when a probe pass matches the
+    /// previous pass everywhere, the previous pass's records were all
+    /// current at the instant between the two passes — an instantaneous
+    /// picture of the subset at `O(k)` cost.
+    ///
+    /// Unlike the single-writer constructions there is no helping
+    /// discipline to finish against sustained subset writes (a view
+    /// borrow needs the full three-blame protocol over all words), so
+    /// this path is **bounded, not wait-free**: after a few contended
+    /// rounds it returns `None` and the caller falls back to the
+    /// projected full scan, whose termination Lemma 5.2 proves. Hintless
+    /// backends (mutex cells, gated simulation) also return `None`.
+    fn core_scan_subset(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+    ) -> Option<(Vec<V>, ScanStats)> {
+        debug_assert!(!segments.is_empty(), "canonical subsets are non-empty");
+        debug_assert!(segments.windows(2).all(|w| w[0] < w[1]), "subset must be sorted");
+        debug_assert!(segments.iter().all(|&s| s < self.m), "segment out of range");
+        // Interference budget: enough rounds to ride out a burst, small
+        // enough that the fallback's O(n·m) bound still dominates cost.
+        const MAX_ROUNDS: u32 = 4;
+        let _lane = self.registry.claim_guard(lane);
+        let slots: Vec<&BM::Cell<MwRecord<V>>> =
+            segments.iter().map(|&w| &*self.vals[w]).collect();
+        match subset_collect(lane, &slots, MAX_ROUNDS) {
+            SubsetOutcome::Clean { records, rounds, reads } => Some((
+                records.into_iter().map(|r| r.value).collect(),
+                ScanStats { double_collects: rounds, borrowed: false, reads, writes: 0 },
+            )),
+            SubsetOutcome::Unsupported | SubsetOutcome::Contended { .. } => None,
+        }
     }
 }
 

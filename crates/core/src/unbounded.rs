@@ -187,6 +187,64 @@ impl<V: RegisterValue, B: Backend> crate::SnapshotCore<V> for UnboundedSnapshot<
     fn certified_read(&self, reader: ProcessId, segment: usize) -> Option<(V, u64)> {
         Some(self.regs[segment].read_with(reader, |r| (r.value.clone(), r.seq)))
     }
+
+    /// Figure 2's scan run over only the requested registers. Equal `seq`
+    /// across two passes certifies the second pass: each slot's register
+    /// is provably unchanged over a window containing the instant between
+    /// the passes, so the subset is instantaneous there (Observation 1
+    /// projected). A subset writer observed moving twice completed an
+    /// entire update — embedded *full*-view scan included — inside this
+    /// scan's interval; the single-writer discipline totally orders its
+    /// updates, so one extra read of its register yields a record whose
+    /// embedded scan also began inside the interval, and that full view
+    /// is projected onto the subset (Observation 2). Pigeonhole: at most
+    /// `2k + 1` double collects over `k` registers — `O(k)` reads,
+    /// independent of `n`, and the helping rule means this never returns
+    /// `None`.
+    fn core_scan_subset(
+        &self,
+        lane: ProcessId,
+        segments: &[usize],
+    ) -> Option<(Vec<V>, ScanStats)> {
+        debug_assert!(!segments.is_empty(), "canonical subsets are non-empty");
+        debug_assert!(segments.windows(2).all(|w| w[0] < w[1]), "subset must be sorted");
+        debug_assert!(segments.iter().all(|&s| s < self.n), "segment out of range");
+        let _lane = self.registry.claim_guard(lane);
+        let k = segments.len();
+        let mut moved = vec![0u8; k];
+        let mut stats = ScanStats::default();
+        loop {
+            let a: Vec<u64> =
+                segments.iter().map(|&j| self.regs[j].read_with(lane, |r| r.seq)).collect();
+            let b: Vec<(u64, V)> = segments
+                .iter()
+                .map(|&j| self.regs[j].read_with(lane, |r| (r.seq, r.value.clone())))
+                .collect();
+            stats.double_collects += 1;
+            stats.reads += 2 * k as u64;
+            debug_assert!(
+                stats.double_collects as usize <= 2 * k + 1,
+                "subset wait-freedom bound violated: {} double collects for k = {k}",
+                stats.double_collects
+            );
+            if (0..k).all(|x| a[x] == b[x].0) {
+                return Some((b.into_iter().map(|(_, v)| v).collect(), stats));
+            }
+            for x in 0..k {
+                if a[x] != b[x].0 {
+                    if moved[x] == 1 {
+                        stats.borrowed = true;
+                        stats.reads += 1;
+                        let view =
+                            self.regs[segments[x]].read_with(lane, |r| r.view.clone());
+                        let values = segments.iter().map(|&j| view[j].clone()).collect();
+                        return Some((values, stats));
+                    }
+                    moved[x] += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Process-local state for [`UnboundedSnapshot`]: the saved sequence

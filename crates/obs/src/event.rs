@@ -90,6 +90,29 @@ impl RegOp {
     }
 }
 
+/// Why a partial scan abandoned its certified/native subset path and
+/// projected a full scan instead (payload of
+/// [`Event::PartialFallback`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FallbackReason {
+    /// The backing offers neither a native subset scan nor certified
+    /// reads — the projected full scan is the only correct answer.
+    Uncertified,
+    /// A subset path exists but interference exhausted its round budget
+    /// before two clean passes.
+    Contended,
+}
+
+impl FallbackReason {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackReason::Uncertified => "uncertified",
+            FallbackReason::Contended => "contended",
+        }
+    }
+}
+
 impl fmt::Display for RegOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
@@ -375,6 +398,16 @@ pub enum Event {
         /// Whether the partial scan fell back to projecting a full scan.
         fallback: bool,
     },
+    /// A partial scan fell back to projecting a full scan, with the
+    /// reason. Emitted alongside the summarizing
+    /// [`PartialCollect`](Event::PartialCollect) so dashboards can split
+    /// "backing cannot certify" from "subset too contended".
+    PartialFallback {
+        /// Number of segments the caller requested.
+        segments: usize,
+        /// Why the certified/native subset path yielded nothing.
+        reason: FallbackReason,
+    },
     /// A fallible backing core returned an error to the service layer
     /// (e.g. an ABD quorum phase starved without a majority).
     BackendError {
@@ -514,6 +547,7 @@ impl Event {
             Event::CoalesceJoin { .. } => "coalesce_join",
             Event::ServiceOverload { .. } => "service_overload",
             Event::PartialCollect { .. } => "partial_collect",
+            Event::PartialFallback { .. } => "partial_fallback",
             Event::BackendError { .. } => "backend_error",
             Event::CoalesceAbdicate { .. } => "coalesce_abdicate",
             Event::RetryExhausted { .. } => "retry_exhausted",
@@ -581,6 +615,9 @@ impl fmt::Display for Event {
             }
             Event::PartialCollect { segments, rounds, fallback } => {
                 write!(f, "partial_collect(segments={segments}, rounds={rounds}, fallback={fallback})")
+            }
+            Event::PartialFallback { segments, reason } => {
+                write!(f, "partial_fallback(segments={segments}, reason={})", reason.name())
             }
             Event::BackendError { attempt, retryable } => {
                 write!(f, "backend_error(attempt={attempt}, retryable={retryable})")

@@ -210,12 +210,21 @@ impl<T, R: Register<T>> Register<T> for InstrumentedCell<R> {
     }
 
     fn version_hint(&self) -> Option<u64> {
-        // Deliberately no hint, even when the inner cell keeps versions: a
-        // version probe would let callers skip reads *without parking at
-        // the gate*, hiding steps from the deterministic scheduler and
-        // changing the operation counts the simulator tests assert on.
-        // Under instrumentation, every logical read must be a gated step.
-        None
+        // Under a gate, deliberately no hint even when the inner cell
+        // keeps versions: a version probe would let callers skip reads
+        // *without parking at the gate*, hiding steps from the
+        // deterministic scheduler and changing the operation counts the
+        // simulator tests assert on. Counting-only and tracing-only
+        // instrumentation forwards the hint — probes are not register
+        // operations (no reader identity, nothing to count), and hiding
+        // them would make the instrumented backend behave unlike the
+        // production one it is supposed to measure (no incremental
+        // collect, no version-filtered subset collect).
+        if self.probe.gate.is_some() {
+            None
+        } else {
+            self.inner.version_hint()
+        }
     }
 }
 
@@ -275,16 +284,26 @@ mod tests {
     }
 
     #[test]
-    fn read_with_is_one_observed_step_and_versions_are_hidden() {
+    fn read_with_is_one_observed_step_and_versions_follow_the_gate() {
         let counters = Arc::new(OpCounters::new(1));
         let backend = Instrumented::new(EpochBackend::new()).with_counters(Arc::clone(&counters));
         let cell = backend.cell(5u32);
         let p = ProcessId::new(0);
         assert_eq!(cell.read_with(p, |v| v + 1), 6);
         assert_eq!(counters.snapshot(p).reads, 1);
-        // The inner EpochCell keeps versions, but instrumentation must not
-        // leak them: a probe-based shortcut would bypass the gate.
-        assert_eq!(cell.version_hint(), None);
+        // Counting-only instrumentation forwards the inner EpochCell's
+        // versions (probes are not counted operations), and the hint
+        // keeps the inner contract: it moves with every write.
+        let before = cell.version_hint().expect("counting must not hide versions");
+        cell.write(p, 9);
+        let after = cell.version_hint().expect("still forwarded after a write");
+        assert_ne!(before, after, "the forwarded hint must move with writes");
+
+        // Under a gate the hint disappears: a probe-based shortcut would
+        // let callers skip reads without parking at the gate.
+        let gated = Instrumented::new(EpochBackend::new())
+            .with_gate(Arc::new(crate::NullGate) as Arc<dyn StepGate>);
+        assert_eq!(gated.cell(5u32).version_hint(), None);
     }
 
     #[test]

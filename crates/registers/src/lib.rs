@@ -63,7 +63,7 @@ mod seqlock;
 
 pub use backend::{Backend, EpochBackend, MutexBackend, RegisterValue};
 pub use bit_cell::BitCell;
-pub use collect::{collect, PassSummary, SlotOutcome, TrackedCollect};
+pub use collect::{collect, subset_collect, PassSummary, SlotOutcome, SubsetOutcome, TrackedCollect};
 pub use counting::{OpCounters, OpKind, OpSnapshot};
 pub use epoch_cell::EpochCell;
 pub use gate::{NullGate, StepGate};

@@ -140,6 +140,13 @@ pub struct LoadReport {
     /// The busiest shard, if traffic is skewed enough to matter (volume
     /// past a floor and the leader at ≥ 2× the mean).
     pub hot_shard: Option<usize>,
+    /// Permille of served partial scans that did **not** fall back to a
+    /// projected full scan — native subset scans and certified collects
+    /// both count as certified. 1000 until the first partial is served
+    /// (a quiet service reads as healthy); a sagging ratio means subset
+    /// traffic is paying full-scan cost and the backing (or contention
+    /// profile) deserves a look.
+    pub partial_certified_permille: u64,
 }
 
 impl LoadReport {
@@ -156,7 +163,12 @@ impl LoadReport {
         let hot = shards.len() > 1
             && total >= SKEW_VOLUME_FLOOR
             && skew_permille >= SKEW_HOT_PERMILLE;
-        LoadReport { shards, skew_permille, hot_shard: hot.then_some(leader) }
+        LoadReport {
+            shards,
+            skew_permille,
+            hot_shard: hot.then_some(leader),
+            partial_certified_permille: 1000,
+        }
     }
 
     /// True if the report flags a hot shard.

@@ -1,12 +1,13 @@
 //! The sharded snapshot front-end.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use snapshot_core::{CoreError, Deadline, RequestCtx, ScanStats, SnapshotView, TrySnapshotCore};
 use snapshot_obs::{
-    Counter, Event, Gauge, Histogram, LatencySummary, Registry, SpanId, SpanKind, SpanStatus, Trace,
+    Counter, Event, FallbackReason, Gauge, Histogram, LatencySummary, Registry, SpanId, SpanKind,
+    SpanStatus, Trace,
 };
 use snapshot_registers::{CachePadded, ProcessId, RegisterValue};
 
@@ -73,6 +74,10 @@ pub struct ServiceStats {
     pub generation: u64,
     /// True if a partial scan fell back to projecting a full scan.
     pub fallback_full: bool,
+    /// True if a partial scan was served by the backing's **native**
+    /// subset scan (`core_scan_subset` — O(touched segments)) rather
+    /// than service-level certified collects or a projected full scan.
+    pub native_subset: bool,
     /// Certified-collect passes a partial scan performed (0 for full
     /// scans and for fallbacks that never certified).
     pub certified_rounds: u32,
@@ -143,7 +148,11 @@ struct Metrics {
     coalesced: Counter,
     solo: Counter,
     partial: Counter,
+    partial_native: Counter,
     fallback_full: Counter,
+    /// Permille of served partial scans that did *not* fall back to a
+    /// projected full scan; 1000 while no partial has been served.
+    partial_certified_ratio: Gauge,
     overloaded: Counter,
     abdicated: Counter,
     backend_errors: Counter,
@@ -178,7 +187,9 @@ impl Metrics {
             coalesced: registry.counter("service.scan.coalesced"),
             solo: registry.counter("service.scan.solo"),
             partial: registry.counter("service.scan.partial"),
+            partial_native: registry.counter("service.partial.native"),
             fallback_full: registry.counter("service.partial.fallback_full"),
+            partial_certified_ratio: registry.gauge("service.partial.certified_ratio"),
             overloaded: registry.counter("service.overloaded"),
             abdicated: registry.counter("service.coalesce.abdicated"),
             backend_errors: registry.counter("service.fault.backend_errors"),
@@ -231,6 +242,44 @@ impl From<CoreError> for AttemptError {
     fn from(e: CoreError) -> Self {
         AttemptError::Backend(e)
     }
+}
+
+/// How a service-level certified collect over a subset ended.
+enum CertifiedOutcome<V> {
+    /// Two adjacent passes matched: `values` is an instantaneous picture
+    /// of the subset.
+    Certified { values: Vec<V>, rounds: u32, stats: ScanStats },
+    /// The construction offers no certified reads (and reported no
+    /// native subset path before this): only a projected full scan can
+    /// serve the subset.
+    Uncertified,
+    /// Certified reads exist but interference exhausted the round
+    /// budget (`max_partial_rounds`).
+    Contended,
+}
+
+impl<V> CertifiedOutcome<V> {
+    /// The trace-visible reason when this outcome forces a projected
+    /// full-scan fallback (never called on `Certified`).
+    fn reason(&self) -> FallbackReason {
+        match self {
+            CertifiedOutcome::Contended => FallbackReason::Contended,
+            _ => FallbackReason::Uncertified,
+        }
+    }
+}
+
+/// How a subset (or shard-range) collect was served: the values plus the
+/// provenance the per-request [`ServiceStats`] report.
+struct SubsetServe<V> {
+    values: Arc<[V]>,
+    /// Certified passes (native double collects or service-level rounds).
+    rounds: u32,
+    /// Served by the backing's native O(touched) subset scan.
+    native: bool,
+    /// Fell back to a projected full scan.
+    fallback: bool,
+    stats: ScanStats,
 }
 
 /// Per-op-class latency quantiles, distilled from the service's log₂-µs
@@ -289,9 +338,13 @@ impl Drop for GateClaims<'_> {
 ///   docs give the generation-counter argument tying this to
 ///   Observation 2);
 /// * **partial scans** — [`ServiceClient::scan_subset`] returns an
-///   atomic picture of just the requested segments, via certified
-///   per-segment collects where the construction supports them and a
-///   projected full scan otherwise;
+///   atomic picture of just the requested segments: served by the
+///   backing's **native** O(touched-segments) subset scan when it offers
+///   one (`core_scan_subset` — all four in-process constructions and the
+///   ABD core do), via service-level certified per-segment collects
+///   otherwise, with a projected full scan as the always-correct escape
+///   hatch (each fallback is traced as [`Event::PartialFallback`] and
+///   sags the `service.partial.certified_ratio` gauge);
 /// * **admission control** — a bounded in-flight budget with typed
 ///   [`ServiceError::Overloaded`] rejections instead of unbounded
 ///   queueing;
@@ -334,6 +387,11 @@ pub struct SnapshotService<V: RegisterValue, C: TrySnapshotCore<V>> {
     /// (deterministic lifecycle tests inject a manual clock).
     clock: Arc<dyn Clock>,
     inflight: CachePadded<AtomicUsize>,
+    /// Partial scans served (`Ok`) and, of those, how many fell back to
+    /// a projected full scan — the pair behind the
+    /// `service.partial.certified_ratio` permille gauge.
+    partial_served: CachePadded<AtomicU64>,
+    partial_fallbacks: CachePadded<AtomicU64>,
     lanes: Box<[AtomicBool]>,
     metrics: Metrics,
     trace: Trace,
@@ -369,6 +427,8 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
             load: (0..map.shards()).map(|_| CachePadded::new(ShardLoad::default())).collect(),
             clock: Arc::new(MonotonicClock::new()),
             inflight: CachePadded::new(AtomicUsize::new(0)),
+            partial_served: CachePadded::new(AtomicU64::new(0)),
+            partial_fallbacks: CachePadded::new(AtomicU64::new(0)),
             lanes,
             metrics: Metrics::default(),
             trace: Trace::disabled(),
@@ -452,6 +512,23 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         }
     }
 
+    /// Permille of served partial scans that did **not** fall back to a
+    /// projected full scan (native subset scans and service-level
+    /// certified collects both count as certified). Reads 1000 until the
+    /// first partial is served, so a quiet service reports healthy.
+    ///
+    /// The same number is exported as the
+    /// `service.partial.certified_ratio` gauge and carried in
+    /// [`LoadReport::partial_certified_permille`].
+    pub fn partial_certified_permille(&self) -> u64 {
+        let served = self.partial_served.load(Ordering::Relaxed);
+        if served == 0 {
+            return 1000;
+        }
+        let fallbacks = self.partial_fallbacks.load(Ordering::Relaxed).min(served);
+        (served - fallbacks) * 1000 / served
+    }
+
     /// Shards whose health gate is currently open (shedding requests).
     pub fn degraded_shards(&self) -> Vec<usize> {
         let now = self.now_us();
@@ -470,7 +547,11 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         let stats = (0..self.load.len())
             .map(|s| self.load[s].stat(s, self.health[s].is_open(now)))
             .collect();
-        let report = LoadReport::compute(stats);
+        let mut report = LoadReport::compute(stats);
+        report.partial_certified_permille = self.partial_certified_permille();
+        self.metrics
+            .partial_certified_ratio
+            .set(report.partial_certified_permille.min(i64::MAX as u64) as i64);
         self.metrics.load_skew.set(report.skew_permille.min(i64::MAX as u64) as i64);
         self.metrics.load_hot.set(report.hot_shard.map_or(-1, |s| s as i64));
         for row in &report.shards {
@@ -845,16 +926,16 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
     /// passes whose certificates all match make the second pass an
     /// instantaneous picture of the subset (Observation 1 projected —
     /// certificates are ABA-free, so unchanged certificates mean *no
-    /// write at all* completed in between). Returns `Ok(None)` if the
-    /// construction offers no certified reads or contention exhausted the
-    /// round budget; backend errors surface as `Err`.
+    /// write at all* completed in between). The service-level layer
+    /// behind constructions without a native subset path; backend errors
+    /// surface as `Err`.
     fn certified_collect(
         &self,
         lane: ProcessId,
         subset: &[usize],
         deadline: Deadline,
         ctx: RequestCtx,
-    ) -> Result<Option<(Vec<V>, u32, ScanStats)>, CoreError> {
+    ) -> Result<CertifiedOutcome<V>, CoreError> {
         let mut stats = ScanStats::default();
         let read_all = |stats: &mut ScanStats| -> Result<Option<Vec<(V, u64)>>, CoreError> {
             stats.reads += subset.len() as u64;
@@ -863,23 +944,47 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 .map(|&s| self.core.try_certified_read_ctx(lane, s, deadline, ctx))
                 .collect()
         };
-        let Some(mut prev) = read_all(&mut stats)? else { return Ok(None) };
+        let Some(mut prev) = read_all(&mut stats)? else {
+            return Ok(CertifiedOutcome::Uncertified);
+        };
         for round in 1..=self.cfg.max_partial_rounds {
-            let Some(next) = read_all(&mut stats)? else { return Ok(None) };
+            let Some(next) = read_all(&mut stats)? else {
+                return Ok(CertifiedOutcome::Uncertified);
+            };
             let clean = prev.iter().zip(&next).all(|(a, b)| a.1 == b.1);
             if clean {
                 stats.double_collects = round;
                 let values = next.into_iter().map(|(v, _)| v).collect();
-                return Ok(Some((values, round, stats)));
+                return Ok(CertifiedOutcome::Certified { values, rounds: round, stats });
             }
             prev = next;
         }
-        Ok(None)
+        Ok(CertifiedOutcome::Contended)
     }
 
-    /// Produces the value range of one shard: a certified collect over
-    /// the range when possible, otherwise a projected full collect run
-    /// directly on the core (not through the global rendezvous — a shard
+    /// One native subset scan on the backing, if it offers one.
+    /// `Ok(None)` means "no certified subset view this time" — either the
+    /// construction has no native path, or a bounded interference budget
+    /// ran out — and the caller proceeds to service-level certified
+    /// collects and the projected-full-scan escape hatch.
+    fn native_collect(
+        &self,
+        lane: ProcessId,
+        subset: &[usize],
+        deadline: Deadline,
+        ctx: RequestCtx,
+    ) -> Result<Option<(Vec<V>, ScanStats)>, CoreError> {
+        let out = self.core.try_scan_subset_ctx(lane, subset, deadline, ctx)?;
+        if out.is_some() {
+            self.metrics.partial_native.inc();
+        }
+        Ok(out)
+    }
+
+    /// Produces the value range of one shard: the backing's native subset
+    /// scan over the range when it has one, a certified collect
+    /// otherwise, and a projected full collect as the escape hatch — run
+    /// directly on the core (not through the global rendezvous: a shard
     /// leader must make progress without waiting on other leaders).
     fn shard_collect(
         &self,
@@ -888,19 +993,46 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         attempt: u32,
         deadline: Deadline,
         ctx: RequestCtx,
-    ) -> Result<(Arc<[V]>, u32, bool, ScanStats), CoreError> {
+    ) -> Result<SubsetServe<V>, CoreError> {
         let range = self.map.range(shard);
         let segs: Vec<usize> = range.clone().collect();
         let started = Instant::now();
-        match self.certified_collect(lane, &segs, deadline, ctx) {
-            Ok(Some((values, rounds, stats))) => {
+        match self.native_collect(lane, &segs, deadline, ctx) {
+            Ok(Some((values, stats))) => {
                 self.record_ok(Shards::One(shard), started.elapsed());
-                Ok((values.into(), rounds, false, stats))
+                return Ok(SubsetServe {
+                    values: values.into(),
+                    rounds: stats.double_collects,
+                    native: true,
+                    fallback: false,
+                    stats,
+                });
             }
-            Ok(None) => {
+            Ok(None) => {}
+            Err(e) => {
+                self.note_backend_error(lane, attempt, &e, Shards::One(shard));
+                return Err(e);
+            }
+        }
+        match self.certified_collect(lane, &segs, deadline, ctx) {
+            Ok(CertifiedOutcome::Certified { values, rounds, stats }) => {
+                self.record_ok(Shards::One(shard), started.elapsed());
+                Ok(SubsetServe { values: values.into(), rounds, native: false, fallback: false, stats })
+            }
+            Ok(outcome) => {
+                self.trace.emit(
+                    lane.get(),
+                    Event::PartialFallback { segments: segs.len(), reason: outcome.reason() },
+                );
                 let (view, stats) =
                     self.core_scan_recorded(lane, attempt, Shards::One(shard), deadline, ctx)?;
-                Ok((view[range].iter().cloned().collect(), 0, true, stats))
+                Ok(SubsetServe {
+                    values: view[range].iter().cloned().collect(),
+                    rounds: 0,
+                    native: false,
+                    fallback: true,
+                    stats,
+                })
             }
             Err(e) => {
                 self.note_backend_error(lane, attempt, &e, Shards::One(shard));
@@ -988,20 +1120,21 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                         collect.note("shard", shard as u64);
                         let ctx = RequestCtx::under(collect.id());
                         match self.shard_collect(lane, shard, attempt, deadline, ctx) {
-                            Ok((range_values, rounds, fallback, stats)) => {
+                            Ok(serve) => {
                                 let collect_span = collect.id().raw();
                                 collect.end(SpanStatus::Ok);
-                                token.publish(range_values.clone(), collect_span);
+                                token.publish(serve.values.clone(), collect_span);
                                 self.metrics.solo.inc();
                                 let stats = ServiceStats {
                                     generation,
-                                    fallback_full: fallback,
-                                    certified_rounds: rounds,
+                                    fallback_full: serve.fallback,
+                                    native_subset: serve.native,
+                                    certified_rounds: serve.rounds,
                                     retries,
-                                    underlying: stats,
+                                    underlying: serve.stats,
                                     ..ServiceStats::default()
                                 };
-                                Ok((PartialView::new(subset, project(&range_values)), stats))
+                                Ok((PartialView::new(subset, project(&serve.values)), stats))
                             }
                             Err(e) => {
                                 collect.end(SpanStatus::Error);
@@ -1018,8 +1151,30 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
         let started = Instant::now();
         let collect = self.trace.span(lane.get(), SpanKind::Collect, parent);
         let ctx = RequestCtx::under(collect.id());
+        // Native first: the backing reads exactly the touched segments.
+        match self.native_collect(lane, subset, deadline, ctx) {
+            Ok(Some((values, stats))) => {
+                collect.end(SpanStatus::Ok);
+                self.record_ok(Shards::Set(covered), started.elapsed());
+                self.metrics.solo.inc();
+                let stats = ServiceStats {
+                    native_subset: true,
+                    certified_rounds: stats.double_collects,
+                    retries,
+                    underlying: stats,
+                    ..ServiceStats::default()
+                };
+                return Ok((PartialView::new(subset, values.into()), stats));
+            }
+            Ok(None) => {}
+            Err(e) => {
+                collect.end(SpanStatus::Error);
+                self.note_backend_error(lane, attempt, &e, Shards::Set(covered));
+                return Err(e.into());
+            }
+        }
         match self.certified_collect(lane, subset, deadline, ctx) {
-            Ok(Some((values, rounds, stats))) => {
+            Ok(CertifiedOutcome::Certified { values, rounds, stats }) => {
                 collect.end(SpanStatus::Ok);
                 self.record_ok(Shards::Set(covered), started.elapsed());
                 self.metrics.solo.inc();
@@ -1031,11 +1186,15 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> SnapshotService<V, C> {
                 };
                 Ok((PartialView::new(subset, values.into()), stats))
             }
-            Ok(None) => {
+            Ok(outcome) => {
                 // Projected full-collect fallback, run directly on the
                 // core: the outer loop owns the retry budget, and routing
                 // it through the global rendezvous would stack a second
                 // budget on top.
+                self.trace.emit(
+                    lane.get(),
+                    Event::PartialFallback { segments: subset.len(), reason: outcome.reason() },
+                );
                 match self.core_scan_recorded(lane, attempt, Shards::Set(covered), deadline, ctx) {
                     Ok((view, stats)) => {
                         collect.end(SpanStatus::Ok);
@@ -1232,9 +1391,14 @@ impl<V: RegisterValue, C: TrySnapshotCore<V>> ServiceClient<'_, V, C> {
             svc.metrics.partial.inc();
             svc.metrics.partial_latency.record(start.elapsed());
             if let Ok((_, stats)) = &out {
+                svc.partial_served.fetch_add(1, Ordering::Relaxed);
                 if stats.fallback_full {
+                    svc.partial_fallbacks.fetch_add(1, Ordering::Relaxed);
                     svc.metrics.fallback_full.inc();
                 }
+                svc.metrics
+                    .partial_certified_ratio
+                    .set(svc.partial_certified_permille().min(i64::MAX as u64) as i64);
                 svc.trace.emit(
                     self.lane.get(),
                     Event::PartialCollect {
@@ -1422,8 +1586,10 @@ mod tests {
         assert_eq!(view.values(), &[7, 9]);
         assert_eq!(view.get(3), Some(&9));
         assert_eq!(view.get(1), None);
-        // The unbounded backing certifies segments, so no fallback.
+        // The unbounded backing serves subsets natively, so no fallback.
+        assert!(stats.native_subset);
         assert!(!stats.fallback_full);
+        assert_eq!(svc.partial_certified_permille(), 1000);
     }
 
     #[test]
@@ -1464,11 +1630,41 @@ mod tests {
         assert_eq!(c.scan_subset(&[4]).unwrap().values(), &[44]);
     }
 
+    /// A backing with no certified reads *and* no native subset path —
+    /// the shape the projected-full-scan escape hatch exists for (every
+    /// in-tree construction now serves subsets natively, so tests reach
+    /// the fallback through this wrapper).
+    struct Opaque<C>(C);
+
+    impl<V, C: snapshot_core::SnapshotCore<V>> snapshot_core::SnapshotCore<V> for Opaque<C> {
+        fn segments(&self) -> usize {
+            self.0.segments()
+        }
+        fn lanes(&self) -> usize {
+            self.0.lanes()
+        }
+        fn single_writer(&self) -> bool {
+            self.0.single_writer()
+        }
+        fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats) {
+            self.0.core_scan(lane)
+        }
+        fn core_update(&self, lane: ProcessId, segment: usize, value: V) -> ScanStats {
+            self.0.core_update(lane, segment, value)
+        }
+        fn certified_read(&self, _reader: ProcessId, _segment: usize) -> Option<(V, u64)> {
+            None
+        }
+        // `core_scan_subset` keeps its default: no native subset path.
+    }
+    snapshot_core::impl_try_snapshot_core!(
+        [V, C: snapshot_core::SnapshotCore<V>] V, Opaque<C>
+    );
+
     #[test]
-    fn uncertified_backings_fall_back_to_projected_full_scans() {
-        // Bounded and locked cores have no certified reads: a multi-shard
-        // subset must fall back (single-shard ones are coalesced via the
-        // shard rendezvous, also fallback-collected by the leader).
+    fn bounded_and_locked_backings_serve_subsets_natively() {
+        // Previously fallback-only constructions (no certified reads) now
+        // answer subsets through their native O(touched) scans.
         let svc = SnapshotService::with_config(
             BoundedSnapshot::new(4, 0u32),
             ServiceConfig { shards: 2, ..ServiceConfig::default() },
@@ -1477,12 +1673,40 @@ mod tests {
         c.update(0, 5).unwrap();
         let (view, stats) = c.scan_subset_with_stats(&[0, 3]).unwrap(); // spans both shards
         assert_eq!(view.values(), &[5, 0]);
+        assert!(stats.native_subset);
+        assert!(!stats.fallback_full);
+
+        let (view, stats) = c.scan_subset_with_stats(&[0, 1]).unwrap(); // single shard
+        assert_eq!(view.values(), &[5, 0]);
+        assert!(stats.native_subset, "shard leaders use the native path too");
+        assert!(!stats.fallback_full);
+        assert_eq!(svc.partial_certified_permille(), 1000);
+    }
+
+    #[test]
+    fn uncertified_backings_fall_back_to_projected_full_scans() {
+        // An opaque core (no certified reads, no native subset path): a
+        // multi-shard subset must fall back (single-shard ones are
+        // coalesced via the shard rendezvous, also fallback-collected by
+        // the leader), and the certified ratio sags to zero.
+        let svc = SnapshotService::with_config(
+            Opaque(BoundedSnapshot::new(4, 0u32)),
+            ServiceConfig { shards: 2, ..ServiceConfig::default() },
+        );
+        let mut c = svc.client(0);
+        c.update(0, 5).unwrap();
+        let (view, stats) = c.scan_subset_with_stats(&[0, 3]).unwrap(); // spans both shards
+        assert_eq!(view.values(), &[5, 0]);
         assert!(stats.fallback_full);
+        assert!(!stats.native_subset);
         assert_eq!(stats.certified_rounds, 0);
 
         let (view, stats) = c.scan_subset_with_stats(&[0, 1]).unwrap(); // single shard
         assert_eq!(view.values(), &[5, 0]);
         assert!(stats.fallback_full, "shard leader must report its fallback");
+        assert_eq!(svc.partial_certified_permille(), 0);
+        let report = svc.load_report();
+        assert_eq!(report.partial_certified_permille, 0);
     }
 
     #[test]

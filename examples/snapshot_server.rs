@@ -8,8 +8,9 @@
 //!   shows concurrent scans riding someone else's collect (watch
 //!   `service.scan.coalesced` vs `service.scan.solo` in the metrics dump);
 //! * **partial scans** — half the reads ask for a two-segment window via
-//!   `scan_subset`, served by certified per-segment collects on this
-//!   backing;
+//!   `scan_subset`, served natively at O(touched-segments) cost by the
+//!   backing's subset scan (watch `service.partial.native` and the
+//!   `service.partial.certified_ratio` gauge in the metrics dump);
 //! * **admission control** — a second service over the same kind of
 //!   object is configured with a deliberately tiny in-flight budget and
 //!   rejects a request mid-flight with a typed `Overloaded` error the
@@ -191,6 +192,11 @@ fn main() {
     println!("scan    : {}", latency.scan);
     println!("partial : {}", latency.partial);
     println!("update  : {}", latency.update);
+    println!(
+        "partial certified ratio: {} permille (native subset scans and \
+         certified collects vs projected-full fallbacks)",
+        service.partial_certified_permille()
+    );
 
     let events = ring.drain();
     let leads = events

@@ -214,6 +214,87 @@ fn nemesis_storm_service_returns_views_or_typed_errors() {
 }
 
 // ---------------------------------------------------------------------------
+// Subset scans under nemesis: the native ABD subset lane rides the storm
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nemesis_subset_scans_return_projections_or_typed_errors() {
+    // One subset-scan round over the ABD-backed service while a storm
+    // runs: partial scans ride the native subset lane (two quorum passes
+    // over just the touched registers) and must return a projection or a
+    // typed error — never a panic, never a hang. After the heal, a
+    // subset scan must certify natively again.
+    let seed = 2026;
+    let network = Arc::new(Network::with_config(
+        NetworkConfig::new(REPLICAS)
+            .with_jitter(seed)
+            .with_faults(FaultPlan::seeded(seed).with_default(mild_lossy_link()))
+            .with_op_timeout(Duration::from_millis(40))
+            .with_retry(fast_abd_retry()),
+    ));
+    let service = SnapshotService::with_config(
+        AbdSnapshotCore::new(&network, LANES, 0u64),
+        ServiceConfig { retry: service_retry(), ..ServiceConfig::default() },
+    );
+
+    std::thread::scope(|s| {
+        for lane in 0..LANES {
+            let service = &service;
+            s.spawn(move || {
+                let mut client = service.client(lane);
+                for k in 1..=15u64 {
+                    match client.update(lane, (lane as u64) << 32 | k) {
+                        Ok(())
+                        | Err(ServiceError::Backend { .. } | ServiceError::Degraded { .. }) => {}
+                        Err(other) => panic!("lane {lane}: unexpected error {other:?}"),
+                    }
+                    // A wrapping two-segment window, spanning shards.
+                    let subset = {
+                        let mut s = vec![lane, (lane + 1) % LANES];
+                        s.sort_unstable();
+                        s
+                    };
+                    match client.scan_subset_with_stats(&subset) {
+                        Ok((view, _)) => {
+                            assert_eq!(view.segments(), subset.as_slice());
+                            assert_eq!(view.len(), subset.len());
+                        }
+                        Err(ServiceError::Backend { .. } | ServiceError::Degraded { .. }) => {}
+                        Err(other) => panic!("lane {lane}: unexpected error {other:?}"),
+                    }
+                }
+            });
+        }
+        storm(&network).join().unwrap();
+    });
+
+    assert_eq!(service.coalescing_waiters(), 0, "waiters parked forever");
+    assert_eq!(service.inflight(), 0, "admission slots leaked");
+    assert!(!network.poisoned(), "a replica thread panicked");
+
+    // Healed network: the subset lane certifies natively again (retrying
+    // through any breaker cooldown left over from the storm).
+    let mut probe = service.client(0);
+    let start = Instant::now();
+    loop {
+        match probe.scan_subset_with_stats(&[0, 2]) {
+            Ok((view, stats)) => {
+                assert_eq!(view.segments(), &[0, 2]);
+                assert!(stats.native_subset, "healed ABD serves subsets natively");
+                assert!(!stats.fallback_full);
+                break;
+            }
+            Err(ServiceError::Degraded { retry_after, .. }) => std::thread::sleep(retry_after),
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "subset lane must recover after the heal"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Flight recorder under nemesis: the dump names the phase that stalled
 // ---------------------------------------------------------------------------
 

@@ -1,10 +1,12 @@
 //! Partial scans through the service, checked against the projected
 //! sequential spec.
 //!
-//! The service serves `scan_subset` three ways — certified per-segment
-//! double collects (unbounded backing), shard-coalesced range views, and
-//! projected full scans (the wait-free fallback, the only option for the
-//! bounded backing) — and all three must produce views that are
+//! The service serves `scan_subset` four ways — the backing's native
+//! O(touched-segments) subset scan (all in-tree constructions),
+//! service-level certified per-segment double collects, shard-coalesced
+//! range views, and projected full scans (the wait-free fallback, the
+//! only option for a backing with neither a native path nor
+//! certificates) — and all four must produce views that are
 //! instantaneous pictures of the requested projection. The concurrent
 //! tests record every operation with a shared logical clock and hand the
 //! histories to the Wing & Gong checker under
@@ -13,7 +15,8 @@
 use std::sync::Mutex;
 
 use snapshot_core::{
-    BoundedSnapshot, MultiWriterSnapshot, TrySnapshotCore, UnboundedSnapshot,
+    BoundedSnapshot, MultiWriterSnapshot, ScanStats, SnapshotCore, SnapshotView,
+    TrySnapshotCore, UnboundedSnapshot,
 };
 use snapshot_lin::{check_partial_history, PartialOp, WgOp, WgResult};
 use snapshot_obs::Clock;
@@ -42,28 +45,69 @@ fn quiescent_partial_scans_equal_the_projected_full_scan() {
     }
 }
 
+/// A backing with no certified reads and no native subset path: the
+/// projected-full-scan fallback is its only way to answer a subset.
+struct Opaque<C>(C);
+
+impl<V, C: SnapshotCore<V>> SnapshotCore<V> for Opaque<C> {
+    fn segments(&self) -> usize {
+        self.0.segments()
+    }
+    fn lanes(&self) -> usize {
+        self.0.lanes()
+    }
+    fn single_writer(&self) -> bool {
+        self.0.single_writer()
+    }
+    fn core_scan(&self, lane: ProcessId) -> (SnapshotView<V>, ScanStats) {
+        self.0.core_scan(lane)
+    }
+    fn core_update(&self, lane: ProcessId, segment: usize, value: V) -> ScanStats {
+        self.0.core_update(lane, segment, value)
+    }
+    fn certified_read(&self, _reader: ProcessId, _segment: usize) -> Option<(V, u64)> {
+        None
+    }
+    // `core_scan_subset` keeps its default: no native subset path.
+}
+snapshot_core::impl_try_snapshot_core!([V, C: SnapshotCore<V>] V, Opaque<C>);
+
 #[test]
-fn certified_and_fallback_paths_report_themselves() {
-    // Unbounded: per-segment sequence numbers certify the projection.
-    let certified = SnapshotService::with_config(
+fn native_and_fallback_paths_report_themselves() {
+    // Unbounded: the native subset scan answers at O(touched) cost — two
+    // passes of two registers per round, no borrow when quiescent.
+    let native = SnapshotService::with_config(
         UnboundedSnapshot::new(4, 0u64),
         ServiceConfig { coalesce: false, ..ServiceConfig::default() },
     );
-    let mut c = certified.client(0);
+    let mut c = native.client(0);
     let (_, stats) = c.scan_subset_with_stats(&[0, 3]).unwrap();
+    assert!(stats.native_subset);
     assert!(!stats.fallback_full);
     assert!(stats.certified_rounds >= 1);
-    assert_eq!(stats.underlying.reads as usize, 2 * (stats.certified_rounds as usize + 1));
+    assert_eq!(stats.underlying.reads, 2 * 2 * u64::from(stats.certified_rounds));
 
-    // Bounded: handshake bits recur (ABA), so there is no certificate and
-    // the service projects a full scan instead.
-    let fallback = SnapshotService::with_config(
+    // Bounded: no ABA-free certificates, but the subset handshake gives
+    // it a native path too — no fallback anymore.
+    let bounded = SnapshotService::with_config(
         BoundedSnapshot::new(4, 0u64),
+        ServiceConfig { coalesce: false, ..ServiceConfig::default() },
+    );
+    let mut c = bounded.client(0);
+    let (_, stats) = c.scan_subset_with_stats(&[0, 3]).unwrap();
+    assert!(stats.native_subset);
+    assert!(!stats.fallback_full);
+
+    // Opaque wrapper: neither certificates nor a native path, so the
+    // service projects a full scan instead.
+    let fallback = SnapshotService::with_config(
+        Opaque(BoundedSnapshot::new(4, 0u64)),
         ServiceConfig { coalesce: false, ..ServiceConfig::default() },
     );
     let mut c = fallback.client(0);
     let (_, stats) = c.scan_subset_with_stats(&[0, 3]).unwrap();
     assert!(stats.fallback_full);
+    assert!(!stats.native_subset);
     assert_eq!(stats.certified_rounds, 0);
     assert!(stats.underlying.reads > 0, "the fallback runs a real collect");
 }
@@ -160,9 +204,20 @@ fn concurrent_partial_history_linearizes_on_the_certified_path() {
 }
 
 #[test]
-fn concurrent_partial_history_linearizes_on_the_fallback_path() {
+fn concurrent_partial_history_linearizes_on_the_bounded_native_path() {
     for round in 0..4 {
         let verdict = run_partial_history(BoundedSnapshot::new(3, 0u64), 9);
+        assert!(
+            matches!(verdict, WgResult::Linearizable { .. }),
+            "round {round}: bounded-native history rejected: {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_partial_history_linearizes_on_the_fallback_path() {
+    for round in 0..4 {
+        let verdict = run_partial_history(Opaque(BoundedSnapshot::new(3, 0u64)), 9);
         assert!(
             matches!(verdict, WgResult::Linearizable { .. }),
             "round {round}: fallback-path history rejected: {verdict:?}"
