@@ -65,6 +65,19 @@ pub enum AbdError {
         /// The register whose value failed to downcast.
         register: RegisterId,
     },
+    /// A replica's reply carried bytes this register's wire codec could
+    /// not decode.
+    ///
+    /// Like [`ValueTypeMismatch`](AbdError::ValueTypeMismatch) this is a
+    /// deployment bug (two clients addressing one register with different
+    /// codecs, or a version skew across the cluster), not a network
+    /// fault — retries read the same bytes and fail the same way.
+    DecodeFailed {
+        /// The register whose value failed to decode.
+        register: RegisterId,
+        /// The codec's typed decode error, rendered.
+        detail: String,
+    },
     /// The replica fleet is poisoned: a replica thread panicked, or the
     /// network was explicitly [`poison`](crate::Network::poison)ed.
     ///
@@ -90,6 +103,10 @@ impl fmt::Display for AbdError {
             AbdError::ValueTypeMismatch { register } => write!(
                 f,
                 "replica returned a value of the wrong type for register {register:?}"
+            ),
+            AbdError::DecodeFailed { register, detail } => write!(
+                f,
+                "replica returned undecodable bytes for register {register:?}: {detail}"
             ),
             AbdError::NetworkPoisoned => f.write_str(
                 "replica fleet poisoned (a replica thread panicked or the network was \

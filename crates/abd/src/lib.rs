@@ -38,7 +38,13 @@
 //!   `snapshot-core`'s `TrySnapshotCore` interface: where the infallible
 //!   backend panics past the liveness boundary, this surfaces typed
 //!   `CoreError`s the `snapshot-service` front-end retries, sheds, or
-//!   fans out to a coalescing cohort.
+//!   fans out to a coalescing cohort;
+//! * [`Transport`] — the seam between the quorum engine and its medium.
+//!   The simulated [`Network`] is one implementation; [`RemoteTransport`]
+//!   carries the exact same protocol over TCP or Unix-domain sockets to
+//!   `snapshotd` replica processes (the `snapshot-wire` crate), so the
+//!   very same client stack — retries, breakers, deadlines, spans — runs
+//!   distributed for real ([`AbdSnapshotCore::remote`]).
 //!
 //! [`Backend`]: snapshot_registers::Backend
 //!
@@ -89,14 +95,18 @@ mod fault;
 mod message;
 mod network;
 mod register;
+mod remote;
 mod snapshot_core;
 mod stats;
+mod transport;
 
 pub use backend::AbdBackend;
 pub use snapshot_core::AbdSnapshotCore;
 pub use error::{AbdError, AbdPhase};
 pub use fault::{Dwell, FaultPlan, LinkFault, Nemesis, NemesisEvent, NemesisPhase};
-pub use message::{RegisterId, Tag};
+pub use message::{ErasedValue, RegisterId, RequestId, Tag};
 pub use network::{Network, NetworkConfig, RetryPolicy};
 pub use register::AbdRegister;
+pub use remote::{RemoteConfig, RemoteTransport};
 pub use stats::{LatencySnapshot, NetworkStats};
+pub use transport::{Payload, Phase, PhaseRequest, Reply, ReplyBody, Transport};

@@ -10,6 +10,25 @@ use crossbeam::channel::Sender;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegisterId(pub(crate) u64);
 
+impl RegisterId {
+    /// The id addressing `(lane, segment)` on a wire transport:
+    /// `snapshotd` replicas key their stores by this pair, and
+    /// `AbdSnapshotCore::remote` names its registers with it so every
+    /// client process addressing the same cluster addresses the same
+    /// registers (a simulated network instead hands out sequential ids
+    /// private to itself).
+    pub fn from_lane_segment(lane: u32, segment: u32) -> RegisterId {
+        RegisterId(u64::from(lane) << 32 | u64::from(segment))
+    }
+
+    /// The `(lane, segment)` pair this id addresses on the wire (an id
+    /// allocated by a simulated network decomposes too — sequential ids
+    /// land in lane 0).
+    pub fn lane_segment(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
 /// Identifier of one client quorum round (a query or store phase).
 ///
 /// Every phase draws a fresh id from its network and stamps it on the
@@ -20,7 +39,10 @@ pub struct RegisterId(pub(crate) u64);
 /// request twice, or a retransmission may race its original, and the
 /// observable outcome is the same.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub(crate) struct RequestId(pub(crate) u64);
+pub struct RequestId(
+    /// The raw id (a wire transport carries it verbatim in its frames).
+    pub u64,
+);
 
 /// The ABD logical timestamp: `(seq, writer)`, totally ordered.
 ///
@@ -37,7 +59,7 @@ pub struct Tag {
 
 /// Type-erased register value as stored by replicas (registers of any
 /// `Clone + Send + Sync` value type share one replica fleet).
-pub(crate) type ErasedValue = Arc<dyn Any + Send + Sync>;
+pub type ErasedValue = Arc<dyn Any + Send + Sync>;
 
 /// A client-to-replica request.
 ///

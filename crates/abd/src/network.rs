@@ -13,6 +13,7 @@ use snapshot_obs::{Registry, Trace};
 use crate::fault::{FaultPlan, LinkFault};
 use crate::message::{ErasedValue, Request, RequestId, Response, ResponseBody};
 use crate::stats::{Counters, LatencySnapshot, NetworkStats};
+use crate::transport::{Payload, Phase, PhaseRequest, Reply, ReplyBody, Transport};
 use crate::{RegisterId, Tag};
 
 /// How many recently seen request ids each replica remembers for
@@ -441,6 +442,10 @@ impl Network {
     pub fn with_config(config: NetworkConfig) -> Self {
         assert!(config.replicas > 0, "a network needs at least one replica");
         let registry = config.registry.unwrap_or_default();
+        // The transport-kind marker: sim and real transports report under
+        // the same `abd.*` keys, distinguished only by this gauge (the
+        // registry is name-keyed; labels are spelled into the name).
+        registry.gauge("abd.transport.sim").set(1);
         let counters = Arc::new(Counters::new(&registry));
         let panicked = Arc::new(AtomicBool::new(false));
         let fault_seed = config.faults.as_ref().map(|p| p.seed).unwrap_or(0);
@@ -689,7 +694,7 @@ impl Network {
     /// how many were sent.
     pub(crate) fn send_where(
         &self,
-        include: impl Fn(usize) -> bool,
+        mut include: impl FnMut(usize) -> bool,
         make: impl Fn() -> Request,
     ) -> usize {
         let mut sent = 0usize;
@@ -743,6 +748,155 @@ impl fmt::Debug for Network {
             .field("quorum", &self.quorum())
             .field("stats", &self.stats())
             .finish()
+    }
+}
+
+/// Converts a seam payload into the erased form replicas store. A wire
+/// payload is boxed as `Any` holding the `Arc<[u8]>` itself, so a
+/// register with a wire codec can run over the simulated network for
+/// differential testing — the bytes round-trip untouched.
+fn payload_to_erased(payload: &Payload) -> ErasedValue {
+    match payload {
+        Payload::Erased(v) => Arc::clone(v),
+        Payload::Bytes(b) => Arc::new(Arc::clone(b)) as ErasedValue,
+    }
+}
+
+/// The inverse conversion for replies: a stored `Arc<[u8]>` surfaces as
+/// a byte payload, anything else stays erased.
+fn erased_to_payload(value: ErasedValue) -> Payload {
+    match value.downcast::<Arc<[u8]>>() {
+        Ok(bytes) => Payload::Bytes(Arc::clone(&bytes)),
+        Err(value) => Payload::Erased(value),
+    }
+}
+
+/// One in-flight quorum phase on the simulated network: a private reply
+/// channel, with the request id stamped on every (re)transmission so
+/// replicas dedupe and the engine can discard mismatched replies.
+struct SimPhase<'a> {
+    net: &'a Network,
+    id: RequestId,
+    request: PhaseRequest,
+    tx: Sender<Response>,
+    rx: crossbeam::channel::Receiver<Response>,
+}
+
+impl SimPhase<'_> {
+    fn make_request(&self) -> Request {
+        match &self.request {
+            PhaseRequest::Query { register } => Request::Query {
+                id: self.id,
+                register: *register,
+                reply: self.tx.clone(),
+            },
+            PhaseRequest::Store {
+                register,
+                tag,
+                payload,
+            } => Request::Store {
+                id: self.id,
+                register: *register,
+                tag: *tag,
+                value: payload_to_erased(payload),
+                reply: self.tx.clone(),
+            },
+        }
+    }
+}
+
+impl Phase for SimPhase<'_> {
+    fn send_where(&mut self, include: &mut dyn FnMut(usize) -> bool) -> usize {
+        let request = self.make_request();
+        self.net.send_where(|i| include(i), || request.clone())
+    }
+
+    fn recv_deadline(&mut self, deadline: std::time::Instant) -> Option<Reply> {
+        loop {
+            match self.rx.recv_deadline(deadline) {
+                Ok(response) => {
+                    debug_assert_eq!(
+                        response.id, self.id,
+                        "reply channels are per-phase; ids cannot mix"
+                    );
+                    if response.id != self.id {
+                        continue;
+                    }
+                    let body = match response.body {
+                        ResponseBody::QueryReply { tag, value } => ReplyBody::Value {
+                            tag,
+                            payload: value.map(erased_to_payload),
+                        },
+                        ResponseBody::StoreAck => ReplyBody::Ack,
+                    };
+                    return Some(Reply {
+                        from: response.from,
+                        body,
+                    });
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// The simulated network **is** a transport: the same quorum engine that
+/// runs over real sockets runs here, with the fault-injection plane
+/// (drops, duplication, reorder, delay, crash, partition) underneath.
+impl Transport for Network {
+    fn replicas(&self) -> usize {
+        Network::replicas(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "sim"
+    }
+
+    fn op_timeout(&self) -> Duration {
+        Network::op_timeout(self)
+    }
+
+    fn retry_policy(&self) -> &RetryPolicy {
+        Network::retry_policy(self)
+    }
+
+    fn registry(&self) -> &Arc<Registry> {
+        Network::registry(self)
+    }
+
+    fn trace(&self) -> &Trace {
+        Network::trace(self)
+    }
+
+    fn poisoned(&self) -> bool {
+        Network::poisoned(self)
+    }
+
+    fn allocate_register(&self) -> RegisterId {
+        Network::allocate_register(self)
+    }
+
+    fn fresh_request_id(&self) -> RequestId {
+        Network::fresh_request_id(self)
+    }
+
+    fn begin_phase(&self, id: RequestId, request: PhaseRequest) -> Box<dyn Phase + '_> {
+        let (tx, rx) = unbounded();
+        Box::new(SimPhase {
+            net: self,
+            id,
+            request,
+            tx,
+            rx,
+        })
+    }
+
+    fn note_retries(&self, n: u64) {
+        Network::note_retries(self, n)
+    }
+
+    fn record_quorum_latency(&self, elapsed: Duration) {
+        Network::record_quorum_latency(self, elapsed)
     }
 }
 

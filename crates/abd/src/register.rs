@@ -1,15 +1,15 @@
 use std::fmt;
-use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Sender};
 use snapshot_core::Deadline;
 use snapshot_obs::{AbdPhaseKind, Event};
 use snapshot_registers::{ProcessId, Register, TryRegister};
+use snapshot_wire::{WireError, WireValue};
 
 use crate::error::{AbdError, AbdPhase};
-use crate::message::{ErasedValue, Request, RequestId, Response, ResponseBody};
+use crate::message::ErasedValue;
+use crate::transport::{Payload, PhaseRequest, ReplyBody, Transport};
 use crate::{Network, RegisterId, Tag};
 
 /// Explicit max-by-tag fold over query-phase replies.
@@ -21,14 +21,71 @@ use crate::{Network, RegisterId, Tag};
 /// and value together), but the fold enforces the invariant rather than
 /// relying on it: no `None` reply can ever displace a seen value, and the
 /// returned tag is always the maximum tag observed.
-fn fold_max_tag(best: &mut (Tag, Option<ErasedValue>), tag: Tag, value: Option<ErasedValue>) {
+fn fold_max_tag(best: &mut (Tag, Option<Payload>), tag: Tag, value: Option<Payload>) {
     if (tag, value.is_some()) > (best.0, best.1.is_some()) {
         *best = (tag, value);
     }
 }
 
-/// An atomic multi-writer register emulated over the replicas of a
-/// [`Network`] with the ABD protocol.
+/// How a register's values cross its transport.
+///
+/// In-process transports carry values as type-erased `Arc`s (zero
+/// serialization); wire transports carry encoded bytes. The codec is
+/// fixed at register construction so a byte-only transport is refused up
+/// front, not on first use.
+enum Codec<V> {
+    /// Values travel as `Arc<dyn Any>` (simulated network).
+    Erased,
+    /// Values travel as their [`WireValue`] encoding. Plain function
+    /// pointers (not boxed closures) so the codec stays `Copy`-cheap and
+    /// capture-free.
+    Wire {
+        enc: fn(&V) -> Vec<u8>,
+        dec: fn(&[u8]) -> Result<V, WireError>,
+    },
+}
+
+impl<V: Clone + Send + Sync + 'static> Codec<V> {
+    fn encode(&self, value: V) -> Payload {
+        match self {
+            Codec::Erased => Payload::Erased(Arc::new(value) as ErasedValue),
+            Codec::Wire { enc, .. } => Payload::Bytes(Arc::from(enc(&value).into_boxed_slice())),
+        }
+    }
+
+    fn decode(&self, register: RegisterId, payload: &Payload) -> Result<V, AbdError> {
+        match (self, payload) {
+            (Codec::Erased, Payload::Erased(v)) => v
+                .downcast_ref::<V>()
+                .cloned()
+                .ok_or(AbdError::ValueTypeMismatch { register }),
+            (Codec::Wire { dec, .. }, Payload::Bytes(b)) => dec(b).map_err(|e| {
+                AbdError::DecodeFailed {
+                    register,
+                    detail: e.to_string(),
+                }
+            }),
+            // A payload of the other shape means two handles address one
+            // register through different codecs — the same embedding bug
+            // ValueTypeMismatch names.
+            _ => Err(AbdError::ValueTypeMismatch { register }),
+        }
+    }
+}
+
+impl<V> fmt::Debug for Codec<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Codec::Erased => "Codec::Erased",
+            Codec::Wire { .. } => "Codec::Wire",
+        })
+    }
+}
+
+/// An atomic multi-writer register emulated with the ABD protocol over
+/// the replicas of a [`Transport`] — the simulated in-process
+/// [`Network`], or a real cluster of `snapshotd` processes via
+/// [`RemoteTransport`](crate::RemoteTransport).
 ///
 /// * **write(v)** — phase 1: query all replicas, wait for a majority of
 ///   `(tag)` replies, pick `seq` one above the maximum; phase 2: store
@@ -52,7 +109,9 @@ fn fold_max_tag(best: &mut (Tag, Option<ErasedValue>), tag: Tag, value: Option<E
 /// id (a retried `Store` is applied at most once, then re-acked), and the
 /// client counts *distinct* replicas toward the quorum, so duplicated
 /// replies are harmless — the protocol is duplication-safe by
-/// construction.
+/// construction. None of this is transport-specific: over real sockets
+/// the same loop masks lost connections (the transport drops frames while
+/// redialing, and the retransmission path re-sends them).
 ///
 /// # Liveness
 ///
@@ -66,27 +125,51 @@ fn fold_max_tag(best: &mut (Tag, Option<ErasedValue>), tag: Tag, value: Option<E
 ///
 /// See the [crate docs](crate) for an example.
 pub struct AbdRegister<V> {
-    network: Arc<Network>,
+    transport: Arc<dyn Transport>,
     id: RegisterId,
     init: V,
-    _marker: PhantomData<fn() -> V>,
+    codec: Codec<V>,
 }
 
 impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     /// Creates a register with initial value `init` on `network`.
     pub fn new(network: Arc<Network>, init: V) -> Self {
-        let id = network.allocate_register();
+        Self::with_transport(network, init)
+    }
+
+    /// Creates a register with initial value `init` on any in-process
+    /// transport, carrying values type-erased (no serialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transport only carries encoded bytes
+    /// ([`Transport::requires_bytes`]) — construct with
+    /// [`with_wire_codec`](Self::with_wire_codec) instead.
+    pub fn with_transport(transport: Arc<dyn Transport>, init: V) -> Self {
+        assert!(
+            !transport.requires_bytes(),
+            "transport `{}` carries only encoded bytes; construct the register \
+             with `with_wire_codec`",
+            transport.kind()
+        );
+        let id = transport.allocate_register();
         AbdRegister {
-            network,
+            transport,
             id,
             init,
-            _marker: PhantomData,
+            codec: Codec::Erased,
         }
     }
 
-    /// The register's id within its network (diagnostics).
+    /// The register's id within its transport (diagnostics, and the wire
+    /// address replicas key their stores by).
     pub fn id(&self) -> RegisterId {
         self.id
+    }
+
+    /// The transport this register's quorum phases run over.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Reads the register, returning a typed error instead of panicking
@@ -103,14 +186,12 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
     pub fn try_read_by(&self, reader: ProcessId, deadline: Deadline) -> Result<V, AbdError> {
         let (tag, value) = self.query_majority(reader, deadline)?;
         match value {
-            Some(erased) => {
+            Some(payload) => {
                 // Write-back before returning: later reads must not see an
-                // older maximum.
-                self.store_majority(reader, tag, Arc::clone(&erased), deadline)?;
-                erased
-                    .downcast_ref::<V>()
-                    .cloned()
-                    .ok_or(AbdError::ValueTypeMismatch { register: self.id })
+                // older maximum. The payload is forwarded as received — no
+                // decode/re-encode round trip.
+                self.store_majority(reader, tag, payload.clone(), deadline)?;
+                self.codec.decode(self.id, &payload)
             }
             None => Ok(self.init.clone()),
         }
@@ -140,7 +221,7 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
             seq: max_tag.seq + 1,
             writer: writer.get(),
         };
-        self.store_majority(writer, tag, Arc::new(value) as ErasedValue, deadline)
+        self.store_majority(writer, tag, self.codec.encode(value), deadline)
     }
 
     /// Phase 1 of both operations: query all, await a majority, return the
@@ -150,23 +231,19 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
         &self,
         pid: ProcessId,
         caller_deadline: Deadline,
-    ) -> Result<(Tag, Option<ErasedValue>), AbdError> {
-        let mut best: (Tag, Option<ErasedValue>) = (Tag::default(), None);
+    ) -> Result<(Tag, Option<Payload>), AbdError> {
+        let mut best: (Tag, Option<Payload>) = (Tag::default(), None);
         self.run_quorum_phase(
             pid,
             AbdPhase::Query,
             caller_deadline,
-            |id, reply| Request::Query {
-                id,
-                register: self.id,
-                reply,
-            },
+            PhaseRequest::Query { register: self.id },
             |body| match body {
-                ResponseBody::QueryReply { tag, value } => {
-                    fold_max_tag(&mut best, tag, value);
+                ReplyBody::Value { tag, payload } => {
+                    fold_max_tag(&mut best, tag, payload);
                     true
                 }
-                ResponseBody::StoreAck => false,
+                ReplyBody::Ack | ReplyBody::Error { .. } => false,
             },
         )?;
         Ok(best)
@@ -177,33 +254,32 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
         &self,
         pid: ProcessId,
         tag: Tag,
-        value: ErasedValue,
+        payload: Payload,
         caller_deadline: Deadline,
     ) -> Result<(), AbdError> {
         self.run_quorum_phase(
             pid,
             AbdPhase::Store,
             caller_deadline,
-            |id, reply| Request::Store {
-                id,
+            PhaseRequest::Store {
                 register: self.id,
                 tag,
-                value: Arc::clone(&value),
-                reply,
+                payload,
             },
-            |body| matches!(body, ResponseBody::StoreAck),
+            |body| matches!(body, ReplyBody::Ack),
         )
     }
 
-    /// One quorum phase: broadcast `make(id, reply)`, collect replies from
+    /// One quorum phase: broadcast the request, collect replies from
     /// distinct replicas (duplicates discarded) until a majority accepted,
     /// retransmitting to silent replicas under capped exponential backoff,
     /// and giving up with [`AbdError::QuorumUnavailable`] at the
     /// configured operation timeout.
     ///
     /// `on_reply` returns whether the reply was of the expected kind; only
-    /// accepted replies count toward the quorum. `pid` is the client
-    /// process running the phase, used to attribute trace events.
+    /// accepted replies count toward the quorum (a typed
+    /// [`ReplyBody::Error`] never does). `pid` is the client process
+    /// running the phase, used to attribute trace events.
     /// `caller_deadline` caps the phase's wait below the configured
     /// `op_timeout`: whichever bound arrives first ends the phase with
     /// [`AbdError::QuorumUnavailable`].
@@ -212,70 +288,61 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
         pid: ProcessId,
         phase: AbdPhase,
         caller_deadline: Deadline,
-        make: impl Fn(RequestId, Sender<Response>) -> Request,
-        mut on_reply: impl FnMut(ResponseBody) -> bool,
+        request: PhaseRequest,
+        mut on_reply: impl FnMut(ReplyBody) -> bool,
     ) -> Result<(), AbdError> {
-        let network = &self.network;
+        let transport = &*self.transport;
         // Fail fast on a poisoned fleet: no broadcast, no backoff, no
         // timeout wait — retries against a panicked replica thread (or an
         // explicitly poisoned network) can never succeed.
-        if network.poisoned() {
+        if transport.poisoned() {
             return Err(AbdError::NetworkPoisoned);
         }
-        let id = network.fresh_request_id();
-        let (tx, rx) = unbounded();
+        let id = transport.fresh_request_id();
         let started = Instant::now();
-        let deadline = caller_deadline.cap(started + network.op_timeout());
-        let needed = network.quorum();
-        let retry = network.retry_policy().clone();
-        let mut acked = vec![false; network.replicas()];
+        let deadline = caller_deadline.cap(started + transport.op_timeout());
+        let needed = transport.quorum();
+        let retry = transport.retry_policy().clone();
+        let mut acked = vec![false; transport.replicas()];
         let mut acks = 0usize;
         let kind = match phase {
             AbdPhase::Query => AbdPhaseKind::Query,
             AbdPhase::Store => AbdPhaseKind::Store,
         };
-        network.trace().emit(pid.get(), Event::AbdPhaseStart { phase: kind });
+        transport.trace().emit(pid.get(), Event::AbdPhaseStart { phase: kind });
 
-        network.send_where(|_| true, || make(id, tx.clone()));
+        let mut quorum = transport.begin_phase(id, request);
+        quorum.send_where(&mut |_| true);
         let mut backoff = retry.initial_backoff;
         let mut attempt = 0u32;
         loop {
             let wake = deadline.min(Instant::now() + backoff);
-            loop {
-                match rx.recv_deadline(wake) {
-                    Ok(response) => {
-                        debug_assert_eq!(
-                            response.id, id,
-                            "reply channels are per-phase; ids cannot mix"
-                        );
-                        if response.id != id || acked[response.from] {
-                            continue;
-                        }
-                        if !on_reply(response.body) {
-                            continue;
-                        }
-                        acked[response.from] = true;
-                        acks += 1;
-                        if acks >= needed {
-                            let elapsed = started.elapsed();
-                            network.record_quorum_latency(elapsed);
-                            network.trace().emit(
-                                pid.get(),
-                                Event::AbdQuorumReached {
-                                    phase: kind,
-                                    acks,
-                                    elapsed_us: elapsed.as_micros().min(u128::from(u64::MAX))
-                                        as u64,
-                                },
-                            );
-                            return Ok(());
-                        }
-                    }
-                    Err(_) => break, // wake deadline hit
+            while let Some(reply) = quorum.recv_deadline(wake) {
+                if reply.from >= acked.len() || acked[reply.from] {
+                    continue;
+                }
+                let from = reply.from;
+                if !on_reply(reply.body) {
+                    continue;
+                }
+                acked[from] = true;
+                acks += 1;
+                if acks >= needed {
+                    let elapsed = started.elapsed();
+                    transport.record_quorum_latency(elapsed);
+                    transport.trace().emit(
+                        pid.get(),
+                        Event::AbdQuorumReached {
+                            phase: kind,
+                            acks,
+                            elapsed_us: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                        },
+                    );
+                    return Ok(());
                 }
             }
             if Instant::now() >= deadline {
-                network
+                transport
                     .trace()
                     .emit(pid.get(), Event::AbdQuorumFailed { phase: kind, acks, needed });
                 return Err(AbdError::QuorumUnavailable {
@@ -287,18 +354,42 @@ impl<V: Clone + Send + Sync + 'static> AbdRegister<V> {
             }
             // A fleet poisoned mid-phase cannot answer any more: stop
             // retransmitting instead of spinning until the timeout.
-            if network.poisoned() {
+            if transport.poisoned() {
                 return Err(AbdError::NetworkPoisoned);
             }
             // Messages may have been dropped: retransmit (same request id,
             // so replicas dedupe) to every replica still silent.
             attempt += 1;
-            let resent = network.send_where(|i| !acked[i], || make(id, tx.clone()));
-            network.note_retries(resent as u64);
-            network
+            let resent = quorum.send_where(&mut |i| !acked[i]);
+            transport.note_retries(resent as u64);
+            transport
                 .trace()
                 .emit(pid.get(), Event::AbdRetransmit { phase: kind, attempt, resent });
             backoff = retry.next_backoff(backoff, id, attempt);
+        }
+    }
+}
+
+impl<V: WireValue + Clone + Send + Sync + 'static> AbdRegister<V> {
+    /// Creates a register at the explicit wire address `id`, carrying
+    /// values as their [`WireValue`] encoding — required for byte-only
+    /// transports ([`RemoteTransport`](crate::RemoteTransport)), and
+    /// usable over the simulated network too (the bytes round-trip
+    /// through the fault-injection plane untouched, which is how the
+    /// codec path is differentially tested).
+    ///
+    /// The address is explicit, not allocated, because every client
+    /// process of one cluster must agree on it: `snapshotd` replicas key
+    /// their stores by `(lane, segment)` ([`RegisterId::from_lane_segment`]).
+    pub fn with_wire_codec(transport: Arc<dyn Transport>, id: RegisterId, init: V) -> Self {
+        AbdRegister {
+            transport,
+            id,
+            init,
+            codec: Codec::Wire {
+                enc: |v| v.encode_to_bytes(),
+                dec: V::decode_bytes,
+            },
         }
     }
 }
@@ -329,7 +420,11 @@ impl<V: Clone + Send + Sync + 'static> TryRegister<V> for AbdRegister<V> {
 
 impl<V> fmt::Debug for AbdRegister<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AbdRegister").field("id", &self.id).finish()
+        f.debug_struct("AbdRegister")
+            .field("id", &self.id)
+            .field("transport", &self.transport.kind())
+            .field("codec", &self.codec)
+            .finish()
     }
 }
 
@@ -343,12 +438,15 @@ mod tests {
     const P0: ProcessId = ProcessId::new(0);
     const P1: ProcessId = ProcessId::new(1);
 
-    fn erase(v: u32) -> ErasedValue {
-        Arc::new(v) as ErasedValue
+    fn erase(v: u32) -> Payload {
+        Payload::Erased(Arc::new(v) as ErasedValue)
     }
 
-    fn unerase(v: &ErasedValue) -> u32 {
-        *v.downcast_ref::<u32>().unwrap()
+    fn unerase(v: &Payload) -> u32 {
+        match v {
+            Payload::Erased(v) => *v.downcast_ref::<u32>().unwrap(),
+            Payload::Bytes(_) => panic!("expected an erased payload"),
+        }
     }
 
     #[test]
@@ -410,6 +508,24 @@ mod tests {
         assert_eq!(reg.read(P1), 5);
         reg.write(P1, 6);
         assert_eq!(reg.read(P0), 6);
+    }
+
+    #[test]
+    fn wire_codec_round_trips_over_the_simulated_network() {
+        // The differential check behind the remote mode: the same codec
+        // a RemoteTransport register uses runs over the simulated network
+        // (its bytes cross the fault-injection plane opaquely), so every
+        // sim soak also exercises the wire encoding.
+        let net: Arc<Network> = Arc::new(Network::new(3));
+        let reg: AbdRegister<(u64, String)> = AbdRegister::with_wire_codec(
+            Arc::clone(&net) as Arc<dyn Transport>,
+            RegisterId::from_lane_segment(2, 7),
+            (0u64, String::new()),
+        );
+        assert_eq!(reg.id().lane_segment(), (2, 7));
+        assert_eq!(reg.read(P0), (0, String::new()));
+        reg.write(P0, (4, String::from("wire")));
+        assert_eq!(reg.read(P1), (4, String::from("wire")));
     }
 
     #[test]
@@ -492,7 +608,7 @@ mod tests {
             NetworkConfig::new(3).with_op_timeout(Duration::from_secs(5)),
         ));
         let reg = AbdRegister::new(Arc::clone(&net), 0u32);
-        net.partition(&[0, 1]); // majority gone: phases can only starve
+        net.partition(&[0, 1]); // majority gone
         let started = Instant::now();
         let err = reg
             .try_read_by(P1, Deadline::after(Duration::from_millis(20)))
@@ -558,7 +674,8 @@ mod tests {
         assert_eq!(sink.count("abd_quorum_failed"), 0);
 
         // The same traffic is visible through both the legacy stats view
-        // and the shared registry.
+        // and the shared registry; the transport kind is a marker gauge
+        // (sim and real transports share every other key).
         let sent = registry.counter("abd.messages_sent").get();
         assert_eq!(sent, net.stats().messages_sent);
         assert!(sent >= 12, "four quorum phases x three replicas, got {sent}");
@@ -566,6 +683,7 @@ mod tests {
             registry.histogram("abd.quorum_latency_us").snapshot().count(),
             net.quorum_latency().count(),
         );
+        assert_eq!(registry.gauge("abd.transport.sim").get(), 1);
     }
 
     #[test]

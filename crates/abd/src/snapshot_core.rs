@@ -18,8 +18,10 @@ use std::sync::Arc;
 use snapshot_core::{CoreError, Deadline, RequestCtx, ScanStats, SnapshotView, TrySnapshotCore};
 use snapshot_obs::{SpanId, SpanKind, SpanStatus};
 use snapshot_registers::{CachePadded, ProcessId};
+use snapshot_wire::{Reader, WireError, WireValue};
 
-use crate::{AbdError, AbdRegister, Network};
+use crate::transport::Transport;
+use crate::{AbdError, AbdRegister, Network, RegisterId};
 
 /// Contents of register `r_i` in Figure 2, stored as one ABD register
 /// value: `(value, seq, view)` written in one (emulated) atomic write.
@@ -30,15 +32,50 @@ struct AbdRecord<V> {
     view: SnapshotView<V>,
 }
 
+/// The record's wire form (for [`AbdSnapshotCore::remote`]): value, seq,
+/// then the embedded view as a length-prefixed sequence. Private to this
+/// module — replicas carry it opaquely; only clients decode it.
+impl<V: WireValue + Clone + Send + Sync + 'static> WireValue for AbdRecord<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.value.encode_into(out);
+        self.seq.encode_into(out);
+        out.extend_from_slice(&(self.view.len() as u32).to_le_bytes());
+        for v in self.view.as_slice() {
+            v.encode_into(out);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let value = V::decode_from(r)?;
+        let seq = u64::decode_from(r)?;
+        let len = u32::decode_from(r)?;
+        if len as usize > r.remaining() {
+            return Err(WireError::BadLength {
+                field: "view",
+                len: u64::from(len),
+            });
+        }
+        let mut view = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            view.push(V::decode_from(r)?);
+        }
+        Ok(AbdRecord {
+            value,
+            seq,
+            view: SnapshotView::from(view),
+        })
+    }
+}
+
 fn core_error(e: AbdError) -> CoreError {
     match e {
         // The liveness boundary: a healed partition or restarted replica
         // can make the next attempt succeed.
         AbdError::QuorumUnavailable { .. } => CoreError::Unavailable { reason: e.to_string() },
         // Terminal faults: retries cannot succeed.
-        AbdError::NetworkPoisoned | AbdError::ValueTypeMismatch { .. } => {
-            CoreError::Failed { reason: e.to_string() }
-        }
+        AbdError::NetworkPoisoned
+        | AbdError::ValueTypeMismatch { .. }
+        | AbdError::DecodeFailed { .. } => CoreError::Failed { reason: e.to_string() },
     }
 }
 
@@ -68,7 +105,7 @@ fn core_error(e: AbdError) -> CoreError {
 /// a busy lane panics, mirroring the in-process constructions' handle
 /// registry.
 pub struct AbdSnapshotCore<V> {
-    network: Arc<Network>,
+    transport: Arc<dyn Transport>,
     regs: Box<[AbdRegister<AbdRecord<V>>]>,
     /// Next sequence number per lane. Authoritative because registers are
     /// allocated fresh by this core and written only by their own lane;
@@ -87,27 +124,40 @@ impl<V: Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
     ///
     /// Panics if `n` is zero.
     pub fn new(network: &Arc<Network>, n: usize, init: V) -> Self {
+        Self::over(Arc::clone(network) as Arc<dyn Transport>, n, init)
+    }
+
+    /// Creates the object for `n` lanes over any in-process transport's
+    /// replicas, every segment holding `init`. Values stay type-erased
+    /// (no serialization); for a byte-only transport use
+    /// [`remote`](Self::remote).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or if the transport only carries encoded
+    /// bytes ([`Transport::requires_bytes`]).
+    pub fn over(transport: Arc<dyn Transport>, n: usize, init: V) -> Self {
         assert!(n > 0, "a snapshot object needs at least one process");
         let initial_view = SnapshotView::from(vec![init.clone(); n]);
         AbdSnapshotCore {
             regs: (0..n)
                 .map(|_| {
-                    AbdRegister::new(
-                        Arc::clone(network),
+                    AbdRegister::with_transport(
+                        Arc::clone(&transport),
                         AbdRecord { value: init.clone(), seq: 0, view: initial_view.clone() },
                     )
                 })
                 .collect(),
             seqs: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
             busy: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            network: Arc::clone(network),
+            transport,
             n,
         }
     }
 
-    /// The network this core's registers are emulated over.
-    pub fn network(&self) -> &Arc<Network> {
-        &self.network
+    /// The transport this core's registers run over.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     fn claim(&self, lane: ProcessId) -> LaneGuard<'_> {
@@ -130,7 +180,7 @@ impl<V: Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
         deadline: Deadline,
         parent: SpanId,
     ) -> Result<Vec<AbdRecord<V>>, CoreError> {
-        let span = self.network.trace().span(lane.get(), SpanKind::QuorumQuery, parent);
+        let span = self.transport.trace().span(lane.get(), SpanKind::QuorumQuery, parent);
         span.note("registers", self.n as u64);
         let out: Result<Vec<AbdRecord<V>>, CoreError> = (0..self.n)
             .map(|j| self.regs[j].try_read_by(lane, deadline).map_err(core_error))
@@ -149,7 +199,7 @@ impl<V: Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
         deadline: Deadline,
         parent: SpanId,
     ) -> Result<Vec<AbdRecord<V>>, CoreError> {
-        let span = self.network.trace().span(lane.get(), SpanKind::QuorumQuery, parent);
+        let span = self.transport.trace().span(lane.get(), SpanKind::QuorumQuery, parent);
         span.note("registers", segments.len() as u64);
         let out: Result<Vec<AbdRecord<V>>, CoreError> = segments
             .iter()
@@ -197,6 +247,49 @@ impl<V: Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
                     moved[j] += 1;
                 }
             }
+        }
+    }
+}
+
+impl<V: WireValue + Clone + Send + Sync + 'static> AbdSnapshotCore<V> {
+    /// Creates the object for `n` lanes over a **wire** transport — the
+    /// remote-mode constructor: the same Figure-2 construction, the same
+    /// service stack above it, but every register quorum phase crosses
+    /// real sockets to `snapshotd` replicas. Records travel as their
+    /// [`WireValue`] encoding; register `i` is addressed
+    /// `(lane = i, segment = i)` ([`RegisterId::from_lane_segment`]), so
+    /// every client of one cluster addresses the same registers.
+    ///
+    /// Lane sequence numbers start at zero: run one client per lane
+    /// against a fresh cluster (the single-writer discipline, now
+    /// cluster-wide). A client restarted against surviving replica state
+    /// must not reuse a lane without re-reading its register first —
+    /// the service layer owns lanes for exactly this reason.
+    ///
+    /// Works over the simulated network too (the codec round-trips
+    /// through the fault plane opaquely), which is how remote mode is
+    /// differentially tested against in-process mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn remote(transport: Arc<dyn Transport>, n: usize, init: V) -> Self {
+        assert!(n > 0, "a snapshot object needs at least one process");
+        let initial_view = SnapshotView::from(vec![init.clone(); n]);
+        AbdSnapshotCore {
+            regs: (0..n)
+                .map(|i| {
+                    AbdRegister::with_wire_codec(
+                        Arc::clone(&transport),
+                        RegisterId::from_lane_segment(i as u32, i as u32),
+                        AbdRecord { value: init.clone(), seq: 0, view: initial_view.clone() },
+                    )
+                })
+                .collect(),
+            seqs: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            busy: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            transport,
+            n,
         }
     }
 }
@@ -305,7 +398,7 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
         let _guard = self.claim(lane);
         let (view, mut stats) = self.scan_inner(lane, deadline, ctx.span)?; // Fig. 2 update line 1
         let seq = self.seqs[lane.get()].fetch_add(1, Ordering::Relaxed) + 1;
-        let store = self.network.trace().span(lane.get(), SpanKind::QuorumStore, ctx.span);
+        let store = self.transport.trace().span(lane.get(), SpanKind::QuorumStore, ctx.span);
         store.note("seq", seq);
         let written = self.regs[lane.get()]
             .try_write_by(lane, AbdRecord { value, seq, view }, deadline) // line 2
@@ -339,7 +432,7 @@ impl<V: Clone + Send + Sync + 'static> TrySnapshotCore<V> for AbdSnapshotCore<V>
         ctx: RequestCtx,
     ) -> Result<Option<(V, u64)>, CoreError> {
         assert!(segment < self.n, "segment {segment} out of range ({} segments)", self.n);
-        let span = self.network.trace().span(reader.get(), SpanKind::QuorumQuery, ctx.span);
+        let span = self.transport.trace().span(reader.get(), SpanKind::QuorumQuery, ctx.span);
         let read = self.regs[segment].try_read_by(reader, deadline).map_err(core_error);
         span.end(if read.is_ok() { SpanStatus::Ok } else { SpanStatus::Error });
         Ok(Some(read.map(|r| (r.value, r.seq))?))
@@ -419,7 +512,7 @@ impl<V> fmt::Debug for AbdSnapshotCore<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AbdSnapshotCore")
             .field("lanes", &self.n)
-            .field("replicas", &self.network.replicas())
+            .field("replicas", &self.transport.replicas())
             .finish()
     }
 }

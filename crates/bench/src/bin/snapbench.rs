@@ -7,7 +7,11 @@
 //! mix that hammers the hot segments the way real partial traffic
 //! does — through `snapshot_service::SnapshotService` —
 //! `abd-scan`, the service over an `AbdSnapshotCore` on a healthy
-//! in-process replica network, and `degraded-shard`, the service over
+//! in-process replica network, `abd-scan-tcp`, the same stack over the
+//! *real* wire transport against in-process `snapshotd` replicas on TCP
+//! loopback (every quorum phase a framed socket round-trip, so the cell
+//! prices syscalls and the wire codec against the simulator), and
+//! `degraded-shard`, the service over
 //! a backing whose full collects blip in bursts so the windowed
 //! breaker cycles trip → shed → probe → close while the bench
 //! measures the typed-failure path) against the four
@@ -20,9 +24,9 @@
 //!
 //! ```text
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --out BENCH_8.json
+//!     --out BENCH_9.json
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --quick --compare BENCH_8.json --report-only
+//!     --quick --compare BENCH_9.json --report-only
 //! ```
 //!
 //! `--compare` exits with status 1 when any entry's median ns/op
@@ -46,7 +50,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use snapshot_abd::{AbdSnapshotCore, Network, NetworkConfig};
+use snapshot_abd::{AbdSnapshotCore, Network, NetworkConfig, RemoteConfig, RemoteTransport, Transport};
 use snapshot_bench::tracked::{self, BenchEntry, BenchReport};
 use snapshot_bench::trend;
 use snapshot_core::{
@@ -55,6 +59,7 @@ use snapshot_core::{
 };
 use snapshot_registers::ProcessId;
 use snapshot_service::{HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService};
+use snapshot_wire::{Endpoint, ReplicaServer, ServerConfig};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Workload {
@@ -87,6 +92,13 @@ enum Workload {
     /// construction `AbdSnapshotCore` executes) with reduced iteration
     /// counts — message-passing ops are orders of magnitude slower.
     AbdScan,
+    /// The same service-over-`AbdSnapshotCore` shape, but over the real
+    /// wire transport: three in-process `snapshotd` replicas on TCP
+    /// loopback, every quorum phase a framed socket round-trip. The
+    /// delta against `abd-scan` prices the wire codec, syscalls, and
+    /// the connection managers; unbounded-only, heavily reduced
+    /// iteration counts.
+    AbdScanTcp,
     /// Service over a backing whose full collects fail in periodic
     /// bursts: the windowed breaker cycles trip → shed → probe → close
     /// under load, so the cell times the *typed-failure* path — retry
@@ -97,7 +109,7 @@ enum Workload {
 }
 
 impl Workload {
-    const ALL: [Workload; 10] = [
+    const ALL: [Workload; 11] = [
         Workload::ScanHeavy,
         Workload::UpdateHeavy,
         Workload::Mixed,
@@ -107,6 +119,7 @@ impl Workload {
         Workload::PartialScanSn,
         Workload::PartialScanZipf,
         Workload::AbdScan,
+        Workload::AbdScanTcp,
         Workload::DegradedShard,
     ];
 
@@ -121,6 +134,7 @@ impl Workload {
             Workload::PartialScanSn => "partial-scan-sn",
             Workload::PartialScanZipf => "partial-scan-zipf",
             Workload::AbdScan => "abd-scan",
+            Workload::AbdScanTcp => "abd-scan-tcp",
             Workload::DegradedShard => "degraded-shard",
         }
     }
@@ -136,7 +150,7 @@ impl Workload {
             | Workload::PartialScanSq
             | Workload::PartialScanSn
             | Workload::PartialScanZipf => k % 2 == 0,
-            Workload::AbdScan | Workload::DegradedShard => k % 2 == 0,
+            Workload::AbdScan | Workload::AbdScanTcp | Workload::DegradedShard => k % 2 == 0,
         }
     }
 
@@ -145,6 +159,7 @@ impl Workload {
     fn iters_divisor(self) -> u64 {
         match self {
             Workload::AbdScan => 20,
+            Workload::AbdScanTcp => 40,
             Workload::DegradedShard => 4,
             _ => 1,
         }
@@ -241,8 +256,10 @@ fn suite(tuning: &Tuning) -> Vec<Config> {
             // The abd workload always runs Figure 2 over ABD lanes, and
             // the degraded-shard workload wraps the same construction in
             // a fault injector — both are unbounded-only.
-            if matches!(workload, Workload::AbdScan | Workload::DegradedShard)
-                && construction != Construction::Unbounded
+            if matches!(
+                workload,
+                Workload::AbdScan | Workload::AbdScanTcp | Workload::DegradedShard
+            ) && construction != Construction::Unbounded
             {
                 continue;
             }
@@ -494,6 +511,60 @@ fn time_abd(threads: usize, iters: u64) -> u128 {
     elapsed
 }
 
+/// Times one sample of the `abd-scan-tcp` workload: the same shape as
+/// [`time_abd`], but the quorum phases travel the real wire — three
+/// in-process `snapshotd` replicas on TCP loopback behind a
+/// `RemoteTransport`. Cluster setup (listeners, dials, handshakes) is
+/// excluded from the timed region; on healthy loopback every operation
+/// must succeed.
+fn time_abd_tcp(threads: usize, iters: u64) -> u128 {
+    let servers: Vec<ReplicaServer> = (0..3)
+        .map(|i| {
+            ReplicaServer::spawn(ServerConfig::new(
+                Endpoint::parse("tcp:127.0.0.1:0").expect("loopback endpoint"),
+                i as u32,
+            ))
+            .expect("spawning loopback replica")
+        })
+        .collect();
+    let endpoints = servers.iter().map(|s| s.endpoint().clone()).collect();
+    let transport: Arc<dyn Transport> =
+        Arc::new(RemoteTransport::connect(RemoteConfig::new(endpoints)));
+    let service = SnapshotService::new(AbdSnapshotCore::remote(transport, threads, 0u64));
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = 0u128;
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let barrier = &barrier;
+            let service = &service;
+            s.spawn(move || {
+                let mut client = service.client(i);
+                barrier.wait();
+                let mut acc = 0u64;
+                for k in 0..iters {
+                    if k % 2 == 0 {
+                        client
+                            .update(i, ((i as u64) << 32) | k)
+                            .expect("healthy loopback cluster");
+                    } else {
+                        let view = client.scan().expect("healthy loopback cluster");
+                        acc = acc.wrapping_add(view.iter().sum::<u64>());
+                    }
+                }
+                std::hint::black_box(acc);
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        elapsed = start.elapsed().as_nanos();
+    });
+    drop(service);
+    drop(servers);
+    elapsed
+}
+
 /// An `UnboundedSnapshot` whose full collects fail in periodic bursts
 /// (2 of every 8 scans err `Unavailable`, counted globally): enough
 /// sustained error rate to trip the service's windowed breaker, with
@@ -626,6 +697,8 @@ fn run_config(config: &Config, tuning: &Tuning) -> BenchEntry {
     for round in 0..tuning.warmup + tuning.samples {
         let elapsed = if config.workload == Workload::AbdScan {
             time_abd(threads, iters)
+        } else if config.workload == Workload::AbdScanTcp {
+            time_abd_tcp(threads, iters)
         } else if config.workload == Workload::DegradedShard {
             time_degraded(threads, iters)
         } else if let Some(subset_len) = config.workload.subset_len(threads) {
@@ -824,7 +897,7 @@ fn run_trend(args: TrendArgs) -> ExitCode {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_8.json".to_string(),
+        out: "BENCH_9.json".to_string(),
         compare: None,
         threshold_pct: 20.0,
         report_only: false,

@@ -519,6 +519,28 @@ pub enum Event {
         /// Shards whose breakers were open when the report was taken.
         open_shards: u32,
     },
+    /// A real-transport client dialed (or redialed) a replica endpoint.
+    TransportDial {
+        /// The replica index being dialed.
+        replica: usize,
+        /// 1-based dial attempt since the last successful connection.
+        attempt: u32,
+    },
+    /// A real-transport client completed the wire handshake with a
+    /// replica and is draining its outbound queue again.
+    TransportConnected {
+        /// The connected replica index.
+        replica: usize,
+        /// Dial attempts it took to get here (1 = first try).
+        attempt: u32,
+    },
+    /// A real-transport connection to a replica was severed; frames queued
+    /// while disconnected are dropped (ABD retransmission masks the loss)
+    /// and the connection manager redials with capped backoff.
+    TransportDropped {
+        /// The disconnected replica index.
+        replica: usize,
+    },
 }
 
 impl Event {
@@ -560,6 +582,9 @@ impl Event {
             Event::SpanFollows { .. } => "span_follows",
             Event::BreakerTrip { .. } => "breaker_trip",
             Event::LoadReport { .. } => "load_report",
+            Event::TransportDial { .. } => "transport_dial",
+            Event::TransportConnected { .. } => "transport_connected",
+            Event::TransportDropped { .. } => "transport_dropped",
         }
     }
 }
@@ -658,6 +683,15 @@ impl fmt::Display for Event {
                     "load_report(hot={hot_shard}, skewed={skewed}, skew={skew_permille}‰, \
                      open={open_shards})"
                 )
+            }
+            Event::TransportDial { replica, attempt } => {
+                write!(f, "transport_dial(replica=R{replica}, attempt={attempt})")
+            }
+            Event::TransportConnected { replica, attempt } => {
+                write!(f, "transport_connected(replica=R{replica}, attempt={attempt})")
+            }
+            Event::TransportDropped { replica } => {
+                write!(f, "transport_dropped(replica=R{replica})")
             }
         }
     }

@@ -149,6 +149,17 @@ fn push_payload(out: &mut String, event: &Event) {
             push_field(out, "skew_permille", skew_permille);
             push_field(out, "open_shards", open_shards);
         }
+        Event::TransportDial { replica, attempt } => {
+            push_field(out, "replica", replica);
+            push_field(out, "attempt", attempt);
+        }
+        Event::TransportConnected { replica, attempt } => {
+            push_field(out, "replica", replica);
+            push_field(out, "attempt", attempt);
+        }
+        Event::TransportDropped { replica } => {
+            push_field(out, "replica", replica);
+        }
     }
 }
 

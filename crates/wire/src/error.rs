@@ -1,0 +1,98 @@
+//! Typed decode failures.
+//!
+//! Every way a byte buffer can fail to parse has a named variant; decode
+//! paths return these instead of panicking, so a corrupt frame (or a
+//! hostile peer) can at worst cost one connection, never the process.
+
+use std::fmt;
+
+/// Typed failure of protocol decoding.
+///
+/// Decoding **never panics**: truncation, trailing garbage, unknown
+/// discriminants, bad magic and absurd lengths each map to a variant, and
+/// the robustness suite (`tests/proptest_wire.rs`) fuzzes every frame
+/// type against truncation and corruption to hold that line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a fixed-width field or declared payload.
+    Truncated {
+        /// Bytes the decoder needed.
+        expected: usize,
+        /// Bytes that remained.
+        got: usize,
+    },
+    /// Decoding consumed the message but bytes remain — the peer framed
+    /// two messages as one, or the payload length lied.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// The frame's kind discriminant names no known frame type.
+    UnknownFrameKind(
+        /// The unrecognized discriminant.
+        u8,
+    ),
+    /// An error frame carried an error-code discriminant this version
+    /// does not know (it still decodes, as [`ErrorCode::Unknown`]); this
+    /// variant is only produced by strict decoders that refuse it.
+    ///
+    /// [`ErrorCode::Unknown`]: crate::proto::ErrorCode::Unknown
+    UnknownErrorCode(
+        /// The unrecognized discriminant.
+        u16,
+    ),
+    /// The handshake's magic bytes are not this protocol's.
+    BadMagic(
+        /// The four bytes received.
+        [u8; 4],
+    ),
+    /// The handshake named a protocol version this build does not speak.
+    UnsupportedVersion(
+        /// The offered version.
+        u16,
+    ),
+    /// A frame's body length exceeds the configured maximum (the framing
+    /// layer's guard, folded into the protocol error plane).
+    FrameTooLarge {
+        /// Advertised length.
+        len: u64,
+        /// Configured cap.
+        max: u64,
+    },
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A declared collection or payload length is impossible for the
+    /// bytes that remain (corrupt length field caught before allocation).
+    BadLength {
+        /// Which field.
+        field: &'static str,
+        /// The declared length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated: needed {expected} bytes, {got} remained")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            WireError::UnknownFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
+            WireError::BadMagic(m) => write!(f, "bad protocol magic {m:?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
+            WireError::BadLength { field, len } => {
+                write!(f, "field `{field}` declares impossible length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,200 @@
+//! The framing layer: length-prefixed frames over a byte stream.
+//!
+//! Every protocol message travels as one *frame*: a little-endian `u32`
+//! length prefix followed by exactly that many body bytes. The reader
+//! enforces a maximum frame size **before** allocating, so a corrupt or
+//! hostile length prefix can never balloon memory — it surfaces as the
+//! typed [`FrameIoError::TooLarge`] and the connection is dropped.
+
+use std::io::{self, Read, Write};
+
+use crate::error::WireError;
+
+/// Default upper bound on one frame's body, in bytes (1 MiB).
+///
+/// Generous for the snapshot workload (a frame carries one register
+/// record), small enough that a garbage length prefix cannot cause a
+/// multi-gigabyte allocation.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Outcome of reading one frame from a stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// One complete frame body.
+    Frame(Vec<u8>),
+    /// The peer closed the stream cleanly (EOF on a frame boundary).
+    Eof,
+}
+
+/// Typed failure of the frame read path.
+#[derive(Debug)]
+pub enum FrameIoError {
+    /// The underlying stream failed (including EOF *inside* a frame,
+    /// which surfaces as [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::Error),
+    /// The length prefix exceeds the configured maximum frame size. The
+    /// body was **not** read (let alone allocated); the stream is no
+    /// longer frame-aligned and must be dropped.
+    TooLarge {
+        /// The advertised body length.
+        len: u32,
+        /// The configured maximum.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FrameIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameIoError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            FrameIoError::TooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameIoError {}
+
+impl From<io::Error> for FrameIoError {
+    fn from(e: io::Error) -> Self {
+        FrameIoError::Io(e)
+    }
+}
+
+impl FrameIoError {
+    /// The oversize case as a protocol-level [`WireError`] (for callers
+    /// folding both error planes into one report).
+    pub fn as_wire_error(&self) -> Option<WireError> {
+        match self {
+            FrameIoError::TooLarge { len, max } => Some(WireError::FrameTooLarge {
+                len: u64::from(*len),
+                max: u64::from(*max),
+            }),
+            FrameIoError::Io(_) => None,
+        }
+    }
+}
+
+/// Writes one frame (length prefix + body) to `w`.
+///
+/// Refuses bodies longer than `max` with [`FrameIoError::TooLarge`]
+/// *before* touching the stream, so a local encoding bug cannot desync
+/// the peer.
+pub fn write_frame(w: &mut impl Write, body: &[u8], max: u32) -> Result<(), FrameIoError> {
+    let len = u32::try_from(body.len()).map_err(|_| FrameIoError::TooLarge {
+        len: u32::MAX,
+        max,
+    })?;
+    if len > max {
+        return Err(FrameIoError::TooLarge { len, max });
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`, enforcing the `max` body-size guard before
+/// allocating the body buffer.
+///
+/// A clean EOF before the first length byte is [`FrameRead::Eof`]; EOF
+/// anywhere inside a frame is an [`io::ErrorKind::UnexpectedEof`] error
+/// (the peer died mid-frame).
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<FrameRead, FrameIoError> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled first-byte read to distinguish "clean close" from
+    // "died mid-prefix".
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(FrameIoError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame length prefix",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameIoError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max {
+        return Err(FrameIoError::TooLarge { len, max });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(FrameRead::Frame(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap() {
+            FrameRead::Frame(b) => assert_eq!(b, b"hello"),
+            FrameRead::Eof => panic!("expected a frame"),
+        }
+        match read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap() {
+            FrameRead::Frame(b) => assert!(b.is_empty()),
+            FrameRead::Eof => panic!("expected the empty frame"),
+        }
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversize_prefix_is_rejected_before_allocating() {
+        // 4 GiB-1 advertised length, 0 body bytes behind it: must fail on
+        // the guard, not on an allocation or an EOF.
+        let mut buf = u32::MAX.to_le_bytes().to_vec();
+        buf.push(0);
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r, 1024) {
+            Err(FrameIoError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversize_write_is_refused_locally() {
+        let mut buf = Vec::new();
+        let body = vec![0u8; 32];
+        match write_frame(&mut buf, &body, 16) {
+            Err(FrameIoError::TooLarge { len: 32, max: 16 }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert!(buf.is_empty(), "nothing may reach the stream");
+    }
+
+    #[test]
+    fn eof_inside_prefix_or_body_is_unexpected_eof() {
+        let mut r = Cursor::new(vec![5u8, 0]); // half a length prefix
+        match read_frame(&mut r, 1024) {
+            Err(FrameIoError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("{other:?}"),
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef", 1024).unwrap();
+        buf.truncate(7); // prefix + 3 of 6 body bytes
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r, 1024) {
+            Err(FrameIoError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The versioned protocol: every message that crosses a replica
+//! connection, with hand-rolled canonical encode/decode.
+//!
+//! # Wire format
+//!
+//! Every frame body begins with a one-byte kind discriminant; all
+//! integers are little-endian (see DESIGN.md §14 for the field table).
+//!
+//! | kind | frame        | body after the kind byte                                  |
+//! |------|--------------|-----------------------------------------------------------|
+//! | 1    | `Hello`      | magic `[u8;4]`, version `u16`, client `u32`               |
+//! | 2    | `HelloAck`   | magic `[u8;4]`, version `u16`, replica `u32`              |
+//! | 3    | `Query`      | id `u64`, lane `u32`, segment `u32`                       |
+//! | 4    | `Store`      | id `u64`, lane `u32`, segment `u32`, tag, value `bytes`   |
+//! | 5    | `QueryReply` | id `u64`, tag, present `u8`, \[value `bytes`\]            |
+//! | 6    | `StoreAck`   | id `u64`                                                  |
+//! | 7    | `Error`      | id `u64`, code `u16`, detail `string`                     |
+//!
+//! where `tag` is seq `u64` + writer `u32`, and `bytes`/`string` are
+//! `u32`-length-prefixed. Registers are addressed as `(lane, segment)`
+//! pairs — the snapshot construction's own coordinates — so a replica
+//! dump is legible without a register-id allocation table.
+
+use std::fmt;
+
+use crate::error::WireError;
+use crate::value::{put_bytes, Reader};
+
+/// The four magic bytes opening every handshake frame.
+pub const MAGIC: [u8; 4] = *b"SNAP";
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+const KIND_HELLO: u8 = 1;
+const KIND_HELLO_ACK: u8 = 2;
+const KIND_QUERY: u8 = 3;
+const KIND_STORE: u8 = 4;
+const KIND_QUERY_REPLY: u8 = 5;
+const KIND_STORE_ACK: u8 = 6;
+const KIND_ERROR: u8 = 7;
+
+/// The ABD logical timestamp as it crosses the wire: `(seq, writer)`,
+/// compared lexicographically exactly like the in-process `Tag`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WireTag {
+    /// Logical sequence number.
+    pub seq: u64,
+    /// Writer process id (tie-breaker).
+    pub writer: u32,
+}
+
+impl WireTag {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.writer.to_le_bytes());
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(WireTag {
+            seq: r.u64()?,
+            writer: r.u32()?,
+        })
+    }
+}
+
+/// Typed error classes an [`Frame::Error`] reply carries.
+///
+/// Unknown discriminants decode as [`ErrorCode::Unknown`] instead of
+/// failing the frame, so a newer replica can refuse a request with a
+/// code this build has never heard of and the client still sees a typed
+/// error reply rather than a dead connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request frame did not decode.
+    Malformed,
+    /// The request kind (or protocol version) is not supported.
+    Unsupported,
+    /// The request or its reply would exceed the frame-size cap.
+    TooLarge,
+    /// The replica failed internally.
+    Internal,
+    /// A code minted by a protocol revision this build does not know.
+    Unknown(
+        /// The raw discriminant.
+        u16,
+    ),
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::Unsupported => 2,
+            ErrorCode::TooLarge => 3,
+            ErrorCode::Internal => 4,
+            ErrorCode::Unknown(c) => c,
+        }
+    }
+
+    fn from_u16(c: u16) -> Self {
+        match c {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::Unsupported,
+            3 => ErrorCode::TooLarge,
+            4 => ErrorCode::Internal,
+            other => ErrorCode::Unknown(other),
+        }
+    }
+
+    /// Stable lowercase name (diagnostics, metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Unknown(_) => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One protocol message.
+///
+/// A connection opens with `Hello`/`HelloAck` (magic + version check),
+/// then carries any number of `Query`/`Store` requests answered by
+/// `QueryReply`/`StoreAck`/`Error`, matched by request id. Requests are
+/// retransmission-safe: replicas dedupe `Store` by id and answer every
+/// `Query` delivery, exactly like the simulated network's replicas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client opening handshake.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u16,
+        /// Client identity (diagnostics only; quorum math is positional).
+        client: u32,
+    },
+    /// Replica handshake acceptance.
+    HelloAck {
+        /// Protocol version the replica speaks.
+        version: u16,
+        /// The replica's index in the cluster.
+        replica: u32,
+    },
+    /// "Send me your `(tag, value)` for this register."
+    Query {
+        /// Request id (dedup + reply matching).
+        id: u64,
+        /// The register's lane coordinate.
+        lane: u32,
+        /// The register's segment coordinate.
+        segment: u32,
+    },
+    /// "Store this `(tag, value)` if it exceeds yours, then ack."
+    Store {
+        /// Request id (dedup + reply matching).
+        id: u64,
+        /// The register's lane coordinate.
+        lane: u32,
+        /// The register's segment coordinate.
+        segment: u32,
+        /// The ABD timestamp of the value.
+        tag: WireTag,
+        /// The encoded register value.
+        value: Vec<u8>,
+    },
+    /// Reply to [`Frame::Query`]: the replica's current `(tag, value)`
+    /// (`value` absent if it has never stored this register).
+    QueryReply {
+        /// The request id this answers.
+        id: u64,
+        /// The replica's current tag for the register.
+        tag: WireTag,
+        /// The encoded value, if any.
+        value: Option<Vec<u8>>,
+    },
+    /// Reply to [`Frame::Store`]: applied (or recognized as a duplicate
+    /// and re-acked).
+    StoreAck {
+        /// The request id this answers.
+        id: u64,
+    },
+    /// Typed refusal: the request was received but not served.
+    Error {
+        /// The request id this answers (0 when the request's id was
+        /// itself unreadable).
+        id: u64,
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Frame {
+    /// Encodes this frame's body (the framing layer adds the length
+    /// prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Frame::Hello { version, client } => {
+                out.push(KIND_HELLO);
+                out.extend_from_slice(&MAGIC);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&client.to_le_bytes());
+            }
+            Frame::HelloAck { version, replica } => {
+                out.push(KIND_HELLO_ACK);
+                out.extend_from_slice(&MAGIC);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&replica.to_le_bytes());
+            }
+            Frame::Query { id, lane, segment } => {
+                out.push(KIND_QUERY);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&lane.to_le_bytes());
+                out.extend_from_slice(&segment.to_le_bytes());
+            }
+            Frame::Store {
+                id,
+                lane,
+                segment,
+                tag,
+                value,
+            } => {
+                out.push(KIND_STORE);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&lane.to_le_bytes());
+                out.extend_from_slice(&segment.to_le_bytes());
+                tag.encode_into(&mut out);
+                put_bytes(&mut out, value);
+            }
+            Frame::QueryReply { id, tag, value } => {
+                out.push(KIND_QUERY_REPLY);
+                out.extend_from_slice(&id.to_le_bytes());
+                tag.encode_into(&mut out);
+                match value {
+                    None => out.push(0),
+                    Some(v) => {
+                        out.push(1);
+                        put_bytes(&mut out, v);
+                    }
+                }
+            }
+            Frame::StoreAck { id } => {
+                out.push(KIND_STORE_ACK);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Frame::Error { id, code, detail } => {
+                out.push(KIND_ERROR);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&code.to_u16().to_le_bytes());
+                put_bytes(&mut out, detail.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame body. Never panics: every malformation maps to a
+    /// typed [`WireError`].
+    pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
+        let mut r = Reader::new(body);
+        let frame = match r.u8()? {
+            kind @ (KIND_HELLO | KIND_HELLO_ACK) => {
+                let magic: [u8; 4] = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+                if magic != MAGIC {
+                    return Err(WireError::BadMagic(magic));
+                }
+                let version = r.u16()?;
+                let peer = r.u32()?;
+                if kind == KIND_HELLO {
+                    Frame::Hello {
+                        version,
+                        client: peer,
+                    }
+                } else {
+                    Frame::HelloAck {
+                        version,
+                        replica: peer,
+                    }
+                }
+            }
+            KIND_QUERY => Frame::Query {
+                id: r.u64()?,
+                lane: r.u32()?,
+                segment: r.u32()?,
+            },
+            KIND_STORE => Frame::Store {
+                id: r.u64()?,
+                lane: r.u32()?,
+                segment: r.u32()?,
+                tag: WireTag::decode_from(&mut r)?,
+                value: r.bytes("store.value")?.to_vec(),
+            },
+            KIND_QUERY_REPLY => {
+                let id = r.u64()?;
+                let tag = WireTag::decode_from(&mut r)?;
+                let value = match r.u8()? {
+                    0 => None,
+                    _ => Some(r.bytes("query_reply.value")?.to_vec()),
+                };
+                Frame::QueryReply { id, tag, value }
+            }
+            KIND_STORE_ACK => Frame::StoreAck { id: r.u64()? },
+            KIND_ERROR => Frame::Error {
+                id: r.u64()?,
+                code: ErrorCode::from_u16(r.u16()?),
+                detail: r.string("error.detail")?,
+            },
+            other => return Err(WireError::UnknownFrameKind(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// The request id this frame carries (handshake frames have none).
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            Frame::Hello { .. } | Frame::HelloAck { .. } => None,
+            Frame::Query { id, .. }
+            | Frame::Store { id, .. }
+            | Frame::QueryReply { id, .. }
+            | Frame::StoreAck { id }
+            | Frame::Error { id, .. } => Some(*id),
+        }
+    }
+
+    /// Stable lowercase name of the frame kind (diagnostics, metrics).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::HelloAck { .. } => "hello_ack",
+            Frame::Query { .. } => "query",
+            Frame::Store { .. } => "store",
+            Frame::QueryReply { .. } => "query_reply",
+            Frame::StoreAck { .. } => "store_ack",
+            Frame::Error { .. } => "error",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                client: 3,
+            },
+            Frame::HelloAck {
+                version: PROTOCOL_VERSION,
+                replica: 1,
+            },
+            Frame::Query {
+                id: 42,
+                lane: 2,
+                segment: 7,
+            },
+            Frame::Store {
+                id: u64::MAX,
+                lane: 0,
+                segment: u32::MAX,
+                tag: WireTag {
+                    seq: 99,
+                    writer: 4,
+                },
+                value: vec![1, 2, 3],
+            },
+            Frame::QueryReply {
+                id: 7,
+                tag: WireTag::default(),
+                value: None,
+            },
+            Frame::QueryReply {
+                id: 7,
+                tag: WireTag { seq: 1, writer: 0 },
+                value: Some(vec![]),
+            },
+            Frame::StoreAck { id: 1 },
+            Frame::Error {
+                id: 0,
+                code: ErrorCode::Malformed,
+                detail: String::from("kind 200 unknown"),
+            },
+            Frame::Error {
+                id: 5,
+                code: ErrorCode::Unknown(700),
+                detail: String::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in all_frames() {
+            let body = frame.encode();
+            assert_eq!(Frame::decode(&body).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for frame in all_frames() {
+            let body = frame.encode();
+            for cut in 0..body.len() {
+                match Frame::decode(&body[..cut]) {
+                    Err(_) => {}
+                    Ok(f) => panic!("{cut}-byte prefix of {frame:?} decoded as {f:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = Frame::StoreAck { id: 9 }.encode();
+        body.push(0);
+        assert_eq!(
+            Frame::decode(&body),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_kind_and_bad_magic_are_typed() {
+        assert_eq!(Frame::decode(&[200]), Err(WireError::UnknownFrameKind(200)));
+        assert_eq!(
+            Frame::decode(&[]),
+            Err(WireError::Truncated {
+                expected: 1,
+                got: 0
+            })
+        );
+        let mut hello = Frame::Hello {
+            version: 1,
+            client: 0,
+        }
+        .encode();
+        hello[1] = b'X';
+        assert!(matches!(Frame::decode(&hello), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn unknown_error_codes_still_decode() {
+        let body = Frame::Error {
+            id: 3,
+            code: ErrorCode::Unknown(612),
+            detail: String::from("future"),
+        }
+        .encode();
+        match Frame::decode(&body).unwrap() {
+            Frame::Error {
+                code: ErrorCode::Unknown(612),
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

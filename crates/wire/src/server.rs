@@ -1,0 +1,897 @@
+//! The replica server: the ABD replica role of `crates/abd`'s simulated
+//! network, hosted behind a real socket.
+//!
+//! One [`ReplicaServer`] owns a listener (TCP or UDS), a tagged register
+//! store keyed by `(lane, segment)`, and one thread per client
+//! connection. The protocol obligations mirror the simulated
+//! `ReplicaCore` exactly:
+//!
+//! * **`Query`** is answered on every delivery with the current
+//!   `(tag, value)` — re-answering is what lets a client whose reply was
+//!   lost make progress;
+//! * **`Store`** is a max-by-tag merge, deduplicated by request id within
+//!   a bounded window and re-acked on duplicate delivery. A duplicate
+//!   that arrives over a *new* connection (after a client redial) may be
+//!   re-applied — harmless, because the merge is idempotent;
+//! * malformed, oversize, or unsupported frames are refused with typed
+//!   [`Frame::Error`] replies, never a panic.
+//!
+//! With `--state PATH` (or [`ServerConfig::with_state_log`]) every
+//! applied store is appended to a frame-formatted log replayed on
+//! startup, so a killed-and-restarted replica process returns with its
+//! state intact — the same crash model (`silence, state preserved`) the
+//! simulated network's `crash`/`restart` implements in-process.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use snapshot_obs::{Counter, Gauge, Registry};
+
+use crate::frame::{read_frame, write_frame, FrameIoError, FrameRead, DEFAULT_MAX_FRAME};
+use crate::net::{Endpoint, WireListener, WireStream};
+use crate::proto::{ErrorCode, Frame, WireTag, PROTOCOL_VERSION};
+
+/// How many recently seen request ids each connection remembers for
+/// retransmission dedup (same window, and same rationale, as the
+/// simulated network's replicas).
+const DEDUP_WINDOW: usize = 4096;
+
+/// Configuration of one replica server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub listen: Endpoint,
+    /// This replica's index in the cluster (returned in `HelloAck`).
+    pub replica: u32,
+    /// Maximum accepted frame body size.
+    pub max_frame: u32,
+    /// Metrics registry for the `snapshotd.*` metrics (private registry
+    /// when `None`).
+    pub registry: Option<Arc<Registry>>,
+    /// Path of the state log replayed on startup and appended on every
+    /// applied store. `None` keeps state in memory only.
+    pub state_log: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// A server on `listen` with index `replica`, default frame cap, a
+    /// private registry and no state log.
+    pub fn new(listen: Endpoint, replica: u32) -> Self {
+        ServerConfig {
+            listen,
+            replica,
+            max_frame: DEFAULT_MAX_FRAME,
+            registry: None,
+            state_log: None,
+        }
+    }
+
+    /// Sets the maximum accepted frame body size.
+    pub fn with_max_frame(mut self, max: u32) -> Self {
+        self.max_frame = max;
+        self
+    }
+
+    /// Registers the server's metrics on a shared registry.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Persists applied stores to `path` (replayed on startup).
+    pub fn with_state_log(mut self, path: PathBuf) -> Self {
+        self.state_log = Some(path);
+        self
+    }
+}
+
+/// The tagged register store of one replica: `(lane, segment)` →
+/// highest-tagged `(tag, value)` seen.
+pub struct ReplicaStore {
+    map: Mutex<HashMap<(u32, u32), (WireTag, Arc<[u8]>)>>,
+    log: Mutex<Option<BufWriter<File>>>,
+}
+
+impl ReplicaStore {
+    /// An empty in-memory store.
+    pub fn in_memory() -> Self {
+        ReplicaStore {
+            map: Mutex::new(HashMap::new()),
+            log: Mutex::new(None),
+        }
+    }
+
+    /// Opens (or creates) a persistent store logging to `path`,
+    /// replaying whatever the log already holds. A torn final record
+    /// (the process died mid-append) is tolerated: replay stops at the
+    /// first undecodable record.
+    pub fn open(path: &PathBuf) -> io::Result<Self> {
+        let store = ReplicaStore::in_memory();
+        if let Ok(existing) = File::open(path) {
+            let mut reader = BufReader::new(existing);
+            loop {
+                match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
+                    Ok(FrameRead::Frame(body)) => match Frame::decode(&body) {
+                        Ok(Frame::Store {
+                            lane,
+                            segment,
+                            tag,
+                            value,
+                            ..
+                        }) => {
+                            store.apply(lane, segment, tag, value.into());
+                        }
+                        _ => break,
+                    },
+                    _ => break,
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        *store.log.lock().unwrap() = Some(BufWriter::new(file));
+        Ok(store)
+    }
+
+    /// The current `(tag, value)` for a register, if any store reached
+    /// this replica.
+    pub fn get(&self, lane: u32, segment: u32) -> Option<(WireTag, Arc<[u8]>)> {
+        self.map
+            .lock()
+            .unwrap()
+            .get(&(lane, segment))
+            .map(|(t, v)| (*t, Arc::clone(v)))
+    }
+
+    /// Max-by-tag merge; returns whether the value was applied (a lower
+    /// or equal tag leaves the stored value in place).
+    pub fn apply(&self, lane: u32, segment: u32, tag: WireTag, value: Arc<[u8]>) -> bool {
+        let mut map = self.map.lock().unwrap();
+        match map.entry((lane, segment)) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                if tag > occupied.get().0 {
+                    occupied.insert((tag, value.clone()));
+                } else {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert((tag, value.clone()));
+            }
+        }
+        drop(map);
+        if let Some(log) = self.log.lock().unwrap().as_mut() {
+            let record = Frame::Store {
+                id: 0,
+                lane,
+                segment,
+                tag,
+                value: value.to_vec(),
+            };
+            let _ = write_frame(log, &record.encode(), DEFAULT_MAX_FRAME);
+        }
+        true
+    }
+
+    /// Number of registers this replica holds state for.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when no store has ever reached this replica.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for ReplicaStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicaStore")
+            .field("registers", &self.len())
+            .finish()
+    }
+}
+
+struct ServerMetrics {
+    connections: Counter,
+    open_connections: Gauge,
+    frames_in: Counter,
+    frames_out: Counter,
+    stores_applied: Counter,
+    duplicates_suppressed: Counter,
+    decode_errors: Counter,
+    oversize_frames: Counter,
+    errors_sent: Counter,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry) -> Self {
+        ServerMetrics {
+            connections: registry.counter("snapshotd.connections"),
+            open_connections: registry.gauge("snapshotd.open_connections"),
+            frames_in: registry.counter("snapshotd.frames_in"),
+            frames_out: registry.counter("snapshotd.frames_out"),
+            stores_applied: registry.counter("snapshotd.stores_applied"),
+            duplicates_suppressed: registry.counter("snapshotd.duplicates_suppressed"),
+            decode_errors: registry.counter("snapshotd.decode_errors"),
+            oversize_frames: registry.counter("snapshotd.oversize_frames"),
+            errors_sent: registry.counter("snapshotd.errors_sent"),
+        }
+    }
+}
+
+struct Shared {
+    replica: u32,
+    max_frame: u32,
+    store: Arc<ReplicaStore>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    /// Live connection handles (clones), keyed by connection id, so
+    /// shutdown can unblock every parked read.
+    conns: Mutex<HashMap<u64, WireStream>>,
+    next_conn: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// One running replica server (the library form of the `snapshotd`
+/// binary): accepts connections on its endpoint and serves the ABD
+/// replica protocol until [`ReplicaServer::shutdown`] or drop.
+pub struct ReplicaServer {
+    endpoint: Endpoint,
+    registry: Arc<Registry>,
+    shared: Arc<Shared>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ReplicaServer {
+    /// Binds and spawns a server per `config` (opening or creating the
+    /// state log when one is configured).
+    pub fn spawn(config: ServerConfig) -> io::Result<ReplicaServer> {
+        let store = match &config.state_log {
+            Some(path) => Arc::new(ReplicaStore::open(path)?),
+            None => Arc::new(ReplicaStore::in_memory()),
+        };
+        Self::spawn_with_store(config, store)
+    }
+
+    /// Like [`spawn`](Self::spawn), over an existing store — the
+    /// in-process way to restart a killed replica with its state intact
+    /// (the multi-process way is the state log).
+    pub fn spawn_with_store(
+        config: ServerConfig,
+        store: Arc<ReplicaStore>,
+    ) -> io::Result<ReplicaServer> {
+        let registry = config.registry.unwrap_or_default();
+        let listener = config.listen.bind()?;
+        let endpoint = listener.local_endpoint()?;
+        let shared = Arc::new(Shared {
+            replica: config.replica,
+            max_frame: config.max_frame,
+            store,
+            metrics: ServerMetrics::new(&registry),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("snapshotd-accept-{}", config.replica))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawning accept thread");
+        Ok(ReplicaServer {
+            endpoint,
+            registry,
+            shared,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The endpoint the server is actually bound to (a TCP port of `0`
+    /// resolves to the kernel-assigned port).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The registry carrying this server's `snapshotd.*` metrics.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The replica's register store (restart a killed replica with its
+    /// state via [`ReplicaServer::spawn_with_store`]).
+    pub fn store(&self) -> Arc<ReplicaStore> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// This replica's index in the cluster (as configured and as
+    /// announced in its `HelloAck`).
+    pub fn replica_index(&self) -> u32 {
+        self.shared.replica
+    }
+
+    /// Stops accepting, severs every live connection, and joins all
+    /// server threads. Idempotent. From a client's point of view this is
+    /// a replica crash: requests in flight go unanswered.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the flag before serving.
+        let _ = self.endpoint.dial();
+        for (_, conn) in self.shared.conns.lock().unwrap().iter() {
+            conn.shutdown();
+        }
+        if let Some(t) = self.accept_thread.lock().unwrap().take() {
+            let _ = t.join();
+        }
+        let workers = std::mem::take(&mut *self.shared.workers.lock().unwrap());
+        for t in workers {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReplicaServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for ReplicaServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicaServer")
+            .field("replica", &self.shared.replica)
+            .field("endpoint", &self.endpoint)
+            .finish()
+    }
+}
+
+fn accept_loop(listener: WireListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        shared.metrics.connections.inc();
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().insert(conn_id, clone);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("snapshotd-conn-{}-{}", shared.replica, conn_id))
+            .spawn(move || {
+                conn_shared.metrics.open_connections.add(1);
+                serve_connection(stream, &conn_shared);
+                conn_shared.metrics.open_connections.add(-1);
+                conn_shared.conns.lock().unwrap().remove(&conn_id);
+            });
+        match worker {
+            Ok(handle) => shared.workers.lock().unwrap().push(handle),
+            Err(_) => {
+                shared.conns.lock().unwrap().remove(&conn_id);
+            }
+        }
+    }
+    listener.cleanup();
+}
+
+fn send(stream: &mut WireStream, shared: &Shared, frame: &Frame) -> bool {
+    match write_frame(stream, &frame.encode(), shared.max_frame) {
+        Ok(()) => {
+            shared.metrics.frames_out.inc();
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn send_error(stream: &mut WireStream, shared: &Shared, id: u64, code: ErrorCode, detail: String) {
+    shared.metrics.errors_sent.inc();
+    let _ = send(stream, shared, &Frame::Error { id, code, detail });
+}
+
+/// Serves one client connection: handshake, then the request loop.
+fn serve_connection(mut stream: WireStream, shared: &Shared) {
+    // Handshake: the first frame must be a well-formed `Hello` for a
+    // version we speak.
+    match read_decoded(&mut stream, shared) {
+        Some(Frame::Hello { version, .. }) if version == PROTOCOL_VERSION => {
+            if !send(
+                &mut stream,
+                shared,
+                &Frame::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    replica: shared.replica,
+                },
+            ) {
+                return;
+            }
+        }
+        Some(Frame::Hello { version, .. }) => {
+            send_error(
+                &mut stream,
+                shared,
+                0,
+                ErrorCode::Unsupported,
+                format!("protocol version {version} not supported (want {PROTOCOL_VERSION})"),
+            );
+            return;
+        }
+        Some(other) => {
+            send_error(
+                &mut stream,
+                shared,
+                other.request_id().unwrap_or(0),
+                ErrorCode::Unsupported,
+                format!("expected hello, got {}", other.kind_name()),
+            );
+            return;
+        }
+        None => return,
+    }
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen_order: VecDeque<u64> = VecDeque::new();
+    let mut note_seen = move |id: u64| -> bool {
+        if !seen.insert(id) {
+            return false;
+        }
+        seen_order.push_back(id);
+        if seen_order.len() > DEDUP_WINDOW {
+            if let Some(old) = seen_order.pop_front() {
+                seen.remove(&old);
+            }
+        }
+        true
+    };
+
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let frame = match read_decoded(&mut stream, shared) {
+            Some(f) => f,
+            None => break,
+        };
+        match frame {
+            Frame::Query { id, lane, segment } => {
+                // Read-only: dedup records the id but every delivery is
+                // (re-)answered with the current state.
+                note_seen(id);
+                let (tag, value) = match shared.store.get(lane, segment) {
+                    Some((t, v)) => (t, Some(v.to_vec())),
+                    None => (WireTag::default(), None),
+                };
+                if !send(&mut stream, shared, &Frame::QueryReply { id, tag, value }) {
+                    break;
+                }
+            }
+            Frame::Store {
+                id,
+                lane,
+                segment,
+                tag,
+                value,
+            } => {
+                if note_seen(id) {
+                    if shared.store.apply(lane, segment, tag, value.into()) {
+                        shared.metrics.stores_applied.inc();
+                    }
+                } else {
+                    // Duplicate delivery (client retransmission): skip
+                    // the apply, but re-ack — the first ack may have
+                    // been lost.
+                    shared.metrics.duplicates_suppressed.inc();
+                }
+                if !send(&mut stream, shared, &Frame::StoreAck { id }) {
+                    break;
+                }
+            }
+            other => {
+                send_error(
+                    &mut stream,
+                    shared,
+                    other.request_id().unwrap_or(0),
+                    ErrorCode::Unsupported,
+                    format!("unexpected {} frame", other.kind_name()),
+                );
+            }
+        }
+    }
+}
+
+/// Reads and decodes one frame; refuses malformation and oversize with a
+/// typed error reply and `None` (caller drops the connection — the
+/// stream may no longer be frame-aligned).
+fn read_decoded(stream: &mut WireStream, shared: &Shared) -> Option<Frame> {
+    match read_frame(stream, shared.max_frame) {
+        Ok(FrameRead::Frame(body)) => {
+            shared.metrics.frames_in.inc();
+            match Frame::decode(&body) {
+                Ok(frame) => Some(frame),
+                Err(e) => {
+                    shared.metrics.decode_errors.inc();
+                    send_error(stream, shared, 0, ErrorCode::Malformed, e.to_string());
+                    None
+                }
+            }
+        }
+        Ok(FrameRead::Eof) => None,
+        Err(FrameIoError::TooLarge { len, max }) => {
+            shared.metrics.oversize_frames.inc();
+            send_error(
+                stream,
+                shared,
+                0,
+                ErrorCode::TooLarge,
+                format!("{len}-byte frame exceeds the {max}-byte cap"),
+            );
+            None
+        }
+        Err(FrameIoError::Io(_)) => None,
+    }
+}
+
+/// Runs the `snapshotd` command line: parses `--listen`, `--replica`,
+/// `--max-frame`, `--state` and `--metrics-every`, spawns the server,
+/// prints a ready line to stdout, and serves until killed. Returns an
+/// error string suitable for `eprintln!` + nonzero exit.
+pub fn run_cli(args: &[String]) -> Result<(), String> {
+    let mut listen: Option<Endpoint> = None;
+    let mut replica: u32 = 0;
+    let mut max_frame = DEFAULT_MAX_FRAME;
+    let mut state_log: Option<PathBuf> = None;
+    let mut metrics_every: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = Some(Endpoint::parse(&value("--listen")?)?),
+            "--replica" => {
+                replica = value("--replica")?
+                    .parse()
+                    .map_err(|e| format!("--replica: {e}"))?
+            }
+            "--max-frame" => {
+                max_frame = value("--max-frame")?
+                    .parse()
+                    .map_err(|e| format!("--max-frame: {e}"))?
+            }
+            "--state" => state_log = Some(PathBuf::from(value("--state")?)),
+            "--metrics-every" => {
+                metrics_every = Some(
+                    value("--metrics-every")?
+                        .parse()
+                        .map_err(|e| format!("--metrics-every: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: snapshotd --listen <tcp:HOST:PORT|uds:PATH> [--replica N] \
+                     [--max-frame BYTES] [--state PATH] [--metrics-every SECS]",
+                ))
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let listen = listen.ok_or("missing --listen (try --help)")?;
+
+    let mut config = ServerConfig::new(listen, replica).with_max_frame(max_frame);
+    if let Some(path) = state_log {
+        config = config.with_state_log(path);
+    }
+    let server = ReplicaServer::spawn(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("snapshotd[{replica}] listening on {}", server.endpoint());
+    io::stdout().flush().ok();
+
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(metrics_every.unwrap_or(3600)));
+        if let Some(_every) = metrics_every {
+            println!("snapshotd[{replica}] metrics:");
+            print!("{}", server.registry().render());
+            io::stdout().flush().ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn dial_and_hello(server: &ReplicaServer) -> WireStream {
+        let mut stream = server.endpoint().dial().unwrap();
+        let hello = Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client: 9,
+        };
+        write_frame(&mut stream, &hello.encode(), DEFAULT_MAX_FRAME).unwrap();
+        match read_one(&mut stream) {
+            Frame::HelloAck { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("{other:?}"),
+        }
+        stream
+    }
+
+    fn read_one(stream: &mut impl Read) -> Frame {
+        match read_frame(stream, DEFAULT_MAX_FRAME).unwrap() {
+            FrameRead::Frame(body) => Frame::decode(&body).unwrap(),
+            FrameRead::Eof => panic!("unexpected eof"),
+        }
+    }
+
+    fn tcp_server() -> ReplicaServer {
+        ReplicaServer::spawn(ServerConfig::new(
+            Endpoint::Tcp(String::from("127.0.0.1:0")),
+            0,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_query_and_store_with_max_merge() {
+        let server = tcp_server();
+        let mut c = dial_and_hello(&server);
+
+        // Empty register: default tag, no value.
+        write_frame(
+            &mut c,
+            &Frame::Query {
+                id: 1,
+                lane: 0,
+                segment: 0,
+            }
+            .encode(),
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+        match read_one(&mut c) {
+            Frame::QueryReply {
+                id: 1,
+                tag,
+                value: None,
+            } => assert_eq!(tag, WireTag::default()),
+            other => panic!("{other:?}"),
+        }
+
+        // Store, then a lower-tagged store: the merge keeps the max.
+        let hi = WireTag { seq: 5, writer: 1 };
+        let lo = WireTag { seq: 3, writer: 2 };
+        for (id, tag, value) in [(2u64, hi, vec![9u8]), (3, lo, vec![1])] {
+            write_frame(
+                &mut c,
+                &Frame::Store {
+                    id,
+                    lane: 0,
+                    segment: 0,
+                    tag,
+                    value,
+                }
+                .encode(),
+                DEFAULT_MAX_FRAME,
+            )
+            .unwrap();
+            match read_one(&mut c) {
+                Frame::StoreAck { id: got } => assert_eq!(got, id),
+                other => panic!("{other:?}"),
+            }
+        }
+        write_frame(
+            &mut c,
+            &Frame::Query {
+                id: 4,
+                lane: 0,
+                segment: 0,
+            }
+            .encode(),
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+        match read_one(&mut c) {
+            Frame::QueryReply {
+                tag,
+                value: Some(v),
+                ..
+            } => {
+                assert_eq!(tag, hi);
+                assert_eq!(v, vec![9]);
+            }
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_stores_are_suppressed_but_reacked() {
+        let server = tcp_server();
+        let mut c = dial_and_hello(&server);
+        let store = Frame::Store {
+            id: 7,
+            lane: 1,
+            segment: 2,
+            tag: WireTag { seq: 1, writer: 0 },
+            value: vec![4],
+        };
+        for _ in 0..3 {
+            write_frame(&mut c, &store.encode(), DEFAULT_MAX_FRAME).unwrap();
+            match read_one(&mut c) {
+                Frame::StoreAck { id: 7 } => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(server.registry().counter("snapshotd.stores_applied").get(), 1);
+        assert_eq!(
+            server
+                .registry()
+                .counter("snapshotd.duplicates_suppressed")
+                .get(),
+            2
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_oversize_frames_get_typed_error_replies() {
+        let server = ReplicaServer::spawn(
+            ServerConfig::new(Endpoint::Tcp(String::from("127.0.0.1:0")), 0)
+                .with_max_frame(256),
+        )
+        .unwrap();
+
+        // Garbage after the handshake → Malformed, connection dropped.
+        let mut c = dial_and_hello(&server);
+        write_frame(&mut c, &[250, 1, 2, 3], 256).unwrap();
+        match read_one(&mut c) {
+            Frame::Error {
+                code: ErrorCode::Malformed,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+
+        // Oversize length prefix → TooLarge.
+        let mut c = dial_and_hello(&server);
+        c.write_all(&10_000u32.to_le_bytes()).unwrap();
+        c.flush().unwrap();
+        match read_one(&mut c) {
+            Frame::Error {
+                code: ErrorCode::TooLarge,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(server.registry().counter("snapshotd.oversize_frames").get(), 1);
+        assert_eq!(server.registry().counter("snapshotd.decode_errors").get(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn handshake_is_mandatory_and_version_checked() {
+        let server = tcp_server();
+
+        // First frame not a Hello → Unsupported.
+        let mut c = server.endpoint().dial().unwrap();
+        write_frame(
+            &mut c,
+            &Frame::StoreAck { id: 1 }.encode(),
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+        match read_one(&mut c) {
+            Frame::Error {
+                code: ErrorCode::Unsupported,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+
+        // Future protocol version → Unsupported.
+        let mut c = server.endpoint().dial().unwrap();
+        write_frame(
+            &mut c,
+            &Frame::Hello {
+                version: 999,
+                client: 0,
+            }
+            .encode(),
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+        match read_one(&mut c) {
+            Frame::Error {
+                code: ErrorCode::Unsupported,
+                detail,
+                ..
+            } => assert!(detail.contains("999"), "{detail}"),
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn uds_round_trip_and_shutdown_cleans_the_socket_file() {
+        let path = std::env::temp_dir().join(format!(
+            "snapshot-wire-test-{}.sock",
+            std::process::id()
+        ));
+        let server =
+            ReplicaServer::spawn(ServerConfig::new(Endpoint::Uds(path.clone()), 2)).unwrap();
+        let mut c = dial_and_hello(&server);
+        write_frame(
+            &mut c,
+            &Frame::Query {
+                id: 1,
+                lane: 0,
+                segment: 0,
+            }
+            .encode(),
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+        match read_one(&mut c) {
+            Frame::QueryReply { id: 1, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+        assert!(!path.exists(), "socket file must be removed on shutdown");
+    }
+
+    #[test]
+    fn state_log_survives_a_restart() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("snapshot-wire-state-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let store = ReplicaStore::open(&path).unwrap();
+        store.apply(
+            0,
+            1,
+            WireTag { seq: 4, writer: 0 },
+            Arc::from(vec![7u8].into_boxed_slice()),
+        );
+        store.apply(
+            0,
+            1,
+            WireTag { seq: 9, writer: 1 },
+            Arc::from(vec![8u8].into_boxed_slice()),
+        );
+        drop(store);
+
+        let reloaded = ReplicaStore::open(&path).unwrap();
+        let (tag, value) = reloaded.get(0, 1).expect("state must be replayed");
+        assert_eq!(tag, WireTag { seq: 9, writer: 1 });
+        assert_eq!(&value[..], &[8]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_severs_live_connections() {
+        let server = tcp_server();
+        let mut c = dial_and_hello(&server);
+        server.shutdown();
+        server.shutdown();
+        // The connection is dead: reads see EOF/error, not a hang.
+        match read_frame(&mut c, DEFAULT_MAX_FRAME) {
+            Ok(FrameRead::Eof) | Err(_) => {}
+            Ok(FrameRead::Frame(_)) => panic!("no frame expected after shutdown"),
+        }
+    }
+}

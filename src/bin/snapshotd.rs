@@ -1,0 +1,19 @@
+//! `snapshotd` — one ABD replica behind a socket.
+//!
+//! ```text
+//! snapshotd --listen tcp:127.0.0.1:7000 --replica 0
+//! snapshotd --listen uds:/tmp/r1.sock --replica 1 --state /var/lib/snap/r1.log
+//! ```
+//!
+//! Prints `snapshotd[N] listening on ENDPOINT` once ready, then serves
+//! until killed. Lives in the workspace root so integration tests reach
+//! it via `CARGO_BIN_EXE_snapshotd`; the implementation is
+//! `snapshot_wire::server::run_cli` (run with `--help` for flags).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(err) = snapshot_wire::server::run_cli(&args) {
+        eprintln!("snapshotd: {err}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,317 @@
+//! Nemesis coverage for the real transport: the unmodified
+//! `snapshot-service` stack over `AbdSnapshotCore::remote`, against
+//! in-process `snapshotd` replica servers on real Unix-domain and TCP
+//! sockets — with a replica killed and restarted mid-soak.
+//!
+//! This is the paper's Section 6 claim with the simulator taken away:
+//! the faults here are a listener actually closing, connections actually
+//! resetting, and the client's reconnect-with-backoff plus ABD
+//! retransmission riding it out. The contract mirrors `nemesis_abd` /
+//! `nemesis_service`:
+//!
+//! * with a majority of replica processes up (f = 1 of 3), every
+//!   operation completes and the recorded history passes the Wing & Gong
+//!   checker;
+//! * with a majority down, operations surface typed errors
+//!   (`ServiceError::Backend`/`Degraded`, rooted in
+//!   `AbdError::QuorumUnavailable`) within their budgets — never a panic,
+//!   never a hang;
+//! * after restart (state intact, same sockets) the same client stack
+//!   recovers without reconstruction.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use snapshot_abd::{AbdSnapshotCore, RemoteConfig, RemoteTransport, RetryPolicy};
+use snapshot_lin::{check_history, Recorder};
+use snapshot_obs::Registry;
+use snapshot_registers::ProcessId;
+use snapshot_service::{RetryConfig, ServiceConfig, ServiceError, SnapshotService};
+use snapshot_wire::{Endpoint, ReplicaServer, ServerConfig};
+
+const LANES: usize = 3;
+const REPLICAS: usize = 3;
+
+fn uds_endpoint(tag: &str, i: usize) -> Endpoint {
+    let mut path = std::env::temp_dir();
+    path.push(format!("nemesis-wire-{}-{tag}-{i}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    Endpoint::Uds(path)
+}
+
+fn spawn_cluster(
+    registry: &Arc<Registry>,
+    make_endpoint: impl Fn(usize) -> Endpoint,
+) -> (Vec<ReplicaServer>, Vec<Endpoint>) {
+    let mut servers = Vec::new();
+    let mut endpoints = Vec::new();
+    for i in 0..REPLICAS {
+        let server = ReplicaServer::spawn(
+            ServerConfig::new(make_endpoint(i), i as u32).with_registry(Arc::clone(registry)),
+        )
+        .expect("spawning in-process snapshotd replica");
+        endpoints.push(server.endpoint().clone());
+        servers.push(server);
+    }
+    (servers, endpoints)
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        initial_backoff: Duration::from_micros(500),
+        max_backoff: Duration::from_millis(8),
+        multiplier: 2,
+        jitter: 0.5,
+    }
+}
+
+fn remote_config(endpoints: Vec<Endpoint>) -> RemoteConfig {
+    RemoteConfig::new(endpoints)
+        .with_op_timeout(Duration::from_millis(500))
+        .with_retry(fast_retry())
+        .with_redial(Duration::from_millis(5), Duration::from_millis(50))
+}
+
+fn service_over(
+    transport: Arc<RemoteTransport>,
+) -> SnapshotService<u64, AbdSnapshotCore<u64>> {
+    SnapshotService::with_config(
+        AbdSnapshotCore::remote(transport, LANES, 0u64),
+        ServiceConfig {
+            retry: RetryConfig {
+                max_attempts: 4,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(20),
+                multiplier: 2,
+                deadline: Duration::from_secs(30),
+            },
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// One round of concurrent service traffic: every lane updates then
+/// scans `iters` times; successes are recorded for the checker, failures
+/// collected. Returns the errors seen.
+fn soak_round(
+    service: &SnapshotService<u64, AbdSnapshotCore<u64>>,
+    recorder: &Recorder<u64>,
+    iters: u64,
+    epoch: u64,
+) -> Vec<ServiceError> {
+    let errors: Mutex<Vec<ServiceError>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for lane in 0..LANES {
+            let errors = &errors;
+            s.spawn(move || {
+                let pid = ProcessId::new(lane);
+                let mut client = service.client(lane);
+                for k in 1..=iters {
+                    let value = (epoch << 48) | ((lane as u64) << 32) | k;
+                    let inv = recorder.begin();
+                    match client.update(lane, value) {
+                        Ok(()) => recorder.end_update(pid, lane, value, inv),
+                        Err(e @ ServiceError::Backend { .. }) => {
+                            // Indeterminate: the store may have reached a
+                            // quorum whose acks we never saw.
+                            recorder.pending_update(pid, lane, value, inv);
+                            errors.lock().unwrap().push(e);
+                        }
+                        Err(e @ ServiceError::Degraded { .. }) => errors.lock().unwrap().push(e),
+                        Err(other) => panic!("lane {lane}: unexpected error {other:?}"),
+                    }
+                    let inv = recorder.begin();
+                    match client.scan() {
+                        Ok(view) => recorder.end_scan(pid, view.to_vec(), inv),
+                        Err(e @ (ServiceError::Backend { .. } | ServiceError::Degraded { .. })) => {
+                            errors.lock().unwrap().push(e)
+                        }
+                        Err(other) => panic!("lane {lane}: unexpected error {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    errors.into_inner().unwrap()
+}
+
+/// The tentpole acceptance scenario: a 3-replica UDS cluster serving the
+/// unmodified service stack, with replica 2 killed mid-soak and
+/// restarted (state intact, same socket) — every success linearizable,
+/// f = 1 survived without a single error required.
+#[test]
+fn uds_cluster_survives_replica_kill_and_restart_linearizably() {
+    let server_registry = Arc::new(Registry::new());
+    let (mut servers, endpoints) =
+        spawn_cluster(&server_registry, |i| uds_endpoint("soak", i));
+    let transport = Arc::new(RemoteTransport::connect(remote_config(endpoints)));
+    assert!(
+        transport.wait_connected(REPLICAS, Duration::from_secs(10)),
+        "all replicas must handshake"
+    );
+    let service = service_over(Arc::clone(&transport));
+    // 3 lanes × 2 ops × 7 iters × 3 phases = 126 ops ≤ the checker's 128.
+    let recorder = Recorder::new(LANES, LANES, 0u64);
+
+    // Phase 1: full fleet.
+    let errors = soak_round(&service, &recorder, 7, 1);
+    assert!(
+        errors.is_empty(),
+        "full fleet over uds must not error: {errors:?}"
+    );
+
+    // Phase 2: kill replica 2 (listener closed, connections reset) and
+    // soak through it — 2 of 3 is still a majority, so every operation
+    // must still complete.
+    let killed = servers.remove(2);
+    let store = killed.store();
+    let endpoint = killed.endpoint().clone();
+    drop(killed);
+    let errors = soak_round(&service, &recorder, 7, 2);
+    assert!(
+        errors.is_empty(),
+        "f=1 must be survived without surfacing errors: {errors:?}"
+    );
+
+    // Phase 3: restart it on the same socket with its state intact; the
+    // transport's managers redial and the fleet heals to 3/3.
+    servers.push(
+        ReplicaServer::spawn_with_store(
+            ServerConfig::new(endpoint, 2).with_registry(Arc::clone(&server_registry)),
+            store,
+        )
+        .expect("restarting replica 2"),
+    );
+    assert!(
+        transport.wait_connected(REPLICAS, Duration::from_secs(10)),
+        "restarted replica must be redialed"
+    );
+    let errors = soak_round(&service, &recorder, 7, 3);
+    assert!(errors.is_empty(), "healed fleet must not error: {errors:?}");
+
+    // Every recorded operation — spanning the kill and the restart —
+    // forms one linearizable snapshot history.
+    let history = recorder.finish();
+    let result = check_history(&history);
+    assert!(
+        result.is_linearizable(),
+        "wire soak history rejected ({result:?}): {history:?}"
+    );
+
+    // The faults were real: the killed replica's connection dropped and
+    // was redialed (visible in the client's abd.wire.* counters).
+    let registry = Arc::clone(transport.registry());
+    assert!(
+        registry.counter("abd.wire.disconnects").get() >= 1,
+        "the kill must register as a disconnect"
+    );
+    assert!(
+        registry.counter("abd.wire.connects").get() >= (REPLICAS + 1) as u64,
+        "the restart must register as a reconnect"
+    );
+    assert_eq!(registry.gauge("abd.transport.uds").get(), 1);
+    assert!(transport.stats().messages_sent > 0);
+}
+
+/// Killing a majority crosses the liveness boundary: requests fail with
+/// typed service errors within their budgets, and the *same* service
+/// object recovers once the replicas are back.
+#[test]
+fn uds_majority_kill_yields_typed_errors_then_recovers() {
+    let server_registry = Arc::new(Registry::new());
+    let (mut servers, endpoints) =
+        spawn_cluster(&server_registry, |i| uds_endpoint("blackout", i));
+    let transport = Arc::new(RemoteTransport::connect(remote_config(endpoints)));
+    assert!(transport.wait_connected(REPLICAS, Duration::from_secs(10)));
+    let service = service_over(Arc::clone(&transport));
+
+    let mut client = service.client(0);
+    client.update(0, 41).expect("update with full fleet");
+
+    // Kill replicas 1 and 2: only a minority remains.
+    let dead: Vec<_> = (0..2)
+        .map(|_| {
+            let s = servers.pop().expect("two replicas to kill");
+            let (store, endpoint, index) =
+                (s.store(), s.endpoint().clone(), s.replica_index());
+            drop(s);
+            (store, endpoint, index)
+        })
+        .collect();
+
+    let mut typed_failures = 0;
+    for _ in 0..2 {
+        match client.scan() {
+            Ok(view) => panic!("a minority fleet served a scan: {view:?}"),
+            Err(ServiceError::Backend { .. } | ServiceError::Degraded { .. }) => {
+                typed_failures += 1
+            }
+            Err(other) => panic!("unexpected error shape: {other:?}"),
+        }
+    }
+    assert_eq!(typed_failures, 2, "every blackout request fails typed");
+
+    // Restart both (same sockets, state intact): the service heals.
+    for (store, endpoint, index) in dead {
+        servers.push(
+            ReplicaServer::spawn_with_store(
+                ServerConfig::new(endpoint, index).with_registry(Arc::clone(&server_registry)),
+                store,
+            )
+            .expect("restarting a killed replica"),
+        );
+    }
+    assert!(transport.wait_connected(REPLICAS, Duration::from_secs(10)));
+    let mut view = None;
+    for _ in 0..50 {
+        match client.scan() {
+            Ok(v) => {
+                view = Some(v);
+                break;
+            }
+            Err(ServiceError::Degraded { retry_after, .. }) => std::thread::sleep(retry_after),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let view = view.expect("service must recover after the fleet returns");
+    assert_eq!(view[0], 41, "the pre-blackout update survived the kill");
+}
+
+/// The same stack over TCP loopback: ephemeral ports, the `tcp`
+/// transport label, and scan/update round-trips through the service.
+#[test]
+fn tcp_loopback_cluster_serves_the_service_stack() {
+    let server_registry = Arc::new(Registry::new());
+    let (servers, endpoints) = spawn_cluster(&server_registry, |_| {
+        Endpoint::parse("tcp:127.0.0.1:0").expect("loopback endpoint")
+    });
+    let transport = Arc::new(RemoteTransport::connect(remote_config(endpoints)));
+    assert!(transport.wait_connected(REPLICAS, Duration::from_secs(10)));
+    assert_eq!(snapshot_abd::Transport::kind(&*transport), "tcp");
+    let service = service_over(Arc::clone(&transport));
+    let recorder = Recorder::new(LANES, LANES, 0u64);
+
+    let errors = soak_round(&service, &recorder, 8, 1);
+    assert!(errors.is_empty(), "loopback tcp must not error: {errors:?}");
+
+    let history = recorder.finish();
+    let result = check_history(&history);
+    assert!(
+        result.is_linearizable(),
+        "tcp history rejected ({result:?}): {history:?}"
+    );
+
+    // Transport label + unified metric names: the same `abd.*` keys the
+    // simulated network reports, under the `tcp` marker gauge.
+    let registry = Arc::clone(transport.registry());
+    assert_eq!(registry.gauge("abd.transport.tcp").get(), 1);
+    let rendered = registry.render();
+    assert!(rendered.contains("abd.messages_sent"), "{rendered}");
+    assert!(rendered.contains("abd.quorum_latency_us"), "{rendered}");
+    // And the replica side accounted for the traffic it served.
+    assert!(server_registry.counter("snapshotd.frames_in").get() > 0);
+    assert!(server_registry.counter("snapshotd.stores_applied").get() > 0);
+    drop(service);
+    drop(transport);
+    drop(servers);
+}

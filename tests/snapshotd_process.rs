@@ -1,0 +1,162 @@
+//! Multi-process smoke: real `snapshotd` replica *processes* (the
+//! workspace binary, not in-process servers) serving the unmodified
+//! snapshot-service stack over Unix-domain sockets, surviving one
+//! replica killed with SIGKILL mid-run.
+//!
+//! Under cargo the binary path arrives via `CARGO_BIN_EXE_snapshotd`;
+//! outside cargo (offline harnesses) set `SNAPSHOTD_BIN`. With neither,
+//! the test skips rather than fails — the same scenario is covered
+//! in-process by `nemesis_wire.rs`.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use snapshot_abd::{AbdSnapshotCore, RemoteConfig, RemoteTransport, RetryPolicy};
+use snapshot_lin::{check_history, Recorder};
+use snapshot_registers::ProcessId;
+use snapshot_service::{RetryConfig, ServiceConfig, ServiceError, SnapshotService};
+use snapshot_wire::Endpoint;
+
+const REPLICAS: usize = 3;
+const LANES: usize = 2;
+
+fn snapshotd_bin() -> Option<String> {
+    option_env!("CARGO_BIN_EXE_snapshotd")
+        .map(str::to_owned)
+        .or_else(|| std::env::var("SNAPSHOTD_BIN").ok())
+}
+
+/// Spawns one `snapshotd` process and blocks until it prints its
+/// "listening on" banner (the socket is accepting by then).
+fn spawn_replica(bin: &str, endpoint: &Endpoint, index: usize) -> Child {
+    let mut child = Command::new(bin)
+        .args(["--listen", &endpoint.to_string(), "--replica", &index.to_string()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawning snapshotd process");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("snapshotd exited before its banner")
+        .expect("reading snapshotd banner");
+    assert!(
+        banner.contains("listening on"),
+        "unexpected snapshotd banner: {banner}"
+    );
+    // Keep draining stdout in the background so the child never blocks
+    // on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    child
+}
+
+#[test]
+fn snapshotd_processes_serve_the_service_and_survive_a_sigkill() {
+    let Some(bin) = snapshotd_bin() else {
+        eprintln!("skipping: no snapshotd binary (set SNAPSHOTD_BIN or run under cargo)");
+        return;
+    };
+
+    let endpoints: Vec<Endpoint> = (0..REPLICAS)
+        .map(|i| {
+            let mut path = std::env::temp_dir();
+            path.push(format!("snapshotd-proc-{}-{i}.sock", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            Endpoint::Uds(path)
+        })
+        .collect();
+    let mut children: Vec<Child> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, e)| spawn_replica(&bin, e, i))
+        .collect();
+
+    let transport = Arc::new(RemoteTransport::connect(
+        RemoteConfig::new(endpoints)
+            .with_op_timeout(Duration::from_secs(2))
+            .with_retry(RetryPolicy {
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(20),
+                multiplier: 2,
+                jitter: 0.5,
+            })
+            .with_redial(Duration::from_millis(5), Duration::from_millis(100)),
+    ));
+    assert!(
+        transport.wait_connected(REPLICAS, Duration::from_secs(10)),
+        "handshake with all replica processes"
+    );
+
+    let core_transport: Arc<dyn snapshot_abd::Transport> = transport.clone();
+    let service = SnapshotService::with_config(
+        AbdSnapshotCore::remote(core_transport, LANES, 0u64),
+        ServiceConfig {
+            retry: RetryConfig {
+                max_attempts: 4,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(20),
+                multiplier: 2,
+                deadline: Duration::from_secs(30),
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let recorder = Recorder::new(LANES, LANES, 0u64);
+
+    let soak = |iters: u64, epoch: u64| {
+        std::thread::scope(|s| {
+            for lane in 0..LANES {
+                let service = &service;
+                let recorder = &recorder;
+                s.spawn(move || {
+                    let pid = ProcessId::new(lane);
+                    let mut client = service.client(lane);
+                    for k in 1..=iters {
+                        let value = (epoch << 48) | ((lane as u64) << 32) | k;
+                        let inv = recorder.begin();
+                        match client.update(lane, value) {
+                            Ok(()) => recorder.end_update(pid, lane, value, inv),
+                            Err(ServiceError::Backend { .. }) => {
+                                recorder.pending_update(pid, lane, value, inv)
+                            }
+                            Err(e) => panic!("lane {lane} epoch {epoch}: {e:?}"),
+                        }
+                        let inv = recorder.begin();
+                        match client.scan() {
+                            Ok(view) => recorder.end_scan(pid, view.to_vec(), inv),
+                            Err(ServiceError::Backend { .. } | ServiceError::Degraded { .. }) => {}
+                            Err(e) => panic!("lane {lane} epoch {epoch}: {e:?}"),
+                        }
+                    }
+                });
+            }
+        });
+    };
+
+    // Full fleet, then SIGKILL one replica process and keep going: 2 of
+    // 3 live processes is a majority, so the service stays up.
+    soak(10, 1);
+    children[2].kill().expect("SIGKILL replica 2");
+    children[2].wait().expect("reaping replica 2");
+    soak(10, 2);
+
+    // 2 lanes × 2 ops × 10 iters × 2 epochs = 80 ops ≤ 128.
+    let history = recorder.finish();
+    let result = check_history(&history);
+    assert!(
+        result.is_linearizable(),
+        "multi-process history rejected ({result:?})"
+    );
+    assert!(
+        transport.registry().counter("abd.wire.disconnects").get() >= 1,
+        "the SIGKILL must surface as a connection drop"
+    );
+
+    for child in &mut children[..2] {
+        child.kill().expect("shutting down replica process");
+        child.wait().expect("reaping replica process");
+    }
+}
