@@ -44,8 +44,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use snapshot_obs::{Counter, Event, Registry, Trace};
 use snapshot_wire::{
-    read_frame, write_frame, Endpoint, Frame, FrameRead, WireStream, WireTag, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, Endpoint, Frame, FrameIoError, FrameRead, WireStream, WireTag,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 
 use crate::message::{RegisterId, RequestId, Tag};
@@ -165,6 +165,7 @@ struct WireCounters {
     disconnects: Counter,
     frames_in: Counter,
     protocol_errors: Counter,
+    oversize_dropped: Counter,
 }
 
 impl WireCounters {
@@ -175,6 +176,7 @@ impl WireCounters {
             disconnects: registry.counter("abd.wire.disconnects"),
             frames_in: registry.counter("abd.wire.frames_in"),
             protocol_errors: registry.counter("abd.wire.protocol_errors"),
+            oversize_dropped: registry.counter("abd.wire.oversize_dropped"),
         }
     }
 }
@@ -382,12 +384,21 @@ fn manager_loop(out: Receiver<OutMsg>, shared: Arc<ConnShared>) {
         let mut stream = stream;
         let shutting_down = loop {
             match out.recv_timeout(WRITER_POLL) {
-                Ok(OutMsg::Frame(bytes)) => {
-                    if write_frame(&mut stream, &bytes, shared.max_frame).is_err() {
+                Ok(OutMsg::Frame(bytes)) => match write_frame(&mut stream, &bytes, shared.max_frame)
+                {
+                    Ok(()) => {}
+                    Err(FrameIoError::TooLarge { .. }) => {
+                        // Refused locally, before touching the stream:
+                        // the connection is healthy. Drop (and count)
+                        // the frame instead of tearing everything down.
+                        shared.counters.messages_dropped.inc();
+                        shared.wire.oversize_dropped.inc();
+                    }
+                    Err(FrameIoError::Io(_)) => {
                         shared.counters.messages_dropped.inc();
                         break false;
                     }
-                }
+                },
                 Ok(OutMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break true,
                 Err(RecvTimeoutError::Timeout) => {
                     if !shared.connected.load(Ordering::Acquire) {
@@ -417,6 +428,7 @@ fn manager_loop(out: Receiver<OutMsg>, shared: Arc<ConnShared>) {
 pub struct RemoteTransport {
     conns: Vec<ReplicaConn>,
     kind: &'static str,
+    max_frame: u32,
     op_timeout: Duration,
     retry: RetryPolicy,
     registry: Arc<Registry>,
@@ -495,6 +507,7 @@ impl RemoteTransport {
         RemoteTransport {
             conns,
             kind,
+            max_frame: config.max_frame,
             op_timeout: config.op_timeout,
             retry: config.retry,
             registry,
@@ -585,6 +598,9 @@ struct RemotePhase<'a> {
     transport: &'a RemoteTransport,
     id: RequestId,
     frame: Arc<[u8]>,
+    /// Loopback sender for synthetic replies (used to refuse a frame
+    /// that exceeds the wire cap without touching any connection).
+    tx: Sender<Reply>,
     rx: Receiver<Reply>,
 }
 
@@ -600,6 +616,32 @@ impl Drop for RemotePhase<'_> {
 
 impl Phase for RemotePhase<'_> {
     fn send_where(&mut self, include: &mut dyn FnMut(usize) -> bool) -> usize {
+        // A frame over the wire cap can never be sent: `write_frame`
+        // refuses it locally with `TooLarge` before touching the stream.
+        // Don't churn the healthy connections — answer each addressed
+        // replica with a typed refusal (which never counts toward a
+        // quorum) and count the drops.
+        if self.frame.len() > self.transport.max_frame as usize {
+            let mut refused = 0usize;
+            for (i, conn) in self.transport.conns.iter().enumerate() {
+                if include(i) {
+                    self.transport.counters.messages_dropped.inc();
+                    conn.shared.wire.oversize_dropped.inc();
+                    let _ = self.tx.send(Reply {
+                        from: i,
+                        body: ReplyBody::Error {
+                            detail: format!(
+                                "request frame of {} bytes exceeds the {}-byte wire cap",
+                                self.frame.len(),
+                                self.transport.max_frame
+                            ),
+                        },
+                    });
+                    refused += 1;
+                }
+            }
+            return refused;
+        }
         let mut sent = 0usize;
         for (i, conn) in self.transport.conns.iter().enumerate() {
             if include(i) {
@@ -687,7 +729,11 @@ impl Transport for RemoteTransport {
                     segment,
                     tag: WireTag {
                         seq: tag.seq,
-                        writer: tag.writer as u32,
+                        // Writer ids above u32 would alias on the wire
+                        // and corrupt tag tie-break ordering; refuse
+                        // loudly rather than truncate silently.
+                        writer: u32::try_from(tag.writer)
+                            .expect("writer id exceeds the wire format's u32 range"),
                     },
                     value,
                 }
@@ -698,11 +744,12 @@ impl Transport for RemoteTransport {
         self.pending
             .lock()
             .expect("pending route map")
-            .insert(id.0, tx);
+            .insert(id.0, tx.clone());
         Box::new(RemotePhase {
             transport: self,
             id,
             frame,
+            tx,
             rx,
         })
     }
@@ -764,6 +811,53 @@ mod tests {
             assert_eq!(reg.try_read(P1).expect("read over uds"), k);
         }
         assert!(transport.stats().messages_sent > 0);
+        drop(reg);
+        drop(transport);
+        drop(servers);
+    }
+
+    #[test]
+    fn oversized_store_is_refused_without_churning_connections() {
+        let (servers, endpoints) = spawn_cluster("oversize", 3);
+        let transport = Arc::new(RemoteTransport::connect(
+            RemoteConfig::new(endpoints)
+                .with_op_timeout(Duration::from_millis(200))
+                .with_max_frame(256),
+        ));
+        assert!(transport.wait_connected(3, Duration::from_secs(5)));
+
+        let reg = crate::AbdRegister::with_wire_codec(
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            RegisterId::from_lane_segment(2, 0),
+            String::new(),
+        );
+        // A value far over the 256-byte wire cap: the phase must fail
+        // typed (not hang), and the healthy connections must survive.
+        let err = reg
+            .try_write(P0, "x".repeat(4096))
+            .expect_err("oversized value cannot fit a frame");
+        assert!(
+            matches!(err, crate::AbdError::QuorumUnavailable { .. }),
+            "{err:?}"
+        );
+        assert_eq!(transport.connected_replicas(), 3, "connections must stay up");
+        assert_eq!(
+            transport.registry().counter("abd.wire.disconnects").get(),
+            0,
+            "an oversized frame must not tear a connection down"
+        );
+        assert!(
+            transport
+                .registry()
+                .counter("abd.wire.oversize_dropped")
+                .get()
+                > 0
+        );
+
+        // Small values still flow over the same connections.
+        reg.try_write(P0, String::from("ok"))
+            .expect("small write after the refusal");
+        assert_eq!(reg.try_read(P1).expect("read after the refusal"), "ok");
         drop(reg);
         drop(transport);
         drop(servers);

@@ -110,9 +110,12 @@ impl ReplicaStore {
     /// Opens (or creates) a persistent store logging to `path`,
     /// replaying whatever the log already holds. A torn final record
     /// (the process died mid-append) is tolerated: replay stops at the
-    /// first undecodable record.
+    /// first undecodable record and the log is truncated back to the
+    /// last valid frame, so post-restart appends stay replayable on the
+    /// next restart instead of hiding behind the torn bytes.
     pub fn open(path: &PathBuf) -> io::Result<Self> {
         let store = ReplicaStore::in_memory();
+        let mut valid_len: u64 = 0;
         if let Ok(existing) = File::open(path) {
             let mut reader = BufReader::new(existing);
             loop {
@@ -125,6 +128,7 @@ impl ReplicaStore {
                             value,
                             ..
                         }) => {
+                            valid_len += 4 + body.len() as u64;
                             store.apply(lane, segment, tag, value.into());
                         }
                         _ => break,
@@ -134,6 +138,9 @@ impl ReplicaStore {
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        // O_APPEND writes land at EOF, so truncating the torn tail here
+        // makes the next append follow the last valid frame.
+        file.set_len(valid_len)?;
         *store.log.lock().unwrap() = Some(BufWriter::new(file));
         Ok(store)
     }
@@ -353,6 +360,21 @@ impl fmt::Debug for ReplicaServer {
     }
 }
 
+/// Joins the worker handles whose connections already ended, keeping
+/// only the live ones — without this a long-lived server accepting many
+/// short connections accumulates handles without bound.
+fn reap_finished_workers(workers: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut guard = workers.lock().unwrap();
+    let handles = std::mem::take(&mut *guard);
+    for handle in handles {
+        if handle.is_finished() {
+            let _ = handle.join();
+        } else {
+            guard.push(handle);
+        }
+    }
+}
+
 fn accept_loop(listener: WireListener, shared: Arc<Shared>) {
     loop {
         let stream = match listener.accept() {
@@ -361,12 +383,16 @@ fn accept_loop(listener: WireListener, shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break;
                 }
+                // A transient accept failure (e.g. EMFILE) would
+                // otherwise busy-spin this thread; back off briefly.
+                std::thread::sleep(std::time::Duration::from_millis(20));
                 continue;
             }
         };
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
+        reap_finished_workers(&shared.workers);
         shared.metrics.connections.inc();
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
@@ -584,10 +610,13 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
                 )
             }
             "--help" | "-h" => {
-                return Err(String::from(
+                // Asked-for usage goes to stdout with a zero exit; the
+                // Err path stays for genuine argument errors.
+                println!(
                     "usage: snapshotd --listen <tcp:HOST:PORT|uds:PATH> [--replica N] \
-                     [--max-frame BYTES] [--state PATH] [--metrics-every SECS]",
-                ))
+                     [--max-frame BYTES] [--state PATH] [--metrics-every SECS]"
+                );
+                return Ok(());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -879,6 +908,52 @@ mod tests {
         let (tag, value) = reloaded.get(0, 1).expect("state must be replayed");
         assert_eq!(tag, WireTag { seq: 9, writer: 1 });
         assert_eq!(&value[..], &[8]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_log_tail_is_truncated_so_post_restart_appends_survive() {
+        let path = std::env::temp_dir().join(format!(
+            "snapshot-wire-torn-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let store = ReplicaStore::open(&path).unwrap();
+        store.apply(
+            0,
+            0,
+            WireTag { seq: 1, writer: 0 },
+            Arc::from(vec![1u8].into_boxed_slice()),
+        );
+        drop(store);
+
+        // The process died mid-append: a partial length prefix trails
+        // the last valid frame.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xFF, 0x13, 0x88]).unwrap();
+        }
+
+        // First restart replays up to the torn record and truncates it,
+        // so the record applied *after* the restart lands frame-aligned.
+        let store = ReplicaStore::open(&path).unwrap();
+        let (tag, _) = store.get(0, 0).expect("pre-crash state replayed");
+        assert_eq!(tag, WireTag { seq: 1, writer: 0 });
+        store.apply(
+            0,
+            0,
+            WireTag { seq: 2, writer: 0 },
+            Arc::from(vec![2u8].into_boxed_slice()),
+        );
+        drop(store);
+
+        // Second restart must see the post-crash record too — with the
+        // torn bytes left in place it would stop replay at seq 1.
+        let store = ReplicaStore::open(&path).unwrap();
+        let (tag, value) = store.get(0, 0).expect("post-crash state replayed");
+        assert_eq!(tag, WireTag { seq: 2, writer: 0 });
+        assert_eq!(&value[..], &[2]);
         let _ = std::fs::remove_file(&path);
     }
 
