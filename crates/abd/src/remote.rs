@@ -166,6 +166,7 @@ struct WireCounters {
     frames_in: Counter,
     protocol_errors: Counter,
     oversize_dropped: Counter,
+    handshake_failures: Counter,
 }
 
 impl WireCounters {
@@ -177,6 +178,7 @@ impl WireCounters {
             frames_in: registry.counter("abd.wire.frames_in"),
             protocol_errors: registry.counter("abd.wire.protocol_errors"),
             oversize_dropped: registry.counter("abd.wire.oversize_dropped"),
+            handshake_failures: registry.counter("abd.wire.handshake_failures"),
         }
     }
 }
@@ -255,42 +257,60 @@ struct ReplicaConn {
     manager: Option<JoinHandle<()>>,
 }
 
+/// Why one dial-and-handshake attempt failed. The distinction matters
+/// for redial accounting: a refused/absent socket is plain
+/// unavailability (the replica is down — expected under crash faults),
+/// while a connection that opened but failed the handshake points at
+/// protocol trouble or a hostile middlebox and is counted separately
+/// under `abd.wire.handshake_failures`.
+#[derive(Debug)]
+enum ConnectError {
+    /// The socket never opened.
+    Dial(String),
+    /// The socket opened but the `Hello`/`HelloAck` exchange failed
+    /// (timeout, damaged bytes, version mismatch, typed refusal).
+    Handshake(String),
+}
+
 /// Dials and handshakes one connection; returns the stream ready for
 /// full-duplex traffic.
-fn connect(shared: &ConnShared) -> Result<WireStream, String> {
+fn connect(shared: &ConnShared) -> Result<WireStream, ConnectError> {
     let mut stream = shared
         .endpoint
         .dial()
-        .map_err(|e| format!("dial {}: {e}", shared.endpoint))?;
+        .map_err(|e| ConnectError::Dial(format!("dial {}: {e}", shared.endpoint)))?;
+    let hs = |detail: String| ConnectError::Handshake(detail);
     stream
         .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
-        .map_err(|e| format!("handshake timeout setup: {e}"))?;
+        .map_err(|e| hs(format!("handshake timeout setup: {e}")))?;
     let hello = Frame::Hello {
         version: PROTOCOL_VERSION,
         client: shared.client,
     }
     .encode();
-    write_frame(&mut stream, &hello, shared.max_frame).map_err(|e| format!("hello: {e}"))?;
+    write_frame(&mut stream, &hello, shared.max_frame).map_err(|e| hs(format!("hello: {e}")))?;
     let ack = match read_frame(&mut stream, shared.max_frame) {
         Ok(FrameRead::Frame(body)) => {
-            Frame::decode(&body).map_err(|e| format!("handshake decode: {e}"))?
+            Frame::decode(&body).map_err(|e| hs(format!("handshake decode: {e}")))?
         }
-        Ok(FrameRead::Eof) => return Err("replica closed during handshake".into()),
-        Err(e) => return Err(format!("handshake read: {e}")),
+        Ok(FrameRead::Eof) => return Err(hs("replica closed during handshake".into())),
+        Err(e) => return Err(hs(format!("handshake read: {e}"))),
     };
     match ack {
         Frame::HelloAck { version, .. } if version == PROTOCOL_VERSION => {}
         Frame::HelloAck { version, .. } => {
-            return Err(format!(
+            return Err(hs(format!(
                 "replica speaks protocol v{version}, client v{PROTOCOL_VERSION}"
-            ))
+            )))
         }
-        Frame::Error { code, detail, .. } => return Err(format!("replica refused: {code}: {detail}")),
-        other => return Err(format!("unexpected handshake reply: {}", other.kind_name())),
+        Frame::Error { code, detail, .. } => {
+            return Err(hs(format!("replica refused: {code}: {detail}")))
+        }
+        other => return Err(hs(format!("unexpected handshake reply: {}", other.kind_name()))),
     }
     stream
         .set_read_timeout(None)
-        .map_err(|e| format!("handshake timeout clear: {e}"))?;
+        .map_err(|e| hs(format!("handshake timeout clear: {e}")))?;
     Ok(stream)
 }
 
@@ -309,7 +329,13 @@ fn reader_loop(mut stream: WireStream, shared: &ConnShared) {
                     break;
                 }
             },
-            Ok(FrameRead::Eof) | Err(_) => break,
+            Ok(FrameRead::Eof) | Err(FrameIoError::Io(_)) => break,
+            Err(FrameIoError::Corrupt { .. } | FrameIoError::TooLarge { .. }) => {
+                // The framing itself lied — damaged or hostile bytes.
+                // Same desync rule as an undecodable body: reconnect.
+                shared.wire.protocol_errors.inc();
+                break;
+            }
         }
     }
     shared.connected.store(false, Ordering::Release);
@@ -334,7 +360,10 @@ fn manager_loop(out: Receiver<OutMsg>, shared: Arc<ConnShared>) {
         );
         let stream = match connect(&shared) {
             Ok(stream) => stream,
-            Err(_) => {
+            Err(error) => {
+                if matches!(error, ConnectError::Handshake(_)) {
+                    shared.wire.handshake_failures.inc();
+                }
                 // Failed dial: drop (and count) anything queued while we
                 // sit out the backoff — the engine retransmits.
                 let until = Instant::now() + backoff;
@@ -394,7 +423,9 @@ fn manager_loop(out: Receiver<OutMsg>, shared: Arc<ConnShared>) {
                         shared.counters.messages_dropped.inc();
                         shared.wire.oversize_dropped.inc();
                     }
-                    Err(FrameIoError::Io(_)) => {
+                    // Corrupt is read-side only, but if it ever surfaced
+                    // here the stream would be equally unusable.
+                    Err(FrameIoError::Io(_) | FrameIoError::Corrupt { .. }) => {
                         shared.counters.messages_dropped.inc();
                         break false;
                     }

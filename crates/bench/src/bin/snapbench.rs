@@ -10,7 +10,10 @@
 //! in-process replica network, `abd-scan-tcp`, the same stack over the
 //! *real* wire transport against in-process `snapshotd` replicas on TCP
 //! loopback (every quorum phase a framed socket round-trip, so the cell
-//! prices syscalls and the wire codec against the simulator), and
+//! prices syscalls and the wire codec against the simulator),
+//! `abd-scan-tcp-durable`, the wire stack against replicas carrying
+//! fsync-always CRC state logs (pricing crash-consistent durability on
+//! the quorum write path), and
 //! `degraded-shard`, the service over
 //! a backing whose full collects blip in bursts so the windowed
 //! breaker cycles trip → shed → probe → close while the bench
@@ -24,9 +27,9 @@
 //!
 //! ```text
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --out BENCH_9.json
+//!     --out BENCH_10.json
 //! cargo run -p snapshot-bench --release --bin snapbench -- \
-//!     --quick --compare BENCH_9.json --report-only
+//!     --quick --compare BENCH_10.json --report-only
 //! ```
 //!
 //! `--compare` exits with status 1 when any entry's median ns/op
@@ -59,7 +62,7 @@ use snapshot_core::{
 };
 use snapshot_registers::ProcessId;
 use snapshot_service::{HealthConfig, RetryConfig, ServiceConfig, ServiceError, SnapshotService};
-use snapshot_wire::{Endpoint, ReplicaServer, ServerConfig};
+use snapshot_wire::{Endpoint, FsyncPolicy, ReplicaServer, ReplicaStore, ServerConfig};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Workload {
@@ -99,6 +102,12 @@ enum Workload {
     /// the connection managers; unbounded-only, heavily reduced
     /// iteration counts.
     AbdScanTcp,
+    /// The wire workload again, but against *durable* replicas: each
+    /// `snapshotd` carries a CRC-framed state log with `fsync always`,
+    /// so every winning store pays a full fsync before acking. The
+    /// delta against `abd-scan-tcp` prices crash-consistent durability
+    /// on the quorum write path; unbounded-only, minimal iterations.
+    AbdScanTcpDurable,
     /// Service over a backing whose full collects fail in periodic
     /// bursts: the windowed breaker cycles trip → shed → probe → close
     /// under load, so the cell times the *typed-failure* path — retry
@@ -109,7 +118,7 @@ enum Workload {
 }
 
 impl Workload {
-    const ALL: [Workload; 11] = [
+    const ALL: [Workload; 12] = [
         Workload::ScanHeavy,
         Workload::UpdateHeavy,
         Workload::Mixed,
@@ -120,6 +129,7 @@ impl Workload {
         Workload::PartialScanZipf,
         Workload::AbdScan,
         Workload::AbdScanTcp,
+        Workload::AbdScanTcpDurable,
         Workload::DegradedShard,
     ];
 
@@ -135,6 +145,7 @@ impl Workload {
             Workload::PartialScanZipf => "partial-scan-zipf",
             Workload::AbdScan => "abd-scan",
             Workload::AbdScanTcp => "abd-scan-tcp",
+            Workload::AbdScanTcpDurable => "abd-scan-tcp-durable",
             Workload::DegradedShard => "degraded-shard",
         }
     }
@@ -150,7 +161,10 @@ impl Workload {
             | Workload::PartialScanSq
             | Workload::PartialScanSn
             | Workload::PartialScanZipf => k % 2 == 0,
-            Workload::AbdScan | Workload::AbdScanTcp | Workload::DegradedShard => k % 2 == 0,
+            Workload::AbdScan
+            | Workload::AbdScanTcp
+            | Workload::AbdScanTcpDurable
+            | Workload::DegradedShard => k % 2 == 0,
         }
     }
 
@@ -160,6 +174,7 @@ impl Workload {
         match self {
             Workload::AbdScan => 20,
             Workload::AbdScanTcp => 40,
+            Workload::AbdScanTcpDurable => 80,
             Workload::DegradedShard => 4,
             _ => 1,
         }
@@ -258,7 +273,10 @@ fn suite(tuning: &Tuning) -> Vec<Config> {
             // a fault injector — both are unbounded-only.
             if matches!(
                 workload,
-                Workload::AbdScan | Workload::AbdScanTcp | Workload::DegradedShard
+                Workload::AbdScan
+                    | Workload::AbdScanTcp
+                    | Workload::AbdScanTcpDurable
+                    | Workload::DegradedShard
             ) && construction != Construction::Unbounded
             {
                 continue;
@@ -565,6 +583,75 @@ fn time_abd_tcp(threads: usize, iters: u64) -> u128 {
     elapsed
 }
 
+/// Times one sample of the `abd-scan-tcp-durable` workload: the same
+/// wire-backed cluster as [`time_abd_tcp`] but over Unix-domain sockets
+/// with a CRC-framed state log per replica under `fsync always` — every
+/// winning store fsyncs before its ack, so the cell prices the full
+/// crash-consistent write path. Cluster setup and state-file cleanup
+/// are excluded from the timed region.
+fn time_abd_tcp_durable(threads: usize, iters: u64) -> u128 {
+    static SAMPLE: AtomicU64 = AtomicU64::new(0);
+    let sample = SAMPLE.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let mut state_logs = Vec::new();
+    let servers: Vec<ReplicaServer> = (0..3)
+        .map(|i| {
+            let sock = std::env::temp_dir().join(format!("snapbench-dur-{pid}-{sample}-{i}.sock"));
+            let _ = std::fs::remove_file(&sock);
+            let log = std::env::temp_dir().join(format!("snapbench-dur-{pid}-{sample}-{i}.log"));
+            let _ = std::fs::remove_file(&log);
+            let _ = std::fs::remove_file(ReplicaStore::checkpoint_path_for(&log));
+            state_logs.push(log.clone());
+            ReplicaServer::spawn(
+                ServerConfig::new(Endpoint::Uds(sock), i as u32)
+                    .with_state_log(log)
+                    .with_fsync(FsyncPolicy::Always),
+            )
+            .expect("spawning durable replica")
+        })
+        .collect();
+    let endpoints = servers.iter().map(|s| s.endpoint().clone()).collect();
+    let transport: Arc<dyn Transport> =
+        Arc::new(RemoteTransport::connect(RemoteConfig::new(endpoints)));
+    let service = SnapshotService::new(AbdSnapshotCore::remote(transport, threads, 0u64));
+    let barrier = Barrier::new(threads + 1);
+    let mut elapsed = 0u128;
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let barrier = &barrier;
+            let service = &service;
+            s.spawn(move || {
+                let mut client = service.client(i);
+                barrier.wait();
+                let mut acc = 0u64;
+                for k in 0..iters {
+                    if k % 2 == 0 {
+                        client
+                            .update(i, ((i as u64) << 32) | k)
+                            .expect("healthy durable cluster");
+                    } else {
+                        let view = client.scan().expect("healthy durable cluster");
+                        acc = acc.wrapping_add(view.iter().sum::<u64>());
+                    }
+                }
+                std::hint::black_box(acc);
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        elapsed = start.elapsed().as_nanos();
+    });
+    drop(service);
+    drop(servers);
+    for log in state_logs {
+        let _ = std::fs::remove_file(ReplicaStore::checkpoint_path_for(&log));
+        let _ = std::fs::remove_file(log);
+    }
+    elapsed
+}
+
 /// An `UnboundedSnapshot` whose full collects fail in periodic bursts
 /// (2 of every 8 scans err `Unavailable`, counted globally): enough
 /// sustained error rate to trip the service's windowed breaker, with
@@ -699,6 +786,8 @@ fn run_config(config: &Config, tuning: &Tuning) -> BenchEntry {
             time_abd(threads, iters)
         } else if config.workload == Workload::AbdScanTcp {
             time_abd_tcp(threads, iters)
+        } else if config.workload == Workload::AbdScanTcpDurable {
+            time_abd_tcp_durable(threads, iters)
         } else if config.workload == Workload::DegradedShard {
             time_degraded(threads, iters)
         } else if let Some(subset_len) = config.workload.subset_len(threads) {
@@ -897,7 +986,7 @@ fn run_trend(args: TrendArgs) -> ExitCode {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        out: "BENCH_9.json".to_string(),
+        out: "BENCH_10.json".to_string(),
         compare: None,
         threshold_pct: 20.0,
         report_only: false,

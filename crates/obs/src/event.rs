@@ -541,6 +541,50 @@ pub enum Event {
         /// The disconnected replica index.
         replica: usize,
     },
+    /// A replica store dropped a torn tail during recovery: the final
+    /// log record was incomplete (the process died mid-append), so the
+    /// log was truncated back to the last whole record.
+    StoreTruncated {
+        /// The recovering replica index.
+        replica: usize,
+        /// Bytes dropped from the end of the log.
+        bytes: u64,
+    },
+    /// A replica store detected mid-log corruption during recovery: a
+    /// *complete* record whose CRC32 did not match its body (or whose
+    /// header was unparseable). Unlike a torn tail this is silent data
+    /// damage, never a crash artifact.
+    StoreCorrupt {
+        /// The recovering replica index.
+        replica: usize,
+        /// Byte offset of the corrupt record in the log file.
+        offset: u64,
+        /// True when the recovery policy truncated the log from the
+        /// corrupt record onward; false when recovery was refused.
+        truncated: bool,
+    },
+    /// A replica store wrote a durable checkpoint (atomic
+    /// write-new-then-rename) and truncated its log, bounding the next
+    /// restart's replay to O(live registers).
+    StoreCheckpoint {
+        /// The checkpointing replica index.
+        replica: usize,
+        /// Registers captured in the checkpoint.
+        registers: u64,
+        /// Size of the checkpoint file in bytes.
+        bytes: u64,
+    },
+    /// A replica store finished replaying its durable state on startup.
+    StoreReplayed {
+        /// The recovering replica index.
+        replica: usize,
+        /// Registers restored from the checkpoint file.
+        checkpoint_registers: u64,
+        /// Log records replayed on top of the checkpoint.
+        records: u64,
+        /// Replay wall time in microseconds.
+        elapsed_us: u64,
+    },
 }
 
 impl Event {
@@ -585,6 +629,10 @@ impl Event {
             Event::TransportDial { .. } => "transport_dial",
             Event::TransportConnected { .. } => "transport_connected",
             Event::TransportDropped { .. } => "transport_dropped",
+            Event::StoreTruncated { .. } => "store_truncated",
+            Event::StoreCorrupt { .. } => "store_corrupt",
+            Event::StoreCheckpoint { .. } => "store_checkpoint",
+            Event::StoreReplayed { .. } => "store_replayed",
         }
     }
 }
@@ -692,6 +740,28 @@ impl fmt::Display for Event {
             }
             Event::TransportDropped { replica } => {
                 write!(f, "transport_dropped(replica=R{replica})")
+            }
+            Event::StoreTruncated { replica, bytes } => {
+                write!(f, "store_truncated(replica=R{replica}, bytes={bytes})")
+            }
+            Event::StoreCorrupt { replica, offset, truncated } => {
+                write!(
+                    f,
+                    "store_corrupt(replica=R{replica}, offset={offset}, truncated={truncated})"
+                )
+            }
+            Event::StoreCheckpoint { replica, registers, bytes } => {
+                write!(
+                    f,
+                    "store_checkpoint(replica=R{replica}, registers={registers}, bytes={bytes})"
+                )
+            }
+            Event::StoreReplayed { replica, checkpoint_registers, records, elapsed_us } => {
+                write!(
+                    f,
+                    "store_replayed(replica=R{replica}, ckpt={checkpoint_registers}, \
+                     records={records}, {elapsed_us}us)"
+                )
             }
         }
     }

@@ -160,6 +160,26 @@ fn push_payload(out: &mut String, event: &Event) {
         Event::TransportDropped { replica } => {
             push_field(out, "replica", replica);
         }
+        Event::StoreTruncated { replica, bytes } => {
+            push_field(out, "replica", replica);
+            push_field(out, "bytes", bytes);
+        }
+        Event::StoreCorrupt { replica, offset, truncated } => {
+            push_field(out, "replica", replica);
+            push_field(out, "offset", offset);
+            push_field(out, "truncated", truncated);
+        }
+        Event::StoreCheckpoint { replica, registers, bytes } => {
+            push_field(out, "replica", replica);
+            push_field(out, "registers", registers);
+            push_field(out, "bytes", bytes);
+        }
+        Event::StoreReplayed { replica, checkpoint_registers, records, elapsed_us } => {
+            push_field(out, "replica", replica);
+            push_field(out, "checkpoint_registers", checkpoint_registers);
+            push_field(out, "records", records);
+            push_field(out, "elapsed_us", elapsed_us);
+        }
     }
 }
 

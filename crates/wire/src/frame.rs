@@ -1,14 +1,22 @@
-//! The framing layer: length-prefixed frames over a byte stream.
+//! The framing layer: length-prefixed, CRC-guarded frames over a byte
+//! stream.
 //!
 //! Every protocol message travels as one *frame*: a little-endian `u32`
-//! length prefix followed by exactly that many body bytes. The reader
-//! enforces a maximum frame size **before** allocating, so a corrupt or
-//! hostile length prefix can never balloon memory — it surfaces as the
-//! typed [`FrameIoError::TooLarge`] and the connection is dropped.
+//! length prefix, a little-endian CRC-32 of the body, then exactly
+//! `len` body bytes. The reader enforces a maximum frame size **before**
+//! allocating, so a corrupt or hostile length prefix can never balloon
+//! memory — it surfaces as the typed [`FrameIoError::TooLarge`] and the
+//! connection is dropped. The CRC closes the other half of the threat
+//! model: a frame whose *body* was damaged in flight (a lossy middlebox,
+//! a flipped bit) fails the checksum and surfaces as
+//! [`FrameIoError::Corrupt`] instead of silently decoding into a
+//! plausible-but-wrong store or reply. Either way the stream is no
+//! longer trustworthy and costs at most its own connection.
 
 use std::io::{self, Read, Write};
 
 use crate::error::WireError;
+use crate::store::crc32;
 
 /// Default upper bound on one frame's body, in bytes (1 MiB).
 ///
@@ -41,6 +49,16 @@ pub enum FrameIoError {
         /// The configured maximum.
         max: u32,
     },
+    /// The body failed its CRC-32 check: the bytes were damaged between
+    /// the peer's checksum and ours. The stream may also be desynced
+    /// (the length prefix itself could be the damaged part) and must be
+    /// dropped.
+    Corrupt {
+        /// The checksum the frame header promised.
+        expected: u32,
+        /// The checksum of the body as received.
+        got: u32,
+    },
 }
 
 impl std::fmt::Display for FrameIoError {
@@ -50,6 +68,10 @@ impl std::fmt::Display for FrameIoError {
             FrameIoError::TooLarge { len, max } => {
                 write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
             }
+            FrameIoError::Corrupt { expected, got } => write!(
+                f,
+                "frame body failed its crc32 check (expected {expected:#010x}, got {got:#010x})"
+            ),
         }
     }
 }
@@ -71,12 +93,12 @@ impl FrameIoError {
                 len: u64::from(*len),
                 max: u64::from(*max),
             }),
-            FrameIoError::Io(_) => None,
+            FrameIoError::Io(_) | FrameIoError::Corrupt { .. } => None,
         }
     }
 }
 
-/// Writes one frame (length prefix + body) to `w`.
+/// Writes one frame (length prefix + body CRC + body) to `w`.
 ///
 /// Refuses bodies longer than `max` with [`FrameIoError::TooLarge`]
 /// *before* touching the stream, so a local encoding bug cannot desync
@@ -90,24 +112,25 @@ pub fn write_frame(w: &mut impl Write, body: &[u8], max: u32) -> Result<(), Fram
         return Err(FrameIoError::TooLarge { len, max });
     }
     w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(body).to_le_bytes())?;
     w.write_all(body)?;
     w.flush()?;
     Ok(())
 }
 
 /// Reads one frame from `r`, enforcing the `max` body-size guard before
-/// allocating the body buffer.
+/// allocating the body buffer and the CRC guard before returning it.
 ///
-/// A clean EOF before the first length byte is [`FrameRead::Eof`]; EOF
+/// A clean EOF before the first prefix byte is [`FrameRead::Eof`]; EOF
 /// anywhere inside a frame is an [`io::ErrorKind::UnexpectedEof`] error
 /// (the peer died mid-frame).
 pub fn read_frame(r: &mut impl Read, max: u32) -> Result<FrameRead, FrameIoError> {
-    let mut len_buf = [0u8; 4];
+    let mut prefix = [0u8; 8];
     // Hand-rolled first-byte read to distinguish "clean close" from
     // "died mid-prefix".
     let mut got = 0usize;
-    while got < 4 {
-        match r.read(&mut len_buf[got..]) {
+    while got < 8 {
+        match r.read(&mut prefix[got..]) {
             Ok(0) if got == 0 => return Ok(FrameRead::Eof),
             Ok(0) => {
                 return Err(FrameIoError::Io(io::Error::new(
@@ -120,12 +143,17 @@ pub fn read_frame(r: &mut impl Read, max: u32) -> Result<FrameRead, FrameIoError
             Err(e) => return Err(FrameIoError::Io(e)),
         }
     }
-    let len = u32::from_le_bytes(len_buf);
+    let len = u32::from_le_bytes(prefix[..4].try_into().expect("4-byte slice"));
+    let expected = u32::from_le_bytes(prefix[4..].try_into().expect("4-byte slice"));
     if len > max {
         return Err(FrameIoError::TooLarge { len, max });
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
+    let got = crc32(&body);
+    if got != expected {
+        return Err(FrameIoError::Corrupt { expected, got });
+    }
     Ok(FrameRead::Frame(body))
 }
 
@@ -159,6 +187,7 @@ mod tests {
         // 4 GiB-1 advertised length, 0 body bytes behind it: must fail on
         // the guard, not on an allocation or an EOF.
         let mut buf = u32::MAX.to_le_bytes().to_vec();
+        buf.extend_from_slice(&0u32.to_le_bytes()); // the crc slot
         buf.push(0);
         let mut r = Cursor::new(buf);
         match read_frame(&mut r, 1024) {
@@ -183,18 +212,35 @@ mod tests {
 
     #[test]
     fn eof_inside_prefix_or_body_is_unexpected_eof() {
-        let mut r = Cursor::new(vec![5u8, 0]); // half a length prefix
+        let mut r = Cursor::new(vec![5u8, 0]); // a fragment of the prefix
         match read_frame(&mut r, 1024) {
             Err(FrameIoError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
             other => panic!("{other:?}"),
         }
         let mut buf = Vec::new();
         write_frame(&mut buf, b"abcdef", 1024).unwrap();
-        buf.truncate(7); // prefix + 3 of 6 body bytes
+        buf.truncate(11); // len + crc + 3 of 6 body bytes
         let mut r = Cursor::new(buf);
         match read_frame(&mut r, 1024) {
             Err(FrameIoError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn damaged_body_fails_the_crc_not_the_decode() {
+        // Flip one body bit in an otherwise perfectly framed message:
+        // the reader must refuse it as Corrupt — this is exactly the
+        // frame a hostile middlebox would hand us, and before the CRC it
+        // decoded into a plausible-but-wrong message.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"store lane=1 seq=9", 1024).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r, 1024) {
+            Err(FrameIoError::Corrupt { expected, got }) => assert_ne!(expected, got),
+            other => panic!("expected Corrupt, got {other:?}"),
         }
     }
 }

@@ -16,8 +16,14 @@
 //! * [`proto`] — the versioned [`Frame`] set: handshake, lane/segment
 //!   addressed requests, tagged replies and typed error frames;
 //! * [`net`] — [`Endpoint`] parsing plus TCP/UDS streams and listeners;
-//! * [`server`] — [`ReplicaServer`], the per-lane-per-segment tagged
-//!   register store that `snapshotd` hosts.
+//! * [`store`] — [`ReplicaStore`], the crash-consistent register store:
+//!   CRC-framed state log, atomic checkpoints, explicit fsync and
+//!   corruption-recovery policies;
+//! * [`server`] — [`ReplicaServer`], the replica protocol loop that
+//!   `snapshotd` hosts, including SIGTERM-graceful shutdown;
+//! * [`hostile`] — [`HostileProxy`]/[`HostileStream`], seeded byte-level
+//!   fault injection (corruption, partial writes, stalls, mid-frame
+//!   resets, slow-loris) for nemesis tests against real sockets.
 //!
 //! The client half — connection management, redial with backoff,
 //! request-id demultiplexing — lives in `snapshot_abd::remote`, next to
@@ -32,14 +38,20 @@
 
 pub mod error;
 pub mod frame;
+pub mod hostile;
 pub mod net;
 pub mod proto;
 pub mod server;
+pub mod store;
 pub mod value;
 
 pub use error::WireError;
 pub use frame::{read_frame, write_frame, FrameIoError, FrameRead, DEFAULT_MAX_FRAME};
+pub use hostile::{drive_phases, HostileKnobs, HostilePhase, HostileProfile, HostileProxy, HostileStream};
 pub use net::{Endpoint, WireListener, WireStream};
 pub use proto::{ErrorCode, Frame, WireTag, PROTOCOL_VERSION};
-pub use server::{ReplicaServer, ReplicaStore, ServerConfig};
+pub use server::{ReplicaServer, ServerConfig};
+pub use store::{
+    FsyncPolicy, RecoveryPolicy, RecoverySummary, ReplicaStore, StoreConfig, StoreError,
+};
 pub use value::{put_bytes, Reader, WireValue};

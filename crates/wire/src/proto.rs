@@ -30,7 +30,12 @@ use crate::value::{put_bytes, Reader};
 pub const MAGIC: [u8; 4] = *b"SNAP";
 
 /// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 added the per-frame body CRC-32 to the framing layer; a v1 peer
+/// desyncs at the first frame and is dropped before the handshake can
+/// even report the mismatch, which is the correct outcome for an
+/// incompatible framing.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 const KIND_HELLO: u8 = 1;
 const KIND_HELLO_ACK: u8 = 2;

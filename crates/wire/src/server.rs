@@ -17,25 +17,31 @@
 //!   [`Frame::Error`] replies, never a panic.
 //!
 //! With `--state PATH` (or [`ServerConfig::with_state_log`]) every
-//! applied store is appended to a frame-formatted log replayed on
-//! startup, so a killed-and-restarted replica process returns with its
+//! applied store is appended to the CRC-framed, checkpointed state log
+//! of [`ReplicaStore`] (see `crate::store` for the crash-consistency
+//! model), so a killed-and-restarted replica process returns with its
 //! state intact — the same crash model (`silence, state preserved`) the
-//! simulated network's `crash`/`restart` implements in-process.
+//! simulated network's `crash`/`restart` implements in-process. The
+//! `--fsync`, `--recover` and `--checkpoint-bytes` flags thread the
+//! store's durability policies through the CLI, and SIGTERM triggers a
+//! graceful drain + final checkpoint instead of a crash-equivalent
+//! exit.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use snapshot_obs::{Counter, Gauge, Registry};
 
 use crate::frame::{read_frame, write_frame, FrameIoError, FrameRead, DEFAULT_MAX_FRAME};
 use crate::net::{Endpoint, WireListener, WireStream};
 use crate::proto::{ErrorCode, Frame, WireTag, PROTOCOL_VERSION};
+use crate::store::{FsyncPolicy, RecoveryPolicy, ReplicaStore, StoreConfig, StoreError};
 
 /// How many recently seen request ids each connection remembers for
 /// retransmission dedup (same window, and same rationale, as the
@@ -57,6 +63,13 @@ pub struct ServerConfig {
     /// Path of the state log replayed on startup and appended on every
     /// applied store. `None` keeps state in memory only.
     pub state_log: Option<PathBuf>,
+    /// When appended stores reach the disk (ignored without a state
+    /// log).
+    pub fsync: FsyncPolicy,
+    /// What startup replay does about mid-log corruption.
+    pub recovery: RecoveryPolicy,
+    /// Auto-checkpoint threshold in log bytes.
+    pub checkpoint_bytes: u64,
 }
 
 impl ServerConfig {
@@ -69,6 +82,9 @@ impl ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             registry: None,
             state_log: None,
+            fsync: FsyncPolicy::default(),
+            recovery: RecoveryPolicy::default(),
+            checkpoint_bytes: StoreConfig::default().checkpoint_bytes,
         }
     }
 
@@ -89,118 +105,23 @@ impl ServerConfig {
         self.state_log = Some(path);
         self
     }
-}
 
-/// The tagged register store of one replica: `(lane, segment)` →
-/// highest-tagged `(tag, value)` seen.
-pub struct ReplicaStore {
-    map: Mutex<HashMap<(u32, u32), (WireTag, Arc<[u8]>)>>,
-    log: Mutex<Option<BufWriter<File>>>,
-}
-
-impl ReplicaStore {
-    /// An empty in-memory store.
-    pub fn in_memory() -> Self {
-        ReplicaStore {
-            map: Mutex::new(HashMap::new()),
-            log: Mutex::new(None),
-        }
+    /// Sets when appended stores reach the disk.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
     }
 
-    /// Opens (or creates) a persistent store logging to `path`,
-    /// replaying whatever the log already holds. A torn final record
-    /// (the process died mid-append) is tolerated: replay stops at the
-    /// first undecodable record and the log is truncated back to the
-    /// last valid frame, so post-restart appends stay replayable on the
-    /// next restart instead of hiding behind the torn bytes.
-    pub fn open(path: &PathBuf) -> io::Result<Self> {
-        let store = ReplicaStore::in_memory();
-        let mut valid_len: u64 = 0;
-        if let Ok(existing) = File::open(path) {
-            let mut reader = BufReader::new(existing);
-            loop {
-                match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
-                    Ok(FrameRead::Frame(body)) => match Frame::decode(&body) {
-                        Ok(Frame::Store {
-                            lane,
-                            segment,
-                            tag,
-                            value,
-                            ..
-                        }) => {
-                            valid_len += 4 + body.len() as u64;
-                            store.apply(lane, segment, tag, value.into());
-                        }
-                        _ => break,
-                    },
-                    _ => break,
-                }
-            }
-        }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        // O_APPEND writes land at EOF, so truncating the torn tail here
-        // makes the next append follow the last valid frame.
-        file.set_len(valid_len)?;
-        *store.log.lock().unwrap() = Some(BufWriter::new(file));
-        Ok(store)
+    /// Sets the mid-log-corruption recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
-    /// The current `(tag, value)` for a register, if any store reached
-    /// this replica.
-    pub fn get(&self, lane: u32, segment: u32) -> Option<(WireTag, Arc<[u8]>)> {
-        self.map
-            .lock()
-            .unwrap()
-            .get(&(lane, segment))
-            .map(|(t, v)| (*t, Arc::clone(v)))
-    }
-
-    /// Max-by-tag merge; returns whether the value was applied (a lower
-    /// or equal tag leaves the stored value in place).
-    pub fn apply(&self, lane: u32, segment: u32, tag: WireTag, value: Arc<[u8]>) -> bool {
-        let mut map = self.map.lock().unwrap();
-        match map.entry((lane, segment)) {
-            std::collections::hash_map::Entry::Occupied(mut occupied) => {
-                if tag > occupied.get().0 {
-                    occupied.insert((tag, value.clone()));
-                } else {
-                    return false;
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(vacant) => {
-                vacant.insert((tag, value.clone()));
-            }
-        }
-        drop(map);
-        if let Some(log) = self.log.lock().unwrap().as_mut() {
-            let record = Frame::Store {
-                id: 0,
-                lane,
-                segment,
-                tag,
-                value: value.to_vec(),
-            };
-            let _ = write_frame(log, &record.encode(), DEFAULT_MAX_FRAME);
-        }
-        true
-    }
-
-    /// Number of registers this replica holds state for.
-    pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
-    }
-
-    /// True when no store has ever reached this replica.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-impl fmt::Debug for ReplicaStore {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ReplicaStore")
-            .field("registers", &self.len())
-            .finish()
+    /// Sets the auto-checkpoint threshold in log bytes.
+    pub fn with_checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_bytes = bytes;
+        self
     }
 }
 
@@ -213,6 +134,7 @@ struct ServerMetrics {
     duplicates_suppressed: Counter,
     decode_errors: Counter,
     oversize_frames: Counter,
+    corrupt_frames: Counter,
     errors_sent: Counter,
 }
 
@@ -227,6 +149,7 @@ impl ServerMetrics {
             duplicates_suppressed: registry.counter("snapshotd.duplicates_suppressed"),
             decode_errors: registry.counter("snapshotd.decode_errors"),
             oversize_frames: registry.counter("snapshotd.oversize_frames"),
+            corrupt_frames: registry.counter("snapshotd.corrupt_frames"),
             errors_sent: registry.counter("snapshotd.errors_sent"),
         }
     }
@@ -257,13 +180,24 @@ pub struct ReplicaServer {
 
 impl ReplicaServer {
     /// Binds and spawns a server per `config` (opening or creating the
-    /// state log when one is configured).
+    /// state log when one is configured). With [`RecoveryPolicy::Fail`]
+    /// a corrupt state log refuses to open — the [`StoreError::Corrupt`]
+    /// surfaces here as `InvalidData`, naming the offset.
     pub fn spawn(config: ServerConfig) -> io::Result<ReplicaServer> {
-        let store = match &config.state_log {
-            Some(path) => Arc::new(ReplicaStore::open(path)?),
-            None => Arc::new(ReplicaStore::in_memory()),
-        };
-        Self::spawn_with_store(config, store)
+        let registry = config.registry.clone().unwrap_or_default();
+        let store = Arc::new(
+            ReplicaStore::open_with(StoreConfig {
+                path: config.state_log.clone(),
+                fsync: config.fsync,
+                recovery: config.recovery,
+                checkpoint_bytes: config.checkpoint_bytes,
+                registry: Some(Arc::clone(&registry)),
+                trace: None,
+                replica: config.replica,
+            })
+            .map_err(io::Error::from)?,
+        );
+        Self::spawn_with_store(ServerConfig { registry: Some(registry), ..config }, store)
     }
 
     /// Like [`spawn`](Self::spawn), over an existing store — the
@@ -326,12 +260,36 @@ impl ReplicaServer {
     /// server threads. Idempotent. From a client's point of view this is
     /// a replica crash: requests in flight go unanswered.
     pub fn shutdown(&self) {
+        self.stop(None);
+    }
+
+    /// Graceful shutdown (the SIGTERM path): stops accepting, gives
+    /// in-flight requests up to `grace` to finish (connections that go
+    /// idle are severed as soon as the request loop notices the flag),
+    /// joins every thread, then flushes, fsyncs, and writes a final
+    /// durable checkpoint so the next start replays O(live registers).
+    pub fn shutdown_graceful(&self, grace: Duration) -> Result<(), StoreError> {
+        self.stop(Some(grace));
+        self.shared.store.flush(true)?;
+        self.shared.store.checkpoint()
+    }
+
+    fn stop(&self, drain: Option<Duration>) {
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
         // Unblock the accept loop with a throwaway connection; it checks
         // the flag before serving.
         let _ = self.endpoint.dial();
+        if let Some(grace) = drain {
+            let deadline = Instant::now() + grace;
+            while Instant::now() < deadline {
+                if self.shared.metrics.open_connections.get() == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
         for (_, conn) in self.shared.conns.lock().unwrap().iter() {
             conn.shutdown();
         }
@@ -567,20 +525,68 @@ fn read_decoded(stream: &mut WireStream, shared: &Shared) -> Option<Frame> {
             );
             None
         }
+        Err(FrameIoError::Corrupt { expected, got }) => {
+            // Damaged in flight: the length prefix itself may be the lie,
+            // so the stream is not trustworthy past this point. Reply
+            // best-effort and let the caller drop the connection.
+            shared.metrics.corrupt_frames.inc();
+            send_error(
+                stream,
+                shared,
+                0,
+                ErrorCode::Malformed,
+                format!("frame crc mismatch (expected {expected:#010x}, got {got:#010x})"),
+            );
+            None
+        }
         Err(FrameIoError::Io(_)) => None,
     }
 }
 
+/// Set by the SIGTERM handler; polled by [`run_cli`]'s serve loop.
+static SIGTERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    // A relaxed atomic store is async-signal-safe.
+    SIGTERM_FLAG.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGTERM → flag handler. No `libc` crate: `signal` is
+/// declared directly (it is always in the platform libc this binary
+/// links).
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// How long a SIGTERM-initiated shutdown waits for in-flight requests.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
+
 /// Runs the `snapshotd` command line: parses `--listen`, `--replica`,
-/// `--max-frame`, `--state` and `--metrics-every`, spawns the server,
-/// prints a ready line to stdout, and serves until killed. Returns an
-/// error string suitable for `eprintln!` + nonzero exit.
+/// `--max-frame`, `--state`, `--fsync`, `--recover`,
+/// `--checkpoint-bytes` and `--metrics-every`, spawns the server,
+/// prints a ready line to stdout, and serves until killed — or until
+/// SIGTERM, which drains in-flight connections, writes a final fsynced
+/// checkpoint, and returns `Ok` (exit 0). Returns an error string
+/// suitable for `eprintln!` + nonzero exit.
 pub fn run_cli(args: &[String]) -> Result<(), String> {
     let mut listen: Option<Endpoint> = None;
     let mut replica: u32 = 0;
     let mut max_frame = DEFAULT_MAX_FRAME;
     let mut state_log: Option<PathBuf> = None;
     let mut metrics_every: Option<u64> = None;
+    let mut fsync = FsyncPolicy::default();
+    let mut recovery = RecoveryPolicy::default();
+    let mut checkpoint_bytes = StoreConfig::default().checkpoint_bytes;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -602,6 +608,13 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--max-frame: {e}"))?
             }
             "--state" => state_log = Some(PathBuf::from(value("--state")?)),
+            "--fsync" => fsync = FsyncPolicy::parse(&value("--fsync")?)?,
+            "--recover" => recovery = RecoveryPolicy::parse(&value("--recover")?)?,
+            "--checkpoint-bytes" => {
+                checkpoint_bytes = value("--checkpoint-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-bytes: {e}"))?
+            }
             "--metrics-every" => {
                 metrics_every = Some(
                     value("--metrics-every")?
@@ -614,7 +627,8 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
                 // Err path stays for genuine argument errors.
                 println!(
                     "usage: snapshotd --listen <tcp:HOST:PORT|uds:PATH> [--replica N] \
-                     [--max-frame BYTES] [--state PATH] [--metrics-every SECS]"
+                     [--max-frame BYTES] [--state PATH] [--fsync always|interval:MS|never] \
+                     [--recover fail|truncate] [--checkpoint-bytes N] [--metrics-every SECS]"
                 );
                 return Ok(());
             }
@@ -623,20 +637,64 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
     }
     let listen = listen.ok_or("missing --listen (try --help)")?;
 
-    let mut config = ServerConfig::new(listen, replica).with_max_frame(max_frame);
+    install_sigterm_handler();
+
+    let has_state = state_log.is_some();
+    let mut config = ServerConfig::new(listen, replica)
+        .with_max_frame(max_frame)
+        .with_fsync(fsync)
+        .with_recovery(recovery)
+        .with_checkpoint_bytes(checkpoint_bytes);
     if let Some(path) = state_log {
         config = config.with_state_log(path);
     }
-    let server = ReplicaServer::spawn(config).map_err(|e| format!("bind failed: {e}"))?;
+    // With --recover fail a corrupt state log lands here: nonzero exit,
+    // offset in the message, nothing replayed.
+    let server = ReplicaServer::spawn(config).map_err(|e| format!("startup failed: {e}"))?;
+    if has_state {
+        let store = server.store();
+        let r = store.recovery();
+        println!(
+            "snapshotd[{replica}] recovered: registers={} ckpt_registers={} replayed={} \
+             stale={} truncated_bytes={} corrupt={} generation={} replay_us={}",
+            store.len(),
+            r.checkpoint_registers,
+            r.replayed_records,
+            r.stale_records,
+            r.truncated_bytes,
+            r.corrupt_offset
+                .map_or_else(|| String::from("none"), |o| o.to_string()),
+            r.generation,
+            r.elapsed_us,
+        );
+    }
     println!("snapshotd[{replica}] listening on {}", server.endpoint());
     io::stdout().flush().ok();
 
+    let mut last_metrics = Instant::now();
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(metrics_every.unwrap_or(3600)));
-        if let Some(_every) = metrics_every {
-            println!("snapshotd[{replica}] metrics:");
-            print!("{}", server.registry().render());
+        std::thread::sleep(Duration::from_millis(50));
+        if SIGTERM_FLAG.load(Ordering::Relaxed) {
+            println!("snapshotd[{replica}] SIGTERM: draining connections and checkpointing");
             io::stdout().flush().ok();
+            server
+                .shutdown_graceful(SHUTDOWN_GRACE)
+                .map_err(|e| format!("graceful shutdown: {e}"))?;
+            println!(
+                "snapshotd[{replica}] shutdown complete: final checkpoint written \
+                 (registers={})",
+                server.store().len()
+            );
+            io::stdout().flush().ok();
+            return Ok(());
+        }
+        if let Some(every) = metrics_every {
+            if last_metrics.elapsed() >= Duration::from_secs(every) {
+                println!("snapshotd[{replica}] metrics:");
+                print!("{}", server.registry().render());
+                io::stdout().flush().ok();
+                last_metrics = Instant::now();
+            }
         }
     }
 }
@@ -644,6 +702,7 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::crc32;
     use std::io::Read;
 
     fn dial_and_hello(server: &ReplicaServer) -> WireStream {
@@ -796,9 +855,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
 
-        // Oversize length prefix → TooLarge.
+        // Oversize length prefix (plus its crc slot) → TooLarge.
         let mut c = dial_and_hello(&server);
         c.write_all(&10_000u32.to_le_bytes()).unwrap();
+        c.write_all(&0u32.to_le_bytes()).unwrap();
         c.flush().unwrap();
         match read_one(&mut c) {
             Frame::Error {
@@ -807,8 +867,32 @@ mod tests {
             } => {}
             other => panic!("{other:?}"),
         }
+
+        // A well-framed body whose bytes were damaged in flight → the
+        // crc refuses it before the decoder ever sees it.
+        let mut c = dial_and_hello(&server);
+        let body = Frame::Query {
+            id: 7,
+            lane: 0,
+            segment: 0,
+        }
+        .encode();
+        c.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        c.write_all(&crc32(&body).wrapping_add(1).to_le_bytes()).unwrap();
+        c.write_all(&body).unwrap();
+        c.flush().unwrap();
+        match read_one(&mut c) {
+            Frame::Error {
+                code: ErrorCode::Malformed,
+                detail,
+                ..
+            } => assert!(detail.contains("crc"), "{detail}"),
+            other => panic!("{other:?}"),
+        }
+
         assert_eq!(server.registry().counter("snapshotd.oversize_frames").get(), 1);
         assert_eq!(server.registry().counter("snapshotd.decode_errors").get(), 1);
+        assert_eq!(server.registry().counter("snapshotd.corrupt_frames").get(), 1);
         server.shutdown();
     }
 
@@ -884,77 +968,82 @@ mod tests {
     }
 
     #[test]
-    fn state_log_survives_a_restart() {
+    fn state_log_survives_a_server_restart() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("snapshot-wire-state-{}.log", std::process::id()));
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(ReplicaStore::checkpoint_path_for(&path));
 
-        let store = ReplicaStore::open(&path).unwrap();
-        store.apply(
-            0,
-            1,
-            WireTag { seq: 4, writer: 0 },
-            Arc::from(vec![7u8].into_boxed_slice()),
-        );
-        store.apply(
-            0,
-            1,
-            WireTag { seq: 9, writer: 1 },
-            Arc::from(vec![8u8].into_boxed_slice()),
-        );
-        drop(store);
+        let config = || {
+            ServerConfig::new(Endpoint::Tcp(String::from("127.0.0.1:0")), 0)
+                .with_state_log(path.clone())
+        };
+        let server = ReplicaServer::spawn(config()).unwrap();
+        let mut c = dial_and_hello(&server);
+        write_frame(
+            &mut c,
+            &Frame::Store {
+                id: 1,
+                lane: 0,
+                segment: 1,
+                tag: WireTag { seq: 9, writer: 1 },
+                value: vec![8],
+            }
+            .encode(),
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+        match read_one(&mut c) {
+            Frame::StoreAck { id: 1 } => {}
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+        drop(server);
 
-        let reloaded = ReplicaStore::open(&path).unwrap();
-        let (tag, value) = reloaded.get(0, 1).expect("state must be replayed");
+        let server = ReplicaServer::spawn(config()).unwrap();
+        let (tag, value) = server.store().get(0, 1).expect("state must be replayed");
         assert_eq!(tag, WireTag { seq: 9, writer: 1 });
         assert_eq!(&value[..], &[8]);
+        server.shutdown();
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(ReplicaStore::checkpoint_path_for(&path));
     }
 
     #[test]
-    fn torn_log_tail_is_truncated_so_post_restart_appends_survive() {
+    fn graceful_shutdown_checkpoints_so_restart_replays_o_state() {
         let path = std::env::temp_dir().join(format!(
-            "snapshot-wire-torn-{}.log",
+            "snapshot-wire-graceful-{}.log",
             std::process::id()
         ));
+        let ckpt = ReplicaStore::checkpoint_path_for(&path);
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
 
-        let store = ReplicaStore::open(&path).unwrap();
-        store.apply(
-            0,
-            0,
-            WireTag { seq: 1, writer: 0 },
-            Arc::from(vec![1u8].into_boxed_slice()),
-        );
-        drop(store);
-
-        // The process died mid-append: a partial length prefix trails
-        // the last valid frame.
-        {
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&[0xFF, 0x13, 0x88]).unwrap();
+        let server = ReplicaServer::spawn(
+            ServerConfig::new(Endpoint::Tcp(String::from("127.0.0.1:0")), 0)
+                .with_state_log(path.clone()),
+        )
+        .unwrap();
+        let store = server.store();
+        for seq in 1..=50u64 {
+            store.apply(
+                0,
+                0,
+                WireTag { seq, writer: 0 },
+                Arc::from(vec![seq as u8].into_boxed_slice()),
+            );
         }
+        server.shutdown_graceful(Duration::from_millis(200)).unwrap();
+        assert!(ckpt.exists(), "graceful shutdown must leave a checkpoint");
 
-        // First restart replays up to the torn record and truncates it,
-        // so the record applied *after* the restart lands frame-aligned.
-        let store = ReplicaStore::open(&path).unwrap();
-        let (tag, _) = store.get(0, 0).expect("pre-crash state replayed");
-        assert_eq!(tag, WireTag { seq: 1, writer: 0 });
-        store.apply(
-            0,
-            0,
-            WireTag { seq: 2, writer: 0 },
-            Arc::from(vec![2u8].into_boxed_slice()),
-        );
-        drop(store);
-
-        // Second restart must see the post-crash record too — with the
-        // torn bytes left in place it would stop replay at seq 1.
-        let store = ReplicaStore::open(&path).unwrap();
-        let (tag, value) = store.get(0, 0).expect("post-crash state replayed");
-        assert_eq!(tag, WireTag { seq: 2, writer: 0 });
-        assert_eq!(&value[..], &[2]);
+        // The restart replays the checkpoint, not the 50-append history.
+        let reloaded = ReplicaStore::open(&path).unwrap();
+        assert_eq!(reloaded.recovery().checkpoint_registers, 1);
+        assert_eq!(reloaded.recovery().replayed_records, 0);
+        let (tag, _) = reloaded.get(0, 0).unwrap();
+        assert_eq!(tag, WireTag { seq: 50, writer: 0 });
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
     }
 
     #[test]

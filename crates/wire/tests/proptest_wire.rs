@@ -219,9 +219,10 @@ fn framing_layer_round_trips_and_rejects_oversize_on_both_sides() {
 
 #[test]
 fn absurd_length_prefix_is_rejected_without_allocation() {
-    // A 4GiB length prefix followed by nothing: the guard must fire on
-    // the prefix alone (allocating would OOM long before the read fails).
-    let mut cursor = Cursor::new(vec![0xFF, 0xFF, 0xFF, 0xFF]);
+    // A 4GiB length prefix (plus the v2 crc slot) followed by nothing:
+    // the guard must fire on the prefix alone (allocating would OOM
+    // long before the read fails).
+    let mut cursor = Cursor::new(vec![0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0]);
     assert!(matches!(
         read_frame(&mut cursor, DEFAULT_MAX_FRAME),
         Err(FrameIoError::TooLarge { len: 0xFFFF_FFFF, .. })

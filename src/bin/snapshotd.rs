@@ -2,13 +2,28 @@
 //!
 //! ```text
 //! snapshotd --listen tcp:127.0.0.1:7000 --replica 0
-//! snapshotd --listen uds:/tmp/r1.sock --replica 1 --state /var/lib/snap/r1.log
+//! snapshotd --listen uds:/tmp/r1.sock --replica 1 --state /var/lib/snap/r1.log \
+//!     --fsync always --recover truncate --checkpoint-bytes 1048576
 //! ```
 //!
-//! Prints `snapshotd[N] listening on ENDPOINT` once ready, then serves
-//! until killed. Lives in the workspace root so integration tests reach
-//! it via `CARGO_BIN_EXE_snapshotd`; the implementation is
-//! `snapshot_wire::server::run_cli` (run with `--help` for flags).
+//! With `--state` the replica is durable: every winning store lands in a
+//! CRC32-framed, generation-stamped log, compacted into an atomically
+//! renamed checkpoint once the log passes `--checkpoint-bytes`. `--fsync
+//! always|interval:MS|never` picks the durability/latency trade, and
+//! `--recover truncate|fail` decides what a damaged log does on restart:
+//! truncate from the first corrupt record (counted in the `recovered:`
+//! banner) or refuse to start with the corruption offset in the error.
+//! A torn tail — an incomplete record from a mid-write crash — is always
+//! truncated and counted; it is expected wreckage, not corruption.
+//!
+//! Prints `snapshotd[N] recovered: ...` (durable mode) and then
+//! `snapshotd[N] listening on ENDPOINT` once ready, and serves until
+//! killed. SIGTERM shuts down gracefully: stop accepting, drain
+//! in-flight connections, write a final fsynced checkpoint, exit 0 — so
+//! the next start replays zero log records. Lives in the workspace root
+//! so integration tests reach it via `CARGO_BIN_EXE_snapshotd`; the
+//! implementation is `snapshot_wire::server::run_cli` (run with
+//! `--help` for flags).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -9,6 +9,7 @@
 //! in-process by `nemesis_wire.rs`.
 
 use std::io::{BufRead, BufReader};
+use std::path::Path;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,7 +18,7 @@ use snapshot_abd::{AbdSnapshotCore, RemoteConfig, RemoteTransport, RetryPolicy};
 use snapshot_lin::{check_history, Recorder};
 use snapshot_registers::ProcessId;
 use snapshot_service::{RetryConfig, ServiceConfig, ServiceError, SnapshotService};
-use snapshot_wire::Endpoint;
+use snapshot_wire::{Endpoint, ReplicaStore};
 
 const REPLICAS: usize = 3;
 const LANES: usize = 2;
@@ -159,4 +160,159 @@ fn snapshotd_processes_serve_the_service_and_survive_a_sigkill() {
         child.kill().expect("shutting down replica process");
         child.wait().expect("reaping replica process");
     }
+}
+
+// ---------------------------------------------------------------------
+// Graceful shutdown: SIGTERM drains, checkpoints, exits 0.
+// ---------------------------------------------------------------------
+
+/// Spawns a durable `snapshotd` (`--state` + `--fsync always`), blocks
+/// until it is accepting, and returns the child, its `recovered:`
+/// banner, and a handle collecting the rest of its stdout.
+fn spawn_durable(
+    bin: &str,
+    endpoint: &Endpoint,
+    state: &Path,
+) -> (Child, String, std::thread::JoinHandle<Vec<String>>) {
+    let mut child = Command::new(bin)
+        .args([
+            "--listen",
+            &endpoint.to_string(),
+            "--replica",
+            "0",
+            "--state",
+            &state.display().to_string(),
+            "--fsync",
+            "always",
+            "--recover",
+            "truncate",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawning durable snapshotd process");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut recovered = String::new();
+    loop {
+        let line = lines
+            .next()
+            .expect("snapshotd exited before its banner")
+            .expect("reading snapshotd banner");
+        if line.contains("recovered:") {
+            recovered = line;
+        } else if line.contains("listening on") {
+            break;
+        }
+    }
+    assert!(!recovered.is_empty(), "durable snapshotd must print a recovery banner");
+    let drain = std::thread::spawn(move || lines.map_while(Result::ok).collect());
+    (child, recovered, drain)
+}
+
+/// `key=value` extraction from a recovery banner.
+fn banner_field(banner: &str, key: &str) -> String {
+    banner
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix(key))
+        .unwrap_or_else(|| panic!("banner lacks {key}: {banner}"))
+        .to_owned()
+}
+
+/// SIGTERM on a durable replica: the process drains, writes a final
+/// fsynced checkpoint, and exits 0; a restart replays *zero* log
+/// records (everything is in the checkpoint — O(state) recovery) and
+/// serves the exact pre-shutdown values.
+#[test]
+fn sigterm_shuts_down_gracefully_and_restart_replays_the_checkpoint() {
+    let Some(bin) = snapshotd_bin() else {
+        eprintln!("skipping: no snapshotd binary (set SNAPSHOTD_BIN or run under cargo)");
+        return;
+    };
+
+    let mut sock = std::env::temp_dir();
+    sock.push(format!("snapshotd-term-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let endpoint = Endpoint::Uds(sock);
+    let mut state = std::env::temp_dir();
+    state.push(format!("snapshotd-term-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&state);
+    let _ = std::fs::remove_file(ReplicaStore::checkpoint_path_for(&state));
+
+    let (mut child, recovered, drain) = spawn_durable(&bin, &endpoint, &state);
+    assert_eq!(banner_field(&recovered, "registers="), "0", "{recovered}");
+
+    // A single-replica cluster: quorum 1, so the service runs against
+    // exactly the process under test.
+    let connect_service = || {
+        let transport = Arc::new(RemoteTransport::connect(
+            RemoteConfig::new(vec![endpoint.clone()])
+                .with_op_timeout(Duration::from_secs(2))
+                .with_redial(Duration::from_millis(5), Duration::from_millis(100)),
+        ));
+        assert!(
+            transport.wait_connected(1, Duration::from_secs(10)),
+            "handshake with the durable replica"
+        );
+        let core: Arc<dyn snapshot_abd::Transport> = transport;
+        SnapshotService::new(AbdSnapshotCore::remote(core, LANES, 0u64))
+    };
+
+    let service = connect_service();
+    for lane in 0..LANES {
+        let mut client = service.client(lane);
+        client
+            .update(lane, 0xD00D_0000 + lane as u64)
+            .expect("durable update");
+    }
+    let expected: Vec<u64> = (0..LANES).map(|lane| 0xD00D_0000 + lane as u64).collect();
+    assert_eq!(service.client(0).scan().expect("pre-shutdown scan").to_vec(), expected);
+    drop(service);
+
+    // SIGTERM (not SIGKILL): the server announces the drain, writes a
+    // final checkpoint, and exits 0.
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("sending SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+    let exit = child.wait().expect("reaping after SIGTERM");
+    assert!(exit.success(), "SIGTERM must exit 0, got {exit:?}");
+    let tail = drain.join().expect("joining stdout drain");
+    assert!(
+        tail.iter().any(|l| l.contains("SIGTERM: draining")),
+        "missing drain announcement in {tail:?}"
+    );
+    assert!(
+        tail.iter()
+            .any(|l| l.contains("shutdown complete: final checkpoint written")),
+        "missing shutdown banner in {tail:?}"
+    );
+
+    // Restart on the same state: recovery must come entirely from the
+    // checkpoint — zero replayed log records — with every value intact.
+    let (mut child, recovered, drain) = spawn_durable(&bin, &endpoint, &state);
+    assert_eq!(
+        banner_field(&recovered, "replayed="),
+        "0",
+        "post-checkpoint restart must replay nothing: {recovered}"
+    );
+    let registers: u64 = banner_field(&recovered, "registers=")
+        .parse()
+        .expect("registers= must be numeric");
+    assert!(registers >= LANES as u64, "{recovered}");
+
+    let service = connect_service();
+    assert_eq!(
+        service.client(0).scan().expect("post-restart scan").to_vec(),
+        expected,
+        "restart must serve the exact pre-shutdown state"
+    );
+    drop(service);
+
+    child.kill().expect("shutting down restarted replica");
+    child.wait().expect("reaping restarted replica");
+    drop(drain);
+    let _ = std::fs::remove_file(&state);
+    let _ = std::fs::remove_file(ReplicaStore::checkpoint_path_for(&state));
 }
