@@ -574,6 +574,14 @@ pub enum Event {
         /// Size of the checkpoint file in bytes.
         bytes: u64,
     },
+    /// A replica store's checkpoint attempt failed (tmp write, rename,
+    /// or post-rename log truncate error). The log keeps growing and the
+    /// next threshold crossing retries; also counted in
+    /// `snapshotd.store.checkpoint_failures`.
+    StoreCheckpointFailed {
+        /// The checkpointing replica index.
+        replica: usize,
+    },
     /// A replica store finished replaying its durable state on startup.
     StoreReplayed {
         /// The recovering replica index.
@@ -632,6 +640,7 @@ impl Event {
             Event::StoreTruncated { .. } => "store_truncated",
             Event::StoreCorrupt { .. } => "store_corrupt",
             Event::StoreCheckpoint { .. } => "store_checkpoint",
+            Event::StoreCheckpointFailed { .. } => "store_checkpoint_failed",
             Event::StoreReplayed { .. } => "store_replayed",
         }
     }
@@ -755,6 +764,9 @@ impl fmt::Display for Event {
                     f,
                     "store_checkpoint(replica=R{replica}, registers={registers}, bytes={bytes})"
                 )
+            }
+            Event::StoreCheckpointFailed { replica } => {
+                write!(f, "store_checkpoint_failed(replica=R{replica})")
             }
             Event::StoreReplayed { replica, checkpoint_registers, records, elapsed_us } => {
                 write!(

@@ -174,6 +174,9 @@ fn push_payload(out: &mut String, event: &Event) {
             push_field(out, "registers", registers);
             push_field(out, "bytes", bytes);
         }
+        Event::StoreCheckpointFailed { replica } => {
+            push_field(out, "replica", replica);
+        }
         Event::StoreReplayed { replica, checkpoint_registers, records, elapsed_us } => {
             push_field(out, "replica", replica);
             push_field(out, "checkpoint_registers", checkpoint_registers);

@@ -128,6 +128,7 @@ impl ServerConfig {
 struct ServerMetrics {
     connections: Counter,
     open_connections: Gauge,
+    requests_in_flight: Gauge,
     frames_in: Counter,
     frames_out: Counter,
     stores_applied: Counter,
@@ -143,6 +144,7 @@ impl ServerMetrics {
         ServerMetrics {
             connections: registry.counter("snapshotd.connections"),
             open_connections: registry.gauge("snapshotd.open_connections"),
+            requests_in_flight: registry.gauge("snapshotd.requests_in_flight"),
             frames_in: registry.counter("snapshotd.frames_in"),
             frames_out: registry.counter("snapshotd.frames_out"),
             stores_applied: registry.counter("snapshotd.stores_applied"),
@@ -186,15 +188,22 @@ impl ReplicaServer {
     pub fn spawn(config: ServerConfig) -> io::Result<ReplicaServer> {
         let registry = config.registry.clone().unwrap_or_default();
         let store = Arc::new(
-            ReplicaStore::open_with(StoreConfig {
-                path: config.state_log.clone(),
-                fsync: config.fsync,
-                recovery: config.recovery,
-                checkpoint_bytes: config.checkpoint_bytes,
-                registry: Some(Arc::clone(&registry)),
-                trace: None,
-                replica: config.replica,
-            })
+            ReplicaStore::open_with(
+                StoreConfig {
+                    path: config.state_log.clone(),
+                    fsync: config.fsync,
+                    recovery: config.recovery,
+                    checkpoint_bytes: config.checkpoint_bytes,
+                    registry: Some(Arc::clone(&registry)),
+                    trace: None,
+                    replica: config.replica,
+                    ..StoreConfig::default()
+                }
+                // The record cap must track the frame cap, or a store
+                // accepted over the wire could be logged but refused on
+                // replay.
+                .with_max_frame(config.max_frame),
+            )
             .map_err(io::Error::from)?,
         );
         Self::spawn_with_store(ServerConfig { registry: Some(registry), ..config }, store)
@@ -264,10 +273,11 @@ impl ReplicaServer {
     }
 
     /// Graceful shutdown (the SIGTERM path): stops accepting, gives
-    /// in-flight requests up to `grace` to finish (connections that go
-    /// idle are severed as soon as the request loop notices the flag),
-    /// joins every thread, then flushes, fsyncs, and writes a final
-    /// durable checkpoint so the next start replays O(live registers).
+    /// in-flight *requests* up to `grace` to finish — an idle
+    /// connection counts as drained and is severed immediately, so a
+    /// quiet server returns without waiting out the grace — joins every
+    /// thread, then flushes, fsyncs, and writes a final durable
+    /// checkpoint so the next start replays O(live registers).
     pub fn shutdown_graceful(&self, grace: Duration) -> Result<(), StoreError> {
         self.stop(Some(grace));
         self.shared.store.flush(true)?;
@@ -282,12 +292,17 @@ impl ReplicaServer {
         // the flag before serving.
         let _ = self.endpoint.dial();
         if let Some(grace) = drain {
+            // Wait for requests actually being served, not for clients
+            // to hang up: an idle persistent connection is already
+            // drained (its worker is parked in a read), and is severed
+            // right below — so a SIGTERM with only idle clients returns
+            // immediately instead of burning the whole grace.
             let deadline = Instant::now() + grace;
             while Instant::now() < deadline {
-                if self.shared.metrics.open_connections.get() == 0 {
+                if self.shared.metrics.requests_in_flight.get() == 0 {
                     break;
                 }
-                std::thread::sleep(Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(1));
             }
         }
         for (_, conn) in self.shared.conns.lock().unwrap().iter() {
@@ -450,7 +465,11 @@ fn serve_connection(mut stream: WireStream, shared: &Shared) {
             Some(f) => f,
             None => break,
         };
-        match frame {
+        // In flight from fully-read request to sent reply: the graceful
+        // drain waits on this gauge (not on connection count), so an
+        // idle connection never holds up a SIGTERM.
+        shared.metrics.requests_in_flight.add(1);
+        let keep_going = match frame {
             Frame::Query { id, lane, segment } => {
                 // Read-only: dedup records the id but every delivery is
                 // (re-)answered with the current state.
@@ -459,9 +478,7 @@ fn serve_connection(mut stream: WireStream, shared: &Shared) {
                     Some((t, v)) => (t, Some(v.to_vec())),
                     None => (WireTag::default(), None),
                 };
-                if !send(&mut stream, shared, &Frame::QueryReply { id, tag, value }) {
-                    break;
-                }
+                send(&mut stream, shared, &Frame::QueryReply { id, tag, value })
             }
             Frame::Store {
                 id,
@@ -480,9 +497,7 @@ fn serve_connection(mut stream: WireStream, shared: &Shared) {
                     // been lost.
                     shared.metrics.duplicates_suppressed.inc();
                 }
-                if !send(&mut stream, shared, &Frame::StoreAck { id }) {
-                    break;
-                }
+                send(&mut stream, shared, &Frame::StoreAck { id })
             }
             other => {
                 send_error(
@@ -492,7 +507,12 @@ fn serve_connection(mut stream: WireStream, shared: &Shared) {
                     ErrorCode::Unsupported,
                     format!("unexpected {} frame", other.kind_name()),
                 );
+                true
             }
+        };
+        shared.metrics.requests_in_flight.add(-1);
+        if !keep_going {
+            break;
         }
     }
 }
@@ -1044,6 +1064,18 @@ mod tests {
         assert_eq!(tag, WireTag { seq: 50, writer: 0 });
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn graceful_shutdown_does_not_wait_for_idle_connections() {
+        let server = tcp_server();
+        let _idle = dial_and_hello(&server);
+        let started = Instant::now();
+        server.shutdown_graceful(Duration::from_secs(10)).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "an idle connection must count as drained, not burn the grace"
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //!   survived. Garbage is never silently replayed.
 //! * **Checkpoints** — [`ReplicaStore::checkpoint`] writes the live
 //!   register map to `<log>.ckpt.tmp`, fsyncs, renames over
-//!   `<log>.ckpt`, fsyncs the directory, then truncates the log and
-//!   bumps the generation. A crash between the rename and the truncate
+//!   `<log>.ckpt`, fsyncs the directory, bumps the generation, then
+//!   truncates the log. A crash (or truncate failure) after the rename
 //!   leaves stale old-generation records in the log; replay skips them
 //!   by the generation filter (and the max-by-tag merge is idempotent
 //!   besides). Restart replay therefore costs O(live lanes×segments +
@@ -59,9 +59,10 @@ const CKPT_MAGIC: &[u8; 4] = b"SNCK";
 const STORE_VERSION: u16 = 1;
 /// Size of the log file header: magic + version + reserved.
 const LOG_HEADER: u64 = 8;
-/// Upper bound on a single record body; anything larger in a length
-/// field is treated as corruption, not allocated.
-const MAX_RECORD: u32 = DEFAULT_MAX_FRAME + 64;
+/// Default upper bound on a single record body (see
+/// [`StoreConfig::max_record`]); anything larger in a length field is
+/// treated as corruption, not allocated.
+const DEFAULT_MAX_RECORD: u32 = DEFAULT_MAX_FRAME + 64;
 
 // ---------------------------------------------------------------------
 // CRC32 (IEEE 802.3), table-driven; the workspace takes no checksum
@@ -221,6 +222,14 @@ pub struct StoreConfig {
     /// (`u64::MAX` disables; explicit [`ReplicaStore::checkpoint`]
     /// always works).
     pub checkpoint_bytes: u64,
+    /// Upper bound on a single log record body, in bytes. Replay treats
+    /// a length field above this as corruption rather than allocating
+    /// it, and append skips (and counts) a record that would exceed it,
+    /// so an unreplayable record is never written. Servers derive this
+    /// from their configured frame cap via
+    /// [`StoreConfig::with_max_frame`]; reopening a log needs a cap at
+    /// least as large as the one it was written under.
+    pub max_record: u32,
     /// Registry for the `snapshotd.store.*` metrics (private when
     /// `None`).
     pub registry: Option<Arc<Registry>>,
@@ -237,6 +246,7 @@ impl Default for StoreConfig {
             fsync: FsyncPolicy::default(),
             recovery: RecoveryPolicy::default(),
             checkpoint_bytes: 4 << 20,
+            max_record: DEFAULT_MAX_RECORD,
             registry: None,
             trace: None,
             replica: 0,
@@ -265,6 +275,14 @@ impl StoreConfig {
     /// Sets the auto-checkpoint threshold in log bytes.
     pub fn with_checkpoint_bytes(mut self, bytes: u64) -> Self {
         self.checkpoint_bytes = bytes;
+        self
+    }
+
+    /// Derives the record cap from a wire frame cap: any value that
+    /// fits in an accepted frame also fits in a log record (record
+    /// framing adds well under 64 bytes).
+    pub fn with_max_frame(mut self, max_frame: u32) -> Self {
+        self.max_record = max_frame.saturating_add(64);
         self
     }
 
@@ -381,6 +399,8 @@ struct StoreMetrics {
     replay_us: Counter,
     truncated_bytes: Counter,
     corrupt_records: Counter,
+    checkpoint_failures: Counter,
+    oversize_records: Counter,
 }
 
 impl StoreMetrics {
@@ -394,6 +414,8 @@ impl StoreMetrics {
             replay_us: registry.counter("snapshotd.store.replay_us"),
             truncated_bytes: registry.counter("snapshotd.store.truncated_bytes"),
             corrupt_records: registry.counter("snapshotd.store.corrupt_records"),
+            checkpoint_failures: registry.counter("snapshotd.store.checkpoint_failures"),
+            oversize_records: registry.counter("snapshotd.store.oversize_records"),
         }
     }
 }
@@ -411,6 +433,7 @@ struct Persist {
     fsync: FsyncPolicy,
     last_sync: Instant,
     checkpoint_bytes: u64,
+    max_record: u32,
 }
 
 /// The tagged register store of one replica: `(lane, segment)` →
@@ -531,6 +554,7 @@ impl ReplicaStore {
                 file_len,
                 generation,
                 had_checkpoint,
+                config.max_record,
                 &mut summary,
                 &store,
             )?;
@@ -607,6 +631,7 @@ impl ReplicaStore {
             fsync: config.fsync,
             last_sync: Instant::now(),
             checkpoint_bytes: config.checkpoint_bytes,
+            max_record: config.max_record,
         });
         Ok(store)
     }
@@ -647,13 +672,38 @@ impl ReplicaStore {
             }
         }
         let mut log = self.log.lock().unwrap();
-        drop(map);
         if let Some(persist) = log.as_mut() {
             let body = encode_record_body(persist.generation, lane, segment, tag, &value);
+            if body.len() as u64 > persist.max_record as u64 {
+                // Replay rejects anything above the cap as corruption,
+                // so an unreplayable record must never be written. The
+                // value keeps being served from memory; the durability
+                // gap is counted instead of discovered at restart.
+                drop(map);
+                self.metrics.oversize_records.inc();
+                return true;
+            }
             let mut framed = Vec::with_capacity(8 + body.len());
             framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
             framed.extend_from_slice(&crc32(&body).to_le_bytes());
             framed.extend_from_slice(&body);
+            // Lock order is strictly map → log, so the auto-checkpoint
+            // snapshot must be taken while the map lock is still held —
+            // decided on the pre-append size, which crosses the
+            // threshold exactly when the post-append size would (and a
+            // threshold-crossing append that then fails still gets its
+            // state compacted, since the map already holds it).
+            let snapshot = if persist.log_bytes + framed.len() as u64 >= persist.checkpoint_bytes
+            {
+                Some(
+                    map.iter()
+                        .map(|(&(l, s), (t, v))| (l, s, *t, v.to_vec()))
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                None
+            };
+            drop(map);
             // A failed append is deliberately non-fatal to the serving
             // path (the replica keeps answering from memory); the next
             // restart simply recovers less.
@@ -673,18 +723,19 @@ impl ReplicaStore {
                     persist.last_sync = Instant::now();
                 }
             }
-            if persist.log_bytes >= persist.checkpoint_bytes {
-                // Re-lock the map *inside* the log lock (the one legal
-                // order) for the auto-checkpoint snapshot.
-                let snapshot: Vec<_> = self
-                    .map
-                    .lock()
-                    .unwrap()
-                    .iter()
-                    .map(|(&(l, s), (t, v))| (l, s, *t, v.to_vec()))
-                    .collect();
-                let _ = self.checkpoint_locked(persist, snapshot);
+            if let Some(snapshot) = snapshot {
+                if self.checkpoint_locked(persist, snapshot).is_err() {
+                    // Surfaced, not swallowed: the log keeps growing and
+                    // the next threshold crossing retries.
+                    self.metrics.checkpoint_failures.inc();
+                    self.trace.emit(
+                        self.replica as usize,
+                        Event::StoreCheckpointFailed { replica: self.replica as usize },
+                    );
+                }
             }
+        } else {
+            drop(map);
         }
         true
     }
@@ -754,16 +805,13 @@ impl ReplicaStore {
         }
         self.metrics.fsyncs.inc();
 
-        // The checkpoint is durable: drop the replayed prefix. O_APPEND
-        // writes land at the new EOF, so truncating to the header is
-        // enough. A crash before this set_len leaves stale records the
-        // generation filter skips on replay.
-        persist.writer.flush()?;
-        persist.writer.get_ref().set_len(LOG_HEADER)?;
-        let _ = persist.writer.get_ref().sync_data();
+        // The on-disk checkpoint now claims `new_generation`: adopt it
+        // *before* the fallible truncate below. Replay tolerates an
+        // untruncated log (the generation filter skips old records),
+        // but an append stamped with the pre-checkpoint generation
+        // after the rename would be classified stale on the next
+        // restart — an acked, even fsynced, write silently dropped.
         persist.generation = new_generation;
-        persist.log_bytes = LOG_HEADER;
-        persist.last_sync = Instant::now();
         self.metrics.checkpoints.inc();
         self.metrics.checkpoint_bytes.add(bytes.len() as u64);
         self.trace.emit(
@@ -774,6 +822,16 @@ impl ReplicaStore {
                 bytes: bytes.len() as u64,
             },
         );
+
+        // The checkpoint is durable: drop the replayed prefix. O_APPEND
+        // writes land at the new EOF, so truncating to the header is
+        // enough. A crash or error before this set_len leaves stale
+        // records the generation filter skips on replay.
+        persist.writer.flush()?;
+        persist.writer.get_ref().set_len(LOG_HEADER)?;
+        let _ = persist.writer.get_ref().sync_data();
+        persist.log_bytes = LOG_HEADER;
+        persist.last_sync = Instant::now();
         Ok(())
     }
 
@@ -909,6 +967,7 @@ fn replay_log(
     file_len: u64,
     generation: u64,
     had_checkpoint: bool,
+    max_record: u32,
     summary: &mut RecoverySummary,
     store: &ReplicaStore,
 ) -> Result<ReplayOutcome, StoreError> {
@@ -955,7 +1014,7 @@ fn replay_log(
         }
         let len = u32::from_le_bytes(prefix[..4].try_into().unwrap());
         let stored_crc = u32::from_le_bytes(prefix[4..].try_into().unwrap());
-        if len == 0 || len > MAX_RECORD {
+        if len == 0 || len > max_record {
             return Ok(ReplayOutcome {
                 valid_len: offset,
                 torn_bytes: 0,
@@ -1211,6 +1270,80 @@ mod tests {
         drop(store);
         let store = ReplicaStore::open(&path).unwrap();
         assert_eq!(store.get(0, 0).unwrap().0, WireTag { seq: 64, writer: 0 });
+        cleanup(&path);
+    }
+
+    #[test]
+    fn concurrent_applies_with_auto_checkpoint_do_not_deadlock() {
+        // Regression: the auto-checkpoint used to re-lock the map while
+        // holding the log lock — the reverse of apply()'s map → log
+        // order — so two thread-per-connection applies could deadlock
+        // the moment the log crossed the checkpoint threshold.
+        let path = temp_log("race");
+        let store = Arc::new(
+            ReplicaStore::open_with(
+                StoreConfig::at(path.clone()).with_checkpoint_bytes(256),
+            )
+            .unwrap(),
+        );
+        let (tx, rx) = std::sync::mpsc::channel();
+        for t in 0..4u32 {
+            let store = Arc::clone(&store);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for seq in 1..=200u64 {
+                    store.apply(t, 0, WireTag { seq, writer: t }, val(&[0u8; 40]));
+                }
+                tx.send(()).unwrap();
+            });
+        }
+        drop(tx);
+        for _ in 0..4 {
+            rx.recv_timeout(Duration::from_secs(30))
+                .expect("applies deadlocked (map/log lock order violated)");
+        }
+        drop(store);
+        let store = ReplicaStore::open(&path).unwrap();
+        assert_eq!(store.get(3, 0).unwrap().0, WireTag { seq: 200, writer: 3 });
+        cleanup(&path);
+    }
+
+    #[test]
+    fn record_cap_follows_the_configured_max_frame() {
+        // A server run with --max-frame above the default accepts (and
+        // must durably log) values larger than the default record cap;
+        // replay under the same configuration takes them back.
+        let path = temp_log("bigrec");
+        let big = vec![7u8; DEFAULT_MAX_FRAME as usize + 1024];
+        let config =
+            || StoreConfig::at(path.clone()).with_max_frame(2 * DEFAULT_MAX_FRAME);
+        let store = ReplicaStore::open_with(config()).unwrap();
+        assert!(store.apply(0, 0, WireTag { seq: 1, writer: 0 }, val(&big)));
+        drop(store);
+        let store = ReplicaStore::open_with(config()).unwrap();
+        assert_eq!(store.recovery().replayed_records, 1);
+        assert_eq!(store.get(0, 0).unwrap().1.len(), big.len());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn oversize_record_is_never_written_to_the_log() {
+        let path = temp_log("oversize");
+        let registry = Arc::new(Registry::default());
+        let mut config = StoreConfig::at(path.clone()).with_registry(Arc::clone(&registry));
+        config.max_record = 128;
+        let store = ReplicaStore::open_with(config).unwrap();
+        let logged = store.log_bytes();
+        assert!(store.apply(0, 0, WireTag { seq: 1, writer: 0 }, val(&[0u8; 4096])));
+        assert_eq!(store.get(0, 0).unwrap().1.len(), 4096, "still served from memory");
+        assert_eq!(store.log_bytes(), logged, "unreplayable record not appended");
+        assert_eq!(registry.counter("snapshotd.store.oversize_records").get(), 1);
+        drop(store);
+        // The log stayed replayable: reopening finds no record, not a
+        // corruption error.
+        let store = ReplicaStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.recovery().corrupt_offset, None);
         cleanup(&path);
     }
 
